@@ -1,0 +1,100 @@
+//! The controller abstraction shared by all five schemes.
+
+use serde::{Deserialize, Serialize};
+
+use ee360_power::model::DecoderScheme;
+
+use crate::plan::{SegmentContext, SegmentPlan};
+
+/// The five evaluated schemes (Section V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Conventional fixed 4×8 tiling.
+    Ctile,
+    /// Ten variable-size tiles clustered from 450 fine blocks.
+    Ftile,
+    /// Whole-frame streaming (no tiles).
+    Nontile,
+    /// Popularity tile at the original frame rate (no frame-rate ladder).
+    Ptile,
+    /// The paper's energy-efficient QoE-aware MPC algorithm.
+    Ours,
+}
+
+impl Scheme {
+    /// All schemes in the paper's plotting order.
+    pub const ALL: [Scheme; 5] = [
+        Scheme::Ctile,
+        Scheme::Ftile,
+        Scheme::Nontile,
+        Scheme::Ptile,
+        Scheme::Ours,
+    ];
+
+    /// Display label as used in the figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scheme::Ctile => "Ctile",
+            Scheme::Ftile => "Ftile",
+            Scheme::Nontile => "Nontile",
+            Scheme::Ptile => "Ptile",
+            Scheme::Ours => "Ours",
+        }
+    }
+
+    /// The Table I decode-pipeline row this scheme runs when the viewport
+    /// is Ptile-covered. (Ptile/Ours fall back to the Ctile pipeline when
+    /// no Ptile covers the predicted viewport.)
+    pub fn decoder_scheme(&self) -> DecoderScheme {
+        match self {
+            Scheme::Ctile => DecoderScheme::Ctile,
+            Scheme::Ftile => DecoderScheme::Ftile,
+            Scheme::Nontile => DecoderScheme::Nontile,
+            Scheme::Ptile | Scheme::Ours => DecoderScheme::Ptile,
+        }
+    }
+}
+
+/// A per-segment planner.
+pub trait Controller {
+    /// Decides quality/frame-rate/bits for the next segment.
+    fn plan(&mut self, ctx: &SegmentContext) -> SegmentPlan;
+
+    /// The scheme this controller implements.
+    fn scheme(&self) -> Scheme;
+
+    /// Feeds back the throughput the last download experienced. Default:
+    /// ignored (the baselines rely on the context's estimate alone); the
+    /// forecast-enabled MPC uses it to fit its AR(1) model.
+    fn observe_throughput(&mut self, _throughput_bps: f64) {}
+
+    /// Resets internal state between sessions (default: nothing to reset).
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_paper_names() {
+        let labels: Vec<&str> = Scheme::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels, vec!["Ctile", "Ftile", "Nontile", "Ptile", "Ours"]);
+    }
+
+    #[test]
+    fn decoder_mapping() {
+        assert_eq!(Scheme::Ctile.decoder_scheme(), DecoderScheme::Ctile);
+        assert_eq!(Scheme::Ftile.decoder_scheme(), DecoderScheme::Ftile);
+        assert_eq!(Scheme::Nontile.decoder_scheme(), DecoderScheme::Nontile);
+        assert_eq!(Scheme::Ptile.decoder_scheme(), DecoderScheme::Ptile);
+        assert_eq!(Scheme::Ours.decoder_scheme(), DecoderScheme::Ptile);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let json = serde_json::to_string(&Scheme::Ours).unwrap();
+        let back: Scheme = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Scheme::Ours);
+    }
+}

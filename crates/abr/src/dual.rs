@@ -1,0 +1,337 @@
+//! The dual of Eq. 8: maximise QoE subject to an energy budget.
+//!
+//! The paper minimises energy under a QoE floor; the natural operator
+//! counterpart — "I have X mWh left, play as well as possible" — flips the
+//! objective. This controller solves, over the same MPC horizon and
+//! discretised buffer states,
+//!
+//! ```text
+//! max Σ Q(v_i, f_i)   s.t.  E(T_i^{v,f}) ≤ budget per segment,
+//!                           Eq. 6/7 buffer feasibility
+//! ```
+//!
+//! It shares the candidate generation, transition and energy pricing with
+//! [`crate::mpc`], so its behaviour is directly comparable in ablations
+//! (a battery-saver mode for the same player).
+
+use ee360_power::model::DecoderScheme;
+
+use crate::controller::{Controller, Scheme};
+use crate::mpc::{dp_transition, MpcConfig, MpcController};
+use crate::plan::{SegmentContext, SegmentPlan};
+use crate::sizer::{SchemeSizer, FOV_AREA_FRACTION};
+
+/// A QoE-maximising controller under a per-segment energy budget.
+///
+/// # Example
+///
+/// ```
+/// use ee360_abr::controller::Controller;
+/// use ee360_abr::dual::EnergyBudgetController;
+/// use ee360_abr::plan::SegmentContext;
+/// use ee360_video::content::SiTi;
+///
+/// let mut tight = EnergyBudgetController::new(900.0);
+/// let mut loose = EnergyBudgetController::new(4000.0);
+/// let ctx = SegmentContext::example(SiTi::new(60.0, 25.0), 8.0e6);
+/// let q_tight = tight.plan(&ctx).quality;
+/// let q_loose = loose.plan(&ctx).quality;
+/// assert!(q_loose >= q_tight);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnergyBudgetController {
+    /// Per-segment energy budget, mJ.
+    budget_mj: f64,
+    /// Borrowed machinery: candidates, energy pricing, transitions.
+    inner: MpcController,
+    sizer: SchemeSizer,
+}
+
+impl EnergyBudgetController {
+    /// Creates a controller with the paper's MPC configuration and the
+    /// given per-segment energy budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget is not strictly positive.
+    pub fn new(budget_mj: f64) -> Self {
+        Self::with_config(budget_mj, MpcConfig::paper_default())
+    }
+
+    /// Creates a controller with a custom MPC configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget is not strictly positive.
+    pub fn with_config(budget_mj: f64, config: MpcConfig) -> Self {
+        assert!(
+            budget_mj.is_finite() && budget_mj > 0.0,
+            "energy budget must be positive"
+        );
+        Self {
+            budget_mj,
+            inner: MpcController::new(config),
+            sizer: SchemeSizer::paper_default(),
+        }
+    }
+
+    /// The configured per-segment budget, mJ.
+    pub fn budget_mj(&self) -> f64 {
+        self.budget_mj
+    }
+
+    /// Horizon DP maximising total Q(v,f) under the budget.
+    fn solve(&self, ctx: &SegmentContext) -> SegmentPlan {
+        let cfg = *self.inner.config();
+        let gran = cfg.buffer_granularity_sec;
+        let n_states = (cfg.buffer_threshold_sec / gran).round() as usize + 1;
+        let state_level = |i: usize| i as f64 * gran;
+        let level_state =
+            |b: f64| ((b / gran).floor() as usize).min(n_states - 1);
+        let bandwidth = ctx.predicted_bandwidth_bps;
+        let area = ctx.ptile_area_frac.max(FOV_AREA_FRACTION);
+
+        let per_step: Vec<_> = (0..cfg.horizon)
+            .map(|h| {
+                let content = *ctx
+                    .upcoming
+                    .get(h)
+                    .or_else(|| ctx.upcoming.last())
+                    .expect("context has at least one segment");
+                self.inner.candidates(
+                    content,
+                    ctx.switching_speed_deg_s,
+                    area,
+                    ctx.background_blocks,
+                )
+            })
+            .collect();
+
+        const NEG_INF: f64 = f64::NEG_INFINITY;
+        let mut value = vec![NEG_INF; n_states];
+        let mut first: Vec<Option<(usize, usize)>> = vec![None; n_states]; // (step-0 candidate idx, dummy)
+        let start = level_state(ctx.buffer_sec.min(cfg.buffer_threshold_sec));
+        value[start] = 0.0;
+
+        for (h, cands) in per_step.iter().enumerate() {
+            let mut next_value = vec![NEG_INF; n_states];
+            let mut next_first: Vec<Option<(usize, usize)>> = vec![None; n_states];
+            for s in 0..n_states {
+                if value[s] == NEG_INF {
+                    continue;
+                }
+                let b = state_level(s);
+                // Budget-feasible candidates; if none fits, fall back to
+                // the cheapest-energy candidate so a plan always exists.
+                let feasible: Vec<usize> = (0..cands.len())
+                    .filter(|&i| self.inner.candidate_energy_mj(&cands[i], bandwidth) <= self.budget_mj)
+                    .collect();
+                let pool: Vec<usize> = if feasible.is_empty() {
+                    let cheapest = (0..cands.len())
+                        .min_by(|&a, &b| {
+                            self.inner
+                                .candidate_energy_mj(&cands[a], bandwidth)
+                                .partial_cmp(&self.inner.candidate_energy_mj(&cands[b], bandwidth))
+                                .expect("finite energies")
+                        })
+                        .expect("ladder is non-empty");
+                    vec![cheapest]
+                } else {
+                    feasible
+                };
+                for i in pool {
+                    let c = &cands[i];
+                    let dl = c.bits / bandwidth;
+                    let (stall, b_next) =
+                        dp_transition(b, dl, cfg.buffer_threshold_sec, gran);
+                    // A stall costs QoE directly: subtract a large reward
+                    // penalty so the DP only stalls when unavoidable.
+                    let reward = c.q_vf - stall * 1.0e4;
+                    let total = value[s] + reward;
+                    let ns = level_state(b_next);
+                    if total > next_value[ns] {
+                        next_value[ns] = total;
+                        next_first[ns] = first[s].or(if h == 0 { Some((i, 0)) } else { None });
+                    }
+                }
+            }
+            value = next_value;
+            first = next_first;
+        }
+
+        let best = (0..n_states)
+            .filter(|&s| value[s] > NEG_INF)
+            .max_by(|&a, &b| value[a].partial_cmp(&value[b]).expect("finite values"));
+        let choice = best
+            .and_then(|s| first[s])
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let c = &per_step[0][choice];
+        SegmentPlan {
+            quality: c.quality,
+            fps: c.fps,
+            bits: c.bits,
+            decode_scheme: DecoderScheme::Ptile,
+            effective_bitrate_mbps: self.sizer.effective_bitrate_mbps(c.quality),
+        }
+    }
+}
+
+impl Controller for EnergyBudgetController {
+    fn plan(&mut self, ctx: &SegmentContext) -> SegmentPlan {
+        assert!(
+            ctx.predicted_bandwidth_bps > 0.0,
+            "bandwidth estimate must be positive"
+        );
+        if !ctx.ptile_available {
+            // Same fallback as Ours: conventional tiles, but clamp the
+            // quality so the budget still roughly holds.
+            let mut fallback = crate::baselines::RateBasedController::new(Scheme::Ctile);
+            return fallback.plan(ctx);
+        }
+        self.solve(ctx)
+    }
+
+    fn scheme(&self) -> Scheme {
+        // Reported as Ours-family: it streams Ptiles with the MPC machinery.
+        Scheme::Ours
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ee360_video::content::SiTi;
+
+    fn ctx(bandwidth: f64) -> SegmentContext {
+        let mut c = SegmentContext::example(SiTi::new(60.0, 25.0), bandwidth);
+        c.upcoming = vec![SiTi::new(60.0, 25.0); 5];
+        c
+    }
+
+    fn energy_of(plan: &SegmentPlan, bandwidth: f64) -> f64 {
+        use ee360_power::energy::{SegmentEnergy, SegmentEnergyParams};
+        use ee360_power::model::{Phone, PowerModel};
+        SegmentEnergy::compute(
+            &PowerModel::for_phone(Phone::Pixel3),
+            SegmentEnergyParams {
+                bits: plan.bits,
+                bandwidth_bps: bandwidth,
+                fps: plan.fps,
+                duration_sec: 1.0,
+                scheme: plan.decode_scheme,
+            },
+        )
+        .total_mj()
+    }
+
+    #[test]
+    fn respects_budget_when_feasible() {
+        let bw = 8.0e6;
+        for budget in [800.0, 1200.0, 2000.0] {
+            let mut c = EnergyBudgetController::new(budget);
+            let plan = c.plan(&ctx(bw));
+            let e = energy_of(&plan, bw);
+            assert!(e <= budget + 1e-6, "budget {budget}: spent {e}");
+        }
+    }
+
+    #[test]
+    fn quality_monotone_in_budget() {
+        let bw = 8.0e6;
+        let mut prev = 0usize;
+        for budget in [700.0, 1000.0, 1500.0, 3000.0] {
+            let mut c = EnergyBudgetController::new(budget);
+            let q = c.plan(&ctx(bw)).quality.index();
+            assert!(q >= prev, "budget {budget}: quality {q} < {prev}");
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn infeasible_budget_falls_back_to_cheapest() {
+        let bw = 4.0e6;
+        let mut c = EnergyBudgetController::new(1.0); // impossible budget
+        let plan = c.plan(&ctx(bw));
+        // Must still produce a valid (cheapest) plan rather than panic.
+        assert!(plan.bits > 0.0);
+        assert_eq!(plan.quality.index(), 1);
+    }
+
+    #[test]
+    fn generous_budget_reaches_top_quality() {
+        let mut c = EnergyBudgetController::new(1.0e6);
+        let plan = c.plan(&ctx(20.0e6));
+        assert_eq!(plan.quality.index(), 5);
+        assert_eq!(plan.fps, 30.0);
+    }
+
+    #[test]
+    fn falls_back_without_ptile() {
+        let mut c = EnergyBudgetController::new(2000.0);
+        let mut context = ctx(4.0e6);
+        context.ptile_available = false;
+        let plan = c.plan(&context);
+        assert_eq!(plan.decode_scheme, DecoderScheme::Ctile);
+    }
+
+    #[test]
+    fn avoids_stalls_within_budget() {
+        let bw = 3.0e6;
+        let mut context = ctx(bw);
+        context.buffer_sec = 1.0;
+        let mut c = EnergyBudgetController::new(2500.0);
+        let plan = c.plan(&context);
+        assert!(
+            plan.bits / bw <= 1.0 + 1e-9,
+            "stalling plan under a workable budget"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be positive")]
+    fn zero_budget_panics() {
+        let _ = EnergyBudgetController::new(0.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn budget_respected_across_random_contexts(
+                bw in 1.0e6f64..20.0e6,
+                budget in 600.0f64..4000.0,
+                si in 30.0f64..90.0,
+                ti in 5.0f64..40.0,
+            ) {
+                let mut c = EnergyBudgetController::new(budget);
+                let mut context = ctx(bw);
+                context.upcoming = vec![SiTi::new(si, ti); 5];
+                let plan = c.plan(&context);
+                let e = energy_of(&plan, bw);
+                // Either the plan fits the budget, or the budget is below
+                // even the cheapest candidate (fallback case).
+                let mut cheapest = EnergyBudgetController::new(1e-9_f64.max(1.0));
+                let min_plan = cheapest.plan(&context);
+                let min_e = energy_of(&min_plan, bw);
+                prop_assert!(
+                    e <= budget + 1e-6 || (e - min_e).abs() < 1e-6,
+                    "budget {budget}, spent {e}, floor {min_e}"
+                );
+            }
+
+            #[test]
+            fn plans_always_valid(
+                bw in 0.5e6f64..20.0e6,
+                budget in 100.0f64..5000.0,
+            ) {
+                let mut c = EnergyBudgetController::new(budget);
+                let plan = c.plan(&ctx(bw));
+                prop_assert!(plan.bits.is_finite() && plan.bits > 0.0);
+                prop_assert!(plan.fps >= 21.0 && plan.fps <= 30.0);
+            }
+        }
+    }
+}

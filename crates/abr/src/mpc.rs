@@ -1,0 +1,612 @@
+//! "Ours": the MPC controller with the dynamic-programming solver
+//! (Section IV-C).
+//!
+//! Each segment, the controller
+//!
+//! 1. reads the buffer `B_k` and the prefetched metadata for the next `H`
+//!    segments,
+//! 2. takes the harmonic-mean bandwidth estimate for the horizon,
+//! 3. solves Eq. 8 over segments `k..k+H−1` with a DP over discretised
+//!    buffer states (500 ms granularity), minimising energy subject to the
+//!    buffer constraint (Eq. 7, enforced as a large stall penalty so a
+//!    feasible path always exists) and the QoE-loss constraint (8c,
+//!    `Q(v,f) ≥ (1−ε)·Q(v_m,f_m)` with ε = 5%),
+//! 4. issues the first decision and slides the window (steps (d)–(e)).
+//!
+//! The DP is `O(H · |B| · V · F)` — the paper's `O(HVF)` times the small
+//! constant number of buffer states.
+//!
+//! When no Ptile covers the predicted viewport the controller downloads
+//! conventional tiles at the best sustainable quality, as the paper's
+//! client does (Section IV-B).
+
+use serde::{Deserialize, Serialize};
+
+use ee360_power::model::{DecoderScheme, Phone, PowerModel};
+use ee360_predict::forecast::ArForecaster;
+use ee360_qoe::framerate::{alpha, framerate_factor};
+use ee360_qoe::quality::QoModel;
+use ee360_video::content::SiTi;
+use ee360_video::ladder::{EncodingLadder, QualityLevel};
+use ee360_video::segment::SEGMENT_DURATION_SEC;
+
+use crate::baselines::RateBasedController;
+use crate::controller::{Controller, Scheme};
+use crate::plan::{SegmentContext, SegmentPlan};
+use crate::sizer::{SchemeSizer, FOV_AREA_FRACTION};
+
+/// MPC tuning (paper values by default).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MpcConfig {
+    /// Look-ahead horizon `H` in segments.
+    pub horizon: usize,
+    /// QoE loss tolerance ε of constraint (8c).
+    pub epsilon: f64,
+    /// Buffer-state granularity, seconds (the paper discretises at 500 ms).
+    pub buffer_granularity_sec: f64,
+    /// Buffer threshold β, seconds.
+    pub buffer_threshold_sec: f64,
+    /// Penalty per second of predicted stall, in mJ — large enough that the
+    /// DP only stalls when physically unavoidable (Eq. 7 as a soft-exact
+    /// constraint).
+    pub stall_penalty_mj_per_sec: f64,
+    /// Which phone's Table I models price the energy.
+    pub phone: Phone,
+    /// Extension (off by default, not in the paper): replace the constant
+    /// horizon bandwidth with an AR(1) per-step forecast fitted to the
+    /// observed throughputs. See the ablations for its effect.
+    pub use_forecast: bool,
+}
+
+impl MpcConfig {
+    /// The paper's configuration: H = 5, ε = 5%, 500 ms buffer states,
+    /// β = 3 s, Pixel 3.
+    pub fn paper_default() -> Self {
+        Self {
+            horizon: 5,
+            epsilon: 0.05,
+            buffer_granularity_sec: 0.5,
+            buffer_threshold_sec: 3.0,
+            stall_penalty_mj_per_sec: 1.0e7,
+            phone: Phone::Pixel3,
+            use_forecast: false,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.horizon >= 1, "horizon must be at least 1");
+        assert!(
+            (0.0..1.0).contains(&self.epsilon),
+            "epsilon must be in [0, 1)"
+        );
+        assert!(
+            self.buffer_granularity_sec > 0.0,
+            "buffer granularity must be positive"
+        );
+        assert!(
+            self.buffer_threshold_sec >= self.buffer_granularity_sec,
+            "threshold must be at least one granule"
+        );
+        assert!(
+            self.stall_penalty_mj_per_sec > 0.0,
+            "stall penalty must be positive"
+        );
+    }
+}
+
+impl Default for MpcConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// One candidate (quality, frame-rate) tuple with its precomputed bits.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Candidate {
+    pub(crate) quality: QualityLevel,
+    pub(crate) fps: f64,
+    pub(crate) bits: f64,
+    /// Frame-rate-scaled Q_o for constraint (8c).
+    pub(crate) q_vf: f64,
+}
+
+/// The deterministic buffer transition the DP and the oracle share.
+///
+/// Takes the discrete buffer level at request time, returns the stall time
+/// and the next discrete level (after Eq. 6's `max`, segment append and
+/// wait-trim to β), both rounded to the grid.
+pub(crate) fn dp_transition(
+    buffer_sec: f64,
+    download_sec: f64,
+    threshold_sec: f64,
+    granularity_sec: f64,
+) -> (f64, f64) {
+    let stall = (download_sec - buffer_sec).max(0.0);
+    let after = ((buffer_sec - download_sec).max(0.0) + SEGMENT_DURATION_SEC)
+        .min(threshold_sec);
+    // Round down to the grid (conservative: never assumes more buffer).
+    let snapped = (after / granularity_sec).floor() * granularity_sec;
+    (stall, snapped.max(0.0))
+}
+
+/// The Ours controller.
+#[derive(Debug, Clone)]
+pub struct MpcController {
+    config: MpcConfig,
+    sizer: SchemeSizer,
+    ladder: EncodingLadder,
+    qo: QoModel,
+    power: PowerModel,
+    fallback: RateBasedController,
+    forecaster: Option<ArForecaster>,
+}
+
+impl MpcController {
+    /// Creates the controller with the paper's models and configuration.
+    pub fn paper_default() -> Self {
+        Self::new(MpcConfig::paper_default())
+    }
+
+    /// Creates the controller with a custom configuration.
+    pub fn new(config: MpcConfig) -> Self {
+        config.validate();
+        Self {
+            config,
+            sizer: SchemeSizer::paper_default(),
+            ladder: EncodingLadder::paper_default(),
+            qo: QoModel::paper_default(),
+            power: PowerModel::for_phone(config.phone),
+            fallback: RateBasedController::new(Scheme::Ctile),
+            forecaster: config
+                .use_forecast
+                .then(ArForecaster::paper_default),
+        }
+    }
+
+    /// Replaces the frame-rate ladder (ablations: single-rate = the Ptile
+    /// baseline's ladder).
+    pub fn with_ladder(mut self, ladder: EncodingLadder) -> Self {
+        self.ladder = ladder;
+        self
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> &MpcConfig {
+        &self.config
+    }
+
+    /// Candidate (v, f) tuples for a segment with the given content,
+    /// switching speed and Ptile geometry.
+    pub(crate) fn candidates(&self, content: SiTi, s_fov: f64, area: f64, bg_blocks: usize) -> Vec<Candidate> {
+        let a = alpha(s_fov, content.ti());
+        let max_fps = self.ladder.max_frame_rate().fps();
+        self.ladder
+            .variants()
+            .into_iter()
+            .map(|(q, f)| {
+                let bits = self
+                    .sizer
+                    .ptile_bits(q, f.fps(), area, bg_blocks, content);
+                let q_o = self.qo.q_o(content, self.sizer.effective_bitrate_mbps(q));
+                let q_vf = q_o * framerate_factor(f.fps(), max_fps, a);
+                Candidate {
+                    quality: q,
+                    fps: f.fps(),
+                    bits,
+                    q_vf,
+                }
+            })
+            .collect()
+    }
+
+    /// The (8c) reference quality `Q(v_m, f_m)`: the best candidate quality
+    /// that "can be successfully downloaded" — sustainably, i.e. within one
+    /// segment duration at the estimated bandwidth, the same rule the
+    /// baselines' "best possible quality" uses. (`_buffer_sec` is accepted
+    /// for signature stability; the sustainable rule does not depend on it.)
+    pub(crate) fn reference_quality(&self, candidates: &[Candidate], _buffer_sec: f64, bandwidth_bps: f64) -> f64 {
+        let mut best: Option<f64> = None;
+        for c in candidates {
+            let dl = c.bits / bandwidth_bps;
+            if dl <= SEGMENT_DURATION_SEC {
+                best = Some(best.map_or(c.q_vf, |b: f64| b.max(c.q_vf)));
+            }
+        }
+        // Nothing downloadable without stalling: reference from the
+        // cheapest candidate so the constraint stays satisfiable.
+        best.unwrap_or_else(|| {
+            candidates
+                .iter()
+                .min_by(|a, b| a.bits.partial_cmp(&b.bits).expect("finite bits"))
+                .map(|c| c.q_vf)
+                .unwrap_or(0.0)
+        })
+    }
+
+    /// Per-segment energy (Eq. 1) of a candidate at the predicted rate.
+    pub(crate) fn candidate_energy_mj(&self, c: &Candidate, bandwidth_bps: f64) -> f64 {
+        let dl = c.bits / bandwidth_bps;
+        self.power.transmission_power_mw() * dl
+            + self.power.decode_power_mw(DecoderScheme::Ptile, c.fps) * SEGMENT_DURATION_SEC
+            + self.power.render_power_mw(c.fps) * SEGMENT_DURATION_SEC
+    }
+
+    /// The per-step bandwidths the DP plans against: the AR forecast when
+    /// enabled and warm, otherwise the context's constant estimate.
+    fn horizon_bandwidths(&self, ctx: &SegmentContext) -> Vec<f64> {
+        let h = self.config.horizon;
+        if let Some(f) = &self.forecaster {
+            if let Some(fc) = f.forecast(h) {
+                return fc;
+            }
+        }
+        vec![ctx.predicted_bandwidth_bps; h]
+    }
+
+    /// Solves the horizon DP and returns the first segment's decision.
+    fn solve(&self, ctx: &SegmentContext) -> (QualityLevel, f64, f64) {
+        let bandwidths = self.horizon_bandwidths(ctx);
+        self.solve_with_bandwidths(ctx, &bandwidths)
+    }
+
+    /// The DP core with explicit per-step bandwidths (exposed within the
+    /// crate so tests and ablations can inject forecasts directly).
+    pub(crate) fn solve_with_bandwidths(
+        &self,
+        ctx: &SegmentContext,
+        bandwidths: &[f64],
+    ) -> (QualityLevel, f64, f64) {
+        assert_eq!(
+            bandwidths.len(),
+            self.config.horizon,
+            "one bandwidth per horizon step"
+        );
+        let cfg = &self.config;
+        let gran = cfg.buffer_granularity_sec;
+        let n_states = (cfg.buffer_threshold_sec / gran).round() as usize + 1;
+        let state_level = |i: usize| i as f64 * gran;
+        let level_state = |b: f64| {
+            ((b / gran).floor() as usize).min(n_states - 1)
+        };
+        let area = ctx.ptile_area_frac.max(FOV_AREA_FRACTION);
+
+        // Precompute per-horizon-step candidates (content varies over the
+        // horizon; switching speed and geometry are held at current values,
+        // the only information the client has).
+        let horizon = cfg.horizon;
+        let per_step: Vec<Vec<Candidate>> = (0..horizon)
+            .map(|h| {
+                let content = *ctx
+                    .upcoming
+                    .get(h)
+                    .or_else(|| ctx.upcoming.last())
+                    .expect("context has at least one segment");
+                self.candidates(content, ctx.switching_speed_deg_s, area, ctx.background_blocks)
+            })
+            .collect();
+
+        const INF: f64 = f64::INFINITY;
+        // cost[state] and the first decision that reached it.
+        let mut cost = vec![INF; n_states];
+        let mut first: Vec<Option<(QualityLevel, f64, f64)>> = vec![None; n_states];
+        let start = level_state(ctx.buffer_sec.min(cfg.buffer_threshold_sec));
+        cost[start] = 0.0;
+
+        for (h, cands) in per_step.iter().take(horizon).enumerate() {
+            let bandwidth = bandwidths[h];
+            let mut next_cost = vec![INF; n_states];
+            let mut next_first: Vec<Option<(QualityLevel, f64, f64)>> = vec![None; n_states];
+            for s in 0..n_states {
+                if cost[s].is_infinite() {
+                    continue;
+                }
+                let b = state_level(s);
+                let q_ref = self.reference_quality(cands, b, bandwidth);
+                let q_floor = (1.0 - cfg.epsilon) * q_ref;
+                for c in cands {
+                    // Constraint (8c).
+                    if c.q_vf + 1e-9 < q_floor {
+                        continue;
+                    }
+                    let dl = c.bits / bandwidth;
+                    let (stall, b_next) =
+                        dp_transition(b, dl, cfg.buffer_threshold_sec, gran);
+                    let step_cost = self.candidate_energy_mj(c, bandwidth)
+                        + stall * cfg.stall_penalty_mj_per_sec;
+                    let total = cost[s] + step_cost;
+                    let ns = level_state(b_next);
+                    if total < next_cost[ns] {
+                        next_cost[ns] = total;
+                        next_first[ns] = first[s]
+                            .or(Some((c.quality, c.fps, c.bits)));
+                    }
+                }
+            }
+            cost = next_cost;
+            first = next_first;
+        }
+
+        // Min-energy terminal state, backtracked to the first decision.
+        let best = (0..n_states)
+            .filter(|&s| cost[s].is_finite())
+            .min_by(|&a, &b| cost[a].partial_cmp(&cost[b]).expect("finite costs"));
+        match best.and_then(|s| first[s]) {
+            Some(decision) => decision,
+            None => {
+                // Pathological (e.g. every candidate violates 8c at every
+                // state, which reference_quality prevents): cheapest tuple.
+                let c = per_step[0]
+                    .iter()
+                    .min_by(|a, b| a.bits.partial_cmp(&b.bits).expect("finite bits"))
+                    .expect("ladder is non-empty");
+                (c.quality, c.fps, c.bits)
+            }
+        }
+    }
+}
+
+impl Controller for MpcController {
+    fn plan(&mut self, ctx: &SegmentContext) -> SegmentPlan {
+        assert!(
+            ctx.predicted_bandwidth_bps > 0.0,
+            "bandwidth estimate must be positive"
+        );
+        if !ctx.ptile_available {
+            // Section IV-B: no covering Ptile → conventional tiles at the
+            // best sustainable quality.
+            return self.fallback.plan(ctx);
+        }
+        let (quality, fps, bits) = self.solve(ctx);
+        SegmentPlan {
+            quality,
+            fps,
+            bits,
+            decode_scheme: DecoderScheme::Ptile,
+            effective_bitrate_mbps: self.sizer.effective_bitrate_mbps(quality),
+        }
+    }
+
+    fn scheme(&self) -> Scheme {
+        Scheme::Ours
+    }
+
+    fn observe_throughput(&mut self, throughput_bps: f64) {
+        if let Some(f) = &mut self.forecaster {
+            f.observe(throughput_bps);
+        }
+    }
+
+    fn reset(&mut self) {
+        if let Some(f) = &mut self.forecaster {
+            f.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ee360_video::content::SiTi;
+
+    fn ctx(bandwidth: f64) -> SegmentContext {
+        let content = SiTi::new(60.0, 25.0);
+        SegmentContext {
+            index: 0,
+            upcoming: vec![content; 5],
+            predicted_bandwidth_bps: bandwidth,
+            buffer_sec: 3.0,
+            switching_speed_deg_s: 8.0,
+            ptile_available: true,
+            ptile_area_frac: 9.0 / 32.0,
+            background_blocks: 3,
+            ftile_fov_area: 0.0,
+            ftile_fov_tiles: 0,
+        }
+    }
+
+    #[test]
+    fn produces_valid_plans() {
+        let mut c = MpcController::paper_default();
+        for bw in [1.0e6, 2.5e6, 4.0e6, 8.0e6, 16.0e6] {
+            let plan = c.plan(&ctx(bw));
+            assert!(plan.bits > 0.0);
+            assert!(plan.fps >= 21.0 && plan.fps <= 30.0);
+            assert!(plan.quality.index() >= 1 && plan.quality.index() <= 5);
+            assert_eq!(plan.decode_scheme, DecoderScheme::Ptile);
+        }
+    }
+
+    #[test]
+    fn saves_energy_vs_always_max_quality() {
+        // Under comfortable bandwidth, Ours should NOT pick the most
+        // expensive tuple — that is the whole point of Eq. 8.
+        let mut c = MpcController::paper_default();
+        let plan = c.plan(&ctx(8.0e6));
+        assert!(
+            plan.quality < QualityLevel::Q5 || plan.fps < 30.0,
+            "picked the maximum tuple: {plan:?}"
+        );
+    }
+
+    #[test]
+    fn respects_qoe_constraint() {
+        // The chosen tuple's quality must stay within ε of the best
+        // downloadable tuple's quality.
+        let c = MpcController::paper_default();
+        let context = ctx(8.0e6);
+        let cands = c.candidates(
+            context.content(),
+            context.switching_speed_deg_s,
+            context.ptile_area_frac,
+            context.background_blocks,
+        );
+        let q_ref = c.reference_quality(&cands, context.buffer_sec, 8.0e6);
+        let mut ctrl = c.clone();
+        let plan = ctrl.plan(&context);
+        let chosen = cands
+            .iter()
+            .find(|cand| cand.quality == plan.quality && (cand.fps - plan.fps).abs() < 1e-9)
+            .expect("plan must come from the candidate set");
+        assert!(
+            chosen.q_vf >= (1.0 - 0.05) * q_ref - 1e-6,
+            "Q(v,f) = {} below the floor {}",
+            chosen.q_vf,
+            0.95 * q_ref
+        );
+    }
+
+    #[test]
+    fn fast_switching_allows_framerate_reduction() {
+        // High S_fov over calm content (large α) makes reduced rates cheap
+        // in QoE, so the optimiser should take them.
+        let mut c = MpcController::paper_default();
+        let mut fast = ctx(6.0e6);
+        fast.switching_speed_deg_s = 60.0;
+        fast.upcoming = vec![SiTi::new(60.0, 8.0); 5]; // low TI
+        let plan_fast = c.plan(&fast);
+
+        let mut slow = ctx(6.0e6);
+        slow.switching_speed_deg_s = 0.5;
+        slow.upcoming = vec![SiTi::new(60.0, 45.0); 5]; // high TI
+        let plan_slow = c.plan(&slow);
+
+        assert!(
+            plan_fast.fps <= plan_slow.fps,
+            "fast {} vs slow {}",
+            plan_fast.fps,
+            plan_slow.fps
+        );
+        assert!(plan_fast.fps < 30.0, "expected a reduced rate: {plan_fast:?}");
+    }
+
+    #[test]
+    fn falls_back_to_ctile_without_ptile() {
+        let mut c = MpcController::paper_default();
+        let mut context = ctx(4.0e6);
+        context.ptile_available = false;
+        let plan = c.plan(&context);
+        assert_eq!(plan.decode_scheme, DecoderScheme::Ctile);
+        assert_eq!(plan.fps, 30.0);
+    }
+
+    #[test]
+    fn avoids_stall_under_tight_bandwidth() {
+        // With a thin buffer and slow network, the DP must choose a tuple
+        // that downloads in time rather than a stalling high quality.
+        let mut c = MpcController::paper_default();
+        let mut context = ctx(2.5e6);
+        context.buffer_sec = 1.0;
+        let plan = c.plan(&context);
+        let dl = plan.bits / 2.5e6;
+        assert!(
+            dl <= 1.0 + 1e-9,
+            "chose a stalling plan: download {dl}s with 1s buffered"
+        );
+    }
+
+    #[test]
+    fn energy_no_worse_than_ptile_baseline_choice() {
+        // Ours must never spend more energy than the Ptile baseline's
+        // "best quality at full rate" choice under identical conditions.
+        let cfg = MpcConfig::paper_default();
+        let c = MpcController::new(cfg);
+        let context = ctx(6.0e6);
+        let cands = c.candidates(
+            context.content(),
+            context.switching_speed_deg_s,
+            context.ptile_area_frac,
+            context.background_blocks,
+        );
+        // Ptile baseline: best quality fitting in one segment duration.
+        let baseline = cands
+            .iter()
+            .filter(|cand| (cand.fps - 30.0).abs() < 1e-9)
+            .filter(|cand| cand.bits <= 6.0e6)
+            .max_by_key(|cand| cand.quality.index())
+            .expect("some full-rate candidate fits");
+        let mut ctrl = c.clone();
+        let plan = ctrl.plan(&context);
+        let ours = cands
+            .iter()
+            .find(|cand| cand.quality == plan.quality && (cand.fps - plan.fps).abs() < 1e-9)
+            .unwrap();
+        assert!(
+            c.candidate_energy_mj(ours, 6.0e6) <= c.candidate_energy_mj(baseline, 6.0e6) + 1e-6
+        );
+    }
+
+    #[test]
+    fn single_rate_ladder_behaves_like_ptile_baseline_rates() {
+        let mut c = MpcController::paper_default()
+            .with_ladder(EncodingLadder::single_rate(30.0));
+        let plan = c.plan(&ctx(6.0e6));
+        assert_eq!(plan.fps, 30.0);
+    }
+
+    #[test]
+    fn dp_transition_rounds_down() {
+        let (stall, b) = dp_transition(1.0, 0.3, 3.0, 0.5);
+        assert_eq!(stall, 0.0);
+        assert_eq!(b, 1.5); // 0.7 + 1.0 = 1.7 → floor to 1.5
+        let (stall2, b2) = dp_transition(0.5, 2.0, 3.0, 0.5);
+        assert!((stall2 - 1.5).abs() < 1e-12);
+        assert_eq!(b2, 1.0);
+    }
+
+    #[test]
+    fn transition_caps_at_threshold() {
+        let (_, b) = dp_transition(3.0, 0.0, 3.0, 0.5);
+        assert_eq!(b, 3.0);
+    }
+
+    #[test]
+    fn forecast_controller_produces_valid_plans() {
+        let mut cfg = MpcConfig::paper_default();
+        cfg.use_forecast = true;
+        let mut c = MpcController::new(cfg);
+        // Cold start: falls back to the constant estimate.
+        let plan_cold = c.plan(&ctx(5.0e6));
+        assert!(plan_cold.bits > 0.0);
+        // Warm up the forecaster with a falling trend, then replan.
+        for i in 0..8 {
+            c.observe_throughput(8.0e6 - i as f64 * 0.8e6);
+        }
+        let plan_warm = c.plan(&ctx(5.0e6));
+        assert!(plan_warm.bits > 0.0);
+        c.reset(); // must not panic and clears the forecaster
+    }
+
+    #[test]
+    fn falling_forecast_banks_buffer() {
+        // Explicit per-step bandwidths: plenty now, collapsing later. The
+        // horizon-aware DP must not pick a bigger first download than the
+        // constant-bandwidth plan — it banks buffer for the crunch.
+        let c = MpcController::paper_default();
+        let mut context = ctx(6.0e6);
+        context.buffer_sec = 1.0;
+        let falling = [6.0e6, 6.0e6, 0.8e6, 0.8e6, 0.8e6];
+        let (_, _, bits_falling) = c.solve_with_bandwidths(&context, &falling);
+        let constant = [6.0e6; 5];
+        let (_, _, bits_constant) = c.solve_with_bandwidths(&context, &constant);
+        assert!(
+            bits_falling <= bits_constant + 1e-6,
+            "falling {bits_falling} vs constant {bits_constant}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one bandwidth per horizon step")]
+    fn wrong_forecast_length_panics() {
+        let c = MpcController::paper_default();
+        let context = ctx(5.0e6);
+        let _ = c.solve_with_bandwidths(&context, &[5.0e6; 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon")]
+    fn zero_horizon_panics() {
+        let mut cfg = MpcConfig::paper_default();
+        cfg.horizon = 0;
+        let _ = MpcController::new(cfg);
+    }
+}

@@ -1,0 +1,250 @@
+//! A brute-force horizon optimiser that certifies the DP.
+//!
+//! Enumerates every `(v, f)` sequence over the horizon under exactly the
+//! same discretised transition and cost rules as [`crate::mpc`]'s dynamic
+//! program. By Bellman optimality the DP must achieve the same minimum
+//! cost; the test suite asserts this on randomised instances, and the
+//! ablation benches use the oracle to price the DP's speed-up.
+
+use ee360_video::ladder::QualityLevel;
+
+use crate::mpc::{dp_transition, MpcController};
+use crate::plan::SegmentContext;
+use crate::sizer::FOV_AREA_FRACTION;
+
+/// The exhaustive optimum over the horizon: minimum total cost (energy +
+/// stall penalty, mJ) and the first decision of an optimal sequence.
+///
+/// Exponential in the horizon (`(V·F)^H` sequences) — only use with small
+/// `H`.
+///
+/// # Panics
+///
+/// Panics if the context has no Ptile available (the oracle models the
+/// Ptile path only) or the bandwidth is not positive.
+pub fn brute_force_optimum(
+    controller: &MpcController,
+    ctx: &SegmentContext,
+) -> (f64, QualityLevel, f64) {
+    assert!(ctx.ptile_available, "oracle only covers the Ptile path");
+    assert!(
+        !controller.config().use_forecast,
+        "oracle certifies the constant-bandwidth DP only"
+    );
+    assert!(
+        ctx.predicted_bandwidth_bps > 0.0,
+        "bandwidth must be positive"
+    );
+    let cfg = *controller.config();
+    let bandwidth = ctx.predicted_bandwidth_bps;
+    let area = ctx.ptile_area_frac.max(FOV_AREA_FRACTION);
+
+    let per_step: Vec<_> = (0..cfg.horizon)
+        .map(|h| {
+            let content = *ctx
+                .upcoming
+                .get(h)
+                .or_else(|| ctx.upcoming.last())
+                .expect("context has at least one segment");
+            controller.candidates(content, ctx.switching_speed_deg_s, area, ctx.background_blocks)
+        })
+        .collect();
+
+    let gran = cfg.buffer_granularity_sec;
+    // Snap the start state exactly as the DP does.
+    let start = ((ctx.buffer_sec.min(cfg.buffer_threshold_sec) / gran).floor()) * gran;
+
+    let mut best_cost = f64::INFINITY;
+    let mut best_first: Option<(QualityLevel, f64)> = None;
+
+    // Depth-first enumeration of all candidate sequences.
+    #[allow(clippy::too_many_arguments)]
+    fn recurse(
+        controller: &MpcController,
+        per_step: &[Vec<crate::mpc::Candidate>],
+        h: usize,
+        buffer: f64,
+        cost_so_far: f64,
+        first: Option<(QualityLevel, f64)>,
+        bandwidth: f64,
+        threshold: f64,
+        gran: f64,
+        epsilon: f64,
+        stall_penalty: f64,
+        best_cost: &mut f64,
+        best_first: &mut Option<(QualityLevel, f64)>,
+    ) {
+        if h == per_step.len() {
+            if cost_so_far < *best_cost {
+                *best_cost = cost_so_far;
+                *best_first = first;
+            }
+            return;
+        }
+        let cands = &per_step[h];
+        let q_ref = controller.reference_quality(cands, buffer, bandwidth);
+        let floor = (1.0 - epsilon) * q_ref;
+        for c in cands {
+            if c.q_vf + 1e-9 < floor {
+                continue;
+            }
+            let dl = c.bits / bandwidth;
+            let (stall, next) = dp_transition(buffer, dl, threshold, gran);
+            let step = controller.candidate_energy_mj(c, bandwidth) + stall * stall_penalty;
+            recurse(
+                controller,
+                per_step,
+                h + 1,
+                next,
+                cost_so_far + step,
+                first.or(Some((c.quality, c.fps))),
+                bandwidth,
+                threshold,
+                gran,
+                epsilon,
+                stall_penalty,
+                best_cost,
+                best_first,
+            );
+        }
+    }
+
+    recurse(
+        controller,
+        &per_step,
+        0,
+        start,
+        0.0,
+        None,
+        bandwidth,
+        cfg.buffer_threshold_sec,
+        gran,
+        cfg.epsilon,
+        cfg.stall_penalty_mj_per_sec,
+        &mut best_cost,
+        &mut best_first,
+    );
+
+    let (q, f) = best_first.expect("at least one sequence is always feasible");
+    (best_cost, q, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::Controller;
+    use crate::mpc::MpcConfig;
+    use ee360_video::content::SiTi;
+
+    fn small_controller(horizon: usize) -> MpcController {
+        let mut cfg = MpcConfig::paper_default();
+        cfg.horizon = horizon;
+        MpcController::new(cfg)
+    }
+
+    fn ctx(bandwidth: f64, buffer: f64, ti: f64, s_fov: f64) -> SegmentContext {
+        SegmentContext {
+            index: 0,
+            upcoming: vec![SiTi::new(60.0, ti); 3],
+            predicted_bandwidth_bps: bandwidth,
+            buffer_sec: buffer,
+            switching_speed_deg_s: s_fov,
+            ptile_available: true,
+            ptile_area_frac: 9.0 / 32.0,
+            background_blocks: 3,
+            ftile_fov_area: 0.0,
+            ftile_fov_tiles: 0,
+        }
+    }
+
+    /// The DP's chosen first decision must be cost-equivalent to the
+    /// brute-force optimum: evaluate the DP's full-horizon cost by
+    /// re-running the oracle constrained to the DP's first choice.
+    #[test]
+    fn dp_matches_brute_force_on_grid_of_instances() {
+        for &bw in &[2.0e6, 3.5e6, 6.0e6, 10.0e6] {
+            for &buffer in &[0.5, 1.5, 3.0] {
+                for &(ti, s_fov) in &[(10.0, 30.0), (25.0, 8.0), (45.0, 2.0)] {
+                    let controller = small_controller(3);
+                    let context = ctx(bw, buffer, ti, s_fov);
+                    let (oracle_cost, _oq, _of) =
+                        brute_force_optimum(&controller, &context);
+                    let mut ctrl = controller.clone();
+                    let plan = ctrl.plan(&context);
+                    // Oracle constrained to start with the DP's choice.
+                    let constrained = constrained_cost(
+                        &controller,
+                        &context,
+                        plan.quality,
+                        plan.fps,
+                    );
+                    assert!(
+                        constrained <= oracle_cost + 1e-6,
+                        "bw={bw} buf={buffer} ti={ti}: DP first move costs \
+                         {constrained}, oracle {oracle_cost}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Minimum horizon cost when the first decision is forced.
+    fn constrained_cost(
+        controller: &MpcController,
+        ctx: &SegmentContext,
+        quality: QualityLevel,
+        fps: f64,
+    ) -> f64 {
+        let cfg = *controller.config();
+        let bandwidth = ctx.predicted_bandwidth_bps;
+        let area = ctx.ptile_area_frac.max(FOV_AREA_FRACTION);
+        let cands = controller.candidates(
+            ctx.content(),
+            ctx.switching_speed_deg_s,
+            area,
+            ctx.background_blocks,
+        );
+        let gran = cfg.buffer_granularity_sec;
+        let start = ((ctx.buffer_sec.min(cfg.buffer_threshold_sec) / gran).floor()) * gran;
+        let first = cands
+            .iter()
+            .find(|c| c.quality == quality && (c.fps - fps).abs() < 1e-9)
+            .expect("forced decision must be a candidate");
+        let dl = first.bits / bandwidth;
+        let (stall, next) = dp_transition(start, dl, cfg.buffer_threshold_sec, gran);
+        let first_cost = controller.candidate_energy_mj(first, bandwidth)
+            + stall * cfg.stall_penalty_mj_per_sec;
+        if cfg.horizon == 1 {
+            return first_cost;
+        }
+        // Remaining horizon: reuse the oracle with a shortened context.
+        let mut rest_cfg = cfg;
+        rest_cfg.horizon = cfg.horizon - 1;
+        let rest_controller = MpcController::new(rest_cfg);
+        let mut rest_ctx = ctx.clone();
+        rest_ctx.buffer_sec = next;
+        if rest_ctx.upcoming.len() > 1 {
+            rest_ctx.upcoming.remove(0);
+        }
+        let (rest_cost, _, _) = brute_force_optimum(&rest_controller, &rest_ctx);
+        first_cost + rest_cost
+    }
+
+    #[test]
+    fn oracle_prefers_cheap_tuples_at_high_alpha() {
+        let controller = small_controller(2);
+        let context = ctx(6.0e6, 3.0, 8.0, 60.0); // α large
+        let (_, q, f) = brute_force_optimum(&controller, &context);
+        // Max quality at max rate is never the energy optimum here.
+        assert!(q < QualityLevel::Q5 || f < 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Ptile path")]
+    fn oracle_requires_ptile() {
+        let controller = small_controller(1);
+        let mut context = ctx(4.0e6, 3.0, 25.0, 8.0);
+        context.ptile_available = false;
+        let _ = brute_force_optimum(&controller, &context);
+    }
+}

@@ -1,0 +1,55 @@
+//! Criterion bench: Algorithm 1 viewing-center clustering.
+//!
+//! The server runs this once per segment over the training population
+//! (40 users in the paper), so the 40-point case is the production load;
+//! larger populations show the quadratic neighbourhood build.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ee360_cluster::algorithm1::{cluster_viewing_centers, ClusteringParams};
+use ee360_cluster::ptile::{build_ptiles, PtileConfig};
+use ee360_geom::grid::TileGrid;
+use ee360_geom::viewport::ViewCenter;
+
+/// Deterministic synthetic population: three clusters plus scattered
+/// outliers, the shape Algorithm 1 sees in production.
+fn population(n: usize) -> Vec<ViewCenter> {
+    (0..n)
+        .map(|i| {
+            let h = i % 3;
+            let base_yaw = [-80.0, 0.0, 80.0][h];
+            let wob = ((i * 2654435761) % 97) as f64 / 97.0; // hash in [0,1)
+            if i % 11 == 0 {
+                ViewCenter::new(wob * 360.0 - 180.0, wob * 80.0 - 40.0)
+            } else {
+                ViewCenter::new(base_yaw + wob * 16.0 - 8.0, wob * 20.0 - 10.0)
+            }
+        })
+        .collect()
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let params = ClusteringParams::paper_default();
+    let mut group = c.benchmark_group("algorithm1");
+    for n in [10usize, 40, 100, 400] {
+        let centers = population(n);
+        group.bench_with_input(BenchmarkId::new("cluster", n), &centers, |b, centers| {
+            b.iter(|| cluster_viewing_centers(black_box(centers), &params));
+        });
+    }
+    group.finish();
+
+    let grid = TileGrid::paper_default();
+    let config = PtileConfig::paper_default();
+    let centers = population(40);
+    c.bench_function("build_ptiles/40users", |b| {
+        b.iter(|| build_ptiles(black_box(&centers), &grid, &config));
+    });
+
+    c.bench_function("ftile_layout/40users", |b| {
+        b.iter(|| ee360_cluster::ftile::FtileLayout::build(black_box(&centers)));
+    });
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

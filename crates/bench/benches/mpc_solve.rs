@@ -1,0 +1,62 @@
+//! Criterion bench: the MPC dynamic program vs. the brute-force oracle.
+//!
+//! The paper's complexity claim is `O(HVF)`; the oracle is `O((VF)^H)`.
+//! The DP must stay microseconds-fast because it runs once per segment on
+//! the client.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ee360_abr::controller::Controller;
+use ee360_abr::mpc::{MpcConfig, MpcController};
+use ee360_abr::oracle::brute_force_optimum;
+use ee360_abr::plan::SegmentContext;
+use ee360_video::content::SiTi;
+
+fn context(horizon: usize) -> SegmentContext {
+    SegmentContext {
+        index: 0,
+        upcoming: (0..horizon)
+            .map(|i| SiTi::new(55.0 + i as f64, 20.0 + (i % 5) as f64))
+            .collect(),
+        predicted_bandwidth_bps: 3.9e6,
+        buffer_sec: 2.5,
+        switching_speed_deg_s: 9.0,
+        ptile_available: true,
+        ptile_area_frac: 12.0 / 32.0,
+        background_blocks: 3,
+        ftile_fov_area: 0.0,
+        ftile_fov_tiles: 0,
+    }
+}
+
+fn controller(horizon: usize) -> MpcController {
+    let mut cfg = MpcConfig::paper_default();
+    cfg.horizon = horizon;
+    MpcController::new(cfg)
+}
+
+fn bench_mpc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpc_dp");
+    for h in [1usize, 3, 5, 10, 20] {
+        let mut ctrl = controller(h);
+        let ctx = context(h);
+        group.bench_with_input(BenchmarkId::new("plan", h), &h, |b, _| {
+            b.iter(|| ctrl.plan(black_box(&ctx)));
+        });
+    }
+    group.finish();
+
+    // The exponential oracle, for the speed-up story (kept tiny).
+    let mut group = c.benchmark_group("brute_force_oracle");
+    for h in [1usize, 2, 3] {
+        let ctrl = controller(h);
+        let ctx = context(h);
+        group.bench_with_input(BenchmarkId::new("enumerate", h), &h, |b, _| {
+            b.iter(|| brute_force_optimum(black_box(&ctrl), black_box(&ctx)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mpc);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Fig. 10: energy comparison on the other two phones.
+//!
+//! Same sweep as Fig. 9(c) but priced with the Nexus 5X and Galaxy S20
+//! power models — the paper shows the same ordering on every phone.
+
+use ee360_bench::{figure_header, RunScale};
+use ee360_abr::controller::Scheme;
+use ee360_core::experiment::Evaluation;
+use ee360_core::report::{fmt3, fmt_pct, TableWriter};
+use ee360_power::model::Phone;
+
+fn main() {
+    let scale = RunScale::from_args();
+    figure_header("Fig. 10", "Energy normalised to Ctile on Nexus 5X and Galaxy S20");
+
+    for phone in [Phone::Nexus5X, Phone::GalaxyS20] {
+        println!("\n{} — normalised energy (avg over 8 videos, traces 1 & 2):", phone.name());
+        let mut sums = [0.0f64; 5];
+        let mut count = 0;
+        for trace1 in [false, true] {
+            let mut config = if trace1 {
+                scale.config_trace1()
+            } else {
+                scale.config_trace2()
+            };
+            config.phone = phone;
+            let eval = Evaluation::prepare(config);
+            let videos: Vec<usize> = (1..=8).collect();
+            let flat = ee360_core::parallel::run_matrix(
+                &eval,
+                &videos,
+                &Scheme::ALL,
+                ee360_core::parallel::default_threads(),
+            );
+            for outs in flat.chunks(Scheme::ALL.len()) {
+                let ctile = outs[0].mean_energy_mj_per_segment;
+                for (i, o) in outs.iter().enumerate() {
+                    sums[i] += o.mean_energy_mj_per_segment / ctile;
+                }
+                count += 1;
+            }
+        }
+        let mut table = TableWriter::new(vec!["scheme", "normalised energy", "saving"]);
+        for (i, s) in Scheme::ALL.iter().enumerate() {
+            let norm = sums[i] / count as f64;
+            table.row(vec![s.label().into(), fmt3(norm), fmt_pct(1.0 - norm)]);
+        }
+        println!("{}", table.render());
+    }
+    println!("paper: the ordering Ours < Ptile < {{Ftile, Nontile}} < Ctile holds on all phones");
+}

@@ -1,0 +1,124 @@
+//! Fig. 11: QoE comparison of the five schemes.
+//!
+//! * (a) per-video QoE under network trace 1,
+//! * (b) per-video QoE under network trace 2,
+//! * (c) QoE normalised to Ctile per trace,
+//! * (d) QoE decomposition (average quality, quality variation,
+//!   rebuffering) for video 8 under trace 2.
+//!
+//! Paper reference points: Ours improves QoE over Ctile by 7.4% (trace 1)
+//! and 18.4% (trace 2); Nontile is the worst; Ours gives up ≤4.6% QoE vs
+//! Ptile in exchange for its energy savings.
+
+use ee360_abr::controller::Scheme;
+use ee360_bench::{figure_header, RunScale};
+use ee360_core::experiment::{Evaluation, SchemeOutcome};
+use ee360_core::parallel::{default_threads, run_matrix};
+use ee360_core::report::{fmt3, fmt_pct, BarChart, TableWriter};
+
+fn main() {
+    let scale = RunScale::from_args();
+    figure_header("Fig. 11", "QoE comparison of the five schemes");
+
+    let eval_t1 = Evaluation::prepare(scale.config_trace1());
+    let eval_t2 = Evaluation::prepare(scale.config_trace2());
+    let videos: Vec<usize> = (1..=8).collect();
+
+    let mut per_trace: Vec<Vec<Vec<SchemeOutcome>>> = Vec::new();
+    for (sub, label, eval) in [("a", "trace 1", &eval_t1), ("b", "trace 2", &eval_t2)] {
+        println!("\nFig. 11({sub}) — mean per-segment QoE, {label}:");
+        let mut table = TableWriter::new(vec![
+            "video", "Ctile", "Ftile", "Nontile", "Ptile", "Ours",
+        ]);
+        let flat = run_matrix(eval, &videos, &Scheme::ALL, default_threads());
+        let all: Vec<Vec<SchemeOutcome>> = flat
+            .chunks(Scheme::ALL.len())
+            .map(|chunk| chunk.to_vec())
+            .collect();
+        for (v, outs) in videos.iter().zip(&all) {
+            table.row(
+                std::iter::once(format!("{v}"))
+                    .chain(outs.iter().map(|o| fmt3(o.mean_qoe)))
+                    .collect(),
+            );
+        }
+        println!("{}", table.render());
+        per_trace.push(all);
+    }
+
+    println!("\nFig. 11(c) — QoE normalised to Ctile:");
+    let mut table = TableWriter::new(vec!["scheme", "trace 1", "trace 2"]);
+    let mut norms = [[0.0f64; 5]; 2];
+    for (t, all) in per_trace.iter().enumerate() {
+        for outs in all {
+            let ctile = outs[0].mean_qoe;
+            for (i, o) in outs.iter().enumerate() {
+                norms[t][i] += o.mean_qoe / ctile / all.len() as f64;
+            }
+        }
+    }
+    for (i, s) in Scheme::ALL.iter().enumerate() {
+        table.row(vec![
+            s.label().into(),
+            fmt3(norms[0][i]),
+            fmt3(norms[1][i]),
+        ]);
+    }
+    println!("{}", table.render());
+    for (t, label) in [(0usize, "trace 1"), (1, "trace 2")] {
+        let mut chart = BarChart::new(format!("normalised QoE, {label} (higher is better)"));
+        for (i, s) in Scheme::ALL.iter().enumerate() {
+            chart.bar(s.label(), norms[t][i]);
+        }
+        println!("{}", chart.render(40));
+    }
+    println!(
+        "Ours vs Ctile: {} (trace 1, paper +7.4%), {} (trace 2, paper +18.4%)",
+        fmt_pct(norms[0][4] - 1.0),
+        fmt_pct(norms[1][4] - 1.0),
+    );
+    println!(
+        "Ours vs Ptile (trace 2): {} (paper −4.6%)",
+        fmt_pct(norms[1][4] / norms[1][3] - 1.0),
+    );
+
+    // SVG of (b) next to the text table.
+    {
+        let mut chart = ee360_viz::charts::GroupedBarChart::new(
+            "Fig. 11(b): mean per-segment QoE, trace 2",
+            "video",
+            "QoE",
+        );
+        chart.categories(videos.iter().map(|v| v.to_string()).collect());
+        for (i, s) in Scheme::ALL.iter().enumerate() {
+            chart.series(
+                s.label(),
+                per_trace[1].iter().map(|outs| outs[i].mean_qoe).collect(),
+            );
+        }
+        if let Err(e) = std::fs::write("results/fig11b_qoe.svg", chart.render(860, 420)) {
+            eprintln!("could not write results/fig11b_qoe.svg: {e}");
+        } else {
+            println!("wrote results/fig11b_qoe.svg");
+        }
+    }
+
+    println!("\nFig. 11(d) — QoE decomposition, video 8, trace 2:");
+    let mut table = TableWriter::new(vec![
+        "scheme",
+        "avg quality",
+        "quality variation",
+        "rebuffering",
+        "stall sec/session",
+    ]);
+    for o in &per_trace[1][7] {
+        table.row(vec![
+            o.scheme.label().into(),
+            fmt3(o.mean_quality),
+            fmt3(o.mean_variation),
+            fmt3(o.mean_rebuffering),
+            fmt3(o.mean_stall_sec),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,84 @@
+//! Fig. 2: the motivation measurements (Section II).
+//!
+//! * (a) transmission energy of the Ptile scheme normalised to the
+//!   conventional tile-based approach — paper: 35% saving;
+//! * (b) decode time and power vs. number of concurrent decoders — paper:
+//!   1 decoder 1.3 s / 241 mW, 9 decoders 0.5 s / 846 mW, Ptile
+//!   0.24 s / 287 mW;
+//! * (c) video-processing energy normalised to the one-decoder scheme —
+//!   paper: Ptile saves 41% vs the best (4-decoder) configuration.
+
+use ee360_bench::figure_header;
+use ee360_core::report::{fmt3, fmt_pct, TableWriter};
+use ee360_power::model::{Phone, PowerModel};
+use ee360_sim::decoder::DecoderPipeline;
+use ee360_video::content::SiTi;
+use ee360_video::ladder::QualityLevel;
+use ee360_video::size_model::SizeModel;
+
+fn main() {
+    figure_header("Fig. 2", "Motivation: energy inefficiency of tile-based streaming");
+
+    // (a) Transmission energy ∝ downloaded bits at fixed bandwidth: compare
+    // the 3×3-tile FoV encoded as 9 conventional tiles vs one Ptile, at the
+    // top quality (the motivation experiment's setting).
+    let model = SizeModel::paper_default();
+    let content = SiTi::new(60.0, 25.0);
+    let area = 9.0 / 32.0;
+    println!("\nFig. 2(a) — transmission energy, Ptile normalised to Ctile:");
+    let mut table = TableWriter::new(vec!["quality", "normalised energy", "saving"]);
+    for q in QualityLevel::ALL.iter().rev() {
+        let ptile = model.region_bits(area, 1, *q, 30.0, content);
+        let ctile = model.region_bits(area, 9, *q, 30.0, content);
+        table.row(vec![
+            format!("{}", q.index()),
+            fmt3(ptile / ctile),
+            fmt_pct(1.0 - ptile / ctile),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("paper: 35% transmission-energy saving at the evaluated quality");
+
+    // (b) The decoder sweep.
+    let pipe = DecoderPipeline::paper_default();
+    println!("\nFig. 2(b) — decoding a 1 s segment's FoV tiles:");
+    let mut table = TableWriter::new(vec!["decoders", "time [s]", "power [mW]", "energy [mJ]"]);
+    for n in 1..=9 {
+        table.row(vec![
+            format!("{n}"),
+            fmt3(pipe.decode_time_sec(n)),
+            fmt3(pipe.decode_power_mw(n)),
+            fmt3(pipe.decode_energy_mj(n)),
+        ]);
+    }
+    let (pt, pp) = pipe.ptile_decode();
+    table.row(vec![
+        "Ptile".into(),
+        fmt3(pt),
+        fmt3(pp),
+        fmt3(pipe.ptile_decode_energy_mj()),
+    ]);
+    println!("{}", table.render());
+    println!("paper anchors: 1 → 1.3 s / 241 mW; 9 → 0.5 s / 846 mW; Ptile → 0.24 s / 287 mW");
+
+    // (c) Processing energy (decode + render) normalised to one decoder.
+    // Rendering is identical across configurations (Table I, Pixel 3).
+    let render_mj = PowerModel::for_phone(Phone::Pixel3).render_power_mw(30.0) * 1.0;
+    println!("\nFig. 2(c) — processing energy normalised to 1 decoder:");
+    let one = pipe.decode_energy_mj(1) + render_mj;
+    let mut table = TableWriter::new(vec!["configuration", "normalised energy"]);
+    for n in [1usize, 2, 4, 9] {
+        table.row(vec![
+            format!("{n} decoder(s)"),
+            fmt3((pipe.decode_energy_mj(n) + render_mj) / one),
+        ]);
+    }
+    let ptile_proc = pipe.ptile_decode_energy_mj() + render_mj;
+    table.row(vec!["Ptile".into(), fmt3(ptile_proc / one)]);
+    println!("{}", table.render());
+    let best4 = pipe.decode_energy_mj(4) + render_mj;
+    println!(
+        "Ptile vs 4 decoders: {} saving (paper: 41%)",
+        fmt_pct(1.0 - ptile_proc / best4)
+    );
+}

@@ -1,0 +1,63 @@
+//! Fig. 4: the content space and the Q_o surface.
+//!
+//! * (a) SI/TI of the test videos' segments (the paper shows a wide genre
+//!   spread),
+//! * (b) the "original" quality (Eq. 3) as a function of SI, TI and
+//!   bitrate.
+
+use ee360_bench::figure_header;
+use ee360_core::report::{fmt3, TableWriter};
+use ee360_qoe::quality::QoModel;
+use ee360_video::catalog::VideoCatalog;
+use ee360_video::content::SiTi;
+use ee360_video::segment::SegmentTimeline;
+
+fn main() {
+    figure_header("Fig. 4", "SI/TI of the test videos and the Eq. 3 quality surface");
+
+    println!("\nFig. 4(a) — per-video SI/TI (mean over segments, min–max):");
+    let catalog = VideoCatalog::paper_default();
+    let mut table = TableWriter::new(vec!["video", "content", "SI mean", "SI range", "TI mean", "TI range"]);
+    for spec in catalog.videos() {
+        let tl = SegmentTimeline::for_video(spec);
+        let sis: Vec<f64> = tl.segments().iter().map(|s| s.si_ti.si()).collect();
+        let tis: Vec<f64> = tl.segments().iter().map(|s| s.si_ti.ti()).collect();
+        let range = |xs: &[f64]| {
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            format!("{lo:.1}–{hi:.1}")
+        };
+        table.row(vec![
+            format!("{}", spec.id),
+            spec.name.clone(),
+            fmt3(sis.iter().sum::<f64>() / sis.len() as f64),
+            range(&sis),
+            fmt3(tis.iter().sum::<f64>() / tis.len() as f64),
+            range(&tis),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!("\nFig. 4(b) — Q_o (VMAF scale) vs bitrate, for three content classes:");
+    let model = QoModel::paper_default();
+    let classes = [
+        ("calm   (SI 48, TI 12)", SiTi::new(48.0, 12.0)),
+        ("medium (SI 60, TI 25)", SiTi::new(60.0, 25.0)),
+        ("sport  (SI 52, TI 34)", SiTi::new(52.0, 34.0)),
+    ];
+    let mut table = TableWriter::new(vec![
+        "bitrate [Mbps]",
+        classes[0].0,
+        classes[1].0,
+        classes[2].0,
+    ]);
+    for b in [0.5, 0.8, 1.6, 3.2, 6.4, 9.6, 12.8] {
+        table.row(
+            std::iter::once(format!("{b:.1}"))
+                .chain(classes.iter().map(|(_, c)| fmt3(model.q_o(*c, b))))
+                .collect(),
+        );
+    }
+    println!("{}", table.render());
+    println!("shape check: quality rises with bitrate and SI, falls with TI (Eq. 3, Table II)");
+}

@@ -1,0 +1,75 @@
+//! Fig. 5: the distribution of view-switching speed.
+//!
+//! Paper: across 48 users × the test videos, users switch their view
+//! faster than 10°/s for more than 30% of the time — the headroom that
+//! makes frame-rate reduction worthwhile.
+
+use ee360_bench::{figure_header, RunScale};
+use ee360_core::report::{fmt_pct, TableWriter};
+use ee360_numeric::stats::Ecdf;
+use ee360_trace::head::{GazeConfig, HeadTraceGenerator};
+use ee360_video::catalog::VideoCatalog;
+
+fn main() {
+    let scale = RunScale::from_args();
+    let users = match scale {
+        RunScale::Full => 48,
+        RunScale::Fast => 8,
+    };
+    figure_header("Fig. 5", "Distribution of view-switching speed (Eq. 5)");
+
+    let catalog = VideoCatalog::paper_default();
+    let generator = HeadTraceGenerator::new(GazeConfig::default());
+    let mut speeds = Vec::new();
+    let mut per_video = TableWriter::new(vec!["video", "median [°/s]", "p90 [°/s]", "> 10°/s"]);
+    for spec in catalog.videos() {
+        let mut video_speeds = Vec::new();
+        for u in 0..users {
+            let trace = generator.generate(spec, u, 20220706);
+            video_speeds.extend(trace.switching_speeds());
+        }
+        let cdf = Ecdf::new(video_speeds.clone());
+        per_video.row(vec![
+            format!("{}", spec.id),
+            format!("{:.2}", cdf.quantile(0.5)),
+            format!("{:.2}", cdf.quantile(0.9)),
+            fmt_pct(cdf.fraction_above(10.0)),
+        ]);
+        speeds.extend(video_speeds);
+    }
+    println!("\nPer-video summary:");
+    println!("{}", per_video.render());
+
+    let cdf = Ecdf::new(speeds);
+    // SVG: downsample the ECDF to ~200 points for a compact polyline.
+    {
+        let pts = cdf.points();
+        let step = (pts.len() / 200).max(1);
+        let sampled: Vec<(f64, f64)> = pts
+            .iter()
+            .step_by(step)
+            .map(|&(v, f)| (v.min(60.0), f))
+            .chain(std::iter::once((60.0, 1.0)))
+            .collect();
+        let mut chart = ee360_viz::charts::CdfChart::new(
+            "Fig. 5: CDF of view-switching speed",
+            "speed [deg/s] (clipped at 60)",
+        );
+        chart.series("48 users x 8 videos", sampled);
+        if let Err(e) = std::fs::write("results/fig5_switching_cdf.svg", chart.render(640, 360)) {
+            eprintln!("could not write results/fig5_switching_cdf.svg: {e}");
+        } else {
+            println!("wrote results/fig5_switching_cdf.svg");
+        }
+    }
+    println!("CDF of switching speed (all users, all videos):");
+    let mut table = TableWriter::new(vec!["speed [°/s]", "CDF"]);
+    for s in [1.0, 2.0, 5.0, 10.0, 20.0, 30.0, 50.0, 80.0] {
+        table.row(vec![format!("{s:.0}"), fmt_pct(cdf.fraction_at_or_below(s))]);
+    }
+    println!("{}", table.render());
+    println!(
+        "fraction of time above 10°/s: {} (paper: >30%)",
+        fmt_pct(cdf.fraction_above(10.0))
+    );
+}

@@ -1,0 +1,46 @@
+//! Fig. 7: performance of the Ptile construction.
+//!
+//! * (a) distribution of the number of Ptiles per segment and video —
+//!   paper: ≥95% of segments need one Ptile for videos 2–4, ≥96% need one
+//!   or two for video 1, ≥92% need one or two even for the exploratory
+//!   videos 5–8;
+//! * (b) percentage of users covered by the Ptiles — paper: 88.4%, 94.6%,
+//!   90.3%, 94.1% for videos 1–4 and >80% for videos 5–8.
+
+use ee360_bench::{figure_header, RunScale};
+use ee360_core::experiment::Evaluation;
+use ee360_core::report::{fmt_pct, TableWriter};
+use ee360_trace::head::HeadTrace;
+
+fn main() {
+    let scale = RunScale::from_args();
+    figure_header("Fig. 7", "Ptile construction: counts per segment and user coverage");
+
+    let eval = Evaluation::prepare(scale.config_trace2());
+
+    println!("\nFig. 7(a) — fraction of segments needing N Ptiles:");
+    let mut table_a = TableWriter::new(vec!["video", "=1", "<=2", "<=3", "mean"]);
+    println!("Fig. 7(b) — fraction of users covered by the Ptiles:");
+    let mut table_b = TableWriter::new(vec!["video", "coverage", "paper"]);
+    let paper_coverage = ["88.4%", "94.6%", "90.3%", "94.1%", ">80%", ">80%", ">80%", ">80%"];
+
+    for v in 1..=8 {
+        let server = eval.server(v).expect("all videos prepared");
+        let users: Vec<&HeadTrace> = eval.eval_users(v).iter().collect();
+        let stats = server.coverage_stats(&users);
+        table_a.row(vec![
+            format!("{v}"),
+            fmt_pct(stats.fraction_with_at_most(1)),
+            fmt_pct(stats.fraction_with_at_most(2)),
+            fmt_pct(stats.fraction_with_at_most(3)),
+            format!("{:.2}", stats.mean_ptile_count()),
+        ]);
+        table_b.row(vec![
+            format!("{v}"),
+            fmt_pct(stats.mean_coverage()),
+            paper_coverage[v - 1].into(),
+        ]);
+    }
+    println!("-- (a) --\n{}", table_a.render());
+    println!("-- (b) --\n{}", table_b.render());
+}

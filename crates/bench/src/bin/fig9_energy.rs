@@ -1,0 +1,170 @@
+//! Fig. 9: energy comparison of the five schemes on a Pixel 3.
+//!
+//! * (a) per-video energy under network trace 1,
+//! * (b) per-video energy under network trace 2,
+//! * (c) energy normalised to Ctile, averaged over videos and traces,
+//! * (d) transmission/processing breakdown for video 8 under trace 2.
+//!
+//! Paper reference points: Ours saves 49.7% and Ptile 30.3% vs Ctile on
+//! average; for video 8/trace 2 Ptile and Ours cut transmission energy by
+//! 26.1% and 47.7% and decoding energy by 50.1% and 53.5%.
+
+use ee360_abr::controller::Scheme;
+use ee360_bench::{figure_header, RunScale};
+use ee360_core::experiment::{Evaluation, SchemeOutcome};
+use ee360_core::parallel::{default_threads, run_matrix};
+use ee360_core::report::{fmt3, fmt_pct, BarChart, TableWriter};
+
+fn main() {
+    let scale = RunScale::from_args();
+    figure_header("Fig. 9", "Energy comparison of the five schemes (Pixel 3)");
+
+    let eval_t1 = Evaluation::prepare(scale.config_trace1());
+    let eval_t2 = Evaluation::prepare(scale.config_trace2());
+    let videos: Vec<usize> = (1..=8).collect();
+
+    let mut per_trace: Vec<Vec<Vec<SchemeOutcome>>> = Vec::new();
+    for (label, eval) in [("trace 1", &eval_t1), ("trace 2", &eval_t2)] {
+        println!("\nFig. 9({}) — energy per segment [mJ], {label}:",
+            if label == "trace 1" { "a" } else { "b" });
+        let mut table = TableWriter::new(vec![
+            "video", "Ctile", "Ftile", "Nontile", "Ptile", "Ours",
+        ]);
+        let flat = run_matrix(eval, &videos, &Scheme::ALL, default_threads());
+        let mut all: Vec<Vec<SchemeOutcome>> = flat
+            .chunks(Scheme::ALL.len())
+            .map(|chunk| chunk.to_vec())
+            .collect();
+        for (v, outs) in videos.iter().zip(&all) {
+            table.row(
+                std::iter::once(format!("{v}"))
+                    .chain(outs.iter().map(|o| fmt3(o.mean_energy_mj_per_segment)))
+                    .collect(),
+            );
+        }
+        all.truncate(videos.len());
+        println!("{}", table.render());
+        per_trace.push(all);
+    }
+
+    // (c) normalised to Ctile, averaged over videos and traces.
+    println!("\nFig. 9(c) — energy normalised to Ctile (avg over videos & traces):");
+    let mut sums = [0.0f64; 5];
+    let mut count = 0usize;
+    for all in &per_trace {
+        for outs in all {
+            let ctile = outs
+                .iter()
+                .find(|o| o.scheme == Scheme::Ctile)
+                .expect("Ctile always runs")
+                .mean_energy_mj_per_segment;
+            for (i, o) in outs.iter().enumerate() {
+                sums[i] += o.mean_energy_mj_per_segment / ctile;
+            }
+            count += 1;
+        }
+    }
+    let mut table = TableWriter::new(vec!["scheme", "normalised energy", "saving vs Ctile"]);
+    for (i, s) in Scheme::ALL.iter().enumerate() {
+        let norm = sums[i] / count as f64;
+        table.row(vec![s.label().into(), fmt3(norm), fmt_pct(1.0 - norm)]);
+    }
+    println!("{}", table.render());
+    let mut chart = BarChart::new("normalised energy (lower is better)");
+    for (i, s) in Scheme::ALL.iter().enumerate() {
+        chart.bar(s.label(), sums[i] / count as f64);
+    }
+    println!("{}", chart.render(40));
+    println!("paper: Ptile saves 30.3%, Ours saves 49.7% vs Ctile");
+
+    // What the savings mean in battery terms (Pixel 3, continuous playback).
+    let battery = ee360_power::battery::Battery::for_phone(ee360_power::model::Phone::Pixel3);
+    println!("\nbattery life at each scheme's mean power (Pixel 3, 2915 mAh):");
+    let mut table = TableWriter::new(vec!["scheme", "mean power [mW]", "playback hours"]);
+    let mut mean_power = [0.0f64; 5];
+    let mut n = 0usize;
+    for all in &per_trace {
+        for outs in all {
+            for (i, o) in outs.iter().enumerate() {
+                // mJ per 1 s segment = mW of average draw.
+                mean_power[i] += o.mean_energy_mj_per_segment;
+            }
+            n += 1;
+        }
+    }
+    for (i, s) in Scheme::ALL.iter().enumerate() {
+        let p = mean_power[i] / n as f64;
+        table.row(vec![
+            s.label().into(),
+            fmt3(p),
+            format!("{:.1}", battery.hours_at(p)),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // SVG versions of (b) and (c) next to the text tables.
+    {
+        let mut chart = ee360_viz::charts::GroupedBarChart::new(
+            "Fig. 9(b): energy per segment, trace 2 (Pixel 3)",
+            "video",
+            "mJ/segment",
+        );
+        chart.categories(videos.iter().map(|v| v.to_string()).collect());
+        for (i, s) in Scheme::ALL.iter().enumerate() {
+            chart.series(
+                s.label(),
+                per_trace[1]
+                    .iter()
+                    .map(|outs| outs[i].mean_energy_mj_per_segment)
+                    .collect(),
+            );
+        }
+        if let Err(e) = std::fs::write("results/fig9b_energy.svg", chart.render(860, 420)) {
+            eprintln!("could not write results/fig9b_energy.svg: {e}");
+        } else {
+            println!("wrote results/fig9b_energy.svg");
+        }
+
+        let mut norm = ee360_viz::charts::GroupedBarChart::new(
+            "Fig. 9(c): energy normalised to Ctile",
+            "scheme",
+            "normalised energy",
+        );
+        norm.categories(Scheme::ALL.iter().map(|s| s.label().to_string()).collect());
+        norm.series(
+            "avg over videos & traces",
+            sums.iter().map(|s| s / count as f64).collect(),
+        );
+        if let Err(e) = std::fs::write("results/fig9c_normalised.svg", norm.render(640, 360)) {
+            eprintln!("could not write results/fig9c_normalised.svg: {e}");
+        } else {
+            println!("wrote results/fig9c_normalised.svg");
+        }
+    }
+
+    // (d) breakdown for video 8 under trace 2.
+    println!("\nFig. 9(d) — energy breakdown, video 8, trace 2 [mJ/segment]:");
+    let outs = &per_trace[1][7];
+    let mut table = TableWriter::new(vec!["scheme", "transmission", "decode", "render"]);
+    for o in outs {
+        table.row(vec![
+            o.scheme.label().into(),
+            fmt3(o.mean_transmission_mj),
+            fmt3(o.mean_decode_mj),
+            fmt3(o.mean_render_mj),
+        ]);
+    }
+    println!("{}", table.render());
+    let ctile = &outs[0];
+    for scheme_idx in [3usize, 4] {
+        let o = &outs[scheme_idx];
+        println!(
+            "{}: transmission saving {} (paper: {}), decode saving {} (paper: {})",
+            o.scheme.label(),
+            fmt_pct(1.0 - o.mean_transmission_mj / ctile.mean_transmission_mj),
+            if scheme_idx == 3 { "26.1%" } else { "47.7%" },
+            fmt_pct(1.0 - o.mean_decode_mj / ctile.mean_decode_mj),
+            if scheme_idx == 3 { "50.1%" } else { "53.5%" },
+        );
+    }
+}

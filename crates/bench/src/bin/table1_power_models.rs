@@ -1,0 +1,58 @@
+//! Table I: the power models for the three phones.
+//!
+//! Prints the transcribed regression models and evaluates them at the
+//! frame-rate ladder so the numbers are directly comparable to the paper's
+//! table.
+
+use ee360_bench::figure_header;
+use ee360_core::report::{fmt3, TableWriter};
+use ee360_power::model::{DecoderScheme, Phone, PowerModel};
+
+fn main() {
+    figure_header("Table I", "Power models (mW); f is the frame rate in fps");
+
+    let mut table = TableWriter::new(vec!["state", "Nexus 5X", "Pixel 3", "Galaxy S20"]);
+    let models: Vec<PowerModel> = Phone::ALL.iter().map(|p| PowerModel::for_phone(*p)).collect();
+
+    table.row(
+        std::iter::once("data transmission".to_string())
+            .chain(models.iter().map(|m| fmt3(m.transmission_power_mw())))
+            .collect(),
+    );
+    for scheme in DecoderScheme::ALL {
+        let label = format!("{scheme:?} decode P_d(f)");
+        table.row(
+            std::iter::once(label)
+                .chain(models.iter().map(|m| {
+                    let lp = m.decode_model(scheme);
+                    format!("{:.2} + {:.2}f", lp.base_mw, lp.slope_mw_per_fps)
+                }))
+                .collect(),
+        );
+    }
+    table.row(
+        std::iter::once("render P_r(f)".to_string())
+            .chain(models.iter().map(|m| {
+                let lp = m.render_model();
+                format!("{:.2} + {:.2}f", lp.base_mw, lp.slope_mw_per_fps)
+            }))
+            .collect(),
+    );
+    println!("{}", table.render());
+
+    println!("\nEvaluated at the frame-rate ladder (mW):");
+    let mut eval = TableWriter::new(vec!["phone", "scheme", "21 fps", "24 fps", "27 fps", "30 fps"]);
+    for m in &models {
+        for scheme in DecoderScheme::ALL {
+            eval.row(vec![
+                m.phone().name().into(),
+                format!("{scheme:?}"),
+                fmt3(m.decode_power_mw(scheme, 21.0)),
+                fmt3(m.decode_power_mw(scheme, 24.0)),
+                fmt3(m.decode_power_mw(scheme, 27.0)),
+                fmt3(m.decode_power_mw(scheme, 30.0)),
+            ]);
+        }
+    }
+    println!("{}", eval.render());
+}

@@ -1,0 +1,29 @@
+//! Table III: the test videos.
+
+use ee360_bench::figure_header;
+use ee360_core::report::TableWriter;
+use ee360_video::catalog::{BehaviorProfile, VideoCatalog};
+
+fn main() {
+    figure_header("Table III", "The test videos");
+    let catalog = VideoCatalog::paper_default();
+    let mut table = TableWriter::new(vec![
+        "ID", "Length", "Content", "Behaviour", "SI", "TI", "hotspots",
+    ]);
+    for v in catalog.videos() {
+        table.row(vec![
+            format!("{}", v.id),
+            format!("{}:{:02}", v.duration_sec / 60, v.duration_sec % 60),
+            v.name.clone(),
+            match v.behavior {
+                BehaviorProfile::Focused => "focused (1–4)".into(),
+                BehaviorProfile::Exploratory => "exploratory (5–8)".into(),
+            },
+            format!("{:.0}", v.base_si_ti.si()),
+            format!("{:.0}", v.base_si_ti.ti()),
+            format!("{}", v.hotspot_count),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("lengths match Table III: 6:01, 2:52, 6:13, 4:38, 4:52, 2:44, 3:25, 3:21");
+}

@@ -1,0 +1,98 @@
+//! Shared helpers for the figure-regeneration binaries and Criterion
+//! benches.
+//!
+//! Every table and figure of the paper's evaluation has a binary in
+//! `src/bin/` that prints the same rows/series the paper reports:
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `fig2_motivation` | Fig. 2(a–c): transmission energy, decoder sweep, processing energy |
+//! | `table1_power_models` | Table I power models |
+//! | `fig4_qoe_model` | Fig. 4(a) SI/TI scatter, 4(b) Q_o surface |
+//! | `table2_qoe_fit` | Table II coefficient recovery |
+//! | `fig5_switching_speed` | Fig. 5 switching-speed distribution |
+//! | `fig7_ptile_coverage` | Fig. 7(a,b) Ptile counts and coverage |
+//! | `fig8_size_cdf` | Fig. 8 Ptile/Ctile size-ratio CDFs |
+//! | `fig9_energy` | Fig. 9(a–d) energy comparison (Pixel 3) |
+//! | `fig10_energy_phones` | Fig. 10 energy on Nexus 5X / Galaxy S20 |
+//! | `fig11_qoe` | Fig. 11(a–d) QoE comparison |
+//! | `table3_catalog` | Table III test videos |
+//! | `ablations` | design-choice ablations called out in DESIGN.md |
+//!
+//! Pass `--fast` to any figure binary for a reduced-scale run (fewer
+//! users, capped segments) suitable for CI.
+
+use ee360_core::experiment::ExperimentConfig;
+
+/// Scale selection shared by the figure binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunScale {
+    /// Paper scale: 48 users per video, full-length sessions.
+    Full,
+    /// CI scale: 12 users, 60-segment sessions.
+    Fast,
+}
+
+impl RunScale {
+    /// Parses the process arguments: `--fast` selects the reduced scale.
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--fast") {
+            RunScale::Fast
+        } else {
+            RunScale::Full
+        }
+    }
+
+    /// The experiment configuration for this scale under *trace 2*.
+    pub fn config_trace2(&self) -> ExperimentConfig {
+        match self {
+            RunScale::Full => ExperimentConfig::paper_trace2(),
+            RunScale::Fast => {
+                let mut c = ExperimentConfig::quick_test();
+                c.seed = ExperimentConfig::paper_trace2().seed;
+                c
+            }
+        }
+    }
+
+    /// The experiment configuration for this scale under *trace 1*.
+    pub fn config_trace1(&self) -> ExperimentConfig {
+        let mut c = self.config_trace2();
+        c.network_scale = 2.0;
+        c
+    }
+}
+
+/// Prints a figure header so runs are self-describing in logs.
+pub fn figure_header(id: &str, caption: &str) {
+    println!("==================================================================");
+    println!("{id}: {caption}");
+    println!("==================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_config_is_small() {
+        let c = RunScale::Fast.config_trace2();
+        assert!(c.users_total <= 16);
+        assert!(c.max_segments.is_some());
+    }
+
+    #[test]
+    fn full_config_is_paper_scale() {
+        let c = RunScale::Full.config_trace2();
+        assert_eq!(c.users_total, 48);
+        assert_eq!(c.train_users, 40);
+        assert!(c.max_segments.is_none());
+    }
+
+    #[test]
+    fn trace1_doubles_scale_factor() {
+        let c1 = RunScale::Full.config_trace1();
+        let c2 = RunScale::Full.config_trace2();
+        assert_eq!(c1.network_scale, 2.0 * c2.network_scale);
+    }
+}

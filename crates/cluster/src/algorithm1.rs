@@ -1,0 +1,321 @@
+//! Algorithm 1: clustering users' viewing centers.
+//!
+//! Faithful implementation of the paper's pseudocode, with two noted
+//! repairs:
+//!
+//! * the seed node is removed from `U` when it enters a cluster (the
+//!   pseudocode only removes neighbours, which would loop forever on an
+//!   isolated node);
+//! * the σ split is applied recursively — a single k-means(2) pass can
+//!   still leave a child whose diameter exceeds σ, and the paper's goal is
+//!   "the distance between any two viewing centers in the cluster should
+//!   not be farther than σ".
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use ee360_geom::viewport::ViewCenter;
+
+use crate::kmeans::kmeans_two;
+
+/// Algorithm 1's two distance parameters, in degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusteringParams {
+    /// Neighbourhood radius δ: two centers within δ belong together.
+    pub delta_deg: f64,
+    /// Diameter cap σ: no two members of a final cluster are farther apart.
+    pub sigma_deg: f64,
+}
+
+impl ClusteringParams {
+    /// Section V-B: σ = one conventional tile width (45° on the 4×8 grid),
+    /// δ = σ/4.
+    pub fn paper_default() -> Self {
+        Self {
+            delta_deg: 45.0 / 4.0,
+            sigma_deg: 45.0,
+        }
+    }
+
+    /// Custom parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < delta <= sigma`.
+    pub fn new(delta_deg: f64, sigma_deg: f64) -> Self {
+        assert!(
+            delta_deg > 0.0 && sigma_deg >= delta_deg,
+            "parameters must satisfy 0 < delta <= sigma"
+        );
+        Self {
+            delta_deg,
+            sigma_deg,
+        }
+    }
+}
+
+impl Default for ClusteringParams {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Maximum pairwise distance within a set of centers (0 for singletons).
+pub fn diameter_deg(centers: &[ViewCenter], members: &[usize]) -> f64 {
+    let mut best = 0.0f64;
+    for (a_pos, &i) in members.iter().enumerate() {
+        for &j in &members[a_pos + 1..] {
+            best = best.max(centers[i].distance_deg(&centers[j]));
+        }
+    }
+    best
+}
+
+/// Runs Algorithm 1 over a set of viewing centers.
+///
+/// Returns clusters as lists of indices into `centers`; every index appears
+/// in exactly one cluster. The empty input yields no clusters.
+///
+/// # Example
+///
+/// ```
+/// use ee360_cluster::algorithm1::{cluster_viewing_centers, ClusteringParams};
+/// use ee360_geom::viewport::ViewCenter;
+///
+/// // A chain of δ-close points is one cluster until σ forces a split.
+/// let centers: Vec<ViewCenter> =
+///     (0..8).map(|i| ViewCenter::new(i as f64 * 10.0, 0.0)).collect();
+/// let clusters = cluster_viewing_centers(&centers, &ClusteringParams::paper_default());
+/// assert!(clusters.len() >= 2); // 70° chain exceeds σ = 45°
+/// ```
+pub fn cluster_viewing_centers(
+    centers: &[ViewCenter],
+    params: &ClusteringParams,
+) -> Vec<Vec<usize>> {
+    if centers.is_empty() {
+        return Vec::new();
+    }
+    // Line 1: precompute δ-neighbourhoods on the full node set.
+    let n = centers.len();
+    let mut neighbors: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if centers[i].distance_deg(&centers[j]) <= params.delta_deg {
+                neighbors[i].push(j);
+                neighbors[j].push(i);
+            }
+        }
+    }
+
+    let mut in_u = vec![true; n]; // membership in the remaining set U
+    let mut remaining = n;
+    let mut clusters = Vec::new();
+
+    while remaining > 0 {
+        // Line 14: seed at the remaining node with the most neighbours
+        // (ties broken by index for determinism).
+        let seed = (0..n)
+            .filter(|&i| in_u[i])
+            .max_by_key(|&i| (neighbors[i].iter().filter(|&&j| in_u[j]).count(), usize::MAX - i))
+            .expect("remaining > 0 guarantees a seed");
+
+        // Lines 15–28: BFS growth through δ-close remaining nodes.
+        let mut cluster = vec![seed];
+        in_u[seed] = false;
+        remaining -= 1;
+        let mut queue = VecDeque::from([seed]);
+        while let Some(u) = queue.pop_front() {
+            for &v in &neighbors[u] {
+                if in_u[v] {
+                    in_u[v] = false;
+                    remaining -= 1;
+                    cluster.push(v);
+                    queue.push_back(v);
+                }
+            }
+        }
+
+        // Lines 4–9: recursive σ split.
+        split_by_sigma(centers, cluster, params.sigma_deg, &mut clusters);
+    }
+    clusters
+}
+
+/// Recursively splits `members` with k-means(2) until the diameter cap
+/// holds, pushing final clusters into `out`.
+fn split_by_sigma(
+    centers: &[ViewCenter],
+    members: Vec<usize>,
+    sigma_deg: f64,
+    out: &mut Vec<Vec<usize>>,
+) {
+    if members.len() <= 1 || diameter_deg(centers, &members) <= sigma_deg {
+        out.push(members);
+        return;
+    }
+    let points: Vec<ViewCenter> = members.iter().map(|&i| centers[i]).collect();
+    let (a, b) = kmeans_two(&points);
+    debug_assert!(!a.is_empty() && !b.is_empty());
+    let map = |side: Vec<usize>| side.into_iter().map(|k| members[k]).collect::<Vec<_>>();
+    split_by_sigma(centers, map(a), sigma_deg, out);
+    split_by_sigma(centers, map(b), sigma_deg, out);
+}
+
+/// The variant *without* the σ guard (pure density growth) — the Fig. 6(a)
+/// failure mode used as an ablation baseline.
+pub fn cluster_without_sigma(centers: &[ViewCenter], delta_deg: f64) -> Vec<Vec<usize>> {
+    let params = ClusteringParams::new(delta_deg, f64::INFINITY);
+    cluster_viewing_centers(centers, &params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn params() -> ClusteringParams {
+        ClusteringParams::paper_default()
+    }
+
+    fn centers(pts: &[(f64, f64)]) -> Vec<ViewCenter> {
+        pts.iter().map(|&(y, p)| ViewCenter::new(y, p)).collect()
+    }
+
+    #[test]
+    fn paper_parameters() {
+        let p = params();
+        assert_eq!(p.sigma_deg, 45.0);
+        assert_eq!(p.delta_deg, 11.25);
+    }
+
+    #[test]
+    fn empty_input_no_clusters() {
+        assert!(cluster_viewing_centers(&[], &params()).is_empty());
+    }
+
+    #[test]
+    fn single_point_single_cluster() {
+        let cs = centers(&[(0.0, 0.0)]);
+        let clusters = cluster_viewing_centers(&cs, &params());
+        assert_eq!(clusters, vec![vec![0]]);
+    }
+
+    #[test]
+    fn two_far_groups_two_clusters() {
+        let cs = centers(&[
+            (0.0, 0.0),
+            (5.0, 2.0),
+            (-4.0, -1.0),
+            (120.0, 0.0),
+            (125.0, 3.0),
+        ]);
+        let mut clusters = cluster_viewing_centers(&cs, &params());
+        clusters.sort_by_key(|c| c.len());
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0].len(), 2);
+        assert_eq!(clusters[1].len(), 3);
+    }
+
+    #[test]
+    fn isolated_nodes_become_singletons() {
+        let cs = centers(&[(0.0, 0.0), (90.0, 0.0), (-90.0, 40.0)]);
+        let clusters = cluster_viewing_centers(&cs, &params());
+        assert_eq!(clusters.len(), 3);
+        assert!(clusters.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn chain_is_split_by_sigma() {
+        // δ-close chain spanning 70°: grown as one cluster, then split.
+        let cs: Vec<ViewCenter> = (0..8)
+            .map(|i| ViewCenter::new(i as f64 * 10.0, 0.0))
+            .collect();
+        let clusters = cluster_viewing_centers(&cs, &params());
+        assert!(clusters.len() >= 2);
+        for c in &clusters {
+            assert!(diameter_deg(&cs, c) <= 45.0 + 1e-9, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn without_sigma_chain_stays_whole() {
+        let cs: Vec<ViewCenter> = (0..8)
+            .map(|i| ViewCenter::new(i as f64 * 10.0, 0.0))
+            .collect();
+        let clusters = cluster_without_sigma(&cs, 11.25);
+        assert_eq!(clusters.len(), 1);
+        assert!(diameter_deg(&cs, &clusters[0]) > 45.0);
+    }
+
+    #[test]
+    fn clusters_across_antimeridian() {
+        let cs = centers(&[(176.0, 0.0), (-178.0, 1.0), (-174.0, -1.0)]);
+        let clusters = cluster_viewing_centers(&cs, &params());
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 3);
+    }
+
+    #[test]
+    fn seed_prefers_densest_node() {
+        // A 3-point clique and a 2-point pair: the first grown cluster
+        // should be the clique (seeded at its max-degree node).
+        let cs = centers(&[(100.0, 0.0), (104.0, 0.0), (0.0, 0.0), (4.0, 0.0), (8.0, 0.0)]);
+        let clusters = cluster_viewing_centers(&cs, &params());
+        assert_eq!(clusters[0].len(), 3);
+    }
+
+    #[test]
+    fn duplicate_points_cluster_together() {
+        let cs = centers(&[(10.0, 10.0); 7]);
+        let clusters = cluster_viewing_centers(&cs, &params());
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta <= sigma")]
+    fn bad_params_panic() {
+        let _ = ClusteringParams::new(50.0, 45.0);
+    }
+
+    proptest! {
+        #[test]
+        fn clustering_is_a_partition(
+            pts in proptest::collection::vec(
+                (-180.0f64..180.0, -70.0f64..70.0), 0..40
+            )
+        ) {
+            let cs = centers(&pts);
+            let clusters = cluster_viewing_centers(&cs, &params());
+            let mut seen: Vec<usize> = clusters.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            prop_assert_eq!(seen, (0..cs.len()).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn all_clusters_respect_sigma(
+            pts in proptest::collection::vec(
+                (-180.0f64..180.0, -70.0f64..70.0), 1..40
+            )
+        ) {
+            let cs = centers(&pts);
+            let clusters = cluster_viewing_centers(&cs, &params());
+            for c in &clusters {
+                prop_assert!(diameter_deg(&cs, c) <= 45.0 + 1e-9);
+            }
+        }
+
+        #[test]
+        fn delta_close_pairs_not_needlessly_separated(
+            y in -170.0f64..170.0, p in -60.0f64..60.0,
+        ) {
+            // Two points within δ and far from everything else must share
+            // a cluster.
+            let cs = centers(&[(y, p), (y + 5.0, p + 2.0), (y + 150.0, -p)]);
+            let clusters = cluster_viewing_centers(&cs, &params());
+            let find = |i: usize| clusters.iter().position(|c| c.contains(&i)).unwrap();
+            prop_assert_eq!(find(0), find(1));
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Ptile coverage statistics (Fig. 7).
+//!
+//! Per segment, the paper reports (a) how many Ptiles were constructed and
+//! (b) what fraction of users are *covered* — their whole FoV tile block
+//! lies inside one Ptile, so they can stream the Ptile instead of
+//! conventional tiles.
+
+use serde::{Deserialize, Serialize};
+
+use ee360_geom::grid::TileGrid;
+use ee360_geom::viewport::{ViewCenter, Viewport};
+
+use crate::ptile::Ptile;
+
+/// Coverage outcome for one segment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentCoverage {
+    /// Number of Ptiles constructed for the segment.
+    pub ptile_count: usize,
+    /// Number of users evaluated.
+    pub user_count: usize,
+    /// Number of users whose FoV is covered by some Ptile.
+    pub covered_users: usize,
+}
+
+impl SegmentCoverage {
+    /// Fraction of users covered, `0..=1` (0 for an empty population).
+    pub fn coverage_fraction(&self) -> f64 {
+        if self.user_count == 0 {
+            0.0
+        } else {
+            self.covered_users as f64 / self.user_count as f64
+        }
+    }
+}
+
+/// Returns `true` if the user's FoV tile block lies inside one of the
+/// Ptiles.
+pub fn user_covered(
+    center: ViewCenter,
+    ptiles: &[Ptile],
+    grid: &TileGrid,
+    fov_h_deg: f64,
+    fov_v_deg: f64,
+) -> bool {
+    let vp = Viewport::new(center, fov_h_deg, fov_v_deg);
+    let block = grid.fov_block(&vp);
+    ptiles
+        .iter()
+        .any(|p| block.iter().all(|t| p.region.contains(*t)))
+}
+
+/// Evaluates one segment: which of `user_centers` are covered by `ptiles`.
+pub fn segment_coverage(
+    user_centers: &[ViewCenter],
+    ptiles: &[Ptile],
+    grid: &TileGrid,
+    fov_h_deg: f64,
+    fov_v_deg: f64,
+) -> SegmentCoverage {
+    let covered = user_centers
+        .iter()
+        .filter(|c| user_covered(**c, ptiles, grid, fov_h_deg, fov_v_deg))
+        .count();
+    SegmentCoverage {
+        ptile_count: ptiles.len(),
+        user_count: user_centers.len(),
+        covered_users: covered,
+    }
+}
+
+/// Aggregated coverage over a whole video (all segments).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CoverageStats {
+    segments: Vec<SegmentCoverage>,
+}
+
+impl CoverageStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one segment's outcome.
+    pub fn push(&mut self, seg: SegmentCoverage) {
+        self.segments.push(seg);
+    }
+
+    /// Number of segments recorded.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// `true` if no segments were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// The recorded per-segment outcomes.
+    pub fn segments(&self) -> &[SegmentCoverage] {
+        &self.segments
+    }
+
+    /// Fraction of segments that needed at most `n` Ptiles (Fig. 7a).
+    pub fn fraction_with_at_most(&self, n: usize) -> f64 {
+        if self.segments.is_empty() {
+            return 0.0;
+        }
+        self.segments.iter().filter(|s| s.ptile_count <= n).count() as f64
+            / self.segments.len() as f64
+    }
+
+    /// Mean Ptile count per segment.
+    pub fn mean_ptile_count(&self) -> f64 {
+        if self.segments.is_empty() {
+            return 0.0;
+        }
+        self.segments.iter().map(|s| s.ptile_count as f64).sum::<f64>()
+            / self.segments.len() as f64
+    }
+
+    /// Mean user-coverage fraction across segments (Fig. 7b).
+    pub fn mean_coverage(&self) -> f64 {
+        if self.segments.is_empty() {
+            return 0.0;
+        }
+        self.segments
+            .iter()
+            .map(|s| s.coverage_fraction())
+            .sum::<f64>()
+            / self.segments.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ptile::{build_ptiles, PtileConfig};
+
+    fn grid() -> TileGrid {
+        TileGrid::paper_default()
+    }
+
+    fn ptiles_for(centers: &[ViewCenter]) -> Vec<Ptile> {
+        build_ptiles(centers, &grid(), &PtileConfig::paper_default())
+    }
+
+    #[test]
+    fn cluster_members_are_covered() {
+        let centers: Vec<ViewCenter> =
+            (0..8).map(|i| ViewCenter::new(i as f64 * 2.0, 0.0)).collect();
+        let ptiles = ptiles_for(&centers);
+        let cov = segment_coverage(&centers, &ptiles, &grid(), 100.0, 100.0);
+        assert_eq!(cov.ptile_count, 1);
+        assert_eq!(cov.covered_users, 8);
+        assert_eq!(cov.coverage_fraction(), 1.0);
+    }
+
+    #[test]
+    fn outlier_user_not_covered() {
+        let mut centers: Vec<ViewCenter> =
+            (0..6).map(|i| ViewCenter::new(i as f64 * 2.0, 0.0)).collect();
+        let ptiles = ptiles_for(&centers);
+        centers.push(ViewCenter::new(-120.0, -30.0)); // evaluation outlier
+        let cov = segment_coverage(&centers, &ptiles, &grid(), 100.0, 100.0);
+        assert_eq!(cov.covered_users, 6);
+        assert!(cov.coverage_fraction() < 1.0);
+    }
+
+    #[test]
+    fn no_ptiles_no_coverage() {
+        let centers = vec![ViewCenter::new(0.0, 0.0)];
+        let cov = segment_coverage(&centers, &[], &grid(), 100.0, 100.0);
+        assert_eq!(cov.ptile_count, 0);
+        assert_eq!(cov.covered_users, 0);
+    }
+
+    #[test]
+    fn empty_population_fraction_zero() {
+        let cov = segment_coverage(&[], &[], &grid(), 100.0, 100.0);
+        assert_eq!(cov.coverage_fraction(), 0.0);
+    }
+
+    #[test]
+    fn stats_aggregation() {
+        let mut stats = CoverageStats::new();
+        assert!(stats.is_empty());
+        stats.push(SegmentCoverage {
+            ptile_count: 1,
+            user_count: 10,
+            covered_users: 9,
+        });
+        stats.push(SegmentCoverage {
+            ptile_count: 2,
+            user_count: 10,
+            covered_users: 8,
+        });
+        stats.push(SegmentCoverage {
+            ptile_count: 3,
+            user_count: 10,
+            covered_users: 5,
+        });
+        assert_eq!(stats.len(), 3);
+        assert!((stats.fraction_with_at_most(2) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((stats.mean_ptile_count() - 2.0).abs() < 1e-12);
+        assert!((stats.mean_coverage() - (0.9 + 0.8 + 0.5) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let stats = CoverageStats::new();
+        assert_eq!(stats.fraction_with_at_most(1), 0.0);
+        assert_eq!(stats.mean_ptile_count(), 0.0);
+        assert_eq!(stats.mean_coverage(), 0.0);
+    }
+
+    #[test]
+    fn covered_user_near_cluster_edge() {
+        // A user whose center is a few degrees from the cluster may still
+        // be covered because the Ptile bounds whole FoV blocks.
+        let centers: Vec<ViewCenter> =
+            (0..6).map(|i| ViewCenter::new(i as f64 * 2.0, 0.0)).collect();
+        let ptiles = ptiles_for(&centers);
+        // (5°, −3°) shares the members' tile row, so its FoV block matches.
+        assert!(user_covered(
+            ViewCenter::new(5.0, -3.0),
+            &ptiles,
+            &grid(),
+            100.0,
+            100.0
+        ));
+        // (5°, +3°) sits one tile row up: its FoV block shifts out of the
+        // Ptile, so it is (correctly) not covered.
+        assert!(!user_covered(
+            ViewCenter::new(5.0, 3.0),
+            &ptiles,
+            &grid(),
+            100.0,
+            100.0
+        ));
+    }
+}

@@ -1,0 +1,221 @@
+//! Two-means splitting of an oversized cluster (Algorithm 1, lines 4–9).
+//!
+//! When the BFS-grown cluster's diameter exceeds σ, the paper splits it
+//! with k-means, k = 2. Viewing centers live on the equirectangular plane
+//! with yaw wraparound, so centroids are computed on 3-D orientation
+//! vectors (the spherical mean) and distances with the wraparound metric.
+
+use ee360_geom::sphere::Orientation;
+use ee360_geom::viewport::ViewCenter;
+
+/// The spherical mean of a set of viewing centers.
+///
+/// # Panics
+///
+/// Panics if `points` is empty.
+pub fn spherical_mean(points: &[ViewCenter]) -> ViewCenter {
+    assert!(!points.is_empty(), "mean of an empty point set");
+    let (mut x, mut y, mut z) = (0.0, 0.0, 0.0);
+    for p in points {
+        let o = Orientation::from_view_center(*p);
+        x += o.x();
+        y += o.y();
+        z += o.z();
+    }
+    let n = (x * x + y * y + z * z).sqrt();
+    if n < 1e-9 {
+        // Degenerate (balanced antipodal) set: fall back to the first point.
+        return points[0];
+    }
+    Orientation::new(x, y, z).to_view_center()
+}
+
+/// Splits `points` into two clusters with Lloyd's algorithm (k = 2),
+/// returning the member indices of each side.
+///
+/// Initialisation is deterministic: the two seeds are the farthest pair
+/// (exact for the small clusters Algorithm 1 produces). Both sides are
+/// guaranteed non-empty for inputs of at least two distinct points; for
+/// degenerate inputs (all points identical) one point is forced across.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are given.
+///
+/// # Example
+///
+/// ```
+/// use ee360_cluster::kmeans::kmeans_two;
+/// use ee360_geom::viewport::ViewCenter;
+///
+/// let pts = vec![
+///     ViewCenter::new(0.0, 0.0),
+///     ViewCenter::new(2.0, 0.0),
+///     ViewCenter::new(100.0, 0.0),
+///     ViewCenter::new(102.0, 0.0),
+/// ];
+/// let (a, b) = kmeans_two(&pts);
+/// assert_eq!(a.len() + b.len(), 4);
+/// assert_eq!(a.len(), 2);
+/// ```
+pub fn kmeans_two(points: &[ViewCenter]) -> (Vec<usize>, Vec<usize>) {
+    assert!(points.len() >= 2, "k-means(2) needs at least two points");
+
+    // Farthest-pair seeding.
+    let (mut si, mut sj, mut best) = (0usize, 1usize, -1.0f64);
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            let d = points[i].distance_deg(&points[j]);
+            if d > best {
+                best = d;
+                si = i;
+                sj = j;
+            }
+        }
+    }
+    let mut c_a = points[si];
+    let mut c_b = points[sj];
+
+    let mut assignment = vec![false; points.len()]; // false → A, true → B
+    for _iter in 0..50 {
+        let mut changed = false;
+        for (idx, p) in points.iter().enumerate() {
+            let to_b = p.distance_deg(&c_b) < p.distance_deg(&c_a);
+            if assignment[idx] != to_b {
+                assignment[idx] = to_b;
+                changed = true;
+            }
+        }
+        // Guard against an empty side (identical points): force the seed
+        // points apart.
+        if assignment.iter().all(|&b| b) {
+            assignment[si] = false;
+            changed = true;
+        }
+        if assignment.iter().all(|&b| !b) {
+            assignment[sj] = true;
+            changed = true;
+        }
+        let a_pts: Vec<ViewCenter> = points
+            .iter()
+            .zip(&assignment)
+            .filter(|(_, &b)| !b)
+            .map(|(p, _)| *p)
+            .collect();
+        let b_pts: Vec<ViewCenter> = points
+            .iter()
+            .zip(&assignment)
+            .filter(|(_, &b)| b)
+            .map(|(p, _)| *p)
+            .collect();
+        c_a = spherical_mean(&a_pts);
+        c_b = spherical_mean(&b_pts);
+        if !changed {
+            break;
+        }
+    }
+
+    let a = (0..points.len()).filter(|&i| !assignment[i]).collect();
+    let b = (0..points.len()).filter(|&i| assignment[i]).collect();
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn splits_two_obvious_groups() {
+        let mut pts = Vec::new();
+        for i in 0..5 {
+            pts.push(ViewCenter::new(-60.0 + i as f64, 0.0));
+        }
+        for i in 0..7 {
+            pts.push(ViewCenter::new(60.0 + i as f64, 10.0));
+        }
+        let (a, b) = kmeans_two(&pts);
+        let (small, large) = if a.len() < b.len() { (a, b) } else { (b, a) };
+        assert_eq!(small.len(), 5);
+        assert_eq!(large.len(), 7);
+        assert!(small.iter().all(|&i| i < 5));
+    }
+
+    #[test]
+    fn handles_wraparound_groups() {
+        // Groups at yaw ±175 are 10° apart across the seam, far from 0.
+        let mut pts = Vec::new();
+        for i in 0..4 {
+            pts.push(ViewCenter::new(174.0 + i as f64, 0.0)); // seam group
+            pts.push(ViewCenter::new(i as f64, 0.0)); // origin group
+        }
+        let (a, b) = kmeans_two(&pts);
+        assert_eq!(a.len(), 4);
+        assert_eq!(b.len(), 4);
+        // Members of the same side should be mutually close.
+        for side in [&a, &b] {
+            for &i in side {
+                for &j in side {
+                    assert!(pts[i].distance_deg(&pts[j]) < 20.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identical_points_still_split_nonempty() {
+        let pts = vec![ViewCenter::new(10.0, 10.0); 6];
+        let (a, b) = kmeans_two(&pts);
+        assert!(!a.is_empty());
+        assert!(!b.is_empty());
+        assert_eq!(a.len() + b.len(), 6);
+    }
+
+    #[test]
+    fn two_points_split_one_each() {
+        let pts = vec![ViewCenter::new(0.0, 0.0), ViewCenter::new(50.0, 0.0)];
+        let (a, b) = kmeans_two(&pts);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn spherical_mean_of_symmetric_pair() {
+        let pts = vec![ViewCenter::new(-20.0, 0.0), ViewCenter::new(20.0, 0.0)];
+        let m = spherical_mean(&pts);
+        assert!(m.yaw_deg().abs() < 1e-9);
+        assert!(m.pitch_deg().abs() < 1e-9);
+    }
+
+    #[test]
+    fn spherical_mean_across_seam() {
+        let pts = vec![ViewCenter::new(170.0, 0.0), ViewCenter::new(-170.0, 0.0)];
+        let m = spherical_mean(&pts);
+        // Mean should be at the antimeridian, not at yaw 0.
+        assert!(ee360_geom::angles::angular_diff_deg(m.yaw_deg(), 180.0) < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_point_panics() {
+        let _ = kmeans_two(&[ViewCenter::new(0.0, 0.0)]);
+    }
+
+    proptest! {
+        #[test]
+        fn split_is_partition(
+            pts in proptest::collection::vec(
+                (-180.0f64..180.0, -60.0f64..60.0), 2..30
+            )
+        ) {
+            let centers: Vec<ViewCenter> =
+                pts.iter().map(|&(y, p)| ViewCenter::new(y, p)).collect();
+            let (a, b) = kmeans_two(&centers);
+            prop_assert!(!a.is_empty());
+            prop_assert!(!b.is_empty());
+            let mut all: Vec<usize> = a.iter().chain(b.iter()).copied().collect();
+            all.sort_unstable();
+            prop_assert_eq!(all, (0..centers.len()).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Temporal stability of Ptile regions.
+//!
+//! The paper constructs Ptiles independently per segment. A real encoding
+//! pipeline cares how much those regions *move*: every region change means
+//! a new encoder configuration and a closed GOP, so a Ptile that jitters
+//! by one tile per segment is costly even if each instant is optimal.
+//! This module measures that churn and provides a hysteresis smoother:
+//! keep the previous segment's region while it still covers the new
+//! cluster "well enough" (IoU above a threshold).
+
+use serde::{Deserialize, Serialize};
+
+use ee360_geom::region::TileRegion;
+
+/// Intersection-over-union of two tile regions on the same grid.
+///
+/// # Example
+///
+/// ```
+/// use ee360_cluster::stability::region_iou;
+/// use ee360_geom::grid::TileGrid;
+/// use ee360_geom::region::TileRegion;
+///
+/// let g = TileGrid::paper_default();
+/// let a = TileRegion::new(&g, 0, 2, 0, 3);
+/// let b = TileRegion::new(&g, 0, 2, 1, 3);
+/// // 9 ∩ 9 = 6 tiles; union = 12 → IoU = 0.5.
+/// assert!((region_iou(&a, &b) - 0.5).abs() < 1e-12);
+/// ```
+pub fn region_iou(a: &TileRegion, b: &TileRegion) -> f64 {
+    let inter = a.tiles().filter(|t| b.contains(*t)).count();
+    let union = a.tile_count() + b.tile_count() - inter;
+    if union == 0 {
+        return 1.0;
+    }
+    inter as f64 / union as f64
+}
+
+/// Churn statistics of a per-segment region sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnStats {
+    /// Number of consecutive-segment transitions analysed.
+    pub transitions: usize,
+    /// Fraction of transitions where the region changed at all.
+    pub change_rate: f64,
+    /// Mean IoU across consecutive segments (1.0 = perfectly stable).
+    pub mean_iou: f64,
+    /// Longest run of identical regions, in segments.
+    pub longest_stable_run: usize,
+}
+
+/// Measures the churn of a region-per-segment sequence.
+///
+/// Returns `None` for sequences shorter than two segments.
+pub fn churn(regions: &[TileRegion]) -> Option<ChurnStats> {
+    if regions.len() < 2 {
+        return None;
+    }
+    let mut changes = 0usize;
+    let mut iou_sum = 0.0;
+    let mut longest = 1usize;
+    let mut run = 1usize;
+    for w in regions.windows(2) {
+        if w[0] == w[1] {
+            run += 1;
+        } else {
+            changes += 1;
+            longest = longest.max(run);
+            run = 1;
+        }
+        iou_sum += region_iou(&w[0], &w[1]);
+    }
+    longest = longest.max(run);
+    let transitions = regions.len() - 1;
+    Some(ChurnStats {
+        transitions,
+        change_rate: changes as f64 / transitions as f64,
+        mean_iou: iou_sum / transitions as f64,
+        longest_stable_run: longest,
+    })
+}
+
+/// A hysteresis smoother: the previous region is kept while its IoU with
+/// the freshly constructed one stays at or above `threshold`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegionSmoother {
+    threshold: f64,
+}
+
+impl RegionSmoother {
+    /// Creates a smoother.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `threshold` is in `(0, 1]` — a threshold of 0 would
+    /// freeze the region forever.
+    pub fn new(threshold: f64) -> Self {
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "IoU threshold must be in (0, 1]"
+        );
+        Self { threshold }
+    }
+
+    /// A sensible default: re-encode only when the overlap drops below
+    /// two-thirds.
+    pub fn paper_extension_default() -> Self {
+        Self::new(2.0 / 3.0)
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Smooths a sequence: each output region is either the previous
+    /// output (if it still overlaps the fresh construction well enough) or
+    /// the fresh construction.
+    pub fn smooth(&self, fresh: &[TileRegion]) -> Vec<TileRegion> {
+        let mut out: Vec<TileRegion> = Vec::with_capacity(fresh.len());
+        for region in fresh {
+            match out.last() {
+                Some(prev) if region_iou(prev, region) >= self.threshold => {
+                    out.push(*prev);
+                }
+                _ => out.push(*region),
+            }
+        }
+        out
+    }
+
+    /// Convenience: smooth and report the before/after churn.
+    pub fn smooth_with_stats(
+        &self,
+        fresh: &[TileRegion],
+    ) -> (Vec<TileRegion>, Option<ChurnStats>, Option<ChurnStats>) {
+        let before = churn(fresh);
+        let smoothed = self.smooth(fresh);
+        let after = churn(&smoothed);
+        (smoothed, before, after)
+    }
+}
+
+impl Default for RegionSmoother {
+    fn default() -> Self {
+        Self::paper_extension_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ee360_geom::grid::TileGrid;
+
+    fn grid() -> TileGrid {
+        TileGrid::paper_default()
+    }
+
+    fn region(col: usize) -> TileRegion {
+        TileRegion::new(&grid(), 1, 3, col, 3)
+    }
+
+    #[test]
+    fn iou_identity_is_one() {
+        let r = region(2);
+        assert_eq!(region_iou(&r, &r), 1.0);
+    }
+
+    #[test]
+    fn iou_disjoint_is_zero() {
+        let g = grid();
+        let a = TileRegion::new(&g, 0, 1, 0, 2);
+        let b = TileRegion::new(&g, 2, 3, 4, 2);
+        assert_eq!(region_iou(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn iou_wraparound_overlap() {
+        let g = grid();
+        let a = TileRegion::new(&g, 0, 0, 7, 2); // cols 7, 0
+        let b = TileRegion::new(&g, 0, 0, 0, 2); // cols 0, 1
+        // Intersection: col 0 → 1 tile; union 3 tiles.
+        assert!((region_iou(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn churn_of_stable_sequence() {
+        let seq = vec![region(2); 10];
+        let c = churn(&seq).unwrap();
+        assert_eq!(c.change_rate, 0.0);
+        assert_eq!(c.mean_iou, 1.0);
+        assert_eq!(c.longest_stable_run, 10);
+        assert_eq!(c.transitions, 9);
+    }
+
+    #[test]
+    fn churn_of_jittering_sequence() {
+        // Alternates between two overlapping positions every segment.
+        let seq: Vec<TileRegion> = (0..10).map(|i| region(2 + i % 2)).collect();
+        let c = churn(&seq).unwrap();
+        assert_eq!(c.change_rate, 1.0);
+        assert!(c.mean_iou < 1.0);
+        assert_eq!(c.longest_stable_run, 1);
+    }
+
+    #[test]
+    fn churn_short_sequence_is_none() {
+        assert!(churn(&[]).is_none());
+        assert!(churn(&[region(0)]).is_none());
+    }
+
+    #[test]
+    fn smoother_absorbs_jitter() {
+        let seq: Vec<TileRegion> = (0..10).map(|i| region(2 + i % 2)).collect();
+        // Adjacent positions share 2 of 4 columns → IoU = 6/12... compute:
+        // 3-col regions shifted by 1 share 2 cols × 3 rows = 6 of 12 → 0.5.
+        let smoother = RegionSmoother::new(0.5);
+        let (smoothed, before, after) = smoother.smooth_with_stats(&seq);
+        assert_eq!(smoothed.len(), seq.len());
+        assert!(after.unwrap().change_rate < before.unwrap().change_rate);
+        assert_eq!(after.unwrap().change_rate, 0.0); // fully absorbed
+    }
+
+    #[test]
+    fn smoother_tracks_real_moves() {
+        // A genuine move across the frame must not be absorbed.
+        let mut seq = vec![region(0); 5];
+        seq.extend(vec![region(5); 5]);
+        let smoother = RegionSmoother::paper_extension_default();
+        let smoothed = smoother.smooth(&seq);
+        assert_eq!(smoothed[4], region(0));
+        assert_eq!(smoothed[5], region(5));
+    }
+
+    #[test]
+    fn high_threshold_means_no_smoothing() {
+        let seq: Vec<TileRegion> = (0..6).map(|i| region(i % 3)).collect();
+        let smoother = RegionSmoother::new(1.0);
+        assert_eq!(smoother.smooth(&seq), seq);
+    }
+
+    #[test]
+    #[should_panic(expected = "IoU threshold")]
+    fn zero_threshold_panics() {
+        let _ = RegionSmoother::new(0.0);
+    }
+}

@@ -1,0 +1,429 @@
+//! One user's streaming session under one scheme.
+//!
+//! Per segment the client (Section IV-B):
+//!
+//! 1. predicts the viewing center with ridge regression over its recent
+//!    gaze history,
+//! 2. asks the server whether a Ptile covers the predicted viewport,
+//! 3. estimates bandwidth with the harmonic mean of past throughputs,
+//! 4. lets the scheme's controller pick (quality, frame rate),
+//! 5. downloads over the network trace through the buffer dynamics, and
+//! 6. books energy (Eq. 1, from the downloaded bits and the Table I
+//!    models) and QoE (Eq. 2, from what the user *actually* looked at —
+//!    a missed prediction shows the low-quality background, not the
+//!    high-quality Ptile).
+
+use ee360_abr::baselines::RateBasedController;
+use ee360_abr::controller::{Controller, Scheme};
+use ee360_abr::mpc::{MpcConfig, MpcController};
+use ee360_abr::plan::SegmentContext;
+use ee360_geom::region::TileRegion;
+use ee360_geom::switching::SwitchingSample;
+use ee360_geom::viewport::{ViewCenter, Viewport};
+use ee360_power::energy::{SegmentEnergy, SegmentEnergyParams};
+use ee360_power::model::{Phone, PowerModel};
+use ee360_predict::bandwidth::{BandwidthEstimator, HarmonicMeanEstimator};
+use ee360_predict::viewport::ViewportPredictor;
+use ee360_qoe::framerate::{alpha, framerate_factor};
+use ee360_qoe::impairment::{QoeWeights, SegmentQoe};
+use ee360_qoe::quality::QoModel;
+use ee360_sim::metrics::{SegmentRecord, SessionMetrics};
+use ee360_sim::session::StreamingSession;
+use ee360_trace::head::HeadTrace;
+use ee360_trace::network::NetworkTrace;
+use ee360_video::ladder::QualityLevel;
+use ee360_video::segment::SEGMENT_DURATION_SEC;
+
+use crate::server::VideoServer;
+
+/// Everything one session needs.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionSetup<'a> {
+    /// The prepared server for the video being watched.
+    pub server: &'a VideoServer,
+    /// The evaluation user's head-movement trace.
+    pub user: &'a HeadTrace,
+    /// The network condition.
+    pub network: &'a NetworkTrace,
+    /// Which phone's power models price the energy.
+    pub phone: Phone,
+    /// Optional cap on the number of segments (for fast tests).
+    pub max_segments: Option<usize>,
+}
+
+/// Builds the controller for a scheme.
+pub fn make_controller(scheme: Scheme, phone: Phone) -> Box<dyn Controller> {
+    match scheme {
+        Scheme::Ours => {
+            let mut cfg = MpcConfig::paper_default();
+            cfg.phone = phone;
+            Box::new(MpcController::new(cfg))
+        }
+        other => Box::new(RateBasedController::new(other)),
+    }
+}
+
+/// The 75th percentile of per-interval switching speeds in a gaze window
+/// (0 when the window has fewer than two samples).
+fn fast_switching_speed(history: &[SwitchingSample]) -> f64 {
+    let mut speeds = ee360_geom::switching::switching_speeds(history);
+    if speeds.is_empty() {
+        return 0.0;
+    }
+    speeds.sort_by(|a, b| a.partial_cmp(b).expect("speeds are finite"));
+    let idx = ((speeds.len() as f64) * 0.75).floor() as usize;
+    speeds[idx.min(speeds.len() - 1)]
+}
+
+/// Pixel-weighted fraction of what the user sees that a region stores —
+/// the rectilinear render mapping of Section II, sampled at 16×16.
+fn overlap_fraction(region: &TileRegion, grid: &ee360_geom::grid::TileGrid, actual: &Viewport) -> f64 {
+    ee360_geom::projection::pixel_coverage(actual, region, grid, 16)
+}
+
+/// Runs one complete session with the scheme's standard controller.
+///
+/// # Panics
+///
+/// Panics if the user's trace belongs to a different video than the server.
+pub fn run_session(scheme: Scheme, setup: &SessionSetup) -> SessionMetrics {
+    let mut controller = make_controller(scheme, setup.phone);
+    run_session_with(controller.as_mut(), setup)
+}
+
+/// Runs one complete session with a caller-supplied controller (used by the
+/// ablation benches: custom ε, custom frame-rate ladder, …).
+///
+/// # Panics
+///
+/// Panics if the user's trace belongs to a different video than the server.
+pub fn run_session_with(controller: &mut dyn Controller, setup: &SessionSetup) -> SessionMetrics {
+    assert_eq!(
+        setup.user.video_id(),
+        setup.server.video_id(),
+        "user trace and server must describe the same video"
+    );
+    let scheme = controller.scheme();
+    let power = PowerModel::for_phone(setup.phone);
+    let qo_model = QoModel::paper_default();
+    let weights = QoeWeights::paper_default();
+    let predictor = ViewportPredictor::paper_default();
+    let mut bw_estimator = HarmonicMeanEstimator::paper_default();
+    let mut session = StreamingSession::new(setup.network.clone(), 3.0);
+    let mut metrics = SessionMetrics::new();
+
+    let grid = *setup.server.grid();
+    let samples = setup.user.switching_samples();
+    let timeline = setup.server.timeline();
+    let horizon = 5usize;
+    let n = setup
+        .max_segments
+        .map_or(setup.server.segment_count(), |m| {
+            m.min(setup.server.segment_count())
+        });
+
+    let q1_bitrate = ee360_abr::sizer::SchemeSizer::paper_default()
+        .effective_bitrate_mbps(QualityLevel::Q1);
+
+    // Startup: fetch the manifests of the first H segments (Section IV-C
+    // step (a)) before the first media request. ~16 kB per segment of
+    // representation metadata.
+    let metadata_bits = 128_000.0 * horizon as f64;
+    let metadata_sec = session.fetch_metadata(metadata_bits);
+    metrics.set_startup(ee360_sim::metrics::StartupRecord {
+        bits: metadata_bits,
+        duration_sec: metadata_sec,
+        energy_mj: power.transmission_power_mw() * metadata_sec,
+    });
+
+    let mut prev_qo: Option<f64> = None;
+    for k in 0..n {
+        let buffer = session.buffer_level_sec();
+        // --- 1. viewport prediction from the playback-time history -----
+        let playback_pos = (k as f64 - buffer).max(0.0);
+        let history: Vec<SwitchingSample> = samples
+            .iter()
+            .filter(|s| s.t_sec >= playback_pos - 2.0 && s.t_sec <= playback_pos + 1e-9)
+            .copied()
+            .collect();
+        let predicted = predictor
+            .predict(&history, buffer.max(0.0))
+            .unwrap_or_else(|| samples.first().map(|s| s.center).unwrap_or_default());
+        // The controller plans frame-rate reduction around the *fast*
+        // phases of the gaze (Eq. 4's blur argument): use the 75th
+        // percentile of recent switching speeds, not the diluted mean.
+        let observed_s_fov = fast_switching_speed(&history);
+
+        // --- 2. Ptile lookup ------------------------------------------
+        let covering = setup.server.covering_ptile(k, predicted);
+        let (ptile_available, ptile_area, bg_blocks, ptile_region) = match covering {
+            Some((p, area, bg)) => (true, area, bg, Some(p.region)),
+            None => (false, 0.0, 0, None),
+        };
+        // Ftile layout lookup (which variable-size tiles the predicted
+        // viewport needs).
+        let predicted_vp = Viewport::new(predicted, 100.0, 100.0);
+        let ftile_selection = setup
+            .server
+            .ftile_layout(k)
+            .map(|layout| layout.tiles_for_viewport(&predicted_vp));
+        let (ftile_fov_tiles, ftile_fov_area) = ftile_selection
+            .as_ref()
+            .map(|(chosen, area)| (chosen.len(), *area))
+            .unwrap_or((0, 0.0));
+
+        // --- 3. bandwidth estimate ------------------------------------
+        // Before the first download there is no throughput history; the
+        // startup phase (metadata fetch, Section IV-C) gives the client a
+        // rough initial figure — we use a conservative 70% of the first
+        // trace sample.
+        let bw_est = bw_estimator
+            .estimate()
+            .unwrap_or_else(|| 0.7 * setup.network.bandwidth_at(0.0));
+
+        // --- 4. controller decision ------------------------------------
+        let upcoming: Vec<_> = (k..k + horizon)
+            .map(|i| {
+                timeline
+                    .segment(i.min(timeline.len() - 1))
+                    .expect("clamped index is valid")
+                    .si_ti
+            })
+            .collect();
+        let content = upcoming[0];
+        let ctx = SegmentContext {
+            index: k,
+            upcoming,
+            predicted_bandwidth_bps: bw_est,
+            buffer_sec: buffer,
+            switching_speed_deg_s: observed_s_fov,
+            ptile_available,
+            ptile_area_frac: ptile_area,
+            background_blocks: bg_blocks,
+            ftile_fov_area,
+            ftile_fov_tiles,
+        };
+        let plan = controller.plan(&ctx);
+
+        // --- 5. download ------------------------------------------------
+        let timing = session.download_segment(plan.bits);
+        bw_estimator.observe(timing.throughput_bps);
+        controller.observe_throughput(timing.throughput_bps);
+
+        // --- 6a. energy (Eq. 1) -----------------------------------------
+        let energy = SegmentEnergy::compute(
+            &power,
+            SegmentEnergyParams {
+                bits: plan.bits,
+                bandwidth_bps: timing.throughput_bps,
+                fps: plan.fps,
+                duration_sec: SEGMENT_DURATION_SEC,
+                scheme: plan.decode_scheme,
+            },
+        );
+
+        // --- 6b. QoE (Eq. 2) against the ACTUAL gaze --------------------
+        let actual = setup.user.segment_center(k).unwrap_or(predicted);
+        let actual_s_fov = setup
+            .user
+            .segment_fast_switching_speed(k)
+            .unwrap_or(observed_s_fov);
+        let actual_vp = Viewport::new(actual, 100.0, 100.0);
+        let frac = match (scheme, &ptile_region) {
+            (Scheme::Nontile, _) => 1.0,
+            (Scheme::Ftile, _) => {
+                // The Ftile layout knows exactly which blocks the chosen
+                // variable-size tiles cover.
+                match (setup.server.ftile_layout(k), &ftile_selection) {
+                    (Some(layout), Some((chosen, _))) => {
+                        layout.coverage_fraction(chosen, &actual_vp)
+                    }
+                    _ => 1.0,
+                }
+            }
+            (_, Some(region)) if plan.decode_scheme == ee360_power::model::DecoderScheme::Ptile => {
+                overlap_fraction(region, &grid, &actual_vp)
+            }
+            _ => {
+                // Conventional tiles were fetched around the *predicted*
+                // center: the quality the user sees depends on how much of
+                // the actual FoV those tiles cover.
+                let predicted_block = grid.fov_block(&Viewport::new(predicted, 100.0, 100.0));
+                let predicted_region = TileRegion::from_tiles(&grid, predicted_block)
+                    .expect("FoV block is non-empty");
+                overlap_fraction(&predicted_region, &grid, &actual_vp)
+            }
+        };
+        let a = alpha(actual_s_fov, content.ti());
+        let ff = framerate_factor(plan.fps, 30.0, a);
+        let qo_hi = qo_model.q_o(content, plan.effective_bitrate_mbps) * ff;
+        let qo_lo = qo_model.q_o(content, q1_bitrate);
+        let qo_eff = frac * qo_hi + (1.0 - frac) * qo_lo;
+        // Startup (k = 0) is not a rebuffering event: players display
+        // nothing until the first segment arrives.
+        let download_for_qoe = if k == 0 { 0.0 } else { timing.download_sec };
+        let qoe = SegmentQoe::evaluate(
+            weights,
+            qo_eff,
+            prev_qo,
+            download_for_qoe,
+            timing.buffer_at_request_sec,
+        );
+        prev_qo = Some(qo_eff);
+
+        metrics.push(SegmentRecord {
+            index: k,
+            quality_level: plan.quality.index(),
+            fps: plan.fps,
+            bits: plan.bits,
+            decode_scheme: plan.decode_scheme,
+            timing,
+            energy,
+            qoe,
+        });
+    }
+    metrics
+}
+
+/// Convenience: the viewport the user actually saw at a segment.
+pub fn actual_viewport(user: &HeadTrace, segment: usize) -> Option<Viewport> {
+    user.segment_center(segment)
+        .map(|c| Viewport::new(c, 100.0, 100.0))
+}
+
+/// Convenience: whether `center`'s FoV block is fully inside `region`.
+pub fn block_covered(grid: &ee360_geom::grid::TileGrid, region: &TileRegion, center: ViewCenter) -> bool {
+    let block = grid.fov_block(&Viewport::new(center, 100.0, 100.0));
+    block.iter().all(|t| region.contains(*t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ee360_cluster::ptile::PtileConfig;
+    use ee360_geom::grid::TileGrid;
+    use ee360_trace::dataset::VideoTraces;
+    use ee360_trace::head::GazeConfig;
+    use ee360_video::catalog::VideoCatalog;
+
+    fn setup_video(
+        video: usize,
+        users: usize,
+        seed: u64,
+    ) -> (VideoServer, VideoTraces, NetworkTrace) {
+        let catalog = VideoCatalog::paper_default();
+        let spec = catalog.video(video).unwrap();
+        let traces = VideoTraces::generate(spec, users, seed, GazeConfig::default());
+        let refs: Vec<&HeadTrace> = traces.traces().iter().collect();
+        let server = VideoServer::prepare(
+            spec,
+            &refs[..users - 2],
+            TileGrid::paper_default(),
+            PtileConfig::paper_default(),
+        );
+        let network = NetworkTrace::paper_trace2(400, seed);
+        (server, traces, network)
+    }
+
+    fn run(scheme: Scheme, cap: usize) -> SessionMetrics {
+        let (server, traces, network) = setup_video(2, 10, 5);
+        let user = traces.traces().last().unwrap();
+        let setup = SessionSetup {
+            server: &server,
+            user,
+            network: &network,
+            phone: Phone::Pixel3,
+            max_segments: Some(cap),
+        };
+        run_session(scheme, &setup)
+    }
+
+    #[test]
+    fn all_schemes_complete_a_session() {
+        for scheme in Scheme::ALL {
+            let m = run(scheme, 30);
+            assert_eq!(m.len(), 30, "{scheme:?}");
+            assert!(m.total_energy_mj() > 0.0, "{scheme:?}");
+            assert!(m.mean_qoe() > 0.0, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn ptile_uses_less_energy_than_ctile() {
+        let ctile = run(Scheme::Ctile, 60);
+        let ptile = run(Scheme::Ptile, 60);
+        assert!(
+            ptile.total_energy_mj() < ctile.total_energy_mj(),
+            "ptile {} >= ctile {}",
+            ptile.total_energy_mj(),
+            ctile.total_energy_mj()
+        );
+    }
+
+    #[test]
+    fn ours_uses_less_energy_than_ptile() {
+        let ptile = run(Scheme::Ptile, 60);
+        let ours = run(Scheme::Ours, 60);
+        assert!(
+            ours.total_energy_mj() < ptile.total_energy_mj(),
+            "ours {} >= ptile {}",
+            ours.total_energy_mj(),
+            ptile.total_energy_mj()
+        );
+    }
+
+    #[test]
+    fn ours_qoe_not_much_below_ptile() {
+        let ptile = run(Scheme::Ptile, 60);
+        let ours = run(Scheme::Ours, 60);
+        // Constraint (8c): within ~ε plus prediction noise.
+        assert!(
+            ours.mean_qoe() > 0.85 * ptile.mean_qoe(),
+            "ours {} vs ptile {}",
+            ours.mean_qoe(),
+            ptile.mean_qoe()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_identical_inputs() {
+        let a = run(Scheme::Ours, 25);
+        let b = run(Scheme::Ours, 25);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nontile_never_misses_coverage() {
+        // Nontile ships the whole frame; its Q_o never blends with the
+        // low-quality floor, so with ample bandwidth its quality is high.
+        let (server, traces, _) = setup_video(2, 10, 5);
+        let fast = NetworkTrace::from_samples(vec![40.0e6]);
+        let user = traces.traces().last().unwrap();
+        let setup = SessionSetup {
+            server: &server,
+            user,
+            network: &fast,
+            phone: Phone::Pixel3,
+            max_segments: Some(20),
+        };
+        let m = run_session(Scheme::Nontile, &setup);
+        assert!(m.mean_quality() > 90.0, "quality {}", m.mean_quality());
+    }
+
+    #[test]
+    #[should_panic(expected = "same video")]
+    fn mismatched_video_panics() {
+        let (server, _, network) = setup_video(2, 8, 5);
+        let catalog = VideoCatalog::paper_default();
+        let other = catalog.video(3).unwrap();
+        let other_traces = VideoTraces::generate(other, 4, 5, GazeConfig::default());
+        let setup = SessionSetup {
+            server: &server,
+            user: &other_traces.traces()[0],
+            network: &network,
+            phone: Phone::Pixel3,
+            max_segments: Some(5),
+        };
+        let _ = run_session(Scheme::Ctile, &setup);
+    }
+}

@@ -1,0 +1,381 @@
+//! Sweeps over videos × schemes × traces × users (Section V-C).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use ee360_abr::controller::Scheme;
+use ee360_cluster::ptile::PtileConfig;
+use ee360_geom::grid::TileGrid;
+use ee360_power::model::Phone;
+use ee360_sim::metrics::SessionMetrics;
+use ee360_trace::dataset::VideoTraces;
+use ee360_trace::head::{GazeConfig, HeadTrace};
+use ee360_trace::network::NetworkTrace;
+use ee360_video::catalog::{VideoCatalog, VideoSpec};
+
+use crate::client::{run_session, SessionSetup};
+use crate::server::VideoServer;
+
+/// Experiment-wide knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Phone whose power models price the energy.
+    pub phone: Phone,
+    /// Seed for traces, network and the train/eval split.
+    pub seed: u64,
+    /// Users generated per video (paper: 48).
+    pub users_total: usize,
+    /// Users used to construct Ptiles (paper: 40).
+    pub train_users: usize,
+    /// Scale factor applied to the LTE trace (1.0 = trace 2, 2.0 = trace 1).
+    pub network_scale: f64,
+    /// Optional cap on segments per session (tests); `None` = full video.
+    pub max_segments: Option<usize>,
+}
+
+impl ExperimentConfig {
+    /// The paper-scale configuration under *trace 2*.
+    pub fn paper_trace2() -> Self {
+        Self {
+            phone: Phone::Pixel3,
+            seed: 20220706,
+            users_total: 48,
+            train_users: 40,
+            network_scale: 1.0,
+            max_segments: None,
+        }
+    }
+
+    /// The paper-scale configuration under *trace 1* (2× bandwidth).
+    pub fn paper_trace1() -> Self {
+        Self {
+            network_scale: 2.0,
+            ..Self::paper_trace2()
+        }
+    }
+
+    /// A small, fast configuration for unit tests and doctests.
+    pub fn quick_test() -> Self {
+        Self {
+            phone: Phone::Pixel3,
+            seed: 7,
+            users_total: 10,
+            train_users: 8,
+            network_scale: 1.0,
+            max_segments: Some(60),
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.train_users >= 1 && self.train_users < self.users_total,
+            "train_users must be in 1..users_total"
+        );
+        assert!(self.network_scale > 0.0, "network scale must be positive");
+    }
+
+    /// The network trace this configuration streams over.
+    pub fn network(&self, duration_sec: usize) -> NetworkTrace {
+        NetworkTrace::paper_trace2(duration_sec, self.seed).scaled(self.network_scale)
+    }
+}
+
+/// Aggregated outcome of one (video, scheme) cell, averaged over the
+/// evaluation users.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchemeOutcome {
+    /// The scheme evaluated.
+    pub scheme: Scheme,
+    /// Table III video id.
+    pub video_id: usize,
+    /// Evaluation users averaged over.
+    pub users: usize,
+    /// Segments per session.
+    pub segments: usize,
+    /// Mean energy per segment, mJ (Fig. 9's y-axis).
+    pub mean_energy_mj_per_segment: f64,
+    /// Mean transmission energy per segment, mJ.
+    pub mean_transmission_mj: f64,
+    /// Mean decode energy per segment, mJ.
+    pub mean_decode_mj: f64,
+    /// Mean render energy per segment, mJ.
+    pub mean_render_mj: f64,
+    /// Mean per-segment QoE (Fig. 11's y-axis).
+    pub mean_qoe: f64,
+    /// Mean `Q_o` (Fig. 11d "average video quality").
+    pub mean_quality: f64,
+    /// Mean quality-variation impairment (Fig. 11d).
+    pub mean_variation: f64,
+    /// Mean rebuffering impairment (Fig. 11d).
+    pub mean_rebuffering: f64,
+    /// Total stall seconds per session (averaged over users).
+    pub mean_stall_sec: f64,
+    /// Mean chosen quality level (1..5).
+    pub mean_quality_level: f64,
+    /// Mean displayed frame rate, fps.
+    pub mean_fps: f64,
+}
+
+impl SchemeOutcome {
+    fn from_sessions(scheme: Scheme, video_id: usize, sessions: &[SessionMetrics]) -> Self {
+        assert!(!sessions.is_empty(), "need at least one session");
+        let n = sessions.len() as f64;
+        let mean =
+            |f: &dyn Fn(&SessionMetrics) -> f64| sessions.iter().map(f).sum::<f64>() / n;
+        let segs = sessions[0].len();
+        Self {
+            scheme,
+            video_id,
+            users: sessions.len(),
+            segments: segs,
+            mean_energy_mj_per_segment: mean(&|s| s.total_energy_mj() / s.len().max(1) as f64),
+            mean_transmission_mj: mean(&|s| {
+                s.energy_breakdown_mj().transmission_mj / s.len().max(1) as f64
+            }),
+            mean_decode_mj: mean(&|s| s.energy_breakdown_mj().decode_mj / s.len().max(1) as f64),
+            mean_render_mj: mean(&|s| s.energy_breakdown_mj().render_mj / s.len().max(1) as f64),
+            mean_qoe: mean(&|s| s.mean_qoe()),
+            mean_quality: mean(&|s| s.mean_quality()),
+            mean_variation: mean(&|s| s.mean_variation()),
+            mean_rebuffering: mean(&|s| s.mean_rebuffering()),
+            mean_stall_sec: mean(&|s| s.total_stall_sec()),
+            mean_quality_level: mean(&|s| s.mean_quality_level()),
+            mean_fps: mean(&|s| s.mean_fps()),
+        }
+    }
+}
+
+/// A prepared evaluation: traces generated, Ptiles constructed, ready to
+/// run any (video, scheme) cell. Construction is the expensive part;
+/// `run` is cheap enough to sweep.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    config: ExperimentConfig,
+    catalog: VideoCatalog,
+    servers: HashMap<usize, VideoServer>,
+    eval_traces: HashMap<usize, Vec<HeadTrace>>,
+    network: NetworkTrace,
+}
+
+impl Evaluation {
+    /// Prepares every video in the catalog under the given configuration.
+    pub fn prepare(config: ExperimentConfig) -> Self {
+        Self::prepare_videos(config, &VideoCatalog::paper_default(), None)
+    }
+
+    /// Prepares only the listed video ids (or all when `None`).
+    pub fn prepare_videos(
+        config: ExperimentConfig,
+        catalog: &VideoCatalog,
+        videos: Option<&[usize]>,
+    ) -> Self {
+        config.validate();
+        let mut servers = HashMap::new();
+        let mut eval_traces = HashMap::new();
+        let mut max_duration = 0usize;
+        for spec in catalog.videos() {
+            if let Some(ids) = videos {
+                if !ids.contains(&spec.id) {
+                    continue;
+                }
+            }
+            let traces =
+                VideoTraces::generate(spec, config.users_total, config.seed, GazeConfig::default());
+            let (train, eval) = traces.split(config.train_users, config.seed);
+            // "A Ptile is only constructed if it covers at least five users
+            // (i.e., 10% of the users in the dataset)" — scale the absolute
+            // threshold with the population so reduced-scale runs keep the
+            // paper's 10% rule.
+            let mut ptile_config = PtileConfig::paper_default();
+            ptile_config.min_users =
+                ((config.users_total as f64 * 0.10).ceil() as usize).max(2);
+            let server = VideoServer::prepare(
+                spec,
+                &train,
+                TileGrid::paper_default(),
+                ptile_config,
+            );
+            servers.insert(spec.id, server);
+            eval_traces.insert(spec.id, eval.into_iter().cloned().collect());
+            max_duration = max_duration.max(spec.duration_sec as usize);
+        }
+        let network = config.network(max_duration.max(60) * 2);
+        Self {
+            config,
+            catalog: catalog.clone(),
+            servers,
+            eval_traces,
+            network,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// The prepared server for a video.
+    pub fn server(&self, video_id: usize) -> Option<&VideoServer> {
+        self.servers.get(&video_id)
+    }
+
+    /// The evaluation users of a video.
+    pub fn eval_users(&self, video_id: usize) -> &[HeadTrace] {
+        self.eval_traces
+            .get(&video_id)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The network trace in force.
+    pub fn network(&self) -> &NetworkTrace {
+        &self.network
+    }
+
+    /// Runs one (video, scheme) cell over all evaluation users.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the video was not prepared.
+    pub fn run(&self, video_id: usize, scheme: Scheme) -> SchemeOutcome {
+        let server = self
+            .servers
+            .get(&video_id)
+            .unwrap_or_else(|| panic!("video {video_id} was not prepared"));
+        let users = &self.eval_traces[&video_id];
+        let sessions: Vec<SessionMetrics> = users
+            .iter()
+            .map(|user| {
+                run_session(
+                    scheme,
+                    &SessionSetup {
+                        server,
+                        user,
+                        network: &self.network,
+                        phone: self.config.phone,
+                        max_segments: self.config.max_segments,
+                    },
+                )
+            })
+            .collect();
+        SchemeOutcome::from_sessions(scheme, video_id, &sessions)
+    }
+
+    /// Runs every scheme for one video.
+    pub fn run_all_schemes(&self, video_id: usize) -> Vec<SchemeOutcome> {
+        Scheme::ALL
+            .iter()
+            .map(|s| self.run(video_id, *s))
+            .collect()
+    }
+
+    /// The catalog backing this evaluation.
+    pub fn catalog(&self) -> &VideoCatalog {
+        &self.catalog
+    }
+}
+
+/// Convenience: prepare a single video and run one scheme.
+pub fn run_video_scheme(
+    spec: &VideoSpec,
+    scheme: Scheme,
+    config: &ExperimentConfig,
+) -> SchemeOutcome {
+    let catalog = VideoCatalog::paper_default();
+    let eval = Evaluation::prepare_videos(*config, &catalog, Some(&[spec.id]));
+    eval.run(spec.id, scheme)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_eval(videos: &[usize]) -> Evaluation {
+        let mut config = ExperimentConfig::quick_test();
+        config.max_segments = Some(40);
+        Evaluation::prepare_videos(config, &VideoCatalog::paper_default(), Some(videos))
+    }
+
+    #[test]
+    fn prepares_requested_videos_only() {
+        let eval = quick_eval(&[2, 6]);
+        assert!(eval.server(2).is_some());
+        assert!(eval.server(6).is_some());
+        assert!(eval.server(1).is_none());
+        assert_eq!(eval.eval_users(2).len(), 2); // 10 total − 8 train
+    }
+
+    #[test]
+    fn outcome_fields_are_populated() {
+        let eval = quick_eval(&[2]);
+        let out = eval.run(2, Scheme::Ptile);
+        assert_eq!(out.video_id, 2);
+        assert_eq!(out.users, 2);
+        assert_eq!(out.segments, 40);
+        assert!(out.mean_energy_mj_per_segment > 0.0);
+        assert!(out.mean_qoe > 0.0);
+        assert!(out.mean_quality >= out.mean_qoe); // impairments only subtract
+        assert!(out.mean_fps > 20.0 && out.mean_fps <= 30.0);
+        let parts = out.mean_transmission_mj + out.mean_decode_mj + out.mean_render_mj;
+        assert!((parts - out.mean_energy_mj_per_segment).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scheme_energy_ordering_holds_on_average() {
+        // The headline ordering: Ours < Ptile < Ctile in energy.
+        let eval = quick_eval(&[2]);
+        let ctile = eval.run(2, Scheme::Ctile);
+        let ptile = eval.run(2, Scheme::Ptile);
+        let ours = eval.run(2, Scheme::Ours);
+        assert!(
+            ptile.mean_energy_mj_per_segment < ctile.mean_energy_mj_per_segment,
+            "ptile {} vs ctile {}",
+            ptile.mean_energy_mj_per_segment,
+            ctile.mean_energy_mj_per_segment
+        );
+        assert!(
+            ours.mean_energy_mj_per_segment < ptile.mean_energy_mj_per_segment,
+            "ours {} vs ptile {}",
+            ours.mean_energy_mj_per_segment,
+            ptile.mean_energy_mj_per_segment
+        );
+    }
+
+    #[test]
+    fn trace1_config_doubles_bandwidth() {
+        let t2 = ExperimentConfig::paper_trace2();
+        let t1 = ExperimentConfig::paper_trace1();
+        let n2 = t2.network(100);
+        let n1 = t1.network(100);
+        assert!((n1.mean_bps() / n2.mean_bps() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_all_schemes_covers_all_five() {
+        let eval = quick_eval(&[6]);
+        let outs = eval.run_all_schemes(6);
+        assert_eq!(outs.len(), 5);
+        let schemes: Vec<Scheme> = outs.iter().map(|o| o.scheme).collect();
+        assert_eq!(schemes, Scheme::ALL.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "not prepared")]
+    fn unprepared_video_panics() {
+        let eval = quick_eval(&[2]);
+        let _ = eval.run(5, Scheme::Ctile);
+    }
+
+    #[test]
+    #[should_panic(expected = "train_users")]
+    fn bad_split_config_panics() {
+        let mut config = ExperimentConfig::quick_test();
+        config.train_users = config.users_total;
+        let _ = Evaluation::prepare_videos(
+            config,
+            &VideoCatalog::paper_default(),
+            Some(&[2]),
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! End-to-end experiments: the paper's evaluation pipeline.
+//!
+//! This crate is the top of the `ee360` stack. It wires the substrates
+//! together the way Section V does:
+//!
+//! * [`server`] — server-side preparation: per-segment Ptile construction
+//!   from the 40 training users' traces, Ptile lookup for a predicted
+//!   viewport,
+//! * [`client`] — one user's streaming session under one scheme: viewport
+//!   prediction (ridge regression), bandwidth estimation (harmonic mean),
+//!   the controller decision, the simulated download, and the energy/QoE
+//!   bookkeeping of Eqs. 1 and 2,
+//! * [`experiment`] — sweeps over videos × schemes × traces × users and
+//!   aggregates (Figs. 9–11),
+//! * [`report`] — plain-text tables matching the figures' rows/series.
+//!
+//! # Example
+//!
+//! ```
+//! use ee360_core::experiment::{ExperimentConfig, run_video_scheme};
+//! use ee360_abr::controller::Scheme;
+//! use ee360_video::catalog::VideoCatalog;
+//!
+//! let mut config = ExperimentConfig::quick_test();
+//! config.max_segments = Some(20); // keep the doctest fast
+//! let catalog = VideoCatalog::paper_default();
+//! let spec = catalog.video(6).unwrap();
+//! let outcome = run_video_scheme(spec, Scheme::Ptile, &config);
+//! assert!(outcome.mean_energy_mj_per_segment > 0.0);
+//! assert!(outcome.mean_qoe > 0.0);
+//! ```
+
+pub mod client;
+pub mod experiment;
+pub mod parallel;
+pub mod report;
+pub mod server;
+
+pub use client::{run_session, run_session_with, SessionSetup};
+pub use experiment::{run_video_scheme, ExperimentConfig, SchemeOutcome};
+pub use parallel::{default_threads, run_matrix};
+pub use report::{normalize_to, BarChart, TableWriter};
+pub use server::VideoServer;

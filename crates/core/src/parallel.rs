@@ -1,0 +1,142 @@
+//! Parallel sweeps over (video, scheme) cells.
+//!
+//! The full Figs. 9–11 matrix is 8 videos × 5 schemes × 2 traces × 8
+//! users; every cell is independent, so a work-stealing sweep over a
+//! scoped thread pool cuts wall-clock by ~the core count. Results are
+//! returned in deterministic (video, scheme) order regardless of the
+//! execution schedule.
+
+use crossbeam::thread;
+use parking_lot::Mutex;
+
+use ee360_abr::controller::Scheme;
+
+use crate::experiment::{Evaluation, SchemeOutcome};
+
+/// Runs every (video, scheme) cell of the matrix across `threads` workers.
+///
+/// Returns outcomes sorted by `(video, scheme-order)`, identical to what a
+/// sequential double loop would produce.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero, any video was not prepared in the
+/// [`Evaluation`], or a worker thread panics.
+pub fn run_matrix(
+    eval: &Evaluation,
+    videos: &[usize],
+    schemes: &[Scheme],
+    threads: usize,
+) -> Vec<SchemeOutcome> {
+    assert!(threads > 0, "need at least one worker thread");
+    let cells: Vec<(usize, Scheme)> = videos
+        .iter()
+        .flat_map(|v| schemes.iter().map(move |s| (*v, *s)))
+        .collect();
+    let next = Mutex::new(0usize);
+    let results: Mutex<Vec<Option<SchemeOutcome>>> = Mutex::new(vec![None; cells.len()]);
+
+    thread::scope(|scope| {
+        for _ in 0..threads.min(cells.len()).max(1) {
+            scope.spawn(|_| loop {
+                let idx = {
+                    let mut guard = next.lock();
+                    let idx = *guard;
+                    if idx >= cells.len() {
+                        return;
+                    }
+                    *guard += 1;
+                    idx
+                };
+                let (video, scheme) = cells[idx];
+                let outcome = eval.run(video, scheme);
+                results.lock()[idx] = Some(outcome);
+            });
+        }
+    })
+    .expect("worker threads must not panic");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|o| o.expect("every cell was executed"))
+        .collect()
+}
+
+/// A reasonable worker count for the current machine (logical cores,
+/// capped at the cell count typical for a full sweep).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(1, 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::ExperimentConfig;
+    use ee360_video::catalog::VideoCatalog;
+
+    fn eval() -> Evaluation {
+        let mut config = ExperimentConfig::quick_test();
+        config.max_segments = Some(30);
+        Evaluation::prepare_videos(config, &VideoCatalog::paper_default(), Some(&[2, 6]))
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let eval = eval();
+        let videos = [2usize, 6];
+        let schemes = [Scheme::Ctile, Scheme::Ptile, Scheme::Ours];
+        let parallel = run_matrix(&eval, &videos, &schemes, 4);
+        let sequential: Vec<_> = videos
+            .iter()
+            .flat_map(|v| schemes.iter().map(|s| eval.run(*v, *s)))
+            .collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let eval = eval();
+        let out = run_matrix(&eval, &[2], &[Scheme::Ftile], 1);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].scheme, Scheme::Ftile);
+    }
+
+    #[test]
+    fn more_threads_than_cells_is_fine() {
+        let eval = eval();
+        let out = run_matrix(&eval, &[2], &[Scheme::Ctile, Scheme::Nontile], 16);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn ordering_is_video_major() {
+        let eval = eval();
+        let out = run_matrix(&eval, &[2, 6], &[Scheme::Ctile, Scheme::Ours], 3);
+        let pairs: Vec<(usize, Scheme)> = out.iter().map(|o| (o.video_id, o.scheme)).collect();
+        assert_eq!(
+            pairs,
+            vec![
+                (2, Scheme::Ctile),
+                (2, Scheme::Ours),
+                (6, Scheme::Ctile),
+                (6, Scheme::Ours)
+            ]
+        );
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker thread")]
+    fn zero_threads_panics() {
+        let eval = eval();
+        let _ = run_matrix(&eval, &[2], &[Scheme::Ctile], 0);
+    }
+}

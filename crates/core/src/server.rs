@@ -1,0 +1,263 @@
+//! Server-side preparation: Ptile construction per segment.
+//!
+//! "For each video, forty users are randomly selected and their head
+//! movement traces are used to construct the video tiles (and Ptiles)"
+//! (Section V-A). The server runs Algorithm 1 over the training users'
+//! viewing centers for every segment, stores the resulting Ptiles, and at
+//! request time answers: *does a Ptile cover this predicted viewport, and
+//! how big is it?*
+
+use ee360_cluster::coverage::{segment_coverage, CoverageStats};
+use ee360_cluster::ftile::FtileLayout;
+use ee360_cluster::ptile::{background_blocks, build_ptiles, Ptile, PtileConfig};
+use ee360_geom::grid::TileGrid;
+use ee360_geom::viewport::{ViewCenter, Viewport};
+use ee360_trace::head::HeadTrace;
+use ee360_video::catalog::VideoSpec;
+use ee360_video::segment::SegmentTimeline;
+
+/// The prepared server state for one video.
+#[derive(Debug, Clone)]
+pub struct VideoServer {
+    video_id: usize,
+    grid: TileGrid,
+    config: PtileConfig,
+    timeline: SegmentTimeline,
+    ptiles: Vec<Vec<Ptile>>,
+    ftile_layouts: Vec<FtileLayout>,
+}
+
+impl VideoServer {
+    /// Builds the server for a video from the training users' traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `training` is empty or a trace belongs to another video.
+    pub fn prepare(
+        spec: &VideoSpec,
+        training: &[&HeadTrace],
+        grid: TileGrid,
+        config: PtileConfig,
+    ) -> Self {
+        assert!(!training.is_empty(), "need at least one training trace");
+        assert!(
+            training.iter().all(|t| t.video_id() == spec.id),
+            "training traces must belong to video {}",
+            spec.id
+        );
+        let timeline = SegmentTimeline::for_video(spec);
+        let n = spec.segment_count();
+        let mut ptiles = Vec::with_capacity(n);
+        let mut ftile_layouts = Vec::with_capacity(n);
+        for k in 0..n {
+            let centers: Vec<ViewCenter> = training
+                .iter()
+                .filter_map(|t| t.segment_center(k))
+                .collect();
+            ptiles.push(build_ptiles(&centers, &grid, &config));
+            ftile_layouts.push(FtileLayout::build(&centers));
+        }
+        Self {
+            video_id: spec.id,
+            grid,
+            config,
+            timeline,
+            ptiles,
+            ftile_layouts,
+        }
+    }
+
+    /// The video this server serves.
+    pub fn video_id(&self) -> usize {
+        self.video_id
+    }
+
+    /// The conventional tile grid.
+    pub fn grid(&self) -> &TileGrid {
+        &self.grid
+    }
+
+    /// The per-segment content timeline.
+    pub fn timeline(&self) -> &SegmentTimeline {
+        &self.timeline
+    }
+
+    /// Number of segments.
+    pub fn segment_count(&self) -> usize {
+        self.ptiles.len()
+    }
+
+    /// The Ftile baseline's variable-size tiling for a segment, or `None`
+    /// past the end of the video.
+    pub fn ftile_layout(&self, segment: usize) -> Option<&FtileLayout> {
+        self.ftile_layouts.get(segment)
+    }
+
+    /// The Ptiles constructed for a segment (most popular first).
+    pub fn ptiles(&self, segment: usize) -> &[Ptile] {
+        self.ptiles
+            .get(segment)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Looks up the Ptile (if any) covering a predicted viewport at a
+    /// segment: the first (most popular) Ptile whose region contains the
+    /// viewport's whole FoV tile block. Returns the Ptile, its area
+    /// fraction, and its background-block count.
+    pub fn covering_ptile(
+        &self,
+        segment: usize,
+        predicted: ViewCenter,
+    ) -> Option<(&Ptile, f64, usize)> {
+        let vp = Viewport::new(predicted, self.config.fov_h_deg, self.config.fov_v_deg);
+        let block = self.grid.fov_block(&vp);
+        self.ptiles(segment)
+            .iter()
+            .find(|p| block.iter().all(|t| p.region.contains(*t)))
+            .map(|p| {
+                let area = p.region.area_fraction(&self.grid);
+                let bg = background_blocks(&p.region, &self.grid).len();
+                (p, area, bg)
+            })
+    }
+
+    /// Fig. 7 statistics over a set of evaluation traces: per segment, how
+    /// many Ptiles exist and which fraction of the users they cover.
+    pub fn coverage_stats(&self, users: &[&HeadTrace]) -> CoverageStats {
+        let mut stats = CoverageStats::new();
+        for k in 0..self.segment_count() {
+            let centers: Vec<ViewCenter> = users
+                .iter()
+                .filter_map(|t| t.segment_center(k))
+                .collect();
+            stats.push(segment_coverage(
+                &centers,
+                self.ptiles(k),
+                &self.grid,
+                self.config.fov_h_deg,
+                self.config.fov_v_deg,
+            ));
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ee360_trace::dataset::VideoTraces;
+    use ee360_trace::head::GazeConfig;
+    use ee360_video::catalog::VideoCatalog;
+
+    fn server_for(video: usize, users: usize) -> (VideoServer, VideoTraces) {
+        let catalog = VideoCatalog::paper_default();
+        let spec = catalog.video(video).unwrap();
+        let traces = VideoTraces::generate(spec, users, 11, GazeConfig::default());
+        let refs: Vec<&HeadTrace> = traces.traces().iter().collect();
+        let server = VideoServer::prepare(
+            spec,
+            &refs,
+            TileGrid::paper_default(),
+            PtileConfig::paper_default(),
+        );
+        (server, traces)
+    }
+
+    #[test]
+    fn prepares_every_segment() {
+        let (server, _) = server_for(6, 10);
+        assert_eq!(server.segment_count(), 164);
+        assert_eq!(server.video_id(), 6);
+    }
+
+    #[test]
+    fn focused_video_mostly_one_ptile() {
+        let (server, _) = server_for(2, 12); // boxing, focused
+        let mut with_one = 0;
+        for k in 0..server.segment_count() {
+            if server.ptiles(k).len() <= 1 {
+                with_one += 1;
+            }
+        }
+        let frac = with_one as f64 / server.segment_count() as f64;
+        assert!(frac > 0.7, "only {frac} of segments have ≤1 Ptile");
+    }
+
+    #[test]
+    fn covering_lookup_finds_popular_view() {
+        let (server, traces) = server_for(2, 12);
+        // A training user's own center should usually be covered.
+        let trace = &traces.traces()[0];
+        let mut hits = 0;
+        let mut total = 0;
+        for k in (0..server.segment_count()).step_by(10) {
+            if let Some(center) = trace.segment_center(k) {
+                total += 1;
+                if server.covering_ptile(k, center).is_some() {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(
+            hits as f64 / total as f64 > 0.5,
+            "{hits}/{total} covered"
+        );
+    }
+
+    #[test]
+    fn covering_lookup_rejects_antipode() {
+        let (server, traces) = server_for(2, 12);
+        let trace = &traces.traces()[0];
+        let mut miss = 0;
+        let mut total = 0;
+        for k in (0..server.segment_count()).step_by(10) {
+            if let Some(center) = trace.segment_center(k) {
+                total += 1;
+                let far = ViewCenter::new(center.yaw_deg() + 180.0, -center.pitch_deg());
+                if server.covering_ptile(k, far).is_none() {
+                    miss += 1;
+                }
+            }
+        }
+        assert!(miss as f64 / total as f64 > 0.6, "{miss}/{total} misses");
+    }
+
+    #[test]
+    fn coverage_stats_have_all_segments() {
+        let (server, traces) = server_for(6, 8);
+        let refs: Vec<&HeadTrace> = traces.traces().iter().collect();
+        let stats = server.coverage_stats(&refs);
+        assert_eq!(stats.len(), server.segment_count());
+        assert!(stats.mean_coverage() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "belong to video")]
+    fn wrong_video_traces_panic() {
+        let catalog = VideoCatalog::paper_default();
+        let spec2 = catalog.video(2).unwrap();
+        let spec3 = catalog.video(3).unwrap();
+        let traces = VideoTraces::generate(spec3, 4, 1, GazeConfig::default());
+        let refs: Vec<&HeadTrace> = traces.traces().iter().collect();
+        let _ = VideoServer::prepare(
+            spec2,
+            &refs,
+            TileGrid::paper_default(),
+            PtileConfig::paper_default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one training trace")]
+    fn empty_training_panics() {
+        let catalog = VideoCatalog::paper_default();
+        let spec = catalog.video(1).unwrap();
+        let _ = VideoServer::prepare(
+            spec,
+            &[],
+            TileGrid::paper_default(),
+            PtileConfig::paper_default(),
+        );
+    }
+}

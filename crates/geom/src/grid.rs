@@ -1,0 +1,366 @@
+//! The conventional tile grid.
+//!
+//! Tile-based 360° streaming divides each equirectangular video segment into
+//! a fixed grid of independently decodable tiles — 4 rows × 8 columns in the
+//! paper (Fig. 1), 15 × 30 blocks for the Ftile baseline. [`TileGrid`] maps
+//! between (yaw, pitch) coordinates and tile indices, and computes which
+//! tiles a viewport needs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::angles::wrap_yaw_deg;
+use crate::viewport::{ViewCenter, Viewport};
+
+/// Identifies one tile in a [`TileGrid`]: row 0 is the top (north pole) row,
+/// column 0 starts at yaw −180°.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TileId {
+    /// Row index, `0..rows`, top to bottom.
+    pub row: usize,
+    /// Column index, `0..cols`, west to east starting at yaw −180°.
+    pub col: usize,
+}
+
+impl TileId {
+    /// Creates a tile id.
+    pub fn new(row: usize, col: usize) -> Self {
+        Self { row, col }
+    }
+}
+
+/// A fixed equirectangular tile grid.
+///
+/// # Example
+///
+/// ```
+/// use ee360_geom::grid::TileGrid;
+/// let grid = TileGrid::paper_default(); // 4 rows × 8 columns
+/// assert_eq!(grid.tile_count(), 32);
+/// assert!((grid.tile_width_deg() - 45.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TileGrid {
+    rows: usize,
+    cols: usize,
+}
+
+impl TileGrid {
+    /// Creates a grid with the given number of rows and columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "grid must have at least one tile");
+        Self { rows, cols }
+    }
+
+    /// The paper's conventional grid: 4 rows × 8 columns.
+    pub fn paper_default() -> Self {
+        Self::new(4, 8)
+    }
+
+    /// The fine grid used by the Ftile baseline: 15 rows × 30 columns.
+    pub fn ftile_blocks() -> Self {
+        Self::new(15, 30)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of tiles.
+    pub fn tile_count(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Width of one tile in degrees of yaw.
+    pub fn tile_width_deg(&self) -> f64 {
+        360.0 / self.cols as f64
+    }
+
+    /// Height of one tile in degrees of pitch.
+    pub fn tile_height_deg(&self) -> f64 {
+        180.0 / self.rows as f64
+    }
+
+    /// Flattened index of a tile (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile is outside the grid.
+    pub fn flat_index(&self, t: TileId) -> usize {
+        assert!(t.row < self.rows && t.col < self.cols, "tile out of range");
+        t.row * self.cols + t.col
+    }
+
+    /// The tile containing a view center.
+    pub fn tile_at(&self, p: &ViewCenter) -> TileId {
+        let x = (wrap_yaw_deg(p.yaw_deg()) + 180.0) / self.tile_width_deg();
+        let col = (x.floor() as isize).rem_euclid(self.cols as isize) as usize;
+        // Row 0 is at the top (pitch +90); pitch +90 itself belongs to row 0.
+        let y = (90.0 - p.pitch_deg()) / self.tile_height_deg();
+        let row = (y.floor() as usize).min(self.rows - 1);
+        TileId::new(row, col)
+    }
+
+    /// Yaw of the western edge of a column, in `[-180, 180)`.
+    pub fn col_west_deg(&self, col: usize) -> f64 {
+        wrap_yaw_deg(-180.0 + col as f64 * self.tile_width_deg())
+    }
+
+    /// Pitch of the top edge of a row.
+    pub fn row_top_deg(&self, row: usize) -> f64 {
+        90.0 - row as f64 * self.tile_height_deg()
+    }
+
+    /// The center point of a tile.
+    pub fn tile_center(&self, t: TileId) -> ViewCenter {
+        ViewCenter::new(
+            -180.0 + (t.col as f64 + 0.5) * self.tile_width_deg(),
+            90.0 - (t.row as f64 + 0.5) * self.tile_height_deg(),
+        )
+    }
+
+    /// All tiles whose area intersects the viewport box (exact coverage).
+    ///
+    /// Tiles are half-open in both axes, so a viewport edge exactly on a tile
+    /// boundary does not drag in the neighbouring tile.
+    pub fn tiles_covering(&self, vp: &Viewport) -> Vec<TileId> {
+        let w = self.tile_width_deg();
+        let h = self.tile_height_deg();
+        // Column range (wrapping).
+        let yaw_min = vp.center().yaw_deg() - vp.fov_h_deg() / 2.0;
+        let span_cols = if vp.fov_h_deg() >= 360.0 {
+            self.cols
+        } else {
+            let first = ((yaw_min + 180.0) / w).floor();
+            let last = ((yaw_min + vp.fov_h_deg() + 180.0 - 1e-9) / w).floor();
+            ((last - first) as usize + 1).min(self.cols)
+        };
+        let first_col =
+            (((yaw_min + 180.0) / w).floor() as isize).rem_euclid(self.cols as isize) as usize;
+        // Row range (clamped).
+        let row_top = (((90.0 - vp.pitch_max_deg()) / h).floor() as usize).min(self.rows - 1);
+        let row_bot = (((90.0 - vp.pitch_min_deg() - 1e-9) / h).floor() as usize).min(self.rows - 1);
+
+        let mut out = Vec::with_capacity((row_bot - row_top + 1) * span_cols);
+        for row in row_top..=row_bot {
+            for dc in 0..span_cols {
+                out.push(TileId::new(row, (first_col + dc) % self.cols));
+            }
+        }
+        out
+    }
+
+    /// The quantised FoV block: a fixed `⌈fov_v/tile_h⌉ × ⌈fov_h/tile_w⌉`
+    /// block of tiles centered on the tile containing the view center.
+    ///
+    /// This is how the paper's client requests "the FoV tiles": a 100°×100°
+    /// viewport on the 4×8 grid always maps to a 3×3 = 9-tile block
+    /// (Section II, Fig. 2b). The block wraps horizontally and is shifted —
+    /// never shrunk — to stay inside the grid vertically.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ee360_geom::grid::TileGrid;
+    /// use ee360_geom::viewport::{ViewCenter, Viewport};
+    /// let grid = TileGrid::paper_default();
+    /// let vp = Viewport::paper_fov(ViewCenter::new(0.0, 0.0));
+    /// assert_eq!(grid.fov_block(&vp).len(), 9);
+    /// ```
+    pub fn fov_block(&self, vp: &Viewport) -> Vec<TileId> {
+        let block_cols = ((vp.fov_h_deg() / self.tile_width_deg()).ceil() as usize)
+            .clamp(1, self.cols);
+        let block_rows = ((vp.fov_v_deg() / self.tile_height_deg()).ceil() as usize)
+            .clamp(1, self.rows);
+        let center = self.tile_at(&vp.center());
+
+        let first_col = (center.col as isize - (block_cols as isize - 1) / 2)
+            .rem_euclid(self.cols as isize) as usize;
+        let mut first_row = center.row as isize - (block_rows as isize - 1) / 2;
+        first_row = first_row.clamp(0, self.rows as isize - block_rows as isize);
+        let first_row = first_row as usize;
+
+        let mut out = Vec::with_capacity(block_rows * block_cols);
+        for dr in 0..block_rows {
+            for dc in 0..block_cols {
+                out.push(TileId::new(first_row + dr, (first_col + dc) % self.cols));
+            }
+        }
+        out
+    }
+
+    /// Iterates over every tile in the grid, row-major.
+    pub fn iter(&self) -> impl Iterator<Item = TileId> + '_ {
+        let cols = self.cols;
+        (0..self.tile_count()).map(move |i| TileId::new(i / cols, i % cols))
+    }
+}
+
+impl Default for TileGrid {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_grid_dimensions() {
+        let g = TileGrid::paper_default();
+        assert_eq!(g.rows(), 4);
+        assert_eq!(g.cols(), 8);
+        assert_eq!(g.tile_count(), 32);
+        assert!((g.tile_width_deg() - 45.0).abs() < 1e-12);
+        assert!((g.tile_height_deg() - 45.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tile_at_origin() {
+        let g = TileGrid::paper_default();
+        // yaw 0 is the start of column 4; pitch 0 is the start of row 2.
+        assert_eq!(g.tile_at(&ViewCenter::new(0.0, 0.0)), TileId::new(2, 4));
+        assert_eq!(g.tile_at(&ViewCenter::new(0.0, 1.0)), TileId::new(1, 4));
+    }
+
+    #[test]
+    fn tile_at_extremes() {
+        let g = TileGrid::paper_default();
+        assert_eq!(g.tile_at(&ViewCenter::new(-180.0, 90.0)), TileId::new(0, 0));
+        assert_eq!(
+            g.tile_at(&ViewCenter::new(179.9, -89.9)),
+            TileId::new(3, 7)
+        );
+        // Pitch exactly -90 still maps into the last row.
+        assert_eq!(g.tile_at(&ViewCenter::new(0.0, -90.0)).row, 3);
+    }
+
+    #[test]
+    fn tile_center_roundtrip() {
+        let g = TileGrid::paper_default();
+        for t in g.iter() {
+            assert_eq!(g.tile_at(&g.tile_center(t)), t);
+        }
+    }
+
+    #[test]
+    fn fov_block_is_nine_tiles() {
+        let g = TileGrid::paper_default();
+        for yaw in [-180.0, -90.0, 0.0, 33.0, 179.0] {
+            for pitch in [-80.0, -30.0, 0.0, 30.0, 80.0] {
+                let vp = Viewport::paper_fov(ViewCenter::new(yaw, pitch));
+                let block = g.fov_block(&vp);
+                assert_eq!(block.len(), 9, "at yaw={yaw} pitch={pitch}");
+            }
+        }
+    }
+
+    #[test]
+    fn fov_block_wraps_columns() {
+        let g = TileGrid::paper_default();
+        let vp = Viewport::paper_fov(ViewCenter::new(-180.0, 0.0));
+        let block = g.fov_block(&vp);
+        let cols: std::collections::HashSet<_> = block.iter().map(|t| t.col).collect();
+        assert!(cols.contains(&7) && cols.contains(&0) && cols.contains(&1));
+    }
+
+    #[test]
+    fn fov_block_clamped_at_pole() {
+        let g = TileGrid::paper_default();
+        let vp = Viewport::paper_fov(ViewCenter::new(0.0, 89.0));
+        let block = g.fov_block(&vp);
+        assert_eq!(block.len(), 9);
+        assert!(block.iter().all(|t| t.row <= 2));
+        assert!(block.iter().any(|t| t.row == 0));
+    }
+
+    #[test]
+    fn tiles_covering_contains_center_tile() {
+        let g = TileGrid::paper_default();
+        let c = ViewCenter::new(12.0, -34.0);
+        let vp = Viewport::paper_fov(c);
+        let tiles = g.tiles_covering(&vp);
+        assert!(tiles.contains(&g.tile_at(&c)));
+    }
+
+    #[test]
+    fn tiles_covering_full_wrap() {
+        let g = TileGrid::paper_default();
+        let vp = Viewport::new(ViewCenter::new(0.0, 0.0), 360.0, 180.0);
+        assert_eq!(g.tiles_covering(&vp).len(), 32);
+    }
+
+    #[test]
+    fn tiles_covering_aligned_box_is_exact() {
+        let g = TileGrid::paper_default();
+        // A 90°×90° box exactly aligned with tile boundaries covers 2×2 tiles.
+        let vp = Viewport::new(ViewCenter::new(-135.0, 45.0), 90.0, 90.0);
+        assert_eq!(g.tiles_covering(&vp).len(), 4);
+    }
+
+    #[test]
+    fn flat_index_bijective() {
+        let g = TileGrid::new(3, 5);
+        let mut seen = std::collections::HashSet::new();
+        for t in g.iter() {
+            assert!(seen.insert(g.flat_index(t)));
+        }
+        assert_eq!(seen.len(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flat_index_rejects_out_of_range() {
+        let g = TileGrid::new(2, 2);
+        let _ = g.flat_index(TileId::new(2, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tile")]
+    fn zero_grid_panics() {
+        let _ = TileGrid::new(0, 8);
+    }
+
+    proptest! {
+        #[test]
+        fn tile_at_in_range(
+            y in -1000.0f64..1000.0, p in -90.0f64..=90.0,
+            rows in 1usize..20, cols in 1usize..40,
+        ) {
+            let g = TileGrid::new(rows, cols);
+            let t = g.tile_at(&ViewCenter::new(y, p));
+            prop_assert!(t.row < rows && t.col < cols);
+        }
+
+        #[test]
+        fn fov_block_size_fixed(
+            y in -180.0f64..180.0, p in -90.0f64..=90.0,
+        ) {
+            let g = TileGrid::paper_default();
+            let vp = Viewport::paper_fov(ViewCenter::new(y, p));
+            prop_assert_eq!(g.fov_block(&vp).len(), 9);
+        }
+
+        #[test]
+        fn covering_superset_of_block_center(
+            y in -180.0f64..180.0, p in -88.0f64..88.0,
+        ) {
+            let g = TileGrid::paper_default();
+            let vp = Viewport::paper_fov(ViewCenter::new(y, p));
+            let covering = g.tiles_covering(&vp);
+            // Exact covering has between 9 and 16 tiles for a 100° FoV on 45° tiles.
+            prop_assert!(covering.len() >= 6 && covering.len() <= 16);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Spherical and equirectangular geometry for 360° video streaming.
+//!
+//! This crate provides the geometric substrate used throughout the `ee360`
+//! workspace:
+//!
+//! * [`angles`] — degree helpers with wraparound-aware arithmetic,
+//! * [`sphere`] — unit orientation vectors and great-circle math,
+//! * [`viewport`] — the user's field of view on the equirectangular plane,
+//! * [`grid`] — the conventional tile grid (e.g. 4 rows × 8 columns),
+//! * [`region`] — rectangular tile regions with longitude wraparound
+//!   (the shape of a Ptile),
+//! * [`switching`] — view-switching speed (Eq. 5 of the paper).
+//!
+//! # Conventions
+//!
+//! The 360° frame is an equirectangular plane: **yaw** (longitude) in
+//! `[-180, 180)` degrees increasing eastwards, **pitch** (latitude) in
+//! `[-90, 90]` degrees increasing upwards. A [`viewport::ViewCenter`] is a
+//! point on that plane; a [`viewport::Viewport`] adds a field of view
+//! (100°×100° by default, matching the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use ee360_geom::grid::TileGrid;
+//! use ee360_geom::viewport::{ViewCenter, Viewport};
+//!
+//! let grid = TileGrid::new(4, 8);
+//! let vp = Viewport::new(ViewCenter::new(0.0, 0.0), 100.0, 100.0);
+//! let tiles = grid.fov_block(&vp);
+//! assert_eq!(tiles.len(), 9); // 3×3 FoV tiles, as in the paper
+//! ```
+
+pub mod angles;
+pub mod grid;
+pub mod projection;
+pub mod region;
+pub mod sphere;
+pub mod switching;
+pub mod viewport;
+
+pub use angles::{angular_diff_deg, wrap_yaw_deg};
+pub use grid::{TileGrid, TileId};
+pub use projection::{pixel_coverage, pixel_direction, tile_pixel_weights};
+pub use region::TileRegion;
+pub use sphere::Orientation;
+pub use switching::{switching_speed_deg_per_sec, SwitchingSample};
+pub use viewport::{ViewCenter, Viewport};

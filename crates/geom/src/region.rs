@@ -1,0 +1,308 @@
+//! Rectangular tile regions with longitude wraparound.
+//!
+//! A Ptile is a rectangular block of conventional tiles encoded as one large
+//! tile (Section IV-A). [`TileRegion`] represents such a block: a contiguous
+//! range of rows and a contiguous, possibly wrapping, range of columns.
+
+use serde::{Deserialize, Serialize};
+
+use crate::grid::{TileGrid, TileId};
+
+/// A rectangular block of tiles on a [`TileGrid`].
+///
+/// Rows are a plain inclusive range (`row_min..=row_max`); columns start at
+/// `col_start` and span `col_span` columns eastwards, wrapping past the
+/// antimeridian if needed.
+///
+/// # Example
+///
+/// ```
+/// use ee360_geom::grid::{TileGrid, TileId};
+/// use ee360_geom::region::TileRegion;
+///
+/// let grid = TileGrid::paper_default();
+/// let region = TileRegion::from_tiles(
+///     &grid,
+///     [TileId::new(1, 7), TileId::new(1, 0), TileId::new(2, 0)],
+/// ).unwrap();
+/// assert_eq!(region.tile_count(), 4); // 2 rows × 2 cols (wrapping 7→0)
+/// assert!(region.contains(TileId::new(2, 7)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TileRegion {
+    row_min: usize,
+    row_max: usize,
+    col_start: usize,
+    col_span: usize,
+    grid_cols: usize,
+}
+
+impl TileRegion {
+    /// Creates a region explicitly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_min > row_max`, `col_span` is zero or exceeds the
+    /// grid's column count, or `col_start` is out of range.
+    pub fn new(
+        grid: &TileGrid,
+        row_min: usize,
+        row_max: usize,
+        col_start: usize,
+        col_span: usize,
+    ) -> Self {
+        assert!(row_min <= row_max, "row_min must not exceed row_max");
+        assert!(row_max < grid.rows(), "row_max out of range");
+        assert!(col_start < grid.cols(), "col_start out of range");
+        assert!(
+            col_span >= 1 && col_span <= grid.cols(),
+            "col_span must be in 1..=cols"
+        );
+        Self {
+            row_min,
+            row_max,
+            col_start,
+            col_span,
+            grid_cols: grid.cols(),
+        }
+    }
+
+    /// The minimal region covering all given tiles.
+    ///
+    /// Columns are treated circularly: the bounding arc is the shortest
+    /// contiguous column range containing every tile's column. Returns
+    /// `None` for an empty tile set.
+    pub fn from_tiles<I>(grid: &TileGrid, tiles: I) -> Option<Self>
+    where
+        I: IntoIterator<Item = TileId>,
+    {
+        let tiles: Vec<TileId> = tiles.into_iter().collect();
+        if tiles.is_empty() {
+            return None;
+        }
+        let row_min = tiles.iter().map(|t| t.row).min().unwrap();
+        let row_max = tiles.iter().map(|t| t.row).max().unwrap();
+
+        // Find the shortest circular arc of columns covering all tile columns:
+        // equivalently, remove the largest gap between consecutive occupied
+        // columns (sorted circularly).
+        let mut cols: Vec<usize> = tiles.iter().map(|t| t.col).collect();
+        cols.sort_unstable();
+        cols.dedup();
+        let n = grid.cols();
+        if cols.len() == n {
+            return Some(Self::new(grid, row_min, row_max, 0, n));
+        }
+        let mut best_gap = 0usize;
+        let mut best_after = 0usize; // index into cols: arc starts after this gap
+        for i in 0..cols.len() {
+            let next = cols[(i + 1) % cols.len()];
+            let gap = (next + n - cols[i] - 1) % n;
+            if gap > best_gap {
+                best_gap = gap;
+                best_after = (i + 1) % cols.len();
+            }
+        }
+        let col_start = cols[best_after];
+        let col_end = cols[(best_after + cols.len() - 1) % cols.len()];
+        let col_span = (col_end + n - col_start) % n + 1;
+        Some(Self::new(grid, row_min, row_max, col_start, col_span))
+    }
+
+    /// First (top) row of the region.
+    pub fn row_min(&self) -> usize {
+        self.row_min
+    }
+
+    /// Last (bottom) row of the region, inclusive.
+    pub fn row_max(&self) -> usize {
+        self.row_max
+    }
+
+    /// Westernmost column of the region.
+    pub fn col_start(&self) -> usize {
+        self.col_start
+    }
+
+    /// Number of columns the region spans.
+    pub fn col_span(&self) -> usize {
+        self.col_span
+    }
+
+    /// Number of rows the region spans.
+    pub fn row_span(&self) -> usize {
+        self.row_max - self.row_min + 1
+    }
+
+    /// Total number of tiles in the region.
+    pub fn tile_count(&self) -> usize {
+        self.row_span() * self.col_span
+    }
+
+    /// Returns `true` if the tile lies inside the region.
+    pub fn contains(&self, t: TileId) -> bool {
+        if t.row < self.row_min || t.row > self.row_max {
+            return false;
+        }
+        let offset = (t.col + self.grid_cols - self.col_start) % self.grid_cols;
+        offset < self.col_span
+    }
+
+    /// Returns `true` if every tile of `other` lies inside `self`.
+    pub fn contains_region(&self, other: &TileRegion) -> bool {
+        other.tiles().all(|t| self.contains(t))
+    }
+
+    /// Iterates over the tiles of the region, row-major, west to east.
+    pub fn tiles(&self) -> impl Iterator<Item = TileId> + '_ {
+        let rows = self.row_min..=self.row_max;
+        rows.flat_map(move |row| {
+            (0..self.col_span)
+                .map(move |dc| TileId::new(row, (self.col_start + dc) % self.grid_cols))
+        })
+    }
+
+    /// Width of the region in degrees of yaw on the given grid.
+    pub fn width_deg(&self, grid: &TileGrid) -> f64 {
+        self.col_span as f64 * grid.tile_width_deg()
+    }
+
+    /// Height of the region in degrees of pitch on the given grid.
+    pub fn height_deg(&self, grid: &TileGrid) -> f64 {
+        self.row_span() as f64 * grid.tile_height_deg()
+    }
+
+    /// Fraction of the whole frame the region covers, in planar degrees.
+    pub fn area_fraction(&self, grid: &TileGrid) -> f64 {
+        self.tile_count() as f64 / grid.tile_count() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn grid() -> TileGrid {
+        TileGrid::paper_default()
+    }
+
+    #[test]
+    fn from_single_tile() {
+        let r = TileRegion::from_tiles(&grid(), [TileId::new(2, 3)]).unwrap();
+        assert_eq!(r.tile_count(), 1);
+        assert!(r.contains(TileId::new(2, 3)));
+        assert!(!r.contains(TileId::new(2, 4)));
+    }
+
+    #[test]
+    fn from_empty_is_none() {
+        assert!(TileRegion::from_tiles(&grid(), []).is_none());
+    }
+
+    #[test]
+    fn bounding_simple_block() {
+        let tiles = [
+            TileId::new(1, 2),
+            TileId::new(2, 4),
+            TileId::new(1, 3),
+        ];
+        let r = TileRegion::from_tiles(&grid(), tiles).unwrap();
+        assert_eq!(r.row_min(), 1);
+        assert_eq!(r.row_max(), 2);
+        assert_eq!(r.col_start(), 2);
+        assert_eq!(r.col_span(), 3);
+        assert_eq!(r.tile_count(), 6);
+    }
+
+    #[test]
+    fn bounding_wraps_shortest_arc() {
+        // Columns 7 and 0 should give a 2-wide wrapped region, not 8-wide.
+        let tiles = [TileId::new(0, 7), TileId::new(0, 0)];
+        let r = TileRegion::from_tiles(&grid(), tiles).unwrap();
+        assert_eq!(r.col_span(), 2);
+        assert_eq!(r.col_start(), 7);
+        assert!(r.contains(TileId::new(0, 0)));
+        assert!(!r.contains(TileId::new(0, 4)));
+    }
+
+    #[test]
+    fn all_columns_occupied() {
+        let tiles: Vec<_> = (0..8).map(|c| TileId::new(1, c)).collect();
+        let r = TileRegion::from_tiles(&grid(), tiles).unwrap();
+        assert_eq!(r.col_span(), 8);
+        assert_eq!(r.tile_count(), 8);
+    }
+
+    #[test]
+    fn tiles_iterator_matches_contains() {
+        let r = TileRegion::new(&grid(), 1, 2, 6, 3);
+        let listed: std::collections::HashSet<_> = r.tiles().collect();
+        assert_eq!(listed.len(), r.tile_count());
+        for t in grid().iter() {
+            assert_eq!(listed.contains(&t), r.contains(t), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn geometry_in_degrees() {
+        let g = grid();
+        let r = TileRegion::new(&g, 1, 2, 0, 3);
+        assert!((r.width_deg(&g) - 135.0).abs() < 1e-12);
+        assert!((r.height_deg(&g) - 90.0).abs() < 1e-12);
+        assert!((r.area_fraction(&g) - 6.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contains_region_subset() {
+        let g = grid();
+        let big = TileRegion::new(&g, 0, 3, 0, 8);
+        let small = TileRegion::new(&g, 1, 2, 6, 3);
+        assert!(big.contains_region(&small));
+        assert!(!small.contains_region(&big));
+    }
+
+    #[test]
+    #[should_panic(expected = "col_span")]
+    fn zero_span_panics() {
+        let _ = TileRegion::new(&grid(), 0, 0, 0, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn bounding_region_contains_inputs(
+            tiles in proptest::collection::vec((0usize..4, 0usize..8), 1..12)
+        ) {
+            let g = grid();
+            let ids: Vec<TileId> = tiles.iter().map(|&(r, c)| TileId::new(r, c)).collect();
+            let region = TileRegion::from_tiles(&g, ids.clone()).unwrap();
+            for t in &ids {
+                prop_assert!(region.contains(*t), "{:?} not in {:?}", t, region);
+            }
+        }
+
+        #[test]
+        fn bounding_region_is_minimal_rows(
+            tiles in proptest::collection::vec((0usize..4, 0usize..8), 1..12)
+        ) {
+            let g = grid();
+            let ids: Vec<TileId> = tiles.iter().map(|&(r, c)| TileId::new(r, c)).collect();
+            let region = TileRegion::from_tiles(&g, ids.clone()).unwrap();
+            let rmin = ids.iter().map(|t| t.row).min().unwrap();
+            let rmax = ids.iter().map(|t| t.row).max().unwrap();
+            prop_assert_eq!(region.row_min(), rmin);
+            prop_assert_eq!(region.row_max(), rmax);
+        }
+
+        #[test]
+        fn iterator_count_matches(
+            row_min in 0usize..4, extra in 0usize..4,
+            col_start in 0usize..8, span in 1usize..=8,
+        ) {
+            let g = grid();
+            let row_max = (row_min + extra).min(3);
+            let r = TileRegion::new(&g, row_min, row_max, col_start, span);
+            prop_assert_eq!(r.tiles().count(), r.tile_count());
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Unit orientation vectors and great-circle math.
+//!
+//! Head-mounted displays report the gaze direction as an orientation vector;
+//! the paper's Eq. 5 computes view-switching speed from the angle between two
+//! such vectors. [`Orientation`] converts between (yaw, pitch) on the
+//! equirectangular plane and a 3-D unit vector, and measures great-circle
+//! angles between orientations.
+
+use crate::angles::{deg_to_rad, rad_to_deg, wrap_yaw_deg};
+use crate::viewport::ViewCenter;
+
+/// A gaze direction as a 3-D unit vector.
+///
+/// The frame is right-handed: `x` points at (yaw 0°, pitch 0°), `y` points
+/// east (yaw 90°), and `z` points up (pitch 90°).
+///
+/// # Example
+///
+/// ```
+/// use ee360_geom::sphere::Orientation;
+/// let front = Orientation::from_yaw_pitch_deg(0.0, 0.0);
+/// let up = Orientation::from_yaw_pitch_deg(0.0, 90.0);
+/// assert!((front.angle_to_deg(&up) - 90.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Orientation {
+    x: f64,
+    y: f64,
+    z: f64,
+}
+
+impl Orientation {
+    /// Builds an orientation from raw vector components, normalising them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector is (numerically) zero, which has no direction.
+    pub fn new(x: f64, y: f64, z: f64) -> Self {
+        let n = (x * x + y * y + z * z).sqrt();
+        assert!(n > 1e-12, "orientation vector must be non-zero");
+        Self {
+            x: x / n,
+            y: y / n,
+            z: z / n,
+        }
+    }
+
+    /// Builds an orientation from yaw/pitch in degrees.
+    pub fn from_yaw_pitch_deg(yaw_deg: f64, pitch_deg: f64) -> Self {
+        let yaw = deg_to_rad(wrap_yaw_deg(yaw_deg));
+        let pitch = deg_to_rad(pitch_deg.clamp(-90.0, 90.0));
+        Self {
+            x: pitch.cos() * yaw.cos(),
+            y: pitch.cos() * yaw.sin(),
+            z: pitch.sin(),
+        }
+    }
+
+    /// Builds an orientation from a [`ViewCenter`].
+    pub fn from_view_center(c: ViewCenter) -> Self {
+        Self::from_yaw_pitch_deg(c.yaw_deg(), c.pitch_deg())
+    }
+
+    /// The `x` component of the unit vector.
+    pub fn x(&self) -> f64 {
+        self.x
+    }
+
+    /// The `y` component of the unit vector.
+    pub fn y(&self) -> f64 {
+        self.y
+    }
+
+    /// The `z` component of the unit vector.
+    pub fn z(&self) -> f64 {
+        self.z
+    }
+
+    /// Dot product with another orientation.
+    pub fn dot(&self, other: &Self) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Great-circle angle to another orientation, in degrees (`[0, 180]`).
+    ///
+    /// This is the `arccos` term of the paper's Eq. 5.
+    pub fn angle_to_deg(&self, other: &Self) -> f64 {
+        rad_to_deg(self.dot(other).clamp(-1.0, 1.0).acos())
+    }
+
+    /// Converts back to a view center (yaw, pitch) in degrees.
+    pub fn to_view_center(self) -> ViewCenter {
+        let pitch = rad_to_deg(self.z.clamp(-1.0, 1.0).asin());
+        let yaw = if self.x.abs() < 1e-12 && self.y.abs() < 1e-12 {
+            0.0 // at a pole, yaw is undefined; pick 0
+        } else {
+            rad_to_deg(self.y.atan2(self.x))
+        };
+        ViewCenter::new(yaw, pitch)
+    }
+
+    /// Spherical linear interpolation towards `other`.
+    ///
+    /// `t = 0` yields `self`, `t = 1` yields `other`. Falls back to the
+    /// endpoint when the two orientations are (anti)parallel.
+    pub fn slerp(&self, other: &Self, t: f64) -> Self {
+        let d = self.dot(other).clamp(-1.0, 1.0);
+        let theta = d.acos();
+        if theta.abs() < 1e-9 {
+            return *self;
+        }
+        let sin_theta = theta.sin();
+        if sin_theta.abs() < 1e-9 {
+            // Antipodal: no unique geodesic; snap to endpoint.
+            return if t < 0.5 { *self } else { *other };
+        }
+        let a = ((1.0 - t) * theta).sin() / sin_theta;
+        let b = (t * theta).sin() / sin_theta;
+        Self::new(
+            a * self.x + b * other.x,
+            a * self.y + b * other.y,
+            a * self.z + b * other.z,
+        )
+    }
+
+    /// Euclidean norm of the underlying vector (always ≈ 1 by construction).
+    pub fn norm(&self) -> f64 {
+        (self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn axes() {
+        let front = Orientation::from_yaw_pitch_deg(0.0, 0.0);
+        assert!((front.x() - 1.0).abs() < 1e-12);
+        let east = Orientation::from_yaw_pitch_deg(90.0, 0.0);
+        assert!((east.y() - 1.0).abs() < 1e-12);
+        let up = Orientation::from_yaw_pitch_deg(0.0, 90.0);
+        assert!((up.z() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_between_orthogonal_axes() {
+        let a = Orientation::from_yaw_pitch_deg(0.0, 0.0);
+        let b = Orientation::from_yaw_pitch_deg(90.0, 0.0);
+        assert!((a.angle_to_deg(&b) - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn angle_antipodal() {
+        let a = Orientation::from_yaw_pitch_deg(0.0, 0.0);
+        let b = Orientation::from_yaw_pitch_deg(180.0, 0.0);
+        assert!((a.angle_to_deg(&b) - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roundtrip_yaw_pitch() {
+        for &(y, p) in &[(0.0, 0.0), (45.0, 30.0), (-120.0, -60.0), (179.0, 89.0)] {
+            let o = Orientation::from_yaw_pitch_deg(y, p);
+            let c = o.to_view_center();
+            assert!(
+                (c.yaw_deg() - y).abs() < 1e-9,
+                "yaw roundtrip failed for {y}"
+            );
+            assert!(
+                (c.pitch_deg() - p).abs() < 1e-9,
+                "pitch roundtrip failed for {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn pole_roundtrip_picks_yaw_zero() {
+        let o = Orientation::from_yaw_pitch_deg(123.0, 90.0);
+        let c = o.to_view_center();
+        assert!((c.pitch_deg() - 90.0).abs() < 1e-9);
+        assert_eq!(c.yaw_deg(), 0.0);
+    }
+
+    #[test]
+    fn slerp_midpoint_is_equidistant() {
+        let a = Orientation::from_yaw_pitch_deg(0.0, 0.0);
+        let b = Orientation::from_yaw_pitch_deg(60.0, 0.0);
+        let m = a.slerp(&b, 0.5);
+        assert!((m.angle_to_deg(&a) - 30.0).abs() < 1e-9);
+        assert!((m.angle_to_deg(&b) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slerp_endpoints() {
+        let a = Orientation::from_yaw_pitch_deg(10.0, 20.0);
+        let b = Orientation::from_yaw_pitch_deg(-50.0, -10.0);
+        assert!(a.slerp(&b, 0.0).angle_to_deg(&a) < 1e-9);
+        assert!(a.slerp(&b, 1.0).angle_to_deg(&b) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_vector_panics() {
+        let _ = Orientation::new(0.0, 0.0, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn always_unit_norm(y in -180.0f64..180.0, p in -90.0f64..90.0) {
+            let o = Orientation::from_yaw_pitch_deg(y, p);
+            prop_assert!((o.norm() - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn angle_symmetric(
+            y1 in -180.0f64..180.0, p1 in -90.0f64..90.0,
+            y2 in -180.0f64..180.0, p2 in -90.0f64..90.0,
+        ) {
+            let a = Orientation::from_yaw_pitch_deg(y1, p1);
+            let b = Orientation::from_yaw_pitch_deg(y2, p2);
+            prop_assert!((a.angle_to_deg(&b) - b.angle_to_deg(&a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn angle_to_self_is_zero(y in -180.0f64..180.0, p in -90.0f64..90.0) {
+            let a = Orientation::from_yaw_pitch_deg(y, p);
+            // acos is ill-conditioned near 1, so allow a loose bound.
+            prop_assert!(a.angle_to_deg(&a) < 1e-4);
+        }
+
+        #[test]
+        fn slerp_stays_on_sphere(
+            y1 in -180.0f64..180.0, p1 in -89.0f64..89.0,
+            y2 in -180.0f64..180.0, p2 in -89.0f64..89.0,
+            t in 0.0f64..1.0,
+        ) {
+            let a = Orientation::from_yaw_pitch_deg(y1, p1);
+            let b = Orientation::from_yaw_pitch_deg(y2, p2);
+            let m = a.slerp(&b, t);
+            prop_assert!((m.norm() - 1.0).abs() < 1e-9);
+        }
+    }
+}

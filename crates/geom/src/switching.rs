@@ -1,0 +1,173 @@
+//! View-switching speed (Eq. 5 of the paper).
+//!
+//! The switching speed between two gaze samples is the great-circle angle
+//! between their orientation vectors divided by the elapsed time:
+//!
+//! ```text
+//! S_fov = arccos( (O_{i-1} · O_i) / (‖O_{i-1}‖ ‖O_i‖) ) / (t_i − t_{i-1})
+//! ```
+//!
+//! Speeds are in degrees per second. The paper observes (Fig. 5) that users
+//! exceed 10°/s for more than 30% of the time, which is what makes
+//! frame-rate reduction worthwhile.
+
+use serde::{Deserialize, Serialize};
+
+use crate::sphere::Orientation;
+use crate::viewport::ViewCenter;
+
+/// A timestamped gaze sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwitchingSample {
+    /// Sample time in seconds.
+    pub t_sec: f64,
+    /// Gaze direction at that time.
+    pub center: ViewCenter,
+}
+
+impl SwitchingSample {
+    /// Creates a sample.
+    pub fn new(t_sec: f64, center: ViewCenter) -> Self {
+        Self { t_sec, center }
+    }
+}
+
+/// View-switching speed between two samples, in degrees per second (Eq. 5).
+///
+/// # Panics
+///
+/// Panics if the samples are not strictly increasing in time.
+///
+/// # Example
+///
+/// ```
+/// use ee360_geom::switching::{switching_speed_deg_per_sec, SwitchingSample};
+/// use ee360_geom::viewport::ViewCenter;
+///
+/// let a = SwitchingSample::new(0.0, ViewCenter::new(0.0, 0.0));
+/// let b = SwitchingSample::new(1.0, ViewCenter::new(20.0, 0.0));
+/// assert!((switching_speed_deg_per_sec(&a, &b) - 20.0).abs() < 1e-9);
+/// ```
+pub fn switching_speed_deg_per_sec(prev: &SwitchingSample, next: &SwitchingSample) -> f64 {
+    let dt = next.t_sec - prev.t_sec;
+    assert!(dt > 0.0, "samples must be strictly increasing in time");
+    let o0 = Orientation::from_view_center(prev.center);
+    let o1 = Orientation::from_view_center(next.center);
+    o0.angle_to_deg(&o1) / dt
+}
+
+/// Per-interval switching speeds over a whole gaze trace.
+///
+/// Returns one speed per consecutive pair; an input of fewer than two
+/// samples yields an empty vector.
+pub fn switching_speeds(samples: &[SwitchingSample]) -> Vec<f64> {
+    samples
+        .windows(2)
+        .map(|w| switching_speed_deg_per_sec(&w[0], &w[1]))
+        .collect()
+}
+
+/// Mean switching speed over a window of samples, in degrees per second.
+///
+/// Useful as the `S_fov` input to the QoE frame-rate factor (Eq. 4), which
+/// needs one representative speed per video segment. Returns `0.0` for
+/// traces with fewer than two samples.
+pub fn mean_switching_speed(samples: &[SwitchingSample]) -> f64 {
+    let speeds = switching_speeds(samples);
+    if speeds.is_empty() {
+        0.0
+    } else {
+        speeds.iter().sum::<f64>() / speeds.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn static_gaze_has_zero_speed() {
+        let c = ViewCenter::new(42.0, -13.0);
+        let a = SwitchingSample::new(0.0, c);
+        let b = SwitchingSample::new(0.5, c);
+        assert!(switching_speed_deg_per_sec(&a, &b) < 1e-9);
+    }
+
+    #[test]
+    fn speed_scales_with_time() {
+        let a = SwitchingSample::new(0.0, ViewCenter::new(0.0, 0.0));
+        let b = SwitchingSample::new(2.0, ViewCenter::new(30.0, 0.0));
+        assert!((switching_speed_deg_per_sec(&a, &b) - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speed_across_antimeridian_uses_short_arc() {
+        let a = SwitchingSample::new(0.0, ViewCenter::new(175.0, 0.0));
+        let b = SwitchingSample::new(1.0, ViewCenter::new(-175.0, 0.0));
+        assert!((switching_speed_deg_per_sec(&a, &b) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pitch_only_motion() {
+        let a = SwitchingSample::new(0.0, ViewCenter::new(0.0, 0.0));
+        let b = SwitchingSample::new(1.0, ViewCenter::new(0.0, 45.0));
+        assert!((switching_speed_deg_per_sec(&a, &b) - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_speeds_length() {
+        let samples: Vec<_> = (0..5)
+            .map(|i| SwitchingSample::new(i as f64 * 0.02, ViewCenter::new(i as f64, 0.0)))
+            .collect();
+        assert_eq!(switching_speeds(&samples).len(), 4);
+    }
+
+    #[test]
+    fn mean_speed_of_uniform_motion() {
+        let samples: Vec<_> = (0..11)
+            .map(|i| SwitchingSample::new(i as f64 * 0.1, ViewCenter::new(i as f64 * 2.0, 0.0)))
+            .collect();
+        // 2° per 0.1 s = 20°/s throughout.
+        assert!((mean_switching_speed(&samples) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_speed_short_trace_is_zero() {
+        assert_eq!(mean_switching_speed(&[]), 0.0);
+        let one = [SwitchingSample::new(0.0, ViewCenter::default())];
+        assert_eq!(mean_switching_speed(&one), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotonic_time_panics() {
+        let a = SwitchingSample::new(1.0, ViewCenter::default());
+        let b = SwitchingSample::new(1.0, ViewCenter::default());
+        let _ = switching_speed_deg_per_sec(&a, &b);
+    }
+
+    proptest! {
+        #[test]
+        fn speed_nonnegative(
+            y1 in -180.0f64..180.0, p1 in -90.0f64..90.0,
+            y2 in -180.0f64..180.0, p2 in -90.0f64..90.0,
+            dt in 0.001f64..10.0,
+        ) {
+            let a = SwitchingSample::new(0.0, ViewCenter::new(y1, p1));
+            let b = SwitchingSample::new(dt, ViewCenter::new(y2, p2));
+            prop_assert!(switching_speed_deg_per_sec(&a, &b) >= 0.0);
+        }
+
+        #[test]
+        fn speed_bounded_by_max_angle(
+            y1 in -180.0f64..180.0, p1 in -90.0f64..90.0,
+            y2 in -180.0f64..180.0, p2 in -90.0f64..90.0,
+        ) {
+            let a = SwitchingSample::new(0.0, ViewCenter::new(y1, p1));
+            let b = SwitchingSample::new(1.0, ViewCenter::new(y2, p2));
+            // Max great-circle angle is 180°.
+            prop_assert!(switching_speed_deg_per_sec(&a, &b) <= 180.0 + 1e-9);
+        }
+    }
+}

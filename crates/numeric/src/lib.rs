@@ -1,0 +1,40 @@
+//! Small dense numeric library for the `ee360` workspace.
+//!
+//! The paper's pipeline needs a handful of numerical tools that have no
+//! lightweight off-the-shelf Rust equivalent in an offline environment, so
+//! this crate implements them from scratch:
+//!
+//! * [`matrix`] — a dense row-major [`matrix::Matrix`] with the usual
+//!   products and transposes,
+//! * [`solve`] — Cholesky (SPD) and partially pivoted LU solvers,
+//! * [`ridge`] — ridge regression, used for viewport prediction
+//!   (Section IV-B of the paper),
+//! * [`lm`] — Levenberg–Marquardt nonlinear least squares, used to fit the
+//!   logistic QoE model (Eq. 3 / Table II),
+//! * [`stats`] — harmonic mean (the paper's bandwidth estimator), empirical
+//!   CDFs, percentiles, and Pearson correlation.
+//!
+//! # Example
+//!
+//! ```
+//! use ee360_numeric::ridge::RidgeRegression;
+//!
+//! // y = 2x + 1 with a tiny ridge penalty.
+//! let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+//! let ys: Vec<f64> = (0..10).map(|i| 2.0 * i as f64 + 1.0).collect();
+//! let model = RidgeRegression::fit(&xs, &ys, 1e-9).unwrap();
+//! let pred = model.predict(&[20.0]);
+//! assert!((pred - 41.0).abs() < 1e-3);
+//! ```
+
+pub mod lm;
+pub mod matrix;
+pub mod ridge;
+pub mod solve;
+pub mod stats;
+
+pub use lm::{LevenbergMarquardt, LmError, LmReport};
+pub use matrix::Matrix;
+pub use ridge::{RidgeError, RidgeRegression};
+pub use solve::{cholesky_solve, lu_solve, SolveError};
+pub use stats::{harmonic_mean, pearson_correlation, percentile, Ecdf};

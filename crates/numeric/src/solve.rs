@@ -1,0 +1,327 @@
+//! Direct linear solvers: Cholesky for symmetric positive-definite systems
+//! and partially pivoted LU for general square systems.
+//!
+//! Ridge regression's normal equations `(XᵀX + λI) w = Xᵀy` are SPD, so
+//! [`cholesky_solve`] is the fast path; [`lu_solve`] is the robust fallback
+//! used by the Levenberg–Marquardt step equation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::matrix::Matrix;
+
+/// Error returned when a linear system cannot be solved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The matrix is not square or does not match the right-hand side.
+    ShapeMismatch,
+    /// The matrix is singular (or, for Cholesky, not positive definite).
+    Singular,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::ShapeMismatch => write!(f, "matrix and right-hand side shapes mismatch"),
+            SolveError::Singular => write!(f, "matrix is singular or not positive definite"),
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+/// Solves `A x = b` for symmetric positive-definite `A` via Cholesky.
+///
+/// # Errors
+///
+/// Returns [`SolveError::ShapeMismatch`] if `A` is not square or `b` has the
+/// wrong length, and [`SolveError::Singular`] if `A` is not (numerically)
+/// positive definite.
+///
+/// # Example
+///
+/// ```
+/// use ee360_numeric::matrix::Matrix;
+/// use ee360_numeric::solve::cholesky_solve;
+///
+/// let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+/// let x = cholesky_solve(&a, &[8.0, 7.0])?;
+/// assert!((x[0] - 1.25).abs() < 1e-12);
+/// assert!((x[1] - 1.5).abs() < 1e-12);
+/// # Ok::<(), ee360_numeric::solve::SolveError>(())
+/// ```
+pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+    let n = a.rows();
+    if a.cols() != n || b.len() != n {
+        return Err(SolveError::ShapeMismatch);
+    }
+    // Lower-triangular factor L with A = L Lᵀ.
+    let mut l = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if s <= 0.0 || !s.is_finite() {
+                    return Err(SolveError::Singular);
+                }
+                l[i * n + i] = s.sqrt();
+            } else {
+                l[i * n + j] = s / l[j * n + j];
+            }
+        }
+    }
+    // Forward substitution: L y = b.
+    let mut y = vec![0.0f64; n];
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= l[i * n + k] * y[k];
+        }
+        y[i] = s / l[i * n + i];
+    }
+    // Back substitution: Lᵀ x = y.
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut s = y[i];
+        for k in (i + 1)..n {
+            s -= l[k * n + i] * x[k];
+        }
+        x[i] = s / l[i * n + i];
+    }
+    Ok(x)
+}
+
+/// Solves `A x = b` for general square `A` via LU with partial pivoting.
+///
+/// # Errors
+///
+/// Returns [`SolveError::ShapeMismatch`] for shape problems and
+/// [`SolveError::Singular`] when a pivot (after row exchange) is numerically
+/// zero.
+///
+/// # Example
+///
+/// ```
+/// use ee360_numeric::matrix::Matrix;
+/// use ee360_numeric::solve::lu_solve;
+///
+/// // A non-symmetric system.
+/// let a = Matrix::from_rows(&[vec![0.0, 2.0], vec![1.0, 1.0]]);
+/// let x = lu_solve(&a, &[4.0, 3.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 2.0).abs() < 1e-12);
+/// # Ok::<(), ee360_numeric::solve::SolveError>(())
+/// ```
+pub fn lu_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+    let n = a.rows();
+    if a.cols() != n || b.len() != n {
+        return Err(SolveError::ShapeMismatch);
+    }
+    let mut lu: Vec<f64> = a.as_slice().to_vec();
+    let mut x: Vec<f64> = b.to_vec();
+
+    for col in 0..n {
+        // Partial pivot: pick the row with the largest magnitude in this column.
+        let mut pivot_row = col;
+        let mut pivot_val = lu[col * n + col].abs();
+        for r in (col + 1)..n {
+            let v = lu[r * n + col].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = r;
+            }
+        }
+        if pivot_val < 1e-14 || !pivot_val.is_finite() {
+            return Err(SolveError::Singular);
+        }
+        if pivot_row != col {
+            for c in 0..n {
+                lu.swap(col * n + c, pivot_row * n + c);
+            }
+            x.swap(col, pivot_row);
+        }
+        // Eliminate below the pivot.
+        let pivot = lu[col * n + col];
+        for r in (col + 1)..n {
+            let factor = lu[r * n + col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            lu[r * n + col] = 0.0;
+            for c in (col + 1)..n {
+                lu[r * n + c] -= factor * lu[col * n + c];
+            }
+            x[r] -= factor * x[col];
+        }
+    }
+    // Back substitution.
+    for i in (0..n).rev() {
+        let mut s = x[i];
+        for c in (i + 1)..n {
+            s -= lu[i * n + c] * x[c];
+        }
+        x[i] = s / lu[i * n + i];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn residual(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+        a.matvec(x)
+            .iter()
+            .zip(b)
+            .map(|(ax, bb)| (ax - bb).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn cholesky_identity() {
+        let a = Matrix::identity(4);
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let x = cholesky_solve(&a, &b).unwrap();
+        assert_eq!(x, b.to_vec());
+    }
+
+    #[test]
+    fn cholesky_known_system() {
+        let a = Matrix::from_rows(&[
+            vec![6.0, 2.0, 1.0],
+            vec![2.0, 5.0, 2.0],
+            vec![1.0, 2.0, 4.0],
+        ]);
+        let b = [9.0, 9.0, 7.0];
+        let x = cholesky_solve(&a, &b).unwrap();
+        assert!(residual(&a, &x, &b) < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]); // eigenvalues 3, -1
+        assert_eq!(cholesky_solve(&a, &[1.0, 1.0]), Err(SolveError::Singular));
+    }
+
+    #[test]
+    fn cholesky_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        assert_eq!(
+            cholesky_solve(&a, &[1.0, 1.0]),
+            Err(SolveError::ShapeMismatch)
+        );
+        let b = Matrix::identity(2);
+        assert_eq!(
+            cholesky_solve(&b, &[1.0]),
+            Err(SolveError::ShapeMismatch)
+        );
+    }
+
+    #[test]
+    fn lu_handles_zero_pivot_with_pivoting() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = lu_solve(&a, &[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn lu_rejects_singular() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(lu_solve(&a, &[1.0, 2.0]), Err(SolveError::Singular));
+    }
+
+    #[test]
+    fn lu_known_3x3() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ]);
+        let b = [8.0, -11.0, -3.0];
+        let x = lu_solve(&a, &b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+        assert!((x[2] + 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(!SolveError::Singular.to_string().is_empty());
+        assert!(!SolveError::ShapeMismatch.to_string().is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn lu_solves_diagonally_dominant(
+            n in 1usize..6, seed in 0u64..500
+        ) {
+            // Build a random diagonally dominant matrix (always nonsingular).
+            let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let mut next = || {
+                state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            };
+            let mut rows = Vec::new();
+            for i in 0..n {
+                let mut row: Vec<f64> = (0..n).map(|_| next()).collect();
+                let off: f64 = row.iter().enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, v)| v.abs())
+                    .sum();
+                row[i] = off + 1.0;
+                rows.push(row);
+            }
+            let a = Matrix::from_rows(&rows);
+            let b: Vec<f64> = (0..n).map(|_| next()).collect();
+            let x = lu_solve(&a, &b).unwrap();
+            prop_assert!(residual(&a, &x, &b) < 1e-8);
+        }
+
+        #[test]
+        fn cholesky_solves_gram_plus_ridge(
+            rows in 1usize..8, cols in 1usize..5, seed in 0u64..500
+        ) {
+            let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            };
+            let data: Vec<Vec<f64>> = (0..rows)
+                .map(|_| (0..cols).map(|_| next()).collect())
+                .collect();
+            let x_mat = Matrix::from_rows(&data);
+            let mut g = x_mat.gram();
+            g.add_diagonal(0.5); // ridge makes it strictly PD
+            let b: Vec<f64> = (0..cols).map(|_| next()).collect();
+            let sol = cholesky_solve(&g, &b).unwrap();
+            prop_assert!(residual(&g, &sol, &b) < 1e-8);
+        }
+
+        #[test]
+        fn lu_and_cholesky_agree_on_spd(
+            n in 1usize..5, seed in 0u64..300
+        ) {
+            let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(99);
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            };
+            let data: Vec<Vec<f64>> = (0..n + 2)
+                .map(|_| (0..n).map(|_| next()).collect())
+                .collect();
+            let x_mat = Matrix::from_rows(&data);
+            let mut g = x_mat.gram();
+            g.add_diagonal(1.0);
+            let b: Vec<f64> = (0..n).map(|_| next()).collect();
+            let x1 = cholesky_solve(&g, &b).unwrap();
+            let x2 = lu_solve(&g, &b).unwrap();
+            for (a1, a2) in x1.iter().zip(&x2) {
+                prop_assert!((a1 - a2).abs() < 1e-8);
+            }
+        }
+    }
+}

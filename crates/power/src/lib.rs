@@ -1,0 +1,35 @@
+//! Smartphone power models and energy accounting (Section III-B).
+//!
+//! The paper measures three phones (LG Nexus 5X, Google Pixel 3, Samsung
+//! Galaxy S20) with a Monsoon power monitor through a custom battery
+//! interceptor, and publishes per-phone regression models (Table I) for
+//!
+//! * `P_t` — the wireless interface while downloading,
+//! * `P_d(f)` — video decoding as a linear function of frame rate, one
+//!   model per tiling scheme (Ctile uses four concurrent decoders, Ptile
+//!   one),
+//! * `P_r(f)` — view rendering as a linear function of frame rate.
+//!
+//! The evaluation computes energy **from these models**, exactly as the
+//! paper does ("The energy consumption is calculated based on the power
+//! models shown in Section III-B"), so transcribing Table I is the faithful
+//! reproduction, not a shortcut.
+//!
+//! # Example
+//!
+//! ```
+//! use ee360_power::{DecoderScheme, Phone, PowerModel};
+//!
+//! let pixel3 = PowerModel::for_phone(Phone::Pixel3);
+//! // Decoding a 30 fps Ptile segment: 140.73 + 5.96 × 30 mW.
+//! let p = pixel3.decode_power_mw(DecoderScheme::Ptile, 30.0);
+//! assert!((p - 319.53).abs() < 1e-9);
+//! ```
+
+pub mod battery;
+pub mod energy;
+pub mod model;
+
+pub use battery::Battery;
+pub use energy::{SegmentEnergy, SegmentEnergyParams};
+pub use model::{DecoderScheme, LinearPower, Phone, PowerModel};

@@ -1,0 +1,254 @@
+//! Bandwidth estimation from recent download throughputs.
+//!
+//! The paper uses the harmonic mean of the last several segments'
+//! throughputs (Section IV-C); the arithmetic-mean and last-sample
+//! estimators are provided as ablation baselines.
+
+use std::collections::VecDeque;
+
+use ee360_numeric::stats::harmonic_mean;
+
+/// A windowed bandwidth estimator fed one throughput sample per downloaded
+/// segment.
+pub trait BandwidthEstimator {
+    /// Records the throughput (bits per second) observed while downloading
+    /// the latest segment.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic on non-positive or non-finite samples.
+    fn observe(&mut self, throughput_bps: f64);
+
+    /// The current estimate, or `None` before any observation.
+    fn estimate(&self) -> Option<f64>;
+
+    /// Drops all history.
+    fn reset(&mut self);
+}
+
+fn validate(throughput_bps: f64) {
+    assert!(
+        throughput_bps.is_finite() && throughput_bps > 0.0,
+        "throughput samples must be positive, got {throughput_bps}"
+    );
+}
+
+/// The paper's estimator: harmonic mean over a sliding window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarmonicMeanEstimator {
+    window: usize,
+    samples: VecDeque<f64>,
+}
+
+impl HarmonicMeanEstimator {
+    /// Creates an estimator over the last `window` segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be at least 1");
+        Self {
+            window,
+            samples: VecDeque::with_capacity(window),
+        }
+    }
+
+    /// The paper does not pin the window; five segments is the common MPC
+    /// setting (robust-MPC lineage) and what the evaluation uses.
+    pub fn paper_default() -> Self {
+        Self::new(5)
+    }
+
+    /// Number of samples currently held.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` before the first observation.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+impl BandwidthEstimator for HarmonicMeanEstimator {
+    fn observe(&mut self, throughput_bps: f64) {
+        validate(throughput_bps);
+        if self.samples.len() == self.window {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(throughput_bps);
+    }
+
+    fn estimate(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            let v: Vec<f64> = self.samples.iter().copied().collect();
+            Some(harmonic_mean(&v))
+        }
+    }
+
+    fn reset(&mut self) {
+        self.samples.clear();
+    }
+}
+
+/// Ablation baseline: arithmetic mean over the same window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArithmeticMeanEstimator {
+    window: usize,
+    samples: VecDeque<f64>,
+}
+
+impl ArithmeticMeanEstimator {
+    /// Creates an estimator over the last `window` segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be at least 1");
+        Self {
+            window,
+            samples: VecDeque::with_capacity(window),
+        }
+    }
+}
+
+impl BandwidthEstimator for ArithmeticMeanEstimator {
+    fn observe(&mut self, throughput_bps: f64) {
+        validate(throughput_bps);
+        if self.samples.len() == self.window {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(throughput_bps);
+    }
+
+    fn estimate(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    fn reset(&mut self) {
+        self.samples.clear();
+    }
+}
+
+/// Ablation baseline: the last observed throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LastSampleEstimator {
+    last: Option<f64>,
+}
+
+impl LastSampleEstimator {
+    /// Creates an empty estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl BandwidthEstimator for LastSampleEstimator {
+    fn observe(&mut self, throughput_bps: f64) {
+        validate(throughput_bps);
+        self.last = Some(throughput_bps);
+    }
+
+    fn estimate(&self) -> Option<f64> {
+        self.last
+    }
+
+    fn reset(&mut self) {
+        self.last = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_estimators_return_none() {
+        assert_eq!(HarmonicMeanEstimator::paper_default().estimate(), None);
+        assert_eq!(ArithmeticMeanEstimator::new(3).estimate(), None);
+        assert_eq!(LastSampleEstimator::new().estimate(), None);
+    }
+
+    #[test]
+    fn harmonic_mean_known_values() {
+        let mut e = HarmonicMeanEstimator::new(3);
+        for s in [2.0e6, 6.0e6, 6.0e6] {
+            e.observe(s);
+        }
+        assert!((e.estimate().unwrap() - 3.6e6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut e = HarmonicMeanEstimator::new(2);
+        e.observe(1.0e6);
+        e.observe(2.0e6);
+        e.observe(2.0e6); // evicts the 1.0e6
+        assert!((e.estimate().unwrap() - 2.0e6).abs() < 1e-6);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn harmonic_damps_burst_more_than_arithmetic() {
+        let mut h = HarmonicMeanEstimator::new(5);
+        let mut a = ArithmeticMeanEstimator::new(5);
+        for s in [4.0e6, 4.0e6, 4.0e6, 4.0e6, 40.0e6] {
+            h.observe(s);
+            a.observe(s);
+        }
+        assert!(h.estimate().unwrap() < a.estimate().unwrap());
+    }
+
+    #[test]
+    fn harmonic_is_conservative_lower_than_arithmetic() {
+        let mut h = HarmonicMeanEstimator::new(4);
+        let mut a = ArithmeticMeanEstimator::new(4);
+        for s in [3.1e6, 5.7e6, 2.4e6, 8.0e6] {
+            h.observe(s);
+            a.observe(s);
+        }
+        assert!(h.estimate().unwrap() <= a.estimate().unwrap());
+    }
+
+    #[test]
+    fn last_sample_tracks_latest() {
+        let mut e = LastSampleEstimator::new();
+        e.observe(3.0e6);
+        e.observe(7.0e6);
+        assert_eq!(e.estimate(), Some(7.0e6));
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut e = HarmonicMeanEstimator::new(3);
+        e.observe(4.0e6);
+        e.reset();
+        assert_eq!(e.estimate(), None);
+        assert!(e.is_empty());
+        let mut l = LastSampleEstimator::new();
+        l.observe(4.0e6);
+        l.reset();
+        assert_eq!(l.estimate(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_sample_panics() {
+        let mut e = HarmonicMeanEstimator::new(3);
+        e.observe(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_panics() {
+        let _ = HarmonicMeanEstimator::new(0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Multi-step bandwidth forecasting.
+//!
+//! The paper's harmonic-mean estimate is a single number for the whole MPC
+//! horizon, which (as the ablations show) makes the DP effectively myopic.
+//! This extension fits an AR(1) model to the recent throughput samples and
+//! rolls it forward, giving the MPC a *time-varying* forecast — the
+//! ingredient that lets the horizon do real work.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use ee360_numeric::ridge::RidgeRegression;
+
+/// An AR(1) throughput forecaster: `x_{t+1} ≈ a + b·x_t`, fitted by ridge
+/// regression over a sliding window and iterated forward.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArForecaster {
+    window: usize,
+    samples: VecDeque<f64>,
+}
+
+impl ArForecaster {
+    /// Creates a forecaster over the last `window` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < 3` (an AR(1) fit needs at least two lag pairs).
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 3, "window must be at least 3");
+        Self {
+            window,
+            samples: VecDeque::with_capacity(window),
+        }
+    }
+
+    /// Ten samples of history: enough to see a trend, short enough to
+    /// track LTE regime changes.
+    pub fn paper_default() -> Self {
+        Self::new(10)
+    }
+
+    /// Records the throughput of the latest download.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is not strictly positive.
+    pub fn observe(&mut self, throughput_bps: f64) {
+        assert!(
+            throughput_bps.is_finite() && throughput_bps > 0.0,
+            "throughput samples must be positive"
+        );
+        if self.samples.len() == self.window {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(throughput_bps);
+    }
+
+    /// Number of samples currently held.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` before the first observation.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Forecasts the next `steps` throughputs, bits per second.
+    ///
+    /// Returns `None` until at least three samples have been observed.
+    /// Forecasts are floored at half the smallest observed sample (an AR
+    /// extrapolation must never promise the MPC a collapse to zero or an
+    /// unbounded boom — the fit is clamped to the observed regime).
+    pub fn forecast(&self, steps: usize) -> Option<Vec<f64>> {
+        if self.samples.len() < 3 || steps == 0 {
+            return if steps == 0 && self.samples.len() >= 3 {
+                Some(Vec::new())
+            } else {
+                None
+            };
+        }
+        let v: Vec<f64> = self.samples.iter().copied().collect();
+        let xs: Vec<Vec<f64>> = v[..v.len() - 1].iter().map(|x| vec![*x]).collect();
+        let ys: Vec<f64> = v[1..].to_vec();
+        let model = RidgeRegression::fit(&xs, &ys, 1e3).ok()?;
+        let lo = v.iter().cloned().fold(f64::INFINITY, f64::min) * 0.5;
+        let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max) * 1.5;
+        let mut out = Vec::with_capacity(steps);
+        let mut x = *v.last().expect("non-empty");
+        for _ in 0..steps {
+            x = model.predict(&[x]).clamp(lo, hi);
+            out.push(x);
+        }
+        Some(out)
+    }
+
+    /// Drops all history.
+    pub fn reset(&mut self) {
+        self.samples.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn needs_three_samples() {
+        let mut f = ArForecaster::paper_default();
+        assert!(f.forecast(3).is_none());
+        f.observe(3.0e6);
+        f.observe(3.1e6);
+        assert!(f.forecast(3).is_none());
+        f.observe(3.2e6);
+        assert!(f.forecast(3).is_some());
+    }
+
+    #[test]
+    fn flat_history_forecasts_flat() {
+        let mut f = ArForecaster::paper_default();
+        for _ in 0..8 {
+            f.observe(4.0e6);
+        }
+        let fc = f.forecast(5).unwrap();
+        for v in fc {
+            assert!((v - 4.0e6).abs() < 0.2e6, "got {v}");
+        }
+    }
+
+    #[test]
+    fn rising_trend_forecasts_higher() {
+        let mut f = ArForecaster::paper_default();
+        for i in 0..10 {
+            f.observe(2.0e6 + i as f64 * 0.4e6);
+        }
+        let fc = f.forecast(3).unwrap();
+        let last = 2.0e6 + 9.0 * 0.4e6;
+        assert!(fc[0] > last * 0.9);
+        assert!(fc.windows(2).all(|w| w[1] >= w[0] * 0.99));
+    }
+
+    #[test]
+    fn falling_trend_forecasts_lower_but_floored() {
+        let mut f = ArForecaster::paper_default();
+        for i in 0..10 {
+            f.observe(8.0e6 - i as f64 * 0.7e6);
+        }
+        let fc = f.forecast(10).unwrap();
+        let min_seen = 8.0e6 - 9.0 * 0.7e6;
+        for v in &fc {
+            assert!(*v >= min_seen * 0.5 - 1.0, "forecast {v} below floor");
+            assert!(*v > 0.0);
+        }
+    }
+
+    #[test]
+    fn forecast_is_bounded_by_regime() {
+        let mut f = ArForecaster::paper_default();
+        for s in [3.0e6, 5.0e6, 4.0e6, 6.0e6, 3.5e6, 4.5e6] {
+            f.observe(s);
+        }
+        let fc = f.forecast(8).unwrap();
+        for v in fc {
+            assert!((1.5e6..=9.0e6).contains(&v), "forecast {v} left the regime");
+        }
+    }
+
+    #[test]
+    fn zero_steps_is_empty() {
+        let mut f = ArForecaster::paper_default();
+        for _ in 0..4 {
+            f.observe(4.0e6);
+        }
+        assert_eq!(f.forecast(0).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn window_slides_and_reset_clears() {
+        let mut f = ArForecaster::new(3);
+        for s in [1.0e6, 2.0e6, 3.0e6, 4.0e6] {
+            f.observe(s);
+        }
+        assert_eq!(f.len(), 3);
+        f.reset();
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_window_panics() {
+        let _ = ArForecaster::new(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_sample_panics() {
+        let mut f = ArForecaster::paper_default();
+        f.observe(0.0);
+    }
+}

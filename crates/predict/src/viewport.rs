@@ -1,0 +1,320 @@
+//! Viewport prediction with ridge regression (Section IV-B).
+//!
+//! The headset records (x, y) viewing-center coordinates at a fixed rate;
+//! the client regresses each coordinate against time over a short recent
+//! window and extrapolates to the playback time of the segment about to be
+//! downloaded. The yaw series is unwrapped before regression so a pan
+//! through the antimeridian looks linear rather than discontinuous.
+
+use serde::{Deserialize, Serialize};
+
+use ee360_geom::switching::SwitchingSample;
+use ee360_geom::viewport::ViewCenter;
+use ee360_numeric::ridge::RidgeRegression;
+
+/// Which regression backs the predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredictorKind {
+    /// Ridge regression with the configured λ (the paper's choice).
+    Ridge,
+    /// Ridge regression with quadratic time features `[t, t²]` — captures
+    /// accelerating pans at the cost of noisier extrapolation.
+    RidgeQuadratic,
+    /// Ordinary least squares (λ = 0 ablation).
+    OrdinaryLeastSquares,
+    /// Repeat the last observed center (no-regression ablation).
+    LastSample,
+}
+
+/// Predicts a future viewing center from recent gaze samples.
+///
+/// # Example
+///
+/// ```
+/// use ee360_geom::switching::SwitchingSample;
+/// use ee360_geom::viewport::ViewCenter;
+/// use ee360_predict::viewport::ViewportPredictor;
+///
+/// // Steady pan at 20°/s.
+/// let history: Vec<SwitchingSample> = (0..10)
+///     .map(|i| {
+///         let t = i as f64 * 0.1;
+///         SwitchingSample::new(t, ViewCenter::new(20.0 * t, 0.0))
+///     })
+///     .collect();
+/// let predictor = ViewportPredictor::paper_default();
+/// let predicted = predictor.predict(&history, 1.0).unwrap();
+/// // Expect roughly yaw = 20° × 1.9 s ≈ 38°; ridge shrinkage over the
+/// // short window pulls the extrapolation slightly conservative.
+/// assert!((predicted.yaw_deg() - 38.0).abs() < 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ViewportPredictor {
+    kind: PredictorKind,
+    /// Ridge regularisation strength.
+    lambda: f64,
+    /// How much history (seconds) to regress over.
+    window_sec: f64,
+}
+
+impl ViewportPredictor {
+    /// The paper's predictor: ridge regression over the most recent
+    /// 2 seconds of gaze history ("the coordinates of the most recent
+    /// viewed segment have strong correlation with the segment to be
+    /// downloaded").
+    pub fn paper_default() -> Self {
+        Self {
+            kind: PredictorKind::Ridge,
+            lambda: 0.1,
+            window_sec: 2.0,
+        }
+    }
+
+    /// A custom predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is negative or `window_sec` is not positive.
+    pub fn new(kind: PredictorKind, lambda: f64, window_sec: f64) -> Self {
+        assert!(lambda >= 0.0, "lambda must be non-negative");
+        assert!(window_sec > 0.0, "window must be positive");
+        Self {
+            kind,
+            lambda,
+            window_sec,
+        }
+    }
+
+    /// Which regression this predictor uses.
+    pub fn kind(&self) -> PredictorKind {
+        self.kind
+    }
+
+    /// Predicts the viewing center `horizon_sec` seconds after the last
+    /// sample. Returns `None` when `history` is empty; a single sample
+    /// predicts itself.
+    pub fn predict(&self, history: &[SwitchingSample], horizon_sec: f64) -> Option<ViewCenter> {
+        assert!(
+            horizon_sec.is_finite() && horizon_sec >= 0.0,
+            "horizon must be non-negative"
+        );
+        let last = history.last()?;
+        if matches!(self.kind, PredictorKind::LastSample) || history.len() == 1 {
+            return Some(last.center);
+        }
+        // Restrict to the recent window.
+        let t_end = last.t_sec;
+        let start = t_end - self.window_sec;
+        let window: Vec<&SwitchingSample> =
+            history.iter().filter(|s| s.t_sec >= start - 1e-9).collect();
+        if window.len() < 2 {
+            return Some(last.center);
+        }
+
+        // Unwrap yaw into a continuous series.
+        let mut yaw_unwrapped = Vec::with_capacity(window.len());
+        let mut acc = window[0].center.yaw_deg();
+        yaw_unwrapped.push(acc);
+        for pair in window.windows(2) {
+            let step = ee360_geom::angles::signed_yaw_diff_deg(
+                pair[1].center.yaw_deg(),
+                pair[0].center.yaw_deg(),
+            );
+            acc += step;
+            yaw_unwrapped.push(acc);
+        }
+
+        let lambda = match self.kind {
+            PredictorKind::Ridge | PredictorKind::RidgeQuadratic => self.lambda,
+            PredictorKind::OrdinaryLeastSquares => 0.0,
+            PredictorKind::LastSample => unreachable!("handled above"),
+        };
+        // Regress against time relative to the window start (conditioning).
+        let t0 = window[0].t_sec;
+        let quadratic = matches!(self.kind, PredictorKind::RidgeQuadratic);
+        let features = |t: f64| {
+            if quadratic {
+                vec![t, t * t]
+            } else {
+                vec![t]
+            }
+        };
+        let xs: Vec<Vec<f64>> = window.iter().map(|s| features(s.t_sec - t0)).collect();
+        let yaw_model = RidgeRegression::fit(&xs, &yaw_unwrapped, lambda).ok()?;
+        let pitch_series: Vec<f64> = window.iter().map(|s| s.center.pitch_deg()).collect();
+        let pitch_model = RidgeRegression::fit(&xs, &pitch_series, lambda).ok()?;
+
+        let t_pred = (t_end - t0) + horizon_sec;
+        let x_pred = features(t_pred);
+        Some(ViewCenter::new(
+            yaw_model.predict(&x_pred),
+            pitch_model.predict(&x_pred),
+        ))
+    }
+
+    /// Prediction error in degrees against a known ground truth — the
+    /// planar distance between prediction and truth.
+    pub fn error_deg(
+        &self,
+        history: &[SwitchingSample],
+        horizon_sec: f64,
+        truth: ViewCenter,
+    ) -> Option<f64> {
+        self.predict(history, horizon_sec)
+            .map(|p| p.distance_deg(&truth))
+    }
+}
+
+impl Default for ViewportPredictor {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pan_history(speed_deg_s: f64, n: usize, dt: f64) -> Vec<SwitchingSample> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 * dt;
+                SwitchingSample::new(t, ViewCenter::new(speed_deg_s * t, 5.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_history_is_none() {
+        let p = ViewportPredictor::paper_default();
+        assert!(p.predict(&[], 1.0).is_none());
+    }
+
+    #[test]
+    fn single_sample_predicts_itself() {
+        let p = ViewportPredictor::paper_default();
+        let h = vec![SwitchingSample::new(0.0, ViewCenter::new(33.0, -12.0))];
+        let c = p.predict(&h, 1.0).unwrap();
+        assert_eq!(c, ViewCenter::new(33.0, -12.0));
+    }
+
+    #[test]
+    fn static_gaze_predicts_static() {
+        let p = ViewportPredictor::paper_default();
+        let h: Vec<SwitchingSample> = (0..20)
+            .map(|i| SwitchingSample::new(i as f64 * 0.1, ViewCenter::new(40.0, 10.0)))
+            .collect();
+        let c = p.predict(&h, 1.0).unwrap();
+        assert!(c.distance_deg(&ViewCenter::new(40.0, 10.0)) < 0.5);
+    }
+
+    #[test]
+    fn linear_pan_extrapolates() {
+        let p = ViewportPredictor::paper_default();
+        let h = pan_history(15.0, 21, 0.1); // 0..2 s
+        let c = p.predict(&h, 0.5).unwrap();
+        // Truth at t = 2.5 s: yaw 37.5.
+        assert!(
+            (c.yaw_deg() - 37.5).abs() < 1.5,
+            "predicted {}",
+            c.yaw_deg()
+        );
+        assert!((c.pitch_deg() - 5.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn pan_through_antimeridian() {
+        let p = ViewportPredictor::paper_default();
+        let h: Vec<SwitchingSample> = (0..21)
+            .map(|i| {
+                let t = i as f64 * 0.1;
+                SwitchingSample::new(t, ViewCenter::new(170.0 + 10.0 * t, 0.0))
+            })
+            .collect();
+        // Truth at t = 3.0: yaw 200 → wrapped −160.
+        let c = p.predict(&h, 1.0).unwrap();
+        assert!(
+            ee360_geom::angles::angular_diff_deg(c.yaw_deg(), -160.0) < 2.0,
+            "predicted {}",
+            c.yaw_deg()
+        );
+    }
+
+    #[test]
+    fn last_sample_predictor_ignores_trend() {
+        let p = ViewportPredictor::new(PredictorKind::LastSample, 0.0, 2.0);
+        let h = pan_history(20.0, 11, 0.1);
+        let c = p.predict(&h, 1.0).unwrap();
+        assert!((c.yaw_deg() - 20.0).abs() < 1e-9); // last sample at t=1.0
+    }
+
+    #[test]
+    fn ridge_more_stable_than_ols_under_noise() {
+        // Noisy static gaze with a wild last sample: OLS chases the
+        // outlier-heavy trend harder than ridge.
+        let mut h: Vec<SwitchingSample> = (0..10)
+            .map(|i| {
+                let t = i as f64 * 0.2;
+                let wobble = if i % 2 == 0 { 4.0 } else { -4.0 };
+                SwitchingSample::new(t, ViewCenter::new(wobble, 0.0))
+            })
+            .collect();
+        h.push(SwitchingSample::new(2.0, ViewCenter::new(25.0, 0.0)));
+        let ridge = ViewportPredictor::new(PredictorKind::Ridge, 50.0, 3.0);
+        let ols = ViewportPredictor::new(PredictorKind::OrdinaryLeastSquares, 0.0, 3.0);
+        let truth = ViewCenter::new(0.0, 0.0);
+        let e_ridge = ridge.error_deg(&h, 1.0, truth).unwrap();
+        let e_ols = ols.error_deg(&h, 1.0, truth).unwrap();
+        assert!(
+            e_ridge < e_ols,
+            "ridge {e_ridge} should beat OLS {e_ols} here"
+        );
+    }
+
+    #[test]
+    fn window_limits_history() {
+        // Old motion outside the window must not influence the prediction.
+        let p = ViewportPredictor::new(PredictorKind::Ridge, 0.01, 1.0);
+        let mut h = pan_history(60.0, 11, 0.1); // fast pan 0..1 s
+        // Then hold still from t=1.1 to 3.0.
+        for i in 0..20 {
+            let t = 1.1 + i as f64 * 0.1;
+            h.push(SwitchingSample::new(t, ViewCenter::new(60.0, 5.0)));
+        }
+        let c = p.predict(&h, 1.0).unwrap();
+        assert!(c.distance_deg(&ViewCenter::new(60.0, 5.0)) < 2.0);
+    }
+
+    #[test]
+    fn quadratic_tracks_accelerating_pan_better() {
+        // yaw(t) = 4 t²: an accelerating pan the linear model undershoots.
+        let h: Vec<SwitchingSample> = (0..21)
+            .map(|i| {
+                let t = i as f64 * 0.1;
+                SwitchingSample::new(t, ViewCenter::new(4.0 * t * t, 0.0))
+            })
+            .collect();
+        let truth = ViewCenter::new(4.0 * 3.0 * 3.0, 0.0); // t = 3
+        let linear = ViewportPredictor::new(PredictorKind::Ridge, 1e-6, 2.5);
+        let quad = ViewportPredictor::new(PredictorKind::RidgeQuadratic, 1e-6, 2.5);
+        let e_lin = linear.error_deg(&h, 1.0, truth).unwrap();
+        let e_quad = quad.error_deg(&h, 1.0, truth).unwrap();
+        assert!(
+            e_quad < e_lin,
+            "quadratic {e_quad} should beat linear {e_lin}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon")]
+    fn negative_horizon_panics() {
+        let p = ViewportPredictor::paper_default();
+        let _ = p.predict(&pan_history(1.0, 5, 0.1), -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn negative_lambda_panics() {
+        let _ = ViewportPredictor::new(PredictorKind::Ridge, -0.1, 1.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Refitting Eq. 3 — the Table II methodology, end to end.
+//!
+//! The paper obtains Table II by scoring segments with VMAF across SI, TI
+//! and bitrate, then running nonlinear least squares (Matlab's `nlinfit`).
+//! VMAF itself is unavailable offline, so the fitter generates synthetic
+//! "VMAF" observations from the published ground-truth model plus
+//! measurement noise, and recovers the coefficients with our
+//! Levenberg–Marquardt — validating the entire fitting pipeline and
+//! reproducing Table II (and the paper's Pearson r = 0.9791 check).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use ee360_numeric::lm::{LevenbergMarquardt, LmError};
+use ee360_numeric::stats::pearson_correlation;
+use ee360_video::content::SiTi;
+
+use crate::quality::{QoCoefficients, QoModel, TABLE2_COEFFICIENTS};
+
+/// One synthetic VMAF observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QoSample {
+    /// Content descriptor of the scored segment.
+    pub si: f64,
+    /// Temporal information of the scored segment.
+    pub ti: f64,
+    /// Encoding bitrate in Mbps.
+    pub bitrate_mbps: f64,
+    /// Observed (noisy) VMAF score.
+    pub vmaf: f64,
+}
+
+/// Result of a fit: coefficients plus goodness-of-fit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FitOutcome {
+    /// The recovered coefficients.
+    pub coefficients: QoCoefficients,
+    /// Pearson correlation between model predictions and observations
+    /// (the paper reports 0.9791).
+    pub pearson_r: f64,
+    /// Number of training samples.
+    pub n_samples: usize,
+    /// Final sum of squared residuals.
+    pub residual_cost: f64,
+}
+
+/// Generates synthetic VMAF observations and fits Eq. 3 to them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QoFitter {
+    noise_std: f64,
+    seed: u64,
+}
+
+impl QoFitter {
+    /// A fitter with the default measurement-noise level (±2 VMAF points,
+    /// comparable to VMAF's own inter-run variance).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            noise_std: 2.0,
+            seed,
+        }
+    }
+
+    /// Overrides the observation noise (VMAF points, standard deviation).
+    pub fn with_noise_std(mut self, noise_std: f64) -> Self {
+        assert!(noise_std >= 0.0, "noise std must be non-negative");
+        self.noise_std = noise_std;
+        self
+    }
+
+    /// Generates the training grid: SI × TI × bitrate, mirroring the
+    /// paper's "ten segments per video across 18 videos" sweep.
+    pub fn generate_samples(&self) -> Vec<QoSample> {
+        let truth = QoModel::paper_default();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut samples = Vec::new();
+        for si_step in 0..8 {
+            for ti_step in 0..8 {
+                let si = 25.0 + 10.0 * si_step as f64;
+                let ti = 5.0 + 8.0 * ti_step as f64;
+                for b_step in 0..10 {
+                    let b = 0.5 + 1.2 * b_step as f64;
+                    let clean = truth.q_o(SiTi::new(si, ti), b);
+                    // Box–Muller Gaussian noise.
+                    let u1: f64 = rng.gen_range(1e-12..1.0);
+                    let u2: f64 = rng.gen_range(0.0..1.0);
+                    let gauss =
+                        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    let vmaf = (clean + self.noise_std * gauss).clamp(0.0, 100.0);
+                    samples.push(QoSample {
+                        si,
+                        ti,
+                        bitrate_mbps: b,
+                        vmaf,
+                    });
+                }
+            }
+        }
+        samples
+    }
+
+    /// Fits Eq. 3 to a sample set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LmError`] from the optimiser (e.g. empty samples).
+    pub fn fit(&self, samples: &[QoSample]) -> Result<FitOutcome, LmError> {
+        if samples.is_empty() {
+            return Err(LmError::InconsistentResiduals);
+        }
+        let lm = LevenbergMarquardt::new().with_max_iterations(500);
+        let report = lm.minimize(&[0.0, 0.0, 0.0, 0.5], |theta| {
+            let model = QoModel::with_coefficients(QoCoefficients::from_array([
+                theta[0], theta[1], theta[2], theta[3],
+            ]));
+            samples
+                .iter()
+                .map(|s| model.q_o(SiTi::new(s.si, s.ti), s.bitrate_mbps) - s.vmaf)
+                .collect()
+        })?;
+        let coefficients = QoCoefficients::from_array([
+            report.params[0],
+            report.params[1],
+            report.params[2],
+            report.params[3],
+        ]);
+        let fitted = QoModel::with_coefficients(coefficients);
+        let predictions: Vec<f64> = samples
+            .iter()
+            .map(|s| fitted.q_o(SiTi::new(s.si, s.ti), s.bitrate_mbps))
+            .collect();
+        let observations: Vec<f64> = samples.iter().map(|s| s.vmaf).collect();
+        Ok(FitOutcome {
+            coefficients,
+            pearson_r: pearson_correlation(&predictions, &observations),
+            n_samples: samples.len(),
+            residual_cost: report.cost,
+        })
+    }
+
+    /// Convenience: generate samples and fit in one call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LmError`] from the optimiser.
+    pub fn run(&self) -> Result<FitOutcome, LmError> {
+        let samples = self.generate_samples();
+        self.fit(&samples)
+    }
+}
+
+/// How far a fitted coefficient set strays from Table II, as the max
+/// absolute per-coefficient deviation.
+pub fn max_deviation_from_table2(c: &QoCoefficients) -> f64 {
+    c.as_array()
+        .iter()
+        .zip(TABLE2_COEFFICIENTS.as_array())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noiseless_fit_recovers_table2_exactly() {
+        let fitter = QoFitter::new(7).with_noise_std(0.0);
+        let outcome = fitter.run().unwrap();
+        assert!(
+            max_deviation_from_table2(&outcome.coefficients) < 1e-4,
+            "coefficients {:?}",
+            outcome.coefficients
+        );
+        assert!(outcome.pearson_r > 0.9999);
+    }
+
+    #[test]
+    fn noisy_fit_recovers_table2_approximately() {
+        let fitter = QoFitter::new(42); // ±2 VMAF noise
+        let outcome = fitter.run().unwrap();
+        assert!(
+            max_deviation_from_table2(&outcome.coefficients) < 0.05,
+            "coefficients {:?}",
+            outcome.coefficients
+        );
+        // The paper reports Pearson r = 0.9791 on its (noisier) real data.
+        assert!(outcome.pearson_r > 0.97, "r = {}", outcome.pearson_r);
+    }
+
+    #[test]
+    fn sample_grid_shape() {
+        let samples = QoFitter::new(1).generate_samples();
+        assert_eq!(samples.len(), 8 * 8 * 10);
+        assert!(samples.iter().all(|s| (0.0..=100.0).contains(&s.vmaf)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = QoFitter::new(5).generate_samples();
+        let b = QoFitter::new(5).generate_samples();
+        assert_eq!(a, b);
+        let c = QoFitter::new(6).generate_samples();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn empty_samples_error() {
+        let fitter = QoFitter::new(1);
+        assert!(fitter.fit(&[]).is_err());
+    }
+
+    #[test]
+    fn more_noise_lowers_correlation() {
+        let clean = QoFitter::new(9).with_noise_std(0.5).run().unwrap();
+        let noisy = QoFitter::new(9).with_noise_std(8.0).run().unwrap();
+        assert!(clean.pearson_r > noisy.pearson_r);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_noise_panics() {
+        let _ = QoFitter::new(1).with_noise_std(-1.0);
+    }
+}

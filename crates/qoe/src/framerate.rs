@@ -1,0 +1,169 @@
+//! The frame-rate quality factor (Section III-C2, Eq. 4).
+//!
+//! Reducing the frame rate reduces `Q_o` by
+//!
+//! ```text
+//! factor = (1 − e^{−α f / f_m}) / (1 − e^{−α})
+//! ```
+//!
+//! an inverted exponential in the displayed rate `f` relative to the
+//! original `f_m`. The sensitivity parameter
+//!
+//! ```text
+//! α = S_fov / TI        (Eq. 4)
+//! ```
+//!
+//! grows with the view-switching speed (a fast-moving gaze blurs detail, so
+//! dropped frames go unnoticed) and shrinks with the content's motion (high
+//! TI makes dropped frames visible as judder).
+
+/// Computes Eq. 4's sensitivity `α = S_fov / TI`.
+///
+/// A small floor keeps `α` positive for perfectly static traces so the
+/// factor below stays well defined.
+///
+/// # Panics
+///
+/// Panics if `ti` is not strictly positive or `s_fov_deg_s` is negative.
+///
+/// # Example
+///
+/// ```
+/// use ee360_qoe::framerate::alpha;
+/// // Fast exploration over calm content: very insensitive to frame rate.
+/// assert!(alpha(30.0, 10.0) > alpha(5.0, 40.0));
+/// ```
+pub fn alpha(s_fov_deg_s: f64, ti: f64) -> f64 {
+    assert!(
+        s_fov_deg_s.is_finite() && s_fov_deg_s >= 0.0,
+        "switching speed must be non-negative"
+    );
+    assert!(ti.is_finite() && ti > 0.0, "TI must be strictly positive");
+    (s_fov_deg_s / ti).max(1e-3)
+}
+
+/// The inverted-exponential quality factor for displaying `fps` out of an
+/// original `max_fps`, with sensitivity `alpha`.
+///
+/// Equals 1 at `fps == max_fps` and decreases towards 0 as frames drop;
+/// larger `alpha` flattens the curve (frame rate matters less).
+///
+/// # Panics
+///
+/// Panics if `fps` is not in `(0, max_fps]` or `alpha` is not positive.
+///
+/// # Example
+///
+/// ```
+/// use ee360_qoe::framerate::framerate_factor;
+/// let insensitive = framerate_factor(21.0, 30.0, 3.0);
+/// let sensitive = framerate_factor(21.0, 30.0, 0.3);
+/// assert!(insensitive > sensitive);
+/// assert!((framerate_factor(30.0, 30.0, 1.0) - 1.0).abs() < 1e-12);
+/// ```
+pub fn framerate_factor(fps: f64, max_fps: f64, alpha: f64) -> f64 {
+    assert!(
+        max_fps.is_finite() && max_fps > 0.0,
+        "max frame rate must be positive"
+    );
+    assert!(
+        fps.is_finite() && fps > 0.0 && fps <= max_fps + 1e-9,
+        "fps must be in (0, max_fps], got {fps} of {max_fps}"
+    );
+    assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive");
+    let num = 1.0 - (-alpha * fps / max_fps).exp();
+    let den = 1.0 - (-alpha).exp();
+    num / den
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn full_rate_factor_is_one() {
+        for a in [0.1, 1.0, 5.0] {
+            assert!((framerate_factor(30.0, 30.0, a) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn factor_decreases_with_dropped_frames() {
+        let a = 1.0;
+        let f27 = framerate_factor(27.0, 30.0, a);
+        let f24 = framerate_factor(24.0, 30.0, a);
+        let f21 = framerate_factor(21.0, 30.0, a);
+        assert!(f27 < 1.0);
+        assert!(f24 < f27);
+        assert!(f21 < f24);
+    }
+
+    #[test]
+    fn fast_switching_tolerates_reduction() {
+        // The paper's soccer example: during a fast pan (high S_fov) the
+        // 21 fps Ptile loses almost no perceived quality.
+        let fast = framerate_factor(21.0, 30.0, alpha(30.0, 10.0)); // α = 3
+        let slow = framerate_factor(21.0, 30.0, alpha(2.0, 40.0)); // α = 0.05→floor
+        assert!(fast > 0.9, "got {fast}");
+        assert!(slow < 0.75, "got {slow}");
+    }
+
+    #[test]
+    fn alpha_floor_applies() {
+        assert_eq!(alpha(0.0, 50.0), 1e-3);
+    }
+
+    #[test]
+    fn alpha_matches_eq4() {
+        assert!((alpha(20.0, 40.0) - 0.5).abs() < 1e-12);
+        assert!((alpha(45.0, 15.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_alpha_is_nearly_linear() {
+        // As α → 0, the factor tends to f / f_m.
+        let f = framerate_factor(15.0, 30.0, 1e-3);
+        assert!((f - 0.5).abs() < 0.01, "got {f}");
+    }
+
+    #[test]
+    #[should_panic(expected = "TI must be strictly positive")]
+    fn zero_ti_panics() {
+        let _ = alpha(10.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fps must be in")]
+    fn fps_above_max_panics() {
+        let _ = framerate_factor(31.0, 30.0, 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn factor_in_unit_interval(
+            fps in 1.0f64..30.0, a in 0.001f64..20.0,
+        ) {
+            let f = framerate_factor(fps, 30.0, a);
+            prop_assert!(f > 0.0 && f <= 1.0 + 1e-12);
+        }
+
+        #[test]
+        fn factor_monotone_in_alpha(
+            fps in 1.0f64..29.0, a in 0.01f64..10.0,
+        ) {
+            let lo = framerate_factor(fps, 30.0, a);
+            let hi = framerate_factor(fps, 30.0, a + 1.0);
+            prop_assert!(hi >= lo - 1e-12);
+        }
+
+        #[test]
+        fn factor_monotone_in_fps(
+            fps in 1.0f64..29.0, a in 0.01f64..10.0,
+        ) {
+            let lo = framerate_factor(fps, 30.0, a);
+            let hi = framerate_factor(fps + 1.0, 30.0, a);
+            prop_assert!(hi >= lo);
+        }
+    }
+}

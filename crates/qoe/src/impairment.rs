@@ -1,0 +1,213 @@
+//! Eq. 2: per-segment QoE with quality-variation and rebuffering penalties.
+//!
+//! ```text
+//! Q = Q_o − ω_v · I_v − ω_r · I_r
+//! I_v = |Q_o^k − Q_o^{k−1}|
+//! I_r = max(S_k / R_k − B_k, 0) / B_k · Q_o^k
+//! ```
+//!
+//! The paper sets the weights `(ω_v, ω_r) = (1, 1)` (Section V-A). One
+//! numerical note: the paper's `I_r` divides by the buffer level `B_k`,
+//! which is singular when a request is issued with an empty buffer; we
+//! floor the divisor at 100 ms and cap `I_r` at `Q_o` so a stall can wipe
+//! out a segment's quality but never drive the score below what an empty
+//! segment would earn.
+
+use serde::{Deserialize, Serialize};
+
+/// The impairment weights of Eq. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QoeWeights {
+    /// Weight of quality variation (`ω_v`).
+    pub variation: f64,
+    /// Weight of rebuffering (`ω_r`).
+    pub rebuffering: f64,
+}
+
+impl QoeWeights {
+    /// The paper's setting: `(ω_v, ω_r) = (1, 1)`.
+    pub fn paper_default() -> Self {
+        Self {
+            variation: 1.0,
+            rebuffering: 1.0,
+        }
+    }
+}
+
+impl Default for QoeWeights {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// One segment's QoE decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SegmentQoe {
+    /// The (frame-rate-scaled) original quality `Q_o` of this segment.
+    pub q_o: f64,
+    /// The quality-variation impairment `I_v`.
+    pub variation: f64,
+    /// The rebuffering impairment `I_r`.
+    pub rebuffering: f64,
+    /// The weighted total `Q`.
+    pub total: f64,
+}
+
+impl SegmentQoe {
+    /// Evaluates Eq. 2 for one segment.
+    ///
+    /// * `q_o` — this segment's quality (already including the frame-rate
+    ///   factor);
+    /// * `prev_q_o` — the previous segment's quality, or `None` for the
+    ///   first segment (no variation penalty);
+    /// * `download_sec` — `S_k / R_k`, the time the download took;
+    /// * `buffer_sec` — `B_k`, buffered video when the request was issued.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q_o` is outside `[0, 100]` or the times are negative.
+    pub fn evaluate(
+        weights: QoeWeights,
+        q_o: f64,
+        prev_q_o: Option<f64>,
+        download_sec: f64,
+        buffer_sec: f64,
+    ) -> Self {
+        assert!(
+            (0.0..=100.0).contains(&q_o),
+            "q_o must be on the VMAF scale [0, 100], got {q_o}"
+        );
+        assert!(
+            download_sec.is_finite() && download_sec >= 0.0,
+            "download time must be non-negative"
+        );
+        assert!(
+            buffer_sec.is_finite() && buffer_sec >= 0.0,
+            "buffer level must be non-negative"
+        );
+        let variation = prev_q_o.map_or(0.0, |p| (q_o - p).abs());
+        let stall_sec = (download_sec - buffer_sec).max(0.0);
+        let rebuffering = if stall_sec > 0.0 {
+            // Floor the divisor at 100 ms (see module docs) and cap at Q_o.
+            (stall_sec / buffer_sec.max(0.1) * q_o).min(q_o)
+        } else {
+            0.0
+        };
+        let total = q_o - weights.variation * variation - weights.rebuffering * rebuffering;
+        Self {
+            q_o,
+            variation,
+            rebuffering,
+            total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn w() -> QoeWeights {
+        QoeWeights::paper_default()
+    }
+
+    #[test]
+    fn smooth_playback_has_no_penalties() {
+        let q = SegmentQoe::evaluate(w(), 80.0, Some(80.0), 0.5, 3.0);
+        assert_eq!(q.variation, 0.0);
+        assert_eq!(q.rebuffering, 0.0);
+        assert_eq!(q.total, 80.0);
+    }
+
+    #[test]
+    fn first_segment_has_no_variation_penalty() {
+        let q = SegmentQoe::evaluate(w(), 70.0, None, 0.2, 3.0);
+        assert_eq!(q.variation, 0.0);
+    }
+
+    #[test]
+    fn quality_switch_penalised_symmetrically() {
+        let up = SegmentQoe::evaluate(w(), 80.0, Some(60.0), 0.1, 3.0);
+        let down = SegmentQoe::evaluate(w(), 60.0, Some(80.0), 0.1, 3.0);
+        assert_eq!(up.variation, 20.0);
+        assert_eq!(down.variation, 20.0);
+        assert_eq!(up.total, 60.0);
+        assert_eq!(down.total, 40.0);
+    }
+
+    #[test]
+    fn rebuffering_matches_paper_formula() {
+        // Download takes 4 s with 3 s buffered: 1 s stall, I_r = 1/3 · Q_o.
+        let q = SegmentQoe::evaluate(w(), 90.0, Some(90.0), 4.0, 3.0);
+        assert!((q.rebuffering - 30.0).abs() < 1e-9);
+        assert!((q.total - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rebuffering_capped_at_q_o() {
+        // A catastrophic stall cannot push I_r beyond Q_o.
+        let q = SegmentQoe::evaluate(w(), 50.0, Some(50.0), 30.0, 0.5);
+        assert_eq!(q.rebuffering, 50.0);
+        assert_eq!(q.total, 0.0);
+    }
+
+    #[test]
+    fn empty_buffer_uses_floor() {
+        let q = SegmentQoe::evaluate(w(), 60.0, None, 1.0, 0.0);
+        // stall 1 s / floor 0.1 s = 10 × Q_o, capped at Q_o.
+        assert_eq!(q.rebuffering, 60.0);
+    }
+
+    #[test]
+    fn weights_scale_penalties() {
+        let custom = QoeWeights {
+            variation: 0.5,
+            rebuffering: 2.0,
+        };
+        let q = SegmentQoe::evaluate(custom, 80.0, Some(70.0), 4.0, 3.0);
+        // I_v = 10 → 5 after weighting; I_r = 1/3·80 = 26.67 → 53.33.
+        assert!((q.total - (80.0 - 5.0 - 2.0 * 80.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "VMAF scale")]
+    fn out_of_scale_quality_panics() {
+        let _ = SegmentQoe::evaluate(w(), 120.0, None, 0.1, 3.0);
+    }
+
+    proptest! {
+        #[test]
+        fn total_never_exceeds_q_o(
+            q_o in 0.0f64..100.0,
+            prev in 0.0f64..100.0,
+            dl in 0.0f64..10.0,
+            buf in 0.0f64..6.0,
+        ) {
+            let q = SegmentQoe::evaluate(w(), q_o, Some(prev), dl, buf);
+            prop_assert!(q.total <= q.q_o + 1e-12);
+        }
+
+        #[test]
+        fn impairments_nonnegative(
+            q_o in 0.0f64..100.0,
+            dl in 0.0f64..10.0,
+            buf in 0.0f64..6.0,
+        ) {
+            let q = SegmentQoe::evaluate(w(), q_o, None, dl, buf);
+            prop_assert!(q.variation >= 0.0);
+            prop_assert!(q.rebuffering >= 0.0);
+        }
+
+        #[test]
+        fn faster_download_never_hurts(
+            q_o in 1.0f64..100.0,
+            dl in 0.5f64..8.0,
+            buf in 0.1f64..5.0,
+        ) {
+            let slow = SegmentQoe::evaluate(w(), q_o, None, dl, buf);
+            let fast = SegmentQoe::evaluate(w(), q_o, None, dl * 0.5, buf);
+            prop_assert!(fast.total >= slow.total - 1e-12);
+        }
+    }
+}

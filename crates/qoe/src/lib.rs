@@ -1,0 +1,49 @@
+//! The paper's QoE model (Section III-C).
+//!
+//! Quality of experience for segment `k` combines three impairments
+//! (Eq. 2):
+//!
+//! ```text
+//! Q = Q_o − ω_v · I_v − ω_r · I_r
+//! ```
+//!
+//! * `Q_o` — the "original" perceived quality, a VMAF-scale logistic in the
+//!   content's SI/TI and the encoding bitrate (Eq. 3, coefficients in
+//!   Table II), further scaled by the frame-rate factor
+//!   `(1 − e^{−α f / f_m}) / (1 − e^{−α})` with `α = S_fov / TI` (Eq. 4),
+//! * `I_v` — quality variation between consecutive segments,
+//! * `I_r` — the rebuffering impairment.
+//!
+//! Modules:
+//!
+//! * [`quality`] — Eq. 3 and Table II,
+//! * [`framerate`] — Eq. 4 and the inverted-exponential factor,
+//! * [`impairment`] — Eq. 2's penalty terms and the per-segment QoE,
+//! * [`fit`] — regenerates Table II by fitting Eq. 3 to synthetic VMAF
+//!   samples with Levenberg–Marquardt, validating the paper's methodology.
+//!
+//! # Example
+//!
+//! ```
+//! use ee360_qoe::quality::QoModel;
+//! use ee360_video::content::SiTi;
+//!
+//! let model = QoModel::paper_default();
+//! let content = SiTi::new(60.0, 25.0);
+//! let lo = model.q_o(content, 1.0);
+//! let hi = model.q_o(content, 8.0);
+//! assert!(hi > lo); // more bitrate, better quality
+//! assert!(hi <= 100.0);
+//! ```
+
+pub mod fit;
+pub mod framerate;
+pub mod impairment;
+pub mod mos;
+pub mod quality;
+
+pub use fit::{FitOutcome, QoFitter};
+pub use framerate::{alpha, framerate_factor};
+pub use impairment::{QoeWeights, SegmentQoe};
+pub use mos::{mos_to_vmaf, vmaf_to_mos, Mos};
+pub use quality::{QoCoefficients, QoModel, TABLE2_COEFFICIENTS};

@@ -1,0 +1,159 @@
+//! Mapping the VMAF-scale QoE onto a 5-point MOS.
+//!
+//! The paper validates Eq. 3 against VMAF because VMAF "presents a strong
+//! correlation with the subjective experiment result (i.e., mean opinion
+//! score)". Operators still report MOS, so this module provides the
+//! standard monotone mapping between the two scales: the ITU-T P.1203-style
+//! S-curve that compresses the extremes (a VMAF of 95 and 100 are both
+//! "excellent"; 5 and 0 are both "bad").
+
+use serde::{Deserialize, Serialize};
+
+/// A 5-point mean opinion score, `1.0..=5.0`.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Mos(f64);
+
+impl Mos {
+    /// Wraps a raw MOS value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is outside `[1, 5]`.
+    pub fn new(value: f64) -> Self {
+        assert!(
+            (1.0..=5.0).contains(&value),
+            "MOS must be in [1, 5], got {value}"
+        );
+        Self(value)
+    }
+
+    /// The raw value.
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+
+    /// The ITU five-grade label.
+    pub fn label(&self) -> &'static str {
+        match self.0 {
+            v if v >= 4.3 => "excellent",
+            v if v >= 3.6 => "good",
+            v if v >= 2.8 => "fair",
+            v if v >= 2.0 => "poor",
+            _ => "bad",
+        }
+    }
+}
+
+/// Maps a VMAF-scale score (`0..=100`) to MOS with the standard S-curve
+///
+/// ```text
+/// mos = 1 + 4 · (q² (3 − 2q))        where q = vmaf / 100
+/// ```
+///
+/// (the smoothstep used by P.1203-family models: linear in the middle,
+/// compressed at both ends).
+///
+/// # Panics
+///
+/// Panics if `vmaf` is outside `[0, 100]`.
+///
+/// # Example
+///
+/// ```
+/// use ee360_qoe::mos::vmaf_to_mos;
+/// assert_eq!(vmaf_to_mos(0.0).value(), 1.0);
+/// assert_eq!(vmaf_to_mos(100.0).value(), 5.0);
+/// assert_eq!(vmaf_to_mos(50.0).value(), 3.0);
+/// assert_eq!(vmaf_to_mos(95.0).label(), "excellent");
+/// ```
+pub fn vmaf_to_mos(vmaf: f64) -> Mos {
+    assert!(
+        (0.0..=100.0).contains(&vmaf),
+        "VMAF must be in [0, 100], got {vmaf}"
+    );
+    let q = vmaf / 100.0;
+    let s = q * q * (3.0 - 2.0 * q);
+    Mos::new(1.0 + 4.0 * s)
+}
+
+/// The inverse mapping: the VMAF score that produces a given MOS.
+///
+/// Solved by bisection (the smoothstep is strictly monotone on `[0, 1]`).
+pub fn mos_to_vmaf(mos: Mos) -> f64 {
+    let target = (mos.value() - 1.0) / 4.0;
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..60 {
+        let mid = (lo + hi) / 2.0;
+        let s = mid * mid * (3.0 - 2.0 * mid);
+        if s < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo + hi) / 2.0 * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn endpoints_and_midpoint() {
+        assert_eq!(vmaf_to_mos(0.0).value(), 1.0);
+        assert_eq!(vmaf_to_mos(100.0).value(), 5.0);
+        assert!((vmaf_to_mos(50.0).value() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn s_curve_compresses_the_top() {
+        // The step from VMAF 90 → 100 moves MOS less than 45 → 55 does.
+        let top = vmaf_to_mos(100.0).value() - vmaf_to_mos(90.0).value();
+        let mid = vmaf_to_mos(55.0).value() - vmaf_to_mos(45.0).value();
+        assert!(top < mid);
+    }
+
+    #[test]
+    fn labels_follow_the_grades() {
+        assert_eq!(vmaf_to_mos(98.0).label(), "excellent");
+        assert_eq!(vmaf_to_mos(65.0).label(), "good");
+        assert_eq!(vmaf_to_mos(50.0).label(), "fair");
+        assert_eq!(vmaf_to_mos(35.0).label(), "poor");
+        assert_eq!(vmaf_to_mos(5.0).label(), "bad");
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        for vmaf in [0.0, 12.5, 37.0, 50.0, 86.4, 100.0] {
+            let back = mos_to_vmaf(vmaf_to_mos(vmaf));
+            assert!((back - vmaf).abs() < 1e-6, "vmaf {vmaf} → {back}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "VMAF must be in")]
+    fn out_of_range_vmaf_panics() {
+        let _ = vmaf_to_mos(101.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "MOS must be in")]
+    fn out_of_range_mos_panics() {
+        let _ = Mos::new(5.5);
+    }
+
+    proptest! {
+        #[test]
+        fn mapping_is_monotone(a in 0.0f64..100.0, b in 0.0f64..100.0) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(vmaf_to_mos(lo).value() <= vmaf_to_mos(hi).value() + 1e-12);
+        }
+
+        #[test]
+        fn mos_always_in_range(v in 0.0f64..=100.0) {
+            let m = vmaf_to_mos(v).value();
+            prop_assert!((1.0..=5.0).contains(&m));
+        }
+    }
+}

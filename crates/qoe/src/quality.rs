@@ -1,0 +1,209 @@
+//! The "original" quality `Q_o` (Eq. 3, Table II).
+//!
+//! ```text
+//! Q_o = 100 / (1 + exp(−(c1 + c2·SI + c3·TI + c4·b)))
+//! ```
+//!
+//! `b` is the encoding bitrate in Mbps, SI/TI the ITU-T P.910 content
+//! descriptors. The coefficients were fitted by the paper against VMAF
+//! scores over the MMSys'17 dataset (nonlinear least squares, Pearson
+//! r = 0.9791) and published as Table II.
+
+use serde::{Deserialize, Serialize};
+
+use ee360_video::content::SiTi;
+
+/// Table II of the paper: the fitted coefficients of Eq. 3.
+pub const TABLE2_COEFFICIENTS: QoCoefficients = QoCoefficients {
+    c1: -0.2163,
+    c2: 0.0581,
+    c3: -0.1578,
+    c4: 0.7821,
+};
+
+/// The four coefficients of the logistic quality model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QoCoefficients {
+    /// Intercept.
+    pub c1: f64,
+    /// SI weight (spatial detail raises quality at equal bitrate — detail
+    /// masks coding artifacts).
+    pub c2: f64,
+    /// TI weight (motion lowers quality at equal bitrate — it is harder to
+    /// encode).
+    pub c3: f64,
+    /// Bitrate weight, per Mbps.
+    pub c4: f64,
+}
+
+impl QoCoefficients {
+    /// The coefficients as an array `[c1, c2, c3, c4]`.
+    pub fn as_array(&self) -> [f64; 4] {
+        [self.c1, self.c2, self.c3, self.c4]
+    }
+
+    /// Builds from an array `[c1, c2, c3, c4]`.
+    pub fn from_array(a: [f64; 4]) -> Self {
+        Self {
+            c1: a[0],
+            c2: a[1],
+            c3: a[2],
+            c4: a[3],
+        }
+    }
+}
+
+/// The Eq. 3 quality model.
+///
+/// # Example
+///
+/// ```
+/// use ee360_qoe::quality::QoModel;
+/// use ee360_video::content::SiTi;
+///
+/// let m = QoModel::paper_default();
+/// // High-motion content needs more bitrate for the same quality.
+/// let calm = m.q_o(SiTi::new(60.0, 10.0), 3.0);
+/// let busy = m.q_o(SiTi::new(60.0, 50.0), 3.0);
+/// assert!(calm > busy);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QoModel {
+    coefficients: QoCoefficients,
+}
+
+impl QoModel {
+    /// Model with the paper's Table II coefficients.
+    pub fn paper_default() -> Self {
+        Self {
+            coefficients: TABLE2_COEFFICIENTS,
+        }
+    }
+
+    /// Model with custom coefficients (e.g. refitted by [`crate::fit`]).
+    pub fn with_coefficients(coefficients: QoCoefficients) -> Self {
+        Self { coefficients }
+    }
+
+    /// The model's coefficients.
+    pub fn coefficients(&self) -> QoCoefficients {
+        self.coefficients
+    }
+
+    /// Evaluates Eq. 3: the VMAF-scale quality of content encoded at
+    /// `bitrate_mbps`. Result is always in `(0, 100)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitrate is negative or not finite.
+    pub fn q_o(&self, content: SiTi, bitrate_mbps: f64) -> f64 {
+        assert!(
+            bitrate_mbps.is_finite() && bitrate_mbps >= 0.0,
+            "bitrate must be non-negative"
+        );
+        let c = &self.coefficients;
+        let z = c.c1 + c.c2 * content.si() + c.c3 * content.ti() + c.c4 * bitrate_mbps;
+        100.0 / (1.0 + (-z).exp())
+    }
+}
+
+impl Default for QoModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn model() -> QoModel {
+        QoModel::paper_default()
+    }
+
+    #[test]
+    fn table2_values() {
+        let c = TABLE2_COEFFICIENTS;
+        assert_eq!(c.c1, -0.2163);
+        assert_eq!(c.c2, 0.0581);
+        assert_eq!(c.c3, -0.1578);
+        assert_eq!(c.c4, 0.7821);
+    }
+
+    #[test]
+    fn quality_increases_with_bitrate() {
+        let m = model();
+        let c = SiTi::new(60.0, 25.0);
+        let mut prev = 0.0;
+        for b in [0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
+            let q = m.q_o(c, b);
+            assert!(q > prev);
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn quality_bounded_0_100() {
+        let m = model();
+        assert!(m.q_o(SiTi::new(0.0, 100.0), 0.0) > 0.0);
+        // The logistic saturates to exactly 100.0 in f64 at extreme inputs.
+        assert!(m.q_o(SiTi::new(120.0, 0.0), 100.0) <= 100.0);
+    }
+
+    #[test]
+    fn motion_hurts_detail_helps() {
+        let m = model();
+        let base = m.q_o(SiTi::new(60.0, 25.0), 4.0);
+        assert!(m.q_o(SiTi::new(60.0, 45.0), 4.0) < base);
+        assert!(m.q_o(SiTi::new(80.0, 25.0), 4.0) > base);
+    }
+
+    #[test]
+    fn reference_point_plausible() {
+        // Mid-complexity content at ~5 Mbps should be "good" on the VMAF
+        // scale (the paper's Fig. 4b saturates towards 100 at high rates).
+        let q = model().q_o(SiTi::new(60.0, 25.0), 5.0);
+        assert!(q > 80.0 && q < 100.0, "got {q}");
+    }
+
+    #[test]
+    fn coefficients_roundtrip() {
+        let a = TABLE2_COEFFICIENTS.as_array();
+        assert_eq!(QoCoefficients::from_array(a), TABLE2_COEFFICIENTS);
+    }
+
+    #[test]
+    fn custom_coefficients_used() {
+        let custom = QoCoefficients::from_array([0.0, 0.0, 0.0, 1.0]);
+        let m = QoModel::with_coefficients(custom);
+        // With only the bitrate term, b = 0 gives exactly 50.
+        assert!((m.q_o(SiTi::new(50.0, 50.0), 0.0) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_bitrate_panics() {
+        let _ = model().q_o(SiTi::new(60.0, 25.0), -1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn q_o_in_open_unit_interval(
+            si in 0.0f64..150.0, ti in 0.0f64..100.0, b in 0.0f64..50.0,
+        ) {
+            let q = model().q_o(SiTi::new(si, ti), b);
+            prop_assert!(q > 0.0 && q <= 100.0);
+        }
+
+        #[test]
+        fn q_o_monotone_in_bitrate(
+            si in 0.0f64..150.0, ti in 0.0f64..100.0, b in 0.0f64..40.0,
+        ) {
+            let m = model();
+            let c = SiTi::new(si, ti);
+            // >= rather than >: the logistic saturates in f64 at extremes.
+            prop_assert!(m.q_o(c, b + 1.0) >= m.q_o(c, b));
+        }
+    }
+}

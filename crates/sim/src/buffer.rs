@@ -1,0 +1,217 @@
+//! Playback buffer dynamics (Eqs. 6 and 7).
+//!
+//! ```text
+//! B_{k+1} = max(B_k − S/R, 0) + L − Δt_k,   Δt_k = max(B_k − β, 0)
+//! ```
+//!
+//! Before requesting segment `k` the player waits `Δt_k` so the buffer
+//! never exceeds the threshold β (3 s in the evaluation); while the segment
+//! downloads the buffer drains, and a drain past zero is a stall
+//! (rebuffering) event.
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one buffer transition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BufferStep {
+    /// How long the player waited before issuing the request (`Δt_k`).
+    pub wait_sec: f64,
+    /// Buffer level when the request was issued (after the wait), `B_k`.
+    pub buffer_at_request_sec: f64,
+    /// Stall time: how long playback froze because the buffer drained.
+    pub stall_sec: f64,
+    /// Buffer level after the segment arrived, `B_{k+1}`.
+    pub buffer_after_sec: f64,
+}
+
+/// The client playback buffer.
+///
+/// # Example
+///
+/// ```
+/// use ee360_sim::buffer::PlaybackBuffer;
+///
+/// let mut buf = PlaybackBuffer::new(3.0);
+/// // Fast downloads fill the buffer to the threshold, then waits kick in.
+/// for _ in 0..5 {
+///     buf.advance(0.1, 1.0);
+/// }
+/// assert!(buf.level_sec() <= 3.0 + 1.0 + 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlaybackBuffer {
+    threshold_sec: f64,
+    level_sec: f64,
+}
+
+impl PlaybackBuffer {
+    /// Creates an empty buffer with threshold β.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold_sec` is not positive.
+    pub fn new(threshold_sec: f64) -> Self {
+        assert!(
+            threshold_sec.is_finite() && threshold_sec > 0.0,
+            "buffer threshold must be positive"
+        );
+        Self {
+            threshold_sec,
+            level_sec: 0.0,
+        }
+    }
+
+    /// The paper's buffer: β = 3 seconds (Section V-C).
+    pub fn paper_default() -> Self {
+        Self::new(3.0)
+    }
+
+    /// The configured threshold β.
+    pub fn threshold_sec(&self) -> f64 {
+        self.threshold_sec
+    }
+
+    /// Current buffered video, seconds.
+    pub fn level_sec(&self) -> f64 {
+        self.level_sec
+    }
+
+    /// Applies Eq. 6 for one segment: waits if the buffer is above β,
+    /// downloads for `download_sec`, then adds `segment_sec` of video.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either duration is negative or not finite.
+    pub fn advance(&mut self, download_sec: f64, segment_sec: f64) -> BufferStep {
+        assert!(
+            download_sec.is_finite() && download_sec >= 0.0,
+            "download time must be non-negative"
+        );
+        assert!(
+            segment_sec.is_finite() && segment_sec > 0.0,
+            "segment duration must be positive"
+        );
+        let wait_sec = (self.level_sec - self.threshold_sec).max(0.0);
+        let buffer_at_request = self.level_sec - wait_sec;
+        let stall_sec = (download_sec - buffer_at_request).max(0.0);
+        let after = (buffer_at_request - download_sec).max(0.0) + segment_sec;
+        self.level_sec = after;
+        BufferStep {
+            wait_sec,
+            buffer_at_request_sec: buffer_at_request,
+            stall_sec,
+            buffer_after_sec: after,
+        }
+    }
+
+    /// Empties the buffer (new session).
+    pub fn reset(&mut self) {
+        self.level_sec = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn first_segment_stalls_by_its_download_time() {
+        let mut buf = PlaybackBuffer::paper_default();
+        let step = buf.advance(0.8, 1.0);
+        assert_eq!(step.wait_sec, 0.0);
+        assert_eq!(step.buffer_at_request_sec, 0.0);
+        assert_eq!(step.stall_sec, 0.8);
+        assert_eq!(step.buffer_after_sec, 1.0);
+    }
+
+    #[test]
+    fn buffer_accumulates_up_to_threshold_plus_segment() {
+        let mut buf = PlaybackBuffer::new(3.0);
+        for _ in 0..10 {
+            buf.advance(0.05, 1.0);
+        }
+        // Steady state: wait trims to β before each request.
+        assert!(buf.level_sec() <= 3.0 + 1.0);
+        let step = buf.advance(0.05, 1.0);
+        assert!(step.wait_sec > 0.0);
+        assert!((step.buffer_at_request_sec - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq6_matches_manual_computation() {
+        let mut buf = PlaybackBuffer::new(3.0);
+        buf.advance(0.5, 1.0); // B = 1.0
+        buf.advance(0.5, 1.0); // B = max(1-0.5,0)+1 = 1.5
+        assert!((buf.level_sec() - 1.5).abs() < 1e-12);
+        let step = buf.advance(2.0, 1.0); // stall 0.5, B = 0+1
+        assert!((step.stall_sec - 0.5).abs() < 1e-12);
+        assert!((buf.level_sec() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wait_drains_exactly_to_threshold() {
+        let mut buf = PlaybackBuffer::new(2.0);
+        buf.advance(0.0, 1.0);
+        buf.advance(0.0, 1.0);
+        buf.advance(0.0, 1.0); // level 3.0 > β=2
+        let step = buf.advance(0.1, 1.0);
+        assert!((step.wait_sec - 1.0).abs() < 1e-12);
+        assert!((step.buffer_at_request_sec - 2.0).abs() < 1e-12);
+        assert_eq!(step.stall_sec, 0.0);
+    }
+
+    #[test]
+    fn reset_empties() {
+        let mut buf = PlaybackBuffer::paper_default();
+        buf.advance(0.1, 1.0);
+        buf.reset();
+        assert_eq!(buf.level_sec(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn zero_threshold_panics() {
+        let _ = PlaybackBuffer::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "download")]
+    fn negative_download_panics() {
+        let mut buf = PlaybackBuffer::paper_default();
+        let _ = buf.advance(-0.1, 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn level_never_negative_and_never_exceeds_cap(
+            downloads in proptest::collection::vec(0.0f64..5.0, 1..60)
+        ) {
+            let mut buf = PlaybackBuffer::new(3.0);
+            for d in downloads {
+                let step = buf.advance(d, 1.0);
+                prop_assert!(buf.level_sec() >= 0.0);
+                // Eq. 6: B is capped at β (after wait) + L.
+                prop_assert!(buf.level_sec() <= 3.0 + 1.0 + 1e-9);
+                prop_assert!(step.stall_sec >= 0.0);
+                prop_assert!(step.wait_sec >= 0.0);
+            }
+        }
+
+        #[test]
+        fn stall_iff_download_exceeds_buffer(
+            pre in 0.0f64..3.0, d in 0.0f64..6.0,
+        ) {
+            let mut buf = PlaybackBuffer::new(3.0);
+            // Prime the buffer to exactly `pre` seconds.
+            buf.advance(0.0, 1.0);
+            buf.level_sec = pre;
+            let step = buf.advance(d, 1.0);
+            if d > pre {
+                prop_assert!(step.stall_sec > 0.0);
+            } else {
+                prop_assert_eq!(step.stall_sec, 0.0);
+            }
+        }
+    }
+}

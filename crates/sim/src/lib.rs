@@ -1,0 +1,40 @@
+//! The client-side streaming simulator.
+//!
+//! Ties the substrates together into the download-and-play loop the paper's
+//! evaluation runs:
+//!
+//! * [`buffer`] — the playback buffer dynamics of Eq. 6/7, including the
+//!   buffer-threshold wait `Δt_k` and stall accounting,
+//! * [`decoder`] — the multi-decoder pipeline model behind Fig. 2(b):
+//!   decode time shrinks sublinearly and power grows superlinearly with
+//!   the number of concurrent decoders,
+//! * [`session`] — a [`session::StreamingSession`] advances wall-clock
+//!   time, waits, downloads over a [`ee360_trace::network::NetworkTrace`]
+//!   and reports each segment's timing,
+//! * [`metrics`] — per-segment records and whole-session aggregates
+//!   (energy breakdown, QoE decomposition, stall statistics).
+//!
+//! # Example
+//!
+//! ```
+//! use ee360_sim::buffer::PlaybackBuffer;
+//!
+//! let mut buf = PlaybackBuffer::paper_default(); // β = 3 s
+//! let first = buf.advance(0.4, 1.0); // startup: empty buffer stalls
+//! assert_eq!(first.stall_sec, 0.4);
+//! let second = buf.advance(0.4, 1.0); // now 1 s is buffered — no stall
+//! assert_eq!(second.stall_sec, 0.0);
+//! assert!(buf.level_sec() > 0.0);
+//! ```
+
+pub mod buffer;
+pub mod decoder;
+pub mod metrics;
+pub mod multiclient;
+pub mod session;
+
+pub use buffer::{BufferStep, PlaybackBuffer};
+pub use decoder::DecoderPipeline;
+pub use metrics::{SegmentRecord, SessionMetrics};
+pub use multiclient::{simulate_shared_link, ClientOutcome, MulticlientConfig};
+pub use session::{SegmentTiming, StreamingSession};

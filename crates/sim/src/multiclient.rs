@@ -1,0 +1,369 @@
+//! Multiple clients sharing one bottleneck link.
+//!
+//! The paper evaluates one client at a time; a deployment serves many
+//! phones behind the same cell. This tick-based simulator runs `K`
+//! concurrent sessions over a shared capacity with processor-sharing
+//! (active downloads split the instantaneous capacity equally — the
+//! steady-state behaviour of per-flow-fair TCP), so contention effects
+//! (downshifts when a neighbour joins, stall storms at low capacity) can
+//! be studied with the same per-segment decision logic.
+//!
+//! The per-segment decision is abstracted as a closure from
+//! `(segment, buffer, bandwidth estimate) → bits`, so any controller can
+//! be adapted without this crate depending on the ABR layer.
+
+use ee360_trace::network::NetworkTrace;
+use ee360_video::segment::SEGMENT_DURATION_SEC;
+
+/// Configuration of the shared-link simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MulticlientConfig {
+    /// Simulation tick, seconds (0.1 s default).
+    pub tick_sec: f64,
+    /// Buffer threshold β per client, seconds.
+    pub buffer_threshold_sec: f64,
+    /// Segments each client streams.
+    pub segments: usize,
+}
+
+impl Default for MulticlientConfig {
+    fn default() -> Self {
+        Self {
+            tick_sec: 0.1,
+            buffer_threshold_sec: 3.0,
+            segments: 60,
+        }
+    }
+}
+
+/// Per-client results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientOutcome {
+    /// Index of the client in the input order.
+    pub client_id: usize,
+    /// Segments completed.
+    pub segments: usize,
+    /// Mean throughput experienced across downloads, bits per second.
+    pub mean_throughput_bps: f64,
+    /// Total stall time, seconds (excluding the initial startup fill).
+    pub total_stall_sec: f64,
+    /// Mean downloaded bits per segment.
+    pub mean_bits_per_segment: f64,
+    /// Wall-clock time when the client finished its last segment.
+    pub finished_at_sec: f64,
+}
+
+/// A per-segment planner: `(segment index, buffer seconds, bandwidth
+/// estimate bps) → bits to download`.
+pub type Planner<'a> = Box<dyn FnMut(usize, f64, f64) -> f64 + 'a>;
+
+/// One client's live state.
+struct ClientState<'a> {
+    plan: Planner<'a>,
+    buffer_sec: f64,
+    next_segment: usize,
+    /// Remaining bits of the in-flight download (`None` while waiting).
+    downloading: Option<(f64, f64, f64)>, // (remaining, total, started_at)
+    wait_until: f64,
+    est_bps: f64,
+    started_playing: bool,
+    // accumulators
+    total_bits: f64,
+    download_time: f64,
+    stall: f64,
+    finished_at: f64,
+    done: bool,
+}
+
+/// Runs `K` clients over a shared link.
+///
+/// Each element of `planners` maps `(segment index, buffer seconds,
+/// bandwidth estimate bps)` to the bits to download for that segment. The
+/// initial bandwidth estimate is the fair share of the first capacity
+/// sample; afterwards each client estimates from its own observed
+/// throughput (exponential moving average, α = 0.3).
+///
+/// # Panics
+///
+/// Panics if `planners` is empty, the configuration is non-positive, or a
+/// planner returns non-positive bits.
+pub fn simulate_shared_link<'a>(
+    capacity: &NetworkTrace,
+    config: MulticlientConfig,
+    planners: Vec<Planner<'a>>,
+) -> Vec<ClientOutcome> {
+    assert!(!planners.is_empty(), "need at least one client");
+    assert!(config.tick_sec > 0.0, "tick must be positive");
+    assert!(config.segments > 0, "need at least one segment");
+    assert!(
+        config.buffer_threshold_sec > 0.0,
+        "buffer threshold must be positive"
+    );
+
+    let n = planners.len();
+    let initial_share = capacity.bandwidth_at(0.0) / n as f64;
+    let mut clients: Vec<ClientState> = planners
+        .into_iter()
+        .map(|plan| ClientState {
+            plan,
+            buffer_sec: 0.0,
+            next_segment: 0,
+            downloading: None,
+            wait_until: 0.0,
+            est_bps: initial_share,
+            started_playing: false,
+            total_bits: 0.0,
+            download_time: 0.0,
+            stall: 0.0,
+            finished_at: 0.0,
+            done: false,
+        })
+        .collect();
+
+    let tick = config.tick_sec;
+    let mut t = 0.0f64;
+    // Hard cap so a pathological planner cannot loop forever.
+    let max_time = config.segments as f64 * 60.0 + 600.0;
+
+    while clients.iter().any(|c| !c.done) && t < max_time {
+        // 1. Start pending downloads.
+        for c in clients.iter_mut() {
+            if c.done || c.downloading.is_some() || t + 1e-12 < c.wait_until {
+                continue;
+            }
+            let bits = (c.plan)(c.next_segment, c.buffer_sec, c.est_bps);
+            assert!(
+                bits.is_finite() && bits > 0.0,
+                "planner must return positive bits"
+            );
+            c.downloading = Some((bits, bits, t));
+        }
+
+        // 2. Share capacity among active downloads.
+        let active = clients
+            .iter()
+            .filter(|c| !c.done && c.downloading.is_some())
+            .count();
+        if active > 0 {
+            let share = capacity.bandwidth_at(t) / active as f64 * tick;
+            for c in clients.iter_mut() {
+                if c.done {
+                    continue;
+                }
+                if let Some((remaining, total, started)) = c.downloading {
+                    let left = remaining - share;
+                    if left <= 0.0 {
+                        // Segment completed this tick.
+                        let elapsed = (t + tick - started).max(tick);
+                        c.total_bits += total;
+                        c.download_time += elapsed;
+                        let throughput = total / elapsed;
+                        c.est_bps = 0.7 * c.est_bps + 0.3 * throughput;
+                        c.buffer_sec += SEGMENT_DURATION_SEC;
+                        c.started_playing = true;
+                        c.next_segment += 1;
+                        c.downloading = None;
+                        if c.next_segment >= config.segments {
+                            c.done = true;
+                            c.finished_at = t + tick;
+                        } else if c.buffer_sec > config.buffer_threshold_sec {
+                            c.wait_until =
+                                t + tick + (c.buffer_sec - config.buffer_threshold_sec);
+                        }
+                    } else {
+                        c.downloading = Some((left, total, started));
+                    }
+                }
+            }
+        }
+
+        // 3. Playback drains buffers; empty buffers stall.
+        for c in clients.iter_mut() {
+            if c.done {
+                continue;
+            }
+            if c.buffer_sec > 0.0 {
+                c.buffer_sec = (c.buffer_sec - tick).max(0.0);
+            } else if c.started_playing {
+                c.stall += tick;
+            }
+        }
+
+        t += tick;
+    }
+
+    clients
+        .into_iter()
+        .enumerate()
+        .map(|(client_id, c)| ClientOutcome {
+            client_id,
+            segments: c.next_segment,
+            mean_throughput_bps: if c.download_time > 0.0 {
+                c.total_bits / c.download_time
+            } else {
+                0.0
+            },
+            total_stall_sec: c.stall,
+            mean_bits_per_segment: c.total_bits / c.next_segment.max(1) as f64,
+            finished_at_sec: c.finished_at,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn constant_net(bps: f64) -> NetworkTrace {
+        NetworkTrace::from_samples(vec![bps])
+    }
+
+    fn fixed_planner(bits: f64) -> Box<dyn FnMut(usize, f64, f64) -> f64> {
+        Box::new(move |_, _, _| bits)
+    }
+
+    /// A simple rate-based planner: download est × 1 s, floored.
+    fn adaptive_planner() -> Box<dyn FnMut(usize, f64, f64) -> f64> {
+        Box::new(|_, _, est| (est * SEGMENT_DURATION_SEC).max(0.2e6))
+    }
+
+    #[test]
+    fn single_client_completes_without_contention() {
+        let out = simulate_shared_link(
+            &constant_net(8.0e6),
+            MulticlientConfig {
+                segments: 30,
+                ..Default::default()
+            },
+            vec![fixed_planner(2.0e6)],
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].segments, 30);
+        // 2 Mb at 8 Mbps = 0.25 s per segment: no stalls after startup.
+        assert!(out[0].total_stall_sec < 0.5, "stall {}", out[0].total_stall_sec);
+        // Tick quantisation rounds the 0.25 s download up to 3 ticks
+        // (0.3 s), so the measured throughput is 2 Mb / 0.3 s ≈ 6.7 Mbps.
+        assert!(
+            out[0].mean_throughput_bps > 6.0e6 && out[0].mean_throughput_bps <= 8.0e6 + 1.0,
+            "throughput {}",
+            out[0].mean_throughput_bps
+        );
+    }
+
+    #[test]
+    fn two_equal_clients_split_the_link_fairly() {
+        let out = simulate_shared_link(
+            &constant_net(8.0e6),
+            MulticlientConfig {
+                segments: 40,
+                ..Default::default()
+            },
+            vec![fixed_planner(2.0e6), fixed_planner(2.0e6)],
+        );
+        // Each sees ~4 Mbps while both are downloading; allow slack for the
+        // phases where only one is active.
+        for o in &out {
+            assert!(
+                o.mean_throughput_bps > 3.0e6 && o.mean_throughput_bps < 8.5e6,
+                "client {} saw {}",
+                o.client_id,
+                o.mean_throughput_bps
+            );
+            assert_eq!(o.segments, 40);
+        }
+        let diff = (out[0].mean_throughput_bps - out[1].mean_throughput_bps).abs();
+        assert!(diff < 0.5e6, "unfair split: {diff}");
+    }
+
+    #[test]
+    fn adaptive_clients_downshift_under_contention() {
+        let solo = simulate_shared_link(
+            &constant_net(6.0e6),
+            MulticlientConfig {
+                segments: 40,
+                ..Default::default()
+            },
+            vec![adaptive_planner()],
+        );
+        let crowd = simulate_shared_link(
+            &constant_net(6.0e6),
+            MulticlientConfig {
+                segments: 40,
+                ..Default::default()
+            },
+            vec![adaptive_planner(), adaptive_planner(), adaptive_planner()],
+        );
+        let solo_bits = solo[0].mean_bits_per_segment;
+        let crowd_bits = crowd[0].mean_bits_per_segment;
+        assert!(
+            crowd_bits < 0.6 * solo_bits,
+            "crowded client should downshift: solo {solo_bits}, crowded {crowd_bits}"
+        );
+    }
+
+    #[test]
+    fn oversubscribed_link_causes_stalls() {
+        // Three clients each insisting on 4 Mb/segment over a 6 Mbps link:
+        // 12 Mb of demand per second of video — sustained stalling.
+        let out = simulate_shared_link(
+            &constant_net(6.0e6),
+            MulticlientConfig {
+                segments: 20,
+                ..Default::default()
+            },
+            vec![fixed_planner(4.0e6), fixed_planner(4.0e6), fixed_planner(4.0e6)],
+        );
+        let total_stall: f64 = out.iter().map(|o| o.total_stall_sec).sum();
+        assert!(total_stall > 10.0, "stall {total_stall}");
+        assert!(out.iter().all(|o| o.segments == 20));
+    }
+
+    #[test]
+    fn staggered_finish_frees_capacity() {
+        // A light client finishes early; the heavy one must then speed up,
+        // finishing faster than if the link were split throughout.
+        let out = simulate_shared_link(
+            &constant_net(8.0e6),
+            MulticlientConfig {
+                segments: 30,
+                ..Default::default()
+            },
+            vec![fixed_planner(0.4e6), fixed_planner(4.0e6)],
+        );
+        assert!(out[0].finished_at_sec < out[1].finished_at_sec);
+        // The heavy client's mean throughput exceeds a permanent half-share.
+        assert!(out[1].mean_throughput_bps > 4.0e6);
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            simulate_shared_link(
+                &NetworkTrace::paper_trace2(200, 9),
+                MulticlientConfig::default(),
+                vec![adaptive_planner(), adaptive_planner()],
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn empty_clients_panics() {
+        let _ = simulate_shared_link(
+            &constant_net(1.0e6),
+            MulticlientConfig::default(),
+            vec![],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bits")]
+    fn bad_planner_panics() {
+        let _ = simulate_shared_link(
+            &constant_net(1.0e6),
+            MulticlientConfig::default(),
+            vec![fixed_planner(0.0)],
+        );
+    }
+}

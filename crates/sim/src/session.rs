@@ -1,0 +1,260 @@
+//! The streaming session: wall-clock time, waits, downloads, stalls.
+//!
+//! A [`StreamingSession`] owns the playback buffer and the network trace
+//! and advances one segment at a time: the controller decides *what* to
+//! download (how many bits, at which quality/frame rate) and the session
+//! reports *how it went* (download time, experienced throughput, wait and
+//! stall durations) — exactly the quantities Eqs. 1, 2 and 6 consume.
+
+use serde::{Deserialize, Serialize};
+
+use ee360_trace::network::NetworkTrace;
+use ee360_video::segment::SEGMENT_DURATION_SEC;
+
+use crate::buffer::{BufferStep, PlaybackBuffer};
+
+/// Timing of one downloaded segment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SegmentTiming {
+    /// Wall-clock time when the request was issued (after any wait), sec.
+    pub request_time_sec: f64,
+    /// Time spent waiting for the buffer to drain to β before requesting.
+    pub wait_sec: f64,
+    /// Download duration `S/R`, sec.
+    pub download_sec: f64,
+    /// Mean throughput experienced during the download, bits per second.
+    pub throughput_bps: f64,
+    /// Buffered video at request time (`B_k`), sec.
+    pub buffer_at_request_sec: f64,
+    /// Stall (rebuffering) time incurred, sec.
+    pub stall_sec: f64,
+    /// Buffer after the segment arrived (`B_{k+1}`), sec.
+    pub buffer_after_sec: f64,
+}
+
+/// A client session streaming over a network trace.
+///
+/// # Example
+///
+/// ```
+/// use ee360_sim::session::StreamingSession;
+/// use ee360_trace::network::NetworkTrace;
+///
+/// let net = NetworkTrace::from_samples(vec![4.0e6]);
+/// let mut session = StreamingSession::new(net, 3.0);
+/// let timing = session.download_segment(2.0e6); // 2 Mb over 4 Mbps
+/// assert!((timing.download_sec - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingSession {
+    network: NetworkTrace,
+    buffer: PlaybackBuffer,
+    clock_sec: f64,
+    segments_downloaded: usize,
+}
+
+impl StreamingSession {
+    /// Creates a session at time zero with an empty buffer.
+    pub fn new(network: NetworkTrace, buffer_threshold_sec: f64) -> Self {
+        Self {
+            network,
+            buffer: PlaybackBuffer::new(buffer_threshold_sec),
+            clock_sec: 0.0,
+            segments_downloaded: 0,
+        }
+    }
+
+    /// The session's network trace.
+    pub fn network(&self) -> &NetworkTrace {
+        &self.network
+    }
+
+    /// Current wall-clock time, seconds since session start.
+    pub fn clock_sec(&self) -> f64 {
+        self.clock_sec
+    }
+
+    /// Current buffer level, seconds of video.
+    pub fn buffer_level_sec(&self) -> f64 {
+        self.buffer.level_sec()
+    }
+
+    /// Buffer threshold β.
+    pub fn buffer_threshold_sec(&self) -> f64 {
+        self.buffer.threshold_sec()
+    }
+
+    /// Number of segments downloaded so far.
+    pub fn segments_downloaded(&self) -> usize {
+        self.segments_downloaded
+    }
+
+    /// The network bandwidth the next request would currently see, bps.
+    /// (The controller must NOT use this for planning — it is the oracle
+    /// value; planners use their own estimators.)
+    pub fn current_bandwidth_bps(&self) -> f64 {
+        self.network.bandwidth_at(self.clock_sec)
+    }
+
+    /// Fetches startup metadata (the manifests of the first `H` segments,
+    /// Section IV-C step (a)) before playback begins: advances the clock by
+    /// the download time and returns that duration in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not positive or the session already downloaded
+    /// segments (metadata is a startup-only step).
+    pub fn fetch_metadata(&mut self, bits: f64) -> f64 {
+        assert!(bits.is_finite() && bits > 0.0, "metadata bits must be positive");
+        assert_eq!(
+            self.segments_downloaded, 0,
+            "metadata is fetched before the first segment"
+        );
+        let duration = self.network.download_time(bits, self.clock_sec);
+        self.clock_sec += duration;
+        duration
+    }
+
+    /// Downloads one segment of `bits` and advances the session.
+    ///
+    /// Applies the Eq. 6 wait, integrates the download over the
+    /// (piecewise-constant) network trace, updates the buffer, and returns
+    /// the full timing record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not positive (a segment always has data).
+    pub fn download_segment(&mut self, bits: f64) -> SegmentTiming {
+        assert!(bits.is_finite() && bits > 0.0, "segment bits must be positive");
+        // Eq. 6 wait: don't request while the buffer is above β.
+        let wait_sec = (self.buffer.level_sec() - self.buffer.threshold_sec()).max(0.0);
+        self.clock_sec += wait_sec;
+        let request_time_sec = self.clock_sec;
+
+        let download_sec = self.network.download_time(bits, self.clock_sec);
+        let throughput_bps = bits / download_sec;
+        let step: BufferStep = self.buffer.advance(download_sec, SEGMENT_DURATION_SEC);
+        debug_assert!((step.wait_sec - wait_sec).abs() < 1e-9);
+        self.clock_sec += download_sec;
+        self.segments_downloaded += 1;
+
+        SegmentTiming {
+            request_time_sec,
+            wait_sec,
+            download_sec,
+            throughput_bps,
+            buffer_at_request_sec: step.buffer_at_request_sec,
+            stall_sec: step.stall_sec,
+            buffer_after_sec: step.buffer_after_sec,
+        }
+    }
+
+    /// Resets the session to time zero with an empty buffer (same trace).
+    pub fn reset(&mut self) {
+        self.buffer.reset();
+        self.clock_sec = 0.0;
+        self.segments_downloaded = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn constant_net(bps: f64) -> NetworkTrace {
+        NetworkTrace::from_samples(vec![bps])
+    }
+
+    #[test]
+    fn steady_state_paces_at_segment_rate() {
+        // Downloads faster than playback: after warm-up, each request waits
+        // so that (wait + download) ≈ 1 segment duration.
+        let mut s = StreamingSession::new(constant_net(8.0e6), 3.0);
+        for _ in 0..6 {
+            s.download_segment(2.0e6);
+        }
+        let t = s.download_segment(2.0e6);
+        assert!((t.wait_sec + t.download_sec - 1.0).abs() < 1e-9);
+        assert!((t.buffer_at_request_sec - 3.0).abs() < 1e-9);
+        assert_eq!(t.stall_sec, 0.0);
+    }
+
+    #[test]
+    fn slow_network_stalls() {
+        // 6 Mb over 4 Mbps = 1.5 s per 1 s segment: the buffer drains.
+        let mut s = StreamingSession::new(constant_net(4.0e6), 3.0);
+        let mut total_stall = 0.0;
+        for _ in 0..10 {
+            total_stall += s.download_segment(6.0e6).stall_sec;
+        }
+        assert!(total_stall > 1.0, "stall {total_stall}");
+    }
+
+    #[test]
+    fn clock_advances_by_wait_plus_download() {
+        let mut s = StreamingSession::new(constant_net(4.0e6), 3.0);
+        let before = s.clock_sec();
+        let t = s.download_segment(2.0e6);
+        assert!((s.clock_sec() - (before + t.wait_sec + t.download_sec)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_matches_trace_on_constant_network() {
+        let mut s = StreamingSession::new(constant_net(5.0e6), 3.0);
+        let t = s.download_segment(1.0e6);
+        assert!((t.throughput_bps - 5.0e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn variable_network_effective_throughput() {
+        let net = NetworkTrace::from_samples(vec![1.0e6, 3.0e6]);
+        let mut s = StreamingSession::new(net, 3.0);
+        let t = s.download_segment(2.0e6); // 1 s @1 Mbps + 1/3 s @3 Mbps
+        assert!((t.download_sec - (1.0 + 1.0 / 3.0)).abs() < 1e-9);
+        assert!(t.throughput_bps > 1.0e6 && t.throughput_bps < 3.0e6);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut s = StreamingSession::new(constant_net(4.0e6), 3.0);
+        s.download_segment(2.0e6);
+        s.reset();
+        assert_eq!(s.clock_sec(), 0.0);
+        assert_eq!(s.buffer_level_sec(), 0.0);
+        assert_eq!(s.segments_downloaded(), 0);
+    }
+
+    #[test]
+    fn counts_segments() {
+        let mut s = StreamingSession::new(constant_net(4.0e6), 3.0);
+        for _ in 0..5 {
+            s.download_segment(1.0e6);
+        }
+        assert_eq!(s.segments_downloaded(), 5);
+    }
+
+    #[test]
+    fn metadata_fetch_advances_clock_only() {
+        let mut s = StreamingSession::new(constant_net(4.0e6), 3.0);
+        let d = s.fetch_metadata(1.0e6);
+        assert!((d - 0.25).abs() < 1e-9);
+        assert!((s.clock_sec() - 0.25).abs() < 1e-9);
+        assert_eq!(s.buffer_level_sec(), 0.0);
+        assert_eq!(s.segments_downloaded(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first segment")]
+    fn metadata_after_segments_panics() {
+        let mut s = StreamingSession::new(constant_net(4.0e6), 3.0);
+        s.download_segment(1.0e6);
+        let _ = s.fetch_metadata(1.0e5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bits_panics() {
+        let mut s = StreamingSession::new(constant_net(4.0e6), 3.0);
+        let _ = s.download_segment(0.0);
+    }
+}

@@ -1,0 +1,674 @@
+//! Synthetic head-movement (gaze) traces.
+//!
+//! The generator reproduces the statistical structure the paper's pipeline
+//! consumes from the MMSys'17 dataset:
+//!
+//! * **Hotspots** — each video has a few salient regions whose positions
+//!   slowly oscillate (the action moves around the scene).
+//! * **Fixation** — a user dwells on a hotspot with small
+//!   Ornstein–Uhlenbeck gaze jitter, offset by a per-user interest bias
+//!   (small for focused videos, large for exploratory ones).
+//! * **Pursuit** — on dwell expiry the user swings to the next hotspot
+//!   along the great circle at the video's pursuit speed: these swings are
+//!   the >10°/s tail of Fig. 5.
+//! * **Exploration** — users of exploratory videos occasionally wander to
+//!   a uniformly random point, producing the scattered, Ptile-uncovered
+//!   viewers of Fig. 7(b).
+//!
+//! Hotspot choice is shared across users for focused videos (everyone
+//! watches the ball) and Zipf-skewed but individual for exploratory videos
+//! (most users follow the main action, a minority roams), which is what
+//! gives Algorithm 1 its one-or-two dominant clusters.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use ee360_geom::angles::{lerp_yaw_deg, wrap_yaw_deg};
+use ee360_geom::sphere::Orientation;
+use ee360_geom::switching::{mean_switching_speed, SwitchingSample};
+use ee360_geom::viewport::ViewCenter;
+use ee360_video::catalog::{BehaviorProfile, VideoSpec};
+
+/// Tuning knobs of the gaze simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GazeConfig {
+    /// Gaze sampling rate in Hz (the paper's headsets record at 50 Hz; 10 Hz
+    /// is plenty for 1 s segments and keeps experiments fast).
+    pub sample_hz: f64,
+    /// Standard deviation of fixation jitter, degrees.
+    pub jitter_deg: f64,
+    /// Per-user interest offset (1σ), degrees, for focused videos.
+    pub focused_offset_deg: f64,
+    /// Per-user interest offset (1σ), degrees, for exploratory videos.
+    pub exploratory_offset_deg: f64,
+    /// Probability that an exploratory user's next target is a random
+    /// point rather than a hotspot.
+    pub roam_probability: f64,
+    /// Zipf skew for exploratory hotspot choice.
+    pub zipf_exponent: f64,
+    /// Rate of saccadic micro-flicks while fixating, per second. Flicks are
+    /// brief 3–7° re-fixations: they dominate the fast tail of the
+    /// switching-speed distribution (Fig. 5) without moving the user out of
+    /// the Ptile.
+    pub flick_rate_hz: f64,
+}
+
+impl Default for GazeConfig {
+    fn default() -> Self {
+        Self {
+            sample_hz: 10.0,
+            jitter_deg: 1.2,
+            focused_offset_deg: 6.0,
+            exploratory_offset_deg: 10.0,
+            roam_probability: 0.06,
+            zipf_exponent: 1.1,
+            flick_rate_hz: 1.2,
+        }
+    }
+}
+
+/// One user's gaze trace over one video.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeadTrace {
+    video_id: usize,
+    user_id: usize,
+    sample_hz: f64,
+    /// (t_sec, yaw_deg, pitch_deg) triples, strictly increasing in time.
+    samples: Vec<(f64, f64, f64)>,
+}
+
+impl HeadTrace {
+    /// Builds a trace from raw `(t_sec, yaw_deg, pitch_deg)` samples — the
+    /// entry point for external datasets (see [`crate::mmsys`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or timestamps are not strictly
+    /// increasing.
+    pub fn from_samples(video_id: usize, user_id: usize, samples: Vec<(f64, f64, f64)>) -> Self {
+        assert!(!samples.is_empty(), "a trace needs at least one sample");
+        assert!(
+            samples.windows(2).all(|w| w[1].0 > w[0].0),
+            "sample times must be strictly increasing"
+        );
+        let sample_hz = if samples.len() >= 2 {
+            let span = samples.last().expect("non-empty").0 - samples[0].0;
+            (samples.len() as f64 - 1.0) / span.max(1e-9)
+        } else {
+            1.0
+        };
+        Self {
+            video_id,
+            user_id,
+            sample_hz,
+            samples,
+        }
+    }
+
+    /// The video this trace was recorded over.
+    pub fn video_id(&self) -> usize {
+        self.video_id
+    }
+
+    /// The user id within the video's population.
+    pub fn user_id(&self) -> usize {
+        self.user_id
+    }
+
+    /// Trace duration in seconds.
+    pub fn duration_sec(&self) -> f64 {
+        self.samples.last().map_or(0.0, |s| s.0)
+    }
+
+    /// Number of gaze samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if the trace has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// All samples as [`SwitchingSample`]s.
+    pub fn switching_samples(&self) -> Vec<SwitchingSample> {
+        self.samples
+            .iter()
+            .map(|&(t, y, p)| SwitchingSample::new(t, ViewCenter::new(y, p)))
+            .collect()
+    }
+
+    /// The gaze position at the start of segment `k` (the sample closest to
+    /// `t = k` seconds), or `None` past the end of the trace.
+    pub fn segment_center(&self, segment: usize) -> Option<ViewCenter> {
+        let t = segment as f64;
+        if t > self.duration_sec() + 1e-9 {
+            return None;
+        }
+        let idx = self
+            .samples
+            .partition_point(|s| s.0 < t - 1e-9)
+            .min(self.samples.len() - 1);
+        let (_, y, p) = self.samples[idx];
+        Some(ViewCenter::new(y, p))
+    }
+
+    /// Mean view-switching speed within segment `k`, degrees per second
+    /// (the `S_fov` input of Eq. 4). `None` past the end of the trace.
+    pub fn segment_switching_speed(&self, segment: usize) -> Option<f64> {
+        let t0 = segment as f64;
+        let t1 = t0 + 1.0;
+        if t0 > self.duration_sec() {
+            return None;
+        }
+        let window: Vec<SwitchingSample> = self
+            .samples
+            .iter()
+            .filter(|s| s.0 >= t0 - 1e-9 && s.0 <= t1 + 1e-9)
+            .map(|&(t, y, p)| SwitchingSample::new(t, ViewCenter::new(y, p)))
+            .collect();
+        Some(mean_switching_speed(&window))
+    }
+
+    /// Per-interval switching speeds over the whole trace (Fig. 5's raw
+    /// material), degrees per second.
+    pub fn switching_speeds(&self) -> Vec<f64> {
+        ee360_geom::switching::switching_speeds(&self.switching_samples())
+    }
+
+    /// The *fast* switching speed within segment `k`: the 75th percentile
+    /// of the within-segment speeds. Eq. 4's blur argument is about the
+    /// fast phases of the gaze ("during fast view switching"), which a
+    /// plain mean dilutes away. `None` past the end of the trace.
+    pub fn segment_fast_switching_speed(&self, segment: usize) -> Option<f64> {
+        let t0 = segment as f64;
+        let t1 = t0 + 1.0;
+        if t0 > self.duration_sec() {
+            return None;
+        }
+        let window: Vec<SwitchingSample> = self
+            .samples
+            .iter()
+            .filter(|s| s.0 >= t0 - 1e-9 && s.0 <= t1 + 1e-9)
+            .map(|&(t, y, p)| SwitchingSample::new(t, ViewCenter::new(y, p)))
+            .collect();
+        let speeds = ee360_geom::switching::switching_speeds(&window);
+        if speeds.is_empty() {
+            return Some(0.0);
+        }
+        let mut sorted = speeds;
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("speeds are finite"));
+        let idx = ((sorted.len() as f64) * 0.75).floor() as usize;
+        Some(sorted[idx.min(sorted.len() - 1)])
+    }
+}
+
+/// A salient region whose position oscillates over time.
+#[derive(Debug, Clone, Copy)]
+struct Hotspot {
+    yaw0: f64,
+    pitch0: f64,
+    yaw_amp: f64,
+    yaw_period: f64,
+    phase: f64,
+}
+
+impl Hotspot {
+    fn position(&self, t: f64) -> ViewCenter {
+        let yaw = self.yaw0 + self.yaw_amp * (2.0 * std::f64::consts::PI * t / self.yaw_period + self.phase).sin();
+        ViewCenter::new(wrap_yaw_deg(yaw), self.pitch0)
+    }
+}
+
+/// What the simulated user is currently doing.
+enum GazeState {
+    /// Dwelling on a target until the given time.
+    Fixate { target: Target, until: f64 },
+    /// Swinging towards a target at a given speed (deg/s).
+    Travel { target: Target, speed: f64 },
+}
+
+/// Where the gaze is headed.
+#[derive(Clone, Copy)]
+enum Target {
+    Hotspot { index: usize, offset: (f64, f64) },
+    Point(ViewCenter),
+}
+
+/// Generates [`HeadTrace`]s for a video's user population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeadTraceGenerator {
+    config: GazeConfig,
+}
+
+impl HeadTraceGenerator {
+    /// Creates a generator.
+    pub fn new(config: GazeConfig) -> Self {
+        assert!(config.sample_hz > 0.0, "sample rate must be positive");
+        Self { config }
+    }
+
+    /// The generator's configuration.
+    pub fn config(&self) -> &GazeConfig {
+        &self.config
+    }
+
+    /// Deterministic hotspot layout for a video.
+    fn hotspots(spec: &VideoSpec, rng: &mut StdRng) -> Vec<Hotspot> {
+        let n = spec.hotspot_count.max(1);
+        (0..n)
+            .map(|i| Hotspot {
+                // Salient action clusters in the front hemisphere of real
+                // 360° footage; spreading hotspots over the whole sphere
+                // would make users spend most of their time in transit.
+                yaw0: if n == 1 {
+                    rng.gen_range(-30.0..30.0)
+                } else {
+                    -80.0 + 160.0 * i as f64 / (n as f64 - 1.0) + rng.gen_range(-15.0..15.0)
+                },
+                pitch0: rng.gen_range(-18.0..18.0),
+                yaw_amp: rng.gen_range(8.0..30.0),
+                yaw_period: rng.gen_range(25.0..70.0),
+                phase: rng.gen_range(0.0..std::f64::consts::TAU),
+            })
+            .collect()
+    }
+
+    /// The hotspot all focused users attend to at time `t` (attention
+    /// rotates every few dwell periods, shared across the population).
+    fn focused_active_hotspot(spec: &VideoSpec, t: f64) -> usize {
+        let period = (5.0 * spec.mean_dwell_sec).max(8.0);
+        ((t / period) as usize) % spec.hotspot_count.max(1)
+    }
+
+    /// Zipf-skewed hotspot choice for exploratory users.
+    fn zipf_hotspot(&self, n: usize, rng: &mut StdRng) -> usize {
+        let weights: Vec<f64> = (0..n)
+            .map(|i| 1.0 / ((i + 1) as f64).powf(self.config.zipf_exponent))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut u = rng.gen_range(0.0..total);
+        for (i, w) in weights.iter().enumerate() {
+            if u < *w {
+                return i;
+            }
+            u -= w;
+        }
+        n - 1
+    }
+
+    /// Generates one user's trace. Deterministic in `(spec.id, user_id,
+    /// seed)`.
+    pub fn generate(&self, spec: &VideoSpec, user_id: usize, seed: u64) -> HeadTrace {
+        let mut mix = seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add((spec.id as u64) << 32)
+            .wrapping_add(user_id as u64);
+        mix = (mix ^ (mix >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        let mut rng = StdRng::seed_from_u64(mix);
+        // The hotspot layout must be shared by all users of a video, so it
+        // uses its own RNG keyed by (video, seed) only.
+        let mut video_rng = StdRng::seed_from_u64(
+            seed.wrapping_mul(0x2545F4914F6CDD1D)
+                .wrapping_add(spec.id as u64),
+        );
+        let hotspots = Self::hotspots(spec, &mut video_rng);
+
+        let exploratory = spec.behavior == BehaviorProfile::Exploratory;
+        let offset_sigma = if exploratory {
+            self.config.exploratory_offset_deg
+        } else {
+            self.config.focused_offset_deg
+        };
+        let user_offset = (
+            rng.gen_range(-1.5..1.5) * offset_sigma,
+            rng.gen_range(-1.0..1.0) * offset_sigma * 0.7,
+        );
+
+        // Focused users react to the same on-screen events within a short
+        // personal delay, which keeps the pack together during transits.
+        let reaction_delay = rng.gen_range(0.0..0.8);
+
+        let dt = 1.0 / self.config.sample_hz;
+        let steps = (spec.duration_sec as f64 * self.config.sample_hz) as usize;
+
+        // Initial target.
+        let initial_idx = if exploratory {
+            self.zipf_hotspot(hotspots.len(), &mut rng)
+        } else {
+            Self::focused_active_hotspot(spec, 0.0)
+        };
+        let mut state = GazeState::Fixate {
+            target: Target::Hotspot {
+                index: initial_idx,
+                offset: user_offset,
+            },
+            until: self.sample_dwell(spec, &mut rng),
+        };
+        let start = Self::target_position(&hotspots, &state_target(&state), 0.0);
+        let mut pos = start;
+        let mut jitter = (0.0f64, 0.0f64);
+        let mut flick = (0.0f64, 0.0f64);
+        let mut samples = Vec::with_capacity(steps + 1);
+
+        for step in 0..=steps {
+            let t = step as f64 * dt;
+            // Ornstein–Uhlenbeck jitter around the nominal gaze point.
+            let theta = 1.2 * dt;
+            jitter.0 += -theta * jitter.0
+                + self.config.jitter_deg * dt.sqrt() * rng.gen_range(-1.0..1.0);
+            jitter.1 += -theta * jitter.1
+                + self.config.jitter_deg * dt.sqrt() * rng.gen_range(-1.0..1.0);
+
+            match &mut state {
+                GazeState::Fixate { target, until } => {
+                    let nominal = Self::target_position(&hotspots, target, t);
+                    // Track the (slowly moving) hotspot.
+                    pos = ViewCenter::new(
+                        lerp_yaw_deg(pos.yaw_deg(), nominal.yaw_deg(), (3.0 * dt).min(1.0)),
+                        pos.pitch_deg()
+                            + (nominal.pitch_deg() - pos.pitch_deg()) * (3.0 * dt).min(1.0),
+                    );
+                    // Focused viewers switch when the on-screen action
+                    // switches (synchronised across the population), not on
+                    // a private schedule.
+                    let stimulus_switch = !exploratory
+                        && matches!(target, Target::Hotspot { index, .. }
+                            if *index != Self::focused_active_hotspot(
+                                spec,
+                                (t - reaction_delay).max(0.0),
+                            ));
+                    if stimulus_switch || t >= *until {
+                        let current = match target {
+                            Target::Hotspot { index, .. } => Some(*index),
+                            Target::Point(_) => None,
+                        };
+                        let next = self.pick_next_target(spec, exploratory, user_offset, t, &hotspots, current, &mut rng);
+                        let next_pos = Self::target_position(&hotspots, &next, t);
+                        let dist = Orientation::from_view_center(pos)
+                            .angle_to_deg(&Orientation::from_view_center(next_pos));
+                        if dist > 5.0 {
+                            let spread = if exploratory { 0.8..1.3 } else { 0.9..1.15 };
+                            let speed = spec.pursuit_speed_deg_s * rng.gen_range(spread);
+                            state = GazeState::Travel {
+                                target: next,
+                                speed,
+                            };
+                        } else {
+                            state = GazeState::Fixate {
+                                target: next,
+                                until: t + self.sample_dwell(spec, &mut rng),
+                            };
+                        }
+                    }
+                }
+                GazeState::Travel { target, speed } => {
+                    let goal = Self::target_position(&hotspots, target, t);
+                    let here = Orientation::from_view_center(pos);
+                    let there = Orientation::from_view_center(goal);
+                    let remaining = here.angle_to_deg(&there);
+                    let step_deg = *speed * dt;
+                    if remaining <= step_deg || remaining < 3.0 {
+                        pos = goal;
+                        state = GazeState::Fixate {
+                            target: *target,
+                            until: t + self.sample_dwell(spec, &mut rng),
+                        };
+                    } else {
+                        pos = here.slerp(&there, step_deg / remaining).to_view_center();
+                    }
+                }
+            }
+
+            // Saccadic micro-flicks: a sudden small re-fixation that decays
+            // over a few samples — fast by Eq. 5, but spatially tiny.
+            if rng.gen_range(0.0..1.0) < self.config.flick_rate_hz * dt {
+                let magnitude = rng.gen_range(4.0..8.0);
+                let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+                flick.0 += magnitude * angle.cos();
+                flick.1 += magnitude * 0.6 * angle.sin();
+            }
+            flick.0 *= 0.45;
+            flick.1 *= 0.45;
+
+            let observed = ViewCenter::new(
+                pos.yaw_deg() + jitter.0 + flick.0,
+                pos.pitch_deg() + jitter.1 + flick.1,
+            );
+            samples.push((t, observed.yaw_deg(), observed.pitch_deg()));
+        }
+
+        HeadTrace {
+            video_id: spec.id,
+            user_id,
+            sample_hz: self.config.sample_hz,
+            samples,
+        }
+    }
+
+    fn sample_dwell(&self, spec: &VideoSpec, rng: &mut StdRng) -> f64 {
+        // Exponential dwell with the video's mean, floored at 0.8 s.
+        let u: f64 = rng.gen_range(1e-9..1.0);
+        (-u.ln() * spec.mean_dwell_sec).max(0.8)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn pick_next_target(
+        &self,
+        spec: &VideoSpec,
+        exploratory: bool,
+        user_offset: (f64, f64),
+        t: f64,
+        hotspots: &[Hotspot],
+        current_hotspot: Option<usize>,
+        rng: &mut StdRng,
+    ) -> Target {
+        if exploratory {
+            let r = rng.gen_range(0.0..1.0);
+            if r < self.config.roam_probability {
+                return Target::Point(ViewCenter::new(
+                    rng.gen_range(-180.0..180.0),
+                    rng.gen_range(-40.0..40.0),
+                ));
+            }
+            // Most "exploration" is local: re-framing around the current
+            // action rather than beelining across the sphere.
+            if r < self.config.roam_probability + 0.45 {
+                if let Some(index) = current_hotspot {
+                    return Target::Hotspot {
+                        index,
+                        offset: (
+                            user_offset.0 + rng.gen_range(-8.0..8.0),
+                            user_offset.1 + rng.gen_range(-5.0..5.0),
+                        ),
+                    };
+                }
+            }
+            Target::Hotspot {
+                index: self.zipf_hotspot(hotspots.len(), rng),
+                offset: user_offset,
+            }
+        } else {
+            Target::Hotspot {
+                index: Self::focused_active_hotspot(spec, t),
+                offset: user_offset,
+            }
+        }
+    }
+
+    fn target_position(hotspots: &[Hotspot], target: &Target, t: f64) -> ViewCenter {
+        match target {
+            Target::Hotspot { index, offset } => {
+                let h = hotspots[*index].position(t);
+                ViewCenter::new(h.yaw_deg() + offset.0, h.pitch_deg() + offset.1)
+            }
+            Target::Point(p) => *p,
+        }
+    }
+}
+
+fn state_target(state: &GazeState) -> Target {
+    match state {
+        GazeState::Fixate { target, .. } => *target,
+        GazeState::Travel { target, .. } => *target,
+    }
+}
+
+impl Default for HeadTraceGenerator {
+    fn default() -> Self {
+        Self::new(GazeConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ee360_video::catalog::VideoCatalog;
+
+    fn generator() -> HeadTraceGenerator {
+        HeadTraceGenerator::default()
+    }
+
+    fn video(id: usize) -> VideoSpec {
+        VideoCatalog::paper_default().video(id).unwrap().clone()
+    }
+
+    #[test]
+    fn trace_covers_video_duration() {
+        let spec = video(6); // 164 s
+        let trace = generator().generate(&spec, 0, 1);
+        assert!((trace.duration_sec() - 164.0).abs() < 0.2);
+        assert_eq!(trace.len(), 164 * 10 + 1);
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = video(2);
+        let a = generator().generate(&spec, 3, 99);
+        let b = generator().generate(&spec, 3, 99);
+        assert_eq!(a, b);
+        let c = generator().generate(&spec, 3, 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn different_users_differ() {
+        let spec = video(2);
+        let a = generator().generate(&spec, 0, 7);
+        let b = generator().generate(&spec, 1, 7);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn segment_centers_available_for_all_segments() {
+        let spec = video(8); // 201 s
+        let trace = generator().generate(&spec, 0, 5);
+        for k in 0..spec.segment_count() {
+            assert!(trace.segment_center(k).is_some(), "segment {k}");
+        }
+        assert!(trace.segment_center(10_000).is_none());
+    }
+
+    #[test]
+    fn segment_switching_speed_reasonable() {
+        let spec = video(8);
+        let trace = generator().generate(&spec, 1, 5);
+        for k in 0..spec.segment_count() {
+            let s = trace.segment_switching_speed(k).unwrap();
+            assert!((0.0..=200.0).contains(&s), "segment {k}: {s}");
+        }
+    }
+
+    #[test]
+    fn focused_users_cluster_together() {
+        // Two focused-video users should usually gaze at the same hotspot.
+        let spec = video(2); // boxing: 1 hotspot
+        let gen = generator();
+        let a = gen.generate(&spec, 0, 11);
+        let b = gen.generate(&spec, 1, 11);
+        let mut close = 0;
+        let mut total = 0;
+        for k in 0..spec.segment_count() {
+            let ca = a.segment_center(k).unwrap();
+            let cb = b.segment_center(k).unwrap();
+            if ca.distance_deg(&cb) < 45.0 {
+                close += 1;
+            }
+            total += 1;
+        }
+        assert!(
+            close as f64 / total as f64 > 0.7,
+            "only {close}/{total} segments close"
+        );
+    }
+
+    #[test]
+    fn exploratory_users_spread_wider_than_focused() {
+        let gen = generator();
+        let spread = |id: usize| {
+            let spec = video(id);
+            let traces: Vec<HeadTrace> =
+                (0..6).map(|u| gen.generate(&spec, u, 13)).collect();
+            let mut total = 0.0;
+            let mut count = 0;
+            for k in (0..spec.segment_count().min(120)).step_by(5) {
+                for i in 0..traces.len() {
+                    for j in (i + 1)..traces.len() {
+                        let a = traces[i].segment_center(k).unwrap();
+                        let b = traces[j].segment_center(k).unwrap();
+                        total += a.distance_deg(&b);
+                        count += 1;
+                    }
+                }
+            }
+            total / count as f64
+        };
+        let focused = spread(4);
+        let exploratory = spread(7);
+        assert!(
+            exploratory > focused,
+            "exploratory {exploratory} <= focused {focused}"
+        );
+    }
+
+    #[test]
+    fn fig5_switching_speed_distribution() {
+        // The paper (Fig. 5): users exceed 10°/s for more than 30% of the
+        // time. Accept a generous band around that.
+        let gen = generator();
+        let catalog = VideoCatalog::paper_default();
+        let mut speeds = Vec::new();
+        for v in catalog.videos() {
+            for u in 0..4 {
+                let trace = gen.generate(v, u, 21);
+                speeds.extend(trace.switching_speeds());
+            }
+        }
+        let above = speeds.iter().filter(|s| **s > 10.0).count() as f64 / speeds.len() as f64;
+        assert!(
+            (0.18..=0.55).contains(&above),
+            "fraction above 10°/s = {above}"
+        );
+    }
+
+    #[test]
+    fn pitch_stays_physical() {
+        let spec = video(5);
+        let trace = generator().generate(&spec, 2, 3);
+        for s in trace.switching_samples() {
+            assert!(s.center.pitch_deg().abs() <= 90.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sample rate")]
+    fn zero_sample_rate_panics() {
+        let cfg = GazeConfig {
+            sample_hz: 0.0,
+            ..GazeConfig::default()
+        };
+        let _ = HeadTraceGenerator::new(cfg);
+    }
+}

@@ -1,0 +1,188 @@
+//! Persistence for traces and datasets.
+//!
+//! The synthetic dataset plays the role of the MMSys'17 capture, so it
+//! should be storable and reloadable like one: generate once, archive the
+//! JSON, and rerun experiments against the exact same bits.
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use crate::dataset::Dataset;
+use crate::head::HeadTrace;
+use crate::network::NetworkTrace;
+
+/// Error returned by the persistence helpers.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// The underlying filesystem operation failed.
+    Io(io::Error),
+    /// The file contents were not valid JSON for the expected type.
+    Format(serde_json::Error),
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace file I/O failed: {e}"),
+            TraceIoError::Format(e) => write!(f, "trace file is not valid: {e}"),
+        }
+    }
+}
+
+impl Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Format(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TraceIoError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceIoError::Format(e)
+    }
+}
+
+fn save_json<T: Serialize>(value: &T, path: &Path) -> Result<(), TraceIoError> {
+    let json = serde_json::to_string(value)?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
+fn load_json<T: DeserializeOwned>(path: &Path) -> Result<T, TraceIoError> {
+    let json = fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&json)?)
+}
+
+/// Saves a dataset to a JSON file.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Io`] when the file cannot be written.
+pub fn save_dataset(dataset: &Dataset, path: impl AsRef<Path>) -> Result<(), TraceIoError> {
+    save_json(dataset, path.as_ref())
+}
+
+/// Loads a dataset from a JSON file.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Io`] when the file cannot be read and
+/// [`TraceIoError::Format`] when it does not contain a dataset.
+pub fn load_dataset(path: impl AsRef<Path>) -> Result<Dataset, TraceIoError> {
+    load_json(path.as_ref())
+}
+
+/// Saves a single head trace to a JSON file.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Io`] when the file cannot be written.
+pub fn save_head_trace(trace: &HeadTrace, path: impl AsRef<Path>) -> Result<(), TraceIoError> {
+    save_json(trace, path.as_ref())
+}
+
+/// Loads a single head trace from a JSON file.
+///
+/// # Errors
+///
+/// See [`load_dataset`].
+pub fn load_head_trace(path: impl AsRef<Path>) -> Result<HeadTrace, TraceIoError> {
+    load_json(path.as_ref())
+}
+
+/// Saves a network trace to a JSON file.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Io`] when the file cannot be written.
+pub fn save_network_trace(
+    trace: &NetworkTrace,
+    path: impl AsRef<Path>,
+) -> Result<(), TraceIoError> {
+    save_json(trace, path.as_ref())
+}
+
+/// Loads a network trace from a JSON file.
+///
+/// # Errors
+///
+/// See [`load_dataset`].
+pub fn load_network_trace(path: impl AsRef<Path>) -> Result<NetworkTrace, TraceIoError> {
+    load_json(path.as_ref())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::head::{GazeConfig, HeadTraceGenerator};
+    use ee360_video::catalog::VideoCatalog;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ee360-io-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn dataset_roundtrip() {
+        let catalog = VideoCatalog::paper_default();
+        let dataset = Dataset::generate(&catalog, 2, 5);
+        let path = tmp("dataset.json");
+        save_dataset(&dataset, &path).unwrap();
+        let back = load_dataset(&path).unwrap();
+        assert_eq!(back, dataset);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn head_trace_roundtrip() {
+        let catalog = VideoCatalog::paper_default();
+        let spec = catalog.video(6).unwrap();
+        let trace = HeadTraceGenerator::new(GazeConfig::default()).generate(spec, 0, 9);
+        let path = tmp("head.json");
+        save_head_trace(&trace, &path).unwrap();
+        let back = load_head_trace(&path).unwrap();
+        assert_eq!(back, trace);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn network_trace_roundtrip() {
+        let trace = NetworkTrace::paper_trace2(120, 3);
+        let path = tmp("net.json");
+        save_network_trace(&trace, &path).unwrap();
+        let back = load_network_trace(&path).unwrap();
+        assert_eq!(back, trace);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_dataset("/definitely/not/a/path.json").unwrap_err();
+        assert!(matches!(err, TraceIoError::Io(_)));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn malformed_file_is_format_error() {
+        let path = tmp("garbage.json");
+        std::fs::write(&path, "{not json").unwrap();
+        let err = load_network_trace(&path).unwrap_err();
+        assert!(matches!(err, TraceIoError::Format(_)));
+        let _ = std::fs::remove_file(&path);
+    }
+}

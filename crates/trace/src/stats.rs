@@ -1,0 +1,199 @@
+//! Descriptive statistics of gaze traces.
+//!
+//! The paper motivates its design with three behavioural observations:
+//! users switch views fast enough to tolerate frame drops (Fig. 5), users
+//! of the same video agree on where to look (Fig. 1/7), and focused videos
+//! concentrate attention more than exploratory ones (Section V-B). This
+//! module quantifies all three for any set of [`HeadTrace`]s, so the
+//! synthetic substrate can be audited against the claims it must uphold.
+
+use serde::{Deserialize, Serialize};
+
+use ee360_geom::viewport::ViewCenter;
+
+use crate::head::HeadTrace;
+
+/// Summary of one population's gaze behaviour over one video.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GazeStats {
+    /// Number of users analysed.
+    pub users: usize,
+    /// Median switching speed, degrees per second.
+    pub median_speed_deg_s: f64,
+    /// 90th-percentile switching speed, degrees per second.
+    pub p90_speed_deg_s: f64,
+    /// Fraction of samples faster than 10°/s (the Fig. 5 headline).
+    pub fraction_above_10: f64,
+    /// Mean pairwise distance between users' viewing centers at the same
+    /// segment, degrees (inter-user agreement; small = focused).
+    pub mean_pairwise_distance_deg: f64,
+    /// Fraction of segment observations within 45° (one tile) of the
+    /// population's per-segment spherical median.
+    pub concentration_within_tile: f64,
+}
+
+/// Computes [`GazeStats`] over a set of traces of the same video.
+///
+/// # Panics
+///
+/// Panics if `traces` is empty or the traces belong to different videos.
+pub fn gaze_stats(traces: &[&HeadTrace]) -> GazeStats {
+    assert!(!traces.is_empty(), "need at least one trace");
+    let video = traces[0].video_id();
+    assert!(
+        traces.iter().all(|t| t.video_id() == video),
+        "all traces must belong to the same video"
+    );
+
+    // Speed distribution.
+    let mut speeds: Vec<f64> = traces.iter().flat_map(|t| t.switching_speeds()).collect();
+    speeds.sort_by(|a, b| a.partial_cmp(b).expect("speeds are finite"));
+    let quantile = |q: f64| {
+        let idx = ((speeds.len() as f64 - 1.0) * q).round() as usize;
+        speeds[idx.min(speeds.len() - 1)]
+    };
+    let above10 = speeds.iter().filter(|s| **s > 10.0).count() as f64 / speeds.len() as f64;
+
+    // Inter-user agreement per segment.
+    let segments = traces
+        .iter()
+        .map(|t| t.duration_sec() as usize)
+        .min()
+        .unwrap_or(0);
+    let mut pair_sum = 0.0;
+    let mut pair_count = 0usize;
+    let mut concentrated = 0usize;
+    let mut observations = 0usize;
+    for k in (0..segments).step_by(2) {
+        let centers: Vec<ViewCenter> = traces
+            .iter()
+            .filter_map(|t| t.segment_center(k))
+            .collect();
+        for i in 0..centers.len() {
+            for j in (i + 1)..centers.len() {
+                pair_sum += centers[i].distance_deg(&centers[j]);
+                pair_count += 1;
+            }
+        }
+        if let Some(median) = geometric_median(&centers) {
+            for c in &centers {
+                observations += 1;
+                if c.distance_deg(&median) <= 45.0 {
+                    concentrated += 1;
+                }
+            }
+        }
+    }
+
+    GazeStats {
+        users: traces.len(),
+        median_speed_deg_s: quantile(0.5),
+        p90_speed_deg_s: quantile(0.9),
+        fraction_above_10: above10,
+        mean_pairwise_distance_deg: if pair_count > 0 {
+            pair_sum / pair_count as f64
+        } else {
+            0.0
+        },
+        concentration_within_tile: if observations > 0 {
+            concentrated as f64 / observations as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+/// A robust central point of a set of viewing centers: the member that
+/// minimises the summed distance to the others (the medoid — exact and
+/// wraparound-safe for the small populations we analyse).
+pub fn geometric_median(centers: &[ViewCenter]) -> Option<ViewCenter> {
+    if centers.is_empty() {
+        return None;
+    }
+    centers
+        .iter()
+        .min_by(|a, b| {
+            let cost = |p: &ViewCenter| centers.iter().map(|q| p.distance_deg(q)).sum::<f64>();
+            cost(a).partial_cmp(&cost(b)).expect("finite distances")
+        })
+        .copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::head::{GazeConfig, HeadTraceGenerator};
+    use ee360_video::catalog::VideoCatalog;
+
+    fn traces(video: usize, users: usize) -> Vec<HeadTrace> {
+        let catalog = VideoCatalog::paper_default();
+        let spec = catalog.video(video).unwrap();
+        let generator = HeadTraceGenerator::new(GazeConfig::default());
+        (0..users).map(|u| generator.generate(spec, u, 77)).collect()
+    }
+
+    #[test]
+    fn focused_more_concentrated_than_exploratory() {
+        let focused: Vec<HeadTrace> = traces(2, 8);
+        let exploratory: Vec<HeadTrace> = traces(8, 8);
+        let f = gaze_stats(&focused.iter().collect::<Vec<_>>());
+        let e = gaze_stats(&exploratory.iter().collect::<Vec<_>>());
+        assert!(
+            f.concentration_within_tile > e.concentration_within_tile,
+            "focused {} vs exploratory {}",
+            f.concentration_within_tile,
+            e.concentration_within_tile
+        );
+        assert!(f.mean_pairwise_distance_deg < e.mean_pairwise_distance_deg);
+    }
+
+    #[test]
+    fn speed_quantiles_ordered() {
+        let ts = traces(6, 6);
+        let s = gaze_stats(&ts.iter().collect::<Vec<_>>());
+        assert!(s.median_speed_deg_s <= s.p90_speed_deg_s);
+        assert!((0.0..=1.0).contains(&s.fraction_above_10));
+        assert_eq!(s.users, 6);
+    }
+
+    #[test]
+    fn geometric_median_of_cluster_is_inside() {
+        let centers: Vec<ViewCenter> = (0..9)
+            .map(|i| ViewCenter::new(10.0 + i as f64, 5.0))
+            .collect();
+        let m = geometric_median(&centers).unwrap();
+        assert!(m.yaw_deg() >= 10.0 && m.yaw_deg() <= 18.0);
+    }
+
+    #[test]
+    fn geometric_median_handles_wraparound() {
+        let centers = vec![
+            ViewCenter::new(176.0, 0.0),
+            ViewCenter::new(178.0, 0.0),
+            ViewCenter::new(-178.0, 0.0),
+        ];
+        let m = geometric_median(&centers).unwrap();
+        // The medoid is one of the inputs, near the seam — not yaw 0.
+        assert!(ee360_geom::angles::angular_diff_deg(m.yaw_deg(), 178.0) <= 4.0);
+    }
+
+    #[test]
+    fn empty_median_is_none() {
+        assert!(geometric_median(&[]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "same video")]
+    fn mixed_videos_panic() {
+        let a = traces(1, 1);
+        let b = traces(2, 1);
+        let mixed: Vec<&HeadTrace> = vec![&a[0], &b[0]];
+        let _ = gaze_stats(&mixed);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trace")]
+    fn empty_traces_panic() {
+        let _ = gaze_stats(&[]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Spatial and temporal perceptual information (ITU-T P.910).
+//!
+//! The paper's QoE model (Eq. 3) takes the video's **SI** (spatial
+//! information: how much spatial detail the frames carry) and **TI**
+//! (temporal information: how much motion there is) as inputs; Eq. 4's
+//! frame-rate sensitivity `α = S_fov / TI` also depends on TI.
+
+use serde::{Deserialize, Serialize};
+
+/// SI/TI content descriptor for one video segment.
+///
+/// Typical ranges (Fig. 4a of the paper): SI in roughly `[20, 100]`,
+/// TI in roughly `[5, 70]`.
+///
+/// # Example
+///
+/// ```
+/// use ee360_video::content::SiTi;
+/// let calm = SiTi::new(40.0, 8.0);
+/// let sport = SiTi::new(70.0, 45.0);
+/// assert!(sport.ti() > calm.ti());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SiTi {
+    si: f64,
+    ti: f64,
+}
+
+impl SiTi {
+    /// Creates a descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is negative or not finite. TI may be zero for
+    /// a perfectly static scene; SI of a real frame is always positive.
+    pub fn new(si: f64, ti: f64) -> Self {
+        assert!(si.is_finite() && si >= 0.0, "SI must be non-negative");
+        assert!(ti.is_finite() && ti >= 0.0, "TI must be non-negative");
+        Self { si, ti }
+    }
+
+    /// Spatial information.
+    pub fn si(&self) -> f64 {
+        self.si
+    }
+
+    /// Temporal information.
+    pub fn ti(&self) -> f64 {
+        self.ti
+    }
+
+    /// A relative "encoding difficulty" factor around 1.0: complex, fast
+    /// content costs more bits at equal quality.
+    ///
+    /// Normalised so that the reference content (SI 60, TI 25 — the middle
+    /// of Fig. 4a's cloud) maps to exactly 1.0. Clamped to `[0.4, 2.0]` so a
+    /// degenerate segment cannot blow up the size model.
+    pub fn encoding_difficulty(&self) -> f64 {
+        const SI_REF: f64 = 60.0;
+        const TI_REF: f64 = 25.0;
+        let raw = 0.45 * (self.si / SI_REF) + 0.55 * (self.ti / TI_REF);
+        raw.clamp(0.4, 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reference_content_has_unit_difficulty() {
+        let c = SiTi::new(60.0, 25.0);
+        assert!((c.encoding_difficulty() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_motion_is_harder() {
+        let slow = SiTi::new(60.0, 10.0);
+        let fast = SiTi::new(60.0, 50.0);
+        assert!(fast.encoding_difficulty() > slow.encoding_difficulty());
+    }
+
+    #[test]
+    fn more_detail_is_harder() {
+        let plain = SiTi::new(30.0, 25.0);
+        let busy = SiTi::new(90.0, 25.0);
+        assert!(busy.encoding_difficulty() > plain.encoding_difficulty());
+    }
+
+    #[test]
+    fn difficulty_is_clamped() {
+        let degenerate = SiTi::new(0.0, 0.0);
+        assert_eq!(degenerate.encoding_difficulty(), 0.4);
+        let extreme = SiTi::new(1000.0, 1000.0);
+        assert_eq!(extreme.encoding_difficulty(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "SI must be non-negative")]
+    fn negative_si_panics() {
+        let _ = SiTi::new(-1.0, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "TI must be non-negative")]
+    fn nan_ti_panics() {
+        let _ = SiTi::new(10.0, f64::NAN);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = SiTi::new(55.0, 33.0);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: SiTi = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+
+    proptest! {
+        #[test]
+        fn difficulty_bounded(si in 0.0f64..200.0, ti in 0.0f64..200.0) {
+            let d = SiTi::new(si, ti).encoding_difficulty();
+            prop_assert!((0.4..=2.0).contains(&d));
+        }
+
+        #[test]
+        fn difficulty_monotone_in_ti(si in 1.0f64..100.0, ti in 1.0f64..40.0) {
+            let lo = SiTi::new(si, ti).encoding_difficulty();
+            let hi = SiTi::new(si, ti + 5.0).encoding_difficulty();
+            prop_assert!(hi >= lo);
+        }
+    }
+}

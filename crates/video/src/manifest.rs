@@ -1,0 +1,354 @@
+//! A DASH-like manifest: what the server advertises to clients.
+//!
+//! The paper's client "downloads the metadata for the first H video
+//! segments during the startup period" (Section IV-C). This module models
+//! that metadata concretely: per segment, the list of downloadable
+//! representations — conventional tiles, Ptiles at every (quality,
+//! frame-rate) tuple, and the low-quality background blocks — each with
+//! its exact byte size, so a client can plan without touching the media.
+
+use serde::{Deserialize, Serialize};
+
+use crate::content::SiTi;
+use crate::ladder::{EncodingLadder, QualityLevel};
+use crate::segment::SegmentTimeline;
+use crate::size_model::SizeModel;
+
+/// What kind of spatial unit a representation encodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RepresentationKind {
+    /// One conventional grid tile (the Ctile unit).
+    ConventionalTile {
+        /// Area of one tile as a fraction of the frame.
+        tile_area: f64,
+    },
+    /// A Ptile covering `area` of the frame as a single tile.
+    Ptile {
+        /// Ptile area fraction.
+        area: f64,
+    },
+    /// A low-quality background block.
+    BackgroundBlock {
+        /// Block area fraction.
+        area: f64,
+    },
+    /// The whole frame (Nontile unit).
+    WholeFrame,
+}
+
+/// One downloadable representation of one segment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Representation {
+    /// What this representation encodes.
+    pub kind: RepresentationKind,
+    /// Quality level.
+    pub quality: QualityLevel,
+    /// Encoded frame rate, fps.
+    pub fps: f64,
+    /// Exact payload size in bits.
+    pub bits: f64,
+}
+
+/// The advertised metadata of one segment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentManifest {
+    /// Zero-based segment index.
+    pub index: usize,
+    /// The segment's SI/TI (clients feed this into the QoE model).
+    pub si_ti: SiTi,
+    /// Every representation the server stores for this segment.
+    pub representations: Vec<Representation>,
+}
+
+impl SegmentManifest {
+    /// The cheapest representation of a kind-and-quality class, if any.
+    pub fn find(
+        &self,
+        quality: QualityLevel,
+        fps: f64,
+        predicate: impl Fn(&RepresentationKind) -> bool,
+    ) -> Option<&Representation> {
+        self.representations
+            .iter()
+            .filter(|r| r.quality == quality && (r.fps - fps).abs() < 1e-9 && predicate(&r.kind))
+            .min_by(|a, b| a.bits.partial_cmp(&b.bits).expect("finite sizes"))
+    }
+}
+
+/// The whole video's manifest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VideoManifest {
+    video_id: usize,
+    segments: Vec<SegmentManifest>,
+}
+
+impl VideoManifest {
+    /// Builds the manifest for a timeline: conventional tiles and the
+    /// whole-frame representation at every quality; one Ptile family per
+    /// provided `(area, fps-ladder)` description.
+    ///
+    /// `ptile_areas` lists the Ptile area fractions constructed for each
+    /// segment (empty slice ⇒ no Ptile representations for that segment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ptile_areas.len()` differs from the timeline length.
+    pub fn build(
+        timeline: &SegmentTimeline,
+        model: &SizeModel,
+        ladder: &EncodingLadder,
+        ptile_areas: &[Vec<f64>],
+    ) -> Self {
+        assert_eq!(
+            ptile_areas.len(),
+            timeline.len(),
+            "need one Ptile-area list per segment"
+        );
+        let grid_tile_area = 1.0 / 32.0;
+        let fps_max = ladder.max_frame_rate().fps();
+        let segments = timeline
+            .segments()
+            .iter()
+            .map(|seg| {
+                let mut reps = Vec::new();
+                for q in QualityLevel::ALL {
+                    // One conventional tile (all 32 are the same size class).
+                    reps.push(Representation {
+                        kind: RepresentationKind::ConventionalTile {
+                            tile_area: grid_tile_area,
+                        },
+                        quality: q,
+                        fps: fps_max,
+                        bits: model.region_bits(grid_tile_area, 1, q, fps_max, seg.si_ti),
+                    });
+                    // Whole frame.
+                    reps.push(Representation {
+                        kind: RepresentationKind::WholeFrame,
+                        quality: q,
+                        fps: fps_max,
+                        bits: model.region_bits(1.0, 1, q, fps_max, seg.si_ti),
+                    });
+                }
+                // Ptile families at the full (quality × frame-rate) ladder.
+                for &area in &ptile_areas[seg.index] {
+                    for (q, f) in ladder.variants() {
+                        reps.push(Representation {
+                            kind: RepresentationKind::Ptile { area },
+                            quality: q,
+                            fps: f.fps(),
+                            bits: model.region_bits(area, 1, q, f.fps(), seg.si_ti),
+                        });
+                    }
+                    // Matching background blocks at the lowest quality.
+                    let bg_area = (1.0 - area).max(0.0);
+                    if bg_area > 1e-9 {
+                        reps.push(Representation {
+                            kind: RepresentationKind::BackgroundBlock { area: bg_area / 3.0 },
+                            quality: QualityLevel::Q1,
+                            fps: fps_max,
+                            bits: model.region_bits(bg_area, 3, QualityLevel::Q1, fps_max, seg.si_ti)
+                                / 3.0,
+                        });
+                    }
+                }
+                SegmentManifest {
+                    index: seg.index,
+                    si_ti: seg.si_ti,
+                    representations: reps,
+                }
+            })
+            .collect();
+        Self {
+            video_id: timeline.video_id(),
+            segments,
+        }
+    }
+
+    /// The video id.
+    pub fn video_id(&self) -> usize {
+        self.video_id
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// `true` for an empty (zero-segment) manifest.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// One segment's manifest.
+    pub fn segment(&self, index: usize) -> Option<&SegmentManifest> {
+        self.segments.get(index)
+    }
+
+    /// The startup metadata window: the first `h` segments (Section IV-C
+    /// step (a) fetches these before playback starts).
+    pub fn startup_window(&self, h: usize) -> &[SegmentManifest] {
+        &self.segments[..h.min(self.segments.len())]
+    }
+
+    /// Total advertised bytes across all representations (a server-storage
+    /// figure: the cost of hosting the Ptile ladder).
+    pub fn total_stored_bits(&self) -> f64 {
+        self.segments
+            .iter()
+            .flat_map(|s| s.representations.iter())
+            .map(|r| r.bits)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::VideoCatalog;
+
+    fn manifest() -> VideoManifest {
+        let catalog = VideoCatalog::paper_default();
+        let spec = catalog.video(6).unwrap();
+        let timeline = SegmentTimeline::for_video(spec);
+        let areas = vec![vec![9.0 / 32.0]; timeline.len()];
+        VideoManifest::build(
+            &timeline,
+            &SizeModel::paper_default(),
+            &EncodingLadder::paper_default(),
+            &areas,
+        )
+    }
+
+    #[test]
+    fn one_manifest_entry_per_segment() {
+        let m = manifest();
+        assert_eq!(m.len(), 164);
+        assert!(!m.is_empty());
+        assert_eq!(m.video_id(), 6);
+        assert!(m.segment(0).is_some());
+        assert!(m.segment(164).is_none());
+    }
+
+    #[test]
+    fn representation_counts() {
+        let m = manifest();
+        let seg = m.segment(0).unwrap();
+        // 5 qualities × (tile + whole frame) + 5×4 Ptile tuples + 1 bg.
+        assert_eq!(seg.representations.len(), 10 + 20 + 1);
+    }
+
+    #[test]
+    fn ptile_reps_cover_full_ladder() {
+        let m = manifest();
+        let seg = m.segment(3).unwrap();
+        for q in QualityLevel::ALL {
+            for fps in [21.0, 24.0, 27.0, 30.0] {
+                assert!(
+                    seg.find(q, fps, |k| matches!(k, RepresentationKind::Ptile { .. }))
+                        .is_some(),
+                    "missing Ptile {q:?}@{fps}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn find_returns_matching_quality() {
+        let m = manifest();
+        let seg = m.segment(0).unwrap();
+        let rep = seg
+            .find(QualityLevel::Q4, 30.0, |k| {
+                matches!(k, RepresentationKind::WholeFrame)
+            })
+            .unwrap();
+        assert_eq!(rep.quality, QualityLevel::Q4);
+        assert!(rep.bits > 0.0);
+    }
+
+    #[test]
+    fn startup_window_clamps() {
+        let m = manifest();
+        assert_eq!(m.startup_window(5).len(), 5);
+        assert_eq!(m.startup_window(10_000).len(), 164);
+    }
+
+    #[test]
+    fn reduced_fps_ptile_is_smaller() {
+        let m = manifest();
+        let seg = m.segment(0).unwrap();
+        let is_ptile = |k: &RepresentationKind| matches!(k, RepresentationKind::Ptile { .. });
+        let full = seg.find(QualityLevel::Q5, 30.0, is_ptile).unwrap();
+        let reduced = seg.find(QualityLevel::Q5, 21.0, is_ptile).unwrap();
+        assert!(reduced.bits < full.bits);
+    }
+
+    #[test]
+    fn storage_cost_is_positive_and_scales() {
+        let m = manifest();
+        let total = m.total_stored_bits();
+        assert!(total > 0.0);
+        // Hosting the Ptile ladder costs real storage: more than the plain
+        // whole-frame catalog alone.
+        let whole_only: f64 = m
+            .segments
+            .iter()
+            .flat_map(|s| s.representations.iter())
+            .filter(|r| matches!(r.kind, RepresentationKind::WholeFrame))
+            .map(|r| r.bits)
+            .sum();
+        assert!(total > whole_only);
+    }
+
+    #[test]
+    #[should_panic(expected = "one Ptile-area list per segment")]
+    fn mismatched_areas_panic() {
+        let catalog = VideoCatalog::paper_default();
+        let timeline = SegmentTimeline::for_video(catalog.video(6).unwrap());
+        let _ = VideoManifest::build(
+            &timeline,
+            &SizeModel::paper_default(),
+            &EncodingLadder::paper_default(),
+            &[],
+        );
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn find_never_mixes_quality_or_fps(
+                seg in 0usize..160,
+                q_idx in 1usize..=5,
+                fps_idx in 0usize..4,
+            ) {
+                let m = super::manifest();
+                let q = QualityLevel::from_index(q_idx).unwrap();
+                let fps = [21.0, 24.0, 27.0, 30.0][fps_idx];
+                if let Some(rep) = m.segment(seg).unwrap().find(q, fps, |_| true) {
+                    prop_assert_eq!(rep.quality, q);
+                    prop_assert!((rep.fps - fps).abs() < 1e-9);
+                    prop_assert!(rep.bits > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let catalog = VideoCatalog::paper_default();
+        let spec = catalog.video(2).unwrap();
+        let timeline = SegmentTimeline::for_video(spec);
+        let areas = vec![vec![]; timeline.len()];
+        let m = VideoManifest::build(
+            &timeline,
+            &SizeModel::paper_default(),
+            &EncodingLadder::paper_default(),
+            &areas,
+        );
+        let json = serde_json::to_string(&m).unwrap();
+        let back: VideoManifest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,334 @@
+//! Chart builders on top of [`crate::svg`].
+
+use crate::svg::SvgDocument;
+
+/// The series palette (colour-blind-safe, Okabe–Ito).
+const PALETTE: [&str; 6] = [
+    "#0072B2", "#E69F00", "#009E73", "#D55E00", "#CC79A7", "#56B4E9",
+];
+
+const MARGIN_LEFT: f64 = 64.0;
+const MARGIN_RIGHT: f64 = 16.0;
+const MARGIN_TOP: f64 = 36.0;
+const MARGIN_BOTTOM: f64 = 44.0;
+
+fn nice_max(value: f64) -> f64 {
+    if value <= 0.0 {
+        return 1.0;
+    }
+    let mag = 10f64.powf(value.log10().floor());
+    let norm = value / mag;
+    let nice = if norm <= 1.0 {
+        1.0
+    } else if norm <= 2.0 {
+        2.0
+    } else if norm <= 5.0 {
+        5.0
+    } else {
+        10.0
+    };
+    nice * mag
+}
+
+/// A grouped bar chart: categories along x, one bar per series per
+/// category — the shape of the paper's Figs. 9–11.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupedBarChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    categories: Vec<String>,
+    series: Vec<(String, Vec<f64>)>,
+}
+
+impl GroupedBarChart {
+    /// Creates an empty chart.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            categories: Vec::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Sets the category labels.
+    pub fn categories(&mut self, categories: Vec<String>) {
+        self.categories = categories;
+    }
+
+    /// Adds one series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is negative or not finite.
+    pub fn series(&mut self, name: impl Into<String>, values: Vec<f64>) {
+        assert!(
+            values.iter().all(|v| v.is_finite() && *v >= 0.0),
+            "bar values must be non-negative"
+        );
+        self.series.push((name.into(), values));
+    }
+
+    /// Renders to an SVG string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no series were added, or a series' length differs from the
+    /// category count.
+    pub fn render(&self, width: u32, height: u32) -> String {
+        assert!(!self.series.is_empty(), "chart needs at least one series");
+        let n_cat = self.categories.len();
+        assert!(n_cat > 0, "chart needs categories");
+        for (name, values) in &self.series {
+            assert_eq!(
+                values.len(),
+                n_cat,
+                "series `{name}` length must match the categories"
+            );
+        }
+        let mut doc = SvgDocument::new(width, height);
+        let plot_w = width as f64 - MARGIN_LEFT - MARGIN_RIGHT;
+        let plot_h = height as f64 - MARGIN_TOP - MARGIN_BOTTOM;
+        let y0 = MARGIN_TOP + plot_h;
+
+        let max = nice_max(
+            self.series
+                .iter()
+                .flat_map(|(_, v)| v.iter().copied())
+                .fold(0.0, f64::max),
+        );
+
+        // Axes and gridlines.
+        doc.text(8.0, 20.0, 13.0, &self.title);
+        doc.line(MARGIN_LEFT, MARGIN_TOP, MARGIN_LEFT, y0, "#222222", 1.0);
+        doc.line(MARGIN_LEFT, y0, MARGIN_LEFT + plot_w, y0, "#222222", 1.0);
+        for tick in 0..=4 {
+            let v = max * tick as f64 / 4.0;
+            let y = y0 - plot_h * tick as f64 / 4.0;
+            doc.line(MARGIN_LEFT, y, MARGIN_LEFT + plot_w, y, "#dddddd", 0.5);
+            doc.text_anchored(MARGIN_LEFT - 6.0, y + 3.0, 10.0, &format_tick(v), "end");
+        }
+        doc.text_anchored(
+            MARGIN_LEFT + plot_w / 2.0,
+            height as f64 - 8.0,
+            11.0,
+            &self.x_label,
+            "middle",
+        );
+        doc.text(8.0, MARGIN_TOP - 6.0, 11.0, &self.y_label);
+
+        // Bars.
+        let group_w = plot_w / n_cat as f64;
+        let bar_w = group_w * 0.8 / self.series.len() as f64;
+        for (ci, cat) in self.categories.iter().enumerate() {
+            let gx = MARGIN_LEFT + group_w * ci as f64 + group_w * 0.1;
+            for (si, (_, values)) in self.series.iter().enumerate() {
+                let h = plot_h * values[ci] / max;
+                doc.rect(
+                    gx + bar_w * si as f64,
+                    y0 - h,
+                    bar_w.max(1.0) - 0.5,
+                    h,
+                    PALETTE[si % PALETTE.len()],
+                );
+            }
+            doc.text_anchored(gx + group_w * 0.4, y0 + 14.0, 10.0, cat, "middle");
+        }
+
+        // Legend.
+        let mut lx = MARGIN_LEFT;
+        for (si, (name, _)) in self.series.iter().enumerate() {
+            doc.rect(lx, MARGIN_TOP - 18.0, 10.0, 10.0, PALETTE[si % PALETTE.len()]);
+            doc.text(lx + 14.0, MARGIN_TOP - 9.0, 10.0, name);
+            lx += 14.0 + 7.0 * name.len() as f64 + 18.0;
+        }
+        doc.render()
+    }
+}
+
+/// A CDF chart: one monotone line per series (Figs. 5 and 8).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CdfChart {
+    title: String,
+    x_label: String,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl CdfChart {
+    /// Creates an empty chart.
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series of `(value, cumulative fraction)` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two points are given or a fraction leaves
+    /// `[0, 1]`.
+    pub fn series(&mut self, name: impl Into<String>, points: Vec<(f64, f64)>) {
+        assert!(points.len() >= 2, "a CDF needs at least two points");
+        assert!(
+            points.iter().all(|(_, f)| (0.0..=1.0).contains(f)),
+            "CDF fractions must be in [0, 1]"
+        );
+        self.series.push((name.into(), points));
+    }
+
+    /// Renders to an SVG string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no series were added.
+    pub fn render(&self, width: u32, height: u32) -> String {
+        assert!(!self.series.is_empty(), "chart needs at least one series");
+        let mut doc = SvgDocument::new(width, height);
+        let plot_w = width as f64 - MARGIN_LEFT - MARGIN_RIGHT;
+        let plot_h = height as f64 - MARGIN_TOP - MARGIN_BOTTOM;
+        let y0 = MARGIN_TOP + plot_h;
+
+        let x_min = self
+            .series
+            .iter()
+            .flat_map(|(_, p)| p.iter().map(|(x, _)| *x))
+            .fold(f64::INFINITY, f64::min);
+        let x_max = self
+            .series
+            .iter()
+            .flat_map(|(_, p)| p.iter().map(|(x, _)| *x))
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max(x_min + 1e-9);
+
+        doc.text(8.0, 20.0, 13.0, &self.title);
+        doc.line(MARGIN_LEFT, MARGIN_TOP, MARGIN_LEFT, y0, "#222222", 1.0);
+        doc.line(MARGIN_LEFT, y0, MARGIN_LEFT + plot_w, y0, "#222222", 1.0);
+        for tick in 0..=4 {
+            let f = tick as f64 / 4.0;
+            let y = y0 - plot_h * f;
+            doc.line(MARGIN_LEFT, y, MARGIN_LEFT + plot_w, y, "#dddddd", 0.5);
+            doc.text_anchored(MARGIN_LEFT - 6.0, y + 3.0, 10.0, &format!("{f:.2}"), "end");
+            let x = MARGIN_LEFT + plot_w * f;
+            let xv = x_min + (x_max - x_min) * f;
+            doc.text_anchored(x, y0 + 14.0, 10.0, &format_tick(xv), "middle");
+        }
+        doc.text_anchored(
+            MARGIN_LEFT + plot_w / 2.0,
+            height as f64 - 8.0,
+            11.0,
+            &self.x_label,
+            "middle",
+        );
+
+        for (si, (name, points)) in self.series.iter().enumerate() {
+            let mapped: Vec<(f64, f64)> = points
+                .iter()
+                .map(|(x, f)| {
+                    (
+                        MARGIN_LEFT + plot_w * (x - x_min) / (x_max - x_min),
+                        y0 - plot_h * f,
+                    )
+                })
+                .collect();
+            doc.polyline(&mapped, PALETTE[si % PALETTE.len()], 1.5);
+            doc.text(
+                MARGIN_LEFT + 8.0,
+                MARGIN_TOP + 14.0 * (si as f64 + 1.0),
+                10.0,
+                name,
+            );
+        }
+        doc.render()
+    }
+}
+
+fn format_tick(v: f64) -> String {
+    if v.abs() >= 1000.0 {
+        format!("{:.0}", v)
+    } else if v.abs() >= 10.0 {
+        format!("{:.1}", v)
+    } else {
+        format!("{:.2}", v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bar_chart() -> GroupedBarChart {
+        let mut c = GroupedBarChart::new("t", "x", "y");
+        c.categories(vec!["a".into(), "b".into()]);
+        c.series("s1", vec![1.0, 2.0]);
+        c.series("s2", vec![3.0, 0.5]);
+        c
+    }
+
+    #[test]
+    fn bar_chart_renders_all_bars() {
+        let svg = bar_chart().render(400, 300);
+        // background + axis rects: count <rect: 1 bg + 4 bars + 2 legend.
+        let rects = svg.matches("<rect").count();
+        assert_eq!(rects, 7);
+        assert!(svg.contains("s1"));
+        assert!(svg.contains("s2"));
+    }
+
+    #[test]
+    fn nice_max_rounds_up() {
+        assert_eq!(nice_max(0.93), 1.0);
+        assert_eq!(nice_max(1.2), 2.0);
+        assert_eq!(nice_max(4.7), 5.0);
+        assert_eq!(nice_max(7.3), 10.0);
+        assert_eq!(nice_max(2300.0), 5000.0);
+        assert_eq!(nice_max(0.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_chart_maps_into_plot_area() {
+        let mut c = CdfChart::new("cdf", "speed");
+        c.series("all", vec![(0.0, 0.0), (5.0, 0.5), (10.0, 1.0)]);
+        let svg = c.render(400, 300);
+        assert!(svg.contains("<polyline"));
+        assert!(svg.contains("all"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length must match")]
+    fn mismatched_series_panics() {
+        let mut c = GroupedBarChart::new("t", "x", "y");
+        c.categories(vec!["a".into()]);
+        c.series("s", vec![1.0, 2.0]);
+        let _ = c.render(100, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_bar_panics() {
+        let mut c = GroupedBarChart::new("t", "x", "y");
+        c.series("s", vec![-1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one series")]
+    fn empty_cdf_panics() {
+        let c = CdfChart::new("t", "x");
+        let _ = c.render(100, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "fractions")]
+    fn bad_fraction_panics() {
+        let mut c = CdfChart::new("t", "x");
+        c.series("s", vec![(0.0, 0.0), (1.0, 1.5)]);
+    }
+}

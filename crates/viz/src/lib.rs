@@ -1,0 +1,26 @@
+//! Minimal SVG chart writer — no dependencies, just enough to regenerate
+//! the paper's figures as vector graphics next to the text tables.
+//!
+//! * [`svg`] — a tiny element tree that renders to an SVG string,
+//! * [`charts`] — grouped bar charts (Figs. 9–11 style) and CDF line
+//!   charts (Figs. 5, 8 style).
+//!
+//! # Example
+//!
+//! ```
+//! use ee360_viz::charts::GroupedBarChart;
+//!
+//! let mut chart = GroupedBarChart::new("energy vs Ctile", "video", "mJ/segment");
+//! chart.series("Ctile", vec![2400.0, 2500.0]);
+//! chart.series("Ours", vec![1200.0, 1300.0]);
+//! chart.categories(vec!["1".into(), "2".into()]);
+//! let svg = chart.render(640, 360);
+//! assert!(svg.starts_with("<svg"));
+//! assert!(svg.contains("Ours"));
+//! ```
+
+pub mod charts;
+pub mod svg;
+
+pub use charts::{CdfChart, GroupedBarChart};
+pub use svg::SvgDocument;

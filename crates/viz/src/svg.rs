@@ -1,0 +1,197 @@
+//! A tiny SVG element tree.
+
+use std::fmt::Write as _;
+
+/// An SVG document under construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvgDocument {
+    width: u32,
+    height: u32,
+    elements: Vec<String>,
+}
+
+/// Escapes text content for XML.
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+impl SvgDocument {
+    /// Creates a document of the given pixel size with a white background.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "dimensions must be non-zero");
+        let mut doc = Self {
+            width,
+            height,
+            elements: Vec::new(),
+        };
+        doc.rect(0.0, 0.0, width as f64, height as f64, "#ffffff");
+        doc
+    }
+
+    /// Document width, pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Document height, pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Number of elements added so far (including the background).
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// `true` when only the background exists — never, in practice.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Adds a filled rectangle.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str) {
+        self.elements.push(format!(
+            r##"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="{fill}"/>"##
+        ));
+    }
+
+    /// Adds a line.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        self.elements.push(format!(
+            r##"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{stroke}" stroke-width="{width:.2}"/>"##
+        ));
+    }
+
+    /// Adds a polyline through the given points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two points are given.
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, width: f64) {
+        assert!(points.len() >= 2, "a polyline needs at least two points");
+        let mut path = String::new();
+        for (x, y) in points {
+            let _ = write!(path, "{x:.2},{y:.2} ");
+        }
+        self.elements.push(format!(
+            r##"<polyline points="{}" fill="none" stroke="{stroke}" stroke-width="{width:.2}"/>"##,
+            path.trim_end()
+        ));
+    }
+
+    /// Adds left-anchored text.
+    pub fn text(&mut self, x: f64, y: f64, size: f64, content: &str) {
+        self.text_anchored(x, y, size, content, "start");
+    }
+
+    /// Adds text with an explicit anchor (`start`, `middle`, `end`).
+    pub fn text_anchored(&mut self, x: f64, y: f64, size: f64, content: &str, anchor: &str) {
+        self.elements.push(format!(
+            r##"<text x="{x:.2}" y="{y:.2}" font-size="{size:.1}" font-family="sans-serif" text-anchor="{anchor}">{}</text>"##,
+            escape(content)
+        ));
+    }
+
+    /// Renders the document to an SVG string.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            r##"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" viewBox="0 0 {} {}">"##,
+            self.width, self.height, self.width, self.height
+        );
+        out.push('\n');
+        for e in &self.elements {
+            out.push_str(e);
+            out.push('\n');
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+
+    /// Writes the document to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_well_formed_envelope() {
+        let doc = SvgDocument::new(100, 50);
+        let s = doc.render();
+        assert!(s.starts_with("<svg"));
+        assert!(s.trim_end().ends_with("</svg>"));
+        assert!(s.contains(r#"width="100""#));
+        assert!(s.contains(r#"height="50""#));
+    }
+
+    #[test]
+    fn background_is_first_element() {
+        let doc = SvgDocument::new(10, 10);
+        assert_eq!(doc.len(), 1);
+        assert!(doc.render().contains("#ffffff"));
+        assert!(!doc.is_empty());
+    }
+
+    #[test]
+    fn elements_accumulate() {
+        let mut doc = SvgDocument::new(10, 10);
+        doc.rect(1.0, 1.0, 2.0, 2.0, "#ff0000");
+        doc.line(0.0, 0.0, 5.0, 5.0, "#000000", 1.0);
+        doc.polyline(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.5)], "#00ff00", 1.5);
+        doc.text(1.0, 9.0, 4.0, "hello");
+        assert_eq!(doc.len(), 5);
+        let s = doc.render();
+        assert!(s.contains("<rect"));
+        assert!(s.contains("<line"));
+        assert!(s.contains("<polyline"));
+        assert!(s.contains(">hello</text>"));
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let mut doc = SvgDocument::new(10, 10);
+        doc.text(0.0, 0.0, 4.0, "a<b & \"c\"");
+        let s = doc.render();
+        assert!(s.contains("a&lt;b &amp; &quot;c&quot;"));
+        assert!(!s.contains("a<b"));
+    }
+
+    #[test]
+    fn save_roundtrip() {
+        let mut doc = SvgDocument::new(20, 20);
+        doc.rect(0.0, 0.0, 5.0, 5.0, "#123456");
+        let mut path = std::env::temp_dir();
+        path.push(format!("ee360-viz-{}.svg", std::process::id()));
+        doc.save(&path).unwrap();
+        let read = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(read, doc.render());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    #[should_panic(expected = "two points")]
+    fn short_polyline_panics() {
+        let mut doc = SvgDocument::new(10, 10);
+        doc.polyline(&[(0.0, 0.0)], "#000", 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_size_panics() {
+        let _ = SvgDocument::new(0, 10);
+    }
+}

@@ -1,0 +1,59 @@
+//! Compare all five streaming schemes on one video under both network
+//! conditions — a miniature of the paper's Figs. 9 and 11.
+//!
+//! ```sh
+//! cargo run --release --example compare_schemes [video-id]
+//! ```
+
+use ee360::abr::controller::Scheme;
+use ee360::core::experiment::{Evaluation, ExperimentConfig};
+use ee360::core::report::TableWriter;
+use ee360::video::catalog::VideoCatalog;
+
+fn main() {
+    let video_id: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
+    let catalog = VideoCatalog::paper_default();
+    let spec = catalog
+        .video(video_id)
+        .unwrap_or_else(|| panic!("video {video_id} is not in the Table III catalog (1..=8)"));
+    println!("video {}: {} ({:?})", spec.id, spec.name, spec.behavior);
+
+    for (label, config) in [
+        ("trace 1 (≈7.8 Mbps)", ExperimentConfig::paper_trace1()),
+        ("trace 2 (≈3.9 Mbps)", ExperimentConfig::paper_trace2()),
+    ] {
+        let eval = Evaluation::prepare_videos(config, &catalog, Some(&[video_id]));
+        println!("\n{label}:");
+        let mut table = TableWriter::new(vec![
+            "scheme",
+            "energy [mJ/seg]",
+            "vs Ctile",
+            "QoE",
+            "quality lvl",
+            "fps",
+            "stall [s]",
+        ]);
+        let outcomes: Vec<_> = Scheme::ALL
+            .iter()
+            .map(|s| eval.run(video_id, *s))
+            .collect();
+        let ctile_energy = outcomes[0].mean_energy_mj_per_segment;
+        for o in &outcomes {
+            table.row(vec![
+                o.scheme.label().into(),
+                format!("{:.1}", o.mean_energy_mj_per_segment),
+                format!("{:+.1}%", (o.mean_energy_mj_per_segment / ctile_energy - 1.0) * 100.0),
+                format!("{:.1}", o.mean_qoe),
+                format!("{:.2}", o.mean_quality_level),
+                format!("{:.1}", o.mean_fps),
+                format!("{:.2}", o.mean_stall_sec),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+    println!("expected shape: Ours < Ptile < Ftile/Nontile < Ctile in energy,");
+    println!("Ours ≈ Ptile > Ftile > Ctile in QoE (Figs. 9 & 11 of the paper)");
+}

@@ -1,0 +1,96 @@
+//! Visualise Ptile construction on the equirectangular tile grid — an
+//! ASCII rendition of the paper's Figs. 1 and 6.
+//!
+//! ```sh
+//! cargo run --release --example ptile_explorer [video-id] [segment]
+//! ```
+//!
+//! Dots mark training users' viewing centers; letters mark which Ptile
+//! covers each tile (`A` = most popular); `.` marks background tiles.
+
+use ee360::cluster::ptile::{background_blocks, build_ptiles, PtileConfig};
+use ee360::geom::grid::{TileGrid, TileId};
+use ee360::geom::viewport::ViewCenter;
+use ee360::trace::dataset::VideoTraces;
+use ee360::trace::head::GazeConfig;
+use ee360::video::catalog::VideoCatalog;
+
+fn main() {
+    let video_id: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8);
+    let segment: usize = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(30);
+
+    let catalog = VideoCatalog::paper_default();
+    let spec = catalog
+        .video(video_id)
+        .unwrap_or_else(|| panic!("video {video_id} not in the catalog (1..=8)"));
+    assert!(
+        segment < spec.segment_count(),
+        "segment {segment} out of range (video has {})",
+        spec.segment_count()
+    );
+    println!(
+        "video {} ({}), segment {} — 40 training users",
+        spec.id, spec.name, segment
+    );
+
+    let traces = VideoTraces::generate(spec, 48, 42, GazeConfig::default());
+    let (train, _) = traces.split(40, 42);
+    let centers: Vec<ViewCenter> = train
+        .iter()
+        .filter_map(|t| t.segment_center(segment))
+        .collect();
+
+    let grid = TileGrid::paper_default();
+    let config = PtileConfig::paper_default();
+    let ptiles = build_ptiles(&centers, &grid, &config);
+
+    // Render the 4×8 grid; mark Ptile membership and user counts per tile.
+    let mut user_count = vec![0usize; grid.tile_count()];
+    for c in &centers {
+        user_count[grid.flat_index(grid.tile_at(c))] += 1;
+    }
+    println!("\ntile grid (rows = pitch bands top→bottom, cols = yaw −180°→180°):");
+    println!("  each cell: Ptile letter (or '.') + number of viewing centers in the tile\n");
+    for row in 0..grid.rows() {
+        let mut line = String::new();
+        for col in 0..grid.cols() {
+            let tile = TileId::new(row, col);
+            let mark = ptiles
+                .iter()
+                .position(|p| p.region.contains(tile))
+                .map(|i| (b'A' + i as u8) as char)
+                .unwrap_or('.');
+            let users = user_count[grid.flat_index(tile)];
+            line.push_str(&format!("[{mark}{users:>2}]"));
+        }
+        println!("  {line}");
+    }
+
+    println!("\nconstructed Ptiles:");
+    for (i, p) in ptiles.iter().enumerate() {
+        println!(
+            "  {} — {} users, {} tiles ({}×{}), {:.0}% of the frame",
+            (b'A' + i as u8) as char,
+            p.user_count(),
+            p.region.tile_count(),
+            p.region.row_span(),
+            p.region.col_span(),
+            p.area_fraction(&grid) * 100.0,
+        );
+        let blocks = background_blocks(&p.region, &grid);
+        println!(
+            "      background shipped as {} low-quality block(s): {:?} tiles each",
+            blocks.len(),
+            blocks.iter().map(|b| b.tile_count()).collect::<Vec<_>>()
+        );
+    }
+    if ptiles.is_empty() {
+        println!("  (none — no cluster reached the {}-user popularity threshold)", config.min_users);
+    }
+}

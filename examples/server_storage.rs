@@ -1,0 +1,90 @@
+//! Server-side cost of hosting the Ptile ladder.
+//!
+//! ```sh
+//! cargo run --release --example server_storage
+//! ```
+//!
+//! Ptiles save the *client* energy, but the server must store extra
+//! representations (every Ptile × 5 qualities × 4 frame rates). This
+//! example builds each video's manifest and prices that storage next to
+//! the conventional catalog.
+
+use ee360::core::report::TableWriter;
+use ee360::cluster::ptile::PtileConfig;
+use ee360::core::server::VideoServer;
+use ee360::geom::grid::TileGrid;
+use ee360::trace::dataset::VideoTraces;
+use ee360::trace::head::GazeConfig;
+use ee360::video::catalog::VideoCatalog;
+use ee360::video::ladder::EncodingLadder;
+use ee360::video::manifest::{RepresentationKind, VideoManifest};
+use ee360::video::segment::SegmentTimeline;
+use ee360::video::size_model::SizeModel;
+
+fn main() {
+    let catalog = VideoCatalog::paper_default();
+    let model = SizeModel::paper_default();
+    let ladder = EncodingLadder::paper_default();
+
+    println!("server storage per video (GB), conventional catalog vs + Ptile ladder:\n");
+    let mut table = TableWriter::new(vec![
+        "video",
+        "content",
+        "tiles+whole [GB]",
+        "with Ptiles [GB]",
+        "overhead",
+    ]);
+    for spec in catalog.videos() {
+        // Construct the per-segment Ptile areas exactly as the server does.
+        let traces = VideoTraces::generate(spec, 48, 20220706, GazeConfig::default());
+        let (train, _) = traces.split(40, 20220706);
+        let server = VideoServer::prepare(
+            spec,
+            &train,
+            TileGrid::paper_default(),
+            PtileConfig::paper_default(),
+        );
+        let grid = *server.grid();
+        let timeline = SegmentTimeline::for_video(spec);
+        let areas: Vec<Vec<f64>> = (0..timeline.len())
+            .map(|k| {
+                server
+                    .ptiles(k)
+                    .iter()
+                    .map(|p| p.area_fraction(&grid))
+                    .collect()
+            })
+            .collect();
+        let manifest = VideoManifest::build(&timeline, &model, &ladder, &areas);
+
+        let conventional: f64 = manifest_bits(&manifest, |k| {
+            matches!(
+                k,
+                RepresentationKind::ConventionalTile { .. } | RepresentationKind::WholeFrame
+            )
+        });
+        let total = manifest.total_stored_bits();
+        let gb = |bits: f64| bits / 8.0 / 1e9;
+        table.row(vec![
+            format!("{}", spec.id),
+            spec.name.clone(),
+            format!("{:.2}", gb(conventional)),
+            format!("{:.2}", gb(total)),
+            format!("{:+.0}%", (total / conventional - 1.0) * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("the Ptile ladder costs server storage — the energy saving is paid for off-device");
+}
+
+fn manifest_bits(
+    manifest: &VideoManifest,
+    keep: impl Fn(&RepresentationKind) -> bool,
+) -> f64 {
+    (0..manifest.len())
+        .filter_map(|i| manifest.segment(i))
+        .flat_map(|s| s.representations.iter())
+        .filter(|r| keep(&r.kind))
+        .map(|r| r.bits)
+        .sum()
+}

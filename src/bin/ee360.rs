@@ -1,0 +1,179 @@
+//! `ee360` — command-line front end for the reproduction.
+//!
+//! ```text
+//! ee360 dataset  --out traces.json [--users 48] [--seed 42]
+//! ee360 compare  [--video 4] [--trace1] [--segments N] [--phone pixel3]
+//! ee360 coverage [--users 48] [--seed 20220706]
+//! ee360 sweep    [--trace1] [--threads N]
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use ee360::abr::controller::Scheme;
+use ee360::core::experiment::{Evaluation, ExperimentConfig};
+use ee360::core::parallel::{default_threads, run_matrix};
+use ee360::core::report::TableWriter;
+use ee360::power::model::Phone;
+use ee360::trace::dataset::Dataset;
+use ee360::trace::io::save_dataset;
+use ee360::video::catalog::VideoCatalog;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = parse_flags(&args[1..]);
+    let result = match command.as_str() {
+        "dataset" => cmd_dataset(&flags),
+        "compare" => cmd_compare(&flags),
+        "coverage" => cmd_coverage(&flags),
+        "sweep" => cmd_sweep(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  ee360 dataset  --out FILE [--users N] [--seed S]   generate & save a head-trace dataset
+  ee360 compare  [--video N] [--trace1] [--segments N] [--phone pixel3|nexus5x|galaxys20]
+  ee360 coverage [--users N] [--seed S]               Fig. 7 Ptile coverage statistics
+  ee360 sweep    [--trace1] [--threads N]             full 8-video × 5-scheme matrix";
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            let value = if it.peek().map(|v| !v.starts_with("--")).unwrap_or(false) {
+                it.next().cloned().unwrap_or_default()
+            } else {
+                "true".to_string()
+            };
+            flags.insert(name.to_string(), value);
+        }
+    }
+    flags
+}
+
+fn get<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("flag --{name} got invalid value `{v}`")),
+    }
+}
+
+fn config_from(flags: &HashMap<String, String>) -> Result<ExperimentConfig, String> {
+    let mut config = if flags.contains_key("trace1") {
+        ExperimentConfig::paper_trace1()
+    } else {
+        ExperimentConfig::paper_trace2()
+    };
+    config.seed = get(flags, "seed", config.seed)?;
+    if let Some(n) = flags.get("segments") {
+        config.max_segments = Some(
+            n.parse()
+                .map_err(|_| format!("--segments got invalid value `{n}`"))?,
+        );
+    }
+    config.phone = match flags.get("phone").map(String::as_str) {
+        None | Some("pixel3") => Phone::Pixel3,
+        Some("nexus5x") => Phone::Nexus5X,
+        Some("galaxys20") => Phone::GalaxyS20,
+        Some(other) => return Err(format!("unknown phone `{other}`")),
+    };
+    Ok(config)
+}
+
+fn cmd_dataset(flags: &HashMap<String, String>) -> Result<(), String> {
+    let out = flags
+        .get("out")
+        .ok_or("dataset requires --out FILE".to_string())?;
+    let users: usize = get(flags, "users", 48)?;
+    let seed: u64 = get(flags, "seed", 42)?;
+    let catalog = VideoCatalog::paper_default();
+    println!("generating {users} users × {} videos (seed {seed})…", catalog.videos().len());
+    let dataset = Dataset::generate(&catalog, users, seed);
+    save_dataset(&dataset, out).map_err(|e| e.to_string())?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
+    let video: usize = get(flags, "video", 4)?;
+    if !(1..=8).contains(&video) {
+        return Err(format!("video {video} is not in the Table III catalog (1..=8)"));
+    }
+    let config = config_from(flags)?;
+    let catalog = VideoCatalog::paper_default();
+    let eval = Evaluation::prepare_videos(config, &catalog, Some(&[video]));
+    let spec = catalog.video(video).expect("validated above");
+    println!("video {}: {} ({:?}), phone {:?}", spec.id, spec.name, spec.behavior, config.phone);
+    let mut table = TableWriter::new(vec!["scheme", "energy [mJ/seg]", "QoE", "stall [s]"]);
+    for scheme in Scheme::ALL {
+        let o = eval.run(video, scheme);
+        table.row(vec![
+            scheme.label().into(),
+            format!("{:.1}", o.mean_energy_mj_per_segment),
+            format!("{:.1}", o.mean_qoe),
+            format!("{:.2}", o.mean_stall_sec),
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
+fn cmd_coverage(flags: &HashMap<String, String>) -> Result<(), String> {
+    let config = config_from(flags)?;
+    let eval = Evaluation::prepare(config);
+    let mut table = TableWriter::new(vec!["video", "mean Ptiles", "coverage"]);
+    for v in 1..=8 {
+        let server = eval.server(v).expect("all videos prepared");
+        let users: Vec<_> = eval.eval_users(v).iter().collect();
+        let stats = server.coverage_stats(&users);
+        table.row(vec![
+            format!("{v}"),
+            format!("{:.2}", stats.mean_ptile_count()),
+            format!("{:.1}%", stats.mean_coverage() * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
+fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
+    let config = config_from(flags)?;
+    let threads: usize = get(flags, "threads", default_threads())?;
+    let eval = Evaluation::prepare(config);
+    let videos: Vec<usize> = (1..=8).collect();
+    let outs = run_matrix(&eval, &videos, &Scheme::ALL, threads);
+    let mut table = TableWriter::new(vec!["video", "scheme", "energy [mJ/seg]", "QoE"]);
+    for o in &outs {
+        table.row(vec![
+            format!("{}", o.video_id),
+            o.scheme.label().into(),
+            format!("{:.1}", o.mean_energy_mj_per_segment),
+            format!("{:.1}", o.mean_qoe),
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Umbrella crate for the `ee360` workspace: a from-scratch Rust
+//! reproduction of *"Energy-Efficient and QoE-Aware 360-Degree Video
+//! Streaming on Mobile Devices"* (Chen & Cao, ICDCS 2022).
+//!
+//! This crate re-exports every subsystem so that examples and downstream
+//! users can depend on a single crate:
+//!
+//! ```
+//! use ee360::geom::viewport::{ViewCenter, Viewport};
+//! let vp = Viewport::paper_fov(ViewCenter::new(0.0, 0.0));
+//! assert!(vp.contains(&ViewCenter::new(10.0, 10.0)));
+//! ```
+//!
+//! See the individual crates for details:
+//!
+//! * [`geom`] — spherical/equirectangular geometry,
+//! * [`numeric`] — small dense linear algebra, ridge regression,
+//!   Levenberg–Marquardt, statistics,
+//! * [`trace`] — synthetic head-movement and LTE network traces,
+//! * [`video`] — segments, encoding ladder, SI/TI content model, tile and
+//!   Ptile size model,
+//! * [`power`] — Table I power models and energy accounting,
+//! * [`qoe`] — Eqs. 2–5 QoE model and its fitting pipeline,
+//! * [`cluster`] — Algorithm 1 Ptile construction,
+//! * [`predict`] — viewport (ridge regression) and bandwidth (harmonic
+//!   mean) prediction,
+//! * [`sim`] — buffer dynamics, download loop and decoder pipeline,
+//! * [`abr`] — the MPC+DP controller and the Ctile/Ftile/Nontile/Ptile
+//!   baselines,
+//! * [`core`] — end-to-end experiments reproducing the paper's figures.
+
+pub use ee360_abr as abr;
+pub use ee360_cluster as cluster;
+pub use ee360_core as core;
+pub use ee360_geom as geom;
+pub use ee360_numeric as numeric;
+pub use ee360_power as power;
+pub use ee360_predict as predict;
+pub use ee360_qoe as qoe;
+pub use ee360_sim as sim;
+pub use ee360_trace as trace;
+pub use ee360_video as video;

@@ -1,0 +1,160 @@
+//! End-to-end integration tests: the paper's headline claims at reduced
+//! scale.
+//!
+//! These cross-crate tests run the full pipeline — trace generation, Ptile
+//! construction, prediction, control, simulation, metrics — and assert the
+//! *shape* of the paper's results: who wins, in which direction, and by a
+//! sane margin.
+
+use ee360::abr::controller::Scheme;
+use ee360::core::experiment::{Evaluation, ExperimentConfig};
+use ee360::video::catalog::VideoCatalog;
+
+fn quick_eval(videos: &[usize], trace1: bool) -> Evaluation {
+    let mut config = if trace1 {
+        ExperimentConfig::paper_trace1()
+    } else {
+        ExperimentConfig::paper_trace2()
+    };
+    config.users_total = 16;
+    config.train_users = 13;
+    config.max_segments = Some(80);
+    Evaluation::prepare_videos(config, &VideoCatalog::paper_default(), Some(videos))
+}
+
+#[test]
+fn fig9_energy_ordering_focused_video() {
+    let eval = quick_eval(&[2], false);
+    let outs = eval.run_all_schemes(2);
+    let energy: Vec<f64> = outs.iter().map(|o| o.mean_energy_mj_per_segment).collect();
+    // Ours < Ptile < Ctile; Ftile < Ctile.
+    assert!(energy[4] < energy[3], "Ours {} !< Ptile {}", energy[4], energy[3]);
+    assert!(energy[3] < energy[0], "Ptile {} !< Ctile {}", energy[3], energy[0]);
+    assert!(energy[1] < energy[0], "Ftile {} !< Ctile {}", energy[1], energy[0]);
+}
+
+#[test]
+fn fig9_headline_savings_in_band() {
+    // The paper: Ptile −30.3%, Ours −49.7% vs Ctile (average). At reduced
+    // scale on one focused video we accept generous bands around those.
+    let eval = quick_eval(&[4], false);
+    let outs = eval.run_all_schemes(4);
+    let ctile = outs[0].mean_energy_mj_per_segment;
+    let ptile_saving = 1.0 - outs[3].mean_energy_mj_per_segment / ctile;
+    let ours_saving = 1.0 - outs[4].mean_energy_mj_per_segment / ctile;
+    assert!(
+        (0.15..=0.60).contains(&ptile_saving),
+        "Ptile saving {ptile_saving}"
+    );
+    assert!(
+        (0.30..=0.75).contains(&ours_saving),
+        "Ours saving {ours_saving}"
+    );
+    assert!(ours_saving > ptile_saving);
+}
+
+#[test]
+fn fig11_qoe_ordering() {
+    let eval = quick_eval(&[2], false);
+    let outs = eval.run_all_schemes(2);
+    let qoe: Vec<f64> = outs.iter().map(|o| o.mean_qoe).collect();
+    // Ptile ≈ best; Ours within the ε-ish band of Ptile; both above Ctile.
+    assert!(qoe[3] > qoe[0], "Ptile {} !> Ctile {}", qoe[3], qoe[0]);
+    assert!(qoe[4] > qoe[0], "Ours {} !> Ctile {}", qoe[4], qoe[0]);
+    assert!(
+        qoe[4] > 0.85 * qoe[3],
+        "Ours {} too far below Ptile {}",
+        qoe[4],
+        qoe[3]
+    );
+}
+
+#[test]
+fn trace1_gives_better_qoe_than_trace2() {
+    // More bandwidth, better experience — for every scheme.
+    let t1 = quick_eval(&[6], true);
+    let t2 = quick_eval(&[6], false);
+    for scheme in Scheme::ALL {
+        let q1 = t1.run(6, scheme).mean_qoe;
+        let q2 = t2.run(6, scheme).mean_qoe;
+        assert!(
+            q1 >= q2 * 0.95,
+            "{scheme:?}: trace1 {q1} vs trace2 {q2}"
+        );
+    }
+}
+
+#[test]
+fn ours_never_stalls_more_than_ctile() {
+    // "With Ptiles, Ours does not generate any rebuffering events" — at
+    // minimum it must not stall more than the conventional scheme.
+    let eval = quick_eval(&[3], false);
+    let ctile = eval.run(3, Scheme::Ctile);
+    let ours = eval.run(3, Scheme::Ours);
+    assert!(
+        ours.mean_stall_sec <= ctile.mean_stall_sec + 1e-9,
+        "ours {} vs ctile {}",
+        ours.mean_stall_sec,
+        ctile.mean_stall_sec
+    );
+}
+
+#[test]
+fn energy_breakdown_sums_to_total() {
+    let eval = quick_eval(&[1], false);
+    for scheme in Scheme::ALL {
+        let o = eval.run(1, scheme);
+        let parts = o.mean_transmission_mj + o.mean_decode_mj + o.mean_render_mj;
+        assert!(
+            (parts - o.mean_energy_mj_per_segment).abs() < 1e-6,
+            "{scheme:?}"
+        );
+    }
+}
+
+#[test]
+fn ptile_decode_energy_below_ctile_decode_energy() {
+    // The one-decoder Ptile pipeline must show up in the decode column.
+    let eval = quick_eval(&[2], false);
+    let ctile = eval.run(2, Scheme::Ctile);
+    let ptile = eval.run(2, Scheme::Ptile);
+    assert!(
+        ptile.mean_decode_mj < 0.6 * ctile.mean_decode_mj,
+        "ptile decode {} vs ctile {}",
+        ptile.mean_decode_mj,
+        ctile.mean_decode_mj
+    );
+}
+
+#[test]
+fn ours_adapts_framerate_on_low_ti_content() {
+    // Video 5 (Moving Rhinos) has the lowest TI: Eq. 4's α is largest
+    // there, so the frame-rate ladder should engage at least occasionally.
+    let eval = quick_eval(&[5], false);
+    let ours = eval.run(5, Scheme::Ours);
+    assert!(
+        ours.mean_fps < 30.0,
+        "expected some reduced-rate segments, got mean fps {}",
+        ours.mean_fps
+    );
+    // Baselines never adapt.
+    let ptile = eval.run(5, Scheme::Ptile);
+    assert_eq!(ptile.mean_fps, 30.0);
+}
+
+#[test]
+fn exploratory_videos_need_more_ptiles_than_focused() {
+    let eval = quick_eval(&[2, 8], false);
+    let focused = eval.server(2).unwrap();
+    let exploratory = eval.server(8).unwrap();
+    let mean_count = |server: &ee360::core::server::VideoServer| {
+        let n = server.segment_count();
+        (0..n).map(|k| server.ptiles(k).len()).sum::<usize>() as f64 / n as f64
+    };
+    assert!(
+        mean_count(exploratory) > mean_count(focused),
+        "exploratory {} vs focused {}",
+        mean_count(exploratory),
+        mean_count(focused)
+    );
+}

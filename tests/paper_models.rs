@@ -1,0 +1,109 @@
+//! Cross-crate checks of the paper's published models and constants:
+//! Table I, Table II, Fig. 2's decoder anchors, Fig. 8's calibration and
+//! the Eq. 6 buffer dynamics as used by the simulator.
+
+use ee360::power::model::{DecoderScheme, Phone, PowerModel};
+use ee360::qoe::fit::{max_deviation_from_table2, QoFitter};
+use ee360::qoe::quality::{QoModel, TABLE2_COEFFICIENTS};
+use ee360::sim::buffer::PlaybackBuffer;
+use ee360::sim::decoder::DecoderPipeline;
+use ee360::video::content::SiTi;
+use ee360::video::ladder::QualityLevel;
+use ee360::video::size_model::{SizeModel, FIG8_MEDIAN_RATIOS};
+
+#[test]
+fn table1_values_exact() {
+    // Spot-check every phone's transmission power and one decode row.
+    let expect = [
+        (Phone::Nexus5X, 1709.12, 210.65 + 5.55 * 30.0),
+        (Phone::Pixel3, 1429.08, 140.73 + 5.96 * 30.0),
+        (Phone::GalaxyS20, 1527.39, 152.72 + 6.13 * 30.0),
+    ];
+    for (phone, pt, ptile30) in expect {
+        let m = PowerModel::for_phone(phone);
+        assert_eq!(m.transmission_power_mw(), pt);
+        assert!((m.decode_power_mw(DecoderScheme::Ptile, 30.0) - ptile30).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn table2_recoverable_from_synthetic_vmaf() {
+    let outcome = QoFitter::new(2024).run().expect("fit converges");
+    assert!(max_deviation_from_table2(&outcome.coefficients) < 0.05);
+    assert!(outcome.pearson_r > 0.97); // paper: 0.9791
+}
+
+#[test]
+fn fig2b_decoder_anchors() {
+    let p = DecoderPipeline::paper_default();
+    assert!((p.decode_time_sec(1) - 1.3).abs() < 1e-9);
+    assert!((p.decode_power_mw(1) - 241.0).abs() < 1e-9);
+    assert!((p.decode_time_sec(9) - 0.5).abs() < 1e-9);
+    assert!((p.decode_power_mw(9) - 846.0).abs() < 1e-9);
+    let (t, pw) = p.ptile_decode();
+    assert_eq!((t, pw), (0.24, 287.0));
+}
+
+#[test]
+fn fig8_calibration_holds_for_any_content() {
+    // The Ptile/Ctile ratio is content-independent by construction; the
+    // calibrated medians must hold exactly everywhere in content space.
+    let m = SizeModel::paper_default();
+    for content in [SiTi::new(30.0, 5.0), SiTi::new(60.0, 25.0), SiTi::new(90.0, 60.0)] {
+        for (i, q) in QualityLevel::ALL.iter().enumerate() {
+            let p = m.region_bits(9.0 / 32.0, 1, *q, 30.0, content);
+            let c = m.region_bits(9.0 / 32.0, 9, *q, 30.0, content);
+            assert!((p / c - FIG8_MEDIAN_RATIOS[i]).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn eq3_shape_over_fig4b_ranges() {
+    // Fig. 4(b): quality grows with bitrate, falls with TI, grows with SI.
+    let m = QoModel::paper_default();
+    let mid = SiTi::new(60.0, 25.0);
+    assert!(m.q_o(mid, 6.4) > m.q_o(mid, 1.6));
+    assert!(m.q_o(SiTi::new(60.0, 10.0), 3.2) > m.q_o(SiTi::new(60.0, 40.0), 3.2));
+    assert!(m.q_o(SiTi::new(80.0, 25.0), 3.2) > m.q_o(SiTi::new(40.0, 25.0), 3.2));
+    assert_eq!(TABLE2_COEFFICIENTS.c4, 0.7821);
+}
+
+#[test]
+fn eq6_buffer_never_exceeds_beta_plus_segment() {
+    // Eq. 6 with the Δt wait: B is bounded by β + L under any download
+    // pattern, and stalls happen exactly when S/R > B.
+    let mut buf = PlaybackBuffer::paper_default();
+    let pattern = [0.1, 2.5, 0.05, 4.0, 0.0, 1.0, 0.3, 3.3, 0.9];
+    for d in pattern {
+        let step = buf.advance(d, 1.0);
+        assert!(buf.level_sec() <= 3.0 + 1.0 + 1e-12);
+        assert!(step.buffer_at_request_sec <= 3.0 + 1e-12);
+        if d > step.buffer_at_request_sec {
+            assert!(step.stall_sec > 0.0);
+        } else {
+            assert_eq!(step.stall_sec, 0.0);
+        }
+    }
+}
+
+#[test]
+fn paper_quoted_decoder_tradeoff() {
+    // Section II: "decoding time reduces ... around 2.5X, but the power
+    // increases ... around 3.5X" going from 1 to 9 decoders.
+    let p = DecoderPipeline::paper_default();
+    let t_ratio = p.decode_time_sec(1) / p.decode_time_sec(9);
+    let p_ratio = p.decode_power_mw(9) / p.decode_power_mw(1);
+    assert!((2.3..=2.9).contains(&t_ratio));
+    assert!((3.2..=3.8).contains(&p_ratio));
+}
+
+#[test]
+fn fig8_bandwidth_savings_quoted() {
+    // "using Ptiles can save bandwidth by 38%, 43%, 53%, 65%, and 73%".
+    let savings: Vec<f64> = FIG8_MEDIAN_RATIOS.iter().rev().map(|r| 1.0 - r).collect();
+    let paper = [0.38, 0.43, 0.53, 0.65, 0.73];
+    for (got, want) in savings.iter().zip(paper) {
+        assert!((got - want).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,137 @@
+//! Failure injection: throughput collapses mid-session.
+//!
+//! The controllers must degrade gracefully — lower quality, bounded
+//! stalls, recovery after the outage — rather than wedging or panicking.
+
+use ee360::abr::controller::Scheme;
+use ee360::cluster::ptile::PtileConfig;
+use ee360::core::client::{run_session, SessionSetup};
+use ee360::core::server::VideoServer;
+use ee360::geom::grid::TileGrid;
+use ee360::power::model::Phone;
+use ee360::trace::dataset::VideoTraces;
+use ee360::trace::head::{GazeConfig, HeadTrace};
+use ee360::trace::network::NetworkTrace;
+use ee360::video::catalog::VideoCatalog;
+
+fn fixture() -> (VideoServer, VideoTraces) {
+    let catalog = VideoCatalog::paper_default();
+    let spec = catalog.video(2).unwrap();
+    let traces = VideoTraces::generate(spec, 12, 17, GazeConfig::default());
+    let refs: Vec<&HeadTrace> = traces.traces().iter().collect();
+    let server = VideoServer::prepare(
+        spec,
+        &refs[..10],
+        TileGrid::paper_default(),
+        PtileConfig::paper_default(),
+    );
+    (server, traces)
+}
+
+fn run(server: &VideoServer, traces: &VideoTraces, network: &NetworkTrace, scheme: Scheme) -> ee360::sim::metrics::SessionMetrics {
+    run_session(
+        scheme,
+        &SessionSetup {
+            server,
+            user: traces.traces().last().unwrap(),
+            network,
+            phone: Phone::Pixel3,
+            max_segments: Some(80),
+        },
+    )
+}
+
+#[test]
+fn all_schemes_survive_a_deep_outage() {
+    let (server, traces) = fixture();
+    let base = NetworkTrace::paper_trace2(400, 17);
+    let outage = base.with_outage(30, 10, 0.15e6); // 10 s at 150 kbps
+    for scheme in Scheme::ALL {
+        let m = run(&server, &traces, &outage, scheme);
+        assert_eq!(m.len(), 80, "{scheme:?} completed the session");
+        assert!(m.total_energy_mj().is_finite());
+        // Some stall is unavoidable at 150 kbps, but it must be bounded by
+        // roughly the outage duration plus the drained downloads.
+        assert!(
+            m.total_stall_sec() < 60.0,
+            "{scheme:?} stalled {}s",
+            m.total_stall_sec()
+        );
+    }
+}
+
+#[test]
+fn controllers_downshift_during_outage() {
+    let (server, traces) = fixture();
+    let base = NetworkTrace::paper_trace2(400, 17);
+    let outage = base.with_outage(30, 10, 0.3e6);
+    let hit = run(&server, &traces, &outage, Scheme::Ours);
+    let clean = run(&server, &traces, &base, Scheme::Ours);
+    // The bandwidth estimator needs a few segments to register the
+    // collapse, so compare the window's mean quality against the clean run
+    // rather than demanding an instant drop to the bottom rung.
+    let window_mean = |m: &ee360::sim::metrics::SessionMetrics| {
+        let during: Vec<f64> = m
+            .records()
+            .iter()
+            .filter(|r| r.timing.request_time_sec >= 32.0 && r.timing.request_time_sec <= 44.0)
+            .map(|r| r.quality_level as f64)
+            .collect();
+        assert!(!during.is_empty(), "some requests land inside the window");
+        during.iter().sum::<f64>() / during.len() as f64
+    };
+    let q_hit = window_mean(&hit);
+    let q_clean = window_mean(&clean);
+    assert!(
+        q_hit <= q_clean - 0.5,
+        "outage quality {q_hit} not clearly below clean {q_clean}"
+    );
+}
+
+#[test]
+fn quality_recovers_after_outage() {
+    let (server, traces) = fixture();
+    let base = NetworkTrace::paper_trace2(400, 17);
+    let outage = base.with_outage(20, 8, 0.3e6);
+    let m = run(&server, &traces, &outage, Scheme::Ours);
+    let late: Vec<&ee360::sim::metrics::SegmentRecord> = m
+        .records()
+        .iter()
+        .filter(|r| r.timing.request_time_sec > 45.0)
+        .collect();
+    assert!(!late.is_empty());
+    let mean_q: f64 =
+        late.iter().map(|r| r.quality_level as f64).sum::<f64>() / late.len() as f64;
+    assert!(mean_q >= 3.0, "post-outage quality {mean_q} never recovered");
+}
+
+#[test]
+fn outage_costs_qoe_but_not_unboundedly() {
+    let (server, traces) = fixture();
+    let base = NetworkTrace::paper_trace2(400, 17);
+    let clean = run(&server, &traces, &base, Scheme::Ours);
+    let outage = base.with_outage(30, 6, 0.3e6);
+    let hit = run(&server, &traces, &outage, Scheme::Ours);
+    assert!(hit.mean_qoe() <= clean.mean_qoe() + 1e-9);
+    // A 6 s dip in an 80 s session must not wipe out the whole session.
+    assert!(
+        hit.mean_qoe() > 0.5 * clean.mean_qoe(),
+        "outage QoE {} vs clean {}",
+        hit.mean_qoe(),
+        clean.mean_qoe()
+    );
+}
+
+#[test]
+fn ours_stalls_no_more_than_ptile_under_outage() {
+    let (server, traces) = fixture();
+    let outage = NetworkTrace::paper_trace2(400, 17).with_outage(30, 10, 0.2e6);
+    let ours = run(&server, &traces, &outage, Scheme::Ours);
+    let ptile = run(&server, &traces, &outage, Scheme::Ptile);
+    assert!(
+        ours.total_stall_sec() <= ptile.total_stall_sec() + 1.0,
+        "ours {} vs ptile {}",
+        ours.total_stall_sec(),
+        ptile.total_stall_sec()
+    );
+}
