@@ -227,7 +227,7 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use ee360_support::prelude::*;
 
         proptest! {
             #[test]

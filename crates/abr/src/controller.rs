@@ -1,13 +1,11 @@
 //! The controller abstraction shared by all five schemes.
 
-use serde::{Deserialize, Serialize};
-
 use ee360_power::model::DecoderScheme;
 
 use crate::plan::{SegmentContext, SegmentPlan};
 
 /// The five evaluated schemes (Section V-A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scheme {
     /// Conventional fixed 4×8 tiling.
     Ctile,
@@ -20,6 +18,14 @@ pub enum Scheme {
     /// The paper's energy-efficient QoE-aware MPC algorithm.
     Ours,
 }
+
+ee360_support::impl_json_enum!(Scheme {
+    Ctile,
+    Ftile,
+    Nontile,
+    Ptile,
+    Ours
+});
 
 impl Scheme {
     /// All schemes in the paper's plotting order.
@@ -93,8 +99,8 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let json = serde_json::to_string(&Scheme::Ours).unwrap();
-        let back: Scheme = serde_json::from_str(&json).unwrap();
+        let json = ee360_support::json::to_string(&Scheme::Ours).unwrap();
+        let back: Scheme = ee360_support::json::from_str(&json).unwrap();
         assert_eq!(back, Scheme::Ours);
     }
 }

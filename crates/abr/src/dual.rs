@@ -86,8 +86,7 @@ impl EnergyBudgetController {
         let gran = cfg.buffer_granularity_sec;
         let n_states = (cfg.buffer_threshold_sec / gran).round() as usize + 1;
         let state_level = |i: usize| i as f64 * gran;
-        let level_state =
-            |b: f64| ((b / gran).floor() as usize).min(n_states - 1);
+        let level_state = |b: f64| ((b / gran).floor() as usize).min(n_states - 1);
         let bandwidth = ctx.predicted_bandwidth_bps;
         let area = ctx.ptile_area_frac.max(FOV_AREA_FRACTION);
 
@@ -124,7 +123,9 @@ impl EnergyBudgetController {
                 // Budget-feasible candidates; if none fits, fall back to
                 // the cheapest-energy candidate so a plan always exists.
                 let feasible: Vec<usize> = (0..cands.len())
-                    .filter(|&i| self.inner.candidate_energy_mj(&cands[i], bandwidth) <= self.budget_mj)
+                    .filter(|&i| {
+                        self.inner.candidate_energy_mj(&cands[i], bandwidth) <= self.budget_mj
+                    })
                     .collect();
                 let pool: Vec<usize> = if feasible.is_empty() {
                     let cheapest = (0..cands.len())
@@ -142,8 +143,7 @@ impl EnergyBudgetController {
                 for i in pool {
                     let c = &cands[i];
                     let dl = c.bits / bandwidth;
-                    let (stall, b_next) =
-                        dp_transition(b, dl, cfg.buffer_threshold_sec, gran);
+                    let (stall, b_next) = dp_transition(b, dl, cfg.buffer_threshold_sec, gran);
                     // A stall costs QoE directly: subtract a large reward
                     // penalty so the DP only stalls when unavoidable.
                     let reward = c.q_vf - stall * 1.0e4;
@@ -162,10 +162,7 @@ impl EnergyBudgetController {
         let best = (0..n_states)
             .filter(|&s| value[s] > NEG_INF)
             .max_by(|&a, &b| value[a].partial_cmp(&value[b]).expect("finite values"));
-        let choice = best
-            .and_then(|s| first[s])
-            .map(|(i, _)| i)
-            .unwrap_or(0);
+        let choice = best.and_then(|s| first[s]).map(|(i, _)| i).unwrap_or(0);
         let c = &per_step[0][choice];
         SegmentPlan {
             quality: c.quality,
@@ -296,7 +293,7 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use ee360_support::prelude::*;
 
         proptest! {
             #[test]

@@ -20,8 +20,6 @@
 //! conventional tiles at the best sustainable quality, as the paper's
 //! client does (Section IV-B).
 
-use serde::{Deserialize, Serialize};
-
 use ee360_power::model::{DecoderScheme, Phone, PowerModel};
 use ee360_predict::forecast::ArForecaster;
 use ee360_qoe::framerate::{alpha, framerate_factor};
@@ -36,7 +34,7 @@ use crate::plan::{SegmentContext, SegmentPlan};
 use crate::sizer::{SchemeSizer, FOV_AREA_FRACTION};
 
 /// MPC tuning (paper values by default).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MpcConfig {
     /// Look-ahead horizon `H` in segments.
     pub horizon: usize,
@@ -57,6 +55,16 @@ pub struct MpcConfig {
     /// observed throughputs. See the ablations for its effect.
     pub use_forecast: bool,
 }
+
+ee360_support::impl_json_struct!(MpcConfig {
+    horizon,
+    epsilon,
+    buffer_granularity_sec,
+    buffer_threshold_sec,
+    stall_penalty_mj_per_sec,
+    phone,
+    use_forecast
+});
 
 impl MpcConfig {
     /// The paper's configuration: H = 5, ε = 5%, 500 ms buffer states,
@@ -122,8 +130,7 @@ pub(crate) fn dp_transition(
     granularity_sec: f64,
 ) -> (f64, f64) {
     let stall = (download_sec - buffer_sec).max(0.0);
-    let after = ((buffer_sec - download_sec).max(0.0) + SEGMENT_DURATION_SEC)
-        .min(threshold_sec);
+    let after = ((buffer_sec - download_sec).max(0.0) + SEGMENT_DURATION_SEC).min(threshold_sec);
     // Round down to the grid (conservative: never assumes more buffer).
     let snapped = (after / granularity_sec).floor() * granularity_sec;
     (stall, snapped.max(0.0))
@@ -157,9 +164,7 @@ impl MpcController {
             qo: QoModel::paper_default(),
             power: PowerModel::for_phone(config.phone),
             fallback: RateBasedController::new(Scheme::Ctile),
-            forecaster: config
-                .use_forecast
-                .then(ArForecaster::paper_default),
+            forecaster: config.use_forecast.then(ArForecaster::paper_default),
         }
     }
 
@@ -177,16 +182,20 @@ impl MpcController {
 
     /// Candidate (v, f) tuples for a segment with the given content,
     /// switching speed and Ptile geometry.
-    pub(crate) fn candidates(&self, content: SiTi, s_fov: f64, area: f64, bg_blocks: usize) -> Vec<Candidate> {
+    pub(crate) fn candidates(
+        &self,
+        content: SiTi,
+        s_fov: f64,
+        area: f64,
+        bg_blocks: usize,
+    ) -> Vec<Candidate> {
         let a = alpha(s_fov, content.ti());
         let max_fps = self.ladder.max_frame_rate().fps();
         self.ladder
             .variants()
             .into_iter()
             .map(|(q, f)| {
-                let bits = self
-                    .sizer
-                    .ptile_bits(q, f.fps(), area, bg_blocks, content);
+                let bits = self.sizer.ptile_bits(q, f.fps(), area, bg_blocks, content);
                 let q_o = self.qo.q_o(content, self.sizer.effective_bitrate_mbps(q));
                 let q_vf = q_o * framerate_factor(f.fps(), max_fps, a);
                 Candidate {
@@ -204,7 +213,12 @@ impl MpcController {
     /// segment duration at the estimated bandwidth, the same rule the
     /// baselines' "best possible quality" uses. (`_buffer_sec` is accepted
     /// for signature stability; the sustainable rule does not depend on it.)
-    pub(crate) fn reference_quality(&self, candidates: &[Candidate], _buffer_sec: f64, bandwidth_bps: f64) -> f64 {
+    pub(crate) fn reference_quality(
+        &self,
+        candidates: &[Candidate],
+        _buffer_sec: f64,
+        bandwidth_bps: f64,
+    ) -> f64 {
         let mut best: Option<f64> = None;
         for c in candidates {
             let dl = c.bits / bandwidth_bps;
@@ -265,9 +279,7 @@ impl MpcController {
         let gran = cfg.buffer_granularity_sec;
         let n_states = (cfg.buffer_threshold_sec / gran).round() as usize + 1;
         let state_level = |i: usize| i as f64 * gran;
-        let level_state = |b: f64| {
-            ((b / gran).floor() as usize).min(n_states - 1)
-        };
+        let level_state = |b: f64| ((b / gran).floor() as usize).min(n_states - 1);
         let area = ctx.ptile_area_frac.max(FOV_AREA_FRACTION);
 
         // Precompute per-horizon-step candidates (content varies over the
@@ -281,7 +293,12 @@ impl MpcController {
                     .get(h)
                     .or_else(|| ctx.upcoming.last())
                     .expect("context has at least one segment");
-                self.candidates(content, ctx.switching_speed_deg_s, area, ctx.background_blocks)
+                self.candidates(
+                    content,
+                    ctx.switching_speed_deg_s,
+                    area,
+                    ctx.background_blocks,
+                )
             })
             .collect();
 
@@ -309,16 +326,14 @@ impl MpcController {
                         continue;
                     }
                     let dl = c.bits / bandwidth;
-                    let (stall, b_next) =
-                        dp_transition(b, dl, cfg.buffer_threshold_sec, gran);
+                    let (stall, b_next) = dp_transition(b, dl, cfg.buffer_threshold_sec, gran);
                     let step_cost = self.candidate_energy_mj(c, bandwidth)
                         + stall * cfg.stall_penalty_mj_per_sec;
                     let total = cost[s] + step_cost;
                     let ns = level_state(b_next);
                     if total < next_cost[ns] {
                         next_cost[ns] = total;
-                        next_first[ns] = first[s]
-                            .or(Some((c.quality, c.fps, c.bits)));
+                        next_first[ns] = first[s].or(Some((c.quality, c.fps, c.bits)));
                     }
                 }
             }
@@ -476,7 +491,10 @@ mod tests {
             plan_fast.fps,
             plan_slow.fps
         );
-        assert!(plan_fast.fps < 30.0, "expected a reduced rate: {plan_fast:?}");
+        assert!(
+            plan_fast.fps < 30.0,
+            "expected a reduced rate: {plan_fast:?}"
+        );
     }
 
     #[test]
@@ -537,8 +555,7 @@ mod tests {
 
     #[test]
     fn single_rate_ladder_behaves_like_ptile_baseline_rates() {
-        let mut c = MpcController::paper_default()
-            .with_ladder(EncodingLadder::single_rate(30.0));
+        let mut c = MpcController::paper_default().with_ladder(EncodingLadder::single_rate(30.0));
         let plan = c.plan(&ctx(6.0e6));
         assert_eq!(plan.fps, 30.0);
     }

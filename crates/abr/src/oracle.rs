@@ -46,7 +46,12 @@ pub fn brute_force_optimum(
                 .get(h)
                 .or_else(|| ctx.upcoming.last())
                 .expect("context has at least one segment");
-            controller.candidates(content, ctx.switching_speed_deg_s, area, ctx.background_blocks)
+            controller.candidates(
+                content,
+                ctx.switching_speed_deg_s,
+                area,
+                ctx.background_blocks,
+            )
         })
         .collect();
 
@@ -167,17 +172,12 @@ mod tests {
                 for &(ti, s_fov) in &[(10.0, 30.0), (25.0, 8.0), (45.0, 2.0)] {
                     let controller = small_controller(3);
                     let context = ctx(bw, buffer, ti, s_fov);
-                    let (oracle_cost, _oq, _of) =
-                        brute_force_optimum(&controller, &context);
+                    let (oracle_cost, _oq, _of) = brute_force_optimum(&controller, &context);
                     let mut ctrl = controller.clone();
                     let plan = ctrl.plan(&context);
                     // Oracle constrained to start with the DP's choice.
-                    let constrained = constrained_cost(
-                        &controller,
-                        &context,
-                        plan.quality,
-                        plan.fps,
-                    );
+                    let constrained =
+                        constrained_cost(&controller, &context, plan.quality, plan.fps);
                     assert!(
                         constrained <= oracle_cost + 1e-6,
                         "bw={bw} buf={buffer} ti={ti}: DP first move costs \
@@ -212,8 +212,8 @@ mod tests {
             .expect("forced decision must be a candidate");
         let dl = first.bits / bandwidth;
         let (stall, next) = dp_transition(start, dl, cfg.buffer_threshold_sec, gran);
-        let first_cost = controller.candidate_energy_mj(first, bandwidth)
-            + stall * cfg.stall_penalty_mj_per_sec;
+        let first_cost =
+            controller.candidate_energy_mj(first, bandwidth) + stall * cfg.stall_penalty_mj_per_sec;
         if cfg.horizon == 1 {
             return first_cost;
         }

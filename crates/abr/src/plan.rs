@@ -1,7 +1,5 @@
 //! Controller inputs and outputs.
 
-use serde::{Deserialize, Serialize};
-
 use ee360_power::model::DecoderScheme;
 use ee360_video::content::SiTi;
 use ee360_video::ladder::QualityLevel;
@@ -10,7 +8,7 @@ use ee360_video::ladder::QualityLevel;
 ///
 /// Note what is *not* here: the true future bandwidth. Controllers only see
 /// the estimate their bandwidth predictor produced.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SegmentContext {
     /// Zero-based index of the segment about to be requested.
     pub index: usize,
@@ -37,6 +35,19 @@ pub struct SegmentContext {
     /// predicted viewport.
     pub ftile_fov_tiles: usize,
 }
+
+ee360_support::impl_json_struct!(SegmentContext {
+    index,
+    upcoming,
+    predicted_bandwidth_bps,
+    buffer_sec,
+    switching_speed_deg_s,
+    ptile_available,
+    ptile_area_frac,
+    background_blocks,
+    ftile_fov_area,
+    ftile_fov_tiles
+});
 
 impl SegmentContext {
     /// A minimal context for documentation examples and quick tests: one
@@ -72,7 +83,7 @@ impl SegmentContext {
 }
 
 /// A controller's decision for one segment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SegmentPlan {
     /// Chosen quality level for the FoV content.
     pub quality: QualityLevel,
@@ -86,6 +97,14 @@ pub struct SegmentPlan {
     /// whole-frame equivalent rate — quantisation, not payload size).
     pub effective_bitrate_mbps: f64,
 }
+
+ee360_support::impl_json_struct!(SegmentPlan {
+    quality,
+    fps,
+    bits,
+    decode_scheme,
+    effective_bitrate_mbps
+});
 
 #[cfg(test)]
 mod tests {
@@ -116,8 +135,8 @@ mod tests {
             decode_scheme: DecoderScheme::Ptile,
             effective_bitrate_mbps: 6.4,
         };
-        let json = serde_json::to_string(&plan).unwrap();
-        let back: SegmentPlan = serde_json::from_str(&json).unwrap();
+        let json = ee360_support::json::to_string(&plan).unwrap();
+        let back: SegmentPlan = ee360_support::json::from_str(&json).unwrap();
         assert_eq!(back, plan);
     }
 }

@@ -5,17 +5,17 @@
 //! quality (the paper's, and DRL360's, convention); they differ in how the
 //! frame is cut, which is what drives the compression-efficiency gap.
 
-use serde::{Deserialize, Serialize};
-
 use ee360_video::content::SiTi;
 use ee360_video::ladder::QualityLevel;
 use ee360_video::size_model::SizeModel;
 
 /// Sizes for all five schemes on the paper's 4×8 grid.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SchemeSizer {
     model: SizeModel,
 }
+
+ee360_support::impl_json_struct!(SchemeSizer { model });
 
 /// Fraction of the frame covered by the 3×3 FoV block on the 4×8 grid.
 pub const FOV_AREA_FRACTION: f64 = 9.0 / 32.0;
@@ -105,9 +105,7 @@ impl SchemeSizer {
             "Ftile FoV tile count must be in 1..=10"
         );
         let fps = self.model.reference_fps();
-        let mut bits = self
-            .model
-            .region_bits(fov_area, fov_tiles, q, fps, content);
+        let mut bits = self.model.region_bits(fov_area, fov_tiles, q, fps, content);
         if fov_area < 1.0 - 1e-12 && fov_tiles < 10 {
             bits += self.model.region_bits(
                 1.0 - fov_area,

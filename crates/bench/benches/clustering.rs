@@ -1,11 +1,12 @@
-//! Criterion bench: Algorithm 1 viewing-center clustering.
+//! Bench: Algorithm 1 viewing-center clustering.
 //!
 //! The server runs this once per segment over the training population
 //! (40 users in the paper), so the 40-point case is the production load;
 //! larger populations show the quadratic neighbourhood build.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
 
+use ee360_bench::bench_harness;
 use ee360_cluster::algorithm1::{cluster_viewing_centers, ClusteringParams};
 use ee360_cluster::ptile::{build_ptiles, PtileConfig};
 use ee360_geom::grid::TileGrid;
@@ -28,28 +29,26 @@ fn population(n: usize) -> Vec<ViewCenter> {
         .collect()
 }
 
-fn bench_clustering(c: &mut Criterion) {
+fn main() {
+    let mut bench = bench_harness();
     let params = ClusteringParams::paper_default();
-    let mut group = c.benchmark_group("algorithm1");
     for n in [10usize, 40, 100, 400] {
         let centers = population(n);
-        group.bench_with_input(BenchmarkId::new("cluster", n), &centers, |b, centers| {
-            b.iter(|| cluster_viewing_centers(black_box(centers), &params));
+        bench.run(&format!("algorithm1/cluster/{n}"), || {
+            cluster_viewing_centers(black_box(&centers), &params)
         });
     }
-    group.finish();
 
     let grid = TileGrid::paper_default();
     let config = PtileConfig::paper_default();
     let centers = population(40);
-    c.bench_function("build_ptiles/40users", |b| {
-        b.iter(|| build_ptiles(black_box(&centers), &grid, &config));
+    bench.run("build_ptiles/40users", || {
+        build_ptiles(black_box(&centers), &grid, &config)
     });
 
-    c.bench_function("ftile_layout/40users", |b| {
-        b.iter(|| ee360_cluster::ftile::FtileLayout::build(black_box(&centers)));
+    bench.run("ftile_layout/40users", || {
+        ee360_cluster::ftile::FtileLayout::build(black_box(&centers))
     });
+
+    bench.print_table();
 }
-
-criterion_group!(benches, bench_clustering);
-criterion_main!(benches);

@@ -1,15 +1,16 @@
-//! Criterion bench: the MPC dynamic program vs. the brute-force oracle.
+//! Bench: the MPC dynamic program vs. the brute-force oracle.
 //!
 //! The paper's complexity claim is `O(HVF)`; the oracle is `O((VF)^H)`.
 //! The DP must stay microseconds-fast because it runs once per segment on
 //! the client.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
 
 use ee360_abr::controller::Controller;
 use ee360_abr::mpc::{MpcConfig, MpcController};
 use ee360_abr::oracle::brute_force_optimum;
 use ee360_abr::plan::SegmentContext;
+use ee360_bench::bench_harness;
 use ee360_video::content::SiTi;
 
 fn context(horizon: usize) -> SegmentContext {
@@ -35,28 +36,22 @@ fn controller(horizon: usize) -> MpcController {
     MpcController::new(cfg)
 }
 
-fn bench_mpc(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mpc_dp");
+fn main() {
+    let mut bench = bench_harness();
     for h in [1usize, 3, 5, 10, 20] {
         let mut ctrl = controller(h);
         let ctx = context(h);
-        group.bench_with_input(BenchmarkId::new("plan", h), &h, |b, _| {
-            b.iter(|| ctrl.plan(black_box(&ctx)));
-        });
+        bench.run(&format!("mpc_dp/plan/{h}"), || ctrl.plan(black_box(&ctx)));
     }
-    group.finish();
 
     // The exponential oracle, for the speed-up story (kept tiny).
-    let mut group = c.benchmark_group("brute_force_oracle");
     for h in [1usize, 2, 3] {
         let ctrl = controller(h);
         let ctx = context(h);
-        group.bench_with_input(BenchmarkId::new("enumerate", h), &h, |b, _| {
-            b.iter(|| brute_force_optimum(black_box(&ctrl), black_box(&ctx)));
+        bench.run(&format!("brute_force_oracle/enumerate/{h}"), || {
+            brute_force_optimum(black_box(&ctrl), black_box(&ctx))
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_mpc);
-criterion_main!(benches);
+    bench.print_table();
+}

@@ -1,10 +1,11 @@
-//! Criterion bench: per-segment prediction costs.
+//! Bench: per-segment prediction costs.
 //!
 //! Viewport prediction (a ridge fit over the 2 s gaze window) and
 //! bandwidth estimation run once per downloaded segment on the client.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
 
+use ee360_bench::bench_harness;
 use ee360_geom::switching::SwitchingSample;
 use ee360_geom::viewport::ViewCenter;
 use ee360_predict::bandwidth::{BandwidthEstimator, HarmonicMeanEstimator};
@@ -22,39 +23,39 @@ fn history(samples: usize) -> Vec<SwitchingSample> {
         .collect()
 }
 
-fn bench_prediction(c: &mut Criterion) {
+fn main() {
+    let mut bench = bench_harness();
     let predictor = ViewportPredictor::paper_default();
-    let mut group = c.benchmark_group("viewport_predict");
     for n in [10usize, 20, 50, 100] {
         let h = history(n);
-        group.bench_with_input(BenchmarkId::new("ridge", n), &h, |b, h| {
-            b.iter(|| predictor.predict(black_box(h), 1.0));
+        bench.run(&format!("viewport_predict/ridge/{n}"), || {
+            predictor.predict(black_box(&h), 1.0)
         });
     }
-    group.finish();
 
     // The per-segment render-coverage computation (16×16 pixel samples).
-    c.bench_function("projection/pixel_coverage_16", |b| {
+    {
         use ee360_geom::grid::TileGrid;
         use ee360_geom::region::TileRegion;
         use ee360_geom::viewport::{ViewCenter, Viewport};
         let grid = TileGrid::paper_default();
         let region = TileRegion::new(&grid, 1, 3, 3, 3);
         let vp = Viewport::paper_fov(ViewCenter::new(12.0, -8.0));
-        b.iter(|| ee360_geom::projection::pixel_coverage(black_box(&vp), &region, &grid, 16));
-    });
+        bench.run("projection/pixel_coverage_16", || {
+            ee360_geom::projection::pixel_coverage(black_box(&vp), &region, &grid, 16)
+        });
+    }
 
-    c.bench_function("bandwidth/harmonic_estimate", |b| {
+    {
         let mut est = HarmonicMeanEstimator::paper_default();
         for s in [3.1e6, 4.4e6, 2.9e6, 5.0e6, 3.8e6] {
             est.observe(s);
         }
-        b.iter(|| {
+        bench.run("bandwidth/harmonic_estimate", || {
             est.observe(black_box(4.1e6));
             est.estimate()
         });
-    });
-}
+    }
 
-criterion_group!(benches, bench_prediction);
-criterion_main!(benches);
+    bench.print_table();
+}

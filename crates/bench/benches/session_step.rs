@@ -1,11 +1,12 @@
-//! Criterion bench: end-to-end session throughput.
+//! Bench: end-to-end session throughput.
 //!
 //! How fast the simulator chews through segments — this bounds the cost of
 //! the full Figs. 9–11 sweeps (8 videos × 5 schemes × 2 traces × 8 users).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
 
 use ee360_abr::controller::Scheme;
+use ee360_bench::bench_harness;
 use ee360_cluster::ptile::PtileConfig;
 use ee360_core::client::{run_session, SessionSetup};
 use ee360_core::server::VideoServer;
@@ -16,7 +17,7 @@ use ee360_trace::head::GazeConfig;
 use ee360_trace::network::NetworkTrace;
 use ee360_video::catalog::VideoCatalog;
 
-fn bench_session(c: &mut Criterion) {
+fn main() {
     let catalog = VideoCatalog::paper_default();
     let spec = catalog.video(6).unwrap(); // shortest video, 164 segments
     let traces = VideoTraces::generate(spec, 12, 7, GazeConfig::default());
@@ -30,8 +31,7 @@ fn bench_session(c: &mut Criterion) {
     let network = NetworkTrace::paper_trace2(400, 7);
     let user = traces.traces().last().unwrap();
 
-    let mut group = c.benchmark_group("session_60seg");
-    group.sample_size(20);
+    let mut bench = bench_harness();
     for scheme in Scheme::ALL {
         let setup = SessionSetup {
             server: &server,
@@ -40,16 +40,9 @@ fn bench_session(c: &mut Criterion) {
             phone: Phone::Pixel3,
             max_segments: Some(60),
         };
-        group.bench_with_input(
-            BenchmarkId::new("run", scheme.label()),
-            &scheme,
-            |b, scheme| {
-                b.iter(|| run_session(black_box(*scheme), &setup));
-            },
-        );
+        bench.run(&format!("session_60seg/run/{}", scheme.label()), || {
+            run_session(black_box(scheme), &setup)
+        });
     }
-    group.finish();
+    bench.print_table();
 }
-
-criterion_group!(benches, bench_session);
-criterion_main!(benches);

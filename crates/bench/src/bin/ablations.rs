@@ -88,7 +88,10 @@ fn ablation_bandwidth_estimators() {
             fmt3(overshoot / n as f64),
         ]);
     };
-    run("harmonic mean (paper)", &mut HarmonicMeanEstimator::paper_default());
+    run(
+        "harmonic mean (paper)",
+        &mut HarmonicMeanEstimator::paper_default(),
+    );
     run("arithmetic mean", &mut ArithmeticMeanEstimator::new(5));
     run("last sample", &mut LastSampleEstimator::new());
     println!("{}", table.render());
@@ -218,7 +221,10 @@ fn ablation_horizon_and_buffer(scale: RunScale) {
     let outage_net = eval.network().with_outage(40, 10, 0.4e6);
 
     let mut table = TableWriter::new(vec![
-        "variant", "energy [mJ/seg]", "QoE", "stall [s/session]",
+        "variant",
+        "energy [mJ/seg]",
+        "QoE",
+        "stall [s/session]",
     ]);
     let mut run_variant = |label: String, mut controller: MpcController| {
         let mut energy = 0.0;
@@ -250,7 +256,10 @@ fn ablation_horizon_and_buffer(scale: RunScale) {
     for h in [1usize, 3, 5, 10] {
         let mut cfg = MpcConfig::paper_default();
         cfg.horizon = h;
-        run_variant(format!("H = {h}{}", if h == 5 { " (paper)" } else { "" }), MpcController::new(cfg));
+        run_variant(
+            format!("H = {h}{}", if h == 5 { " (paper)" } else { "" }),
+            MpcController::new(cfg),
+        );
     }
     for beta in [2.0f64, 3.0, 4.0, 6.0] {
         let mut cfg = MpcConfig::paper_default();

@@ -3,18 +3,24 @@
 //! Same sweep as Fig. 9(c) but priced with the Nexus 5X and Galaxy S20
 //! power models — the paper shows the same ordering on every phone.
 
-use ee360_bench::{figure_header, RunScale};
 use ee360_abr::controller::Scheme;
+use ee360_bench::{figure_header, RunScale};
 use ee360_core::experiment::Evaluation;
 use ee360_core::report::{fmt3, fmt_pct, TableWriter};
 use ee360_power::model::Phone;
 
 fn main() {
     let scale = RunScale::from_args();
-    figure_header("Fig. 10", "Energy normalised to Ctile on Nexus 5X and Galaxy S20");
+    figure_header(
+        "Fig. 10",
+        "Energy normalised to Ctile on Nexus 5X and Galaxy S20",
+    );
 
     for phone in [Phone::Nexus5X, Phone::GalaxyS20] {
-        println!("\n{} — normalised energy (avg over 8 videos, traces 1 & 2):", phone.name());
+        println!(
+            "\n{} — normalised energy (avg over 8 videos, traces 1 & 2):",
+            phone.name()
+        );
         let mut sums = [0.0f64; 5];
         let mut count = 0;
         for trace1 in [false, true] {

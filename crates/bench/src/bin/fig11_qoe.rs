@@ -27,9 +27,8 @@ fn main() {
     let mut per_trace: Vec<Vec<Vec<SchemeOutcome>>> = Vec::new();
     for (sub, label, eval) in [("a", "trace 1", &eval_t1), ("b", "trace 2", &eval_t2)] {
         println!("\nFig. 11({sub}) — mean per-segment QoE, {label}:");
-        let mut table = TableWriter::new(vec![
-            "video", "Ctile", "Ftile", "Nontile", "Ptile", "Ours",
-        ]);
+        let mut table =
+            TableWriter::new(vec!["video", "Ctile", "Ftile", "Nontile", "Ptile", "Ours"]);
         let flat = run_matrix(eval, &videos, &Scheme::ALL, default_threads());
         let all: Vec<Vec<SchemeOutcome>> = flat
             .chunks(Scheme::ALL.len())
@@ -58,11 +57,7 @@ fn main() {
         }
     }
     for (i, s) in Scheme::ALL.iter().enumerate() {
-        table.row(vec![
-            s.label().into(),
-            fmt3(norms[0][i]),
-            fmt3(norms[1][i]),
-        ]);
+        table.row(vec![s.label().into(), fmt3(norms[0][i]), fmt3(norms[1][i])]);
     }
     println!("{}", table.render());
     for (t, label) in [(0usize, "trace 1"), (1, "trace 2")] {

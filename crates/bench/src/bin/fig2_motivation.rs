@@ -17,7 +17,10 @@ use ee360_video::ladder::QualityLevel;
 use ee360_video::size_model::SizeModel;
 
 fn main() {
-    figure_header("Fig. 2", "Motivation: energy inefficiency of tile-based streaming");
+    figure_header(
+        "Fig. 2",
+        "Motivation: energy inefficiency of tile-based streaming",
+    );
 
     // (a) Transmission energy ∝ downloaded bits at fixed bandwidth: compare
     // the 3×3-tile FoV encoded as 9 conventional tiles vs one Ptile, at the

@@ -13,11 +13,16 @@ use ee360_video::content::SiTi;
 use ee360_video::segment::SegmentTimeline;
 
 fn main() {
-    figure_header("Fig. 4", "SI/TI of the test videos and the Eq. 3 quality surface");
+    figure_header(
+        "Fig. 4",
+        "SI/TI of the test videos and the Eq. 3 quality surface",
+    );
 
     println!("\nFig. 4(a) — per-video SI/TI (mean over segments, min–max):");
     let catalog = VideoCatalog::paper_default();
-    let mut table = TableWriter::new(vec!["video", "content", "SI mean", "SI range", "TI mean", "TI range"]);
+    let mut table = TableWriter::new(vec![
+        "video", "content", "SI mean", "SI range", "TI mean", "TI range",
+    ]);
     for spec in catalog.videos() {
         let tl = SegmentTimeline::for_video(spec);
         let sis: Vec<f64> = tl.segments().iter().map(|s| s.si_ti.si()).collect();

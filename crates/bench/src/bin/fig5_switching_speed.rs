@@ -65,7 +65,10 @@ fn main() {
     println!("CDF of switching speed (all users, all videos):");
     let mut table = TableWriter::new(vec!["speed [°/s]", "CDF"]);
     for s in [1.0, 2.0, 5.0, 10.0, 20.0, 30.0, 50.0, 80.0] {
-        table.row(vec![format!("{s:.0}"), fmt_pct(cdf.fraction_at_or_below(s))]);
+        table.row(vec![
+            format!("{s:.0}"),
+            fmt_pct(cdf.fraction_at_or_below(s)),
+        ]);
     }
     println!("{}", table.render());
     println!(

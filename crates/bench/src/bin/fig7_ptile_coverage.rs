@@ -14,7 +14,10 @@ use ee360_trace::head::HeadTrace;
 
 fn main() {
     let scale = RunScale::from_args();
-    figure_header("Fig. 7", "Ptile construction: counts per segment and user coverage");
+    figure_header(
+        "Fig. 7",
+        "Ptile construction: counts per segment and user coverage",
+    );
 
     let eval = Evaluation::prepare(scale.config_trace2());
 
@@ -22,7 +25,9 @@ fn main() {
     let mut table_a = TableWriter::new(vec!["video", "=1", "<=2", "<=3", "mean"]);
     println!("Fig. 7(b) — fraction of users covered by the Ptiles:");
     let mut table_b = TableWriter::new(vec!["video", "coverage", "paper"]);
-    let paper_coverage = ["88.4%", "94.6%", "90.3%", "94.1%", ">80%", ">80%", ">80%", ">80%"];
+    let paper_coverage = [
+        "88.4%", "94.6%", "90.3%", "94.1%", ">80%", ">80%", ">80%", ">80%",
+    ];
 
     for v in 1..=8 {
         let server = eval.server(v).expect("all videos prepared");

@@ -14,7 +14,10 @@ use ee360_video::segment::SegmentTimeline;
 use ee360_video::size_model::{SizeModel, FIG8_MEDIAN_RATIOS};
 
 fn main() {
-    figure_header("Fig. 8", "CDFs of the normalised Ptile data size per quality level");
+    figure_header(
+        "Fig. 8",
+        "CDFs of the normalised Ptile data size per quality level",
+    );
 
     let catalog = VideoCatalog::paper_default();
     let model = SizeModel::paper_default();
@@ -24,9 +27,7 @@ fn main() {
     for spec in catalog.videos() {
         let timeline = SegmentTimeline::for_video(spec);
         println!("\nvideo {} ({}):", spec.id, spec.name);
-        let mut table = TableWriter::new(vec![
-            "quality", "p10", "median", "p90", "paper median",
-        ]);
+        let mut table = TableWriter::new(vec!["quality", "p10", "median", "p90", "paper median"]);
         for q in QualityLevel::ALL.iter().rev() {
             let ratios: Vec<f64> = timeline
                 .segments()

@@ -25,11 +25,12 @@ fn main() {
 
     let mut per_trace: Vec<Vec<Vec<SchemeOutcome>>> = Vec::new();
     for (label, eval) in [("trace 1", &eval_t1), ("trace 2", &eval_t2)] {
-        println!("\nFig. 9({}) — energy per segment [mJ], {label}:",
-            if label == "trace 1" { "a" } else { "b" });
-        let mut table = TableWriter::new(vec![
-            "video", "Ctile", "Ftile", "Nontile", "Ptile", "Ours",
-        ]);
+        println!(
+            "\nFig. 9({}) — energy per segment [mJ], {label}:",
+            if label == "trace 1" { "a" } else { "b" }
+        );
+        let mut table =
+            TableWriter::new(vec!["video", "Ctile", "Ftile", "Nontile", "Ptile", "Ours"]);
         let flat = run_matrix(eval, &videos, &Scheme::ALL, default_threads());
         let mut all: Vec<Vec<SchemeOutcome>> = flat
             .chunks(Scheme::ALL.len())

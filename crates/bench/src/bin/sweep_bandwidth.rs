@@ -42,9 +42,7 @@ fn main() {
     }
 
     println!("\nenergy [mJ/segment] vs bandwidth scale (trace 2 ≈ 3.9 Mbps at 1.0×):");
-    let mut table = TableWriter::new(vec![
-        "scale", "Ctile", "Ftile", "Nontile", "Ptile", "Ours",
-    ]);
+    let mut table = TableWriter::new(vec!["scale", "Ctile", "Ftile", "Nontile", "Ptile", "Ours"]);
     for (factor, row) in &energy_rows {
         table.row(
             std::iter::once(format!("{factor:.2}x"))
@@ -55,9 +53,7 @@ fn main() {
     println!("{}", table.render());
 
     println!("QoE vs bandwidth scale:");
-    let mut table = TableWriter::new(vec![
-        "scale", "Ctile", "Ftile", "Nontile", "Ptile", "Ours",
-    ]);
+    let mut table = TableWriter::new(vec!["scale", "Ctile", "Ftile", "Nontile", "Ptile", "Ours"]);
     for (factor, row) in &qoe_rows {
         table.row(
             std::iter::once(format!("{factor:.2}x"))
@@ -87,7 +83,10 @@ fn main() {
     );
 
     // SVG: energy lines vs scale (reusing the CDF line plot as an x-y plot).
-    let mut chart = CdfChart::new("energy vs bandwidth scale (normalised to max)", "scale factor");
+    let mut chart = CdfChart::new(
+        "energy vs bandwidth scale (normalised to max)",
+        "scale factor",
+    );
     let max_e = energy_rows
         .iter()
         .flat_map(|(_, row)| row.iter().copied())

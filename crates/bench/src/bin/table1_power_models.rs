@@ -12,7 +12,10 @@ fn main() {
     figure_header("Table I", "Power models (mW); f is the frame rate in fps");
 
     let mut table = TableWriter::new(vec!["state", "Nexus 5X", "Pixel 3", "Galaxy S20"]);
-    let models: Vec<PowerModel> = Phone::ALL.iter().map(|p| PowerModel::for_phone(*p)).collect();
+    let models: Vec<PowerModel> = Phone::ALL
+        .iter()
+        .map(|p| PowerModel::for_phone(*p))
+        .collect();
 
     table.row(
         std::iter::once("data transmission".to_string())
@@ -41,7 +44,9 @@ fn main() {
     println!("{}", table.render());
 
     println!("\nEvaluated at the frame-rate ladder (mW):");
-    let mut eval = TableWriter::new(vec!["phone", "scheme", "21 fps", "24 fps", "27 fps", "30 fps"]);
+    let mut eval = TableWriter::new(vec![
+        "phone", "scheme", "21 fps", "24 fps", "27 fps", "30 fps",
+    ]);
     for m in &models {
         for scheme in DecoderScheme::ALL {
             eval.row(vec![

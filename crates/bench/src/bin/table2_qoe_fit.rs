@@ -14,7 +14,13 @@ fn main() {
     figure_header("Table II", "Parameters of the Q_o model (Eq. 3)");
 
     let mut table = TableWriter::new(vec![
-        "run", "c1", "c2", "c3", "c4", "Pearson r", "max |Δ| vs Table II",
+        "run",
+        "c1",
+        "c2",
+        "c3",
+        "c4",
+        "Pearson r",
+        "max |Δ| vs Table II",
     ]);
     let paper = TABLE2_COEFFICIENTS;
     table.row(vec![

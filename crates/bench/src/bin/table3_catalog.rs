@@ -8,7 +8,13 @@ fn main() {
     figure_header("Table III", "The test videos");
     let catalog = VideoCatalog::paper_default();
     let mut table = TableWriter::new(vec![
-        "ID", "Length", "Content", "Behaviour", "SI", "TI", "hotspots",
+        "ID",
+        "Length",
+        "Content",
+        "Behaviour",
+        "SI",
+        "TI",
+        "hotspots",
     ]);
     for v in catalog.videos() {
         table.row(vec![

@@ -1,5 +1,5 @@
-//! Shared helpers for the figure-regeneration binaries and Criterion
-//! benches.
+//! Shared helpers for the figure-regeneration binaries and the
+//! micro-benchmarks in `benches/`.
 //!
 //! Every table and figure of the paper's evaluation has a binary in
 //! `src/bin/` that prints the same rows/series the paper reports:
@@ -60,6 +60,22 @@ impl RunScale {
         let mut c = self.config_trace2();
         c.network_scale = 2.0;
         c
+    }
+}
+
+/// The benchmark harness the `benches/` binaries share.
+///
+/// Honours `EE360_BENCH_QUICK=1` (a few-millisecond budget per
+/// benchmark) so CI can smoke-test the bench binaries cheaply.
+pub fn bench_harness() -> ee360_support::bench::Bench {
+    use std::time::Duration;
+    let bench = ee360_support::bench::Bench::new();
+    if std::env::var_os("EE360_BENCH_QUICK").is_some_and(|v| v == "1") {
+        bench
+            .with_budget(Duration::from_millis(5), Duration::from_millis(20))
+            .with_max_iterations(50)
+    } else {
+        bench
     }
 }
 

@@ -13,20 +13,23 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
-
 use ee360_geom::viewport::ViewCenter;
 
 use crate::kmeans::kmeans_two;
 
 /// Algorithm 1's two distance parameters, in degrees.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClusteringParams {
     /// Neighbourhood radius δ: two centers within δ belong together.
     pub delta_deg: f64,
     /// Diameter cap σ: no two members of a final cluster are farther apart.
     pub sigma_deg: f64,
 }
+
+ee360_support::impl_json_struct!(ClusteringParams {
+    delta_deg,
+    sigma_deg
+});
 
 impl ClusteringParams {
     /// Section V-B: σ = one conventional tile width (45° on the 4×8 grid),
@@ -117,7 +120,12 @@ pub fn cluster_viewing_centers(
         // (ties broken by index for determinism).
         let seed = (0..n)
             .filter(|&i| in_u[i])
-            .max_by_key(|&i| (neighbors[i].iter().filter(|&&j| in_u[j]).count(), usize::MAX - i))
+            .max_by_key(|&i| {
+                (
+                    neighbors[i].iter().filter(|&&j| in_u[j]).count(),
+                    usize::MAX - i,
+                )
+            })
             .expect("remaining > 0 guarantees a seed");
 
         // Lines 15–28: BFS growth through δ-close remaining nodes.
@@ -172,7 +180,7 @@ pub fn cluster_without_sigma(centers: &[ViewCenter], delta_deg: f64) -> Vec<Vec<
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ee360_support::prelude::*;
 
     fn params() -> ClusteringParams {
         ClusteringParams::paper_default()
@@ -260,7 +268,13 @@ mod tests {
     fn seed_prefers_densest_node() {
         // A 3-point clique and a 2-point pair: the first grown cluster
         // should be the clique (seeded at its max-degree node).
-        let cs = centers(&[(100.0, 0.0), (104.0, 0.0), (0.0, 0.0), (4.0, 0.0), (8.0, 0.0)]);
+        let cs = centers(&[
+            (100.0, 0.0),
+            (104.0, 0.0),
+            (0.0, 0.0),
+            (4.0, 0.0),
+            (8.0, 0.0),
+        ]);
         let clusters = cluster_viewing_centers(&cs, &params());
         assert_eq!(clusters[0].len(), 3);
     }
@@ -282,7 +296,7 @@ mod tests {
     proptest! {
         #[test]
         fn clustering_is_a_partition(
-            pts in proptest::collection::vec(
+            pts in ee360_support::prop::collection::vec(
                 (-180.0f64..180.0, -70.0f64..70.0), 0..40
             )
         ) {
@@ -295,7 +309,7 @@ mod tests {
 
         #[test]
         fn all_clusters_respect_sigma(
-            pts in proptest::collection::vec(
+            pts in ee360_support::prop::collection::vec(
                 (-180.0f64..180.0, -70.0f64..70.0), 1..40
             )
         ) {

@@ -5,15 +5,13 @@
 //! lies inside one Ptile, so they can stream the Ptile instead of
 //! conventional tiles.
 
-use serde::{Deserialize, Serialize};
-
 use ee360_geom::grid::TileGrid;
 use ee360_geom::viewport::{ViewCenter, Viewport};
 
 use crate::ptile::Ptile;
 
 /// Coverage outcome for one segment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SegmentCoverage {
     /// Number of Ptiles constructed for the segment.
     pub ptile_count: usize,
@@ -22,6 +20,12 @@ pub struct SegmentCoverage {
     /// Number of users whose FoV is covered by some Ptile.
     pub covered_users: usize,
 }
+
+ee360_support::impl_json_struct!(SegmentCoverage {
+    ptile_count,
+    user_count,
+    covered_users
+});
 
 impl SegmentCoverage {
     /// Fraction of users covered, `0..=1` (0 for an empty population).
@@ -70,10 +74,12 @@ pub fn segment_coverage(
 }
 
 /// Aggregated coverage over a whole video (all segments).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CoverageStats {
     segments: Vec<SegmentCoverage>,
 }
+
+ee360_support::impl_json_struct!(CoverageStats { segments });
 
 impl CoverageStats {
     /// Creates an empty accumulator.
@@ -115,7 +121,10 @@ impl CoverageStats {
         if self.segments.is_empty() {
             return 0.0;
         }
-        self.segments.iter().map(|s| s.ptile_count as f64).sum::<f64>()
+        self.segments
+            .iter()
+            .map(|s| s.ptile_count as f64)
+            .sum::<f64>()
             / self.segments.len() as f64
     }
 
@@ -147,8 +156,9 @@ mod tests {
 
     #[test]
     fn cluster_members_are_covered() {
-        let centers: Vec<ViewCenter> =
-            (0..8).map(|i| ViewCenter::new(i as f64 * 2.0, 0.0)).collect();
+        let centers: Vec<ViewCenter> = (0..8)
+            .map(|i| ViewCenter::new(i as f64 * 2.0, 0.0))
+            .collect();
         let ptiles = ptiles_for(&centers);
         let cov = segment_coverage(&centers, &ptiles, &grid(), 100.0, 100.0);
         assert_eq!(cov.ptile_count, 1);
@@ -158,8 +168,9 @@ mod tests {
 
     #[test]
     fn outlier_user_not_covered() {
-        let mut centers: Vec<ViewCenter> =
-            (0..6).map(|i| ViewCenter::new(i as f64 * 2.0, 0.0)).collect();
+        let mut centers: Vec<ViewCenter> = (0..6)
+            .map(|i| ViewCenter::new(i as f64 * 2.0, 0.0))
+            .collect();
         let ptiles = ptiles_for(&centers);
         centers.push(ViewCenter::new(-120.0, -30.0)); // evaluation outlier
         let cov = segment_coverage(&centers, &ptiles, &grid(), 100.0, 100.0);
@@ -218,8 +229,9 @@ mod tests {
     fn covered_user_near_cluster_edge() {
         // A user whose center is a few degrees from the cluster may still
         // be covered because the Ptile bounds whole FoV blocks.
-        let centers: Vec<ViewCenter> =
-            (0..6).map(|i| ViewCenter::new(i as f64 * 2.0, 0.0)).collect();
+        let centers: Vec<ViewCenter> = (0..6)
+            .map(|i| ViewCenter::new(i as f64 * 2.0, 0.0))
+            .collect();
         let ptiles = ptiles_for(&centers);
         // (5°, −3°) shares the members' tile row, so its FoV block matches.
         assert!(user_covered(

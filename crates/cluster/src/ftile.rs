@@ -9,8 +9,6 @@
 //! end up finely tiled (so the FoV can be fetched tightly), the background
 //! stays coarse.
 
-use serde::{Deserialize, Serialize};
-
 use ee360_geom::grid::{TileGrid, TileId};
 use ee360_geom::region::TileRegion;
 use ee360_geom::viewport::{ViewCenter, Viewport};
@@ -24,13 +22,15 @@ pub const FTILE_BLOCK_COLS: usize = 30;
 pub const FTILE_TILE_COUNT: usize = 10;
 
 /// One segment's variable-size tiling.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FtileLayout {
     /// The fine block grid (15×30).
     block_grid: TileGrid,
     /// The ten tile rectangles, each a region of blocks.
     tiles: Vec<TileRegion>,
 }
+
+ee360_support::impl_json_struct!(FtileLayout { block_grid, tiles });
 
 /// A rectangle of blocks under construction: `[row0, row1) × [col0, col1)`
 /// (no wraparound — the Ftile literature splits the unwrapped frame).
@@ -103,15 +103,7 @@ impl FtileLayout {
 
         let tiles = rects
             .into_iter()
-            .map(|r| {
-                TileRegion::new(
-                    &block_grid,
-                    r.row0,
-                    r.row1 - 1,
-                    r.col0,
-                    r.col1 - r.col0,
-                )
-            })
+            .map(|r| TileRegion::new(&block_grid, r.row0, r.row1 - 1, r.col0, r.col1 - r.col0))
             .collect();
         Self { block_grid, tiles }
     }
@@ -173,16 +165,16 @@ fn split_rect(rect: &Rect, w: &[Vec<f64>]) -> (Rect, Rect) {
         let mut acc = 0.0;
         let mut cut = rect.col0 + 1;
         for c in rect.col0..rect.col1 {
-            acc += w[rect.row0..rect.row1].iter().map(|row| row[c]).sum::<f64>();
+            acc += w[rect.row0..rect.row1]
+                .iter()
+                .map(|row| row[c])
+                .sum::<f64>();
             if acc >= total / 2.0 {
                 cut = (c + 1).clamp(rect.col0 + 1, rect.col1 - 1);
                 break;
             }
         }
-        (
-            Rect { col1: cut, ..*rect },
-            Rect { col0: cut, ..*rect },
-        )
+        (Rect { col1: cut, ..*rect }, Rect { col0: cut, ..*rect })
     } else {
         // Horizontal split at the weighted median row.
         let mut acc = 0.0;
@@ -194,10 +186,7 @@ fn split_rect(rect: &Rect, w: &[Vec<f64>]) -> (Rect, Rect) {
                 break;
             }
         }
-        (
-            Rect { row1: cut, ..*rect },
-            Rect { row0: cut, ..*rect },
-        )
+        (Rect { row1: cut, ..*rect }, Rect { row0: cut, ..*rect })
     }
 }
 
@@ -292,7 +281,10 @@ mod tests {
         let (chosen, _) = layout.tiles_for_viewport(&predicted);
         let actual_far = Viewport::paper_fov(ViewCenter::new(150.0, -10.0));
         let frac = layout.coverage_fraction(&chosen, &actual_far);
-        assert!(frac < 0.8, "far viewport should be partly uncovered: {frac}");
+        assert!(
+            frac < 0.8,
+            "far viewport should be partly uncovered: {frac}"
+        );
     }
 
     #[test]
@@ -311,8 +303,8 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let layout = FtileLayout::build(&cluster_at(0.0, 0.0, 5));
-        let json = serde_json::to_string(&layout).unwrap();
-        let back: FtileLayout = serde_json::from_str(&json).unwrap();
+        let json = ee360_support::json::to_string(&layout).unwrap();
+        let back: FtileLayout = ee360_support::json::from_str(&json).unwrap();
         assert_eq!(back, layout);
     }
 }

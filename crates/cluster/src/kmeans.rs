@@ -123,7 +123,7 @@ pub fn kmeans_two(points: &[ViewCenter]) -> (Vec<usize>, Vec<usize>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ee360_support::prelude::*;
 
     #[test]
     fn splits_two_obvious_groups() {
@@ -204,7 +204,7 @@ mod tests {
     proptest! {
         #[test]
         fn split_is_partition(
-            pts in proptest::collection::vec(
+            pts in ee360_support::prop::collection::vec(
                 (-180.0f64..180.0, -60.0f64..60.0), 2..30
             )
         ) {

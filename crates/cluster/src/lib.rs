@@ -46,5 +46,5 @@ pub use algorithm1::{cluster_viewing_centers, ClusteringParams};
 pub use coverage::{CoverageStats, SegmentCoverage};
 pub use ftile::{FtileLayout, FTILE_TILE_COUNT};
 pub use kmeans::kmeans_two;
+pub use ptile::{background_blocks, build_ptiles, Ptile, PtileConfig};
 pub use stability::{churn, region_iou, ChurnStats, RegionSmoother};
-pub use ptile::{build_ptiles, background_blocks, Ptile, PtileConfig};

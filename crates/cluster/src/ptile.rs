@@ -7,8 +7,6 @@
 //! encoded at the lowest quality and shipped alongside the Ptile so a
 //! surprise view switch degrades quality instead of stalling.
 
-use serde::{Deserialize, Serialize};
-
 use ee360_geom::grid::{TileGrid, TileId};
 use ee360_geom::region::TileRegion;
 use ee360_geom::viewport::{ViewCenter, Viewport};
@@ -16,7 +14,7 @@ use ee360_geom::viewport::{ViewCenter, Viewport};
 use crate::algorithm1::{cluster_viewing_centers, ClusteringParams};
 
 /// Configuration of the Ptile builder.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PtileConfig {
     /// Clustering parameters (δ, σ).
     pub clustering: ClusteringParams,
@@ -28,6 +26,13 @@ pub struct PtileConfig {
     /// Vertical field of view, degrees.
     pub fov_v_deg: f64,
 }
+
+ee360_support::impl_json_struct!(PtileConfig {
+    clustering,
+    min_users,
+    fov_h_deg,
+    fov_v_deg
+});
 
 impl PtileConfig {
     /// Section V-B settings: paper clustering parameters, ≥5 users,
@@ -49,7 +54,7 @@ impl Default for PtileConfig {
 }
 
 /// One constructed Ptile.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ptile {
     /// The tile block the Ptile encodes.
     pub region: TileRegion,
@@ -57,6 +62,8 @@ pub struct Ptile {
     /// the Ptile covers.
     pub members: Vec<usize>,
 }
+
+ee360_support::impl_json_struct!(Ptile { region, members });
 
 impl Ptile {
     /// Number of users in the Ptile's cluster.
@@ -122,7 +129,13 @@ pub fn background_blocks(ptile: &TileRegion, grid: &TileGrid) -> Vec<TileRegion>
     let mut blocks = Vec::new();
     // Above the Ptile: full-width band.
     if ptile.row_min() > 0 {
-        blocks.push(TileRegion::new(grid, 0, ptile.row_min() - 1, 0, grid.cols()));
+        blocks.push(TileRegion::new(
+            grid,
+            0,
+            ptile.row_min() - 1,
+            0,
+            grid.cols(),
+        ));
     }
     // Below the Ptile: full-width band.
     if ptile.row_max() + 1 < grid.rows() {

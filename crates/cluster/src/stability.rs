@@ -8,8 +8,6 @@
 //! keep the previous segment's region while it still covers the new
 //! cluster "well enough" (IoU above a threshold).
 
-use serde::{Deserialize, Serialize};
-
 use ee360_geom::region::TileRegion;
 
 /// Intersection-over-union of two tile regions on the same grid.
@@ -37,7 +35,7 @@ pub fn region_iou(a: &TileRegion, b: &TileRegion) -> f64 {
 }
 
 /// Churn statistics of a per-segment region sequence.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChurnStats {
     /// Number of consecutive-segment transitions analysed.
     pub transitions: usize,
@@ -48,6 +46,13 @@ pub struct ChurnStats {
     /// Longest run of identical regions, in segments.
     pub longest_stable_run: usize,
 }
+
+ee360_support::impl_json_struct!(ChurnStats {
+    transitions,
+    change_rate,
+    mean_iou,
+    longest_stable_run
+});
 
 /// Measures the churn of a region-per-segment sequence.
 ///
@@ -82,10 +87,12 @@ pub fn churn(regions: &[TileRegion]) -> Option<ChurnStats> {
 
 /// A hysteresis smoother: the previous region is kept while its IoU with
 /// the freshly constructed one stays at or above `threshold`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RegionSmoother {
     threshold: f64,
 }
+
+ee360_support::impl_json_struct!(RegionSmoother { threshold });
 
 impl RegionSmoother {
     /// Creates a smoother.
@@ -179,7 +186,7 @@ mod tests {
         let g = grid();
         let a = TileRegion::new(&g, 0, 0, 7, 2); // cols 7, 0
         let b = TileRegion::new(&g, 0, 0, 0, 2); // cols 0, 1
-        // Intersection: col 0 → 1 tile; union 3 tiles.
+                                                 // Intersection: col 0 → 1 tile; union 3 tiles.
         assert!((region_iou(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
     }
 

@@ -77,7 +77,11 @@ fn fast_switching_speed(history: &[SwitchingSample]) -> f64 {
 
 /// Pixel-weighted fraction of what the user sees that a region stores —
 /// the rectilinear render mapping of Section II, sampled at 16×16.
-fn overlap_fraction(region: &TileRegion, grid: &ee360_geom::grid::TileGrid, actual: &Viewport) -> f64 {
+fn overlap_fraction(
+    region: &TileRegion,
+    grid: &ee360_geom::grid::TileGrid,
+    actual: &Viewport,
+) -> f64 {
     ee360_geom::projection::pixel_coverage(actual, region, grid, 16)
 }
 
@@ -122,8 +126,8 @@ pub fn run_session_with(controller: &mut dyn Controller, setup: &SessionSetup) -
             m.min(setup.server.segment_count())
         });
 
-    let q1_bitrate = ee360_abr::sizer::SchemeSizer::paper_default()
-        .effective_bitrate_mbps(QualityLevel::Q1);
+    let q1_bitrate =
+        ee360_abr::sizer::SchemeSizer::paper_default().effective_bitrate_mbps(QualityLevel::Q1);
 
     // Startup: fetch the manifests of the first H segments (Section IV-C
     // step (a)) before the first media request. ~16 kB per segment of
@@ -249,8 +253,8 @@ pub fn run_session_with(controller: &mut dyn Controller, setup: &SessionSetup) -
                 // center: the quality the user sees depends on how much of
                 // the actual FoV those tiles cover.
                 let predicted_block = grid.fov_block(&Viewport::new(predicted, 100.0, 100.0));
-                let predicted_region = TileRegion::from_tiles(&grid, predicted_block)
-                    .expect("FoV block is non-empty");
+                let predicted_region =
+                    TileRegion::from_tiles(&grid, predicted_block).expect("FoV block is non-empty");
                 overlap_fraction(&predicted_region, &grid, &actual_vp)
             }
         };
@@ -292,7 +296,11 @@ pub fn actual_viewport(user: &HeadTrace, segment: usize) -> Option<Viewport> {
 }
 
 /// Convenience: whether `center`'s FoV block is fully inside `region`.
-pub fn block_covered(grid: &ee360_geom::grid::TileGrid, region: &TileRegion, center: ViewCenter) -> bool {
+pub fn block_covered(
+    grid: &ee360_geom::grid::TileGrid,
+    region: &TileRegion,
+    center: ViewCenter,
+) -> bool {
     let block = grid.fov_block(&Viewport::new(center, 100.0, 100.0));
     block.iter().all(|t| region.contains(*t))
 }

@@ -2,8 +2,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use ee360_abr::controller::Scheme;
 use ee360_cluster::ptile::PtileConfig;
 use ee360_geom::grid::TileGrid;
@@ -18,7 +16,7 @@ use crate::client::{run_session, SessionSetup};
 use crate::server::VideoServer;
 
 /// Experiment-wide knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExperimentConfig {
     /// Phone whose power models price the energy.
     pub phone: Phone,
@@ -33,6 +31,15 @@ pub struct ExperimentConfig {
     /// Optional cap on segments per session (tests); `None` = full video.
     pub max_segments: Option<usize>,
 }
+
+ee360_support::impl_json_struct!(ExperimentConfig {
+    phone,
+    seed,
+    users_total,
+    train_users,
+    network_scale,
+    max_segments
+});
 
 impl ExperimentConfig {
     /// The paper-scale configuration under *trace 2*.
@@ -83,7 +90,7 @@ impl ExperimentConfig {
 
 /// Aggregated outcome of one (video, scheme) cell, averaged over the
 /// evaluation users.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SchemeOutcome {
     /// The scheme evaluated.
     pub scheme: Scheme,
@@ -117,12 +124,29 @@ pub struct SchemeOutcome {
     pub mean_fps: f64,
 }
 
+ee360_support::impl_json_struct!(SchemeOutcome {
+    scheme,
+    video_id,
+    users,
+    segments,
+    mean_energy_mj_per_segment,
+    mean_transmission_mj,
+    mean_decode_mj,
+    mean_render_mj,
+    mean_qoe,
+    mean_quality,
+    mean_variation,
+    mean_rebuffering,
+    mean_stall_sec,
+    mean_quality_level,
+    mean_fps
+});
+
 impl SchemeOutcome {
     fn from_sessions(scheme: Scheme, video_id: usize, sessions: &[SessionMetrics]) -> Self {
         assert!(!sessions.is_empty(), "need at least one session");
         let n = sessions.len() as f64;
-        let mean =
-            |f: &dyn Fn(&SessionMetrics) -> f64| sessions.iter().map(f).sum::<f64>() / n;
+        let mean = |f: &dyn Fn(&SessionMetrics) -> f64| sessions.iter().map(f).sum::<f64>() / n;
         let segs = sessions[0].len();
         Self {
             scheme,
@@ -188,14 +212,9 @@ impl Evaluation {
             // threshold with the population so reduced-scale runs keep the
             // paper's 10% rule.
             let mut ptile_config = PtileConfig::paper_default();
-            ptile_config.min_users =
-                ((config.users_total as f64 * 0.10).ceil() as usize).max(2);
-            let server = VideoServer::prepare(
-                spec,
-                &train,
-                TileGrid::paper_default(),
-                ptile_config,
-            );
+            ptile_config.min_users = ((config.users_total as f64 * 0.10).ceil() as usize).max(2);
+            let server =
+                VideoServer::prepare(spec, &train, TileGrid::paper_default(), ptile_config);
             servers.insert(spec.id, server);
             eval_traces.insert(spec.id, eval.into_iter().cloned().collect());
             max_duration = max_duration.max(spec.duration_sec as usize);
@@ -264,10 +283,7 @@ impl Evaluation {
 
     /// Runs every scheme for one video.
     pub fn run_all_schemes(&self, video_id: usize) -> Vec<SchemeOutcome> {
-        Scheme::ALL
-            .iter()
-            .map(|s| self.run(video_id, *s))
-            .collect()
+        Scheme::ALL.iter().map(|s| self.run(video_id, *s)).collect()
     }
 
     /// The catalog backing this evaluation.
@@ -372,10 +388,6 @@ mod tests {
     fn bad_split_config_panics() {
         let mut config = ExperimentConfig::quick_test();
         config.train_users = config.users_total;
-        let _ = Evaluation::prepare_videos(
-            config,
-            &VideoCatalog::paper_default(),
-            Some(&[2]),
-        );
+        let _ = Evaluation::prepare_videos(config, &VideoCatalog::paper_default(), Some(&[2]));
     }
 }

@@ -6,10 +6,8 @@
 //! returned in deterministic (video, scheme) order regardless of the
 //! execution schedule.
 
-use crossbeam::thread;
-use parking_lot::Mutex;
-
 use ee360_abr::controller::Scheme;
+use ee360_support::parallel::parallel_map_indexed;
 
 use crate::experiment::{Evaluation, SchemeOutcome};
 
@@ -33,43 +31,16 @@ pub fn run_matrix(
         .iter()
         .flat_map(|v| schemes.iter().map(move |s| (*v, *s)))
         .collect();
-    let next = Mutex::new(0usize);
-    let results: Mutex<Vec<Option<SchemeOutcome>>> = Mutex::new(vec![None; cells.len()]);
-
-    thread::scope(|scope| {
-        for _ in 0..threads.min(cells.len()).max(1) {
-            scope.spawn(|_| loop {
-                let idx = {
-                    let mut guard = next.lock();
-                    let idx = *guard;
-                    if idx >= cells.len() {
-                        return;
-                    }
-                    *guard += 1;
-                    idx
-                };
-                let (video, scheme) = cells[idx];
-                let outcome = eval.run(video, scheme);
-                results.lock()[idx] = Some(outcome);
-            });
-        }
+    parallel_map_indexed(threads, cells.len(), |idx| {
+        let (video, scheme) = cells[idx];
+        eval.run(video, scheme)
     })
-    .expect("worker threads must not panic");
-
-    results
-        .into_inner()
-        .into_iter()
-        .map(|o| o.expect("every cell was executed"))
-        .collect()
 }
 
 /// A reasonable worker count for the current machine (logical cores,
 /// capped at the cell count typical for a full sweep).
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .clamp(1, 16)
+    ee360_support::parallel::default_threads()
 }
 
 #[cfg(test)]

@@ -127,10 +127,8 @@ impl VideoServer {
     pub fn coverage_stats(&self, users: &[&HeadTrace]) -> CoverageStats {
         let mut stats = CoverageStats::new();
         for k in 0..self.segment_count() {
-            let centers: Vec<ViewCenter> = users
-                .iter()
-                .filter_map(|t| t.segment_center(k))
-                .collect();
+            let centers: Vec<ViewCenter> =
+                users.iter().filter_map(|t| t.segment_center(k)).collect();
             stats.push(segment_coverage(
                 &centers,
                 self.ptiles(k),
@@ -199,10 +197,7 @@ mod tests {
                 }
             }
         }
-        assert!(
-            hits as f64 / total as f64 > 0.5,
-            "{hits}/{total} covered"
-        );
+        assert!(hits as f64 / total as f64 > 0.5, "{hits}/{total} covered");
     }
 
     #[test]

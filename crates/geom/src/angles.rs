@@ -82,7 +82,7 @@ pub fn rad_to_deg(rad: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ee360_support::prelude::*;
 
     #[test]
     fn wrap_identity_in_range() {

@@ -6,20 +6,20 @@
 //! between (yaw, pitch) coordinates and tile indices, and computes which
 //! tiles a viewport needs.
 
-use serde::{Deserialize, Serialize};
-
 use crate::angles::wrap_yaw_deg;
 use crate::viewport::{ViewCenter, Viewport};
 
 /// Identifies one tile in a [`TileGrid`]: row 0 is the top (north pole) row,
 /// column 0 starts at yaw −180°.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TileId {
     /// Row index, `0..rows`, top to bottom.
     pub row: usize,
     /// Column index, `0..cols`, west to east starting at yaw −180°.
     pub col: usize,
 }
+
+ee360_support::impl_json_struct!(TileId { row, col });
 
 impl TileId {
     /// Creates a tile id.
@@ -38,11 +38,13 @@ impl TileId {
 /// assert_eq!(grid.tile_count(), 32);
 /// assert!((grid.tile_width_deg() - 45.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TileGrid {
     rows: usize,
     cols: usize,
 }
+
+ee360_support::impl_json_struct!(TileGrid { rows, cols });
 
 impl TileGrid {
     /// Creates a grid with the given number of rows and columns.
@@ -148,7 +150,8 @@ impl TileGrid {
             (((yaw_min + 180.0) / w).floor() as isize).rem_euclid(self.cols as isize) as usize;
         // Row range (clamped).
         let row_top = (((90.0 - vp.pitch_max_deg()) / h).floor() as usize).min(self.rows - 1);
-        let row_bot = (((90.0 - vp.pitch_min_deg() - 1e-9) / h).floor() as usize).min(self.rows - 1);
+        let row_bot =
+            (((90.0 - vp.pitch_min_deg() - 1e-9) / h).floor() as usize).min(self.rows - 1);
 
         let mut out = Vec::with_capacity((row_bot - row_top + 1) * span_cols);
         for row in row_top..=row_bot {
@@ -177,10 +180,10 @@ impl TileGrid {
     /// assert_eq!(grid.fov_block(&vp).len(), 9);
     /// ```
     pub fn fov_block(&self, vp: &Viewport) -> Vec<TileId> {
-        let block_cols = ((vp.fov_h_deg() / self.tile_width_deg()).ceil() as usize)
-            .clamp(1, self.cols);
-        let block_rows = ((vp.fov_v_deg() / self.tile_height_deg()).ceil() as usize)
-            .clamp(1, self.rows);
+        let block_cols =
+            ((vp.fov_h_deg() / self.tile_width_deg()).ceil() as usize).clamp(1, self.cols);
+        let block_rows =
+            ((vp.fov_v_deg() / self.tile_height_deg()).ceil() as usize).clamp(1, self.rows);
         let center = self.tile_at(&vp.center());
 
         let first_col = (center.col as isize - (block_cols as isize - 1) / 2)
@@ -214,7 +217,7 @@ impl Default for TileGrid {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ee360_support::prelude::*;
 
     #[test]
     fn paper_grid_dimensions() {
@@ -238,10 +241,7 @@ mod tests {
     fn tile_at_extremes() {
         let g = TileGrid::paper_default();
         assert_eq!(g.tile_at(&ViewCenter::new(-180.0, 90.0)), TileId::new(0, 0));
-        assert_eq!(
-            g.tile_at(&ViewCenter::new(179.9, -89.9)),
-            TileId::new(3, 7)
-        );
+        assert_eq!(g.tile_at(&ViewCenter::new(179.9, -89.9)), TileId::new(3, 7));
         // Pitch exactly -90 still maps into the last row.
         assert_eq!(g.tile_at(&ViewCenter::new(0.0, -90.0)).row, 3);
     }

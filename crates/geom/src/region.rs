@@ -4,8 +4,6 @@
 //! tile (Section IV-A). [`TileRegion`] represents such a block: a contiguous
 //! range of rows and a contiguous, possibly wrapping, range of columns.
 
-use serde::{Deserialize, Serialize};
-
 use crate::grid::{TileGrid, TileId};
 
 /// A rectangular block of tiles on a [`TileGrid`].
@@ -28,7 +26,7 @@ use crate::grid::{TileGrid, TileId};
 /// assert_eq!(region.tile_count(), 4); // 2 rows × 2 cols (wrapping 7→0)
 /// assert!(region.contains(TileId::new(2, 7)));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TileRegion {
     row_min: usize,
     row_max: usize,
@@ -36,6 +34,14 @@ pub struct TileRegion {
     col_span: usize,
     grid_cols: usize,
 }
+
+ee360_support::impl_json_struct!(TileRegion {
+    row_min,
+    row_max,
+    col_start,
+    col_span,
+    grid_cols
+});
 
 impl TileRegion {
     /// Creates a region explicitly.
@@ -181,7 +187,7 @@ impl TileRegion {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ee360_support::prelude::*;
 
     fn grid() -> TileGrid {
         TileGrid::paper_default()
@@ -202,11 +208,7 @@ mod tests {
 
     #[test]
     fn bounding_simple_block() {
-        let tiles = [
-            TileId::new(1, 2),
-            TileId::new(2, 4),
-            TileId::new(1, 3),
-        ];
+        let tiles = [TileId::new(1, 2), TileId::new(2, 4), TileId::new(1, 3)];
         let r = TileRegion::from_tiles(&grid(), tiles).unwrap();
         assert_eq!(r.row_min(), 1);
         assert_eq!(r.row_max(), 2);
@@ -271,7 +273,7 @@ mod tests {
     proptest! {
         #[test]
         fn bounding_region_contains_inputs(
-            tiles in proptest::collection::vec((0usize..4, 0usize..8), 1..12)
+            tiles in ee360_support::prop::collection::vec((0usize..4, 0usize..8), 1..12)
         ) {
             let g = grid();
             let ids: Vec<TileId> = tiles.iter().map(|&(r, c)| TileId::new(r, c)).collect();
@@ -283,7 +285,7 @@ mod tests {
 
         #[test]
         fn bounding_region_is_minimal_rows(
-            tiles in proptest::collection::vec((0usize..4, 0usize..8), 1..12)
+            tiles in ee360_support::prop::collection::vec((0usize..4, 0usize..8), 1..12)
         ) {
             let g = grid();
             let ids: Vec<TileId> = tiles.iter().map(|&(r, c)| TileId::new(r, c)).collect();

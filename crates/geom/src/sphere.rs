@@ -132,7 +132,7 @@ impl Orientation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ee360_support::prelude::*;
 
     #[test]
     fn axes() {
@@ -203,6 +203,16 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_vector_panics() {
         let _ = Orientation::new(0.0, 0.0, 0.0);
+    }
+
+    /// Historical proptest shrink (see `proptest-regressions/sphere.txt`):
+    /// a steep-pitch orientation whose norm and self-angle once tripped the
+    /// acos conditioning bounds.
+    #[test]
+    fn regression_steep_pitch_orientation() {
+        let o = Orientation::from_yaw_pitch_deg(169.20783697342696, -50.06958864667774);
+        assert!((o.norm() - 1.0).abs() < 1e-9);
+        assert!(o.angle_to_deg(&o) < 1e-4);
     }
 
     proptest! {

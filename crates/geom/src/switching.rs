@@ -11,19 +11,19 @@
 //! exceed 10°/s for more than 30% of the time, which is what makes
 //! frame-rate reduction worthwhile.
 
-use serde::{Deserialize, Serialize};
-
 use crate::sphere::Orientation;
 use crate::viewport::ViewCenter;
 
 /// A timestamped gaze sample.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SwitchingSample {
     /// Sample time in seconds.
     pub t_sec: f64,
     /// Gaze direction at that time.
     pub center: ViewCenter,
 }
+
+ee360_support::impl_json_struct!(SwitchingSample { t_sec, center });
 
 impl SwitchingSample {
     /// Creates a sample.
@@ -84,7 +84,7 @@ pub fn mean_switching_speed(samples: &[SwitchingSample]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ee360_support::prelude::*;
 
     #[test]
     fn static_gaze_has_zero_speed() {

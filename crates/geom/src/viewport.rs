@@ -5,8 +5,6 @@
 //! [`Viewport`]: the view center plus the device field of view (100°×100°
 //! in the paper, Section II).
 
-use serde::{Deserialize, Serialize};
-
 use crate::angles::{angular_diff_deg, clamp_pitch_deg, wrap_yaw_deg};
 
 /// Field of view used throughout the paper: 100° horizontally and vertically.
@@ -24,11 +22,13 @@ pub const PAPER_FOV_DEG: f64 = 100.0;
 /// assert_eq!(c.yaw_deg(), -170.0);
 /// assert_eq!(c.pitch_deg(), 90.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ViewCenter {
     yaw_deg: f64,
     pitch_deg: f64,
 }
+
+ee360_support::impl_json_struct!(ViewCenter { yaw_deg, pitch_deg });
 
 impl ViewCenter {
     /// Creates a view center, canonicalising yaw and pitch.
@@ -81,12 +81,18 @@ impl Default for ViewCenter {
 /// The viewport is the axis-aligned box `[yaw - w/2, yaw + w/2] ×
 /// [pitch - h/2, pitch + h/2]` on the equirectangular plane, with yaw
 /// wraparound and pitch clamping (the box saturates at the poles).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Viewport {
     center: ViewCenter,
     fov_h_deg: f64,
     fov_v_deg: f64,
 }
+
+ee360_support::impl_json_struct!(Viewport {
+    center,
+    fov_h_deg,
+    fov_v_deg
+});
 
 impl Viewport {
     /// Creates a viewport.
@@ -171,7 +177,7 @@ impl Viewport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ee360_support::prelude::*;
 
     #[test]
     fn view_center_canonicalises() {

@@ -35,7 +35,9 @@ pub enum LmError {
 impl fmt::Display for LmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LmError::InconsistentResiduals => write!(f, "residual vector length changed or is zero"),
+            LmError::InconsistentResiduals => {
+                write!(f, "residual vector length changed or is zero")
+            }
             LmError::EmptyParameters => write!(f, "parameter vector is empty"),
             LmError::Singular => write!(f, "normal equations singular at maximum damping"),
             LmError::NonFiniteResidual => write!(f, "residuals are not finite at the start point"),
@@ -188,8 +190,7 @@ impl LevenbergMarquardt {
                         continue;
                     }
                 };
-                let candidate: Vec<f64> =
-                    theta.iter().zip(&delta).map(|(t, d)| t + d).collect();
+                let candidate: Vec<f64> = theta.iter().zip(&delta).map(|(t, d)| t + d).collect();
                 let rc = residuals(&candidate);
                 if rc.len() != m {
                     return Err(LmError::InconsistentResiduals);
@@ -243,7 +244,10 @@ mod tests {
         let lm = LevenbergMarquardt::new();
         let report = lm
             .minimize(&[0.0, 0.0], |t| {
-                xs.iter().zip(&ys).map(|(x, y)| t[0] * x + t[1] - y).collect()
+                xs.iter()
+                    .zip(&ys)
+                    .map(|(x, y)| t[0] * x + t[1] - y)
+                    .collect()
             })
             .unwrap();
         assert!((report.params[0] - 3.0).abs() < 1e-6);
@@ -342,7 +346,10 @@ mod tests {
         let lm = LevenbergMarquardt::new();
         let report = lm
             .minimize(&[0.0, 0.0], |t| {
-                xs.iter().zip(&ys).map(|(x, y)| t[0] * x + t[1] - y).collect()
+                xs.iter()
+                    .zip(&ys)
+                    .map(|(x, y)| t[0] * x + t[1] - y)
+                    .collect()
             })
             .unwrap();
         assert!((report.params[0] - 2.0).abs() < 0.05);

@@ -211,7 +211,7 @@ impl fmt::Display for Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ee360_support::prelude::*;
 
     #[test]
     fn identity_is_neutral() {

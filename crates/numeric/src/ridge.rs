@@ -30,7 +30,9 @@ impl fmt::Display for RidgeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RidgeError::EmptyTrainingSet => write!(f, "training set is empty"),
-            RidgeError::ShapeMismatch => write!(f, "feature rows or targets have mismatched shapes"),
+            RidgeError::ShapeMismatch => {
+                write!(f, "feature rows or targets have mismatched shapes")
+            }
             RidgeError::Singular => write!(f, "normal equations are singular; increase lambda"),
             RidgeError::NegativeLambda => write!(f, "lambda must be non-negative"),
         }
@@ -129,12 +131,7 @@ impl RidgeRegression {
             .collect();
 
         let weights = cholesky_solve(&gram, &xty)?;
-        let intercept = y_mean
-            - weights
-                .iter()
-                .zip(&x_mean)
-                .map(|(w, m)| w * m)
-                .sum::<f64>();
+        let intercept = y_mean - weights.iter().zip(&x_mean).map(|(w, m)| w * m).sum::<f64>();
         Ok(Self {
             weights,
             intercept,
@@ -191,7 +188,7 @@ impl RidgeRegression {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ee360_support::prelude::*;
 
     #[test]
     fn recovers_exact_line() {

@@ -171,7 +171,7 @@ pub fn lu_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SolveError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ee360_support::prelude::*;
 
     fn residual(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
         a.matvec(x)
@@ -215,10 +215,7 @@ mod tests {
             Err(SolveError::ShapeMismatch)
         );
         let b = Matrix::identity(2);
-        assert_eq!(
-            cholesky_solve(&b, &[1.0]),
-            Err(SolveError::ShapeMismatch)
-        );
+        assert_eq!(cholesky_solve(&b, &[1.0]), Err(SolveError::ShapeMismatch));
     }
 
     #[test]

@@ -189,7 +189,7 @@ impl Ecdf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ee360_support::prelude::*;
 
     #[test]
     fn mean_and_std() {
@@ -291,13 +291,13 @@ mod tests {
 
     proptest! {
         #[test]
-        fn hm_le_am(xs in proptest::collection::vec(0.1f64..100.0, 1..50)) {
+        fn hm_le_am(xs in ee360_support::prop::collection::vec(0.1f64..100.0, 1..50)) {
             prop_assert!(harmonic_mean(&xs) <= mean(&xs) + 1e-9);
         }
 
         #[test]
         fn percentile_within_range(
-            xs in proptest::collection::vec(-100.0f64..100.0, 1..50),
+            xs in ee360_support::prop::collection::vec(-100.0f64..100.0, 1..50),
             p in 0.0f64..=100.0,
         ) {
             let v = percentile(&xs, p);
@@ -308,7 +308,7 @@ mod tests {
 
         #[test]
         fn ecdf_fraction_in_unit_interval(
-            xs in proptest::collection::vec(-50.0f64..50.0, 1..40),
+            xs in ee360_support::prop::collection::vec(-50.0f64..50.0, 1..40),
             probe in -60.0f64..60.0,
         ) {
             let cdf = Ecdf::new(xs);
@@ -318,7 +318,7 @@ mod tests {
 
         #[test]
         fn correlation_bounded(
-            pairs in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 2..40)
+            pairs in ee360_support::prop::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 2..40)
         ) {
             let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
             let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();

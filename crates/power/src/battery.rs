@@ -4,18 +4,21 @@
 //! This module converts session energy into percent-of-battery for the
 //! three measured phones, using their nominal battery capacities.
 
-use serde::{Deserialize, Serialize};
-
 use crate::model::Phone;
 
 /// Nominal battery of one of the measured phones.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Battery {
     /// Rated capacity, mAh.
     pub capacity_mah: f64,
     /// Nominal cell voltage, volts.
     pub voltage_v: f64,
 }
+
+ee360_support::impl_json_struct!(Battery {
+    capacity_mah,
+    voltage_v
+});
 
 impl Battery {
     /// The phone's stock battery.

@@ -14,12 +14,10 @@
 //! per second, and `L` the segment duration in seconds. Powers are in mW so
 //! energies come out in millijoules.
 
-use serde::{Deserialize, Serialize};
-
 use crate::model::{DecoderScheme, PowerModel};
 
 /// Inputs to the per-segment energy computation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SegmentEnergyParams {
     /// Segment size in bits (`S`).
     pub bits: f64,
@@ -33,8 +31,16 @@ pub struct SegmentEnergyParams {
     pub scheme: DecoderScheme,
 }
 
+ee360_support::impl_json_struct!(SegmentEnergyParams {
+    bits,
+    bandwidth_bps,
+    fps,
+    duration_sec,
+    scheme
+});
+
 /// The three-part energy breakdown of one segment, in millijoules.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SegmentEnergy {
     /// Radio energy for the download (`E_t`), mJ.
     pub transmission_mj: f64,
@@ -43,6 +49,12 @@ pub struct SegmentEnergy {
     /// Render energy (`E_r`), mJ.
     pub render_mj: f64,
 }
+
+ee360_support::impl_json_struct!(SegmentEnergy {
+    transmission_mj,
+    decode_mj,
+    render_mj
+});
 
 impl SegmentEnergy {
     /// Computes Eq. 1 for one segment under a phone's power model.

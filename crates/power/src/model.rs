@@ -1,9 +1,7 @@
 //! Table I: the per-phone power regression models.
 
-use serde::{Deserialize, Serialize};
-
 /// The three phones the paper measured.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Phone {
     /// LG Nexus 5X.
     Nexus5X,
@@ -12,6 +10,12 @@ pub enum Phone {
     /// Samsung Galaxy S20.
     GalaxyS20,
 }
+
+ee360_support::impl_json_enum!(Phone {
+    Nexus5X,
+    Pixel3,
+    GalaxyS20
+});
 
 impl Phone {
     /// All phones, in Table I column order.
@@ -29,7 +33,7 @@ impl Phone {
 
 /// Which decoding pipeline a scheme uses — Table I gives one `P_d(f)` row
 /// per scheme because the decoder count and pipeline complexity differ.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DecoderScheme {
     /// Conventional 4×8 tiles, four concurrent decoders.
     Ctile,
@@ -40,6 +44,13 @@ pub enum DecoderScheme {
     /// One Ptile, one decoder.
     Ptile,
 }
+
+ee360_support::impl_json_enum!(DecoderScheme {
+    Ctile,
+    Ftile,
+    Nontile,
+    Ptile
+});
 
 impl DecoderScheme {
     /// All schemes, in Table I row order.
@@ -52,13 +63,18 @@ impl DecoderScheme {
 }
 
 /// A linear power model `P(f) = base + slope · f`, in milliwatts.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearPower {
     /// Intercept in mW.
     pub base_mw: f64,
     /// Slope in mW per fps.
     pub slope_mw_per_fps: f64,
 }
+
+ee360_support::impl_json_struct!(LinearPower {
+    base_mw,
+    slope_mw_per_fps
+});
 
 impl LinearPower {
     /// Creates a linear power model.
@@ -81,13 +97,20 @@ impl LinearPower {
 }
 
 /// The complete Table I model for one phone.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerModel {
     phone: Phone,
     transmission_mw: f64,
     decode: [LinearPower; 4], // indexed by DecoderScheme::ALL order
     render: LinearPower,
 }
+
+ee360_support::impl_json_struct!(PowerModel {
+    phone,
+    transmission_mw,
+    decode,
+    render
+});
 
 impl PowerModel {
     /// Builds the Table I model for a phone.
@@ -192,10 +215,19 @@ mod tests {
     #[test]
     fn table1_decode_at_30fps_pixel3() {
         let m = PowerModel::for_phone(Phone::Pixel3);
-        assert!((m.decode_power_mw(DecoderScheme::Ctile, 30.0) - (574.89 + 15.46 * 30.0)).abs() < 1e-9);
-        assert!((m.decode_power_mw(DecoderScheme::Ftile, 30.0) - (386.45 + 13.23 * 30.0)).abs() < 1e-9);
-        assert!((m.decode_power_mw(DecoderScheme::Nontile, 30.0) - (209.92 + 10.95 * 30.0)).abs() < 1e-9);
-        assert!((m.decode_power_mw(DecoderScheme::Ptile, 30.0) - (140.73 + 5.96 * 30.0)).abs() < 1e-9);
+        assert!(
+            (m.decode_power_mw(DecoderScheme::Ctile, 30.0) - (574.89 + 15.46 * 30.0)).abs() < 1e-9
+        );
+        assert!(
+            (m.decode_power_mw(DecoderScheme::Ftile, 30.0) - (386.45 + 13.23 * 30.0)).abs() < 1e-9
+        );
+        assert!(
+            (m.decode_power_mw(DecoderScheme::Nontile, 30.0) - (209.92 + 10.95 * 30.0)).abs()
+                < 1e-9
+        );
+        assert!(
+            (m.decode_power_mw(DecoderScheme::Ptile, 30.0) - (140.73 + 5.96 * 30.0)).abs() < 1e-9
+        );
     }
 
     #[test]
@@ -204,7 +236,11 @@ mod tests {
             let m = PowerModel::for_phone(phone);
             for fps in [21.0, 24.0, 27.0, 30.0] {
                 let ptile = m.decode_power_mw(DecoderScheme::Ptile, fps);
-                for scheme in [DecoderScheme::Ctile, DecoderScheme::Ftile, DecoderScheme::Nontile] {
+                for scheme in [
+                    DecoderScheme::Ctile,
+                    DecoderScheme::Ftile,
+                    DecoderScheme::Nontile,
+                ] {
                     assert!(
                         ptile < m.decode_power_mw(scheme, fps),
                         "{phone:?} {scheme:?} at {fps} fps"
@@ -219,7 +255,11 @@ mod tests {
         for phone in Phone::ALL {
             let m = PowerModel::for_phone(phone);
             let ctile = m.decode_power_mw(DecoderScheme::Ctile, 30.0);
-            for scheme in [DecoderScheme::Ftile, DecoderScheme::Nontile, DecoderScheme::Ptile] {
+            for scheme in [
+                DecoderScheme::Ftile,
+                DecoderScheme::Nontile,
+                DecoderScheme::Ptile,
+            ] {
                 assert!(ctile > m.decode_power_mw(scheme, 30.0));
             }
         }
@@ -236,11 +276,13 @@ mod tests {
 
     #[test]
     fn render_values_match_table1() {
-        assert!((PowerModel::for_phone(Phone::Nexus5X).render_power_mw(10.0)
-            - (79.46 + 117.4))
-            .abs()
-            < 1e-9);
-        assert!((PowerModel::for_phone(Phone::GalaxyS20).render_power_mw(0.0) - 108.21).abs() < 1e-12);
+        assert!(
+            (PowerModel::for_phone(Phone::Nexus5X).render_power_mw(10.0) - (79.46 + 117.4)).abs()
+                < 1e-9
+        );
+        assert!(
+            (PowerModel::for_phone(Phone::GalaxyS20).render_power_mw(0.0) - 108.21).abs() < 1e-12
+        );
     }
 
     #[test]
@@ -259,8 +301,8 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let m = PowerModel::for_phone(Phone::Nexus5X);
-        let json = serde_json::to_string(&m).unwrap();
-        let back: PowerModel = serde_json::from_str(&json).unwrap();
+        let json = ee360_support::json::to_string(&m).unwrap();
+        let back: PowerModel = ee360_support::json::from_str(&json).unwrap();
         assert_eq!(back, m);
     }
 }

@@ -8,17 +8,17 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
-
 use ee360_numeric::ridge::RidgeRegression;
 
 /// An AR(1) throughput forecaster: `x_{t+1} ≈ a + b·x_t`, fitted by ridge
 /// regression over a sliding window and iterated forward.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ArForecaster {
     window: usize,
     samples: VecDeque<f64>,
 }
+
+ee360_support::impl_json_struct!(ArForecaster { window, samples });
 
 impl ArForecaster {
     /// Creates a forecaster over the last `window` samples.

@@ -6,14 +6,12 @@
 //! downloaded. The yaw series is unwrapped before regression so a pan
 //! through the antimeridian looks linear rather than discontinuous.
 
-use serde::{Deserialize, Serialize};
-
 use ee360_geom::switching::SwitchingSample;
 use ee360_geom::viewport::ViewCenter;
 use ee360_numeric::ridge::RidgeRegression;
 
 /// Which regression backs the predictor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PredictorKind {
     /// Ridge regression with the configured λ (the paper's choice).
     Ridge,
@@ -25,6 +23,13 @@ pub enum PredictorKind {
     /// Repeat the last observed center (no-regression ablation).
     LastSample,
 }
+
+ee360_support::impl_json_enum!(PredictorKind {
+    Ridge,
+    RidgeQuadratic,
+    OrdinaryLeastSquares,
+    LastSample
+});
 
 /// Predicts a future viewing center from recent gaze samples.
 ///
@@ -48,7 +53,7 @@ pub enum PredictorKind {
 /// // short window pulls the extrapolation slightly conservative.
 /// assert!((predicted.yaw_deg() - 38.0).abs() < 5.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ViewportPredictor {
     kind: PredictorKind,
     /// Ridge regularisation strength.
@@ -56,6 +61,12 @@ pub struct ViewportPredictor {
     /// How much history (seconds) to regress over.
     window_sec: f64,
 }
+
+ee360_support::impl_json_struct!(ViewportPredictor {
+    kind,
+    lambda,
+    window_sec
+});
 
 impl ViewportPredictor {
     /// The paper's predictor: ridge regression over the most recent
@@ -276,7 +287,7 @@ mod tests {
         // Old motion outside the window must not influence the prediction.
         let p = ViewportPredictor::new(PredictorKind::Ridge, 0.01, 1.0);
         let mut h = pan_history(60.0, 11, 0.1); // fast pan 0..1 s
-        // Then hold still from t=1.1 to 3.0.
+                                                // Then hold still from t=1.1 to 3.0.
         for i in 0..20 {
             let t = 1.1 + i as f64 * 0.1;
             h.push(SwitchingSample::new(t, ViewCenter::new(60.0, 5.0)));

@@ -8,9 +8,7 @@
 //! Levenberg–Marquardt — validating the entire fitting pipeline and
 //! reproducing Table II (and the paper's Pearson r = 0.9791 check).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use ee360_support::rng::StdRng;
 
 use ee360_numeric::lm::{LevenbergMarquardt, LmError};
 use ee360_numeric::stats::pearson_correlation;
@@ -19,7 +17,7 @@ use ee360_video::content::SiTi;
 use crate::quality::{QoCoefficients, QoModel, TABLE2_COEFFICIENTS};
 
 /// One synthetic VMAF observation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QoSample {
     /// Content descriptor of the scored segment.
     pub si: f64,
@@ -31,8 +29,15 @@ pub struct QoSample {
     pub vmaf: f64,
 }
 
+ee360_support::impl_json_struct!(QoSample {
+    si,
+    ti,
+    bitrate_mbps,
+    vmaf
+});
+
 /// Result of a fit: coefficients plus goodness-of-fit.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FitOutcome {
     /// The recovered coefficients.
     pub coefficients: QoCoefficients,
@@ -44,6 +49,13 @@ pub struct FitOutcome {
     /// Final sum of squared residuals.
     pub residual_cost: f64,
 }
+
+ee360_support::impl_json_struct!(FitOutcome {
+    coefficients,
+    pearson_r,
+    n_samples,
+    residual_cost
+});
 
 /// Generates synthetic VMAF observations and fits Eq. 3 to them.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,8 +97,7 @@ impl QoFitter {
                     // Box–Muller Gaussian noise.
                     let u1: f64 = rng.gen_range(1e-12..1.0);
                     let u2: f64 = rng.gen_range(0.0..1.0);
-                    let gauss =
-                        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    let gauss = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                     let vmaf = (clean + self.noise_std * gauss).clamp(0.0, 100.0);
                     samples.push(QoSample {
                         si,

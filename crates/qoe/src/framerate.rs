@@ -79,7 +79,7 @@ pub fn framerate_factor(fps: f64, max_fps: f64, alpha: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ee360_support::prelude::*;
 
     #[test]
     fn full_rate_factor_is_one() {

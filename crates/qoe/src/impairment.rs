@@ -13,16 +13,19 @@
 //! out a segment's quality but never drive the score below what an empty
 //! segment would earn.
 
-use serde::{Deserialize, Serialize};
-
 /// The impairment weights of Eq. 2.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QoeWeights {
     /// Weight of quality variation (`ω_v`).
     pub variation: f64,
     /// Weight of rebuffering (`ω_r`).
     pub rebuffering: f64,
 }
+
+ee360_support::impl_json_struct!(QoeWeights {
+    variation,
+    rebuffering
+});
 
 impl QoeWeights {
     /// The paper's setting: `(ω_v, ω_r) = (1, 1)`.
@@ -41,7 +44,7 @@ impl Default for QoeWeights {
 }
 
 /// One segment's QoE decomposition.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SegmentQoe {
     /// The (frame-rate-scaled) original quality `Q_o` of this segment.
     pub q_o: f64,
@@ -52,6 +55,13 @@ pub struct SegmentQoe {
     /// The weighted total `Q`.
     pub total: f64,
 }
+
+ee360_support::impl_json_struct!(SegmentQoe {
+    q_o,
+    variation,
+    rebuffering,
+    total
+});
 
 impl SegmentQoe {
     /// Evaluates Eq. 2 for one segment.
@@ -106,7 +116,7 @@ impl SegmentQoe {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ee360_support::prelude::*;
 
     fn w() -> QoeWeights {
         QoeWeights::paper_default()

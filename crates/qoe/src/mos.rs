@@ -7,11 +7,11 @@
 //! S-curve that compresses the extremes (a VMAF of 95 and 100 are both
 //! "excellent"; 5 and 0 are both "bad").
 
-use serde::{Deserialize, Serialize};
-
 /// A 5-point mean opinion score, `1.0..=5.0`.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Mos(f64);
+
+ee360_support::impl_json_newtype!(Mos);
 
 impl Mos {
     /// Wraps a raw MOS value.
@@ -97,7 +97,7 @@ pub fn mos_to_vmaf(mos: Mos) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ee360_support::prelude::*;
 
     #[test]
     fn endpoints_and_midpoint() {

@@ -9,8 +9,6 @@
 //! scores over the MMSys'17 dataset (nonlinear least squares, Pearson
 //! r = 0.9791) and published as Table II.
 
-use serde::{Deserialize, Serialize};
-
 use ee360_video::content::SiTi;
 
 /// Table II of the paper: the fitted coefficients of Eq. 3.
@@ -22,7 +20,7 @@ pub const TABLE2_COEFFICIENTS: QoCoefficients = QoCoefficients {
 };
 
 /// The four coefficients of the logistic quality model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QoCoefficients {
     /// Intercept.
     pub c1: f64,
@@ -35,6 +33,8 @@ pub struct QoCoefficients {
     /// Bitrate weight, per Mbps.
     pub c4: f64,
 }
+
+ee360_support::impl_json_struct!(QoCoefficients { c1, c2, c3, c4 });
 
 impl QoCoefficients {
     /// The coefficients as an array `[c1, c2, c3, c4]`.
@@ -67,10 +67,12 @@ impl QoCoefficients {
 /// let busy = m.q_o(SiTi::new(60.0, 50.0), 3.0);
 /// assert!(calm > busy);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QoModel {
     coefficients: QoCoefficients,
 }
+
+ee360_support::impl_json_struct!(QoModel { coefficients });
 
 impl QoModel {
     /// Model with the paper's Table II coefficients.
@@ -116,7 +118,7 @@ impl Default for QoModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ee360_support::prelude::*;
 
     fn model() -> QoModel {
         QoModel::paper_default()
@@ -185,6 +187,15 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_bitrate_panics() {
         let _ = model().q_o(SiTi::new(60.0, 25.0), -1.0);
+    }
+
+    /// Historical proptest shrink (see `proptest-regressions/quality.txt`):
+    /// high SI, zero TI, and ~47 Mbps drives the logistic deep into
+    /// saturation; the result must stay within `(0, 100]`, not overshoot.
+    #[test]
+    fn regression_saturated_logistic_stays_in_range() {
+        let q = model().q_o(SiTi::new(113.59367783309705, 0.0), 46.60298264908567);
+        assert!(q > 0.0 && q <= 100.0, "got {q}");
     }
 
     proptest! {

@@ -9,10 +9,8 @@
 //! downloads the buffer drains, and a drain past zero is a stall
 //! (rebuffering) event.
 
-use serde::{Deserialize, Serialize};
-
 /// Outcome of one buffer transition.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BufferStep {
     /// How long the player waited before issuing the request (`Δt_k`).
     pub wait_sec: f64,
@@ -23,6 +21,13 @@ pub struct BufferStep {
     /// Buffer level after the segment arrived, `B_{k+1}`.
     pub buffer_after_sec: f64,
 }
+
+ee360_support::impl_json_struct!(BufferStep {
+    wait_sec,
+    buffer_at_request_sec,
+    stall_sec,
+    buffer_after_sec
+});
 
 /// The client playback buffer.
 ///
@@ -38,11 +43,16 @@ pub struct BufferStep {
 /// }
 /// assert!(buf.level_sec() <= 3.0 + 1.0 + 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PlaybackBuffer {
     threshold_sec: f64,
     level_sec: f64,
 }
+
+ee360_support::impl_json_struct!(PlaybackBuffer {
+    threshold_sec,
+    level_sec
+});
 
 impl PlaybackBuffer {
     /// Creates an empty buffer with threshold β.
@@ -113,7 +123,7 @@ impl PlaybackBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ee360_support::prelude::*;
 
     #[test]
     fn first_segment_stalls_by_its_download_time() {
@@ -185,7 +195,7 @@ mod tests {
     proptest! {
         #[test]
         fn level_never_negative_and_never_exceeds_cap(
-            downloads in proptest::collection::vec(0.0f64..5.0, 1..60)
+            downloads in ee360_support::prop::collection::vec(0.0f64..5.0, 1..60)
         ) {
             let mut buf = PlaybackBuffer::new(3.0);
             for d in downloads {

@@ -16,8 +16,6 @@
 //! overhead), with `a`, `b` solved exactly from the 1- and 9-decoder
 //! anchors; the Ptile is its own measured point.
 
-use serde::{Deserialize, Serialize};
-
 /// Paper anchor: decode time of the 9 FoV tiles with one decoder, seconds.
 pub const CTILE_ONE_DECODER_TIME_SEC: f64 = 1.3;
 /// Paper anchor: decode power with one decoder, mW.
@@ -43,7 +41,7 @@ pub const PTILE_DECODE_POWER_MW: f64 = 287.0;
 /// assert!(pipe.decode_time_sec(9) < pipe.decode_time_sec(1));
 /// assert!(pipe.decode_power_mw(9) > 3.0 * pipe.decode_power_mw(1));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DecoderPipeline {
     t1_sec: f64,
     p1_mw: f64,
@@ -52,6 +50,13 @@ pub struct DecoderPipeline {
     /// Context-switch overhead coefficient: `p(n) = p1 (1 + b(n−1))`.
     overhead_b: f64,
 }
+
+ee360_support::impl_json_struct!(DecoderPipeline {
+    t1_sec,
+    p1_mw,
+    speedup_a,
+    overhead_b
+});
 
 impl DecoderPipeline {
     /// The model calibrated to the paper's Pixel 3 measurements.

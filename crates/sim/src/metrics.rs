@@ -5,8 +5,6 @@
 //! QoE decomposition (average quality, quality variation, rebuffering), and
 //! stall statistics.
 
-use serde::{Deserialize, Serialize};
-
 use ee360_power::energy::SegmentEnergy;
 use ee360_power::model::DecoderScheme;
 use ee360_qoe::impairment::SegmentQoe;
@@ -14,7 +12,7 @@ use ee360_qoe::impairment::SegmentQoe;
 use crate::session::SegmentTiming;
 
 /// Everything recorded about one streamed segment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SegmentRecord {
     /// Segment index within the video.
     pub index: usize,
@@ -35,8 +33,19 @@ pub struct SegmentRecord {
     pub qoe: SegmentQoe,
 }
 
+ee360_support::impl_json_struct!(SegmentRecord {
+    index,
+    quality_level,
+    fps,
+    bits,
+    decode_scheme,
+    timing,
+    energy,
+    qoe
+});
+
 /// The startup phase: metadata fetch before the first segment request.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StartupRecord {
     /// Metadata payload, bits.
     pub bits: f64,
@@ -46,13 +55,21 @@ pub struct StartupRecord {
     pub energy_mj: f64,
 }
 
+ee360_support::impl_json_struct!(StartupRecord {
+    bits,
+    duration_sec,
+    energy_mj
+});
+
 /// Aggregates over a whole streaming session (one user × one video × one
 /// network trace × one scheme).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SessionMetrics {
     startup: Option<StartupRecord>,
     records: Vec<SegmentRecord>,
 }
+
+ee360_support::impl_json_struct!(SessionMetrics { startup, records });
 
 impl SessionMetrics {
     /// Creates an empty accumulator.
@@ -79,10 +96,7 @@ impl SessionMetrics {
     /// the time from "play" to the first displayed frame.
     pub fn startup_delay_sec(&self) -> f64 {
         let meta = self.startup.map_or(0.0, |s| s.duration_sec);
-        let first = self
-            .records
-            .first()
-            .map_or(0.0, |r| r.timing.download_sec);
+        let first = self.records.first().map_or(0.0, |r| r.timing.download_sec);
         meta + first
     }
 
@@ -104,7 +118,11 @@ impl SessionMetrics {
     /// Total energy over the session, mJ (including the startup fetch).
     pub fn total_energy_mj(&self) -> f64 {
         self.startup.map_or(0.0, |s| s.energy_mj)
-            + self.records.iter().map(|r| r.energy.total_mj()).sum::<f64>()
+            + self
+                .records
+                .iter()
+                .map(|r| r.energy.total_mj())
+                .sum::<f64>()
     }
 
     /// Summed energy breakdown (transmission, decode, render), mJ. The
@@ -287,8 +305,8 @@ mod tests {
     fn serde_roundtrip() {
         let mut m = SessionMetrics::new();
         m.push(record(0, 500.0, 60.0, 0.1));
-        let json = serde_json::to_string(&m).unwrap();
-        let back: SessionMetrics = serde_json::from_str(&json).unwrap();
+        let json = ee360_support::json::to_string(&m).unwrap();
+        let back: SessionMetrics = ee360_support::json::from_str(&json).unwrap();
         assert_eq!(back, m);
     }
 }

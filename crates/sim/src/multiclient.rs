@@ -167,8 +167,7 @@ pub fn simulate_shared_link<'a>(
                             c.done = true;
                             c.finished_at = t + tick;
                         } else if c.buffer_sec > config.buffer_threshold_sec {
-                            c.wait_until =
-                                t + tick + (c.buffer_sec - config.buffer_threshold_sec);
+                            c.wait_until = t + tick + (c.buffer_sec - config.buffer_threshold_sec);
                         }
                     } else {
                         c.downloading = Some((left, total, started));
@@ -240,7 +239,11 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].segments, 30);
         // 2 Mb at 8 Mbps = 0.25 s per segment: no stalls after startup.
-        assert!(out[0].total_stall_sec < 0.5, "stall {}", out[0].total_stall_sec);
+        assert!(
+            out[0].total_stall_sec < 0.5,
+            "stall {}",
+            out[0].total_stall_sec
+        );
         // Tick quantisation rounds the 0.25 s download up to 3 ticks
         // (0.3 s), so the measured throughput is 2 Mb / 0.3 s ≈ 6.7 Mbps.
         assert!(
@@ -311,7 +314,11 @@ mod tests {
                 segments: 20,
                 ..Default::default()
             },
-            vec![fixed_planner(4.0e6), fixed_planner(4.0e6), fixed_planner(4.0e6)],
+            vec![
+                fixed_planner(4.0e6),
+                fixed_planner(4.0e6),
+                fixed_planner(4.0e6),
+            ],
         );
         let total_stall: f64 = out.iter().map(|o| o.total_stall_sec).sum();
         assert!(total_stall > 10.0, "stall {total_stall}");
@@ -350,11 +357,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one client")]
     fn empty_clients_panics() {
-        let _ = simulate_shared_link(
-            &constant_net(1.0e6),
-            MulticlientConfig::default(),
-            vec![],
-        );
+        let _ = simulate_shared_link(&constant_net(1.0e6), MulticlientConfig::default(), vec![]);
     }
 
     #[test]

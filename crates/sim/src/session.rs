@@ -6,15 +6,13 @@
 //! reports *how it went* (download time, experienced throughput, wait and
 //! stall durations) — exactly the quantities Eqs. 1, 2 and 6 consume.
 
-use serde::{Deserialize, Serialize};
-
 use ee360_trace::network::NetworkTrace;
 use ee360_video::segment::SEGMENT_DURATION_SEC;
 
 use crate::buffer::{BufferStep, PlaybackBuffer};
 
 /// Timing of one downloaded segment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SegmentTiming {
     /// Wall-clock time when the request was issued (after any wait), sec.
     pub request_time_sec: f64,
@@ -31,6 +29,16 @@ pub struct SegmentTiming {
     /// Buffer after the segment arrived (`B_{k+1}`), sec.
     pub buffer_after_sec: f64,
 }
+
+ee360_support::impl_json_struct!(SegmentTiming {
+    request_time_sec,
+    wait_sec,
+    download_sec,
+    throughput_bps,
+    buffer_at_request_sec,
+    stall_sec,
+    buffer_after_sec
+});
 
 /// A client session streaming over a network trace.
 ///
@@ -105,7 +113,10 @@ impl StreamingSession {
     /// Panics if `bits` is not positive or the session already downloaded
     /// segments (metadata is a startup-only step).
     pub fn fetch_metadata(&mut self, bits: f64) -> f64 {
-        assert!(bits.is_finite() && bits > 0.0, "metadata bits must be positive");
+        assert!(
+            bits.is_finite() && bits > 0.0,
+            "metadata bits must be positive"
+        );
         assert_eq!(
             self.segments_downloaded, 0,
             "metadata is fetched before the first segment"
@@ -125,7 +136,10 @@ impl StreamingSession {
     ///
     /// Panics if `bits` is not positive (a segment always has data).
     pub fn download_segment(&mut self, bits: f64) -> SegmentTiming {
-        assert!(bits.is_finite() && bits > 0.0, "segment bits must be positive");
+        assert!(
+            bits.is_finite() && bits > 0.0,
+            "segment bits must be positive"
+        );
         // Eq. 6 wait: don't request while the buffer is above β.
         let wait_sec = (self.buffer.level_sec() - self.buffer.threshold_sec()).max(0.0);
         self.clock_sec += wait_sec;

@@ -1,0 +1,214 @@
+//! Micro-benchmark timing, replacing `criterion` for the bench binaries.
+//!
+//! Deliberately small: warmup, a fixed iteration budget, and robust
+//! order statistics (median / p95) that tolerate scheduler noise better
+//! than a mean. Results print as a fixed-width table and can be dumped
+//! as JSON for tracking over time.
+
+use std::time::{Duration, Instant};
+
+use crate::json::{Json, ToJson};
+
+/// Timing summary for one benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Measured iterations (after warmup).
+    pub iterations: u32,
+    /// Fastest observed iteration, nanoseconds.
+    pub min_ns: f64,
+    /// Median iteration, nanoseconds.
+    pub median_ns: f64,
+    /// 95th-percentile iteration, nanoseconds.
+    pub p95_ns: f64,
+    /// Mean iteration, nanoseconds.
+    pub mean_ns: f64,
+}
+
+crate::impl_json_struct!(BenchResult {
+    name,
+    iterations,
+    min_ns,
+    median_ns,
+    p95_ns,
+    mean_ns
+});
+
+impl BenchResult {
+    /// One human-readable table row.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<32} {:>12} {:>12} {:>12} {:>6}",
+            self.name,
+            format_ns(self.median_ns),
+            format_ns(self.p95_ns),
+            format_ns(self.min_ns),
+            self.iterations,
+        )
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Benchmark harness holding configuration and accumulated results.
+#[derive(Debug)]
+pub struct Bench {
+    warmup: Duration,
+    measure: Duration,
+    max_iterations: u32,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Bench {
+    /// A harness with the default budget: 0.3 s warmup, 1 s measurement,
+    /// at most 10 000 iterations per benchmark.
+    pub fn new() -> Self {
+        Self {
+            warmup: Duration::from_millis(300),
+            measure: Duration::from_secs(1),
+            max_iterations: 10_000,
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the time budget (warmup, measurement).
+    pub fn with_budget(mut self, warmup: Duration, measure: Duration) -> Self {
+        self.warmup = warmup;
+        self.measure = measure;
+        self
+    }
+
+    /// Overrides the iteration cap.
+    pub fn with_max_iterations(mut self, cap: u32) -> Self {
+        assert!(cap > 0, "iteration cap must be positive");
+        self.max_iterations = cap;
+        self
+    }
+
+    /// Times `f`, keeping the returned value alive so the work is not
+    /// optimised away. Records and returns the summary.
+    pub fn run<T, F: FnMut() -> T>(&mut self, name: &str, mut f: F) -> &BenchResult {
+        // Warmup: run until the warmup budget elapses.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warmup {
+            std::hint::black_box(f());
+        }
+
+        let mut samples_ns: Vec<f64> = Vec::new();
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measure
+            && samples_ns.len() < self.max_iterations as usize
+        {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            samples_ns.push(t0.elapsed().as_nanos() as f64);
+        }
+
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let n = samples_ns.len().max(1);
+        let pick = |q: f64| samples_ns[(((n - 1) as f64) * q).round() as usize];
+        let result = BenchResult {
+            name: name.to_owned(),
+            iterations: n as u32,
+            min_ns: samples_ns.first().copied().unwrap_or(0.0),
+            median_ns: pick(0.5),
+            p95_ns: pick(0.95),
+            mean_ns: samples_ns.iter().sum::<f64>() / n as f64,
+        };
+        self.results.push(result);
+        self.results.last().expect("just pushed")
+    }
+
+    /// All results so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints the results as an aligned table to stdout.
+    pub fn print_table(&self) {
+        println!(
+            "{:<32} {:>12} {:>12} {:>12} {:>6}",
+            "benchmark", "median", "p95", "min", "iters"
+        );
+        for r in &self.results {
+            println!("{}", r.row());
+        }
+    }
+
+    /// The results as a JSON array (for archiving alongside figures).
+    pub fn to_json(&self) -> Json {
+        self.results.to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Bench {
+        Bench::new()
+            .with_budget(Duration::from_millis(5), Duration::from_millis(30))
+            .with_max_iterations(200)
+    }
+
+    #[test]
+    fn measures_something_positive() {
+        let mut bench = quick();
+        let r = bench.run("spin", || {
+            let mut acc = 0u64;
+            for i in 0..1000 {
+                acc = acc.wrapping_add(i);
+            }
+            acc
+        });
+        assert!(r.iterations > 0);
+        assert!(r.min_ns > 0.0);
+        assert!(r.median_ns >= r.min_ns);
+        assert!(r.p95_ns >= r.median_ns);
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        let mut bench = Bench::new()
+            .with_budget(Duration::from_millis(1), Duration::from_secs(5))
+            .with_max_iterations(10);
+        let r = bench.run("capped", || 1 + 1);
+        assert!(r.iterations <= 10);
+    }
+
+    #[test]
+    fn json_output_is_array() {
+        let mut bench = quick();
+        bench.run("a", || 0);
+        bench.run("b", || 0);
+        let json = bench.to_json();
+        assert_eq!(json.as_array().map(|a| a.len()), Some(2));
+        let text = crate::json::to_string(&json).unwrap();
+        assert!(text.contains("\"median_ns\""));
+    }
+
+    #[test]
+    fn rows_are_formatted() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_500.0).ends_with("µs"));
+        assert!(format_ns(12_500_000.0).ends_with("ms"));
+        assert!(format_ns(2.5e9).ends_with('s'));
+    }
+}

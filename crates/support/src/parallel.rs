@@ -1,0 +1,121 @@
+//! Std-only scoped worker pool.
+//!
+//! Replaces the `crossbeam`/`parking_lot` pair with `std::thread::scope`
+//! and `std::sync::Mutex`: a fixed set of workers pull indices from a
+//! shared counter (work stealing via self-scheduling), and results land
+//! in their slot so output order never depends on the schedule.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Computes `f(0), f(1), …, f(n - 1)` on `threads` workers and returns
+/// the results in index order.
+///
+/// Work is self-scheduled: each worker repeatedly claims the next undone
+/// index, so uneven per-item cost still balances. With `threads == 1`
+/// this degrades to a plain sequential loop (no thread spawn).
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or any invocation of `f` panics (the
+/// panic is propagated once all workers have stopped).
+pub fn parallel_map_indexed<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(threads > 0, "need at least one worker thread");
+    if threads == 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    return;
+                }
+                let value = f(idx);
+                *slots[idx].lock().expect("slot lock poisoned") = Some(value);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock poisoned")
+                .expect("every index was executed")
+        })
+        .collect()
+}
+
+/// A reasonable worker count for this machine: the logical core count,
+/// clamped to `[1, 16]`.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(1, 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_map() {
+        let parallel = parallel_map_indexed(4, 100, |i| i * i);
+        let sequential: Vec<usize> = (0..100).map(|i| i * i).collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn single_thread_and_empty_work() {
+        assert_eq!(parallel_map_indexed(1, 5, |i| i), vec![0, 1, 2, 3, 4]);
+        assert_eq!(parallel_map_indexed(8, 0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        assert_eq!(parallel_map_indexed(16, 3, |i| i + 1), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn uneven_work_still_completes() {
+        let out = parallel_map_indexed(4, 32, |i| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i
+        });
+        assert_eq!(out, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "worker thread")]
+    fn zero_threads_panics() {
+        let _ = parallel_map_indexed(0, 4, |i| i);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_map_indexed(4, 16, |i| {
+                assert!(i != 9, "boom at {i}");
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!((1..=16).contains(&default_threads()));
+    }
+}

@@ -6,8 +6,6 @@
 //! builds the full 48-user population per video; [`VideoTraces::split`]
 //! reproduces the 40/8 division deterministically.
 
-use serde::{Deserialize, Serialize};
-
 use ee360_video::catalog::{VideoCatalog, VideoSpec};
 
 use crate::head::{GazeConfig, HeadTrace, HeadTraceGenerator};
@@ -19,11 +17,13 @@ pub const PAPER_USER_COUNT: usize = 48;
 pub const PAPER_TRAIN_USERS: usize = 40;
 
 /// All users' traces over one video.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VideoTraces {
     video_id: usize,
     traces: Vec<HeadTrace>,
 }
+
+ee360_support::impl_json_struct!(VideoTraces { video_id, traces });
 
 impl VideoTraces {
     /// Generates traces for `user_count` users watching `spec`.
@@ -87,10 +87,12 @@ impl VideoTraces {
 }
 
 /// The full dataset: one [`VideoTraces`] per catalog video.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     videos: Vec<VideoTraces>,
 }
+
+ee360_support::impl_json_struct!(Dataset { videos });
 
 impl Dataset {
     /// Generates the paper-scale dataset: 48 users per catalog video.

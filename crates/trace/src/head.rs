@@ -20,9 +20,7 @@
 //! (most users follow the main action, a minority roams), which is what
 //! gives Algorithm 1 its one-or-two dominant clusters.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use ee360_support::rng::StdRng;
 
 use ee360_geom::angles::{lerp_yaw_deg, wrap_yaw_deg};
 use ee360_geom::sphere::Orientation;
@@ -31,7 +29,7 @@ use ee360_geom::viewport::ViewCenter;
 use ee360_video::catalog::{BehaviorProfile, VideoSpec};
 
 /// Tuning knobs of the gaze simulator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GazeConfig {
     /// Gaze sampling rate in Hz (the paper's headsets record at 50 Hz; 10 Hz
     /// is plenty for 1 s segments and keeps experiments fast).
@@ -54,6 +52,16 @@ pub struct GazeConfig {
     pub flick_rate_hz: f64,
 }
 
+ee360_support::impl_json_struct!(GazeConfig {
+    sample_hz,
+    jitter_deg,
+    focused_offset_deg,
+    exploratory_offset_deg,
+    roam_probability,
+    zipf_exponent,
+    flick_rate_hz
+});
+
 impl Default for GazeConfig {
     fn default() -> Self {
         Self {
@@ -69,7 +77,7 @@ impl Default for GazeConfig {
 }
 
 /// One user's gaze trace over one video.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HeadTrace {
     video_id: usize,
     user_id: usize,
@@ -77,6 +85,13 @@ pub struct HeadTrace {
     /// (t_sec, yaw_deg, pitch_deg) triples, strictly increasing in time.
     samples: Vec<(f64, f64, f64)>,
 }
+
+ee360_support::impl_json_struct!(HeadTrace {
+    video_id,
+    user_id,
+    sample_hz,
+    samples
+});
 
 impl HeadTrace {
     /// Builds a trace from raw `(t_sec, yaw_deg, pitch_deg)` samples — the
@@ -216,7 +231,8 @@ struct Hotspot {
 
 impl Hotspot {
     fn position(&self, t: f64) -> ViewCenter {
-        let yaw = self.yaw0 + self.yaw_amp * (2.0 * std::f64::consts::PI * t / self.yaw_period + self.phase).sin();
+        let yaw = self.yaw0
+            + self.yaw_amp * (2.0 * std::f64::consts::PI * t / self.yaw_period + self.phase).sin();
         ViewCenter::new(wrap_yaw_deg(yaw), self.pitch0)
     }
 }
@@ -356,10 +372,10 @@ impl HeadTraceGenerator {
             let t = step as f64 * dt;
             // Ornstein–Uhlenbeck jitter around the nominal gaze point.
             let theta = 1.2 * dt;
-            jitter.0 += -theta * jitter.0
-                + self.config.jitter_deg * dt.sqrt() * rng.gen_range(-1.0..1.0);
-            jitter.1 += -theta * jitter.1
-                + self.config.jitter_deg * dt.sqrt() * rng.gen_range(-1.0..1.0);
+            jitter.0 +=
+                -theta * jitter.0 + self.config.jitter_deg * dt.sqrt() * rng.gen_range(-1.0..1.0);
+            jitter.1 +=
+                -theta * jitter.1 + self.config.jitter_deg * dt.sqrt() * rng.gen_range(-1.0..1.0);
 
             match &mut state {
                 GazeState::Fixate { target, until } => {
@@ -375,16 +391,24 @@ impl HeadTraceGenerator {
                     // a private schedule.
                     let stimulus_switch = !exploratory
                         && matches!(target, Target::Hotspot { index, .. }
-                            if *index != Self::focused_active_hotspot(
-                                spec,
-                                (t - reaction_delay).max(0.0),
-                            ));
+                        if *index != Self::focused_active_hotspot(
+                            spec,
+                            (t - reaction_delay).max(0.0),
+                        ));
                     if stimulus_switch || t >= *until {
                         let current = match target {
                             Target::Hotspot { index, .. } => Some(*index),
                             Target::Point(_) => None,
                         };
-                        let next = self.pick_next_target(spec, exploratory, user_offset, t, &hotspots, current, &mut rng);
+                        let next = self.pick_next_target(
+                            spec,
+                            exploratory,
+                            user_offset,
+                            t,
+                            &hotspots,
+                            current,
+                            &mut rng,
+                        );
                         let next_pos = Self::target_position(&hotspots, &next, t);
                         let dist = Orientation::from_view_center(pos)
                             .angle_to_deg(&Orientation::from_view_center(next_pos));
@@ -609,8 +633,7 @@ mod tests {
         let gen = generator();
         let spread = |id: usize| {
             let spec = video(id);
-            let traces: Vec<HeadTrace> =
-                (0..6).map(|u| gen.generate(&spec, u, 13)).collect();
+            let traces: Vec<HeadTrace> = (0..6).map(|u| gen.generate(&spec, u, 13)).collect();
             let mut total = 0.0;
             let mut count = 0;
             for k in (0..spec.segment_count().min(120)).step_by(5) {

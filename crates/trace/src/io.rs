@@ -10,8 +10,7 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-use serde::de::DeserializeOwned;
-use serde::Serialize;
+use ee360_support::json::{FromJson, ToJson};
 
 use crate::dataset::Dataset;
 use crate::head::HeadTrace;
@@ -23,7 +22,7 @@ pub enum TraceIoError {
     /// The underlying filesystem operation failed.
     Io(io::Error),
     /// The file contents were not valid JSON for the expected type.
-    Format(serde_json::Error),
+    Format(ee360_support::json::JsonError),
 }
 
 impl fmt::Display for TraceIoError {
@@ -50,21 +49,21 @@ impl From<io::Error> for TraceIoError {
     }
 }
 
-impl From<serde_json::Error> for TraceIoError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<ee360_support::json::JsonError> for TraceIoError {
+    fn from(e: ee360_support::json::JsonError) -> Self {
         TraceIoError::Format(e)
     }
 }
 
-fn save_json<T: Serialize>(value: &T, path: &Path) -> Result<(), TraceIoError> {
-    let json = serde_json::to_string(value)?;
+fn save_json<T: ToJson>(value: &T, path: &Path) -> Result<(), TraceIoError> {
+    let json = ee360_support::json::to_string(value)?;
     fs::write(path, json)?;
     Ok(())
 }
 
-fn load_json<T: DeserializeOwned>(path: &Path) -> Result<T, TraceIoError> {
+fn load_json<T: FromJson>(path: &Path) -> Result<T, TraceIoError> {
     let json = fs::read_to_string(path)?;
-    Ok(serde_json::from_str(&json)?)
+    Ok(ee360_support::json::from_str(&json)?)
 }
 
 /// Saves a dataset to a JSON file.

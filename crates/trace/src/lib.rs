@@ -44,8 +44,8 @@ pub mod network;
 pub mod stats;
 
 pub use dataset::{Dataset, VideoTraces};
-pub use io::{load_dataset, save_dataset, TraceIoError};
 pub use head::{GazeConfig, HeadTrace, HeadTraceGenerator};
+pub use io::{load_dataset, save_dataset, TraceIoError};
 pub use mmsys::{load_head_trace as load_mmsys_trace, MmsysError};
 pub use network::{LteProfile, NetworkTrace};
 pub use stats::{gaze_stats, GazeStats};

@@ -7,12 +7,10 @@
 //! synthesise trace 2 as a mean-reverting bounded random walk with bursty
 //! excursions, then obtain trace 1 with the paper's own `scale` rule.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use ee360_support::rng::StdRng;
 
 /// Shape parameters of the synthetic LTE trace.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LteProfile {
     /// Long-run mean throughput, bits per second.
     pub mean_bps: f64,
@@ -25,6 +23,14 @@ pub struct LteProfile {
     /// Per-second volatility, bits per second.
     pub volatility_bps: f64,
 }
+
+ee360_support::impl_json_struct!(LteProfile {
+    mean_bps,
+    min_bps,
+    max_bps,
+    reversion,
+    volatility_bps
+});
 
 impl LteProfile {
     /// The paper's *trace 2*: mean 3.9 Mbps, range \[2.3, 8.4\] Mbps.
@@ -50,10 +56,12 @@ impl LteProfile {
 /// let t1 = t2.scaled(2.0); // the paper's trace 1
 /// assert!((t1.mean_bps() / t2.mean_bps() - 2.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkTrace {
     samples_bps: Vec<f64>,
 }
+
+ee360_support::impl_json_struct!(NetworkTrace { samples_bps });
 
 impl NetworkTrace {
     /// Builds a trace from explicit per-second samples.
@@ -185,7 +193,10 @@ impl NetworkTrace {
 
     /// Minimum sample, bits per second.
     pub fn min_bps(&self) -> f64 {
-        self.samples_bps.iter().cloned().fold(f64::INFINITY, f64::min)
+        self.samples_bps
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Maximum sample, bits per second.
@@ -237,7 +248,7 @@ impl NetworkTrace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ee360_support::prelude::*;
 
     fn trace2() -> NetworkTrace {
         NetworkTrace::paper_trace2(600, 42)

@@ -7,14 +7,12 @@
 //! module quantifies all three for any set of [`HeadTrace`]s, so the
 //! synthetic substrate can be audited against the claims it must uphold.
 
-use serde::{Deserialize, Serialize};
-
 use ee360_geom::viewport::ViewCenter;
 
 use crate::head::HeadTrace;
 
 /// Summary of one population's gaze behaviour over one video.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GazeStats {
     /// Number of users analysed.
     pub users: usize,
@@ -31,6 +29,15 @@ pub struct GazeStats {
     /// population's per-segment spherical median.
     pub concentration_within_tile: f64,
 }
+
+ee360_support::impl_json_struct!(GazeStats {
+    users,
+    median_speed_deg_s,
+    p90_speed_deg_s,
+    fraction_above_10,
+    mean_pairwise_distance_deg,
+    concentration_within_tile
+});
 
 /// Computes [`GazeStats`] over a set of traces of the same video.
 ///
@@ -65,10 +72,7 @@ pub fn gaze_stats(traces: &[&HeadTrace]) -> GazeStats {
     let mut concentrated = 0usize;
     let mut observations = 0usize;
     for k in (0..segments).step_by(2) {
-        let centers: Vec<ViewCenter> = traces
-            .iter()
-            .filter_map(|t| t.segment_center(k))
-            .collect();
+        let centers: Vec<ViewCenter> = traces.iter().filter_map(|t| t.segment_center(k)).collect();
         for i in 0..centers.len() {
             for j in (i + 1)..centers.len() {
                 pair_sum += centers[i].distance_deg(&centers[j]);
@@ -129,7 +133,9 @@ mod tests {
         let catalog = VideoCatalog::paper_default();
         let spec = catalog.video(video).unwrap();
         let generator = HeadTraceGenerator::new(GazeConfig::default());
-        (0..users).map(|u| generator.generate(spec, u, 77)).collect()
+        (0..users)
+            .map(|u| generator.generate(spec, u, 77))
+            .collect()
     }
 
     #[test]

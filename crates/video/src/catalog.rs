@@ -8,12 +8,10 @@
 //! SI/TI centre and motion parameters that the trace generator and content
 //! model consume.
 
-use serde::{Deserialize, Serialize};
-
 use crate::content::SiTi;
 
 /// Whether users focus on the director's intended view or explore freely.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BehaviorProfile {
     /// Users are instructed to focus on the video content (videos 1–4):
     /// viewing centers cluster tightly around a few salient regions.
@@ -23,9 +21,14 @@ pub enum BehaviorProfile {
     Exploratory,
 }
 
+ee360_support::impl_json_enum!(BehaviorProfile {
+    Focused,
+    Exploratory
+});
+
 /// One test video (a row of Table III plus the modelling parameters the
 /// synthetic substrate needs).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VideoSpec {
     /// Table III video id, 1-based.
     pub id: usize,
@@ -45,6 +48,17 @@ pub struct VideoSpec {
     pub pursuit_speed_deg_s: f64,
 }
 
+ee360_support::impl_json_struct!(VideoSpec {
+    id,
+    name,
+    duration_sec,
+    behavior,
+    base_si_ti,
+    hotspot_count,
+    mean_dwell_sec,
+    pursuit_speed_deg_s
+});
+
 impl VideoSpec {
     /// Number of one-second segments in the video.
     pub fn segment_count(&self) -> usize {
@@ -62,10 +76,12 @@ impl VideoSpec {
 /// assert_eq!(catalog.videos().len(), 8);
 /// assert_eq!(catalog.video(8).unwrap().name, "Freestyle Skiing");
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VideoCatalog {
     videos: Vec<VideoSpec>,
 }
+
+ee360_support::impl_json_struct!(VideoCatalog { videos });
 
 impl VideoCatalog {
     /// Builds the catalog from explicit specs.
@@ -108,14 +124,102 @@ impl VideoCatalog {
             pursuit_speed_deg_s: pursuit,
         };
         Self::new(vec![
-            spec(1, "Basketball Match", 6, 1, BehaviorProfile::Focused, 62.0, 28.0, 3, 4.0, 20.0),
-            spec(2, "Showtime Boxing", 2, 52, BehaviorProfile::Focused, 55.0, 32.0, 1, 8.0, 15.0),
-            spec(3, "Festival Gala", 6, 13, BehaviorProfile::Focused, 78.0, 18.0, 2, 7.0, 12.0),
-            spec(4, "Idol Dancing", 4, 38, BehaviorProfile::Focused, 70.0, 22.0, 1, 9.0, 10.0),
-            spec(5, "Moving Rhinos", 4, 52, BehaviorProfile::Exploratory, 48.0, 12.0, 3, 10.0, 38.0),
-            spec(6, "Football Match", 2, 44, BehaviorProfile::Exploratory, 60.0, 30.0, 2, 8.0, 42.0),
-            spec(7, "Tahiti Surf", 3, 25, BehaviorProfile::Exploratory, 45.0, 24.0, 3, 9.0, 40.0),
-            spec(8, "Freestyle Skiing", 3, 21, BehaviorProfile::Exploratory, 52.0, 34.0, 2, 8.0, 45.0),
+            spec(
+                1,
+                "Basketball Match",
+                6,
+                1,
+                BehaviorProfile::Focused,
+                62.0,
+                28.0,
+                3,
+                4.0,
+                20.0,
+            ),
+            spec(
+                2,
+                "Showtime Boxing",
+                2,
+                52,
+                BehaviorProfile::Focused,
+                55.0,
+                32.0,
+                1,
+                8.0,
+                15.0,
+            ),
+            spec(
+                3,
+                "Festival Gala",
+                6,
+                13,
+                BehaviorProfile::Focused,
+                78.0,
+                18.0,
+                2,
+                7.0,
+                12.0,
+            ),
+            spec(
+                4,
+                "Idol Dancing",
+                4,
+                38,
+                BehaviorProfile::Focused,
+                70.0,
+                22.0,
+                1,
+                9.0,
+                10.0,
+            ),
+            spec(
+                5,
+                "Moving Rhinos",
+                4,
+                52,
+                BehaviorProfile::Exploratory,
+                48.0,
+                12.0,
+                3,
+                10.0,
+                38.0,
+            ),
+            spec(
+                6,
+                "Football Match",
+                2,
+                44,
+                BehaviorProfile::Exploratory,
+                60.0,
+                30.0,
+                2,
+                8.0,
+                42.0,
+            ),
+            spec(
+                7,
+                "Tahiti Surf",
+                3,
+                25,
+                BehaviorProfile::Exploratory,
+                45.0,
+                24.0,
+                3,
+                9.0,
+                40.0,
+            ),
+            spec(
+                8,
+                "Freestyle Skiing",
+                3,
+                21,
+                BehaviorProfile::Exploratory,
+                52.0,
+                34.0,
+                2,
+                8.0,
+                45.0,
+            ),
         ])
     }
 
@@ -161,8 +265,14 @@ mod tests {
         let c = VideoCatalog::paper_default();
         let focused = c.with_behavior(BehaviorProfile::Focused);
         let exploratory = c.with_behavior(BehaviorProfile::Exploratory);
-        assert_eq!(focused.iter().map(|v| v.id).collect::<Vec<_>>(), vec![1, 2, 3, 4]);
-        assert_eq!(exploratory.iter().map(|v| v.id).collect::<Vec<_>>(), vec![5, 6, 7, 8]);
+        assert_eq!(
+            focused.iter().map(|v| v.id).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+        assert_eq!(
+            exploratory.iter().map(|v| v.id).collect::<Vec<_>>(),
+            vec![5, 6, 7, 8]
+        );
     }
 
     #[test]
@@ -208,8 +318,8 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let c = VideoCatalog::paper_default();
-        let json = serde_json::to_string(&c).unwrap();
-        let back: VideoCatalog = serde_json::from_str(&json).unwrap();
+        let json = ee360_support::json::to_string(&c).unwrap();
+        let back: VideoCatalog = ee360_support::json::from_str(&json).unwrap();
         assert_eq!(back, c);
     }
 }

@@ -5,8 +5,6 @@
 //! (temporal information: how much motion there is) as inputs; Eq. 4's
 //! frame-rate sensitivity `α = S_fov / TI` also depends on TI.
 
-use serde::{Deserialize, Serialize};
-
 /// SI/TI content descriptor for one video segment.
 ///
 /// Typical ranges (Fig. 4a of the paper): SI in roughly `[20, 100]`,
@@ -20,11 +18,13 @@ use serde::{Deserialize, Serialize};
 /// let sport = SiTi::new(70.0, 45.0);
 /// assert!(sport.ti() > calm.ti());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SiTi {
     si: f64,
     ti: f64,
 }
+
+ee360_support::impl_json_struct!(SiTi { si, ti });
 
 impl SiTi {
     /// Creates a descriptor.
@@ -66,7 +66,7 @@ impl SiTi {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ee360_support::prelude::*;
 
     #[test]
     fn reference_content_has_unit_difficulty() {
@@ -111,8 +111,8 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let c = SiTi::new(55.0, 33.0);
-        let json = serde_json::to_string(&c).unwrap();
-        let back: SiTi = serde_json::from_str(&json).unwrap();
+        let json = ee360_support::json::to_string(&c).unwrap();
+        let back: SiTi = ee360_support::json::from_str(&json).unwrap();
         assert_eq!(back, c);
     }
 

@@ -6,8 +6,6 @@
 //! at reduced frame rates: the paper constructs three reduced versions at
 //! −10%, −20% and −30% of the original rate.
 
-use serde::{Deserialize, Serialize};
-
 /// One of the paper's five encoding quality levels.
 ///
 /// Level 1 is the lowest quality (CRF 38), level 5 the highest (CRF 18).
@@ -20,9 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(QualityLevel::Q1.crf(), 38);
 /// assert!(QualityLevel::Q5 > QualityLevel::Q1);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum QualityLevel {
     /// Level 1: CRF 38 (lowest quality).
     Q1,
@@ -35,6 +31,8 @@ pub enum QualityLevel {
     /// Level 5: CRF 18 (highest quality).
     Q5,
 }
+
+ee360_support::impl_json_enum!(QualityLevel { Q1, Q2, Q3, Q4, Q5 });
 
 impl QualityLevel {
     /// All levels, lowest to highest.
@@ -91,10 +89,12 @@ impl QualityLevel {
 ///
 /// The paper's source videos run at 30 fps; the frame-rate ladder for
 /// Ptiles adds 27, 24 and 21 fps variants (−10%/−20%/−30%).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FrameRate {
     fps: f64,
 }
+
+ee360_support::impl_json_struct!(FrameRate { fps });
 
 impl FrameRate {
     /// Creates a frame rate.
@@ -127,12 +127,17 @@ impl FrameRate {
 /// assert_eq!(ladder.max_frame_rate().fps(), 30.0);
 /// assert_eq!(ladder.quality_count(), 5);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EncodingLadder {
     original_fps: f64,
     /// Reduction fractions for the reduced-rate variants, e.g. `[0.1, 0.2, 0.3]`.
     reductions: Vec<f64>,
 }
+
+ee360_support::impl_json_struct!(EncodingLadder {
+    original_fps,
+    reductions
+});
 
 impl EncodingLadder {
     /// Creates a ladder from an original frame rate and reduction fractions.
@@ -285,8 +290,8 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let ladder = EncodingLadder::paper_default();
-        let json = serde_json::to_string(&ladder).unwrap();
-        let back: EncodingLadder = serde_json::from_str(&json).unwrap();
+        let json = ee360_support::json::to_string(&ladder).unwrap();
+        let back: EncodingLadder = ee360_support::json::from_str(&json).unwrap();
         assert_eq!(back, ladder);
     }
 }

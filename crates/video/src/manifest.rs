@@ -7,15 +7,13 @@
 //! frame-rate) tuple, and the low-quality background blocks — each with
 //! its exact byte size, so a client can plan without touching the media.
 
-use serde::{Deserialize, Serialize};
-
 use crate::content::SiTi;
 use crate::ladder::{EncodingLadder, QualityLevel};
 use crate::segment::SegmentTimeline;
 use crate::size_model::SizeModel;
 
 /// What kind of spatial unit a representation encodes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RepresentationKind {
     /// One conventional grid tile (the Ctile unit).
     ConventionalTile {
@@ -36,8 +34,60 @@ pub enum RepresentationKind {
     WholeFrame,
 }
 
+// Externally tagged, matching serde's default enum encoding:
+// `"WholeFrame"` for the unit variant, `{"Ptile":{"area":0.4}}` for the
+// struct variants.
+impl ee360_support::json::ToJson for RepresentationKind {
+    fn to_json(&self) -> ee360_support::json::Json {
+        use ee360_support::json::Json;
+        let tagged = |tag: &str, field: &str, value: f64| {
+            Json::Obj(vec![(
+                tag.to_owned(),
+                Json::Obj(vec![(field.to_owned(), value.to_json())]),
+            )])
+        };
+        match self {
+            Self::ConventionalTile { tile_area } => {
+                tagged("ConventionalTile", "tile_area", *tile_area)
+            }
+            Self::Ptile { area } => tagged("Ptile", "area", *area),
+            Self::BackgroundBlock { area } => tagged("BackgroundBlock", "area", *area),
+            Self::WholeFrame => Json::Str("WholeFrame".to_owned()),
+        }
+    }
+}
+
+impl ee360_support::json::FromJson for RepresentationKind {
+    fn from_json(v: &ee360_support::json::Json) -> Result<Self, ee360_support::json::JsonError> {
+        use ee360_support::json::{field, Json, JsonError};
+        match v {
+            Json::Str(s) if s == "WholeFrame" => Ok(Self::WholeFrame),
+            Json::Str(other) => Err(JsonError::UnknownVariant(other.clone())),
+            Json::Obj(pairs) if pairs.len() == 1 => {
+                let (tag, inner) = &pairs[0];
+                match tag.as_str() {
+                    "ConventionalTile" => Ok(Self::ConventionalTile {
+                        tile_area: field(inner, "tile_area")?,
+                    }),
+                    "Ptile" => Ok(Self::Ptile {
+                        area: field(inner, "area")?,
+                    }),
+                    "BackgroundBlock" => Ok(Self::BackgroundBlock {
+                        area: field(inner, "area")?,
+                    }),
+                    other => Err(JsonError::UnknownVariant(other.to_owned())),
+                }
+            }
+            _ => Err(JsonError::Type {
+                expected: "RepresentationKind string or single-key object",
+                found: "other",
+            }),
+        }
+    }
+}
+
 /// One downloadable representation of one segment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Representation {
     /// What this representation encodes.
     pub kind: RepresentationKind,
@@ -49,8 +99,15 @@ pub struct Representation {
     pub bits: f64,
 }
 
+ee360_support::impl_json_struct!(Representation {
+    kind,
+    quality,
+    fps,
+    bits
+});
+
 /// The advertised metadata of one segment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SegmentManifest {
     /// Zero-based segment index.
     pub index: usize,
@@ -59,6 +116,12 @@ pub struct SegmentManifest {
     /// Every representation the server stores for this segment.
     pub representations: Vec<Representation>,
 }
+
+ee360_support::impl_json_struct!(SegmentManifest {
+    index,
+    si_ti,
+    representations
+});
 
 impl SegmentManifest {
     /// The cheapest representation of a kind-and-quality class, if any.
@@ -76,11 +139,13 @@ impl SegmentManifest {
 }
 
 /// The whole video's manifest.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VideoManifest {
     video_id: usize,
     segments: Vec<SegmentManifest>,
 }
+
+ee360_support::impl_json_struct!(VideoManifest { video_id, segments });
 
 impl VideoManifest {
     /// Builds the manifest for a timeline: conventional tiles and the
@@ -143,11 +208,18 @@ impl VideoManifest {
                     let bg_area = (1.0 - area).max(0.0);
                     if bg_area > 1e-9 {
                         reps.push(Representation {
-                            kind: RepresentationKind::BackgroundBlock { area: bg_area / 3.0 },
+                            kind: RepresentationKind::BackgroundBlock {
+                                area: bg_area / 3.0,
+                            },
                             quality: QualityLevel::Q1,
                             fps: fps_max,
-                            bits: model.region_bits(bg_area, 3, QualityLevel::Q1, fps_max, seg.si_ti)
-                                / 3.0,
+                            bits: model.region_bits(
+                                bg_area,
+                                3,
+                                QualityLevel::Q1,
+                                fps_max,
+                                seg.si_ti,
+                            ) / 3.0,
                         });
                     }
                 }
@@ -314,7 +386,7 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use ee360_support::prelude::*;
 
         proptest! {
             #[test]
@@ -347,8 +419,8 @@ mod tests {
             &EncodingLadder::paper_default(),
             &areas,
         );
-        let json = serde_json::to_string(&m).unwrap();
-        let back: VideoManifest = serde_json::from_str(&json).unwrap();
+        let json = ee360_support::json::to_string(&m).unwrap();
+        let back: VideoManifest = ee360_support::json::from_str(&json).unwrap();
         assert_eq!(back, m);
     }
 }

@@ -5,8 +5,6 @@
 //! from a [`VideoSpec`]: content complexity drifts slowly across a video
 //! (scenes change every handful of seconds) around the video's base SI/TI.
 
-use serde::{Deserialize, Serialize};
-
 use crate::catalog::VideoSpec;
 use crate::content::SiTi;
 
@@ -14,13 +12,15 @@ use crate::content::SiTi;
 pub const SEGMENT_DURATION_SEC: f64 = 1.0;
 
 /// The content descriptor of one segment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SegmentContent {
     /// Zero-based segment index.
     pub index: usize,
     /// The segment's SI/TI.
     pub si_ti: SiTi,
 }
+
+ee360_support::impl_json_struct!(SegmentContent { index, si_ti });
 
 /// Deterministic per-segment content series for one video.
 ///
@@ -36,11 +36,13 @@ pub struct SegmentContent {
 /// let first = timeline.segment(0).unwrap();
 /// assert!(first.si_ti.ti() > 0.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SegmentTimeline {
     video_id: usize,
     segments: Vec<SegmentContent>,
 }
+
+ee360_support::impl_json_struct!(SegmentTimeline { video_id, segments });
 
 /// A cheap deterministic hash → `[-1, 1]` noise source (SplitMix64-based),
 /// so the timeline never depends on `rand` and is identical across runs.
@@ -151,10 +153,7 @@ mod tests {
     fn different_videos_differ() {
         let a = timeline(1);
         let b = timeline(2);
-        assert_ne!(
-            a.segment(0).unwrap().si_ti,
-            b.segment(0).unwrap().si_ti
-        );
+        assert_ne!(a.segment(0).unwrap().si_ti, b.segment(0).unwrap().si_ti);
     }
 
     #[test]

@@ -20,8 +20,6 @@
 //! * **Content factor**: [`SiTi::encoding_difficulty`] scales sizes with
 //!   content complexity, which is what spreads Fig. 8's CDFs.
 
-use serde::{Deserialize, Serialize};
-
 use crate::content::SiTi;
 use crate::ladder::QualityLevel;
 use crate::segment::SEGMENT_DURATION_SEC;
@@ -47,7 +45,7 @@ pub const FIG8_MEDIAN_RATIOS: [f64; 5] = [0.27, 0.35, 0.47, 0.57, 0.62];
 /// let lo = m.region_bits(1.0, 1, QualityLevel::Q1, 30.0, c);
 /// assert!(hi > 10.0 * lo);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SizeModel {
     /// Whole-frame bits per second at reference content, quality 1..5.
     base_rate_bps: [f64; 5],
@@ -58,6 +56,13 @@ pub struct SizeModel {
     /// Reference (original) frame rate in fps.
     reference_fps: f64,
 }
+
+ee360_support::impl_json_struct!(SizeModel {
+    base_rate_bps,
+    tiling_overhead,
+    framerate_exponent,
+    reference_fps
+});
 
 impl SizeModel {
     /// The calibrated model used throughout the evaluation.
@@ -167,7 +172,7 @@ impl Default for SizeModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ee360_support::prelude::*;
 
     fn model() -> SizeModel {
         SizeModel::paper_default()

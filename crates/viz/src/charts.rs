@@ -144,7 +144,13 @@ impl GroupedBarChart {
         // Legend.
         let mut lx = MARGIN_LEFT;
         for (si, (name, _)) in self.series.iter().enumerate() {
-            doc.rect(lx, MARGIN_TOP - 18.0, 10.0, 10.0, PALETTE[si % PALETTE.len()]);
+            doc.rect(
+                lx,
+                MARGIN_TOP - 18.0,
+                10.0,
+                10.0,
+                PALETTE[si % PALETTE.len()],
+            );
             doc.text(lx + 14.0, MARGIN_TOP - 9.0, 10.0, name);
             lx += 14.0 + 7.0 * name.len() as f64 + 18.0;
         }

@@ -10,10 +10,10 @@
 
 use ee360::abr::controller::Scheme;
 use ee360::abr::dual::EnergyBudgetController;
+use ee360::cluster::ptile::PtileConfig;
 use ee360::core::client::{run_session, run_session_with, SessionSetup};
 use ee360::core::report::TableWriter;
 use ee360::core::server::VideoServer;
-use ee360::cluster::ptile::PtileConfig;
 use ee360::geom::grid::TileGrid;
 use ee360::power::model::Phone;
 use ee360::trace::dataset::VideoTraces;

@@ -51,7 +51,10 @@ fn main() {
         ..Default::default()
     };
 
-    println!("shared cell ≈ {:.1} Mbps, 120 segments per client\n", cell.mean_bps() / 1e6);
+    println!(
+        "shared cell ≈ {:.1} Mbps, 120 segments per client\n",
+        cell.mean_bps() / 1e6
+    );
     let mut table = TableWriter::new(vec![
         "population",
         "clients",

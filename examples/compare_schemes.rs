@@ -36,16 +36,16 @@ fn main() {
             "fps",
             "stall [s]",
         ]);
-        let outcomes: Vec<_> = Scheme::ALL
-            .iter()
-            .map(|s| eval.run(video_id, *s))
-            .collect();
+        let outcomes: Vec<_> = Scheme::ALL.iter().map(|s| eval.run(video_id, *s)).collect();
         let ctile_energy = outcomes[0].mean_energy_mj_per_segment;
         for o in &outcomes {
             table.row(vec![
                 o.scheme.label().into(),
                 format!("{:.1}", o.mean_energy_mj_per_segment),
-                format!("{:+.1}%", (o.mean_energy_mj_per_segment / ctile_energy - 1.0) * 100.0),
+                format!(
+                    "{:+.1}%",
+                    (o.mean_energy_mj_per_segment / ctile_energy - 1.0) * 100.0
+                ),
                 format!("{:.1}", o.mean_qoe),
                 format!("{:.2}", o.mean_quality_level),
                 format!("{:.1}", o.mean_fps),

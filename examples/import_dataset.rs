@@ -20,7 +20,10 @@ fn main() {
             let mut p = std::env::temp_dir();
             p.push("ee360-import-demo.csv");
             std::fs::write(&p, demo_csv()).expect("write demo CSV");
-            println!("no file given — wrote a synthetic demo file to {}", p.display());
+            println!(
+                "no file given — wrote a synthetic demo file to {}",
+                p.display()
+            );
             (p, true)
         }
     };

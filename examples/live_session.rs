@@ -10,9 +10,9 @@
 //! predicted viewport, and the resulting energy/QoE.
 
 use ee360::abr::controller::Scheme;
+use ee360::cluster::ptile::PtileConfig;
 use ee360::core::client::{run_session, SessionSetup};
 use ee360::core::server::VideoServer;
-use ee360::cluster::ptile::PtileConfig;
 use ee360::geom::grid::TileGrid;
 use ee360::power::model::{DecoderScheme, Phone};
 use ee360::trace::dataset::VideoTraces;

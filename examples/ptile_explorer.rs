@@ -91,6 +91,9 @@ fn main() {
         );
     }
     if ptiles.is_empty() {
-        println!("  (none — no cluster reached the {}-user popularity threshold)", config.min_users);
+        println!(
+            "  (none — no cluster reached the {}-user popularity threshold)",
+            config.min_users
+        );
     }
 }

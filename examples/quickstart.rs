@@ -9,9 +9,9 @@
 //! with the `Ours` controller, and prints the energy/QoE summary.
 
 use ee360::abr::controller::Scheme;
+use ee360::cluster::ptile::PtileConfig;
 use ee360::core::client::{run_session, SessionSetup};
 use ee360::core::server::VideoServer;
-use ee360::cluster::ptile::PtileConfig;
 use ee360::geom::grid::TileGrid;
 use ee360::power::model::Phone;
 use ee360::trace::dataset::VideoTraces;
@@ -23,7 +23,10 @@ fn main() {
     // 1. Pick a video from the Table III catalog.
     let catalog = VideoCatalog::paper_default();
     let spec = catalog.video(2).expect("video 2 exists");
-    println!("streaming video {}: {} ({} s)", spec.id, spec.name, spec.duration_sec);
+    println!(
+        "streaming video {}: {} ({} s)",
+        spec.id, spec.name, spec.duration_sec
+    );
 
     // 2. Generate the user population and split train/eval.
     let traces = VideoTraces::generate(spec, 48, 42, GazeConfig::default());
@@ -36,9 +39,7 @@ fn main() {
         TileGrid::paper_default(),
         PtileConfig::paper_default(),
     );
-    let multi = server
-        .coverage_stats(&eval)
-        .mean_coverage();
+    let multi = server.coverage_stats(&eval).mean_coverage();
     println!("Ptile coverage of evaluation users: {:.1}%", multi * 100.0);
 
     // 4. Client side: stream over the paper's LTE trace 2 on a Pixel 3.

@@ -9,8 +9,8 @@
 //! example builds each video's manifest and prices that storage next to
 //! the conventional catalog.
 
-use ee360::core::report::TableWriter;
 use ee360::cluster::ptile::PtileConfig;
+use ee360::core::report::TableWriter;
 use ee360::core::server::VideoServer;
 use ee360::geom::grid::TileGrid;
 use ee360::trace::dataset::VideoTraces;
@@ -77,10 +77,7 @@ fn main() {
     println!("the Ptile ladder costs server storage — the energy saving is paid for off-device");
 }
 
-fn manifest_bits(
-    manifest: &VideoManifest,
-    keep: impl Fn(&RepresentationKind) -> bool,
-) -> f64 {
+fn manifest_bits(manifest: &VideoManifest, keep: impl Fn(&RepresentationKind) -> bool) -> f64 {
     (0..manifest.len())
         .filter_map(|i| manifest.segment(i))
         .flat_map(|s| s.representations.iter())

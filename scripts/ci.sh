@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# The full CI gate, hermetic by construction: every cargo invocation runs
+# --offline, so a build that reaches for the network fails here the same
+# way it would fail in a sealed environment. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline (workspace, all targets)"
+cargo build --release --offline --workspace --all-targets
+
+echo "==> cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "CI gate passed."

@@ -110,7 +110,10 @@ fn cmd_dataset(flags: &HashMap<String, String>) -> Result<(), String> {
     let users: usize = get(flags, "users", 48)?;
     let seed: u64 = get(flags, "seed", 42)?;
     let catalog = VideoCatalog::paper_default();
-    println!("generating {users} users × {} videos (seed {seed})…", catalog.videos().len());
+    println!(
+        "generating {users} users × {} videos (seed {seed})…",
+        catalog.videos().len()
+    );
     let dataset = Dataset::generate(&catalog, users, seed);
     save_dataset(&dataset, out).map_err(|e| e.to_string())?;
     println!("wrote {out}");
@@ -120,13 +123,18 @@ fn cmd_dataset(flags: &HashMap<String, String>) -> Result<(), String> {
 fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
     let video: usize = get(flags, "video", 4)?;
     if !(1..=8).contains(&video) {
-        return Err(format!("video {video} is not in the Table III catalog (1..=8)"));
+        return Err(format!(
+            "video {video} is not in the Table III catalog (1..=8)"
+        ));
     }
     let config = config_from(flags)?;
     let catalog = VideoCatalog::paper_default();
     let eval = Evaluation::prepare_videos(config, &catalog, Some(&[video]));
     let spec = catalog.video(video).expect("validated above");
-    println!("video {}: {} ({:?}), phone {:?}", spec.id, spec.name, spec.behavior, config.phone);
+    println!(
+        "video {}: {} ({:?}), phone {:?}",
+        spec.id, spec.name, spec.behavior, config.phone
+    );
     let mut table = TableWriter::new(vec!["scheme", "energy [mJ/seg]", "QoE", "stall [s]"]);
     for scheme in Scheme::ALL {
         let o = eval.run(video, scheme);

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ee360_support-3f68b7a5196d181a.d: crates/support/src/lib.rs crates/support/src/bench.rs crates/support/src/json.rs crates/support/src/parallel.rs crates/support/src/prop.rs crates/support/src/rng.rs
+
+/root/repo/target/debug/deps/libee360_support-3f68b7a5196d181a.rlib: crates/support/src/lib.rs crates/support/src/bench.rs crates/support/src/json.rs crates/support/src/parallel.rs crates/support/src/prop.rs crates/support/src/rng.rs
+
+/root/repo/target/debug/deps/libee360_support-3f68b7a5196d181a.rmeta: crates/support/src/lib.rs crates/support/src/bench.rs crates/support/src/json.rs crates/support/src/parallel.rs crates/support/src/prop.rs crates/support/src/rng.rs
+
+crates/support/src/lib.rs:
+crates/support/src/bench.rs:
+crates/support/src/json.rs:
+crates/support/src/parallel.rs:
+crates/support/src/prop.rs:
+crates/support/src/rng.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ee360_support-e14201ba53af1c34.d: crates/support/src/lib.rs crates/support/src/bench.rs crates/support/src/json.rs crates/support/src/parallel.rs crates/support/src/prop.rs crates/support/src/rng.rs
+
+/root/repo/target/debug/deps/ee360_support-e14201ba53af1c34: crates/support/src/lib.rs crates/support/src/bench.rs crates/support/src/json.rs crates/support/src/parallel.rs crates/support/src/prop.rs crates/support/src/rng.rs
+
+crates/support/src/lib.rs:
+crates/support/src/bench.rs:
+crates/support/src/json.rs:
+crates/support/src/parallel.rs:
+crates/support/src/prop.rs:
+crates/support/src/rng.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/support

@@ -64,15 +64,18 @@ fn serde_roundtrip_of_outcomes() {
     let catalog = VideoCatalog::paper_default();
     let eval = Evaluation::prepare_videos(config(), &catalog, Some(&[6]));
     let out = eval.run(6, Scheme::Ptile);
-    let json = serde_json::to_string(&out).expect("serialises");
+    let json = ee360_support::json::to_string(&out).expect("serialises");
     let back: ee360::core::experiment::SchemeOutcome =
-        serde_json::from_str(&json).expect("deserialises");
+        ee360_support::json::from_str(&json).expect("deserialises");
     // Textual JSON may differ in the last ulp; compare with tolerance.
     assert_eq!(back.scheme, out.scheme);
     assert_eq!(back.video_id, out.video_id);
     assert_eq!(back.segments, out.segments);
     let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(1.0);
-    assert!(close(back.mean_energy_mj_per_segment, out.mean_energy_mj_per_segment));
+    assert!(close(
+        back.mean_energy_mj_per_segment,
+        out.mean_energy_mj_per_segment
+    ));
     assert!(close(back.mean_qoe, out.mean_qoe));
     assert!(close(back.mean_variation, out.mean_variation));
     assert!(close(back.mean_stall_sec, out.mean_stall_sec));

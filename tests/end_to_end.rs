@@ -28,9 +28,24 @@ fn fig9_energy_ordering_focused_video() {
     let outs = eval.run_all_schemes(2);
     let energy: Vec<f64> = outs.iter().map(|o| o.mean_energy_mj_per_segment).collect();
     // Ours < Ptile < Ctile; Ftile < Ctile.
-    assert!(energy[4] < energy[3], "Ours {} !< Ptile {}", energy[4], energy[3]);
-    assert!(energy[3] < energy[0], "Ptile {} !< Ctile {}", energy[3], energy[0]);
-    assert!(energy[1] < energy[0], "Ftile {} !< Ctile {}", energy[1], energy[0]);
+    assert!(
+        energy[4] < energy[3],
+        "Ours {} !< Ptile {}",
+        energy[4],
+        energy[3]
+    );
+    assert!(
+        energy[3] < energy[0],
+        "Ptile {} !< Ctile {}",
+        energy[3],
+        energy[0]
+    );
+    assert!(
+        energy[1] < energy[0],
+        "Ftile {} !< Ctile {}",
+        energy[1],
+        energy[0]
+    );
 }
 
 #[test]
@@ -77,10 +92,7 @@ fn trace1_gives_better_qoe_than_trace2() {
     for scheme in Scheme::ALL {
         let q1 = t1.run(6, scheme).mean_qoe;
         let q2 = t2.run(6, scheme).mean_qoe;
-        assert!(
-            q1 >= q2 * 0.95,
-            "{scheme:?}: trace1 {q1} vs trace2 {q2}"
-        );
+        assert!(q1 >= q2 * 0.95, "{scheme:?}: trace1 {q1} vs trace2 {q2}");
     }
 }
 

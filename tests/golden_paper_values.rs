@@ -1,0 +1,219 @@
+//! Golden-value regression tests pinning the paper's published numbers.
+//!
+//! Every constant asserted here is copied from the paper (ICDCS'22,
+//! "Energy-Efficient and QoE-Aware 360-Degree Video Streaming on Mobile
+//! Devices"): Table I power regressions, Table II QoE-fit coefficients,
+//! and hand-evaluated operating points of Eqs. 2–5. If one of these tests
+//! fails, a model constant drifted from the paper — that is a bug in the
+//! code, not in the test.
+
+use ee360_geom::switching::{switching_speed_deg_per_sec, SwitchingSample};
+use ee360_geom::viewport::ViewCenter;
+use ee360_power::model::{DecoderScheme, Phone, PowerModel};
+use ee360_qoe::framerate::{alpha, framerate_factor};
+use ee360_qoe::impairment::{QoeWeights, SegmentQoe};
+use ee360_qoe::quality::{QoModel, TABLE2_COEFFICIENTS};
+use ee360_video::content::SiTi;
+
+fn close(actual: f64, expected: f64, tol: f64, what: &str) {
+    assert!(
+        (actual - expected).abs() < tol,
+        "{what}: expected {expected}, got {actual}"
+    );
+}
+
+// ---------------------------------------------------------------- Table I
+
+/// Table I, transmission row: `P_t` per phone in mW.
+#[test]
+fn table1_transmission_power() {
+    let expected = [
+        (Phone::Nexus5X, 1709.12),
+        (Phone::Pixel3, 1429.08),
+        (Phone::GalaxyS20, 1527.39),
+    ];
+    for (phone, mw) in expected {
+        assert_eq!(PowerModel::for_phone(phone).transmission_power_mw(), mw);
+    }
+}
+
+/// Table I, decode rows: `P_d(f) = base + slope·f`, full 3-phone × 4-scheme
+/// coefficient matrix.
+#[test]
+fn table1_decode_coefficient_matrix() {
+    // (phone, [Ctile, Ftile, Nontile, Ptile] as (base_mw, slope_mw_per_fps))
+    let expected = [
+        (
+            Phone::Nexus5X,
+            [
+                (1160.41, 16.53),
+                (832.45, 15.31),
+                (447.17, 14.51),
+                (210.65, 5.55),
+            ],
+        ),
+        (
+            Phone::Pixel3,
+            [
+                (574.89, 15.46),
+                (386.45, 13.23),
+                (209.92, 10.95),
+                (140.73, 5.96),
+            ],
+        ),
+        (
+            Phone::GalaxyS20,
+            [
+                (798.99, 16.49),
+                (658.41, 14.69),
+                (305.55, 11.41),
+                (152.72, 6.13),
+            ],
+        ),
+    ];
+    for (phone, rows) in expected {
+        let m = PowerModel::for_phone(phone);
+        for (scheme, (base, slope)) in DecoderScheme::ALL.into_iter().zip(rows) {
+            let model = m.decode_model(scheme);
+            assert_eq!(model.base_mw, base, "{phone:?}/{scheme:?} base");
+            assert_eq!(model.slope_mw_per_fps, slope, "{phone:?}/{scheme:?} slope");
+        }
+    }
+}
+
+/// Table I, render row: `P_r(f)` coefficients per phone.
+#[test]
+fn table1_render_coefficients() {
+    let expected = [
+        (Phone::Nexus5X, 79.46, 11.74),
+        (Phone::Pixel3, 57.76, 4.19),
+        (Phone::GalaxyS20, 108.21, 3.98),
+    ];
+    for (phone, base, slope) in expected {
+        let r = PowerModel::for_phone(phone).render_model();
+        assert_eq!(r.base_mw, base, "{phone:?} render base");
+        assert_eq!(r.slope_mw_per_fps, slope, "{phone:?} render slope");
+    }
+}
+
+/// Spot-check of the assembled linear model: Pixel 3 Ptile decoder at
+/// 30 fps is 140.73 + 5.96·30 = 319.53 mW.
+#[test]
+fn table1_pixel3_ptile_30fps_operating_point() {
+    let m = PowerModel::for_phone(Phone::Pixel3);
+    close(
+        m.decode_power_mw(DecoderScheme::Ptile, 30.0),
+        319.53,
+        1e-9,
+        "Pixel 3 Ptile decode @30fps",
+    );
+    close(
+        m.render_power_mw(30.0),
+        57.76 + 4.19 * 30.0,
+        1e-9,
+        "Pixel 3 render @30fps",
+    );
+}
+
+// --------------------------------------------------------------- Table II
+
+/// Table II: the Eq. 3 coefficients fitted against VMAF
+/// (c1, c2, c3, c4) = (−0.2163, 0.0581, −0.1578, 0.7821).
+#[test]
+fn table2_qo_fit_coefficients() {
+    assert_eq!(TABLE2_COEFFICIENTS.c1, -0.2163);
+    assert_eq!(TABLE2_COEFFICIENTS.c2, 0.0581);
+    assert_eq!(TABLE2_COEFFICIENTS.c3, -0.1578);
+    assert_eq!(TABLE2_COEFFICIENTS.c4, 0.7821);
+    assert_eq!(QoModel::paper_default().coefficients(), TABLE2_COEFFICIENTS);
+}
+
+// ------------------------------------------------------------- Eq. 3 (Q_o)
+
+/// Eq. 3 at two hand-evaluated operating points.
+///
+/// SI=60, TI=20, b=3 Mbps:
+///   z = −0.2163 + 0.0581·60 − 0.1578·20 + 0.7821·3 = 2.4600
+///   Q_o = 100 / (1 + e^{−2.46}) ≈ 92.1291
+///
+/// SI=30, TI=40, b=1 Mbps:
+///   z = −0.2163 + 1.743 − 6.312 + 0.7821 = −4.0032
+///   Q_o = 100 / (1 + e^{4.0032}) ≈ 1.7930
+#[test]
+fn eq3_hand_checked_operating_points() {
+    let m = QoModel::paper_default();
+    close(m.q_o(SiTi::new(60.0, 20.0), 3.0), 92.1291, 1e-3, "Q_o calm");
+    close(m.q_o(SiTi::new(30.0, 40.0), 1.0), 1.7930, 1e-3, "Q_o busy");
+}
+
+// -------------------------------------------------------------- Eq. 2 (Q)
+
+/// Eq. 2 with the paper's weights (ω_v, ω_r) = (1, 1), smooth playback:
+/// q_o=90, previous 85, download 0.5 s against a 2 s buffer.
+/// I_v = |90−85| = 5, I_r = 0 ⇒ Q = 85.
+#[test]
+fn eq2_smooth_playback_point() {
+    let q = SegmentQoe::evaluate(QoeWeights::paper_default(), 90.0, Some(85.0), 0.5, 2.0);
+    close(q.variation, 5.0, 1e-12, "I_v");
+    close(q.rebuffering, 0.0, 1e-12, "I_r");
+    close(q.total, 85.0, 1e-12, "Q");
+}
+
+/// Eq. 2 with a stall: q_o=80, previous 70, a 2 s download against a 1 s
+/// buffer. I_v = 10; the stall is 1 s, so I_r = (1/1)·80 = 80 (the cap at
+/// Q_o also lands at 80) ⇒ Q = 80 − 10 − 80 = −10.
+#[test]
+fn eq2_stall_point() {
+    let q = SegmentQoe::evaluate(QoeWeights::paper_default(), 80.0, Some(70.0), 2.0, 1.0);
+    close(q.variation, 10.0, 1e-12, "I_v");
+    close(q.rebuffering, 80.0, 1e-12, "I_r");
+    close(q.total, -10.0, 1e-12, "Q");
+}
+
+/// The paper's weight setting itself (Section V-A).
+#[test]
+fn eq2_paper_weights() {
+    let w = QoeWeights::paper_default();
+    assert_eq!(w.variation, 1.0);
+    assert_eq!(w.rebuffering, 1.0);
+}
+
+// -------------------------------------------------------------- Eq. 4 (α)
+
+/// Eq. 4: α = S_fov / TI, and the inverted-exponential frame-rate factor
+/// at a hand-evaluated point:
+///   α = 30/15 = 2;  factor(21 of 30 fps) = (1−e^{−1.4})/(1−e^{−2}) ≈ 0.871324.
+#[test]
+fn eq4_hand_checked_operating_point() {
+    close(alpha(30.0, 15.0), 2.0, 1e-12, "alpha");
+    close(
+        framerate_factor(21.0, 30.0, 2.0),
+        0.871324,
+        1e-4,
+        "frame-rate factor",
+    );
+    // Full rate is always factor 1, independent of sensitivity.
+    close(framerate_factor(30.0, 30.0, 2.0), 1.0, 1e-12, "full rate");
+}
+
+// ---------------------------------------------------------- Eq. 5 (S_fov)
+
+/// Eq. 5: great-circle angle over elapsed time. Equatorial yaw sweeps and
+/// pure pitch sweeps have trivially known angles.
+#[test]
+fn eq5_hand_checked_operating_points() {
+    // 45° of yaw in 0.5 s = 90 °/s.
+    let a = SwitchingSample::new(0.0, ViewCenter::new(0.0, 0.0));
+    let b = SwitchingSample::new(0.5, ViewCenter::new(45.0, 0.0));
+    close(switching_speed_deg_per_sec(&a, &b), 90.0, 1e-9, "yaw sweep");
+
+    // 30° of pitch in 1 s = 30 °/s.
+    let c = SwitchingSample::new(1.0, ViewCenter::new(10.0, 0.0));
+    let d = SwitchingSample::new(2.0, ViewCenter::new(10.0, 30.0));
+    close(
+        switching_speed_deg_per_sec(&c, &d),
+        30.0,
+        1e-9,
+        "pitch sweep",
+    );
+}

@@ -38,7 +38,9 @@ fn manifest_ptile_sizes_match_the_sizer() {
         for q in QualityLevel::ALL {
             for fps in [21.0, 30.0] {
                 let rep = seg
-                    .find(q, fps, |kind| matches!(kind, RepresentationKind::Ptile { .. }))
+                    .find(q, fps, |kind| {
+                        matches!(kind, RepresentationKind::Ptile { .. })
+                    })
                     .expect("ptile representation exists");
                 // Sizer total minus its background part = the Ptile alone.
                 let with_bg = sizer.ptile_bits(q, fps, area, 3, content);

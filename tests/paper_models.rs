@@ -49,7 +49,11 @@ fn fig8_calibration_holds_for_any_content() {
     // The Ptile/Ctile ratio is content-independent by construction; the
     // calibrated medians must hold exactly everywhere in content space.
     let m = SizeModel::paper_default();
-    for content in [SiTi::new(30.0, 5.0), SiTi::new(60.0, 25.0), SiTi::new(90.0, 60.0)] {
+    for content in [
+        SiTi::new(30.0, 5.0),
+        SiTi::new(60.0, 25.0),
+        SiTi::new(90.0, 60.0),
+    ] {
         for (i, q) in QualityLevel::ALL.iter().enumerate() {
             let p = m.region_bits(9.0 / 32.0, 1, *q, 30.0, content);
             let c = m.region_bits(9.0 / 32.0, 9, *q, 30.0, content);

@@ -1,0 +1,102 @@
+//! Replay determinism: same seed ⇒ byte-identical artifacts.
+//!
+//! The repo policy is stronger than "statistically equal": every figure,
+//! trace, and session must reproduce *bit for bit* from its seed, which
+//! is what lets the regenerated paper figures be diffed as text. These
+//! tests pin that at three levels — trace generation, a full client
+//! session, and the serialized end-to-end evaluation JSON.
+
+use ee360::abr::controller::Scheme;
+use ee360::cluster::ptile::PtileConfig;
+use ee360::core::client::{run_session, SessionSetup};
+use ee360::core::experiment::{Evaluation, ExperimentConfig};
+use ee360::core::server::VideoServer;
+use ee360::geom::grid::TileGrid;
+use ee360::power::model::Phone;
+use ee360::trace::dataset::{Dataset, VideoTraces};
+use ee360::trace::head::{GazeConfig, HeadTraceGenerator};
+use ee360::trace::network::NetworkTrace;
+use ee360::video::catalog::VideoCatalog;
+use ee360_support::json::to_string;
+
+/// Two head-trace generations from the same seed serialize to the same
+/// bytes — not just `==`, byte-identical JSON.
+#[test]
+fn head_trace_generation_is_byte_identical() {
+    let catalog = VideoCatalog::paper_default();
+    let spec = catalog.video(3).unwrap();
+    let gen = |seed| {
+        let trace = HeadTraceGenerator::new(GazeConfig::default()).generate(spec, seed, 17);
+        to_string(&trace).expect("head traces serialize")
+    };
+    assert_eq!(gen(17), gen(17));
+    assert_ne!(gen(17), gen(18), "different seeds must differ");
+}
+
+/// Same for a whole multi-user dataset and a network trace.
+#[test]
+fn dataset_and_network_trace_are_byte_identical() {
+    let catalog = VideoCatalog::paper_default();
+    let a = to_string(&Dataset::generate(&catalog, 4, 23)).unwrap();
+    let b = to_string(&Dataset::generate(&catalog, 4, 23)).unwrap();
+    assert_eq!(a, b);
+
+    let n1 = to_string(&NetworkTrace::paper_trace2(300, 5)).unwrap();
+    let n2 = to_string(&NetworkTrace::paper_trace2(300, 5)).unwrap();
+    assert_eq!(n1, n2);
+}
+
+/// A full client session replayed from identical inputs reports identical
+/// per-segment metrics: every record (timing, energy split, QoE terms)
+/// must match exactly, segment by segment.
+#[test]
+fn session_replay_has_identical_per_segment_metrics() {
+    let catalog = VideoCatalog::paper_default();
+    let spec = catalog.video(6).unwrap();
+
+    let run_once = || {
+        let traces = VideoTraces::generate(spec, 12, 7, GazeConfig::default());
+        let refs: Vec<_> = traces.traces().iter().collect();
+        let server = VideoServer::prepare(
+            spec,
+            &refs[..10],
+            TileGrid::paper_default(),
+            PtileConfig::paper_default(),
+        );
+        let network = NetworkTrace::paper_trace2(400, 7);
+        let user = traces.traces().last().unwrap().clone();
+        let setup = SessionSetup {
+            server: &server,
+            user: &user,
+            network: &network,
+            phone: Phone::Pixel3,
+            max_segments: Some(50),
+        };
+        run_session(Scheme::Ours, &setup)
+    };
+
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a.records().len(), b.records().len());
+    for (ra, rb) in a.records().iter().zip(b.records()) {
+        assert_eq!(ra, rb, "segment {} diverged on replay", ra.index);
+    }
+    assert_eq!(a.startup(), b.startup());
+    // And the serialized form is byte-identical too.
+    assert_eq!(to_string(&a).unwrap(), to_string(&b).unwrap());
+}
+
+/// The end-to-end check the CI gate uses: two same-seed evaluations of
+/// every scheme serialize to byte-identical JSON.
+#[test]
+fn end_to_end_evaluation_json_is_byte_identical() {
+    let catalog = VideoCatalog::paper_default();
+    let run = || {
+        let mut config = ExperimentConfig::quick_test();
+        config.max_segments = Some(30);
+        let eval = Evaluation::prepare_videos(config, &catalog, Some(&[2]));
+        let outcomes: Vec<_> = Scheme::ALL.into_iter().map(|s| eval.run(2, s)).collect();
+        to_string(&outcomes).expect("outcomes serialize")
+    };
+    assert_eq!(run(), run());
+}

@@ -28,7 +28,12 @@ fn fixture() -> (VideoServer, VideoTraces) {
     (server, traces)
 }
 
-fn run(server: &VideoServer, traces: &VideoTraces, network: &NetworkTrace, scheme: Scheme) -> ee360::sim::metrics::SessionMetrics {
+fn run(
+    server: &VideoServer,
+    traces: &VideoTraces,
+    network: &NetworkTrace,
+    scheme: Scheme,
+) -> ee360::sim::metrics::SessionMetrics {
     run_session(
         scheme,
         &SessionSetup {
@@ -100,9 +105,11 @@ fn quality_recovers_after_outage() {
         .filter(|r| r.timing.request_time_sec > 45.0)
         .collect();
     assert!(!late.is_empty());
-    let mean_q: f64 =
-        late.iter().map(|r| r.quality_level as f64).sum::<f64>() / late.len() as f64;
-    assert!(mean_q >= 3.0, "post-outage quality {mean_q} never recovered");
+    let mean_q: f64 = late.iter().map(|r| r.quality_level as f64).sum::<f64>() / late.len() as f64;
+    assert!(
+        mean_q >= 3.0,
+        "post-outage quality {mean_q} never recovered"
+    );
 }
 
 #[test]
