@@ -1,8 +1,10 @@
 //! The controller abstraction shared by all five schemes.
 
 use ee360_power::model::DecoderScheme;
+use ee360_video::ladder::EncodingLadder;
 
 use crate::plan::{SegmentContext, SegmentPlan};
+use crate::sizer::SchemeSizer;
 
 /// The five evaluated schemes (Section V-A).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -74,6 +76,49 @@ pub trait Controller {
     /// forecast-enabled MPC uses it to fit its AR(1) model.
     fn observe_throughput(&mut self, _throughput_bps: f64) {}
 
+    /// Re-plans a segment `rungs` steps down the degradation ladder after
+    /// the resilient pipeline abandoned the original download.
+    ///
+    /// The default walks both axes the paper adapts: each rung lowers the
+    /// quality level one step (floored at Q1) and the frame rate one step
+    /// along the 21/24/27/30 fps ladder (floored at the minimum), scaling
+    /// the payload by the effective-bitrate and frame-rate ratios so the
+    /// retry actually gets cheaper. Controllers with richer state may
+    /// override (e.g. to respect a Ptile/Ctile fallback decision).
+    fn replan_degraded(
+        &mut self,
+        _ctx: &SegmentContext,
+        original: &SegmentPlan,
+        rungs: usize,
+    ) -> SegmentPlan {
+        if rungs == 0 {
+            return *original;
+        }
+        let sizer = SchemeSizer::paper_default();
+        let mut quality = original.quality;
+        for _ in 0..rungs {
+            if let Some(lower) = quality.lower() {
+                quality = lower;
+            }
+        }
+        let rates = EncodingLadder::paper_default().frame_rates();
+        let idx = rates
+            .iter()
+            .rposition(|r| r.fps() <= original.fps + 1e-9)
+            .unwrap_or(0);
+        let fps = rates[idx.saturating_sub(rungs)].fps().min(original.fps);
+        let rate_ratio =
+            sizer.effective_bitrate_mbps(quality) / sizer.effective_bitrate_mbps(original.quality);
+        let fps_ratio = fps / original.fps;
+        SegmentPlan {
+            quality,
+            fps,
+            bits: (original.bits * rate_ratio * fps_ratio).max(1.0),
+            decode_scheme: original.decode_scheme,
+            effective_bitrate_mbps: sizer.effective_bitrate_mbps(quality),
+        }
+    }
+
     /// Resets internal state between sessions (default: nothing to reset).
     fn reset(&mut self) {}
 }
@@ -102,5 +147,70 @@ mod tests {
         let json = ee360_support::json::to_string(&Scheme::Ours).unwrap();
         let back: Scheme = ee360_support::json::from_str(&json).unwrap();
         assert_eq!(back, Scheme::Ours);
+    }
+
+    use ee360_video::content::SiTi;
+    use ee360_video::ladder::QualityLevel;
+
+    /// A trivial controller to exercise the default `replan_degraded`.
+    struct Fixed(SegmentPlan);
+
+    impl Controller for Fixed {
+        fn plan(&mut self, _ctx: &SegmentContext) -> SegmentPlan {
+            self.0
+        }
+        fn scheme(&self) -> Scheme {
+            Scheme::Ours
+        }
+    }
+
+    fn original_plan() -> SegmentPlan {
+        SegmentPlan {
+            quality: QualityLevel::Q4,
+            fps: 30.0,
+            bits: 4.0e6,
+            decode_scheme: DecoderScheme::Ptile,
+            effective_bitrate_mbps: SchemeSizer::paper_default()
+                .effective_bitrate_mbps(QualityLevel::Q4),
+        }
+    }
+
+    #[test]
+    fn replan_walks_both_axes_down() {
+        let ctx = SegmentContext::example(SiTi::new(50.0, 20.0), 4.0e6);
+        let mut c = Fixed(original_plan());
+        let original = original_plan();
+        let d1 = c.replan_degraded(&ctx, &original, 1);
+        assert_eq!(d1.quality, QualityLevel::Q3);
+        assert!((d1.fps - 27.0).abs() < 1e-9);
+        assert!(d1.bits < original.bits, "a degraded retry must be cheaper");
+        assert!(d1.effective_bitrate_mbps < original.effective_bitrate_mbps);
+        // Deeper rungs keep shrinking.
+        let d2 = c.replan_degraded(&ctx, &original, 2);
+        assert!(d2.bits < d1.bits);
+        assert_eq!(d2.quality, QualityLevel::Q2);
+        assert!((d2.fps - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replan_floors_at_the_bottom_of_the_ladder() {
+        let ctx = SegmentContext::example(SiTi::new(50.0, 20.0), 4.0e6);
+        let mut c = Fixed(original_plan());
+        let original = original_plan();
+        let floor = c.replan_degraded(&ctx, &original, 99);
+        assert_eq!(floor.quality, QualityLevel::Q1);
+        assert!((floor.fps - 21.0).abs() < 1e-9);
+        assert!(floor.bits > 0.0, "the floor is still a playable request");
+        // Rung 0 is the identity.
+        assert_eq!(c.replan_degraded(&ctx, &original, 0), original);
+    }
+
+    #[test]
+    fn replan_preserves_decode_scheme() {
+        let ctx = SegmentContext::example(SiTi::new(50.0, 20.0), 4.0e6);
+        let mut c = Fixed(original_plan());
+        let original = original_plan();
+        let d = c.replan_degraded(&ctx, &original, 3);
+        assert_eq!(d.decode_scheme, original.decode_scheme);
     }
 }

@@ -16,7 +16,7 @@
 use ee360_abr::baselines::RateBasedController;
 use ee360_abr::controller::{Controller, Scheme};
 use ee360_abr::mpc::{MpcConfig, MpcController};
-use ee360_abr::plan::SegmentContext;
+use ee360_abr::plan::{SegmentContext, SegmentPlan};
 use ee360_geom::region::TileRegion;
 use ee360_geom::switching::SwitchingSample;
 use ee360_geom::viewport::{ViewCenter, Viewport};
@@ -28,7 +28,9 @@ use ee360_qoe::framerate::{alpha, framerate_factor};
 use ee360_qoe::impairment::{QoeWeights, SegmentQoe};
 use ee360_qoe::quality::QoModel;
 use ee360_sim::metrics::{SegmentRecord, SessionMetrics};
-use ee360_sim::session::StreamingSession;
+use ee360_sim::resilience::{DownloadOutcome, ResilientSession, RetryPolicy};
+use ee360_sim::session::SegmentTiming;
+use ee360_trace::fault::FaultPlan;
 use ee360_trace::head::HeadTrace;
 use ee360_trace::network::NetworkTrace;
 use ee360_video::ladder::QualityLevel;
@@ -102,6 +104,47 @@ pub fn run_session(scheme: Scheme, setup: &SessionSetup) -> SessionMetrics {
 ///
 /// Panics if the user's trace belongs to a different video than the server.
 pub fn run_session_with(controller: &mut dyn Controller, setup: &SessionSetup) -> SessionMetrics {
+    // The benign path is the resilient loop with no faults scheduled and
+    // the wait-forever legacy policy: behaviourally identical to the seed.
+    run_session_resilient_with(
+        controller,
+        setup,
+        &FaultPlan::none(),
+        &RetryPolicy::disabled(),
+    )
+}
+
+/// Runs one complete session under a fault plan with the scheme's standard
+/// controller: timeouts are retried with backoff, abandoned downloads are
+/// re-requested down the degradation ladder via
+/// [`Controller::replan_degraded`], and segments whose deadline is
+/// exhausted are skipped with the blackout charged to QoE. The returned
+/// metrics carry the session's resilience counters.
+///
+/// # Panics
+///
+/// Panics if the user's trace belongs to a different video than the server.
+pub fn run_session_resilient(
+    scheme: Scheme,
+    setup: &SessionSetup,
+    faults: &FaultPlan,
+    policy: &RetryPolicy,
+) -> SessionMetrics {
+    let mut controller = make_controller(scheme, setup.phone);
+    run_session_resilient_with(controller.as_mut(), setup, faults, policy)
+}
+
+/// [`run_session_resilient`] with a caller-supplied controller.
+///
+/// # Panics
+///
+/// Panics if the user's trace belongs to a different video than the server.
+pub fn run_session_resilient_with(
+    controller: &mut dyn Controller,
+    setup: &SessionSetup,
+    faults: &FaultPlan,
+    policy: &RetryPolicy,
+) -> SessionMetrics {
     assert_eq!(
         setup.user.video_id(),
         setup.server.video_id(),
@@ -113,7 +156,7 @@ pub fn run_session_with(controller: &mut dyn Controller, setup: &SessionSetup) -
     let weights = QoeWeights::paper_default();
     let predictor = ViewportPredictor::paper_default();
     let mut bw_estimator = HarmonicMeanEstimator::paper_default();
-    let mut session = StreamingSession::new(setup.network.clone(), 3.0);
+    let mut session = ResilientSession::new(setup.network.clone(), faults.clone(), *policy, 3.0);
     let mut metrics = SessionMetrics::new();
 
     let grid = *setup.server.grid();
@@ -131,9 +174,13 @@ pub fn run_session_with(controller: &mut dyn Controller, setup: &SessionSetup) -
 
     // Startup: fetch the manifests of the first H segments (Section IV-C
     // step (a)) before the first media request. ~16 kB per segment of
-    // representation metadata.
+    // representation metadata. Under faults the fetch rides the same
+    // timeout/backoff machinery; if even that fails the session proceeds
+    // with the time (and radio energy) burned.
     let metadata_bits = 128_000.0 * horizon as f64;
-    let metadata_sec = session.fetch_metadata(metadata_bits);
+    let clock_before_metadata = session.clock_sec();
+    let _ = session.fetch_metadata(metadata_bits);
+    let metadata_sec = session.clock_sec() - clock_before_metadata;
     metrics.set_startup(ee360_sim::metrics::StartupRecord {
         bits: metadata_bits,
         duration_sec: metadata_sec,
@@ -209,20 +256,90 @@ pub fn run_session_with(controller: &mut dyn Controller, setup: &SessionSetup) -
         };
         let plan = controller.plan(&ctx);
 
-        // --- 5. download ------------------------------------------------
-        let timing = session.download_segment(plan.bits);
-        bw_estimator.observe(timing.throughput_bps);
-        controller.observe_throughput(timing.throughput_bps);
+        // --- 5. download (with retry/abandon/degrade/skip) --------------
+        // Rung 0 is the controller's plan; deeper rungs are produced
+        // lazily by its replan hook when the pipeline abandons a download.
+        let mut rung_plans: Vec<SegmentPlan> = vec![plan];
+        let outcome = {
+            let mut request = |rung: usize| {
+                while rung_plans.len() <= rung {
+                    let next = controller.replan_degraded(&ctx, &plan, rung_plans.len());
+                    rung_plans.push(next);
+                }
+                rung_plans[rung].bits
+            };
+            session.download_segment(k, &mut request)
+        };
 
-        // --- 6a. energy (Eq. 1) -----------------------------------------
+        let (timing, used_plan, delivered_bits, wasted_bits) = match outcome {
+            DownloadOutcome::Delivered {
+                timing,
+                bits,
+                wasted_bits,
+                degraded_rungs,
+                ..
+            } => {
+                bw_estimator.observe(timing.throughput_bps);
+                controller.observe_throughput(timing.throughput_bps);
+                let used = rung_plans[degraded_rungs.min(rung_plans.len() - 1)];
+                (timing, used, bits, wasted_bits)
+            }
+            DownloadOutcome::Skipped {
+                request_time_sec,
+                wait_sec,
+                elapsed_sec,
+                blackout_sec,
+                wasted_bits,
+                ..
+            } => {
+                // The player jumps past the segment: nothing decoded or
+                // displayed, the radio burned `elapsed_sec`, and the
+                // blackout is charged below as rebuffering.
+                let timing = SegmentTiming {
+                    request_time_sec,
+                    wait_sec,
+                    download_sec: elapsed_sec,
+                    throughput_bps: 0.0,
+                    buffer_at_request_sec: (buffer - wait_sec).max(0.0),
+                    stall_sec: (blackout_sec - SEGMENT_DURATION_SEC).max(0.0),
+                    buffer_after_sec: session.buffer_level_sec(),
+                };
+                let energy = SegmentEnergy {
+                    transmission_mj: power.transmission_power_mw() * elapsed_sec,
+                    decode_mj: 0.0,
+                    render_mj: 0.0,
+                };
+                let qoe = SegmentQoe::evaluate(
+                    weights,
+                    0.0,
+                    prev_qo,
+                    blackout_sec + timing.buffer_at_request_sec,
+                    timing.buffer_at_request_sec,
+                );
+                prev_qo = Some(0.0);
+                metrics.push(SegmentRecord {
+                    index: k,
+                    quality_level: 0,
+                    fps: 0.0,
+                    bits: wasted_bits,
+                    decode_scheme: plan.decode_scheme,
+                    timing,
+                    energy,
+                    qoe,
+                });
+                continue;
+            }
+        };
+
+        // --- 6a. energy (Eq. 1): wasted attempts still cost radio -------
         let energy = SegmentEnergy::compute(
             &power,
             SegmentEnergyParams {
-                bits: plan.bits,
+                bits: delivered_bits + wasted_bits,
                 bandwidth_bps: timing.throughput_bps,
-                fps: plan.fps,
+                fps: used_plan.fps,
                 duration_sec: SEGMENT_DURATION_SEC,
-                scheme: plan.decode_scheme,
+                scheme: used_plan.decode_scheme,
             },
         );
 
@@ -245,7 +362,9 @@ pub fn run_session_with(controller: &mut dyn Controller, setup: &SessionSetup) -
                     _ => 1.0,
                 }
             }
-            (_, Some(region)) if plan.decode_scheme == ee360_power::model::DecoderScheme::Ptile => {
+            (_, Some(region))
+                if used_plan.decode_scheme == ee360_power::model::DecoderScheme::Ptile =>
+            {
                 overlap_fraction(region, &grid, &actual_vp)
             }
             _ => {
@@ -259,8 +378,8 @@ pub fn run_session_with(controller: &mut dyn Controller, setup: &SessionSetup) -
             }
         };
         let a = alpha(actual_s_fov, content.ti());
-        let ff = framerate_factor(plan.fps, 30.0, a);
-        let qo_hi = qo_model.q_o(content, plan.effective_bitrate_mbps) * ff;
+        let ff = framerate_factor(used_plan.fps, 30.0, a);
+        let qo_hi = qo_model.q_o(content, used_plan.effective_bitrate_mbps) * ff;
         let qo_lo = qo_model.q_o(content, q1_bitrate);
         let qo_eff = frac * qo_hi + (1.0 - frac) * qo_lo;
         // Startup (k = 0) is not a rebuffering event: players display
@@ -277,15 +396,16 @@ pub fn run_session_with(controller: &mut dyn Controller, setup: &SessionSetup) -
 
         metrics.push(SegmentRecord {
             index: k,
-            quality_level: plan.quality.index(),
-            fps: plan.fps,
-            bits: plan.bits,
-            decode_scheme: plan.decode_scheme,
+            quality_level: used_plan.quality.index(),
+            fps: used_plan.fps,
+            bits: delivered_bits,
+            decode_scheme: used_plan.decode_scheme,
             timing,
             energy,
             qoe,
         });
     }
+    metrics.set_resilience(*session.counters());
     metrics
 }
 
@@ -416,6 +536,90 @@ mod tests {
         };
         let m = run_session(Scheme::Nontile, &setup);
         assert!(m.mean_quality() > 90.0, "quality {}", m.mean_quality());
+    }
+
+    #[test]
+    fn resilient_with_no_faults_matches_the_benign_path() {
+        let (server, traces, network) = setup_video(2, 10, 5);
+        let user = traces.traces().last().unwrap();
+        let setup = SessionSetup {
+            server: &server,
+            user,
+            network: &network,
+            phone: Phone::Pixel3,
+            max_segments: Some(25),
+        };
+        let benign = run_session(Scheme::Ours, &setup);
+        let resilient = run_session_resilient(
+            Scheme::Ours,
+            &setup,
+            &FaultPlan::none(),
+            &RetryPolicy::disabled(),
+        );
+        assert_eq!(benign, resilient);
+        assert!(resilient.resilience().is_clean());
+    }
+
+    #[test]
+    fn outage_mid_stream_degrades_but_finishes() {
+        // 10 s of dead radio at t = 30 on the paper's LTE trace: the
+        // session must complete every segment slot (delivered or skipped),
+        // record at least one abandon or downgrade, and stay deterministic.
+        let (server, traces, network) = setup_video(2, 10, 5);
+        let user = traces.traces().last().unwrap();
+        let setup = SessionSetup {
+            server: &server,
+            user,
+            network: &network,
+            phone: Phone::Pixel3,
+            max_segments: Some(60),
+        };
+        let faults = FaultPlan::single_outage(30.0, 10.0);
+        let policy = RetryPolicy::default_mobile();
+        let run = || run_session_resilient(Scheme::Ours, &setup, &faults, &policy);
+        let m = run();
+        assert_eq!(m.len(), 60, "every segment slot must be accounted for");
+        let r = m.resilience();
+        assert!(
+            r.abandons + r.degraded_segments + r.skipped_segments >= 1,
+            "a 10 s outage must leave a resilience trace: {r:?}"
+        );
+        assert!(
+            m.rebuffer_ratio() < 0.5,
+            "graceful degradation must bound the rebuffer ratio, got {}",
+            m.rebuffer_ratio()
+        );
+        // Byte-identical same-seed replay.
+        let a = ee360_support::json::to_string(&m).unwrap();
+        let b = ee360_support::json::to_string(&run()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chaos_storm_never_panics_or_hangs() {
+        use ee360_trace::fault::FaultConfig;
+        let (server, traces, network) = setup_video(2, 10, 5);
+        let user = traces.traces().last().unwrap();
+        let setup = SessionSetup {
+            server: &server,
+            user,
+            network: &network,
+            phone: Phone::GalaxyS20,
+            max_segments: Some(40),
+        };
+        let faults = FaultPlan::generate(FaultConfig::chaos_default(), 400.0, 77);
+        let m = run_session_resilient(
+            Scheme::Ours,
+            &setup,
+            &faults,
+            &RetryPolicy::default_mobile(),
+        );
+        assert_eq!(m.len(), 40);
+        assert!(m.total_energy_mj() > 0.0);
+        // Skipped segments carry zero quality but the session keeps going.
+        for rec in m.records() {
+            assert!(rec.qoe.q_o >= 0.0 && rec.qoe.q_o <= 100.0);
+        }
     }
 
     #[test]

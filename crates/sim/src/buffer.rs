@@ -114,6 +114,24 @@ impl PlaybackBuffer {
         }
     }
 
+    /// Drains `elapsed_sec` of playback *without* adding a segment — the
+    /// skip path of the resilient pipeline, where a segment's deadline was
+    /// exhausted and the player jumps past it. Returns the stall time
+    /// (how long the buffer sat empty while the clock ran).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elapsed_sec` is negative or not finite.
+    pub fn drain(&mut self, elapsed_sec: f64) -> f64 {
+        assert!(
+            elapsed_sec.is_finite() && elapsed_sec >= 0.0,
+            "drained time must be non-negative"
+        );
+        let stall_sec = (elapsed_sec - self.level_sec).max(0.0);
+        self.level_sec = (self.level_sec - elapsed_sec).max(0.0);
+        stall_sec
+    }
+
     /// Empties the buffer (new session).
     pub fn reset(&mut self) {
         self.level_sec = 0.0;
@@ -169,6 +187,19 @@ mod tests {
         assert!((step.wait_sec - 1.0).abs() < 1e-12);
         assert!((step.buffer_at_request_sec - 2.0).abs() < 1e-12);
         assert_eq!(step.stall_sec, 0.0);
+    }
+
+    #[test]
+    fn drain_consumes_without_adding_content() {
+        let mut buf = PlaybackBuffer::new(3.0);
+        buf.advance(0.0, 1.0);
+        buf.advance(0.0, 1.0); // level 2.0
+        assert_eq!(buf.drain(0.5), 0.0);
+        assert!((buf.level_sec() - 1.5).abs() < 1e-12);
+        // Draining past empty stalls for the excess.
+        let stall = buf.drain(2.5);
+        assert!((stall - 1.0).abs() < 1e-12);
+        assert_eq!(buf.level_sec(), 0.0);
     }
 
     #[test]

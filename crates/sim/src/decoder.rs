@@ -28,6 +28,10 @@ pub const CTILE_NINE_DECODER_POWER_MW: f64 = 846.0;
 pub const PTILE_DECODE_TIME_SEC: f64 = 0.24;
 /// Paper anchor: Ptile decode power, mW.
 pub const PTILE_DECODE_POWER_MW: f64 = 287.0;
+/// Time to tear down and reinitialise a wedged hardware codec before the
+/// retry decode (MediaCodec `reset()` + configure + first-frame latency;
+/// ~200 ms is the ballpark Android vendors quote).
+pub const DECODER_REINIT_SEC: f64 = 0.2;
 
 /// The calibrated decode-pipeline model.
 ///
@@ -114,6 +118,29 @@ impl DecoderPipeline {
     pub fn is_realtime(&self, n_decoders: usize, segment_sec: f64) -> bool {
         self.decode_time_sec(n_decoders) <= segment_sec
     }
+
+    /// Fallible variant of [`DecoderPipeline::decode_time_sec`]: a zero
+    /// decoder count is an [`SimError::InvalidRequest`], not a panic —
+    /// the Result-based pipeline never aborts the whole session over a
+    /// malformed decode request.
+    pub fn try_decode_time_sec(&self, n_decoders: usize) -> Result<f64, crate::error::SimError> {
+        if n_decoders == 0 {
+            return Err(crate::error::SimError::InvalidRequest(
+                "need at least one decoder",
+            ));
+        }
+        Ok(self.t1_sec / (1.0 + self.speedup_a * (n_decoders as f64 - 1.0)))
+    }
+
+    /// Wall-clock cost of recovering from a wedged decoder with `n`
+    /// concurrent decoders: codec reinitialisation plus the re-decode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn recovery_time_sec(&self, n_decoders: usize) -> f64 {
+        DECODER_REINIT_SEC + self.decode_time_sec(n_decoders)
+    }
 }
 
 impl Default for DecoderPipeline {
@@ -192,5 +219,25 @@ mod tests {
     #[should_panic(expected = "at least one decoder")]
     fn zero_decoders_panics() {
         let _ = pipe().decode_time_sec(0);
+    }
+
+    #[test]
+    fn try_decode_matches_infallible_path() {
+        let p = pipe();
+        for n in 1..=9 {
+            assert_eq!(p.try_decode_time_sec(n).unwrap(), p.decode_time_sec(n));
+        }
+        assert!(matches!(
+            p.try_decode_time_sec(0),
+            Err(crate::error::SimError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn recovery_costs_reinit_plus_redecode() {
+        let p = pipe();
+        let r = p.recovery_time_sec(4);
+        assert!((r - (DECODER_REINIT_SEC + p.decode_time_sec(4))).abs() < 1e-12);
+        assert!(r > p.decode_time_sec(4));
     }
 }

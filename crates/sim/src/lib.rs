@@ -12,7 +12,14 @@
 //!   time, waits, downloads over a [`ee360_trace::network::NetworkTrace`]
 //!   and reports each segment's timing,
 //! * [`metrics`] — per-segment records and whole-session aggregates
-//!   (energy breakdown, QoE decomposition, stall statistics).
+//!   (energy breakdown, QoE decomposition, stall statistics),
+//! * [`error`] — the [`error::SimError`] taxonomy the fallible pipeline
+//!   trades in (timeouts, losses, corruption, exhausted deadlines),
+//! * [`resilience`] — a [`resilience::ResilientSession`] streams over a
+//!   [`ee360_trace::fault::FaultPlan`] with per-attempt timeouts,
+//!   exponential-backoff retries, mid-download abandon with ladder
+//!   degradation, and skip-with-blackout when a segment's deadline is
+//!   exhausted.
 //!
 //! # Example
 //!
@@ -29,12 +36,16 @@
 
 pub mod buffer;
 pub mod decoder;
+pub mod error;
 pub mod metrics;
 pub mod multiclient;
+pub mod resilience;
 pub mod session;
 
 pub use buffer::{BufferStep, PlaybackBuffer};
 pub use decoder::DecoderPipeline;
+pub use error::SimError;
 pub use metrics::{SegmentRecord, SessionMetrics};
 pub use multiclient::{simulate_shared_link, ClientOutcome, MulticlientConfig};
+pub use resilience::{DownloadOutcome, ResilienceCounters, ResilientSession, RetryPolicy};
 pub use session::{SegmentTiming, StreamingSession};

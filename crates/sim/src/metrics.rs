@@ -8,7 +8,9 @@
 use ee360_power::energy::SegmentEnergy;
 use ee360_power::model::DecoderScheme;
 use ee360_qoe::impairment::SegmentQoe;
+use ee360_video::segment::SEGMENT_DURATION_SEC;
 
+use crate::resilience::ResilienceCounters;
 use crate::session::SegmentTiming;
 
 /// Everything recorded about one streamed segment.
@@ -67,9 +69,14 @@ ee360_support::impl_json_struct!(StartupRecord {
 pub struct SessionMetrics {
     startup: Option<StartupRecord>,
     records: Vec<SegmentRecord>,
+    resilience: ResilienceCounters,
 }
 
-ee360_support::impl_json_struct!(SessionMetrics { startup, records });
+ee360_support::impl_json_struct!(SessionMetrics {
+    startup,
+    records,
+    resilience
+});
 
 impl SessionMetrics {
     /// Creates an empty accumulator.
@@ -208,6 +215,40 @@ impl SessionMetrics {
         }
         self.records.iter().map(|r| r.fps).sum::<f64>() / self.records.len() as f64
     }
+
+    /// The session's resilience tallies (all-zero for a fault-free run).
+    pub fn resilience(&self) -> &ResilienceCounters {
+        &self.resilience
+    }
+
+    /// Replaces the resilience tallies wholesale (single-session runs).
+    pub fn set_resilience(&mut self, counters: ResilienceCounters) {
+        self.resilience = counters;
+    }
+
+    /// Adds another run's resilience tallies (fleet aggregation).
+    pub fn accumulate_resilience(&mut self, counters: &ResilienceCounters) {
+        self.resilience.accumulate(counters);
+    }
+
+    /// Segments the resilient pipeline gave up on and skipped.
+    pub fn skipped_count(&self) -> usize {
+        self.resilience.skipped_segments
+    }
+
+    /// Fraction of wall-clock playback spent frozen: stalls plus skip
+    /// blackouts over frozen-plus-played time. Zero for an empty session —
+    /// no playback means nothing rebuffered.
+    pub fn rebuffer_ratio(&self) -> f64 {
+        let frozen = self.total_stall_sec() + self.resilience.blackout_sec;
+        let played = self.records.len() as f64 * SEGMENT_DURATION_SEC;
+        let denom = frozen + played;
+        if denom <= 0.0 {
+            0.0
+        } else {
+            frozen / denom
+        }
+    }
 }
 
 #[cfg(test)]
@@ -254,6 +295,9 @@ mod tests {
         assert_eq!(m.mean_quality(), 0.0);
         assert_eq!(m.stall_count(), 0);
         assert_eq!(m.mean_fps(), 0.0);
+        assert_eq!(m.rebuffer_ratio(), 0.0);
+        assert_eq!(m.skipped_count(), 0);
+        assert!(m.resilience().is_clean());
     }
 
     #[test]
@@ -302,11 +346,51 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn serde_roundtrip() -> Result<(), ee360_support::json::JsonError> {
         let mut m = SessionMetrics::new();
         m.push(record(0, 500.0, 60.0, 0.1));
-        let json = ee360_support::json::to_string(&m).unwrap();
-        let back: SessionMetrics = ee360_support::json::from_str(&json).unwrap();
+        m.set_resilience(ResilienceCounters {
+            retries: 2,
+            skipped_segments: 1,
+            blackout_sec: 1.25,
+            ..ResilienceCounters::default()
+        });
+        let json = ee360_support::json::to_string(&m)?;
+        let back: SessionMetrics = ee360_support::json::from_str(&json)?;
         assert_eq!(back, m);
+        assert_eq!(back.resilience().retries, 2);
+        Ok(())
+    }
+
+    #[test]
+    fn empty_session_roundtrips_to_zeroed_summaries() -> Result<(), ee360_support::json::JsonError>
+    {
+        // An empty session must serialize and come back as the same
+        // all-zero aggregate, never erroring on the missing records.
+        let m = SessionMetrics::new();
+        let json = ee360_support::json::to_string(&m)?;
+        let back: SessionMetrics = ee360_support::json::from_str(&json)?;
+        assert_eq!(back, m);
+        assert!(back.is_empty());
+        assert_eq!(back.mean_qoe(), 0.0);
+        assert_eq!(back.rebuffer_ratio(), 0.0);
+        assert_eq!(back.startup_delay_sec(), 0.0);
+        Ok(())
+    }
+
+    #[test]
+    fn rebuffer_ratio_counts_stalls_and_blackouts() {
+        let mut m = SessionMetrics::new();
+        m.push(record(0, 1000.0, 70.0, 0.5));
+        m.push(record(1, 1000.0, 70.0, 0.0));
+        // Two 1 s segments played, 0.5 s stall: ratio 0.5/2.5.
+        assert!((m.rebuffer_ratio() - 0.5 / 2.5).abs() < 1e-12);
+        m.accumulate_resilience(&ResilienceCounters {
+            skipped_segments: 1,
+            blackout_sec: 1.5,
+            ..ResilienceCounters::default()
+        });
+        assert!((m.rebuffer_ratio() - 2.0 / 4.0).abs() < 1e-12);
+        assert_eq!(m.skipped_count(), 1);
     }
 }

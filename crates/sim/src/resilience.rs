@@ -1,0 +1,812 @@
+//! The resilient download pipeline: timeout, retry, abandon, degrade, skip.
+//!
+//! Where [`crate::session::StreamingSession`] models the paper's benign
+//! world (every request eventually completes), a [`ResilientSession`]
+//! streams over a [`FaultyLink`] and survives everything a
+//! [`FaultPlan`](ee360_trace::fault::FaultPlan) throws at it, degrading
+//! QoE gracefully instead of stalling forever or crashing:
+//!
+//! 1. every attempt runs under a per-request **timeout**;
+//! 2. a failed attempt (timeout, loss, corruption) is **retried** with
+//!    exponential **backoff**;
+//! 3. a mid-download **abandon** re-requests the segment one rung lower
+//!    on the (bitrate, frame-rate) ladder — the caller supplies the
+//!    degradation via a `rung → bits` closure, so any ABR controller can
+//!    plug in its own replan;
+//! 4. when the segment's total deadline is blown the player **skips** it,
+//!    charging the blackout to the rebuffer/QoE account and moving on.
+//!
+//! Every path is deterministic: the fault plan is a pure function of its
+//! seed and the policy arithmetic is plain `f64`, so same-seed replays
+//! serialize byte-identically.
+
+use ee360_trace::fault::{FaultPlan, FaultyLink};
+use ee360_trace::network::NetworkTrace;
+use ee360_video::segment::SEGMENT_DURATION_SEC;
+
+use crate::buffer::PlaybackBuffer;
+use crate::decoder::DecoderPipeline;
+use crate::error::SimError;
+use crate::session::SegmentTiming;
+
+/// Stand-in for an infinite per-attempt budget ([`RetryPolicy::disabled`]):
+/// [`FaultyLink::try_download`] needs a finite deadline, and ~11 days of
+/// wall-clock is beyond any trace horizon (it also bounds the slot walk so
+/// a dead link costs ~10⁶ iterations, not forever).
+const EFFECTIVELY_FOREVER_SEC: f64 = 1.0e6;
+
+fn finite_budget(sec: f64) -> f64 {
+    if sec.is_finite() {
+        sec
+    } else {
+        EFFECTIVELY_FOREVER_SEC
+    }
+}
+
+/// Timeout / retry / abandon configuration of the resilient pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Per-attempt timeout, seconds: how long the client waits for one
+    /// request before abandoning it.
+    pub attempt_timeout_sec: f64,
+    /// Retries after the first attempt (total attempts = `max_retries+1`).
+    pub max_retries: usize,
+    /// First backoff pause, seconds.
+    pub backoff_base_sec: f64,
+    /// Multiplier applied per retry (exponential backoff).
+    pub backoff_factor: f64,
+    /// Backoff ceiling, seconds.
+    pub backoff_cap_sec: f64,
+    /// Total wall-clock budget per segment, seconds, across all attempts
+    /// and backoffs; once blown the segment is skipped.
+    pub segment_deadline_sec: f64,
+}
+
+ee360_support::impl_json_struct!(RetryPolicy {
+    attempt_timeout_sec,
+    max_retries,
+    backoff_base_sec,
+    backoff_factor,
+    backoff_cap_sec,
+    segment_deadline_sec
+});
+
+impl RetryPolicy {
+    /// A sane mobile-client default: 4 s per attempt, 3 retries, 0.25 s
+    /// backoff doubling to a 2 s cap, 12 s total per segment.
+    pub fn default_mobile() -> Self {
+        Self {
+            attempt_timeout_sec: 4.0,
+            max_retries: 3,
+            backoff_base_sec: 0.25,
+            backoff_factor: 2.0,
+            backoff_cap_sec: 2.0,
+            segment_deadline_sec: 12.0,
+        }
+    }
+
+    /// The legacy behaviour: wait forever, never retry, never skip. Used
+    /// by the benign entry points to keep the seed semantics unchanged.
+    pub fn disabled() -> Self {
+        Self {
+            attempt_timeout_sec: f64::INFINITY,
+            max_retries: 0,
+            backoff_base_sec: 0.0,
+            backoff_factor: 1.0,
+            backoff_cap_sec: 0.0,
+            segment_deadline_sec: f64::INFINITY,
+        }
+    }
+
+    /// The pause before retry number `retry` (zero-based):
+    /// `min(base · factor^retry, cap)`.
+    pub fn backoff_sec(&self, retry: usize) -> f64 {
+        (self.backoff_base_sec * self.backoff_factor.powi(retry as i32)).min(self.backoff_cap_sec)
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.attempt_timeout_sec > 0.0,
+            "attempt timeout must be positive"
+        );
+        assert!(
+            self.segment_deadline_sec > 0.0,
+            "segment deadline must be positive"
+        );
+        assert!(
+            self.backoff_base_sec >= 0.0
+                && self.backoff_factor >= 1.0
+                && self.backoff_cap_sec >= 0.0,
+            "backoff parameters must be non-negative with factor >= 1"
+        );
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::default_mobile()
+    }
+}
+
+/// Resilience tallies accumulated over a session — the tail-behaviour
+/// numbers fleet runs report alongside energy and QoE.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ResilienceCounters {
+    /// Download attempts issued (including first attempts).
+    pub attempts: usize,
+    /// Attempts that failed and were retried.
+    pub retries: usize,
+    /// Attempts that timed out with no payload at all (losses included).
+    pub timeouts: usize,
+    /// Mid-download abandons (deadline expired with partial payload).
+    pub abandons: usize,
+    /// Requests that vanished in transit.
+    pub losses: usize,
+    /// Payloads that arrived corrupt and were refetched.
+    pub corruptions: usize,
+    /// Decoder wedges recovered by reinitialising the codec.
+    pub decoder_failures: usize,
+    /// Segments skipped after exhausting their deadline.
+    pub skipped_segments: usize,
+    /// Segments delivered below their originally planned rung.
+    pub degraded_segments: usize,
+    /// Total rungs dropped across all degraded deliveries.
+    pub degraded_rungs: usize,
+    /// Time spent in backoff pauses, seconds.
+    pub backoff_sec: f64,
+    /// Blackout charged to playback by skipped segments, seconds (stall
+    /// while waiting plus the skipped content itself).
+    pub blackout_sec: f64,
+    /// Extra wall-clock time faults cost beyond the successful attempts'
+    /// own download time, seconds (the recovery bill).
+    pub recovery_sec: f64,
+    /// Bits burned on attempts that did not deliver (partial payloads).
+    pub wasted_bits: f64,
+}
+
+ee360_support::impl_json_struct!(ResilienceCounters {
+    attempts,
+    retries,
+    timeouts,
+    abandons,
+    losses,
+    corruptions,
+    decoder_failures,
+    skipped_segments,
+    degraded_segments,
+    degraded_rungs,
+    backoff_sec,
+    blackout_sec,
+    recovery_sec,
+    wasted_bits
+});
+
+impl ResilienceCounters {
+    /// Component-wise accumulation (fleet aggregation).
+    pub fn accumulate(&mut self, other: &ResilienceCounters) {
+        self.attempts += other.attempts;
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.abandons += other.abandons;
+        self.losses += other.losses;
+        self.corruptions += other.corruptions;
+        self.decoder_failures += other.decoder_failures;
+        self.skipped_segments += other.skipped_segments;
+        self.degraded_segments += other.degraded_segments;
+        self.degraded_rungs += other.degraded_rungs;
+        self.backoff_sec += other.backoff_sec;
+        self.blackout_sec += other.blackout_sec;
+        self.recovery_sec += other.recovery_sec;
+        self.wasted_bits += other.wasted_bits;
+    }
+
+    /// `true` when no fault ever fired.
+    pub fn is_clean(&self) -> bool {
+        self.retries == 0
+            && self.timeouts == 0
+            && self.abandons == 0
+            && self.losses == 0
+            && self.corruptions == 0
+            && self.decoder_failures == 0
+            && self.skipped_segments == 0
+            && self.degraded_segments == 0
+    }
+}
+
+/// How one segment's resilient download ended.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DownloadOutcome {
+    /// The segment arrived (possibly after retries, possibly degraded).
+    Delivered {
+        /// Timing record; `download_sec` covers the whole recovery
+        /// (failed attempts, backoffs and the successful download), so
+        /// buffer and stall accounting see the true elapsed time.
+        timing: SegmentTiming,
+        /// Bits of the delivered (possibly degraded) payload.
+        bits: f64,
+        /// Bits burned on failed attempts before it.
+        wasted_bits: f64,
+        /// Attempts it took.
+        attempts: usize,
+        /// Rungs dropped below the original plan (0 = as planned).
+        degraded_rungs: usize,
+    },
+    /// The deadline was exhausted; the player skipped the segment.
+    Skipped {
+        /// Wall-clock time of the request (after the Eq. 6 wait).
+        request_time_sec: f64,
+        /// Eq. 6 wait before the first attempt, seconds.
+        wait_sec: f64,
+        /// Time burned across all attempts and backoffs, seconds.
+        elapsed_sec: f64,
+        /// Stall while the buffer sat empty during the attempts, plus the
+        /// skipped segment's own blacked-out duration, seconds.
+        blackout_sec: f64,
+        /// Bits burned on the failed attempts.
+        wasted_bits: f64,
+        /// Attempts made before giving up.
+        attempts: usize,
+        /// The last error that exhausted the deadline.
+        last_error: SimError,
+    },
+}
+
+impl DownloadOutcome {
+    /// `true` for the delivered arm.
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, DownloadOutcome::Delivered { .. })
+    }
+}
+
+/// A streaming session hardened against a [`FaultPlan`].
+///
+/// # Example
+///
+/// ```
+/// use ee360_sim::resilience::{ResilientSession, RetryPolicy};
+/// use ee360_trace::fault::FaultPlan;
+/// use ee360_trace::network::NetworkTrace;
+///
+/// let net = NetworkTrace::from_samples(vec![4.0e6; 120]);
+/// let plan = FaultPlan::single_outage(2.0, 10.0); // 10 s dead radio
+/// let mut s = ResilientSession::new(net, plan, RetryPolicy::default_mobile(), 3.0);
+/// // 2 Mb planned, halving per degradation rung.
+/// let out = s.download_segment(0, &mut |rung| 2.0e6 / (1 << rung) as f64);
+/// assert!(out.is_delivered() || s.counters().skipped_segments == 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResilientSession {
+    network: NetworkTrace,
+    plan: FaultPlan,
+    policy: RetryPolicy,
+    decoder: DecoderPipeline,
+    buffer: PlaybackBuffer,
+    clock_sec: f64,
+    segments_completed: usize,
+    counters: ResilienceCounters,
+}
+
+impl ResilientSession {
+    /// Creates a session at time zero with an empty buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy or buffer threshold is malformed.
+    pub fn new(
+        network: NetworkTrace,
+        plan: FaultPlan,
+        policy: RetryPolicy,
+        buffer_threshold_sec: f64,
+    ) -> Self {
+        policy.validate();
+        Self {
+            network,
+            plan,
+            policy,
+            decoder: DecoderPipeline::paper_default(),
+            buffer: PlaybackBuffer::new(buffer_threshold_sec),
+            clock_sec: 0.0,
+            segments_completed: 0,
+            counters: ResilienceCounters::default(),
+        }
+    }
+
+    /// Current wall-clock time, seconds.
+    pub fn clock_sec(&self) -> f64 {
+        self.clock_sec
+    }
+
+    /// Current buffer level, seconds of video.
+    pub fn buffer_level_sec(&self) -> f64 {
+        self.buffer.level_sec()
+    }
+
+    /// Segments delivered so far (skips excluded).
+    pub fn segments_completed(&self) -> usize {
+        self.segments_completed
+    }
+
+    /// The running resilience tallies.
+    pub fn counters(&self) -> &ResilienceCounters {
+        &self.counters
+    }
+
+    /// The retry policy in force.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// The fault plan in force.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Fetches startup metadata, riding out outages with the same
+    /// timeout/backoff machinery (metadata is small but the radio can
+    /// still be dead).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidRequest`] for non-positive bits;
+    /// [`SimError::DeadlineExhausted`] if every attempt timed out.
+    pub fn fetch_metadata(&mut self, bits: f64) -> Result<f64, SimError> {
+        if !(bits.is_finite() && bits > 0.0) {
+            return Err(SimError::InvalidRequest("metadata bits must be positive"));
+        }
+        let started = self.clock_sec;
+        let link = FaultyLink::new(&self.network, &self.plan);
+        for attempt in 0..=self.policy.max_retries {
+            let budget = finite_budget(self.policy.attempt_timeout_sec);
+            match link.try_download(bits, self.clock_sec, budget) {
+                Some(d) => {
+                    self.clock_sec += d;
+                    return Ok(self.clock_sec - started);
+                }
+                None => {
+                    self.counters.attempts += 1;
+                    self.counters.timeouts += 1;
+                    self.clock_sec += budget;
+                    if attempt < self.policy.max_retries {
+                        self.counters.retries += 1;
+                        let pause = self.policy.backoff_sec(attempt);
+                        self.counters.backoff_sec += pause;
+                        self.clock_sec += pause;
+                    }
+                }
+            }
+        }
+        Err(SimError::DeadlineExhausted {
+            segment: 0,
+            attempts: self.policy.max_retries + 1,
+        })
+    }
+
+    /// Downloads segment `segment` with the full recovery ladder.
+    ///
+    /// `request(rung)` maps a degradation rung to the bits to fetch:
+    /// rung 0 is the controller's original plan and each subsequent rung
+    /// is one step down the (bitrate, frame-rate) ladder — the caller
+    /// wires in its ABR's replan hook. The returned bits must be positive,
+    /// finite, and non-increasing in `rung`.
+    ///
+    /// Fault handling per attempt:
+    /// * scheduled **loss** → the request vanishes; the client burns the
+    ///   full attempt timeout, then retries after backoff;
+    /// * **timeout** (outage / slow link) → mid-download abandon; the
+    ///   partial payload is wasted and the *next* attempt degrades one
+    ///   rung;
+    /// * **corruption** → full download time burned, then refetched;
+    /// * **decoder wedge** → recovered inline by reinitialising the codec
+    ///   (charged as recovery time, never fails the segment).
+    ///
+    /// When attempts or the per-segment deadline run out the segment is
+    /// skipped: the elapsed time drains the buffer (stalling if it runs
+    /// dry), the blackout is tallied, and the session moves on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `request` returns non-positive or non-finite bits.
+    pub fn download_segment(
+        &mut self,
+        segment: usize,
+        request: &mut dyn FnMut(usize) -> f64,
+    ) -> DownloadOutcome {
+        // Eq. 6 wait: don't request while the buffer is above β.
+        let wait_sec = (self.buffer.level_sec() - self.buffer.threshold_sec()).max(0.0);
+        self.clock_sec += wait_sec;
+        let request_time_sec = self.clock_sec;
+        let deadline_end = request_time_sec + self.policy.segment_deadline_sec;
+
+        let mut rung = 0usize;
+        let mut attempts = 0usize;
+        let mut wasted_bits = 0.0f64;
+        let mut last_error = SimError::DeadlineExhausted {
+            segment,
+            attempts: 0,
+        };
+
+        while attempts <= self.policy.max_retries && self.clock_sec < deadline_end - 1e-9 {
+            let bits = request(rung);
+            assert!(
+                bits.is_finite() && bits > 0.0,
+                "degradation ladder must return positive bits (segment {segment}, rung {rung})"
+            );
+            let attempt = attempts;
+            attempts += 1;
+            self.counters.attempts += 1;
+            let budget = finite_budget(
+                self.policy
+                    .attempt_timeout_sec
+                    .min(deadline_end - self.clock_sec),
+            );
+            let link = FaultyLink::new(&self.network, &self.plan);
+
+            if self.plan.segment_lost(segment, attempt) {
+                // The request vanished; only the timer tells the client.
+                self.clock_sec += budget;
+                self.counters.losses += 1;
+                self.counters.timeouts += 1;
+                last_error = SimError::SegmentLost { segment, attempt };
+            } else {
+                match link.try_download(bits, self.clock_sec, budget) {
+                    Some(dur) => {
+                        if self.plan.segment_corrupt(segment, attempt) {
+                            // Full transfer burned, checksum failed.
+                            self.clock_sec += dur;
+                            wasted_bits += bits;
+                            self.counters.corruptions += 1;
+                            last_error = SimError::SegmentCorrupt { segment, attempt };
+                        } else {
+                            // Success — maybe after a decoder wedge.
+                            self.clock_sec += dur;
+                            if self.plan.decoder_fails(segment) {
+                                self.clock_sec += self.decoder.recovery_time_sec(1);
+                                self.counters.decoder_failures += 1;
+                            }
+                            let elapsed = self.clock_sec - request_time_sec;
+                            let step = self.buffer.advance(elapsed, SEGMENT_DURATION_SEC);
+                            debug_assert!((step.wait_sec - wait_sec).abs() < 1e-9);
+                            self.segments_completed += 1;
+                            if rung > 0 {
+                                self.counters.degraded_segments += 1;
+                                self.counters.degraded_rungs += rung;
+                            }
+                            // `elapsed` already includes the reinit time,
+                            // failed attempts and backoffs; only the
+                            // payload's own transfer is not "recovery".
+                            self.counters.recovery_sec += elapsed - dur;
+                            self.counters.wasted_bits += wasted_bits;
+                            let spike = self.plan.extra_latency_sec(request_time_sec);
+                            let payload_sec = (dur - spike).max(1e-9);
+                            return DownloadOutcome::Delivered {
+                                timing: SegmentTiming {
+                                    request_time_sec,
+                                    wait_sec,
+                                    download_sec: elapsed,
+                                    throughput_bps: bits / payload_sec,
+                                    buffer_at_request_sec: step.buffer_at_request_sec,
+                                    stall_sec: step.stall_sec,
+                                    buffer_after_sec: step.buffer_after_sec,
+                                },
+                                bits,
+                                wasted_bits,
+                                attempts,
+                                degraded_rungs: rung,
+                            };
+                        }
+                    }
+                    None => {
+                        // Mid-download abandon: count what had arrived,
+                        // then degrade the next request one rung.
+                        wasted_bits += link.bits_delivered(self.clock_sec, budget).min(bits);
+                        self.clock_sec += budget;
+                        self.counters.abandons += 1;
+                        last_error = SimError::Timeout {
+                            segment,
+                            attempt,
+                            elapsed_sec: budget,
+                        };
+                        rung += 1;
+                    }
+                }
+            }
+
+            // Failed attempt: back off before the next one (bounded by
+            // the segment deadline).
+            if attempts <= self.policy.max_retries && self.clock_sec < deadline_end - 1e-9 {
+                self.counters.retries += 1;
+                let pause = self
+                    .policy
+                    .backoff_sec(attempt)
+                    .min(deadline_end - self.clock_sec);
+                self.counters.backoff_sec += pause;
+                self.clock_sec += pause;
+            }
+        }
+
+        // Deadline exhausted: skip the segment, charge the blackout.
+        let elapsed = self.clock_sec - request_time_sec;
+        self.buffer.drain(wait_sec);
+        let stall_sec = self.buffer.drain(elapsed);
+        let blackout_sec = stall_sec + SEGMENT_DURATION_SEC;
+        self.counters.skipped_segments += 1;
+        self.counters.blackout_sec += blackout_sec;
+        self.counters.recovery_sec += elapsed;
+        self.counters.wasted_bits += wasted_bits;
+        DownloadOutcome::Skipped {
+            request_time_sec,
+            wait_sec,
+            elapsed_sec: elapsed,
+            blackout_sec,
+            wasted_bits,
+            attempts,
+            last_error,
+        }
+    }
+
+    /// Resets to time zero with an empty buffer and zeroed counters (same
+    /// trace, plan and policy).
+    pub fn reset(&mut self) {
+        self.buffer.reset();
+        self.clock_sec = 0.0;
+        self.segments_completed = 0;
+        self.counters = ResilienceCounters::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ee360_trace::fault::FaultConfig;
+
+    fn constant_net(bps: f64, len: usize) -> NetworkTrace {
+        NetworkTrace::from_samples(vec![bps; len])
+    }
+
+    fn fixed_request(bits: f64) -> impl FnMut(usize) -> f64 {
+        move |rung| bits / (1u64 << rung.min(8)) as f64
+    }
+
+    #[test]
+    fn clean_link_behaves_like_the_benign_session() {
+        let mut resilient = ResilientSession::new(
+            constant_net(8.0e6, 60),
+            FaultPlan::none(),
+            RetryPolicy::default_mobile(),
+            3.0,
+        );
+        let mut benign = crate::session::StreamingSession::new(constant_net(8.0e6, 60), 3.0);
+        for k in 0..10 {
+            let out = resilient.download_segment(k, &mut fixed_request(2.0e6));
+            let t_benign = benign.download_segment(2.0e6);
+            match out {
+                DownloadOutcome::Delivered { timing, .. } => {
+                    assert!((timing.download_sec - t_benign.download_sec).abs() < 1e-9);
+                    assert!((timing.stall_sec - t_benign.stall_sec).abs() < 1e-9);
+                    assert!((timing.wait_sec - t_benign.wait_sec).abs() < 1e-9);
+                }
+                other => panic!("clean link must deliver: {other:?}"),
+            }
+        }
+        assert!(resilient.counters().is_clean());
+        assert!((resilient.clock_sec() - benign.clock_sec()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outage_triggers_abandon_then_downgrade() {
+        // 10 s dead radio from t=1: the first attempt abandons, later
+        // attempts degrade, and eventually a cheaper payload squeaks
+        // through once the radio recovers.
+        let net = constant_net(4.0e6, 120);
+        let plan = FaultPlan::single_outage(1.0, 10.0);
+        let policy = RetryPolicy {
+            attempt_timeout_sec: 4.0,
+            max_retries: 4,
+            segment_deadline_sec: 20.0,
+            ..RetryPolicy::default_mobile()
+        };
+        let mut s = ResilientSession::new(net, plan, policy, 3.0);
+        let mut rungs_seen = Vec::new();
+        // 8 Mb at rung 0 needs 2 s of the 4 Mbps link: the outage at t=1
+        // guarantees the first attempt cannot finish before its timeout.
+        let out = s.download_segment(0, &mut |rung| {
+            rungs_seen.push(rung);
+            8.0e6 / (1u64 << rung) as f64
+        });
+        match out {
+            DownloadOutcome::Delivered {
+                degraded_rungs,
+                attempts,
+                ..
+            } => {
+                assert!(attempts > 1, "the outage must cost attempts");
+                assert!(degraded_rungs >= 1, "the ladder must have degraded");
+            }
+            DownloadOutcome::Skipped { .. } => panic!("20 s deadline outlives a 10 s outage"),
+        }
+        assert!(s.counters().abandons >= 1);
+        assert!(rungs_seen.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn hopeless_outage_skips_with_bounded_blackout() {
+        // Radio dead for the entire deadline: the segment must be skipped
+        // in bounded time, never hanging.
+        let net = constant_net(4.0e6, 200).with_outage(0, 200, 0.0);
+        let policy = RetryPolicy::default_mobile();
+        let mut s = ResilientSession::new(net, FaultPlan::none(), policy, 3.0);
+        let out = s.download_segment(0, &mut fixed_request(2.0e6));
+        match out {
+            DownloadOutcome::Skipped {
+                elapsed_sec,
+                blackout_sec,
+                attempts,
+                ..
+            } => {
+                assert!(elapsed_sec <= policy.segment_deadline_sec + 1e-9);
+                assert!(blackout_sec > 0.0);
+                assert!(attempts <= policy.max_retries + 1);
+            }
+            other => panic!("dead radio must skip: {other:?}"),
+        }
+        assert_eq!(s.counters().skipped_segments, 1);
+        assert!(s.clock_sec() <= policy.segment_deadline_sec + 1e-9);
+    }
+
+    #[test]
+    fn lost_segments_burn_the_timeout_then_retry() {
+        let plan = FaultPlan::none().with_attempt_faults(
+            FaultConfig {
+                loss_prob: 1.0, // every attempt vanishes
+                ..FaultConfig::none()
+            },
+            7,
+        );
+        let policy = RetryPolicy::default_mobile();
+        let mut s = ResilientSession::new(constant_net(8.0e6, 120), plan, policy, 3.0);
+        let out = s.download_segment(3, &mut fixed_request(2.0e6));
+        assert!(!out.is_delivered());
+        assert_eq!(s.counters().losses, s.counters().attempts);
+        assert!(s.counters().timeouts >= 1);
+        assert_eq!(s.counters().skipped_segments, 1);
+    }
+
+    #[test]
+    fn corruption_burns_the_full_download_before_retrying() {
+        let always = FaultPlan::none().with_attempt_faults(
+            FaultConfig {
+                corruption_prob: 1.0,
+                ..FaultConfig::none()
+            },
+            1,
+        );
+        let mut s = ResilientSession::new(
+            constant_net(8.0e6, 120),
+            always,
+            RetryPolicy::default_mobile(),
+            3.0,
+        );
+        let out = s.download_segment(0, &mut fixed_request(2.0e6));
+        assert!(!out.is_delivered(), "all-corrupt link cannot deliver");
+        assert!(s.counters().corruptions >= 1);
+        assert!(
+            s.counters().wasted_bits > 0.0,
+            "corrupt payloads are wasted"
+        );
+    }
+
+    #[test]
+    fn decoder_failure_recovers_inline() {
+        let plan = FaultPlan::none().with_attempt_faults(
+            FaultConfig {
+                decoder_failure_prob: 1.0,
+                ..FaultConfig::none()
+            },
+            5,
+        );
+        let mut s = ResilientSession::new(
+            constant_net(8.0e6, 120),
+            plan,
+            RetryPolicy::default_mobile(),
+            3.0,
+        );
+        let out = s.download_segment(0, &mut fixed_request(2.0e6));
+        assert!(out.is_delivered(), "decoder wedge must not fail delivery");
+        assert_eq!(s.counters().decoder_failures, 1);
+        assert!(s.counters().recovery_sec > 0.0);
+    }
+
+    #[test]
+    fn backoff_schedule_is_exponential_and_capped() {
+        let p = RetryPolicy {
+            backoff_base_sec: 0.25,
+            backoff_factor: 2.0,
+            backoff_cap_sec: 2.0,
+            ..RetryPolicy::default_mobile()
+        };
+        assert!((p.backoff_sec(0) - 0.25).abs() < 1e-12);
+        assert!((p.backoff_sec(1) - 0.5).abs() < 1e-12);
+        assert!((p.backoff_sec(2) - 1.0).abs() < 1e-12);
+        assert!((p.backoff_sec(3) - 2.0).abs() < 1e-12);
+        assert!((p.backoff_sec(7) - 2.0).abs() < 1e-12, "cap holds");
+    }
+
+    #[test]
+    fn skip_charges_stall_into_blackout() {
+        // Prime the buffer on a fast first second, then hit a hopeless
+        // window: part of the elapsed time is covered by buffer, the
+        // rest is stall.
+        let net = NetworkTrace::from_samples([vec![64.0e6; 1], vec![0.0; 40]].concat());
+        let policy = RetryPolicy {
+            attempt_timeout_sec: 3.0,
+            max_retries: 1,
+            segment_deadline_sec: 6.0,
+            ..RetryPolicy::default_mobile()
+        };
+        let mut s = ResilientSession::new(net, FaultPlan::none(), policy, 3.0);
+        // Three quick segments fill the buffer to ~3 s within slot 0.
+        for k in 0..3 {
+            assert!(s
+                .download_segment(k, &mut fixed_request(1.0e6))
+                .is_delivered());
+        }
+        let buffered = s.buffer_level_sec();
+        assert!(buffered > 1.0);
+        // 200 Mb can never finish before the radio dies at t=1.
+        let out = s.download_segment(3, &mut fixed_request(200.0e6));
+        match out {
+            DownloadOutcome::Skipped {
+                elapsed_sec,
+                blackout_sec,
+                ..
+            } => {
+                // Blackout = stall (elapsed − buffer) + 1 s skipped content.
+                let expected = (elapsed_sec - buffered).max(0.0) + SEGMENT_DURATION_SEC;
+                assert!(
+                    (blackout_sec - expected).abs() < 1e-6,
+                    "blackout {blackout_sec} vs expected {expected}"
+                );
+            }
+            other => panic!("expected skip, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_seed_replay_is_identical() {
+        let run = || {
+            let net = NetworkTrace::paper_trace2(300, 9);
+            let plan = FaultPlan::generate(FaultConfig::chaos_default(), 300.0, 21);
+            let mut s = ResilientSession::new(net, plan, RetryPolicy::default_mobile(), 3.0);
+            let mut log = Vec::new();
+            for k in 0..60 {
+                log.push(s.download_segment(k, &mut fixed_request(3.0e6)));
+            }
+            (log, *s.counters())
+        };
+        let (log_a, c_a) = run();
+        let (log_b, c_b) = run();
+        assert_eq!(log_a, log_b);
+        assert_eq!(c_a, c_b);
+    }
+
+    #[test]
+    fn counters_accumulate_componentwise() {
+        let mut a = ResilienceCounters {
+            retries: 2,
+            blackout_sec: 1.5,
+            ..ResilienceCounters::default()
+        };
+        let b = ResilienceCounters {
+            retries: 3,
+            skipped_segments: 1,
+            blackout_sec: 0.5,
+            ..ResilienceCounters::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.retries, 5);
+        assert_eq!(a.skipped_segments, 1);
+        assert!((a.blackout_sec - 2.0).abs() < 1e-12);
+        assert!(!a.is_clean());
+        assert!(ResilienceCounters::default().is_clean());
+    }
+}

@@ -10,6 +10,7 @@ use ee360_trace::network::NetworkTrace;
 use ee360_video::segment::SEGMENT_DURATION_SEC;
 
 use crate::buffer::{BufferStep, PlaybackBuffer};
+use crate::error::SimError;
 
 /// Timing of one downloaded segment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -113,17 +114,31 @@ impl StreamingSession {
     /// Panics if `bits` is not positive or the session already downloaded
     /// segments (metadata is a startup-only step).
     pub fn fetch_metadata(&mut self, bits: f64) -> f64 {
-        assert!(
-            bits.is_finite() && bits > 0.0,
-            "metadata bits must be positive"
-        );
-        assert_eq!(
-            self.segments_downloaded, 0,
-            "metadata is fetched before the first segment"
-        );
+        match self.try_fetch_metadata(bits) {
+            Ok(duration) => duration,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`StreamingSession::fetch_metadata`]: malformed requests
+    /// and a dead link come back as [`SimError`]s instead of panicking or
+    /// hanging. On success the clock advances by the returned duration; on
+    /// error the session is unchanged.
+    pub fn try_fetch_metadata(&mut self, bits: f64) -> Result<f64, SimError> {
+        if !(bits.is_finite() && bits > 0.0) {
+            return Err(SimError::InvalidRequest("metadata bits must be positive"));
+        }
+        if self.segments_downloaded != 0 {
+            return Err(SimError::InvalidRequest(
+                "metadata is a startup-only step, before the first segment",
+            ));
+        }
         let duration = self.network.download_time(bits, self.clock_sec);
+        if !duration.is_finite() {
+            return Err(SimError::NetworkDead);
+        }
         self.clock_sec += duration;
-        duration
+        Ok(duration)
     }
 
     /// Downloads one segment of `bits` and advances the session.
@@ -134,25 +149,84 @@ impl StreamingSession {
     ///
     /// # Panics
     ///
-    /// Panics if `bits` is not positive (a segment always has data).
+    /// Panics if `bits` is not positive (a segment always has data), or
+    /// the network can never deliver it (every trace sample zero) — the
+    /// resilient pipeline uses [`StreamingSession::try_download_segment`]
+    /// to turn both into recoverable [`SimError`]s.
     pub fn download_segment(&mut self, bits: f64) -> SegmentTiming {
-        assert!(
-            bits.is_finite() && bits > 0.0,
-            "segment bits must be positive"
-        );
+        match self.try_download_segment(bits, f64::INFINITY) {
+            Ok(timing) => timing,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible download with a per-request deadline.
+    ///
+    /// Behaves like [`StreamingSession::download_segment`] when the
+    /// payload arrives within `deadline_sec` of the request (measured
+    /// after the Eq. 6 wait). Otherwise the attempt is *abandoned*: the
+    /// clock advances by the wait plus the full deadline, the buffer
+    /// drains accordingly (stall included), and a
+    /// [`SimError::Timeout`] carrying the elapsed time is returned — time
+    /// passes whether or not the bytes arrive. Pass `f64::INFINITY` for
+    /// the legacy unbounded behaviour.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidRequest`] for non-positive bits or a
+    /// non-positive deadline (session untouched), [`SimError::NetworkDead`]
+    /// for an unbounded download on an all-zero trace (session untouched),
+    /// [`SimError::Timeout`] when the deadline expires first.
+    pub fn try_download_segment(
+        &mut self,
+        bits: f64,
+        deadline_sec: f64,
+    ) -> Result<SegmentTiming, SimError> {
+        if !(bits.is_finite() && bits > 0.0) {
+            return Err(SimError::InvalidRequest("segment bits must be positive"));
+        }
+        if !(deadline_sec > 0.0) {
+            return Err(SimError::InvalidRequest("deadline must be positive"));
+        }
         // Eq. 6 wait: don't request while the buffer is above β.
         let wait_sec = (self.buffer.level_sec() - self.buffer.threshold_sec()).max(0.0);
-        self.clock_sec += wait_sec;
-        let request_time_sec = self.clock_sec;
+        let request_time_sec = self.clock_sec + wait_sec;
 
-        let download_sec = self.network.download_time(bits, self.clock_sec);
+        let download_sec = if deadline_sec.is_finite() {
+            match self
+                .network
+                .try_download_time(bits, request_time_sec, deadline_sec)
+            {
+                Some(d) => d,
+                None => {
+                    // Commit the burned time: the radio listened for the
+                    // whole deadline while playback drained the buffer,
+                    // and no segment arrived to refill it.
+                    self.clock_sec = request_time_sec + deadline_sec;
+                    self.buffer.drain(wait_sec);
+                    self.buffer.drain(deadline_sec);
+                    return Err(SimError::Timeout {
+                        segment: self.segments_downloaded,
+                        attempt: 0,
+                        elapsed_sec: wait_sec + deadline_sec,
+                    });
+                }
+            }
+        } else {
+            let d = self.network.download_time(bits, request_time_sec);
+            if !d.is_finite() {
+                return Err(SimError::NetworkDead);
+            }
+            d
+        };
+        self.clock_sec = request_time_sec;
         let throughput_bps = bits / download_sec;
         let step: BufferStep = self.buffer.advance(download_sec, SEGMENT_DURATION_SEC);
         debug_assert!((step.wait_sec - wait_sec).abs() < 1e-9);
         self.clock_sec += download_sec;
         self.segments_downloaded += 1;
 
-        SegmentTiming {
+        Ok(SegmentTiming {
             request_time_sec,
             wait_sec,
             download_sec,
@@ -160,7 +234,7 @@ impl StreamingSession {
             buffer_at_request_sec: step.buffer_at_request_sec,
             stall_sec: step.stall_sec,
             buffer_after_sec: step.buffer_after_sec,
-        }
+        })
     }
 
     /// Resets the session to time zero with an empty buffer (same trace).
@@ -270,5 +344,60 @@ mod tests {
     fn zero_bits_panics() {
         let mut s = StreamingSession::new(constant_net(4.0e6), 3.0);
         let _ = s.download_segment(0.0);
+    }
+
+    #[test]
+    fn try_download_matches_infallible_path() {
+        let mut a = StreamingSession::new(constant_net(4.0e6), 3.0);
+        let mut b = StreamingSession::new(constant_net(4.0e6), 3.0);
+        for _ in 0..8 {
+            let ta = a.download_segment(2.0e6);
+            let tb = b.try_download_segment(2.0e6, f64::INFINITY).unwrap();
+            assert_eq!(ta, tb);
+        }
+        assert_eq!(a.clock_sec(), b.clock_sec());
+    }
+
+    #[test]
+    fn try_download_times_out_and_commits_the_burned_time() {
+        // Dead link: 2 Mb can never arrive; a 3 s deadline abandons it.
+        let net = NetworkTrace::from_samples(vec![4.0e6; 20]).with_outage(0, 20, 0.0);
+        let mut s = StreamingSession::new(net, 3.0);
+        let err = s.try_download_segment(2.0e6, 3.0).unwrap_err();
+        match err {
+            SimError::Timeout { elapsed_sec, .. } => {
+                assert!((elapsed_sec - 3.0).abs() < 1e-9);
+            }
+            other => panic!("expected timeout, got {other}"),
+        }
+        assert!((s.clock_sec() - 3.0).abs() < 1e-9);
+        assert_eq!(s.segments_downloaded(), 0);
+    }
+
+    #[test]
+    fn unbounded_download_on_dead_trace_errors_instead_of_hanging() {
+        let net = NetworkTrace::from_samples(vec![0.0, 0.0]);
+        let mut s = StreamingSession::new(net, 3.0);
+        assert_eq!(
+            s.try_download_segment(1.0e6, f64::INFINITY),
+            Err(SimError::NetworkDead)
+        );
+        assert_eq!(s.try_fetch_metadata(1.0e5), Err(SimError::NetworkDead));
+        assert_eq!(s.clock_sec(), 0.0, "failed requests leave the clock");
+    }
+
+    #[test]
+    fn invalid_requests_leave_session_untouched() {
+        let mut s = StreamingSession::new(constant_net(4.0e6), 3.0);
+        assert!(matches!(
+            s.try_download_segment(-1.0, 5.0),
+            Err(SimError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            s.try_download_segment(1.0e6, 0.0),
+            Err(SimError::InvalidRequest(_))
+        ));
+        assert_eq!(s.clock_sec(), 0.0);
+        assert_eq!(s.buffer_level_sec(), 0.0);
     }
 }

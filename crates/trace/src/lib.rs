@@ -20,6 +20,10 @@
 //!   2× trace 2, the paper's own construction.
 //! * [`dataset`] — bundles per-video user populations and the train/eval
 //!   split (40 users construct Ptiles, 8 users evaluate).
+//! * [`fault`] — seedable, replay-deterministic fault schedules layered
+//!   over any network trace: zero-bandwidth outages, latency spikes,
+//!   segment loss/corruption and decoder failures, for the resilience
+//!   pipeline and chaos runs.
 //!
 //! Everything is deterministic given a `u64` seed.
 //!
@@ -37,6 +41,7 @@
 //! ```
 
 pub mod dataset;
+pub mod fault;
 pub mod head;
 pub mod io;
 pub mod mmsys;
@@ -44,6 +49,7 @@ pub mod network;
 pub mod stats;
 
 pub use dataset::{Dataset, VideoTraces};
+pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultPlan, FaultyLink};
 pub use head::{GazeConfig, HeadTrace, HeadTraceGenerator};
 pub use io::{load_dataset, save_dataset, TraceIoError};
 pub use mmsys::{load_head_trace as load_mmsys_trace, MmsysError};

@@ -66,14 +66,21 @@ ee360_support::impl_json_struct!(NetworkTrace { samples_bps });
 impl NetworkTrace {
     /// Builds a trace from explicit per-second samples.
     ///
+    /// Zero samples are legal — they model a dead radio (tunnel, airplane
+    /// mode, deep outage). Downloads make no progress during zero-bandwidth
+    /// seconds; see [`NetworkTrace::download_time`] for the all-zero
+    /// sentinel and [`NetworkTrace::try_download_time`] for the deadline-
+    /// bounded variant resilient clients use.
+    ///
     /// # Panics
     ///
-    /// Panics if `samples` is empty or contains a non-positive value.
+    /// Panics if `samples` is empty or contains a negative or non-finite
+    /// value.
     pub fn from_samples(samples: Vec<f64>) -> Self {
         assert!(!samples.is_empty(), "trace must have at least one sample");
         assert!(
-            samples.iter().all(|s| s.is_finite() && *s > 0.0),
-            "bandwidth samples must be positive"
+            samples.iter().all(|s| s.is_finite() && *s >= 0.0),
+            "bandwidth samples must be non-negative"
         );
         Self {
             samples_bps: samples,
@@ -128,14 +135,19 @@ impl NetworkTrace {
     /// `floor_bps` (a cell handover, a tunnel, a congested basestation).
     /// Used by the robustness tests and failure-injection ablations.
     ///
+    /// A floor of `0.0` is legal and models a true dead-radio window:
+    /// downloads crossing it make no progress until the window ends, and
+    /// resilient clients bound their exposure with
+    /// [`NetworkTrace::try_download_time`].
+    ///
     /// # Panics
     ///
-    /// Panics if `floor_bps` is not strictly positive or the window is
+    /// Panics if `floor_bps` is negative or not finite, or the window is
     /// empty or out of range.
     pub fn with_outage(&self, start_sec: usize, duration_sec: usize, floor_bps: f64) -> Self {
         assert!(
-            floor_bps.is_finite() && floor_bps > 0.0,
-            "outage floor must be positive (zero bandwidth would hang the downloader)"
+            floor_bps.is_finite() && floor_bps >= 0.0,
+            "outage floor must be non-negative"
         );
         assert!(duration_sec > 0, "outage must last at least one second");
         assert!(
@@ -210,6 +222,11 @@ impl NetworkTrace {
     /// Time to download `bits` starting at `start_sec`, integrating the
     /// piecewise-constant bandwidth. Returns the duration in seconds.
     ///
+    /// Zero-bandwidth seconds contribute time but no progress. If the
+    /// trace has no positive sample at all the download can never finish
+    /// and the sentinel `f64::INFINITY` is returned — callers that must
+    /// bound their exposure use [`NetworkTrace::try_download_time`].
+    ///
     /// # Panics
     ///
     /// Panics if `bits` is negative or `start_sec` is negative.
@@ -219,6 +236,9 @@ impl NetworkTrace {
         if bits == 0.0 {
             return 0.0;
         }
+        if self.max_bps() <= 0.0 {
+            return f64::INFINITY;
+        }
         let mut remaining = bits;
         let mut t = start_sec;
         loop {
@@ -227,12 +247,74 @@ impl NetworkTrace {
             let slot_end = t.floor() + 1.0;
             let slot_left = slot_end - t;
             let capacity = bw * slot_left;
-            if remaining <= capacity {
+            if bw > 0.0 && remaining <= capacity {
                 return t + remaining / bw - start_sec;
             }
             remaining -= capacity;
             t = slot_end;
         }
+    }
+
+    /// Deadline-bounded download: the time to fetch `bits` starting at
+    /// `start_sec`, or `None` if the download is still unfinished when
+    /// `deadline_sec` (measured from `start_sec`) expires. This is the
+    /// primitive the resilient pipeline's timeout/abandon logic is built
+    /// on — unlike [`NetworkTrace::download_time`] it terminates even on a
+    /// trace whose every sample is zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` or `start_sec` is negative, or `deadline_sec` is
+    /// not positive.
+    pub fn try_download_time(&self, bits: f64, start_sec: f64, deadline_sec: f64) -> Option<f64> {
+        assert!(bits >= 0.0, "bits must be non-negative");
+        assert!(start_sec >= 0.0, "start time must be non-negative");
+        assert!(
+            deadline_sec.is_finite() && deadline_sec > 0.0,
+            "deadline must be positive"
+        );
+        if bits == 0.0 {
+            return Some(0.0);
+        }
+        let end = start_sec + deadline_sec;
+        let mut remaining = bits;
+        let mut t = start_sec;
+        while t < end {
+            let bw = self.bandwidth_at(t);
+            let slot_end = (t.floor() + 1.0).min(end);
+            let capacity = bw * (slot_end - t);
+            if bw > 0.0 && remaining <= capacity {
+                return Some(t + remaining / bw - start_sec);
+            }
+            remaining -= capacity;
+            t = slot_end;
+        }
+        None
+    }
+
+    /// Bits the link delivers over `[start_sec, start_sec + duration_sec)`
+    /// (the integral of the piecewise-constant bandwidth) — how much of an
+    /// abandoned download had already arrived.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start_sec` is negative or `duration_sec` is negative or
+    /// not finite.
+    pub fn bits_delivered(&self, start_sec: f64, duration_sec: f64) -> f64 {
+        assert!(start_sec >= 0.0, "start time must be non-negative");
+        assert!(
+            duration_sec.is_finite() && duration_sec >= 0.0,
+            "duration must be non-negative and finite"
+        );
+        let end = start_sec + duration_sec;
+        let mut delivered = 0.0;
+        let mut t = start_sec;
+        while t < end {
+            let slot_end = (t.floor() + 1.0).min(end);
+            delivered += self.bandwidth_at(t) * (slot_end - t);
+            t = slot_end;
+        }
+        delivered
     }
 
     /// The average bandwidth experienced while downloading `bits` starting
@@ -364,10 +446,64 @@ mod tests {
         assert!((d - 3.35).abs() < 1e-9, "got {d}");
     }
 
+    /// The pre-resilience behaviour: a *positive* floor still clamps the
+    /// window exactly as it always did. Kept as the deprecated-path pin
+    /// now that zero floors are additionally legal.
     #[test]
-    #[should_panic(expected = "outage floor")]
-    fn zero_floor_panics() {
-        let _ = NetworkTrace::from_samples(vec![1.0e6; 5]).with_outage(0, 1, 0.0);
+    fn deprecated_positive_floor_path_still_clamps() {
+        let t = NetworkTrace::from_samples(vec![4.0e6; 10]);
+        let o = t.with_outage(2, 3, 0.25e6);
+        for i in 0..10 {
+            let expected = if (2..5).contains(&i) { 0.25e6 } else { 4.0e6 };
+            assert_eq!(o.bandwidth_at(i as f64), expected, "second {i}");
+        }
+        // And downloads crawl through it at the floor rate, as before.
+        assert!(o.download_time(1.0e6, 2.0) > t.download_time(1.0e6, 2.0));
+    }
+
+    #[test]
+    fn zero_floor_outage_is_legal_and_dead() {
+        let t = NetworkTrace::from_samples(vec![4.0e6; 10]);
+        let o = t.with_outage(3, 4, 0.0);
+        for i in 3..7 {
+            assert_eq!(o.bandwidth_at(i as f64), 0.0, "second {i}");
+        }
+        // A download issued mid-outage waits out the dead window, then
+        // completes: 2 s dead (t=5..7) + 0.5 s at 4 Mbps.
+        let d = o.download_time(2.0e6, 5.0);
+        assert!((d - 2.5).abs() < 1e-9, "got {d}");
+    }
+
+    #[test]
+    fn all_zero_trace_returns_infinity_sentinel() {
+        let t = NetworkTrace::from_samples(vec![0.0, 0.0]);
+        assert_eq!(t.download_time(1.0e6, 0.0), f64::INFINITY);
+        // The bounded variant terminates with None instead.
+        assert_eq!(t.try_download_time(1.0e6, 0.0, 30.0), None);
+    }
+
+    #[test]
+    fn try_download_time_matches_unbounded_when_it_fits() {
+        let t = trace2();
+        let d = t.download_time(3.0e6, 4.2);
+        let bounded = t.try_download_time(3.0e6, 4.2, d + 1.0);
+        assert!((bounded.expect("fits inside deadline") - d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn try_download_time_gives_up_at_deadline() {
+        let t = NetworkTrace::from_samples(vec![1.0e6; 4]);
+        // 3 Mb over 1 Mbps needs 3 s; a 2 s deadline abandons it.
+        assert_eq!(t.try_download_time(3.0e6, 0.0, 2.0), None);
+        assert!(t.try_download_time(3.0e6, 0.0, 3.5).is_some());
+    }
+
+    #[test]
+    fn bits_delivered_integrates_the_trace() {
+        let t = NetworkTrace::from_samples(vec![1.0e6, 3.0e6]);
+        assert!((t.bits_delivered(0.5, 1.0) - (0.5e6 + 1.5e6)).abs() < 1e-6);
+        let dead = t.with_outage(0, 2, 0.0);
+        assert_eq!(dead.bits_delivered(0.0, 2.0), 0.0);
     }
 
     #[test]
@@ -383,9 +519,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn zero_bandwidth_sample_panics() {
-        let _ = NetworkTrace::from_samples(vec![1.0e6, 0.0]);
+    #[should_panic(expected = "non-negative")]
+    fn negative_bandwidth_sample_panics() {
+        let _ = NetworkTrace::from_samples(vec![1.0e6, -0.5e6]);
     }
 
     proptest! {

@@ -1,0 +1,159 @@
+//! Seeded chaos scenario: a mid-stream radio blackout plus a fault storm.
+//!
+//! ```sh
+//! cargo run --release --example chaos_run [Nexus5X|Pixel3|GalaxyS20] [--storm]
+//! ```
+//!
+//! Streams the paper's `Ours` scheme over LTE trace 2 with a 10 s
+//! zero-bandwidth outage injected at t = 30 s (plus, with `--storm`, a
+//! seeded storm of outages, latency spikes, losses and corruptions), and
+//! verifies the resilience contract:
+//!
+//! 1. the session completes without panicking or hanging,
+//! 2. the outage leaves a trace in the resilience counters (an abandon,
+//!    downgrade or skip),
+//! 3. the rebuffer ratio stays bounded despite the blackout,
+//! 4. two same-seed runs serialize to byte-identical metrics JSON.
+//!
+//! Exits non-zero if any of those fail — `scripts/ci.sh` runs this once
+//! per phone profile as its fault-injection smoke stage.
+
+use ee360::abr::controller::Scheme;
+use ee360::cluster::ptile::PtileConfig;
+use ee360::core::client::{run_session_resilient, SessionSetup};
+use ee360::core::server::VideoServer;
+use ee360::geom::grid::TileGrid;
+use ee360::power::model::Phone;
+use ee360::sim::metrics::SessionMetrics;
+use ee360::sim::resilience::RetryPolicy;
+use ee360::trace::dataset::VideoTraces;
+use ee360::trace::fault::{FaultConfig, FaultPlan};
+use ee360::trace::head::{GazeConfig, HeadTrace};
+use ee360::trace::network::NetworkTrace;
+use ee360::video::catalog::VideoCatalog;
+use ee360_support::json::to_string;
+
+const SEGMENTS: usize = 60;
+const SEED: u64 = 5;
+
+fn parse_phone(arg: &str) -> Option<Phone> {
+    match arg {
+        "Nexus5X" => Some(Phone::Nexus5X),
+        "Pixel3" => Some(Phone::Pixel3),
+        "GalaxyS20" => Some(Phone::GalaxyS20),
+        _ => None,
+    }
+}
+
+fn chaos_metrics(phone: Phone, faults: &FaultPlan) -> SessionMetrics {
+    let catalog = VideoCatalog::paper_default();
+    let spec = catalog.video(2).expect("catalog has video 2");
+    let traces = VideoTraces::generate(spec, 10, SEED, GazeConfig::default());
+    let refs: Vec<&HeadTrace> = traces.traces().iter().collect();
+    let server = VideoServer::prepare(
+        spec,
+        &refs[..8],
+        TileGrid::paper_default(),
+        PtileConfig::paper_default(),
+    );
+    let network = NetworkTrace::paper_trace2(400, SEED);
+    let user = traces.traces().last().expect("generated users");
+    let setup = SessionSetup {
+        server: &server,
+        user,
+        network: &network,
+        phone,
+        max_segments: Some(SEGMENTS),
+    };
+    run_session_resilient(Scheme::Ours, &setup, faults, &RetryPolicy::default_mobile())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let phone = args
+        .iter()
+        .find_map(|a| parse_phone(a))
+        .unwrap_or(Phone::Pixel3);
+    let storm = args.iter().any(|a| a == "--storm");
+
+    // The headline scenario: a 10 s dead radio starting at t = 30.
+    let mut faults = FaultPlan::single_outage(30.0, 10.0);
+    if storm {
+        // Layer a seeded storm on top: scheduled outages/spikes plus
+        // per-attempt loss, corruption and decoder failures.
+        faults =
+            FaultPlan::generate(FaultConfig::chaos_default(), 400.0, SEED).and_outage(30.0, 10.0);
+    }
+
+    println!("chaos run: phone={phone:?} storm={storm} segments={SEGMENTS} seed={SEED}",);
+    println!(
+        "fault plan: {} scheduled event(s), {:.1} s total outage",
+        faults.events().len(),
+        faults.total_outage_sec()
+    );
+
+    let metrics = chaos_metrics(phone, &faults);
+    let replay = chaos_metrics(phone, &faults);
+
+    let mut failures = Vec::new();
+
+    if metrics.len() != SEGMENTS {
+        failures.push(format!(
+            "expected {SEGMENTS} segment slots, got {}",
+            metrics.len()
+        ));
+    }
+
+    let r = *metrics.resilience();
+    if r.abandons + r.degraded_segments + r.skipped_segments == 0 {
+        failures.push("the outage left no abandon/downgrade/skip in the counters".into());
+    }
+
+    let ratio = metrics.rebuffer_ratio();
+    if !(ratio.is_finite() && ratio < 0.5) {
+        failures.push(format!("rebuffer ratio {ratio:.3} not bounded below 0.5"));
+    }
+
+    let json_a = to_string(&metrics).expect("metrics serialize");
+    let json_b = to_string(&replay).expect("metrics serialize");
+    if json_a != json_b {
+        failures.push("same-seed replays diverged: metrics JSON not byte-identical".into());
+    }
+
+    println!("\nresilience counters:");
+    println!("  attempts           {}", r.attempts);
+    println!("  retries            {}", r.retries);
+    println!("  timeouts           {}", r.timeouts);
+    println!("  abandons           {}", r.abandons);
+    println!("  losses             {}", r.losses);
+    println!("  corruptions        {}", r.corruptions);
+    println!("  decoder failures   {}", r.decoder_failures);
+    println!(
+        "  degraded segments  {} ({} rung(s))",
+        r.degraded_segments, r.degraded_rungs
+    );
+    println!("  skipped segments   {}", r.skipped_segments);
+    println!("  backoff            {:.2} s", r.backoff_sec);
+    println!("  blackout           {:.2} s", r.blackout_sec);
+    println!("  recovery           {:.2} s", r.recovery_sec);
+    println!("  wasted bits        {:.2} Mb", r.wasted_bits / 1e6);
+    println!("\nsession:");
+    println!("  mean QoE           {:.2}", metrics.mean_qoe());
+    println!("  mean quality       {:.2}", metrics.mean_quality());
+    println!("  rebuffer ratio     {:.3}", ratio);
+    println!("  total energy       {:.0} mJ", metrics.total_energy_mj());
+    println!(
+        "  replay JSON        {} bytes, byte-identical",
+        json_a.len()
+    );
+
+    if failures.is_empty() {
+        println!("\nchaos contract held: degraded gracefully, replayed identically.");
+    } else {
+        eprintln!("\nchaos contract VIOLATED:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

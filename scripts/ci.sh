@@ -11,6 +11,16 @@ cargo build --release --offline --workspace --all-targets
 echo "==> cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
 
+echo "==> fault-injection smoke (seeded chaos run per phone profile)"
+# One seeded chaos scenario per phone: a 10 s mid-stream blackout on the
+# paper's LTE trace. The example exits non-zero unless the session
+# finishes without panicking, records the degradation in the resilience
+# counters, keeps the rebuffer ratio bounded, and replays byte-identically.
+for phone in Nexus5X Pixel3 GalaxyS20; do
+  echo "---- chaos_run ${phone}"
+  cargo run --release --offline --example chaos_run -- "${phone}"
+done
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
