@@ -83,6 +83,7 @@ impl RateBasedController {
                     (self.sizer.ctile_bits(q, content), DecoderScheme::Ctile)
                 }
             }
+            // lint:allow(no-panic-paths, "documented invariant: Scheme::Ours is rejected by new()")
             Scheme::Ours => unreachable!("rejected in new()"),
         }
     }

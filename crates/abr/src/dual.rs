@@ -92,11 +92,7 @@ impl EnergyBudgetController {
 
         let per_step: Vec<_> = (0..cfg.horizon)
             .map(|h| {
-                let content = *ctx
-                    .upcoming
-                    .get(h)
-                    .or_else(|| ctx.upcoming.last())
-                    .expect("context has at least one segment");
+                let content = ctx.content_at(h);
                 self.inner.candidates(
                     content,
                     ctx.switching_speed_deg_s,
@@ -132,9 +128,9 @@ impl EnergyBudgetController {
                         .min_by(|&a, &b| {
                             self.inner
                                 .candidate_energy_mj(&cands[a], bandwidth)
-                                .partial_cmp(&self.inner.candidate_energy_mj(&cands[b], bandwidth))
-                                .expect("finite energies")
+                                .total_cmp(&self.inner.candidate_energy_mj(&cands[b], bandwidth))
                         })
+                        // lint:allow(no-panic-paths, "documented invariant: the quality ladder is never empty")
                         .expect("ladder is non-empty");
                     vec![cheapest]
                 } else {
@@ -161,7 +157,7 @@ impl EnergyBudgetController {
 
         let best = (0..n_states)
             .filter(|&s| value[s] > NEG_INF)
-            .max_by(|&a, &b| value[a].partial_cmp(&value[b]).expect("finite values"));
+            .max_by(|&a, &b| value[a].total_cmp(&value[b]));
         let choice = best.and_then(|s| first[s]).map(|(i, _)| i).unwrap_or(0);
         let c = &per_step[0][choice];
         SegmentPlan {

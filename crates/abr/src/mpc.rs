@@ -231,7 +231,7 @@ impl MpcController {
         best.unwrap_or_else(|| {
             candidates
                 .iter()
-                .min_by(|a, b| a.bits.partial_cmp(&b.bits).expect("finite bits"))
+                .min_by(|a, b| a.bits.total_cmp(&b.bits))
                 .map(|c| c.q_vf)
                 .unwrap_or(0.0)
         })
@@ -288,11 +288,7 @@ impl MpcController {
         let horizon = cfg.horizon;
         let per_step: Vec<Vec<Candidate>> = (0..horizon)
             .map(|h| {
-                let content = *ctx
-                    .upcoming
-                    .get(h)
-                    .or_else(|| ctx.upcoming.last())
-                    .expect("context has at least one segment");
+                let content = ctx.content_at(h);
                 self.candidates(
                     content,
                     ctx.switching_speed_deg_s,
@@ -344,7 +340,7 @@ impl MpcController {
         // Min-energy terminal state, backtracked to the first decision.
         let best = (0..n_states)
             .filter(|&s| cost[s].is_finite())
-            .min_by(|&a, &b| cost[a].partial_cmp(&cost[b]).expect("finite costs"));
+            .min_by(|&a, &b| cost[a].total_cmp(&cost[b]));
         match best.and_then(|s| first[s]) {
             Some(decision) => decision,
             None => {
@@ -352,7 +348,8 @@ impl MpcController {
                 // state, which reference_quality prevents): cheapest tuple.
                 let c = per_step[0]
                     .iter()
-                    .min_by(|a, b| a.bits.partial_cmp(&b.bits).expect("finite bits"))
+                    .min_by(|a, b| a.bits.total_cmp(&b.bits))
+                    // lint:allow(no-panic-paths, "documented invariant: the quality ladder is never empty")
                     .expect("ladder is non-empty");
                 (c.quality, c.fps, c.bits)
             }

@@ -41,11 +41,7 @@ pub fn brute_force_optimum(
 
     let per_step: Vec<_> = (0..cfg.horizon)
         .map(|h| {
-            let content = *ctx
-                .upcoming
-                .get(h)
-                .or_else(|| ctx.upcoming.last())
-                .expect("context has at least one segment");
+            let content = ctx.content_at(h);
             controller.candidates(
                 content,
                 ctx.switching_speed_deg_s,
@@ -130,6 +126,7 @@ pub fn brute_force_optimum(
         &mut best_first,
     );
 
+    // lint:allow(no-panic-paths, "documented invariant: reference_quality keeps >= 1 sequence feasible")
     let (q, f) = best_first.expect("at least one sequence is always feasible");
     (best_cost, q, f)
 }

@@ -75,9 +75,22 @@ impl SegmentContext {
     /// Panics if `upcoming` is empty (a context always describes at least
     /// the segment being planned).
     pub fn content(&self) -> SiTi {
+        self.content_at(0)
+    }
+
+    /// Content at horizon step `h`, clamped to the last known segment —
+    /// the lookahead every controller plans against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `upcoming` is empty (a context always describes at least
+    /// the segment being planned).
+    pub fn content_at(&self, h: usize) -> SiTi {
         *self
             .upcoming
-            .first()
+            .get(h)
+            .or_else(|| self.upcoming.last())
+            // lint:allow(no-panic-paths, "documented invariant: every context holds >= 1 segment")
             .expect("context must describe at least the current segment")
     }
 }

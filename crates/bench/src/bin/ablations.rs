@@ -264,10 +264,9 @@ fn ablation_horizon_and_buffer(scale: RunScale) {
     for beta in [2.0f64, 3.0, 4.0, 6.0] {
         let mut cfg = MpcConfig::paper_default();
         cfg.buffer_threshold_sec = beta;
-        run_variant(
-            format!("β = {beta} s{}", if beta == 3.0 { " (paper)" } else { "" }),
-            MpcController::new(cfg),
-        );
+        // lint:allow(float-compare, "intentional exact check: tags the literal 3.0 from the sweep list")
+        let label = format!("β = {beta} s{}", if beta == 3.0 { " (paper)" } else { "" });
+        run_variant(label, MpcController::new(cfg));
     }
     println!("{}", table.render());
     println!("finding: the rows are identical — with a horizon-constant bandwidth");

@@ -127,7 +127,7 @@ impl FtileLayout {
     /// the viewport's block coverage. Returns `(tile indices, total area
     /// fraction)`.
     pub fn tiles_for_viewport(&self, vp: &Viewport) -> (Vec<usize>, f64) {
-        let needed: std::collections::HashSet<TileId> =
+        let needed: std::collections::BTreeSet<TileId> =
             self.block_grid.tiles_covering(vp).into_iter().collect();
         let mut chosen = Vec::new();
         let mut area = 0.0;

@@ -72,7 +72,7 @@ fn fast_switching_speed(history: &[SwitchingSample]) -> f64 {
     if speeds.is_empty() {
         return 0.0;
     }
-    speeds.sort_by(|a, b| a.partial_cmp(b).expect("speeds are finite"));
+    speeds.sort_by(|a, b| a.total_cmp(b));
     let idx = ((speeds.len() as f64) * 0.75).floor() as usize;
     speeds[idx.min(speeds.len() - 1)]
 }
@@ -237,6 +237,7 @@ pub fn run_session_resilient_with(
             .map(|i| {
                 timeline
                     .segment(i.min(timeline.len() - 1))
+                    // lint:allow(no-panic-paths, "documented invariant: index is clamped to len-1")
                     .expect("clamped index is valid")
                     .si_ti
             })
@@ -372,8 +373,9 @@ pub fn run_session_resilient_with(
                 // center: the quality the user sees depends on how much of
                 // the actual FoV those tiles cover.
                 let predicted_block = grid.fov_block(&Viewport::new(predicted, 100.0, 100.0));
-                let predicted_region =
-                    TileRegion::from_tiles(&grid, predicted_block).expect("FoV block is non-empty");
+                let predicted_region = TileRegion::from_tiles(&grid, predicted_block)
+                    // lint:allow(no-panic-paths, "documented invariant: fov_block always yields >= 1 tile")
+                    .expect("FoV block is non-empty");
                 overlap_fraction(&predicted_region, &grid, &actual_vp)
             }
         };

@@ -1,6 +1,6 @@
 //! Sweeps over videos × schemes × traces × users (Section V-C).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ee360_abr::controller::Scheme;
 use ee360_cluster::ptile::PtileConfig;
@@ -177,8 +177,8 @@ impl SchemeOutcome {
 pub struct Evaluation {
     config: ExperimentConfig,
     catalog: VideoCatalog,
-    servers: HashMap<usize, VideoServer>,
-    eval_traces: HashMap<usize, Vec<HeadTrace>>,
+    servers: BTreeMap<usize, VideoServer>,
+    eval_traces: BTreeMap<usize, Vec<HeadTrace>>,
     network: NetworkTrace,
 }
 
@@ -195,8 +195,8 @@ impl Evaluation {
         videos: Option<&[usize]>,
     ) -> Self {
         config.validate();
-        let mut servers = HashMap::new();
-        let mut eval_traces = HashMap::new();
+        let mut servers = BTreeMap::new();
+        let mut eval_traces = BTreeMap::new();
         let mut max_duration = 0usize;
         for spec in catalog.videos() {
             if let Some(ids) = videos {
@@ -261,8 +261,9 @@ impl Evaluation {
         let server = self
             .servers
             .get(&video_id)
+            // lint:allow(no-panic-paths, "documented panic: run() requires a prepared video")
             .unwrap_or_else(|| panic!("video {video_id} was not prepared"));
-        let users = &self.eval_traces[&video_id];
+        let users = self.eval_users(video_id);
         let sessions: Vec<SessionMetrics> = users
             .iter()
             .map(|user| {

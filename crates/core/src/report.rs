@@ -10,6 +10,7 @@ use std::fmt::Write as _;
 /// Panics if the baseline is zero or not finite.
 pub fn normalize_to(baseline: f64, values: &[f64]) -> Vec<f64> {
     assert!(
+        // lint:allow(float-compare, "intentional exact check: any non-zero baseline divides cleanly")
         baseline.is_finite() && baseline != 0.0,
         "baseline must be finite and non-zero"
     );

@@ -1,0 +1,309 @@
+//! Workspace walking, pragma application and severity resolution — the
+//! glue between the lexer/rules and the report.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Pragma};
+use crate::manifest::scan_manifest;
+use crate::report::{Report, RuleSummary, SuppressedViolation, Violation};
+use crate::rules::{scan_tokens, FileContext, RawViolation, RuleId, Severity};
+
+/// Severity configuration: per-rule levels, overridable from the CLI.
+#[derive(Debug, Clone)]
+pub struct Config {
+    severities: BTreeMap<&'static str, Severity>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let mut severities = BTreeMap::new();
+        severities.insert(RuleId::NoPanicPaths.id(), Severity::Deny);
+        // Indexing is pervasive in numeric code; it is reported but does
+        // not fail the gate until the burn-down completes.
+        severities.insert(RuleId::VecIndex.id(), Severity::Warn);
+        severities.insert(RuleId::Determinism.id(), Severity::Deny);
+        severities.insert(RuleId::Hermeticity.id(), Severity::Deny);
+        severities.insert(RuleId::FloatCompare.id(), Severity::Deny);
+        severities.insert(RuleId::BadPragma.id(), Severity::Deny);
+        Self { severities }
+    }
+}
+
+impl Config {
+    /// The severity a rule runs at.
+    pub fn severity(&self, rule: RuleId) -> Severity {
+        self.severities
+            .get(rule.id())
+            .copied()
+            .unwrap_or(Severity::Deny)
+    }
+
+    /// Overrides one rule's severity (`--severity rule=level`).
+    pub fn set_severity(&mut self, rule: RuleId, severity: Severity) {
+        self.severities.insert(rule.id(), severity);
+    }
+}
+
+/// Directory names whose contents are exempt from scanning: test code,
+/// benches and examples may panic and index freely, and lint fixtures
+/// are violations on purpose.
+const EXEMPT_DIRS: [&str; 5] = ["tests", "benches", "examples", "fixtures", "target"];
+
+/// Scans a whole workspace rooted at `root`.
+pub fn scan_workspace(root: &Path, config: &Config) -> Report {
+    let mut rs_files = Vec::new();
+    let mut toml_files = Vec::new();
+    collect_files(root, root, &mut rs_files, &mut toml_files);
+    rs_files.sort();
+    toml_files.sort();
+
+    let mut report = Report::new();
+    for rel in &toml_files {
+        let Ok(text) = fs::read_to_string(root.join(rel)) else {
+            continue;
+        };
+        report.files_scanned += 1;
+        let raw = scan_manifest(&text);
+        absorb(&mut report, config, rel, &text, raw, &[]);
+    }
+    for rel in &rs_files {
+        let Ok(text) = fs::read_to_string(root.join(rel)) else {
+            continue;
+        };
+        report.files_scanned += 1;
+        let (raw, pragmas) = scan_rust_source(rel, &text);
+        absorb(&mut report, config, rel, &text, raw, &pragmas);
+    }
+    finish(&mut report, config);
+    report
+}
+
+/// Scans a single Rust source text as if it lived at `rel_path` — the
+/// entry point fixture tests use.
+pub fn scan_source(rel_path: &str, text: &str, config: &Config) -> Report {
+    let mut report = Report::new();
+    report.files_scanned = 1;
+    let (raw, pragmas) = scan_rust_source(rel_path, text);
+    absorb(&mut report, config, rel_path, text, raw, &pragmas);
+    finish(&mut report, config);
+    report
+}
+
+fn scan_rust_source(rel_path: &str, text: &str) -> (Vec<RawViolation>, Vec<Pragma>) {
+    let ctx = FileContext {
+        crate_name: crate_of(rel_path),
+        rel_path: rel_path.to_owned(),
+    };
+    let lexed = lex(text);
+    (scan_tokens(&ctx, &lexed.tokens), lexed.pragmas)
+}
+
+/// The crate a workspace-relative path belongs to.
+fn crate_of(rel_path: &str) -> String {
+    let mut parts = rel_path.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or("unknown").to_owned(),
+        _ => "ee360".to_owned(),
+    }
+}
+
+fn collect_files(root: &Path, dir: &Path, rs: &mut Vec<String>, toml: &mut Vec<String>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if EXEMPT_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            collect_files(root, &path, rs, toml);
+        } else if let Some(rel) = relative(root, &path) {
+            if name == "Cargo.toml" {
+                toml.push(rel);
+            } else if name.ends_with(".rs") {
+                rs.push(rel);
+            }
+        }
+    }
+}
+
+fn relative(root: &Path, path: &Path) -> Option<String> {
+    let rel: PathBuf = path.strip_prefix(root).ok()?.to_path_buf();
+    Some(
+        rel.components()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect::<Vec<_>>()
+            .join("/"),
+    )
+}
+
+/// Applies pragmas to raw violations and folds everything into the
+/// report.
+fn absorb(
+    report: &mut Report,
+    config: &Config,
+    rel_path: &str,
+    text: &str,
+    raw: Vec<RawViolation>,
+    pragmas: &[Pragma],
+) {
+    let lines: Vec<&str> = text.lines().collect();
+    let snippet = |line: usize| -> String {
+        lines
+            .get(line.saturating_sub(1))
+            .map(|l| l.trim().to_owned())
+            .unwrap_or_default()
+    };
+
+    // Validate pragmas; collect the valid allowances.
+    // file-wide: rule -> reason; per-line: (rule, line) -> reason.
+    let mut file_wide: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut per_line: BTreeMap<(&str, usize), &str> = BTreeMap::new();
+    for p in pragmas {
+        let known = RuleId::parse(&p.rule).is_some();
+        if p.malformed || !known || p.reason.is_empty() {
+            let why = if p.malformed {
+                "malformed pragma"
+            } else if !known {
+                "unknown rule id"
+            } else {
+                "missing reason — every suppression must say why"
+            };
+            report.violations.push(Violation {
+                rule: RuleId::BadPragma,
+                severity: config.severity(RuleId::BadPragma),
+                file: rel_path.to_owned(),
+                line: p.line,
+                message: format!("invalid `lint:allow` pragma ({why})"),
+                snippet: snippet(p.line),
+            });
+            continue;
+        }
+        if p.whole_file {
+            file_wide.insert(p.rule.as_str(), p.reason.as_str());
+        } else {
+            // A trailing pragma covers its own line; a standalone comment
+            // covers the line below it.
+            let covered = if p.standalone { p.line + 1 } else { p.line };
+            per_line.insert((p.rule.as_str(), covered), p.reason.as_str());
+        }
+    }
+
+    for v in raw {
+        let severity = config.severity(v.rule);
+        if severity == Severity::Allow {
+            continue;
+        }
+        let reason = per_line
+            .get(&(v.rule.id(), v.line))
+            .or_else(|| file_wide.get(v.rule.id()))
+            .copied();
+        match reason {
+            Some(reason) => report.suppressed.push(SuppressedViolation {
+                rule: v.rule,
+                file: rel_path.to_owned(),
+                line: v.line,
+                reason: reason.to_owned(),
+            }),
+            None => report.violations.push(Violation {
+                rule: v.rule,
+                severity,
+                file: rel_path.to_owned(),
+                line: v.line,
+                message: v.message,
+                snippet: snippet(v.line),
+            }),
+        }
+    }
+}
+
+/// Computes per-rule summaries once all files are absorbed.
+fn finish(report: &mut Report, config: &Config) {
+    report
+        .violations
+        .sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    report
+        .suppressed
+        .sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    report.rules = RuleId::ALL
+        .iter()
+        .map(|&rule| RuleSummary {
+            rule,
+            severity: config.severity(rule),
+            violations: report.violations.iter().filter(|v| v.rule == rule).count(),
+            suppressed: report.suppressed.iter().filter(|s| s.rule == rule).count(),
+        })
+        .collect();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_classification() {
+        assert_eq!(crate_of("crates/sim/src/session.rs"), "sim");
+        assert_eq!(crate_of("src/lib.rs"), "ee360");
+        assert_eq!(crate_of("src/bin/ee360.rs"), "ee360");
+    }
+
+    #[test]
+    fn trailing_pragma_suppresses_with_reason() {
+        let src = "fn f() { v.unwrap(); // lint:allow(no-panic-paths, \"validated upstream\")\n}";
+        let report = scan_source("crates/sim/src/x.rs", src, &Config::default());
+        assert_eq!(report.deny_count(), 0, "{:?}", report.violations);
+        assert_eq!(report.suppressed.len(), 1);
+        assert_eq!(report.suppressed[0].reason, "validated upstream");
+    }
+
+    #[test]
+    fn standalone_pragma_covers_next_line() {
+        let src = "// lint:allow(no-panic-paths, \"invariant: non-empty by construction\")\nfn f() { v.unwrap(); }";
+        let report = scan_source("crates/sim/src/x.rs", src, &Config::default());
+        assert_eq!(report.deny_count(), 0, "{:?}", report.violations);
+        assert_eq!(report.suppressed.len(), 1);
+    }
+
+    #[test]
+    fn pragma_without_reason_is_itself_a_violation() {
+        let src = "fn f() { v.unwrap(); // lint:allow(no-panic-paths)\n}";
+        let report = scan_source("crates/sim/src/x.rs", src, &Config::default());
+        // The unwrap still fires AND the pragma is flagged.
+        let rules: Vec<RuleId> = report.violations.iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&RuleId::BadPragma));
+        assert!(rules.contains(&RuleId::NoPanicPaths));
+    }
+
+    #[test]
+    fn unknown_rule_pragma_is_flagged() {
+        let src = "// lint:allow(no-such-rule, \"whatever\")\nfn f() {}";
+        let report = scan_source("crates/sim/src/x.rs", src, &Config::default());
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, RuleId::BadPragma);
+    }
+
+    #[test]
+    fn severity_override_turns_warn_into_deny() {
+        let src = "fn f(v: &[u8]) -> u8 { v[0] }";
+        let mut config = Config::default();
+        let warn_report = scan_source("crates/abr/src/x.rs", src, &config);
+        assert_eq!(warn_report.deny_count(), 0);
+        assert_eq!(warn_report.warn_count(), 1);
+        config.set_severity(RuleId::VecIndex, Severity::Deny);
+        let deny_report = scan_source("crates/abr/src/x.rs", src, &config);
+        assert_eq!(deny_report.deny_count(), 1);
+    }
+
+    #[test]
+    fn allow_severity_drops_the_rule() {
+        let src = "fn f(v: &[u8]) -> u8 { v[0] }";
+        let mut config = Config::default();
+        config.set_severity(RuleId::VecIndex, Severity::Allow);
+        let report = scan_source("crates/abr/src/x.rs", src, &config);
+        assert!(report.violations.is_empty());
+    }
+}

@@ -1,0 +1,692 @@
+//! A comment- and string-aware Rust lexer.
+//!
+//! The rule engine works on a token stream, never on raw text, so
+//! `unwrap` inside a doc-comment example or a string literal can never
+//! trip a rule. The lexer also collects `// lint:allow(...)` pragma
+//! comments (with their line numbers) and, in a post-pass, marks every
+//! token that lives inside a `#[cfg(test)]` / `#[test]` item so rules can
+//! exempt test code that shares a file with library code.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unwrap`, `as`, `HashMap`, ...).
+    Ident,
+    /// A lifetime (`'a`) — kept distinct so `'a` never parses as a char.
+    Lifetime,
+    /// A string, raw-string, byte-string or char literal.
+    StrLit,
+    /// An integer literal (`42`, `0xFF`, `1_000u64`).
+    IntLit,
+    /// A float literal (`1.5`, `3e8`, `2f64`).
+    FloatLit,
+    /// Punctuation; multi-character operators (`==`, `::`, `!=`) are one
+    /// token.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: usize,
+    /// `true` when the token is inside a `#[cfg(test)]` / `#[test]` item.
+    pub in_test: bool,
+}
+
+/// A `// lint:allow(rule, "reason")` pragma comment.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// The rule id named in the pragma (unvalidated — the engine checks
+    /// it against the known rules).
+    pub rule: String,
+    /// The mandatory reason string (may be empty if the author omitted
+    /// it; the engine turns that into a `bad-pragma` violation).
+    pub reason: String,
+    /// 1-based line the pragma comment sits on.
+    pub line: usize,
+    /// `true` for `lint:allow-file(...)`, which suppresses the rule for
+    /// the whole file instead of one line.
+    pub whole_file: bool,
+    /// `true` when the comment occupies its own line (suppresses the line
+    /// below); `false` for a trailing comment (suppresses its own line).
+    pub standalone: bool,
+    /// `true` when the pragma text itself was malformed (e.g. missing
+    /// closing parenthesis).
+    pub malformed: bool,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, in source order.
+    pub tokens: Vec<Token>,
+    /// Every pragma comment found.
+    pub pragmas: Vec<Pragma>,
+}
+
+/// Lexes Rust source text.
+///
+/// The lexer is resilient: malformed input never panics, it just yields
+/// a best-effort token stream (an unterminated string swallows the rest
+/// of the file, matching how rustc would recover).
+pub fn lex(source: &str) -> Lexed {
+    let mut lx = Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+        line_had_token: false,
+    };
+    lx.run();
+    mark_test_regions(&mut lx.out.tokens);
+    lx.out
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    out: Lexed,
+    /// Whether a token has been emitted on the current line (decides if a
+    /// pragma comment is standalone or trailing).
+    line_had_token: bool,
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if let Some(ch) = c {
+            self.pos += 1;
+            if ch == '\n' {
+                self.line += 1;
+                self.line_had_token = false;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: usize) {
+        self.line_had_token = true;
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            in_test: false,
+        });
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek() {
+            let line = self.line;
+            match c {
+                ' ' | '\t' | '\r' | '\n' => {
+                    self.bump();
+                }
+                '/' if self.peek_at(1) == Some('/') => self.line_comment(),
+                '/' if self.peek_at(1) == Some('*') => self.block_comment(),
+                '"' => self.string_lit(line),
+                'r' | 'b' | 'c' if self.raw_or_byte_prefix() => self.prefixed_lit(line),
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if c == '_' || c.is_alphabetic() => self.ident(line),
+                _ => self.punct(line),
+            }
+        }
+    }
+
+    /// Does the cursor sit on `r"`, `r#`, `b"`, `b'`, `br`, `cr`, `c"` —
+    /// i.e. a prefixed literal rather than a plain identifier?
+    fn raw_or_byte_prefix(&self) -> bool {
+        let one = self.peek_at(1);
+        match (self.peek(), one) {
+            (Some('r'), Some('"' | '#')) => true,
+            (Some('b'), Some('"' | '\'')) => true,
+            (Some('b' | 'c'), Some('r')) => matches!(self.peek_at(2), Some('"' | '#')),
+            (Some('c'), Some('"')) => true,
+            _ => false,
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        // `///` and `//!` are doc comments; pragmas must be plain `//`.
+        if !text.starts_with("///") && !text.starts_with("//!") {
+            let body = text.trim_start_matches('/').trim();
+            if let Some(rest) = body.strip_prefix("lint:allow") {
+                let standalone = !self.line_had_token;
+                self.out.pragmas.push(parse_pragma(rest, line, standalone));
+            }
+        }
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(), self.peek_at(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    fn string_lit(&mut self, line: usize) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::StrLit, String::new(), line);
+    }
+
+    /// Raw strings (`r"…"`, `r#"…"#`), byte strings and c-strings.
+    fn prefixed_lit(&mut self, line: usize) {
+        // Consume the alphabetic prefix.
+        while matches!(self.peek(), Some('r' | 'b' | 'c')) {
+            if matches!(self.peek(), Some('b')) && self.peek_at(1) == Some('\'') {
+                // b'x' — a byte char literal.
+                self.bump(); // b
+                self.char_body();
+                self.push(TokenKind::StrLit, String::new(), line);
+                return;
+            }
+            self.bump();
+            if matches!(self.peek(), Some('"' | '#')) {
+                break;
+            }
+        }
+        let mut hashes = 0usize;
+        while self.peek() == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek() != Some('"') {
+            // `r#ident` raw identifier: treat the rest as an ident.
+            self.ident(line);
+            return;
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut seen = 0usize;
+                while seen < hashes {
+                    if self.peek() == Some('#') {
+                        self.bump();
+                        seen += 1;
+                    } else {
+                        continue 'outer;
+                    }
+                }
+                break;
+            } else if c == '\\' && hashes == 0 {
+                self.bump();
+            }
+        }
+        self.push(TokenKind::StrLit, String::new(), line);
+    }
+
+    fn char_body(&mut self) {
+        self.bump(); // opening '
+        if self.peek() == Some('\\') {
+            self.bump();
+            self.bump();
+        } else {
+            self.bump();
+        }
+        if self.peek() == Some('\'') {
+            self.bump();
+        }
+    }
+
+    fn char_or_lifetime(&mut self, line: usize) {
+        // `'a` (no closing quote within two chars) is a lifetime; `'a'`
+        // and `'\n'` are char literals.
+        let next = self.peek_at(1);
+        let after = self.peek_at(2);
+        let is_char = match (next, after) {
+            (Some('\\'), _) => true,
+            (Some(_), Some('\'')) => true,
+            _ => false,
+        };
+        if is_char {
+            self.char_body();
+            self.push(TokenKind::StrLit, String::new(), line);
+        } else {
+            self.bump(); // '
+            let mut text = String::from("'");
+            while let Some(c) = self.peek() {
+                if c == '_' || c.is_alphanumeric() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokenKind::Lifetime, text, line);
+        }
+    }
+
+    fn number(&mut self, line: usize) {
+        let mut text = String::new();
+        let mut is_float = false;
+        // Hex / octal / binary prefixes never produce floats.
+        if self.peek() == Some('0') && matches!(self.peek_at(1), Some('x' | 'o' | 'b')) {
+            text.push(self.bump().unwrap_or('0'));
+            text.push(self.bump().unwrap_or('x'));
+            while let Some(c) = self.peek() {
+                if c.is_ascii_hexdigit() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        } else {
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            // Fractional part: a dot followed by a digit (so `1.max(2)`
+            // and `0..n` stay integers).
+            if self.peek() == Some('.') && self.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                text.push('.');
+                self.bump();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() || c == '_' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            // Exponent.
+            if matches!(self.peek(), Some('e' | 'E')) {
+                let sign_ok = match self.peek_at(1) {
+                    Some('+' | '-') => self.peek_at(2).is_some_and(|c| c.is_ascii_digit()),
+                    Some(c) => c.is_ascii_digit(),
+                    None => false,
+                };
+                if sign_ok {
+                    is_float = true;
+                    text.push(self.bump().unwrap_or('e'));
+                    while let Some(c) = self.peek() {
+                        if c.is_ascii_digit() || c == '_' || c == '+' || c == '-' {
+                            text.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        // Type suffix (`u64`, `f64`, ...).
+        let mut suffix = String::new();
+        while let Some(c) = self.peek() {
+            if c == '_' || c.is_alphanumeric() {
+                suffix.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if suffix.starts_with('f') {
+            is_float = true;
+        }
+        text.push_str(&suffix);
+        let kind = if is_float {
+            TokenKind::FloatLit
+        } else {
+            TokenKind::IntLit
+        };
+        self.push(kind, text, line);
+    }
+
+    fn ident(&mut self, line: usize) {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c == '_' || c.is_alphanumeric() || c == '#' && text == "r" {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    fn punct(&mut self, line: usize) {
+        const TWO: &[&str] = &[
+            "==", "!=", "<=", ">=", "::", "->", "=>", "&&", "||", "..", "+=", "-=", "*=", "/=",
+            "%=", "^=", "<<", ">>",
+        ];
+        let a = self.peek().unwrap_or(' ');
+        let b = self.peek_at(1).unwrap_or(' ');
+        let c = self.peek_at(2).unwrap_or(' ');
+        let three: String = [a, b, c].iter().collect();
+        if three == "..=" || three == "<<=" || three == ">>=" {
+            self.bump();
+            self.bump();
+            self.bump();
+            self.push(TokenKind::Punct, three, line);
+            return;
+        }
+        let two: String = [a, b].iter().collect();
+        if TWO.contains(&two.as_str()) {
+            self.bump();
+            self.bump();
+            self.push(TokenKind::Punct, two, line);
+            return;
+        }
+        self.bump();
+        self.push(TokenKind::Punct, a.to_string(), line);
+    }
+}
+
+fn parse_pragma(rest: &str, line: usize, standalone: bool) -> Pragma {
+    // Grammar: `lint:allow(rule-id, "reason")` or
+    //          `lint:allow-file(rule-id, "reason")`.
+    let (whole_file, rest) = match rest.strip_prefix("-file") {
+        Some(r) => (true, r),
+        None => (false, rest),
+    };
+    let malformed_pragma = |msg: &str| Pragma {
+        rule: msg.to_owned(),
+        reason: String::new(),
+        line,
+        whole_file,
+        standalone,
+        malformed: true,
+    };
+    let rest = rest.trim_start();
+    let Some(inner) = rest
+        .strip_prefix('(')
+        .and_then(|r| r.rfind(')').map(|end| &r[..end]))
+    else {
+        return malformed_pragma("missing parentheses");
+    };
+    let (rule, reason_part) = match inner.split_once(',') {
+        Some((r, rest)) => (r.trim(), rest.trim()),
+        None => (inner.trim(), ""),
+    };
+    // The reason may be quoted or bare text; quotes are stripped.
+    let reason = reason_part.trim_matches('"').trim().to_owned();
+    Pragma {
+        rule: rule.to_owned(),
+        reason,
+        line,
+        whole_file,
+        standalone,
+        malformed: rule.is_empty(),
+    }
+}
+
+/// Marks every token inside a `#[cfg(test)]` or `#[test]` item (and the
+/// attribute itself) with `in_test = true`.
+///
+/// An attribute whose bracket group contains the ident `test` — and not
+/// `not`, so `#[cfg(not(test))]` still counts as library code — exempts
+/// the item that follows: either up to the matching close brace of the
+/// item's first `{`, or to the terminating `;` for brace-less items.
+fn mark_test_regions(tokens: &mut [Token]) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].text == "#"
+            && tokens[i].kind == TokenKind::Punct
+            && tokens.get(i + 1).is_some_and(|t| t.text == "[")
+        {
+            // Collect the attribute group.
+            let attr_start = i;
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            let mut has_test = false;
+            let mut has_not = false;
+            while j < tokens.len() {
+                match tokens[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    "test" => has_test = true,
+                    "not" => has_not = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let attr_end = j; // index of the closing `]`
+            if has_test && !has_not {
+                // Exempt any further attributes plus the item itself.
+                let mut k = attr_end + 1;
+                // Skip stacked attributes (`#[test] #[ignore] fn ...`).
+                while k + 1 < tokens.len() && tokens[k].text == "#" && tokens[k + 1].text == "[" {
+                    let mut d = 0usize;
+                    while k < tokens.len() {
+                        match tokens[k].text.as_str() {
+                            "[" => d += 1,
+                            "]" => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    k += 1;
+                }
+                // Walk the item: to the matching `}` of the first brace,
+                // or the first `;` at depth 0.
+                let mut brace_depth = 0usize;
+                let mut entered = false;
+                while k < tokens.len() {
+                    match tokens[k].text.as_str() {
+                        "{" => {
+                            brace_depth += 1;
+                            entered = true;
+                        }
+                        "}" => {
+                            brace_depth = brace_depth.saturating_sub(1);
+                            if entered && brace_depth == 0 {
+                                break;
+                            }
+                        }
+                        ";" if !entered => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                let end = (k + 1).min(tokens.len());
+                for t in tokens.iter_mut().take(end).skip(attr_start) {
+                    t.in_test = true;
+                }
+                i = end;
+                continue;
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_tokens() {
+        let src = r##"
+            // x.unwrap() in a comment
+            /* block .unwrap() */
+            let s = "call .unwrap() here";
+            let r = r#"raw .unwrap()"#;
+        "##;
+        assert!(!idents(src).contains(&"unwrap".to_owned()));
+    }
+
+    #[test]
+    fn real_calls_survive() {
+        let src = "let x = v.unwrap();";
+        assert!(idents(src).contains(&"unwrap".to_owned()));
+    }
+
+    #[test]
+    fn float_vs_int_literals() {
+        let lexed = lex("let a = 1.5; let b = 42; let c = 3e8; let d = 2f64; let e = 0..10;");
+        let floats: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::FloatLit)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(floats, vec!["1.5", "3e8", "2f64"]);
+        let ints: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::IntLit)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(ints, vec!["42", "0", "10"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "'a"));
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::StrLit)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn pragmas_are_collected() {
+        let src = "\nlet x = v.unwrap(); // lint:allow(no-panic-paths, \"checked above\")\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.pragmas.len(), 1);
+        let p = &lexed.pragmas[0];
+        assert_eq!(p.rule, "no-panic-paths");
+        assert_eq!(p.reason, "checked above");
+        assert_eq!(p.line, 2);
+        assert!(!p.standalone);
+        assert!(!p.whole_file);
+        assert!(!p.malformed);
+    }
+
+    #[test]
+    fn standalone_and_file_pragmas() {
+        let src = "// lint:allow-file(determinism, reads env for test config)\n\n// lint:allow(vec-index, bounded)\nlet y = v[0];\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.pragmas.len(), 2);
+        assert!(lexed.pragmas[0].whole_file);
+        assert!(lexed.pragmas[0].standalone);
+        assert_eq!(lexed.pragmas[1].reason, "bounded");
+        assert!(lexed.pragmas[1].standalone);
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = r#"
+            fn library() { v.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                fn t() { v.unwrap(); }
+            }
+        "#;
+        let lexed = lex(src);
+        let unwraps: Vec<bool> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.text == "unwrap")
+            .map(|t| t.in_test)
+            .collect();
+        assert_eq!(unwraps, vec![false, true]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_library_code() {
+        let src = "#[cfg(not(test))]\nfn f() { v.unwrap(); }";
+        let lexed = lex(src);
+        assert!(lexed
+            .tokens
+            .iter()
+            .filter(|t| t.text == "unwrap")
+            .all(|t| !t.in_test));
+    }
+
+    #[test]
+    fn multi_char_operators_are_single_tokens() {
+        let texts: Vec<String> = lex("a == b != c :: d")
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(texts, vec!["==", "!=", "::"]);
+    }
+}

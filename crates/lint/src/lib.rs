@@ -1,0 +1,42 @@
+//! `ee360-lint` — the in-repo static-analysis gate.
+//!
+//! The repository carries three invariants that ordinary compilation
+//! cannot check: library code must not panic on hot paths, same-seed
+//! replays must be byte-identical (no iteration-order or wall-clock
+//! nondeterminism), and the build must stay hermetic (no registry
+//! dependencies). This crate enforces them with a comment- and
+//! string-aware token scan plus a manifest scan, wired into CI as a
+//! blocking stage.
+//!
+//! Rules (see `DESIGN.md` §7 for the full contract):
+//!
+//! - `no-panic-paths` — `.unwrap()` / `.expect(` / `panic!` /
+//!   `unreachable!` / `todo!` / `unimplemented!` in library code of the
+//!   simulation crates.
+//! - `vec-index` — the indexing arm of the panic-path rule, reported
+//!   separately so its severity can be tuned while the burn-down runs.
+//! - `determinism` — `HashMap`/`HashSet` in replay-sensitive crates,
+//!   `std::time::{Instant, SystemTime}` and `std::env` outside the
+//!   bench/CLI exemptions, and float→int `as` casts in seeded-hash
+//!   paths.
+//! - `hermeticity` — any `Cargo.toml` dependency that is not an
+//!   in-repo `path`/`workspace` entry.
+//! - `float-compare` — `==`/`!=` against floats outside the tolerance
+//!   helpers.
+//! - `bad-pragma` — a `lint:allow` that is malformed, names an unknown
+//!   rule, or omits its reason.
+//!
+//! Suppressions are spelled `// lint:allow(rule, "reason")` (trailing:
+//! covers its own line; standalone: covers the next line) or
+//! `// lint:allow-file(rule, "reason")` for a whole file. The reason is
+//! mandatory.
+
+pub mod engine;
+pub mod lexer;
+pub mod manifest;
+pub mod report;
+pub mod rules;
+
+pub use engine::{scan_source, scan_workspace, Config};
+pub use report::Report;
+pub use rules::{RuleId, Severity};

@@ -1,0 +1,98 @@
+//! CLI entry point: `cargo run -p ee360-lint --offline [-- flags]`.
+//!
+//! Flags:
+//!   --root <dir>              workspace root (default: current directory)
+//!   --json <path>             also write the JSON report to <path>
+//!   --severity <rule>=<level> override a rule's severity
+//!                             (level: allow | warn | deny)
+//!
+//! Exit status is non-zero iff any deny-severity violation remains.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ee360_lint::{scan_workspace, Config, RuleId, Severity};
+use ee360_support::json;
+
+fn main() -> ExitCode {
+    // lint:allow-file(determinism, "CLI entry point: reads argv by design")
+    let mut root = PathBuf::from(".");
+    let mut json_path: Option<PathBuf> = None;
+    let mut config = Config::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => match args.next() {
+                Some(path) => json_path = Some(PathBuf::from(path)),
+                None => return usage("--json needs a path"),
+            },
+            "--severity" => {
+                let Some(spec) = args.next() else {
+                    return usage("--severity needs rule=level");
+                };
+                let Some((rule, level)) = spec.split_once('=') else {
+                    return usage("--severity needs rule=level");
+                };
+                let (Some(rule), Some(level)) = (RuleId::parse(rule), Severity::parse(level))
+                else {
+                    return usage(&format!("unknown rule or level in `{spec}`"));
+                };
+                config.set_severity(rule, level);
+            }
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let report = scan_workspace(&root, &config);
+    print!("{}", report.render_human());
+
+    if let Some(path) = &json_path {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match json::to_string_pretty(&report) {
+            Ok(text) => {
+                if let Err(e) = std::fs::write(path, text + "\n") {
+                    eprintln!("ee360-lint: cannot write {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+            Err(e) => {
+                eprintln!("ee360-lint: cannot serialise report: {e:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if report.deny_count() > 0 {
+        eprintln!(
+            "ee360-lint: {} deny-severity violation(s) — gate failed",
+            report.deny_count()
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("ee360-lint: {error}");
+    }
+    eprintln!(
+        "usage: ee360-lint [--root DIR] [--json PATH] [--severity RULE=LEVEL]...\n\
+         rules: no-panic-paths vec-index determinism hermeticity float-compare bad-pragma\n\
+         levels: allow warn deny"
+    );
+    if error.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

@@ -1,0 +1,258 @@
+//! The hermeticity rule: every dependency in every `Cargo.toml` must
+//! resolve inside the repository.
+//!
+//! A minimal line-oriented TOML scan — enough for the subset Cargo
+//! manifests actually use. A dependency entry is hermetic when it is a
+//! `path` dependency or a `workspace = true` reference (the workspace
+//! table itself must hold path entries). Anything else — a bare version
+//! string, a `git`/`registry`/`version` key — is a violation.
+
+use crate::rules::{RawViolation, RuleId};
+
+/// Table headers whose entries are dependency specifications.
+fn is_dependency_table(header: &str) -> Option<&str> {
+    for table in [
+        "dependencies",
+        "dev-dependencies",
+        "build-dependencies",
+        "workspace.dependencies",
+    ] {
+        if header == table {
+            return Some(table);
+        }
+        if let Some(rest) = header.strip_prefix(table) {
+            if let Some(name) = rest.strip_prefix('.') {
+                // `[dependencies.foo]` — a single-dependency table.
+                return Some(name);
+            }
+        }
+    }
+    None
+}
+
+/// Scans one `Cargo.toml` for non-path dependencies.
+pub fn scan_manifest(text: &str) -> Vec<RawViolation> {
+    let mut out = Vec::new();
+    // (dependency name, header line) for the `[dependencies.foo]` form,
+    // plus whether a path/workspace key was seen before the table ended.
+    let mut single_dep: Option<(String, usize, bool, bool)> = None;
+    let mut in_dep_table = false;
+
+    let close_single = |entry: &mut Option<(String, usize, bool, bool)>,
+                        out: &mut Vec<RawViolation>| {
+        if let Some((name, line, saw_path, saw_bad)) = entry.take() {
+            if !saw_path && !saw_bad {
+                out.push(RawViolation {
+                    rule: RuleId::Hermeticity,
+                    line,
+                    message: format!(
+                        "dependency `{name}` has no `path` or `workspace = true` key: only \
+                         in-repo dependencies are allowed"
+                    ),
+                });
+            }
+        }
+    };
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_toml_comment(raw_line).trim().to_owned();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            close_single(&mut single_dep, &mut out);
+            let header = line.trim_matches(|c| c == '[' || c == ']').trim();
+            match is_dependency_table(header) {
+                Some(name)
+                    if !matches!(
+                        name,
+                        "dependencies"
+                            | "dev-dependencies"
+                            | "build-dependencies"
+                            | "workspace.dependencies"
+                    ) =>
+                {
+                    in_dep_table = false;
+                    single_dep = Some((name.to_owned(), line_no, false, false));
+                }
+                Some(_) => in_dep_table = true,
+                None => in_dep_table = false,
+            }
+            continue;
+        }
+        if let Some((name, _, saw_path, saw_bad)) = single_dep.as_mut() {
+            let key = line.split('=').next().unwrap_or("").trim();
+            match key {
+                "path" => *saw_path = true,
+                "workspace" if line.contains("true") => *saw_path = true,
+                "git" | "registry" | "version" | "branch" | "tag" | "rev" => {
+                    *saw_bad = true;
+                    out.push(RawViolation {
+                        rule: RuleId::Hermeticity,
+                        line: line_no,
+                        message: format!(
+                            "dependency `{name}` uses registry/git key `{key}`: only in-repo \
+                             path dependencies are allowed"
+                        ),
+                    });
+                }
+                _ => {}
+            }
+            continue;
+        }
+        if in_dep_table {
+            scan_inline_dependency(&line, line_no, &mut out);
+        }
+    }
+    close_single(&mut single_dep, &mut out);
+    out
+}
+
+/// Checks one `name = <spec>` line inside a `[dependencies]`-style table.
+fn scan_inline_dependency(line: &str, line_no: usize, out: &mut Vec<RawViolation>) {
+    let Some((lhs, rhs)) = line.split_once('=') else {
+        return;
+    };
+    let lhs = lhs.trim();
+    let rhs = rhs.trim();
+    // `foo.workspace = true` and `foo.path = "..."` dotted keys.
+    if let Some((name, key)) = lhs.split_once('.') {
+        match key.trim() {
+            "workspace" | "path" => {}
+            other => out.push(RawViolation {
+                rule: RuleId::Hermeticity,
+                line: line_no,
+                message: format!(
+                    "dependency `{}` sets `{other}` instead of `path`/`workspace`",
+                    name.trim()
+                ),
+            }),
+        }
+        return;
+    }
+    if rhs.starts_with('"') || rhs.starts_with('\'') {
+        // `foo = "1.0"` — a crates.io version requirement.
+        out.push(RawViolation {
+            rule: RuleId::Hermeticity,
+            line: line_no,
+            message: format!(
+                "dependency `{lhs}` is a registry version requirement {rhs}: only in-repo path \
+                 dependencies are allowed"
+            ),
+        });
+        return;
+    }
+    if rhs.starts_with('{') {
+        let hermetic = rhs.contains("path") || rhs.contains("workspace");
+        let tainted = ["git", "registry", "version", "branch", "tag", "rev"]
+            .iter()
+            .any(|k| {
+                rhs.split(|c: char| c == '{' || c == ',' || c == '}')
+                    .any(|field| field.split('=').next().unwrap_or("").trim() == *k)
+            });
+        if !hermetic || tainted {
+            out.push(RawViolation {
+                rule: RuleId::Hermeticity,
+                line: line_no,
+                message: format!(
+                    "dependency `{lhs}` must be an in-repo `path`/`workspace` dependency, got \
+                     `{rhs}`"
+                ),
+            });
+        }
+    }
+}
+
+/// Strips a `#` comment, honouring quoted strings.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violations(toml: &str) -> Vec<String> {
+        scan_manifest(toml).into_iter().map(|v| v.message).collect()
+    }
+
+    #[test]
+    fn path_and_workspace_deps_pass() {
+        let toml = r#"
+[package]
+name = "x"
+
+[dependencies]
+ee360-support.workspace = true
+ee360-geom = { path = "../geom" }
+
+[dev-dependencies]
+ee360-trace = { path = "../trace" }
+"#;
+        assert!(violations(toml).is_empty(), "{:?}", violations(toml));
+    }
+
+    #[test]
+    fn workspace_dependency_table_with_paths_passes() {
+        let toml = r#"
+[workspace.dependencies]
+ee360-support = { path = "crates/support" }
+"#;
+        assert!(violations(toml).is_empty());
+    }
+
+    #[test]
+    fn version_string_fails() {
+        let toml = "[dependencies]\nserde = \"1.0\"\n";
+        let v = violations(toml);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("serde"), "{v:?}");
+    }
+
+    #[test]
+    fn git_dependency_fails() {
+        let toml = "[dependencies]\nfoo = { git = \"https://example.com/foo\" }\n";
+        assert_eq!(violations(toml).len(), 1);
+    }
+
+    #[test]
+    fn versioned_inline_table_fails() {
+        let toml = "[dependencies]\nrand = { version = \"0.8\", features = [\"std\"] }\n";
+        assert_eq!(violations(toml).len(), 1);
+    }
+
+    #[test]
+    fn single_dep_table_without_path_fails() {
+        let toml = "[dependencies.serde]\nfeatures = [\"derive\"]\nversion = \"1\"\n";
+        assert!(!violations(toml).is_empty());
+    }
+
+    #[test]
+    fn single_dep_table_with_path_passes() {
+        let toml = "[dependencies.ee360-geom]\npath = \"../geom\"\n";
+        assert!(violations(toml).is_empty());
+    }
+
+    #[test]
+    fn comments_and_package_keys_are_ignored() {
+        let toml = r#"
+[package]
+version = "0.1.0" # not a dependency version
+edition = "2021"
+
+[dependencies]
+# serde = "1.0" — commented out, must not fire
+ee360-support.workspace = true
+"#;
+        assert!(violations(toml).is_empty());
+    }
+}

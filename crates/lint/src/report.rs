@@ -1,0 +1,229 @@
+//! Report types: the human rendering and the machine-readable JSON
+//! document (`results/lint_report.json` in CI).
+
+use ee360_support::json::{Json, ToJson};
+
+use crate::rules::{RuleId, Severity};
+
+/// One reported violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Severity the rule ran at.
+    pub severity: Severity,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+    /// The trimmed source line.
+    pub snippet: String,
+}
+
+impl ToJson for Violation {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("rule".to_owned(), Json::Str(self.rule.id().to_owned())),
+            (
+                "severity".to_owned(),
+                Json::Str(self.severity.id().to_owned()),
+            ),
+            ("file".to_owned(), Json::Str(self.file.clone())),
+            ("line".to_owned(), Json::Int(self.line as i64)),
+            ("message".to_owned(), Json::Str(self.message.clone())),
+            ("snippet".to_owned(), Json::Str(self.snippet.clone())),
+        ])
+    }
+}
+
+/// A violation suppressed by a reasoned pragma.
+#[derive(Debug, Clone)]
+pub struct SuppressedViolation {
+    /// Which rule would have fired.
+    pub rule: RuleId,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// The pragma's reason string.
+    pub reason: String,
+}
+
+impl ToJson for SuppressedViolation {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("rule".to_owned(), Json::Str(self.rule.id().to_owned())),
+            ("file".to_owned(), Json::Str(self.file.clone())),
+            ("line".to_owned(), Json::Int(self.line as i64)),
+            ("reason".to_owned(), Json::Str(self.reason.clone())),
+        ])
+    }
+}
+
+/// Per-rule tallies.
+#[derive(Debug, Clone)]
+pub struct RuleSummary {
+    /// The rule.
+    pub rule: RuleId,
+    /// Severity it ran at.
+    pub severity: Severity,
+    /// Unsuppressed violations.
+    pub violations: usize,
+    /// Pragma-suppressed violations.
+    pub suppressed: usize,
+}
+
+impl ToJson for RuleSummary {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("id".to_owned(), Json::Str(self.rule.id().to_owned())),
+            (
+                "severity".to_owned(),
+                Json::Str(self.severity.id().to_owned()),
+            ),
+            ("violations".to_owned(), Json::Int(self.violations as i64)),
+            ("suppressed".to_owned(), Json::Int(self.suppressed as i64)),
+        ])
+    }
+}
+
+/// The complete result of a lint run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Files read (Rust sources + manifests).
+    pub files_scanned: usize,
+    /// Per-rule tallies, in [`RuleId::ALL`] order.
+    pub rules: Vec<RuleSummary>,
+    /// Unsuppressed violations, sorted by (file, line).
+    pub violations: Vec<Violation>,
+    /// Pragma-suppressed violations, sorted by (file, line).
+    pub suppressed: Vec<SuppressedViolation>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of deny-severity violations (the gate's exit criterion).
+    pub fn deny_count(&self) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| v.severity == Severity::Deny)
+            .count()
+    }
+
+    /// Number of warn-severity violations.
+    pub fn warn_count(&self) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| v.severity == Severity::Warn)
+            .count()
+    }
+
+    /// The human-readable report text.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}: {}\n",
+                v.file,
+                v.line,
+                v.severity.id(),
+                v.rule.id(),
+                v.message
+            ));
+            if !v.snippet.is_empty() {
+                out.push_str(&format!("    {}\n", v.snippet));
+            }
+        }
+        out.push_str("\nper-rule violation counts:\n");
+        for r in &self.rules {
+            out.push_str(&format!(
+                "  {:<16} {:>4} violations  {:>3} suppressed  (severity: {})\n",
+                r.rule.id(),
+                r.violations,
+                r.suppressed,
+                r.severity.id()
+            ));
+        }
+        out.push_str(&format!(
+            "\n{} file(s) scanned: {} deny, {} warn, {} suppressed by pragma\n",
+            self.files_scanned,
+            self.deny_count(),
+            self.warn_count(),
+            self.suppressed.len()
+        ));
+        out
+    }
+}
+
+impl ToJson for Report {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("tool".to_owned(), Json::Str("ee360-lint".to_owned())),
+            (
+                "files_scanned".to_owned(),
+                Json::Int(self.files_scanned as i64),
+            ),
+            ("rules".to_owned(), self.rules.to_json()),
+            ("violations".to_owned(), self.violations.to_json()),
+            ("suppressed".to_owned(), self.suppressed.to_json()),
+            (
+                "summary".to_owned(),
+                Json::Obj(vec![
+                    ("deny".to_owned(), Json::Int(self.deny_count() as i64)),
+                    ("warn".to_owned(), Json::Int(self.warn_count() as i64)),
+                    (
+                        "suppressed".to_owned(),
+                        Json::Int(self.suppressed.len() as i64),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ee360_support::json;
+
+    #[test]
+    fn report_serialises_deterministically() {
+        let report = Report {
+            files_scanned: 1,
+            rules: vec![RuleSummary {
+                rule: RuleId::NoPanicPaths,
+                severity: Severity::Deny,
+                violations: 1,
+                suppressed: 0,
+            }],
+            violations: vec![Violation {
+                rule: RuleId::NoPanicPaths,
+                severity: Severity::Deny,
+                file: "crates/sim/src/x.rs".to_owned(),
+                line: 3,
+                message: "`.unwrap()` in library code".to_owned(),
+                snippet: "v.unwrap();".to_owned(),
+            }],
+            suppressed: vec![],
+        };
+        let a = json::to_string(&report).expect("report is finite");
+        let b = json::to_string(&report).expect("report is finite");
+        assert_eq!(a, b);
+        assert!(a.contains("\"no-panic-paths\""));
+        assert!(a.contains("\"deny\":1"));
+    }
+
+    #[test]
+    fn human_rendering_includes_counts() {
+        let report = Report::new();
+        let text = report.render_human();
+        assert!(text.contains("per-rule violation counts"));
+        assert!(text.contains("0 deny"));
+    }
+}

@@ -1,0 +1,20 @@
+//! Fixture: idiomatic library code that trips no rule.
+
+use std::collections::BTreeMap;
+
+pub fn lookup(map: &BTreeMap<u32, f64>, key: u32) -> f64 {
+    map.get(&key).copied().unwrap_or(0.0)
+}
+
+pub fn first_or_default(v: &[f64]) -> f64 {
+    v.first().copied().unwrap_or(0.0)
+}
+
+pub fn close_enough(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}
+
+pub fn sorted(mut v: Vec<f64>) -> Vec<f64> {
+    v.sort_by(|a, b| a.total_cmp(b));
+    v
+}

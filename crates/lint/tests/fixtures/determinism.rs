@@ -1,0 +1,21 @@
+//! Fixture: every arm of the determinism rule fires when the file is
+//! scanned as a replay-sensitive crate (e.g. `crates/sim/src/...`).
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn unordered_maps() -> (HashMap<u32, u32>, HashSet<u32>) {
+    (HashMap::new(), HashSet::new())
+}
+
+pub fn wall_clock() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn system_clock() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+pub fn env_read() -> Option<String> {
+    std::env::var("SOME_KNOB").ok()
+}

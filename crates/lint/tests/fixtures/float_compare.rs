@@ -1,0 +1,13 @@
+//! Fixture: exact float comparisons the float-compare rule must catch.
+
+pub fn literal_eq(x: f64) -> bool {
+    x == 0.3
+}
+
+pub fn literal_ne(x: f64) -> bool {
+    x != 1.0
+}
+
+pub fn typed_operand(a: u32, b: f64) -> bool {
+    a as f64 == b
+}

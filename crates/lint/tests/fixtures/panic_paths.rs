@@ -1,0 +1,35 @@
+//! Fixture: every arm of the no-panic-paths rule fires in library code.
+
+pub fn unwrap_site(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn expect_site(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+
+pub fn panic_site() {
+    panic!("boom");
+}
+
+pub fn unreachable_site() -> u32 {
+    unreachable!("never");
+}
+
+pub fn todo_site() {
+    todo!()
+}
+
+pub fn index_site(v: &[u32]) -> u32 {
+    v[0]
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may panic freely: none of these fire.
+    #[test]
+    fn exempt() {
+        let v = vec![1u32];
+        assert_eq!(v[0], Some(1).unwrap());
+    }
+}

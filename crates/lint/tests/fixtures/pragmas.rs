@@ -1,0 +1,19 @@
+//! Fixture: pragma forms — valid suppressions and invalid pragmas.
+
+pub fn trailing_ok(v: Option<u32>) -> u32 {
+    v.unwrap() // lint:allow(no-panic-paths, "fixture: validated by caller")
+}
+
+pub fn standalone_ok(v: Option<u32>) -> u32 {
+    // lint:allow(no-panic-paths, "fixture: standalone form covers the next line")
+    v.unwrap()
+}
+
+pub fn missing_reason(v: Option<u32>) -> u32 {
+    v.unwrap() // lint:allow(no-panic-paths)
+}
+
+pub fn unknown_rule(v: Option<u32>) -> u32 {
+    // lint:allow(no-such-rule, "fixture: rule id does not exist")
+    v.expect("x")
+}

@@ -1,0 +1,296 @@
+//! Integration tests for the lint gate: each rule fires on its fixture,
+//! pragmas suppress with a reason, the live workspace is clean, and the
+//! shipped binary (the thing `scripts/ci.sh` runs) fails on a seeded
+//! violation.
+
+use std::path::Path;
+use std::process::Command;
+
+use ee360_lint::rules::{scan_tokens, FileContext};
+use ee360_lint::{scan_source, scan_workspace, Config, RuleId, Severity};
+
+fn deny_config() -> Config {
+    // Fixtures exercise indexing too: promote vec-index so it counts.
+    let mut config = Config::default();
+    config.set_severity(RuleId::VecIndex, Severity::Deny);
+    config
+}
+
+fn rules_fired(fixture: &str, as_path: &str) -> Vec<(RuleId, usize)> {
+    let report = scan_source(as_path, fixture, &deny_config());
+    report.violations.iter().map(|v| (v.rule, v.line)).collect()
+}
+
+#[test]
+fn panic_paths_fixture_fires_every_arm() {
+    let fired = rules_fired(
+        include_str!("fixtures/panic_paths.rs"),
+        "crates/sim/src/fixture.rs",
+    );
+    let panic_sites = fired
+        .iter()
+        .filter(|(r, _)| *r == RuleId::NoPanicPaths)
+        .count();
+    let index_sites = fired.iter().filter(|(r, _)| *r == RuleId::VecIndex).count();
+    // unwrap, expect, panic!, unreachable!, todo! — and one v[0].
+    assert_eq!(panic_sites, 5, "{fired:?}");
+    assert_eq!(index_sites, 1, "{fired:?}");
+}
+
+#[test]
+fn panic_paths_fixture_is_exempt_outside_scoped_crates() {
+    // The same source in a non-simulation crate (e.g. viz) does not fire
+    // the panic rule.
+    let fired = rules_fired(
+        include_str!("fixtures/panic_paths.rs"),
+        "crates/viz/src/fixture.rs",
+    );
+    assert!(
+        fired.iter().all(|(r, _)| *r != RuleId::NoPanicPaths),
+        "{fired:?}"
+    );
+}
+
+#[test]
+fn determinism_fixture_fires_every_arm() {
+    let report = scan_source(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/determinism.rs"),
+        &deny_config(),
+    );
+    let messages: Vec<&str> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == RuleId::Determinism)
+        .map(|v| v.message.as_str())
+        .collect();
+    assert!(
+        messages.iter().any(|m| m.contains("HashMap")),
+        "{messages:?}"
+    );
+    assert!(
+        messages.iter().any(|m| m.contains("HashSet")),
+        "{messages:?}"
+    );
+    assert!(
+        messages.iter().any(|m| m.contains("Instant")),
+        "{messages:?}"
+    );
+    assert!(
+        messages.iter().any(|m| m.contains("SystemTime")),
+        "{messages:?}"
+    );
+    assert!(
+        messages.iter().any(|m| m.contains("std::env")),
+        "{messages:?}"
+    );
+}
+
+#[test]
+fn determinism_hash_arm_is_scoped_to_replay_crates() {
+    // viz is not replay-sensitive: HashMap/HashSet pass there, but the
+    // clock and env arms still apply.
+    let report = scan_source(
+        "crates/viz/src/fixture.rs",
+        include_str!("fixtures/determinism.rs"),
+        &deny_config(),
+    );
+    assert!(
+        !report
+            .violations
+            .iter()
+            .any(|v| v.message.contains("HashMap") || v.message.contains("HashSet")),
+        "{:?}",
+        report.violations
+    );
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| v.message.contains("Instant")));
+}
+
+#[test]
+fn float_compare_fixture_fires_on_each_comparison() {
+    let fired = rules_fired(
+        include_str!("fixtures/float_compare.rs"),
+        "crates/qoe/src/fixture.rs",
+    );
+    let count = fired
+        .iter()
+        .filter(|(r, _)| *r == RuleId::FloatCompare)
+        .count();
+    assert_eq!(count, 3, "{fired:?}");
+}
+
+#[test]
+fn pragma_fixture_suppresses_and_rejects() {
+    let report = scan_source(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/pragmas.rs"),
+        &deny_config(),
+    );
+    // Two valid suppressions (trailing + standalone).
+    assert_eq!(report.suppressed.len(), 2, "{:?}", report.suppressed);
+    assert!(report
+        .suppressed
+        .iter()
+        .all(|s| s.reason.starts_with("fixture:")));
+    // The reason-less and unknown-rule pragmas are violations themselves,
+    // and their unwrap/expect sites still fire.
+    let bad_pragmas = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == RuleId::BadPragma)
+        .count();
+    let unsuppressed = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == RuleId::NoPanicPaths)
+        .count();
+    assert_eq!(bad_pragmas, 2, "{:?}", report.violations);
+    assert_eq!(unsuppressed, 2, "{:?}", report.violations);
+}
+
+#[test]
+fn clean_fixture_passes_at_full_strictness() {
+    let report = scan_source(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/clean.rs"),
+        &deny_config(),
+    );
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert!(report.suppressed.is_empty());
+}
+
+#[test]
+fn bad_manifest_fixture_fires_hermeticity() {
+    let raw = ee360_lint::manifest::scan_manifest(include_str!("fixtures/bad_manifest.toml"));
+    // serde, rand, clap, tokio, criterion — one violation each.
+    assert_eq!(raw.len(), 5, "{raw:?}");
+    assert!(raw.iter().all(|v| v.rule == RuleId::Hermeticity));
+}
+
+#[test]
+fn lexer_sees_through_comments_strings_and_tests() {
+    let src = r##"
+// v.unwrap() in a comment
+/* panic!("block comment") */
+/// doc: x == 0.3
+pub fn ok() -> String {
+    let s = "v.unwrap()";
+    let r = r#"panic!("raw")"#;
+    format!("{s}{r}")
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        Option::<u32>::None.unwrap();
+    }
+}
+"##;
+    let ctx = FileContext {
+        crate_name: "sim".to_owned(),
+        rel_path: "crates/sim/src/fixture.rs".to_owned(),
+    };
+    let lexed = ee360_lint::lexer::lex(src);
+    let raw = scan_tokens(&ctx, &lexed.tokens);
+    assert!(raw.is_empty(), "{raw:?}");
+}
+
+#[test]
+fn live_workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let report = scan_workspace(&root, &Config::default());
+    assert!(report.files_scanned > 50, "walker found the workspace");
+    let deny: Vec<String> = report
+        .violations
+        .iter()
+        .filter(|v| v.severity == Severity::Deny)
+        .map(|v| format!("{}:{} {}", v.file, v.line, v.message))
+        .collect();
+    assert!(
+        deny.is_empty(),
+        "workspace must stay lint-clean:\n{deny:#?}"
+    );
+    // Every suppression in the tree carries a non-empty reason.
+    assert!(report.suppressed.iter().all(|s| !s.reason.is_empty()));
+}
+
+/// The CI gate end to end: the shipped binary exits non-zero on a
+/// workspace seeded with one violation of each denying rule — the exact
+/// failure mode `scripts/ci.sh` relies on.
+#[test]
+fn binary_fails_on_seeded_violations() {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint-seeded");
+    let src = dir.join("crates").join("sim").join("src");
+    std::fs::create_dir_all(&src).expect("create seeded workspace");
+    std::fs::write(
+        dir.join("Cargo.toml"),
+        "[package]\nname = \"seeded\"\n\n[dependencies]\nserde = \"1.0\"\n",
+    )
+    .expect("write manifest");
+    std::fs::write(
+        src.join("lib.rs"),
+        "use std::collections::HashMap;\n\
+         pub fn bad(v: Option<f64>) -> bool {\n\
+             let m: HashMap<u32, u32> = HashMap::new();\n\
+             let _ = m.len();\n\
+             v.unwrap() == 0.3\n\
+         }\n",
+    )
+    .expect("write seeded source");
+
+    let report_path = dir.join("lint_report.json");
+    let output = Command::new(env!("CARGO_BIN_EXE_ee360-lint"))
+        .args([
+            "--root",
+            dir.to_str().expect("utf-8 path"),
+            "--json",
+            report_path.to_str().expect("utf-8 path"),
+        ])
+        .output()
+        .expect("run ee360-lint binary");
+    assert!(
+        !output.status.success(),
+        "gate must fail on seeded violations; stdout: {}",
+        String::from_utf8_lossy(&output.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for rule in [
+        "no-panic-paths",
+        "determinism",
+        "float-compare",
+        "hermeticity",
+    ] {
+        assert!(stdout.contains(rule), "summary must name {rule}:\n{stdout}");
+    }
+    // The machine-readable report is written even on failure.
+    let json = std::fs::read_to_string(&report_path).expect("report exists");
+    assert!(json.contains("\"tool\":"), "{json}");
+    assert!(json.contains("no-panic-paths"), "{json}");
+}
+
+/// A seeded-clean workspace exits zero — the other half of the gate.
+#[test]
+fn binary_passes_on_clean_tree() {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint-clean");
+    let src = dir.join("crates").join("sim").join("src");
+    std::fs::create_dir_all(&src).expect("create clean workspace");
+    std::fs::write(
+        dir.join("Cargo.toml"),
+        "[package]\nname = \"clean\"\n\n[dependencies]\nee360-support.workspace = true\n",
+    )
+    .expect("write manifest");
+    std::fs::write(
+        src.join("lib.rs"),
+        "pub fn good(v: &[f64]) -> f64 { v.first().copied().unwrap_or(0.0) }\n",
+    )
+    .expect("write clean source");
+
+    let status = Command::new(env!("CARGO_BIN_EXE_ee360-lint"))
+        .args(["--root", dir.to_str().expect("utf-8 path")])
+        .status()
+        .expect("run ee360-lint binary");
+    assert!(status.success(), "gate must pass on a clean tree");
+}

@@ -120,6 +120,7 @@ impl Matrix {
         for r in 0..self.rows {
             for k in 0..self.cols {
                 let a = self[(r, k)];
+                // lint:allow(float-compare, "intentional exact check: sparsity skip for exact zeros only")
                 if a == 0.0 {
                     continue;
                 }

@@ -147,6 +147,7 @@ pub fn lu_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SolveError> {
         let pivot = lu[col * n + col];
         for r in (col + 1)..n {
             let factor = lu[r * n + col] / pivot;
+            // lint:allow(float-compare, "intentional exact check: elimination skip for exact zeros only")
             if factor == 0.0 {
                 continue;
             }

@@ -110,6 +110,7 @@ pub fn pearson_correlation(xs: &[f64], ys: &[f64]) -> f64 {
         vx += (x - mx) * (x - mx);
         vy += (y - my) * (y - my);
     }
+    // lint:allow(float-compare, "intentional exact check: correlation is undefined only at exactly zero variance")
     if vx == 0.0 || vy == 0.0 {
         return 0.0;
     }

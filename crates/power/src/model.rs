@@ -60,6 +60,16 @@ impl DecoderScheme {
         DecoderScheme::Nontile,
         DecoderScheme::Ptile,
     ];
+
+    /// This scheme's Table I row (its position in [`DecoderScheme::ALL`]).
+    pub fn row(&self) -> usize {
+        match self {
+            DecoderScheme::Ctile => 0,
+            DecoderScheme::Ftile => 1,
+            DecoderScheme::Nontile => 2,
+            DecoderScheme::Ptile => 3,
+        }
+    }
 }
 
 /// A linear power model `P(f) = base + slope · f`, in milliwatts.
@@ -165,11 +175,7 @@ impl PowerModel {
 
     /// Decoding power at a frame rate, in mW (`P_d(f)`), for a scheme.
     pub fn decode_power_mw(&self, scheme: DecoderScheme, fps: f64) -> f64 {
-        let idx = DecoderScheme::ALL
-            .iter()
-            .position(|s| *s == scheme)
-            .expect("scheme is one of the four variants");
-        self.decode[idx].at(fps)
+        self.decode[scheme.row()].at(fps)
     }
 
     /// Rendering power at a frame rate, in mW (`P_r(f)`).
@@ -179,11 +185,7 @@ impl PowerModel {
 
     /// The raw decode model for a scheme (for table printing).
     pub fn decode_model(&self, scheme: DecoderScheme) -> LinearPower {
-        let idx = DecoderScheme::ALL
-            .iter()
-            .position(|s| *s == scheme)
-            .expect("scheme is one of the four variants");
-        self.decode[idx]
+        self.decode[scheme.row()]
     }
 
     /// The raw render model (for table printing).

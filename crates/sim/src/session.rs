@@ -116,6 +116,7 @@ impl StreamingSession {
     pub fn fetch_metadata(&mut self, bits: f64) -> f64 {
         match self.try_fetch_metadata(bits) {
             Ok(duration) => duration,
+            // lint:allow(no-panic-paths, "documented panic: infallible wrapper; try_fetch_metadata is the graceful API")
             Err(e) => panic!("{e}"),
         }
     }
@@ -156,6 +157,7 @@ impl StreamingSession {
     pub fn download_segment(&mut self, bits: f64) -> SegmentTiming {
         match self.try_download_segment(bits, f64::INFINITY) {
             Ok(timing) => timing,
+            // lint:allow(no-panic-paths, "documented panic: infallible wrapper; try_download_segment is the graceful API")
             Err(e) => panic!("{e}"),
         }
     }

@@ -67,6 +67,7 @@ impl Json {
     pub fn as_i64(&self) -> Option<i64> {
         match self {
             Json::Int(i) => Some(*i),
+            // lint:allow(float-compare, "intentional exact check: a value is an integer iff fract() is exactly zero")
             Json::Num(n) if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) => Some(*n as i64),
             _ => None,
         }

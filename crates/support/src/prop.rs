@@ -270,10 +270,12 @@ where
     S: Strategy,
     F: Fn(S::Value) -> TestResult,
 {
+    // lint:allow(determinism, "test-harness knob: EE360_PROP_CASES only tunes test effort, never sim output")
     let cases: u32 = std::env::var("EE360_PROP_CASES")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(DEFAULT_CASES);
+    // lint:allow(determinism, "test-harness knob: EE360_PROP_SEED only replays a failing case, never sim output")
     let base_seed: u64 = std::env::var("EE360_PROP_SEED")
         .ok()
         .and_then(|v| v.parse().ok())

@@ -295,9 +295,10 @@ impl FaultPlan {
         let mut events = Vec::new();
         let mut outage_free_at = 0.0f64;
         let mut spike_free_at = 0.0f64;
-        let horizon = horizon_sec.ceil() as usize;
-        for t in 0..horizon {
-            let t = t as f64;
+        // One Bernoulli draw per whole second, stepping in f64 so the
+        // loop variable never round-trips through an integer cast.
+        let mut t = 0.0f64;
+        while t < horizon_sec {
             if t >= outage_free_at
                 && config.outage_rate_per_min > 0.0
                 && rng.gen_bool((config.outage_rate_per_min / 60.0).min(1.0))
@@ -337,6 +338,7 @@ impl FaultPlan {
                     spike_free_at = t + duration;
                 }
             }
+            t += 1.0;
         }
         let mut plan = Self {
             config,
@@ -350,8 +352,7 @@ impl FaultPlan {
     fn sort_events(&mut self) {
         self.events.sort_by(|a, b| {
             a.start_sec
-                .partial_cmp(&b.start_sec)
-                .expect("fault times are finite")
+                .total_cmp(&b.start_sec)
                 .then_with(|| (a.kind as usize).cmp(&(b.kind as usize)))
         });
     }
@@ -504,7 +505,7 @@ impl<'a> FaultyLink<'a> {
         if latency >= deadline_sec {
             return None;
         }
-        if bits == 0.0 {
+        if bits <= 0.0 {
             return Some(latency);
         }
         let end = start_sec + deadline_sec;

@@ -20,6 +20,9 @@
 //! (most users follow the main action, a minority roams), which is what
 //! gives Algorithm 1 its one-or-two dominant clusters.
 
+use std::error::Error;
+use std::fmt;
+
 use ee360_support::rng::StdRng;
 
 use ee360_geom::angles::{lerp_yaw_deg, wrap_yaw_deg};
@@ -93,6 +96,32 @@ ee360_support::impl_json_struct!(HeadTrace {
     samples
 });
 
+/// A malformed raw head trace (the import path external datasets use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeadTraceError {
+    /// The sample list was empty.
+    EmptyTrace,
+    /// A timestamp failed to increase over its predecessor.
+    NonIncreasingTime {
+        /// Index of the offending sample.
+        index: usize,
+    },
+}
+
+impl fmt::Display for HeadTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeadTraceError::EmptyTrace => write!(f, "a trace needs at least one sample"),
+            HeadTraceError::NonIncreasingTime { index } => write!(
+                f,
+                "sample times must be strictly increasing (sample {index} does not advance)"
+            ),
+        }
+    }
+}
+
+impl Error for HeadTraceError {}
+
 impl HeadTrace {
     /// Builds a trace from raw `(t_sec, yaw_deg, pitch_deg)` samples — the
     /// entry point for external datasets (see [`crate::mmsys`]).
@@ -100,25 +129,43 @@ impl HeadTrace {
     /// # Panics
     ///
     /// Panics if `samples` is empty or timestamps are not strictly
-    /// increasing.
+    /// increasing — the infallible wrapper around
+    /// [`HeadTrace::try_from_samples`].
     pub fn from_samples(video_id: usize, user_id: usize, samples: Vec<(f64, f64, f64)>) -> Self {
-        assert!(!samples.is_empty(), "a trace needs at least one sample");
-        assert!(
-            samples.windows(2).all(|w| w[1].0 > w[0].0),
-            "sample times must be strictly increasing"
-        );
-        let sample_hz = if samples.len() >= 2 {
-            let span = samples.last().expect("non-empty").0 - samples[0].0;
-            (samples.len() as f64 - 1.0) / span.max(1e-9)
-        } else {
-            1.0
+        match Self::try_from_samples(video_id, user_id, samples) {
+            Ok(trace) => trace,
+            // lint:allow(no-panic-paths, "documented panic: infallible wrapper; try_from_samples is the graceful API")
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`HeadTrace::from_samples`]: empty input and
+    /// out-of-order timestamps come back as [`HeadTraceError`]s instead
+    /// of panicking — the path external datasets arrive through.
+    pub fn try_from_samples(
+        video_id: usize,
+        user_id: usize,
+        samples: Vec<(f64, f64, f64)>,
+    ) -> Result<Self, HeadTraceError> {
+        if samples.is_empty() {
+            return Err(HeadTraceError::EmptyTrace);
+        }
+        if let Some(index) = samples.windows(2).position(|w| w[1].0 <= w[0].0) {
+            return Err(HeadTraceError::NonIncreasingTime { index: index + 1 });
+        }
+        let sample_hz = match (samples.first(), samples.last()) {
+            (Some(first), Some(last)) if samples.len() >= 2 => {
+                let span = last.0 - first.0;
+                (samples.len() as f64 - 1.0) / span.max(1e-9)
+            }
+            _ => 1.0,
         };
-        Self {
+        Ok(Self {
             video_id,
             user_id,
             sample_hz,
             samples,
-        }
+        })
     }
 
     /// The video this trace was recorded over.
@@ -213,7 +260,7 @@ impl HeadTrace {
             return Some(0.0);
         }
         let mut sorted = speeds;
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("speeds are finite"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let idx = ((sorted.len() as f64) * 0.75).floor() as usize;
         Some(sorted[idx.min(sorted.len() - 1)])
     }

@@ -50,7 +50,7 @@ pub mod stats;
 
 pub use dataset::{Dataset, VideoTraces};
 pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultPlan, FaultyLink};
-pub use head::{GazeConfig, HeadTrace, HeadTraceGenerator};
+pub use head::{GazeConfig, HeadTrace, HeadTraceError, HeadTraceGenerator};
 pub use io::{load_dataset, save_dataset, TraceIoError};
 pub use mmsys::{load_head_trace as load_mmsys_trace, MmsysError};
 pub use network::{LteProfile, NetworkTrace};

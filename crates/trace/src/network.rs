@@ -195,7 +195,7 @@ impl NetworkTrace {
     pub fn bandwidth_at(&self, t_sec: f64) -> f64 {
         assert!(t_sec >= 0.0, "time must be non-negative");
         let idx = (t_sec.floor() as usize) % self.samples_bps.len();
-        self.samples_bps[idx]
+        self.samples_bps.get(idx).copied().unwrap_or(0.0)
     }
 
     /// Mean throughput over the whole trace, bits per second.
@@ -233,7 +233,7 @@ impl NetworkTrace {
     pub fn download_time(&self, bits: f64, start_sec: f64) -> f64 {
         assert!(bits >= 0.0, "bits must be non-negative");
         assert!(start_sec >= 0.0, "start time must be non-negative");
-        if bits == 0.0 {
+        if bits <= 0.0 {
             return 0.0;
         }
         if self.max_bps() <= 0.0 {
@@ -273,7 +273,7 @@ impl NetworkTrace {
             deadline_sec.is_finite() && deadline_sec > 0.0,
             "deadline must be positive"
         );
-        if bits == 0.0 {
+        if bits <= 0.0 {
             return Some(0.0);
         }
         let end = start_sec + deadline_sec;
@@ -320,7 +320,7 @@ impl NetworkTrace {
     /// The average bandwidth experienced while downloading `bits` starting
     /// at `start_sec` (`bits / download_time`), bits per second.
     pub fn effective_bandwidth(&self, bits: f64, start_sec: f64) -> f64 {
-        if bits == 0.0 {
+        if bits <= 0.0 {
             return self.bandwidth_at(start_sec);
         }
         bits / self.download_time(bits, start_sec)

@@ -54,7 +54,7 @@ pub fn gaze_stats(traces: &[&HeadTrace]) -> GazeStats {
 
     // Speed distribution.
     let mut speeds: Vec<f64> = traces.iter().flat_map(|t| t.switching_speeds()).collect();
-    speeds.sort_by(|a, b| a.partial_cmp(b).expect("speeds are finite"));
+    speeds.sort_by(|a, b| a.total_cmp(b));
     let quantile = |q: f64| {
         let idx = ((speeds.len() as f64 - 1.0) * q).round() as usize;
         speeds[idx.min(speeds.len() - 1)]
@@ -118,7 +118,7 @@ pub fn geometric_median(centers: &[ViewCenter]) -> Option<ViewCenter> {
         .iter()
         .min_by(|a, b| {
             let cost = |p: &ViewCenter| centers.iter().map(|q| p.distance_deg(q)).sum::<f64>();
-            cost(a).partial_cmp(&cost(b)).expect("finite distances")
+            cost(a).total_cmp(&cost(b))
         })
         .copied()
 }

@@ -9,6 +9,7 @@
 //! model consume.
 
 use crate::content::SiTi;
+use crate::error::VideoError;
 
 /// Whether users focus on the director's intended view or explore freely.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -88,14 +89,28 @@ impl VideoCatalog {
     ///
     /// # Panics
     ///
-    /// Panics if the specs are empty or their ids are not unique.
+    /// Panics if the specs are empty or their ids are not unique — the
+    /// infallible wrapper around [`VideoCatalog::try_new`].
     pub fn new(videos: Vec<VideoSpec>) -> Self {
-        assert!(!videos.is_empty(), "catalog must not be empty");
+        match Self::try_new(videos) {
+            Ok(catalog) => catalog,
+            // lint:allow(no-panic-paths, "documented panic: infallible wrapper; try_new is the graceful API")
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`VideoCatalog::new`]: an empty spec list or a duplicated
+    /// id comes back as a [`VideoError`] instead of panicking.
+    pub fn try_new(videos: Vec<VideoSpec>) -> Result<Self, VideoError> {
+        if videos.is_empty() {
+            return Err(VideoError::EmptyCatalog);
+        }
         let mut ids: Vec<usize> = videos.iter().map(|v| v.id).collect();
         ids.sort_unstable();
-        ids.dedup();
-        assert_eq!(ids.len(), videos.len(), "video ids must be unique");
-        Self { videos }
+        if let Some(dup) = ids.windows(2).find(|w| w[0] == w[1]) {
+            return Err(VideoError::DuplicateVideoId { id: dup[0] });
+        }
+        Ok(Self { videos })
     }
 
     /// Table III: the eight test videos with lengths as published.
@@ -231,6 +246,12 @@ impl VideoCatalog {
     /// Looks up a video by its Table III id.
     pub fn video(&self, id: usize) -> Option<&VideoSpec> {
         self.videos.iter().find(|v| v.id == id)
+    }
+
+    /// Like [`VideoCatalog::video`], but an unknown id is a typed error
+    /// naming the id — for callers that propagate with `?`.
+    pub fn require(&self, id: usize) -> Result<&VideoSpec, VideoError> {
+        self.video(id).ok_or(VideoError::UnknownVideo { id })
     }
 
     /// Videos with the given behaviour profile.

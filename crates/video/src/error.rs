@@ -1,0 +1,78 @@
+//! Failure taxonomy of the catalog/manifest layer.
+//!
+//! Mirrors the simulator's `SimError` style: construction problems that
+//! the seed treated as panics become values a caller can route — a CLI
+//! can name the bad video id, a server can reject a malformed catalog
+//! upload without dying.
+
+use std::error::Error;
+use std::fmt;
+
+/// A recoverable failure while building or querying video metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VideoError {
+    /// A catalog was constructed with no videos.
+    EmptyCatalog,
+    /// Two catalog entries share a Table III id.
+    DuplicateVideoId {
+        /// The id that appears more than once.
+        id: usize,
+    },
+    /// A lookup named an id the catalog does not hold.
+    UnknownVideo {
+        /// The requested id.
+        id: usize,
+    },
+    /// A manifest build was given the wrong number of per-segment
+    /// Ptile-area lists.
+    PtileAreaMismatch {
+        /// Timeline length (lists required).
+        expected: usize,
+        /// Lists provided.
+        got: usize,
+    },
+}
+
+impl fmt::Display for VideoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VideoError::EmptyCatalog => write!(f, "catalog must not be empty"),
+            VideoError::DuplicateVideoId { id } => {
+                write!(
+                    f,
+                    "video ids must be unique: id {id} appears more than once"
+                )
+            }
+            VideoError::UnknownVideo { id } => write!(f, "no video with id {id} in the catalog"),
+            VideoError::PtileAreaMismatch { expected, got } => write!(
+                f,
+                "need one Ptile-area list per segment: timeline has {expected}, got {got}"
+            ),
+        }
+    }
+}
+
+impl Error for VideoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_id() {
+        let e = VideoError::UnknownVideo { id: 9 };
+        assert!(e.to_string().contains("id 9"));
+        let e = VideoError::PtileAreaMismatch {
+            expected: 5,
+            got: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains('5') && s.contains('3'), "{s}");
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        fn takes_error(_: &dyn Error) {}
+        takes_error(&VideoError::EmptyCatalog);
+    }
+}

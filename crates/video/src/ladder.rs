@@ -179,7 +179,7 @@ impl EncodingLadder {
             .iter()
             .map(|r| FrameRate::new(self.original_fps * (1.0 - r)))
             .collect();
-        rates.sort_by(|a, b| a.fps().partial_cmp(&b.fps()).expect("finite fps"));
+        rates.sort_by(|a, b| a.fps().total_cmp(&b.fps()));
         rates.push(FrameRate::new(self.original_fps));
         rates
     }

@@ -33,6 +33,7 @@
 
 pub mod catalog;
 pub mod content;
+pub mod error;
 pub mod ladder;
 pub mod manifest;
 pub mod segment;
@@ -40,6 +41,7 @@ pub mod size_model;
 
 pub use catalog::{BehaviorProfile, VideoCatalog, VideoSpec};
 pub use content::SiTi;
+pub use error::VideoError;
 pub use ladder::{EncodingLadder, FrameRate, QualityLevel};
 pub use manifest::{Representation, RepresentationKind, SegmentManifest, VideoManifest};
 pub use segment::{SegmentContent, SegmentTimeline, SEGMENT_DURATION_SEC};

@@ -8,6 +8,7 @@
 //! its exact byte size, so a client can plan without touching the media.
 
 use crate::content::SiTi;
+use crate::error::VideoError;
 use crate::ladder::{EncodingLadder, QualityLevel};
 use crate::segment::SegmentTimeline;
 use crate::size_model::SizeModel;
@@ -134,7 +135,7 @@ impl SegmentManifest {
         self.representations
             .iter()
             .filter(|r| r.quality == quality && (r.fps - fps).abs() < 1e-9 && predicate(&r.kind))
-            .min_by(|a, b| a.bits.partial_cmp(&b.bits).expect("finite sizes"))
+            .min_by(|a, b| a.bits.total_cmp(&b.bits))
     }
 }
 
@@ -157,18 +158,35 @@ impl VideoManifest {
     ///
     /// # Panics
     ///
-    /// Panics if `ptile_areas.len()` differs from the timeline length.
+    /// Panics if `ptile_areas.len()` differs from the timeline length —
+    /// the infallible wrapper around [`VideoManifest::try_build`].
     pub fn build(
         timeline: &SegmentTimeline,
         model: &SizeModel,
         ladder: &EncodingLadder,
         ptile_areas: &[Vec<f64>],
     ) -> Self {
-        assert_eq!(
-            ptile_areas.len(),
-            timeline.len(),
-            "need one Ptile-area list per segment"
-        );
+        match Self::try_build(timeline, model, ladder, ptile_areas) {
+            Ok(manifest) => manifest,
+            // lint:allow(no-panic-paths, "documented panic: infallible wrapper; try_build is the graceful API")
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`VideoManifest::build`]: a Ptile-area list whose length
+    /// does not match the timeline comes back as a [`VideoError`].
+    pub fn try_build(
+        timeline: &SegmentTimeline,
+        model: &SizeModel,
+        ladder: &EncodingLadder,
+        ptile_areas: &[Vec<f64>],
+    ) -> Result<Self, VideoError> {
+        if ptile_areas.len() != timeline.len() {
+            return Err(VideoError::PtileAreaMismatch {
+                expected: timeline.len(),
+                got: ptile_areas.len(),
+            });
+        }
         let grid_tile_area = 1.0 / 32.0;
         let fps_max = ladder.max_frame_rate().fps();
         let segments = timeline
@@ -230,10 +248,10 @@ impl VideoManifest {
                 }
             })
             .collect();
-        Self {
+        Ok(Self {
             video_id: timeline.video_id(),
             segments,
-        }
+        })
     }
 
     /// The video id.

@@ -8,6 +8,13 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release --offline (workspace, all targets)"
 cargo build --release --offline --workspace --all-targets
 
+echo "==> ee360-lint (determinism / hermeticity / panic-path gate)"
+# Blocking: exits non-zero on any deny-severity violation. The JSON
+# report (per-rule counts, every violation and suppression) lands next
+# to the experiment outputs for inspection.
+mkdir -p results
+cargo run --release --offline -p ee360-lint -- --root . --json results/lint_report.json
+
 echo "==> cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
 
