@@ -41,6 +41,7 @@ pub mod dual;
 pub mod mpc;
 pub mod oracle;
 pub mod plan;
+pub mod reference;
 pub mod sizer;
 
 pub use baselines::RateBasedController;

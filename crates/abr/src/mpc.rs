@@ -20,6 +20,9 @@
 //! conventional tiles at the best sustainable quality, as the paper's
 //! client does (Section IV-B).
 
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
 use ee360_power::model::{DecoderScheme, Phone, PowerModel};
 use ee360_predict::forecast::ArForecaster;
 use ee360_qoe::framerate::{alpha, framerate_factor};
@@ -136,6 +139,62 @@ pub(crate) fn dp_transition(
     (stall, snapped.max(0.0))
 }
 
+/// Memo key for a candidate set: the exact bit patterns of every input
+/// [`MpcController::candidates`] depends on. Keying on bits (not on the
+/// float values) makes the memo a pure cache — two keys collide only when
+/// the inputs are identical down to the last ulp, so a memo hit returns
+/// the same candidates a fresh computation would, bit for bit. The
+/// ordered `BTreeMap` keeps iteration (and hence replay) deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct CandidateKey {
+    si_bits: u64,
+    ti_bits: u64,
+    switching_bits: u64,
+    area_bits: u64,
+    bg_blocks: usize,
+}
+
+impl CandidateKey {
+    fn new(content: SiTi, switching_speed_deg_s: f64, area: f64, bg_blocks: usize) -> Self {
+        Self {
+            si_bits: content.si().to_bits(),
+            ti_bits: content.ti().to_bits(),
+            switching_bits: switching_speed_deg_s.to_bits(),
+            area_bits: area.to_bits(),
+            bg_blocks,
+        }
+    }
+}
+
+/// Reusable solver state: the candidate-set memo plus flat DP scratch
+/// buffers, so a steady-state `plan` call performs no heap allocation.
+/// Overlapping horizon windows (segment `k` and `k + 1` share `H − 1`
+/// contents) resolve to the same memo entries instead of rebuilding
+/// identical candidate sets.
+#[derive(Debug, Clone, Default)]
+struct SolverScratch {
+    /// Candidate-set memo: key → index into `sets`.
+    memo: BTreeMap<CandidateKey, usize>,
+    /// The memoised candidate sets (append-only arena).
+    sets: Vec<Vec<Candidate>>,
+    /// Per-horizon-step set index for the solve in progress.
+    step_sets: Vec<usize>,
+    /// Step-major `(step, candidate)` download times at the step bandwidth.
+    dl_sec: Vec<f64>,
+    /// Step-major `(step, candidate)` energies at the step bandwidth.
+    energy_mj: Vec<f64>,
+    /// Per-step QoE floor `(1 − ε)·Q(v_m, f_m)`.
+    floor: Vec<f64>,
+    /// DP cost per buffer state.
+    cost: Vec<f64>,
+    /// DP cost per buffer state, next step.
+    next_cost: Vec<f64>,
+    /// First decision reaching each state.
+    first: Vec<Option<(QualityLevel, f64, f64)>>,
+    /// First decision, next step.
+    next_first: Vec<Option<(QualityLevel, f64, f64)>>,
+}
+
 /// The Ours controller.
 #[derive(Debug, Clone)]
 pub struct MpcController {
@@ -146,6 +205,9 @@ pub struct MpcController {
     power: PowerModel,
     fallback: RateBasedController,
     forecaster: Option<ArForecaster>,
+    /// Interior-mutable so the read-only solver entry points can reuse
+    /// buffers; never observable from outside (a pure cache).
+    scratch: RefCell<SolverScratch>,
 }
 
 impl MpcController {
@@ -165,13 +227,16 @@ impl MpcController {
             power: PowerModel::for_phone(config.phone),
             fallback: RateBasedController::new(Scheme::Ctile),
             forecaster: config.use_forecast.then(ArForecaster::paper_default),
+            scratch: RefCell::new(SolverScratch::default()),
         }
     }
 
     /// Replaces the frame-rate ladder (ablations: single-rate = the Ptile
-    /// baseline's ladder).
+    /// baseline's ladder). Drops the candidate memo: cached sets were
+    /// built against the old ladder.
     pub fn with_ladder(mut self, ladder: EncodingLadder) -> Self {
         self.ladder = ladder;
+        self.scratch = RefCell::new(SolverScratch::default());
         self
     }
 
@@ -211,14 +276,10 @@ impl MpcController {
     /// The (8c) reference quality `Q(v_m, f_m)`: the best candidate quality
     /// that "can be successfully downloaded" — sustainably, i.e. within one
     /// segment duration at the estimated bandwidth, the same rule the
-    /// baselines' "best possible quality" uses. (`_buffer_sec` is accepted
-    /// for signature stability; the sustainable rule does not depend on it.)
-    pub(crate) fn reference_quality(
-        &self,
-        candidates: &[Candidate],
-        _buffer_sec: f64,
-        bandwidth_bps: f64,
-    ) -> f64 {
+    /// baselines' "best possible quality" uses. Depends only on the
+    /// candidate set and the bandwidth, never on the buffer state — which
+    /// is why the solver hoists it out of the per-state DP loop.
+    pub(crate) fn reference_quality(&self, candidates: &[Candidate], bandwidth_bps: f64) -> f64 {
         let mut best: Option<f64> = None;
         for c in candidates {
             let dl = c.bits / bandwidth_bps;
@@ -263,8 +324,38 @@ impl MpcController {
         self.solve_with_bandwidths(ctx, &bandwidths)
     }
 
+    /// Public entry to the DP with explicit per-step bandwidths, for
+    /// ablations and the equivalence suite against
+    /// [`crate::reference::solve_reference`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bandwidths.len()` equals the configured horizon.
+    pub fn solve_horizon(
+        &self,
+        ctx: &SegmentContext,
+        bandwidths: &[f64],
+    ) -> (QualityLevel, f64, f64) {
+        self.solve_with_bandwidths(ctx, bandwidths)
+    }
+
     /// The DP core with explicit per-step bandwidths (exposed within the
     /// crate so tests and ablations can inject forecasts directly).
+    ///
+    /// This is the optimised solver; [`crate::reference::solve_reference`]
+    /// keeps the straightforward formulation, and the property suite pins
+    /// the two bit-identical. Three transformations, none of which change
+    /// a single float operation's inputs:
+    ///
+    /// 1. `reference_quality` and the per-candidate `(download, energy)`
+    ///    pairs depend only on the step's bandwidth, never on the buffer
+    ///    state — they are computed once per step instead of once per
+    ///    `(state, candidate)`.
+    /// 2. Candidate sets are memoised on the exact bit patterns of their
+    ///    inputs ([`CandidateKey`]), so the overlapping horizon windows of
+    ///    consecutive segments reuse sets instead of rebuilding them.
+    /// 3. The DP rolls over flat scratch buffers held on the controller —
+    ///    no per-plan allocation in steady state.
     pub(crate) fn solve_with_bandwidths(
         &self,
         ctx: &SegmentContext,
@@ -278,75 +369,118 @@ impl MpcController {
         let cfg = &self.config;
         let gran = cfg.buffer_granularity_sec;
         let n_states = (cfg.buffer_threshold_sec / gran).round() as usize + 1;
-        let state_level = |i: usize| i as f64 * gran;
         let level_state = |b: f64| ((b / gran).floor() as usize).min(n_states - 1);
         let area = ctx.ptile_area_frac.max(FOV_AREA_FRACTION);
-
-        // Precompute per-horizon-step candidates (content varies over the
-        // horizon; switching speed and geometry are held at current values,
-        // the only information the client has).
         let horizon = cfg.horizon;
-        let per_step: Vec<Vec<Candidate>> = (0..horizon)
-            .map(|h| {
-                let content = ctx.content_at(h);
-                self.candidates(
-                    content,
-                    ctx.switching_speed_deg_s,
-                    area,
-                    ctx.background_blocks,
-                )
-            })
-            .collect();
+
+        let mut scratch = self.scratch.borrow_mut();
+        let sc = &mut *scratch;
+
+        // Resolve the per-step candidate sets through the memo (content
+        // varies over the horizon; switching speed and geometry are held
+        // at current values, the only information the client has).
+        sc.step_sets.clear();
+        for h in 0..horizon {
+            let content = ctx.content_at(h);
+            let key = CandidateKey::new(
+                content,
+                ctx.switching_speed_deg_s,
+                area,
+                ctx.background_blocks,
+            );
+            let idx = match sc.memo.get(&key) {
+                Some(&i) => i,
+                None => {
+                    sc.sets.push(self.candidates(
+                        content,
+                        ctx.switching_speed_deg_s,
+                        area,
+                        ctx.background_blocks,
+                    ));
+                    let i = sc.sets.len() - 1;
+                    sc.memo.insert(key, i);
+                    i
+                }
+            };
+            sc.step_sets.push(idx);
+        }
+        // Every set comes from the same ladder, so they share one length.
+        let stride = sc
+            .step_sets
+            .first()
+            .and_then(|&i| sc.sets.get(i))
+            .map_or(0, Vec::len);
+
+        // Hoisted per-step, state-independent values: QoE floor, download
+        // time and energy of each candidate at that step's bandwidth.
+        sc.floor.clear();
+        sc.dl_sec.clear();
+        sc.energy_mj.clear();
+        for h in 0..horizon {
+            let bandwidth = bandwidths[h];
+            let cands = &sc.sets[sc.step_sets[h]];
+            let q_ref = self.reference_quality(cands, bandwidth);
+            sc.floor.push((1.0 - cfg.epsilon) * q_ref);
+            for c in cands {
+                sc.dl_sec.push(c.bits / bandwidth);
+                sc.energy_mj.push(self.candidate_energy_mj(c, bandwidth));
+            }
+        }
 
         const INF: f64 = f64::INFINITY;
         // cost[state] and the first decision that reached it.
-        let mut cost = vec![INF; n_states];
-        let mut first: Vec<Option<(QualityLevel, f64, f64)>> = vec![None; n_states];
+        sc.cost.clear();
+        sc.cost.resize(n_states, INF);
+        sc.first.clear();
+        sc.first.resize(n_states, None);
+        sc.next_cost.clear();
+        sc.next_cost.resize(n_states, INF);
+        sc.next_first.clear();
+        sc.next_first.resize(n_states, None);
         let start = level_state(ctx.buffer_sec.min(cfg.buffer_threshold_sec));
-        cost[start] = 0.0;
+        sc.cost[start] = 0.0;
 
-        for (h, cands) in per_step.iter().take(horizon).enumerate() {
-            let bandwidth = bandwidths[h];
-            let mut next_cost = vec![INF; n_states];
-            let mut next_first: Vec<Option<(QualityLevel, f64, f64)>> = vec![None; n_states];
+        for h in 0..horizon {
+            let cands = &sc.sets[sc.step_sets[h]];
+            let q_floor = sc.floor[h];
+            let dl = &sc.dl_sec[h * stride..h * stride + cands.len()];
+            let energy = &sc.energy_mj[h * stride..h * stride + cands.len()];
             for s in 0..n_states {
-                if cost[s].is_infinite() {
+                if sc.cost[s].is_infinite() {
                     continue;
                 }
-                let b = state_level(s);
-                let q_ref = self.reference_quality(cands, b, bandwidth);
-                let q_floor = (1.0 - cfg.epsilon) * q_ref;
-                for c in cands {
+                let b = s as f64 * gran;
+                for (j, c) in cands.iter().enumerate() {
                     // Constraint (8c).
                     if c.q_vf + 1e-9 < q_floor {
                         continue;
                     }
-                    let dl = c.bits / bandwidth;
-                    let (stall, b_next) = dp_transition(b, dl, cfg.buffer_threshold_sec, gran);
-                    let step_cost = self.candidate_energy_mj(c, bandwidth)
-                        + stall * cfg.stall_penalty_mj_per_sec;
-                    let total = cost[s] + step_cost;
+                    let (stall, b_next) = dp_transition(b, dl[j], cfg.buffer_threshold_sec, gran);
+                    let step_cost = energy[j] + stall * cfg.stall_penalty_mj_per_sec;
+                    let total = sc.cost[s] + step_cost;
                     let ns = level_state(b_next);
-                    if total < next_cost[ns] {
-                        next_cost[ns] = total;
-                        next_first[ns] = first[s].or(Some((c.quality, c.fps, c.bits)));
+                    if total < sc.next_cost[ns] {
+                        sc.next_cost[ns] = total;
+                        sc.next_first[ns] = sc.first[s].or(Some((c.quality, c.fps, c.bits)));
                     }
                 }
             }
-            cost = next_cost;
-            first = next_first;
+            std::mem::swap(&mut sc.cost, &mut sc.next_cost);
+            std::mem::swap(&mut sc.first, &mut sc.next_first);
+            sc.next_cost.fill(INF);
+            sc.next_first.fill(None);
         }
 
         // Min-energy terminal state, backtracked to the first decision.
         let best = (0..n_states)
-            .filter(|&s| cost[s].is_finite())
-            .min_by(|&a, &b| cost[a].total_cmp(&cost[b]));
-        match best.and_then(|s| first[s]) {
+            .filter(|&s| sc.cost[s].is_finite())
+            .min_by(|&a, &b| sc.cost[a].total_cmp(&sc.cost[b]));
+        match best.and_then(|s| sc.first[s]) {
             Some(decision) => decision,
             None => {
                 // Pathological (e.g. every candidate violates 8c at every
                 // state, which reference_quality prevents): cheapest tuple.
-                let c = per_step[0]
+                let c = sc.sets[sc.step_sets[0]]
                     .iter()
                     .min_by(|a, b| a.bits.total_cmp(&b.bits))
                     // lint:allow(no-panic-paths, "documented invariant: the quality ladder is never empty")
@@ -452,7 +586,7 @@ mod tests {
             context.ptile_area_frac,
             context.background_blocks,
         );
-        let q_ref = c.reference_quality(&cands, context.buffer_sec, 8.0e6);
+        let q_ref = c.reference_quality(&cands, 8.0e6);
         let mut ctrl = c.clone();
         let plan = ctrl.plan(&context);
         let chosen = cands

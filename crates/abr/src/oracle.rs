@@ -83,7 +83,7 @@ pub fn brute_force_optimum(
             return;
         }
         let cands = &per_step[h];
-        let q_ref = controller.reference_quality(cands, buffer, bandwidth);
+        let q_ref = controller.reference_quality(cands, bandwidth);
         let floor = (1.0 - epsilon) * q_ref;
         for c in cands {
             if c.q_vf + 1e-9 < floor {

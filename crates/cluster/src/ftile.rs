@@ -9,7 +9,7 @@
 //! end up finely tiled (so the FoV can be fetched tightly), the background
 //! stays coarse.
 
-use ee360_geom::grid::{TileGrid, TileId};
+use ee360_geom::grid::TileGrid;
 use ee360_geom::region::TileRegion;
 use ee360_geom::viewport::{ViewCenter, Viewport};
 
@@ -53,13 +53,6 @@ impl Rect {
             .map(|row| row[self.col0..self.col1].iter().sum::<f64>())
             .sum()
     }
-
-    /// Cost that drives the split order: weighted mass × how coarse the
-    /// rectangle still is. Splitting the costliest rectangle concentrates
-    /// resolution where the views are.
-    fn cost(&self, w: &[Vec<f64>]) -> f64 {
-        self.weight(w) * self.block_count() as f64
-    }
 }
 
 impl FtileLayout {
@@ -73,37 +66,48 @@ impl FtileLayout {
         // Per-block view weight: how many users' viewports cover the block
         // (plus a small floor so empty regions still split sanely).
         let mut weights = vec![vec![0.05f64; FTILE_BLOCK_COLS]; FTILE_BLOCK_ROWS];
+        let mut covered = Vec::new();
         for c in centers {
             let vp = Viewport::new(*c, 100.0, 100.0);
-            for b in block_grid.tiles_covering(&vp) {
+            block_grid.tiles_covering_into(&vp, &mut covered);
+            for b in &covered {
                 weights[b.row][b.col] += 1.0;
             }
         }
 
-        let mut rects = vec![Rect {
+        // Each rect carries its weight, computed once at creation — a
+        // rect's weight never changes, so recomputing it for every
+        // candidate on every split round is pure waste. The cached value
+        // comes from the same `Rect::weight` accumulation, so split
+        // choices (and the resulting layout) are unchanged.
+        let whole = Rect {
             row0: 0,
             row1: FTILE_BLOCK_ROWS,
             col0: 0,
             col1: FTILE_BLOCK_COLS,
-        }];
+        };
+        let whole_weight = whole.weight(&weights);
+        let mut rects = vec![(whole, whole_weight)];
         while rects.len() < FTILE_TILE_COUNT {
             // Pick the costliest splittable rectangle.
             let (idx, _) = rects
                 .iter()
                 .enumerate()
-                .filter(|(_, r)| r.block_count() > 1)
-                .map(|(i, r)| (i, r.cost(&weights)))
+                .filter(|(_, (r, _))| r.block_count() > 1)
+                .map(|(i, (r, wt))| (i, wt * r.block_count() as f64))
                 .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"))
                 .expect("450 blocks cannot run out before 10 tiles");
-            let rect = rects.swap_remove(idx);
-            let (a, b) = split_rect(&rect, &weights);
-            rects.push(a);
-            rects.push(b);
+            let (rect, wt) = rects.swap_remove(idx);
+            let (a, b) = split_rect(&rect, wt, &weights);
+            let a_weight = a.weight(&weights);
+            let b_weight = b.weight(&weights);
+            rects.push((a, a_weight));
+            rects.push((b, b_weight));
         }
 
         let tiles = rects
             .into_iter()
-            .map(|r| TileRegion::new(&block_grid, r.row0, r.row1 - 1, r.col0, r.col1 - r.col0))
+            .map(|(r, _)| TileRegion::new(&block_grid, r.row0, r.row1 - 1, r.col0, r.col1 - r.col0))
             .collect();
         Self { block_grid, tiles }
     }
@@ -127,12 +131,14 @@ impl FtileLayout {
     /// the viewport's block coverage. Returns `(tile indices, total area
     /// fraction)`.
     pub fn tiles_for_viewport(&self, vp: &Viewport) -> (Vec<usize>, f64) {
-        let needed: std::collections::BTreeSet<TileId> =
-            self.block_grid.tiles_covering(vp).into_iter().collect();
+        // A tile intersects the viewport's block coverage iff some covered
+        // block lies inside its rectangle — `TileRegion::contains` answers
+        // that in O(1) arithmetic, so no block set needs materialising.
+        let covered = self.block_grid.tiles_covering(vp);
         let mut chosen = Vec::new();
         let mut area = 0.0;
         for (i, tile) in self.tiles.iter().enumerate() {
-            if tile.tiles().any(|b| needed.contains(&b)) {
+            if covered.iter().any(|&b| tile.contains(b)) {
                 chosen.push(i);
                 area += tile.area_fraction(&self.block_grid);
             }
@@ -156,10 +162,11 @@ impl FtileLayout {
 }
 
 /// Splits a rectangle at the weighted median of its longer axis.
-fn split_rect(rect: &Rect, w: &[Vec<f64>]) -> (Rect, Rect) {
+/// `rect_weight` is the caller's cached `rect.weight(w)`.
+fn split_rect(rect: &Rect, rect_weight: f64, w: &[Vec<f64>]) -> (Rect, Rect) {
     let rows = rect.row1 - rect.row0;
     let cols = rect.col1 - rect.col0;
-    let total = rect.weight(w).max(1e-12);
+    let total = rect_weight.max(1e-12);
     if cols >= rows && cols > 1 {
         // Vertical split at the weighted median column.
         let mut acc = 0.0;

@@ -72,9 +72,12 @@ fn fast_switching_speed(history: &[SwitchingSample]) -> f64 {
     if speeds.is_empty() {
         return 0.0;
     }
-    speeds.sort_by(|a, b| a.total_cmp(b));
     let idx = ((speeds.len() as f64) * 0.75).floor() as usize;
-    speeds[idx.min(speeds.len() - 1)]
+    let idx = idx.min(speeds.len() - 1);
+    // Selection instead of a full sort: `total_cmp` is a total order, so
+    // the idx-th order statistic is the same value a sort would index.
+    let (_, kth, _) = speeds.select_nth_unstable_by(idx, |a, b| a.total_cmp(b));
+    *kth
 }
 
 /// Pixel-weighted fraction of what the user sees that a region stores —
@@ -191,19 +194,20 @@ pub fn run_session_resilient_with(
     for k in 0..n {
         let buffer = session.buffer_level_sec();
         // --- 1. viewport prediction from the playback-time history -----
+        // Trace samples are strictly increasing in time, so the 2 s gaze
+        // window is a contiguous run: two binary searches replace the
+        // full-trace scan, and the window is borrowed, not collected.
         let playback_pos = (k as f64 - buffer).max(0.0);
-        let history: Vec<SwitchingSample> = samples
-            .iter()
-            .filter(|s| s.t_sec >= playback_pos - 2.0 && s.t_sec <= playback_pos + 1e-9)
-            .copied()
-            .collect();
+        let lo = samples.partition_point(|s| s.t_sec < playback_pos - 2.0);
+        let hi = samples.partition_point(|s| s.t_sec <= playback_pos + 1e-9);
+        let history: &[SwitchingSample] = &samples[lo..hi];
         let predicted = predictor
-            .predict(&history, buffer.max(0.0))
+            .predict(history, buffer.max(0.0))
             .unwrap_or_else(|| samples.first().map(|s| s.center).unwrap_or_default());
         // The controller plans frame-rate reduction around the *fast*
         // phases of the gaze (Eq. 4's blur argument): use the 75th
         // percentile of recent switching speeds, not the diluted mean.
-        let observed_s_fov = fast_switching_speed(&history);
+        let observed_s_fov = fast_switching_speed(history);
 
         // --- 2. Ptile lookup ------------------------------------------
         let covering = setup.server.covering_ptile(k, predicted);
@@ -212,12 +216,19 @@ pub fn run_session_resilient_with(
             None => (false, 0.0, 0, None),
         };
         // Ftile layout lookup (which variable-size tiles the predicted
-        // viewport needs).
+        // viewport needs). Only the Ftile controller and the Ftile QoE
+        // branch read the selection, so other schemes skip the (pricey)
+        // layout walk; their context carries the same `(0, 0.0)` the
+        // selection-less path always produced.
         let predicted_vp = Viewport::new(predicted, 100.0, 100.0);
-        let ftile_selection = setup
-            .server
-            .ftile_layout(k)
-            .map(|layout| layout.tiles_for_viewport(&predicted_vp));
+        let ftile_selection = if scheme == Scheme::Ftile {
+            setup
+                .server
+                .ftile_layout(k)
+                .map(|layout| layout.tiles_for_viewport(&predicted_vp))
+        } else {
+            None
+        };
         let (ftile_fov_tiles, ftile_fov_area) = ftile_selection
             .as_ref()
             .map(|(chosen, area)| (chosen.len(), *area))

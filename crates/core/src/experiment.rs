@@ -7,6 +7,7 @@ use ee360_cluster::ptile::PtileConfig;
 use ee360_geom::grid::TileGrid;
 use ee360_power::model::Phone;
 use ee360_sim::metrics::SessionMetrics;
+use ee360_support::parallel::parallel_map_indexed;
 use ee360_trace::dataset::VideoTraces;
 use ee360_trace::head::{GazeConfig, HeadTrace};
 use ee360_trace::network::NetworkTrace;
@@ -180,6 +181,10 @@ pub struct Evaluation {
     servers: BTreeMap<usize, VideoServer>,
     eval_traces: BTreeMap<usize, Vec<HeadTrace>>,
     network: NetworkTrace,
+    /// Workers `run` fans sessions out across (per user). Defaults to 1 so
+    /// cell-level sweeps ([`crate::parallel::run_matrix`]) do not
+    /// oversubscribe; single cells on idle cores benefit from more.
+    session_threads: usize,
 }
 
 impl Evaluation {
@@ -188,22 +193,44 @@ impl Evaluation {
         Self::prepare_videos(config, &VideoCatalog::paper_default(), None)
     }
 
-    /// Prepares only the listed video ids (or all when `None`).
+    /// Prepares only the listed video ids (or all when `None`), fanning
+    /// the per-video work (trace generation + Ptile construction, the
+    /// expensive part) across the machine's cores. Per-video preparation
+    /// is independently seeded, so the result is identical to the
+    /// sequential path regardless of worker count.
     pub fn prepare_videos(
         config: ExperimentConfig,
         catalog: &VideoCatalog,
         videos: Option<&[usize]>,
     ) -> Self {
+        Self::prepare_videos_threaded(
+            config,
+            catalog,
+            videos,
+            ee360_support::parallel::default_threads(),
+        )
+    }
+
+    /// [`Self::prepare_videos`] with an explicit worker count (the
+    /// equivalence suite pins `threads ∈ {1, 4, 16}` byte-identical).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero or the configuration is invalid.
+    pub fn prepare_videos_threaded(
+        config: ExperimentConfig,
+        catalog: &VideoCatalog,
+        videos: Option<&[usize]>,
+        threads: usize,
+    ) -> Self {
         config.validate();
-        let mut servers = BTreeMap::new();
-        let mut eval_traces = BTreeMap::new();
-        let mut max_duration = 0usize;
-        for spec in catalog.videos() {
-            if let Some(ids) = videos {
-                if !ids.contains(&spec.id) {
-                    continue;
-                }
-            }
+        let specs: Vec<&VideoSpec> = catalog
+            .videos()
+            .iter()
+            .filter(|spec| videos.is_none_or(|ids| ids.contains(&spec.id)))
+            .collect();
+        let prepared = parallel_map_indexed(threads.max(1), specs.len(), |i| {
+            let spec = specs[i];
             let traces =
                 VideoTraces::generate(spec, config.users_total, config.seed, GazeConfig::default());
             let (train, eval) = traces.split(config.train_users, config.seed);
@@ -215,9 +242,16 @@ impl Evaluation {
             ptile_config.min_users = ((config.users_total as f64 * 0.10).ceil() as usize).max(2);
             let server =
                 VideoServer::prepare(spec, &train, TileGrid::paper_default(), ptile_config);
-            servers.insert(spec.id, server);
-            eval_traces.insert(spec.id, eval.into_iter().cloned().collect());
-            max_duration = max_duration.max(spec.duration_sec as usize);
+            let eval_users: Vec<HeadTrace> = eval.into_iter().cloned().collect();
+            (spec.id, server, eval_users, spec.duration_sec as usize)
+        });
+        let mut servers = BTreeMap::new();
+        let mut eval_traces = BTreeMap::new();
+        let mut max_duration = 0usize;
+        for (id, server, eval_users, duration) in prepared {
+            servers.insert(id, server);
+            eval_traces.insert(id, eval_users);
+            max_duration = max_duration.max(duration);
         }
         let network = config.network(max_duration.max(60) * 2);
         Self {
@@ -226,7 +260,26 @@ impl Evaluation {
             servers,
             eval_traces,
             network,
+            session_threads: 1,
         }
+    }
+
+    /// Sets how many workers [`Self::run`] fans sessions across. Sessions
+    /// are independent and results are collected in user order, so the
+    /// outcome is identical to the sequential path for any count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_session_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one session worker");
+        self.session_threads = threads;
+        self
+    }
+
+    /// The session fan-out in force.
+    pub fn session_threads(&self) -> usize {
+        self.session_threads
     }
 
     /// The configuration in force.
@@ -252,7 +305,10 @@ impl Evaluation {
         &self.network
     }
 
-    /// Runs one (video, scheme) cell over all evaluation users.
+    /// Runs one (video, scheme) cell over all evaluation users, fanning
+    /// sessions across [`Self::session_threads`] workers. Sessions share
+    /// nothing mutable and land in user order, so the outcome matches the
+    /// sequential path for any worker count.
     ///
     /// # Panics
     ///
@@ -264,21 +320,19 @@ impl Evaluation {
             // lint:allow(no-panic-paths, "documented panic: run() requires a prepared video")
             .unwrap_or_else(|| panic!("video {video_id} was not prepared"));
         let users = self.eval_users(video_id);
-        let sessions: Vec<SessionMetrics> = users
-            .iter()
-            .map(|user| {
+        let sessions: Vec<SessionMetrics> =
+            parallel_map_indexed(self.session_threads, users.len(), |i| {
                 run_session(
                     scheme,
                     &SessionSetup {
                         server,
-                        user,
+                        user: &users[i],
                         network: &self.network,
                         phone: self.config.phone,
                         max_segments: self.config.max_segments,
                     },
                 )
-            })
-            .collect();
+            });
         SchemeOutcome::from_sessions(scheme, video_id, &sessions)
     }
 

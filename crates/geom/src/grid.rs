@@ -135,6 +135,17 @@ impl TileGrid {
     /// Tiles are half-open in both axes, so a viewport edge exactly on a tile
     /// boundary does not drag in the neighbouring tile.
     pub fn tiles_covering(&self, vp: &Viewport) -> Vec<TileId> {
+        let mut out = Vec::new();
+        self.tiles_covering_into(vp, &mut out);
+        out
+    }
+
+    /// [`Self::tiles_covering`] into a caller-owned buffer, for hot loops
+    /// that would otherwise allocate a fresh `Vec` per viewport. The
+    /// buffer is cleared first; contents and order match
+    /// `tiles_covering` exactly.
+    pub fn tiles_covering_into(&self, vp: &Viewport, out: &mut Vec<TileId>) {
+        out.clear();
         let w = self.tile_width_deg();
         let h = self.tile_height_deg();
         // Column range (wrapping).
@@ -153,13 +164,12 @@ impl TileGrid {
         let row_bot =
             (((90.0 - vp.pitch_min_deg() - 1e-9) / h).floor() as usize).min(self.rows - 1);
 
-        let mut out = Vec::with_capacity((row_bot - row_top + 1) * span_cols);
+        out.reserve((row_bot - row_top + 1) * span_cols);
         for row in row_top..=row_bot {
             for dc in 0..span_cols {
                 out.push(TileId::new(row, (first_col + dc) % self.cols));
             }
         }
-        out
     }
 
     /// The quantised FoV block: a fixed `⌈fov_v/tile_h⌉ × ⌈fov_h/tile_w⌉`

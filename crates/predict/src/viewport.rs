@@ -142,24 +142,32 @@ impl ViewportPredictor {
         };
         // Regress against time relative to the window start (conditioning).
         let t0 = window[0].t_sec;
-        let quadratic = matches!(self.kind, PredictorKind::RidgeQuadratic);
-        let features = |t: f64| {
-            if quadratic {
-                vec![t, t * t]
-            } else {
-                vec![t]
-            }
-        };
-        let xs: Vec<Vec<f64>> = window.iter().map(|s| features(s.t_sec - t0)).collect();
-        let yaw_model = RidgeRegression::fit(&xs, &yaw_unwrapped, lambda).ok()?;
         let pitch_series: Vec<f64> = window.iter().map(|s| s.center.pitch_deg()).collect();
-        let pitch_model = RidgeRegression::fit(&xs, &pitch_series, lambda).ok()?;
-
         let t_pred = (t_end - t0) + horizon_sec;
-        let x_pred = features(t_pred);
+        if matches!(self.kind, PredictorKind::RidgeQuadratic) {
+            let xs: Vec<Vec<f64>> = window
+                .iter()
+                .map(|s| {
+                    let t = s.t_sec - t0;
+                    vec![t, t * t]
+                })
+                .collect();
+            let yaw_model = RidgeRegression::fit(&xs, &yaw_unwrapped, lambda).ok()?;
+            let pitch_model = RidgeRegression::fit(&xs, &pitch_series, lambda).ok()?;
+            let x_pred = [t_pred, t_pred * t_pred];
+            return Some(ViewCenter::new(
+                yaw_model.predict(&x_pred),
+                pitch_model.predict(&x_pred),
+            ));
+        }
+        // Single time feature: the allocation-free fast path, bit-identical
+        // to `fit` on one-element rows (see `RidgeRegression::fit_single`).
+        let ts: Vec<f64> = window.iter().map(|s| s.t_sec - t0).collect();
+        let yaw_model = RidgeRegression::fit_single(&ts, &yaw_unwrapped, lambda).ok()?;
+        let pitch_model = RidgeRegression::fit_single(&ts, &pitch_series, lambda).ok()?;
         Some(ViewCenter::new(
-            yaw_model.predict(&x_pred),
-            pitch_model.predict(&x_pred),
+            yaw_model.predict(&[t_pred]),
+            pitch_model.predict(&[t_pred]),
         ))
     }
 

@@ -220,17 +220,24 @@ impl HeadTrace {
     /// (the `S_fov` input of Eq. 4). `None` past the end of the trace.
     pub fn segment_switching_speed(&self, segment: usize) -> Option<f64> {
         let t0 = segment as f64;
-        let t1 = t0 + 1.0;
         if t0 > self.duration_sec() {
             return None;
         }
-        let window: Vec<SwitchingSample> = self
-            .samples
+        Some(mean_switching_speed(&self.segment_window(t0)))
+    }
+
+    /// The samples inside `[t0 - 1e-9, t0 + 1 + 1e-9]` as switching
+    /// samples. Timestamps are strictly increasing (enforced by
+    /// `try_from_samples`), so the window is a contiguous run found by two
+    /// binary searches rather than a full-trace scan.
+    fn segment_window(&self, t0: f64) -> Vec<SwitchingSample> {
+        let t1 = t0 + 1.0;
+        let lo = self.samples.partition_point(|s| s.0 < t0 - 1e-9);
+        let hi = self.samples.partition_point(|s| s.0 <= t1 + 1e-9);
+        self.samples[lo..hi]
             .iter()
-            .filter(|s| s.0 >= t0 - 1e-9 && s.0 <= t1 + 1e-9)
             .map(|&(t, y, p)| SwitchingSample::new(t, ViewCenter::new(y, p)))
-            .collect();
-        Some(mean_switching_speed(&window))
+            .collect()
     }
 
     /// Per-interval switching speeds over the whole trace (Fig. 5's raw
@@ -245,24 +252,21 @@ impl HeadTrace {
     /// plain mean dilutes away. `None` past the end of the trace.
     pub fn segment_fast_switching_speed(&self, segment: usize) -> Option<f64> {
         let t0 = segment as f64;
-        let t1 = t0 + 1.0;
         if t0 > self.duration_sec() {
             return None;
         }
-        let window: Vec<SwitchingSample> = self
-            .samples
-            .iter()
-            .filter(|s| s.0 >= t0 - 1e-9 && s.0 <= t1 + 1e-9)
-            .map(|&(t, y, p)| SwitchingSample::new(t, ViewCenter::new(y, p)))
-            .collect();
-        let speeds = ee360_geom::switching::switching_speeds(&window);
+        let window = self.segment_window(t0);
+        let mut speeds = ee360_geom::switching::switching_speeds(&window);
         if speeds.is_empty() {
             return Some(0.0);
         }
-        let mut sorted = speeds;
-        sorted.sort_by(|a, b| a.total_cmp(b));
-        let idx = ((sorted.len() as f64) * 0.75).floor() as usize;
-        Some(sorted[idx.min(sorted.len() - 1)])
+        let idx = ((speeds.len() as f64) * 0.75).floor() as usize;
+        let idx = idx.min(speeds.len() - 1);
+        // Selection instead of a full sort: under `total_cmp`'s total
+        // order the idx-th order statistic is the value a sort would
+        // index.
+        let (_, kth, _) = speeds.select_nth_unstable_by(idx, |a, b| a.total_cmp(b));
+        Some(*kth)
     }
 }
 

@@ -28,6 +28,18 @@ for phone in Nexus5X Pixel3 GalaxyS20; do
   cargo run --release --offline --example chaos_run -- "${phone}"
 done
 
+echo "==> perf smoke (non-blocking: tracked baseline, quick mode)"
+# Emits BENCH_perf.json (repo root) and results/bench_perf.json with the
+# solver plans/sec, session and quick-sweep wall times, and their
+# canary-normalised speedups vs the pinned seed figures. Perf drift is a
+# tracked signal, not a gate: a loaded CI box must not fail the build,
+# so a non-zero exit here only warns.
+if EE360_BENCH_QUICK=1 cargo run --release --offline -p ee360-bench --bin perf_baseline; then
+  echo "perf smoke: wrote BENCH_perf.json and results/bench_perf.json"
+else
+  echo "WARNING: perf smoke failed (non-blocking)" >&2
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
