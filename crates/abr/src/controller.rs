@@ -63,6 +63,44 @@ impl Scheme {
     }
 }
 
+/// Cumulative DP-solver work counters, exposed for observability.
+///
+/// All fields are lifetime totals for one controller instance; callers
+/// diff two snapshots around a `plan` call to attribute work to a
+/// single decision.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// DP solves performed (one per `plan` on the MPC path).
+    pub plans: u64,
+    /// Candidate-set memo hits across all solves.
+    pub memo_hits: u64,
+    /// Candidate-set memo misses (sets built from scratch).
+    pub memo_misses: u64,
+    /// `(state, candidate)` transitions relaxed by the DP inner loop.
+    pub states_expanded: u64,
+}
+
+ee360_support::impl_json_struct!(SolverStats {
+    plans,
+    memo_hits,
+    memo_misses,
+    states_expanded
+});
+
+impl SolverStats {
+    /// Component-wise `self - earlier`, for per-plan attribution.
+    /// Saturates rather than wrapping if snapshots are swapped.
+    #[must_use]
+    pub fn since(&self, earlier: &SolverStats) -> SolverStats {
+        SolverStats {
+            plans: self.plans.saturating_sub(earlier.plans),
+            memo_hits: self.memo_hits.saturating_sub(earlier.memo_hits),
+            memo_misses: self.memo_misses.saturating_sub(earlier.memo_misses),
+            states_expanded: self.states_expanded.saturating_sub(earlier.states_expanded),
+        }
+    }
+}
+
 /// A per-segment planner.
 pub trait Controller {
     /// Decides quality/frame-rate/bits for the next segment.
@@ -121,6 +159,15 @@ pub trait Controller {
 
     /// Resets internal state between sessions (default: nothing to reset).
     fn reset(&mut self) {}
+
+    /// Cumulative solver work counters, when the controller runs a
+    /// solver worth metering. Default: `None` (the rate-based baselines
+    /// do no search). Observability instrumentation diffs consecutive
+    /// snapshots to attribute memo hits/misses and states expanded to
+    /// individual plans.
+    fn solver_stats(&self) -> Option<SolverStats> {
+        None
+    }
 }
 
 #[cfg(test)]

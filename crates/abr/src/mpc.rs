@@ -32,7 +32,7 @@ use ee360_video::ladder::{EncodingLadder, QualityLevel};
 use ee360_video::segment::SEGMENT_DURATION_SEC;
 
 use crate::baselines::RateBasedController;
-use crate::controller::{Controller, Scheme};
+use crate::controller::{Controller, Scheme, SolverStats};
 use crate::plan::{SegmentContext, SegmentPlan};
 use crate::sizer::{SchemeSizer, FOV_AREA_FRACTION};
 
@@ -193,6 +193,9 @@ struct SolverScratch {
     first: Vec<Option<(QualityLevel, f64, f64)>>,
     /// First decision, next step.
     next_first: Vec<Option<(QualityLevel, f64, f64)>>,
+    /// Cumulative work counters (integer-only; never feeds back into
+    /// the solve, so instrumentation cannot perturb plans).
+    stats: SolverStats,
 }
 
 /// The Ours controller.
@@ -375,6 +378,7 @@ impl MpcController {
 
         let mut scratch = self.scratch.borrow_mut();
         let sc = &mut *scratch;
+        sc.stats.plans += 1;
 
         // Resolve the per-step candidate sets through the memo (content
         // varies over the horizon; switching speed and geometry are held
@@ -389,8 +393,12 @@ impl MpcController {
                 ctx.background_blocks,
             );
             let idx = match sc.memo.get(&key) {
-                Some(&i) => i,
+                Some(&i) => {
+                    sc.stats.memo_hits += 1;
+                    i
+                }
                 None => {
+                    sc.stats.memo_misses += 1;
                     sc.sets.push(self.candidates(
                         content,
                         ctx.switching_speed_deg_s,
@@ -449,6 +457,7 @@ impl MpcController {
                 if sc.cost[s].is_infinite() {
                     continue;
                 }
+                sc.stats.states_expanded += 1;
                 let b = s as f64 * gran;
                 for (j, c) in cands.iter().enumerate() {
                     // Constraint (8c).
@@ -526,6 +535,10 @@ impl Controller for MpcController {
         if let Some(f) = &mut self.forecaster {
             f.reset();
         }
+    }
+
+    fn solver_stats(&self) -> Option<SolverStats> {
+        Some(self.scratch.borrow().stats)
     }
 }
 
@@ -689,6 +702,30 @@ mod tests {
         let mut c = MpcController::paper_default().with_ladder(EncodingLadder::single_rate(30.0));
         let plan = c.plan(&ctx(6.0e6));
         assert_eq!(plan.fps, 30.0);
+    }
+
+    #[test]
+    fn solver_stats_meter_memo_and_dp_work() {
+        let mut c = MpcController::paper_default();
+        assert_eq!(c.solver_stats(), Some(SolverStats::default()));
+        let _ = c.plan(&ctx(4.0e6));
+        let first = c.solver_stats().expect("mpc meters its solver");
+        assert_eq!(first.plans, 1);
+        // Uniform horizon content: one set built, four memo hits.
+        assert_eq!(first.memo_misses, 1);
+        assert_eq!(first.memo_hits, 4);
+        assert!(first.states_expanded > 0);
+        let _ = c.plan(&ctx(4.0e6));
+        let delta = c.solver_stats().expect("stats persist").since(&first);
+        assert_eq!(delta.plans, 1);
+        assert_eq!(delta.memo_misses, 0, "warm memo: every step hits");
+        assert_eq!(delta.memo_hits, 5);
+        // The fallback path runs no solve and meters nothing.
+        let mut no_ptile = ctx(4.0e6);
+        no_ptile.ptile_available = false;
+        let snap = c.solver_stats().expect("snapshot");
+        let _ = c.plan(&no_ptile);
+        assert_eq!(c.solver_stats(), Some(snap));
     }
 
     #[test]

@@ -81,8 +81,11 @@ pub fn bench_harness() -> ee360_support::bench::Bench {
 
 /// Prints a figure header so runs are self-describing in logs.
 pub fn figure_header(id: &str, caption: &str) {
+    // lint:allow(no-println-in-lib, "figure banners are the bench binaries' CLI output, not library diagnostics")
     println!("==================================================================");
+    // lint:allow(no-println-in-lib, "figure banners are the bench binaries' CLI output, not library diagnostics")
     println!("{id}: {caption}");
+    // lint:allow(no-println-in-lib, "figure banners are the bench binaries' CLI output, not library diagnostics")
     println!("==================================================================");
 }
 

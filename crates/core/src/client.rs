@@ -20,6 +20,8 @@ use ee360_abr::plan::{SegmentContext, SegmentPlan};
 use ee360_geom::region::TileRegion;
 use ee360_geom::switching::SwitchingSample;
 use ee360_geom::viewport::{ViewCenter, Viewport};
+use ee360_obs::profile::StageTimer;
+use ee360_obs::{Event, Level, NoopRecorder, Record};
 use ee360_power::energy::{SegmentEnergy, SegmentEnergyParams};
 use ee360_power::model::{Phone, PowerModel};
 use ee360_predict::bandwidth::{BandwidthEstimator, HarmonicMeanEstimator};
@@ -137,6 +139,23 @@ pub fn run_session_resilient(
     run_session_resilient_with(controller.as_mut(), setup, faults, policy)
 }
 
+/// [`run_session_resilient`] with the scheme's standard controller and a
+/// live recorder — see [`run_session_traced`] for the recording contract.
+///
+/// # Panics
+///
+/// Panics if the user's trace belongs to a different video than the server.
+pub fn run_session_resilient_traced(
+    scheme: Scheme,
+    setup: &SessionSetup,
+    faults: &FaultPlan,
+    policy: &RetryPolicy,
+    rec: &mut dyn Record,
+) -> SessionMetrics {
+    let mut controller = make_controller(scheme, setup.phone);
+    run_session_traced(controller.as_mut(), setup, faults, policy, rec)
+}
+
 /// [`run_session_resilient`] with a caller-supplied controller.
 ///
 /// # Panics
@@ -147,6 +166,32 @@ pub fn run_session_resilient_with(
     setup: &SessionSetup,
     faults: &FaultPlan,
     policy: &RetryPolicy,
+) -> SessionMetrics {
+    run_session_traced(controller, setup, faults, policy, &mut NoopRecorder)
+}
+
+/// [`run_session_resilient_with`] with observability: every controller
+/// decision, download outcome, stall and energy booking is mirrored into
+/// `rec` as typed events, `session.*`/`energy.*`/`mpc.*` metrics and
+/// (when [`Record::profiling`] is on) wall-clock stage timings.
+///
+/// The recorder is strictly write-only: nothing the simulation computes
+/// depends on it, so the returned metrics are bit-identical whether `rec`
+/// is a [`NoopRecorder`] or a live [`ee360_obs::Recorder`]. Metric sums
+/// are accumulated in the same order as [`SessionMetrics`]' own
+/// aggregates, so `session.stall_sec` and the `energy.*_mj` histogram
+/// sums reconcile with [`SessionMetrics::total_stall_sec`] and
+/// [`SessionMetrics::energy_breakdown_mj`] exactly, not approximately.
+///
+/// # Panics
+///
+/// Panics if the user's trace belongs to a different video than the server.
+pub fn run_session_traced(
+    controller: &mut dyn Controller,
+    setup: &SessionSetup,
+    faults: &FaultPlan,
+    policy: &RetryPolicy,
+    rec: &mut dyn Record,
 ) -> SessionMetrics {
     assert_eq!(
         setup.user.video_id(),
@@ -181,16 +226,25 @@ pub fn run_session_resilient_with(
     // timeout/backoff machinery; if even that fails the session proceeds
     // with the time (and radio energy) burned.
     let metadata_bits = 128_000.0 * horizon as f64;
+    rec.span_open("session", session.clock_sec());
+    rec.span_open("startup", session.clock_sec());
     let clock_before_metadata = session.clock_sec();
-    let _ = session.fetch_metadata(metadata_bits);
+    let _ = session.fetch_metadata_traced(metadata_bits, rec);
     let metadata_sec = session.clock_sec() - clock_before_metadata;
+    let startup_energy_mj = power.transmission_power_mw() * metadata_sec;
     metrics.set_startup(ee360_sim::metrics::StartupRecord {
         bits: metadata_bits,
         duration_sec: metadata_sec,
-        energy_mj: power.transmission_power_mw() * metadata_sec,
+        energy_mj: startup_energy_mj,
     });
+    // The startup fetch counts as transmission energy and is added first
+    // in `SessionMetrics::energy_breakdown_mj`; observing it first keeps
+    // the histogram sum bit-identical to that aggregate.
+    rec.observe("energy.transmission_mj", startup_energy_mj);
+    rec.span_close(session.clock_sec());
 
     let mut prev_qo: Option<f64> = None;
+    let mut prev_decode: Option<ee360_power::model::DecoderScheme> = None;
     for k in 0..n {
         let buffer = session.buffer_level_sec();
         // --- 1. viewport prediction from the playback-time history -----
@@ -266,12 +320,49 @@ pub fn run_session_resilient_with(
             ftile_fov_area,
             ftile_fov_tiles,
         };
+        rec.span_open("segment", session.clock_sec());
+        let stats_before = controller.solver_stats();
+        let solver_timer = StageTimer::start(rec.profiling());
         let plan = controller.plan(&ctx);
+        if let Some(dt) = solver_timer.stop() {
+            rec.observe("profile.solver_wall_sec", dt);
+        }
+        if rec.level() >= Level::Summary {
+            let delta = match (stats_before, controller.solver_stats()) {
+                (Some(before), Some(after)) => after.since(&before),
+                _ => ee360_abr::controller::SolverStats::default(),
+            };
+            let cause = if delta.plans > 0 {
+                "mpc"
+            } else if stats_before.is_some() {
+                // An MPC controller that ran no DP solve took its
+                // no-Ptile fallback path for this segment.
+                "fallback_no_ptile"
+            } else {
+                "baseline"
+            };
+            rec.count("mpc.plans", delta.plans);
+            rec.count("mpc.memo_hits", delta.memo_hits);
+            rec.count("mpc.memo_misses", delta.memo_misses);
+            rec.count("mpc.states_expanded", delta.states_expanded);
+            rec.record(Event::SolverPlan {
+                segment: k,
+                t_sec: session.clock_sec(),
+                quality: plan.quality.index(),
+                fps: plan.fps,
+                bits: plan.bits,
+                cause,
+                memo_hits: delta.memo_hits,
+                memo_misses: delta.memo_misses,
+                states_expanded: delta.states_expanded,
+            });
+        }
 
         // --- 5. download (with retry/abandon/degrade/skip) --------------
         // Rung 0 is the controller's plan; deeper rungs are produced
         // lazily by its replan hook when the pipeline abandons a download.
         let mut rung_plans: Vec<SegmentPlan> = vec![plan];
+        let download_timer = StageTimer::start(rec.profiling());
         let outcome = {
             let mut request = |rung: usize| {
                 while rung_plans.len() <= rung {
@@ -280,8 +371,11 @@ pub fn run_session_resilient_with(
                 }
                 rung_plans[rung].bits
             };
-            session.download_segment(k, &mut request)
+            session.download_segment_traced(k, &mut request, rec)
         };
+        if let Some(dt) = download_timer.stop() {
+            rec.observe("profile.download_wall_sec", dt);
+        }
 
         let (timing, used_plan, delivered_bits, wasted_bits) = match outcome {
             DownloadOutcome::Delivered {
@@ -329,6 +423,26 @@ pub fn run_session_resilient_with(
                     timing.buffer_at_request_sec,
                 );
                 prev_qo = Some(0.0);
+                rec.observe("session.stall_sec", timing.stall_sec);
+                rec.observe("energy.transmission_mj", energy.transmission_mj);
+                rec.observe("energy.decode_mj", energy.decode_mj);
+                rec.observe("energy.render_mj", energy.render_mj);
+                if rec.level() >= Level::Summary {
+                    if timing.stall_sec > 0.0 {
+                        rec.record(Event::Stall {
+                            segment: k,
+                            t_sec: session.clock_sec(),
+                            duration_sec: timing.stall_sec,
+                        });
+                    }
+                    rec.record(Event::EnergySample {
+                        segment: k,
+                        transmission_mj: energy.transmission_mj,
+                        decode_mj: energy.decode_mj,
+                        render_mj: energy.render_mj,
+                        total_mj: energy.total_mj(),
+                    });
+                }
                 metrics.push(SegmentRecord {
                     index: k,
                     quality_level: 0,
@@ -339,11 +453,13 @@ pub fn run_session_resilient_with(
                     energy,
                     qoe,
                 });
+                rec.span_close(session.clock_sec());
                 continue;
             }
         };
 
         // --- 6a. energy (Eq. 1): wasted attempts still cost radio -------
+        let book_timer = StageTimer::start(rec.profiling());
         let energy = SegmentEnergy::compute(
             &power,
             SegmentEnergyParams {
@@ -406,6 +522,41 @@ pub fn run_session_resilient_with(
             timing.buffer_at_request_sec,
         );
         prev_qo = Some(qo_eff);
+        if let Some(dt) = book_timer.stop() {
+            rec.observe("profile.booking_wall_sec", dt);
+        }
+
+        rec.observe("session.stall_sec", timing.stall_sec);
+        rec.observe("energy.transmission_mj", energy.transmission_mj);
+        rec.observe("energy.decode_mj", energy.decode_mj);
+        rec.observe("energy.render_mj", energy.render_mj);
+        if rec.level() >= Level::Summary {
+            if timing.stall_sec > 0.0 {
+                rec.record(Event::Stall {
+                    segment: k,
+                    t_sec: session.clock_sec(),
+                    duration_sec: timing.stall_sec,
+                });
+            }
+            if let Some(prev) = prev_decode {
+                if prev != used_plan.decode_scheme {
+                    rec.record(Event::DecoderSwitch {
+                        segment: k,
+                        t_sec: session.clock_sec(),
+                        from: format!("{prev:?}"),
+                        to: format!("{:?}", used_plan.decode_scheme),
+                    });
+                }
+            }
+            rec.record(Event::EnergySample {
+                segment: k,
+                transmission_mj: energy.transmission_mj,
+                decode_mj: energy.decode_mj,
+                render_mj: energy.render_mj,
+                total_mj: energy.total_mj(),
+            });
+        }
+        prev_decode = Some(used_plan.decode_scheme);
 
         metrics.push(SegmentRecord {
             index: k,
@@ -417,8 +568,11 @@ pub fn run_session_resilient_with(
             energy,
             qoe,
         });
+        rec.span_close(session.clock_sec());
     }
     metrics.set_resilience(*session.counters());
+    rec.set_gauge("session.segments", metrics.len() as f64);
+    rec.span_close(session.clock_sec());
     metrics
 }
 

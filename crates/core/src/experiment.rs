@@ -5,15 +5,18 @@ use std::collections::BTreeMap;
 use ee360_abr::controller::Scheme;
 use ee360_cluster::ptile::PtileConfig;
 use ee360_geom::grid::TileGrid;
+use ee360_obs::{Record, Recorder};
 use ee360_power::model::Phone;
 use ee360_sim::metrics::SessionMetrics;
+use ee360_sim::resilience::RetryPolicy;
 use ee360_support::parallel::parallel_map_indexed;
 use ee360_trace::dataset::VideoTraces;
+use ee360_trace::fault::FaultPlan;
 use ee360_trace::head::{GazeConfig, HeadTrace};
 use ee360_trace::network::NetworkTrace;
 use ee360_video::catalog::{VideoCatalog, VideoSpec};
 
-use crate::client::{run_session, SessionSetup};
+use crate::client::{run_session, run_session_resilient_traced, SessionSetup};
 use crate::server::VideoServer;
 
 /// Experiment-wide knobs.
@@ -333,6 +336,64 @@ impl Evaluation {
                     },
                 )
             });
+        SchemeOutcome::from_sessions(scheme, video_id, &sessions)
+    }
+
+    /// [`Self::run`] under a fault plan with observability: each session
+    /// runs with its own private [`Recorder`] (level and profiling flag
+    /// inherited from `rec`), and the per-session registries and event
+    /// streams are merged into `rec` in *user index order* after the
+    /// fan-out joins. Merge order is therefore a pure function of the
+    /// input — the aggregated metrics are identical for any
+    /// [`Self::session_threads`] count, and the simulation results are
+    /// bit-identical to the untraced path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the video was not prepared.
+    pub fn run_traced(
+        &self,
+        video_id: usize,
+        scheme: Scheme,
+        faults: &FaultPlan,
+        policy: &RetryPolicy,
+        rec: &mut Recorder,
+    ) -> SchemeOutcome {
+        let server = self
+            .servers
+            .get(&video_id)
+            // lint:allow(no-panic-paths, "documented panic: run_traced() requires a prepared video")
+            .unwrap_or_else(|| panic!("video {video_id} was not prepared"));
+        let users = self.eval_users(video_id);
+        let level = rec.level();
+        let profiling = rec.profiling();
+        let results: Vec<(SessionMetrics, Recorder)> =
+            parallel_map_indexed(self.session_threads, users.len(), |i| {
+                let mut session_rec = Recorder::new(level).with_profiling(profiling);
+                let metrics = run_session_resilient_traced(
+                    scheme,
+                    &SessionSetup {
+                        server,
+                        user: &users[i],
+                        network: &self.network,
+                        phone: self.config.phone,
+                        max_segments: self.config.max_segments,
+                    },
+                    faults,
+                    policy,
+                    &mut session_rec,
+                );
+                (metrics, session_rec)
+            });
+        let mut sessions = Vec::with_capacity(results.len());
+        for (metrics, session_rec) in results {
+            rec.count("experiment.sessions", 1);
+            rec.merge_registry(session_rec.registry());
+            for event in session_rec.events() {
+                rec.record(event.clone());
+            }
+            sessions.push(metrics);
+        }
         SchemeOutcome::from_sessions(scheme, video_id, &sessions)
     }
 

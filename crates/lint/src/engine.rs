@@ -26,6 +26,7 @@ impl Default for Config {
         severities.insert(RuleId::Determinism.id(), Severity::Deny);
         severities.insert(RuleId::Hermeticity.id(), Severity::Deny);
         severities.insert(RuleId::FloatCompare.id(), Severity::Deny);
+        severities.insert(RuleId::NoPrintlnInLib.id(), Severity::Deny);
         severities.insert(RuleId::BadPragma.id(), Severity::Deny);
         Self { severities }
     }

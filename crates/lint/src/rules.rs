@@ -24,6 +24,9 @@ pub enum RuleId {
     /// `==` / `!=` against float operands outside approved tolerance
     /// helpers.
     FloatCompare,
+    /// `println!`/`eprintln!` in library code: diagnostics belong on the
+    /// obs `Recorder`, stdout belongs to binaries, examples and tests.
+    NoPrintlnInLib,
     /// A `lint:allow` pragma that is malformed, names an unknown rule, or
     /// carries no reason.
     BadPragma,
@@ -31,12 +34,13 @@ pub enum RuleId {
 
 impl RuleId {
     /// Every rule, in reporting order.
-    pub const ALL: [RuleId; 6] = [
+    pub const ALL: [RuleId; 7] = [
         RuleId::NoPanicPaths,
         RuleId::VecIndex,
         RuleId::Determinism,
         RuleId::Hermeticity,
         RuleId::FloatCompare,
+        RuleId::NoPrintlnInLib,
         RuleId::BadPragma,
     ];
 
@@ -49,6 +53,7 @@ impl RuleId {
             RuleId::Determinism => "determinism",
             RuleId::Hermeticity => "hermeticity",
             RuleId::FloatCompare => "float-compare",
+            RuleId::NoPrintlnInLib => "no-println-in-lib",
             RuleId::BadPragma => "bad-pragma",
         }
     }
@@ -113,22 +118,26 @@ pub struct FileContext {
 }
 
 /// Crates whose library code must not contain panic paths.
-pub const PANIC_CRATES: [&str; 7] = ["sim", "abr", "core", "trace", "qoe", "power", "video"];
+pub const PANIC_CRATES: [&str; 8] = [
+    "sim", "abr", "core", "trace", "qoe", "power", "video", "obs",
+];
 
 /// Crates whose library code feeds replay-deterministic output and must
 /// not use unordered collections.
-pub const REPLAY_CRATES: [&str; 10] = [
-    "sim", "abr", "core", "trace", "qoe", "power", "video", "cluster", "geom", "predict",
+pub const REPLAY_CRATES: [&str; 11] = [
+    "sim", "abr", "core", "trace", "qoe", "power", "video", "cluster", "geom", "predict", "obs",
 ];
 
 /// Path fragments exempt from the wall-clock / `std::env` ban: the
 /// micro-benchmark timer, the property-test harness's env-driven config,
-/// the bench crate, the lint tool itself, and binary entry points (which
-/// legitimately read CLI args).
-pub const CLOCK_ENV_EXEMPT: [&str; 4] = [
+/// the bench crate, the lint tool itself, the obs profiling island (the
+/// one sanctioned wall-clock module, opt-in and gated off replay paths),
+/// and binary entry points (which legitimately read CLI args).
+pub const CLOCK_ENV_EXEMPT: [&str; 5] = [
     "crates/bench/",
     "crates/lint/",
     "crates/support/src/bench.rs",
+    "crates/obs/src/profile.rs",
     "/bin/",
 ];
 
@@ -167,6 +176,13 @@ const NON_INDEX_KEYWORDS: [&str; 14] = [
     "const", "let", "as",
 ];
 
+/// True for files whose job is to talk to a terminal: binary entry
+/// points (`src/bin/`, any `main.rs`). `println!` is legitimate there;
+/// examples, tests and benches are already exempt at the engine level.
+fn is_binary_entry(rel_path: &str) -> bool {
+    rel_path.contains("/bin/") || rel_path.ends_with("main.rs")
+}
+
 /// Runs every token-level rule over one file.
 pub fn scan_tokens(ctx: &FileContext, tokens: &[Token]) -> Vec<RawViolation> {
     let mut out = Vec::new();
@@ -174,6 +190,7 @@ pub fn scan_tokens(ctx: &FileContext, tokens: &[Token]) -> Vec<RawViolation> {
     let replay_scope = REPLAY_CRATES.contains(&ctx.crate_name.as_str());
     let clock_exempt = CLOCK_ENV_EXEMPT.iter().any(|p| ctx.rel_path.contains(p));
     let seeded_hash = SEEDED_HASH_FILES.iter().any(|p| ctx.rel_path.ends_with(p));
+    let print_scope = !is_binary_entry(&ctx.rel_path);
 
     for i in 0..tokens.len() {
         let t = &tokens[i];
@@ -208,8 +225,28 @@ pub fn scan_tokens(ctx: &FileContext, tokens: &[Token]) -> Vec<RawViolation> {
             float_int_cast(tokens, i, &mut out);
         }
         float_compare(t, prev, next, &mut out);
+        if print_scope {
+            no_println_in_lib(t, next, &mut out);
+        }
     }
     out
+}
+
+fn no_println_in_lib(t: &Token, next: Option<&Token>, out: &mut Vec<RawViolation>) {
+    if t.kind != TokenKind::Ident || (t.text != "println" && t.text != "eprintln") {
+        return;
+    }
+    if next.is_some_and(|n| n.text == "!") {
+        out.push(RawViolation {
+            rule: RuleId::NoPrintlnInLib,
+            line: t.line,
+            message: format!(
+                "`{}!` in library code: route diagnostics through the obs `Recorder`, or \
+                 annotate genuine CLI output with `// lint:allow(no-println-in-lib, \"reason\")`",
+                t.text
+            ),
+        });
+    }
 }
 
 fn no_panic_paths(
@@ -475,6 +512,51 @@ mod tests {
             "fn f(x: u32) -> bool { x == 0 }"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn println_fires_in_library_code_of_every_crate() {
+        let src = "fn f() { println!(\"x\"); eprintln!(\"y\"); }";
+        assert_eq!(
+            rules_fired("support", "crates/support/src/x.rs", src),
+            vec![RuleId::NoPrintlnInLib, RuleId::NoPrintlnInLib]
+        );
+        assert_eq!(
+            rules_fired("viz", "crates/viz/src/x.rs", src),
+            vec![RuleId::NoPrintlnInLib, RuleId::NoPrintlnInLib]
+        );
+    }
+
+    #[test]
+    fn println_is_allowed_in_binary_entry_points() {
+        let src = "fn main() { println!(\"usage\"); }";
+        assert!(rules_fired("ee360", "src/bin/ee360.rs", src).is_empty());
+        assert!(rules_fired("lint", "crates/lint/src/bin/gate.rs", src).is_empty());
+        assert!(rules_fired("ee360", "src/main.rs", src).is_empty());
+    }
+
+    #[test]
+    fn println_ident_without_bang_does_not_fire() {
+        let src = "fn f() { let println = 3; let _ = println; }";
+        assert!(rules_fired("sim", "crates/sim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn obs_crate_is_held_to_panic_and_replay_scope() {
+        let src = "fn f() { v.unwrap(); }";
+        assert_eq!(
+            rules_fired("obs", "crates/obs/src/x.rs", src),
+            vec![RuleId::NoPanicPaths]
+        );
+        let hm = "use std::collections::HashMap;";
+        assert_eq!(
+            rules_fired("obs", "crates/obs/src/x.rs", hm),
+            vec![RuleId::Determinism]
+        );
+        // The profiling island is the sanctioned wall-clock module.
+        let clock = "fn f() { let t = Instant::now(); }";
+        assert!(rules_fired("obs", "crates/obs/src/profile.rs", clock).is_empty());
+        assert!(!rules_fired("obs", "crates/obs/src/record.rs", clock).is_empty());
     }
 
     #[test]

@@ -1,0 +1,15 @@
+//! Fixture: library prints the no-println-in-lib rule must catch, plus
+//! one suppressed genuine-CLI site.
+
+pub fn report_progress(done: usize) {
+    println!("progress: {done}");
+}
+
+pub fn complain(msg: &str) {
+    eprintln!("warning: {msg}");
+}
+
+pub fn banner() {
+    // lint:allow(no-println-in-lib, "fixture: genuine CLI output")
+    println!("=== run ===");
+}

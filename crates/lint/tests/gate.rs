@@ -123,6 +123,38 @@ fn float_compare_fixture_fires_on_each_comparison() {
 }
 
 #[test]
+fn println_fixture_fires_in_lib_and_respects_pragma_and_bin_paths() {
+    // In library code: println! and eprintln! fire, the suppressed
+    // banner does not.
+    let report = scan_source(
+        "crates/support/src/fixture.rs",
+        include_str!("fixtures/println.rs"),
+        &deny_config(),
+    );
+    let fired = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == RuleId::NoPrintlnInLib)
+        .count();
+    assert_eq!(fired, 2, "{:?}", report.violations);
+    assert_eq!(report.suppressed.len(), 1, "{:?}", report.suppressed);
+    // The same source as a binary entry point is fully exempt.
+    let as_bin = scan_source(
+        "crates/support/src/bin/fixture.rs",
+        include_str!("fixtures/println.rs"),
+        &deny_config(),
+    );
+    assert!(
+        as_bin
+            .violations
+            .iter()
+            .all(|v| v.rule != RuleId::NoPrintlnInLib),
+        "{:?}",
+        as_bin.violations
+    );
+}
+
+#[test]
 fn pragma_fixture_suppresses_and_rejects() {
     let report = scan_source(
         "crates/sim/src/fixture.rs",
@@ -236,6 +268,7 @@ fn binary_fails_on_seeded_violations() {
          pub fn bad(v: Option<f64>) -> bool {\n\
              let m: HashMap<u32, u32> = HashMap::new();\n\
              let _ = m.len();\n\
+             println!(\"debugging\");\n\
              v.unwrap() == 0.3\n\
          }\n",
     )
@@ -262,6 +295,7 @@ fn binary_fails_on_seeded_violations() {
         "determinism",
         "float-compare",
         "hermeticity",
+        "no-println-in-lib",
     ] {
         assert!(stdout.contains(rule), "summary must name {rule}:\n{stdout}");
     }

@@ -1,0 +1,121 @@
+//! JSON/JSONL exporters for recorders.
+//!
+//! Two artifacts: a *report* (`results/obs_report.json`) carrying the
+//! aggregate registry, span tree, and ring-buffer accounting, and a
+//! *trace* (JSONL, one event object per line) for per-segment
+//! archaeology. Both are pure functions of the recorder state, so a
+//! same-seed run with profiling off re-exports byte-identical files.
+
+use std::io;
+use std::path::Path;
+
+use ee360_support::json::{to_string_pretty, Json, ToJson};
+
+use crate::record::Recorder;
+
+/// Schema tag stamped into every report.
+pub const REPORT_SCHEMA: &str = "ee360-obs-report-v1";
+
+/// Builds the aggregate report for a recorder.
+#[must_use]
+pub fn report_json(rec: &Recorder) -> Json {
+    Json::Obj(vec![
+        ("schema".to_owned(), Json::Str(REPORT_SCHEMA.to_owned())),
+        (
+            "level".to_owned(),
+            Json::Str(crate::record::Record::level(rec).as_str().to_owned()),
+        ),
+        (
+            "events_recorded".to_owned(),
+            Json::Int(rec.events_len() as i64),
+        ),
+        ("events_dropped".to_owned(), Json::Int(rec.dropped() as i64)),
+        ("spans".to_owned(), rec.span_tree_json()),
+        ("metrics".to_owned(), rec.registry().to_json()),
+    ])
+}
+
+fn json_io_err(e: ee360_support::json::JsonError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("obs export: {e}"))
+}
+
+/// Writes the pretty-printed aggregate report to `path`, creating
+/// parent directories as needed.
+///
+/// # Errors
+///
+/// Propagates filesystem errors and (unreachable in practice)
+/// serializer failures as [`io::Error`].
+pub fn write_report(path: impl AsRef<Path>, rec: &Recorder) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let text = to_string_pretty(&report_json(rec)).map_err(json_io_err)?;
+    std::fs::write(path, text)
+}
+
+/// Writes the JSONL event trace to `path`, creating parent
+/// directories as needed.
+///
+/// # Errors
+///
+/// Propagates filesystem errors and serializer failures as
+/// [`io::Error`].
+pub fn write_trace(path: impl AsRef<Path>, rec: &Recorder) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let text = rec.trace_jsonl().map_err(json_io_err)?;
+    std::fs::write(path, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, Level};
+    use crate::record::Record;
+
+    fn sample_recorder() -> Recorder {
+        let mut rec = Recorder::new(Level::Detail);
+        rec.span_open("session", 0.0);
+        rec.record(Event::Stall {
+            segment: 2,
+            t_sec: 3.0,
+            duration_sec: 0.5,
+        });
+        rec.count("resilience.retries", 4);
+        rec.observe("session.stall_sec", 0.5);
+        rec.span_close(9.0);
+        rec
+    }
+
+    #[test]
+    fn report_has_schema_and_required_sections() {
+        let rec = sample_recorder();
+        let report = report_json(&rec);
+        assert_eq!(
+            report.get("schema").and_then(Json::as_str),
+            Some(REPORT_SCHEMA)
+        );
+        for key in [
+            "level",
+            "events_recorded",
+            "events_dropped",
+            "spans",
+            "metrics",
+        ] {
+            assert!(report.get(key).is_some(), "missing {key}");
+        }
+        let text = to_string_pretty(&report).expect("serialises");
+        ee360_support::json::parse(&text).expect("round-trips");
+    }
+
+    #[test]
+    fn report_export_is_deterministic_for_equal_recorders() {
+        let a = to_string_pretty(&report_json(&sample_recorder())).expect("a");
+        let b = to_string_pretty(&report_json(&sample_recorder())).expect("b");
+        assert_eq!(a, b);
+    }
+}

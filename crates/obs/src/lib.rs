@@ -1,0 +1,35 @@
+//! `ee360-obs` — deterministic structured tracing, metrics registry,
+//! and opt-in per-stage profiling for the streaming pipeline.
+//!
+//! The workspace's replay policy is *byte-identical same-seed output*,
+//! so observability here is deterministic by construction:
+//!
+//! * **Events and spans** ([`event`], [`record`]) are keyed on logical
+//!   simulation time — segment index and sim clock — never wall-clock.
+//!   A serialized trace is therefore a pure function of the seed.
+//! * **Metrics** ([`metrics`]) are counters, gauges, and log-bucketed
+//!   histograms in sorted maps; per-session registries merge in index
+//!   order after threaded fan-outs so thread count never changes the
+//!   aggregate.
+//! * **Profiling** ([`profile`]) is the single sanctioned wall-clock
+//!   island. It is opt-in (`EE360_OBS_PROFILE=1`), gated behind
+//!   [`Record::profiling`], and never enabled on replay paths.
+//!
+//! Instrumented code writes to `&mut dyn Record`; benign paths pass
+//! [`NoopRecorder`], whose methods are all default no-ops, so the
+//! un-instrumented hot path costs a virtual call per site at most.
+//! Callers gate event construction on [`Record::level`] to avoid even
+//! building events a sink would drop.
+//!
+//! Exporters ([`export`]) produce `results/obs_report.json` (aggregate
+//! registry + span tree) and a JSONL per-session trace.
+
+pub mod event;
+pub mod export;
+pub mod metrics;
+pub mod profile;
+pub mod record;
+
+pub use event::{Event, Level};
+pub use metrics::{Histogram, Registry};
+pub use record::{NoopRecorder, Record, Recorder};

@@ -1,0 +1,75 @@
+//! Opt-in wall-clock stage profiling.
+//!
+//! This module is the *only* place in the workspace's replay-sensitive
+//! crates allowed to read the wall clock or the environment (it is
+//! carved out in the `ee360-lint` determinism rule for exactly that
+//! reason). Profiling is off by default and every caller is expected to
+//! gate on [`Record::profiling`](crate::record::Record::profiling), so
+//! a replayed run never observes a timer and its outputs stay
+//! byte-identical.
+
+use std::time::Instant;
+
+/// Environment flag that turns stage timers on: `EE360_OBS_PROFILE=1`.
+pub const PROFILE_ENV: &str = "EE360_OBS_PROFILE";
+
+/// True when the user asked for wall-clock stage profiling via
+/// [`PROFILE_ENV`]. Runs with profiling on are *not* replayable —
+/// never enable it inside determinism tests.
+#[must_use]
+pub fn profiling_from_env() -> bool {
+    std::env::var_os(PROFILE_ENV).is_some_and(|v| v == "1")
+}
+
+/// A scoped wall-clock timer for one pipeline stage.
+///
+/// Construct with [`StageTimer::start`], passing the recorder's
+/// `profiling()` flag; when profiling is off the timer holds no clock
+/// and [`StageTimer::stop`] returns `None`, so the instrumented path
+/// does no timing work at all:
+///
+/// ```
+/// use ee360_obs::{profile::StageTimer, NoopRecorder, Record};
+/// let rec = NoopRecorder;
+/// let timer = StageTimer::start(rec.profiling());
+/// // ... stage body ...
+/// assert!(timer.stop().is_none()); // profiling off: no clock was read
+/// ```
+#[derive(Debug)]
+pub struct StageTimer {
+    start: Option<Instant>,
+}
+
+impl StageTimer {
+    /// Starts the timer when `enabled`, otherwise records nothing.
+    #[must_use]
+    pub fn start(enabled: bool) -> Self {
+        StageTimer {
+            start: if enabled { Some(Instant::now()) } else { None },
+        }
+    }
+
+    /// Elapsed wall seconds since `start`, or `None` when disabled.
+    #[must_use]
+    pub fn stop(self) -> Option<f64> {
+        self.start.map(|t| t.elapsed().as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_timer_reads_no_clock_and_returns_none() {
+        let t = StageTimer::start(false);
+        assert!(t.stop().is_none());
+    }
+
+    #[test]
+    fn enabled_timer_reports_nonnegative_elapsed() {
+        let t = StageTimer::start(true);
+        let dt = t.stop().expect("enabled timer reports");
+        assert!(dt >= 0.0);
+    }
+}

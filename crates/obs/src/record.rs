@@ -1,0 +1,370 @@
+//! The recording API: the [`Record`] trait, the zero-cost
+//! [`NoopRecorder`], and the live [`Recorder`] with its bounded event
+//! ring buffer, span stack, and embedded metrics [`Registry`].
+
+use std::collections::VecDeque;
+
+use ee360_support::json::{Json, ToJson};
+
+use crate::event::{Event, Level};
+use crate::metrics::Registry;
+
+/// Default bound on the in-memory event ring buffer.
+pub const DEFAULT_EVENT_CAPACITY: usize = 65_536;
+
+/// The sink instrumented code writes to.
+///
+/// All methods default to no-ops so `NoopRecorder` (and any partial
+/// implementation) costs nothing on the hot path. Callers gate event
+/// construction on [`Record::level`] so a disabled recorder never pays
+/// for building an [`Event`]:
+///
+/// ```
+/// use ee360_obs::{Event, Level, NoopRecorder, Record};
+/// let rec: &mut dyn Record = &mut NoopRecorder;
+/// if rec.level() >= Level::Summary {
+///     rec.record(Event::Stall { segment: 0, t_sec: 1.0, duration_sec: 0.2 });
+/// }
+/// ```
+pub trait Record {
+    /// Verbosity this sink keeps; `Level::Off` means "drop everything".
+    fn level(&self) -> Level {
+        Level::Off
+    }
+
+    /// Captures a structured event (already level-checked by caller).
+    fn record(&mut self, _event: Event) {}
+
+    /// Opens a scoped span keyed on logical simulation time.
+    fn span_open(&mut self, _name: &'static str, _t_sec: f64) {}
+
+    /// Closes the innermost open span at simulation time `t_sec`.
+    fn span_close(&mut self, _t_sec: f64) {}
+
+    /// Adds `n` to a named counter.
+    fn count(&mut self, _name: &str, _n: u64) {}
+
+    /// Records a histogram sample.
+    fn observe(&mut self, _name: &str, _v: f64) {}
+
+    /// Sets a named gauge.
+    fn set_gauge(&mut self, _name: &str, _v: f64) {}
+
+    /// True when wall-clock stage timers should run. Always false for
+    /// replayable runs — enabling it is what makes a run non-replayable
+    /// (see `crate::profile`).
+    fn profiling(&self) -> bool {
+        false
+    }
+}
+
+/// A recorder that drops everything; the fast path for benign runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Record for NoopRecorder {}
+
+/// One node of the span tree. Spans are keyed on the simulation clock;
+/// `end_sec < start_sec` (the initial state) marks a span never closed.
+#[derive(Debug, Clone, PartialEq)]
+struct SpanNode {
+    name: &'static str,
+    start_sec: f64,
+    end_sec: f64,
+    parent: Option<usize>,
+}
+
+/// Aggregate of all spans sharing a name under one parent aggregate.
+/// Children are keyed by span name in a `BTreeMap`, so the exported
+/// tree is sorted and deterministic.
+#[derive(Debug, Default, Clone)]
+struct SpanAgg {
+    count: u64,
+    total_sec: f64,
+    children: std::collections::BTreeMap<&'static str, SpanAgg>,
+}
+
+impl SpanAgg {
+    fn to_json(&self) -> Json {
+        let children = Json::Obj(
+            self.children
+                .iter()
+                .map(|(n, a)| ((*n).to_owned(), a.to_json()))
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("count".to_owned(), Json::Int(self.count as i64)),
+            ("total_sec".to_owned(), Json::Num(self.total_sec)),
+            ("children".to_owned(), children),
+        ])
+    }
+}
+
+/// The live recorder: level-filtered bounded event ring, span stack,
+/// and an embedded metrics [`Registry`].
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    level: Level,
+    capacity: usize,
+    events: VecDeque<Event>,
+    dropped: u64,
+    spans: Vec<SpanNode>,
+    open: Vec<usize>,
+    registry: Registry,
+    profiling: bool,
+}
+
+impl Recorder {
+    /// A recorder keeping events at or below `level`, with the default
+    /// ring capacity and profiling off.
+    #[must_use]
+    pub fn new(level: Level) -> Self {
+        Recorder {
+            level,
+            capacity: DEFAULT_EVENT_CAPACITY,
+            events: VecDeque::new(),
+            dropped: 0,
+            spans: Vec::new(),
+            open: Vec::new(),
+            registry: Registry::new(),
+            profiling: false,
+        }
+    }
+
+    /// Overrides the ring-buffer capacity (minimum 1).
+    #[must_use]
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity.max(1);
+        self
+    }
+
+    /// Turns wall-clock stage timers on or off. Leave off (the
+    /// default) for any run whose outputs must be byte-identical
+    /// under replay.
+    #[must_use]
+    pub fn with_profiling(mut self, on: bool) -> Self {
+        self.profiling = on;
+        self
+    }
+
+    /// Events currently held by the ring buffer, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Number of events currently held.
+    #[must_use]
+    pub fn events_len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Events evicted because the ring buffer was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The embedded metrics registry.
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Mutable access to the registry (used by fan-out merge points).
+    pub fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.registry
+    }
+
+    /// Folds a per-worker registry into this recorder's registry.
+    pub fn merge_registry(&mut self, other: &Registry) {
+        self.registry.merge(other);
+    }
+
+    /// Aggregated span tree: spans grouped by name along parent
+    /// chains, each aggregate carrying call count and total simulated
+    /// seconds. Unclosed spans contribute a count but zero duration.
+    #[must_use]
+    pub fn span_tree_json(&self) -> Json {
+        let mut root = SpanAgg::default();
+        // Paths from the root are rebuilt per span; span counts are
+        // bounded by the caller's discipline (sessions open a handful
+        // of spans per segment).
+        for span in &self.spans {
+            let mut path: Vec<&'static str> = vec![span.name];
+            let mut p = span.parent;
+            while let Some(pi) = p {
+                match self.spans.get(pi) {
+                    Some(ps) => {
+                        path.push(ps.name);
+                        p = ps.parent;
+                    }
+                    None => break,
+                }
+            }
+            let mut agg = &mut root;
+            for name in path.iter().rev() {
+                agg = agg.children.entry(name).or_default();
+            }
+            agg.count += 1;
+            if span.end_sec >= span.start_sec {
+                agg.total_sec += span.end_sec - span.start_sec;
+            }
+        }
+        Json::Obj(
+            root.children
+                .iter()
+                .map(|(n, a)| ((*n).to_owned(), a.to_json()))
+                .collect(),
+        )
+    }
+
+    /// Serializes the buffered events as JSONL, one event per line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serializer's [`ee360_support::json::JsonError`].
+    pub fn trace_jsonl(&self) -> Result<String, ee360_support::json::JsonError> {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&ee360_support::json::to_string(&e.to_json())?);
+            out.push('\n');
+        }
+        Ok(out)
+    }
+}
+
+impl Record for Recorder {
+    fn level(&self) -> Level {
+        self.level
+    }
+
+    fn record(&mut self, event: Event) {
+        if event.level() > self.level {
+            return;
+        }
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    fn span_open(&mut self, name: &'static str, t_sec: f64) {
+        let parent = self.open.last().copied();
+        self.spans.push(SpanNode {
+            name,
+            start_sec: t_sec,
+            end_sec: f64::NEG_INFINITY,
+            parent,
+        });
+        self.open.push(self.spans.len() - 1);
+    }
+
+    fn span_close(&mut self, t_sec: f64) {
+        if let Some(i) = self.open.pop() {
+            if let Some(span) = self.spans.get_mut(i) {
+                span.end_sec = t_sec;
+            }
+        }
+    }
+
+    fn count(&mut self, name: &str, n: u64) {
+        self.registry.inc(name, n);
+    }
+
+    fn observe(&mut self, name: &str, v: f64) {
+        self.registry.observe(name, v);
+    }
+
+    fn set_gauge(&mut self, name: &str, v: f64) {
+        self.registry.set_gauge(name, v);
+    }
+
+    fn profiling(&self) -> bool {
+        self.profiling
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stall(segment: usize) -> Event {
+        Event::Stall {
+            segment,
+            t_sec: segment as f64,
+            duration_sec: 0.1,
+        }
+    }
+
+    #[test]
+    fn noop_recorder_is_off_and_free() {
+        let mut rec = NoopRecorder;
+        assert_eq!(rec.level(), Level::Off);
+        rec.record(stall(0));
+        rec.count("x", 1);
+        assert!(!rec.profiling());
+    }
+
+    #[test]
+    fn level_filtering_drops_detail_events_at_summary() {
+        let mut rec = Recorder::new(Level::Summary);
+        rec.record(stall(0));
+        rec.record(Event::Retry {
+            segment: 0,
+            attempt: 1,
+            t_sec: 0.5,
+            backoff_sec: 0.25,
+        });
+        assert_eq!(rec.events_len(), 1);
+        assert_eq!(rec.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_buffer_is_bounded_and_counts_drops() {
+        let mut rec = Recorder::new(Level::Detail).with_capacity(4);
+        for i in 0..10 {
+            rec.record(stall(i));
+        }
+        assert_eq!(rec.events_len(), 4);
+        assert_eq!(rec.dropped(), 6);
+        let first = rec.events().next().expect("events retained");
+        assert_eq!(first.segment(), 6, "oldest events evicted first");
+    }
+
+    #[test]
+    fn span_tree_aggregates_nested_spans_on_sim_time() {
+        let mut rec = Recorder::new(Level::Summary);
+        for k in 0..3 {
+            rec.span_open("session", 0.0);
+            rec.span_open("segment", k as f64);
+            rec.span_close(k as f64 + 0.5);
+            rec.span_close(10.0);
+        }
+        let tree = rec.span_tree_json();
+        let session = tree.get("session").expect("session agg");
+        let segment = session
+            .get("children")
+            .and_then(|c| c.get("segment"))
+            .expect("nested agg");
+        assert_eq!(segment.get("count").and_then(Json::as_i64), Some(3));
+        let total = segment
+            .get("total_sec")
+            .and_then(Json::as_f64)
+            .expect("total");
+        assert!((total - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_jsonl_is_one_event_per_line() {
+        let mut rec = Recorder::new(Level::Detail);
+        rec.record(stall(0));
+        rec.record(stall(1));
+        let text = rec.trace_jsonl().expect("serialises");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            ee360_support::json::parse(line).expect("each line parses");
+        }
+    }
+}

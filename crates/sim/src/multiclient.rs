@@ -18,6 +18,7 @@
 //! corrupt payloads are refetched, and clients that exhaust a segment's
 //! retries or deadline skip it rather than wedging the whole cell.
 
+use ee360_obs::{NoopRecorder, Record};
 use ee360_trace::fault::FaultPlan;
 use ee360_trace::network::NetworkTrace;
 use ee360_video::segment::SEGMENT_DURATION_SEC;
@@ -176,6 +177,56 @@ pub fn simulate_shared_link<'a>(
 /// Panics if `planners` is empty, the configuration or policy is
 /// malformed, or a planner returns non-positive bits.
 pub fn simulate_shared_link_with_faults<'a>(
+    capacity: &NetworkTrace,
+    config: MulticlientConfig,
+    planners: Vec<Planner<'a>>,
+    faults: &FaultPlan,
+    policy: &RetryPolicy,
+) -> Vec<ClientOutcome> {
+    simulate_shared_link_with_faults_traced(
+        capacity,
+        config,
+        planners,
+        faults,
+        policy,
+        &mut NoopRecorder,
+    )
+}
+
+/// [`simulate_shared_link_with_faults`] with observability: after the tick
+/// loop finishes, the per-client outcomes are merged into `rec` in client
+/// order (`multiclient.*` counters and histograms). Recording happens once,
+/// from the already-final outcomes, so the recorder is strictly write-only:
+/// the simulation result is bit-identical with or without a live recorder.
+///
+/// # Panics
+///
+/// Panics under the same conditions as
+/// [`simulate_shared_link_with_faults`].
+pub fn simulate_shared_link_with_faults_traced<'a>(
+    capacity: &NetworkTrace,
+    config: MulticlientConfig,
+    planners: Vec<Planner<'a>>,
+    faults: &FaultPlan,
+    policy: &RetryPolicy,
+    rec: &mut dyn Record,
+) -> Vec<ClientOutcome> {
+    let outcomes =
+        simulate_shared_link_with_faults_inner(capacity, config, planners, faults, policy);
+    rec.count("multiclient.clients", outcomes.len() as u64);
+    for o in &outcomes {
+        rec.count("multiclient.segments", o.segments as u64);
+        rec.count("multiclient.retries", o.retries as u64);
+        rec.count("multiclient.timeouts", o.timeouts as u64);
+        rec.count("multiclient.skipped_segments", o.skipped_segments as u64);
+        rec.observe("multiclient.stall_sec", o.total_stall_sec);
+        rec.observe("multiclient.throughput_bps", o.mean_throughput_bps);
+        rec.observe("multiclient.finished_at_sec", o.finished_at_sec);
+    }
+    outcomes
+}
+
+fn simulate_shared_link_with_faults_inner<'a>(
     capacity: &NetworkTrace,
     config: MulticlientConfig,
     planners: Vec<Planner<'a>>,
@@ -588,6 +639,49 @@ mod tests {
         assert_eq!(out[0].skipped_segments, 10);
         assert_eq!(out[0].segments, 10);
         assert!((out[0].mean_throughput_bps - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traced_run_reconciles_and_matches_untraced() {
+        let faults = FaultPlan::none().with_attempt_faults(
+            FaultConfig {
+                loss_prob: 0.3,
+                corruption_prob: 0.1,
+                ..FaultConfig::none()
+            },
+            17,
+        );
+        let policy = RetryPolicy {
+            attempt_timeout_sec: 2.0,
+            ..RetryPolicy::default_mobile()
+        };
+        let config = MulticlientConfig {
+            segments: 25,
+            ..Default::default()
+        };
+        let plain = simulate_shared_link_with_faults(
+            &constant_net(8.0e6),
+            config,
+            vec![fixed_planner(2.0e6), fixed_planner(2.0e6)],
+            &faults,
+            &policy,
+        );
+        let mut rec = ee360_obs::Recorder::new(ee360_obs::Level::Detail);
+        let traced = simulate_shared_link_with_faults_traced(
+            &constant_net(8.0e6),
+            config,
+            vec![fixed_planner(2.0e6), fixed_planner(2.0e6)],
+            &faults,
+            &policy,
+            &mut rec,
+        );
+        assert_eq!(plain, traced, "recorder must be write-only");
+        let reg = rec.registry();
+        assert_eq!(reg.counter("multiclient.clients"), 2);
+        let retries: usize = traced.iter().map(|o| o.retries).sum();
+        assert_eq!(reg.counter("multiclient.retries"), retries as u64);
+        let stall: f64 = traced.iter().map(|o| o.total_stall_sec).sum();
+        assert_eq!(reg.hist_sum("multiclient.stall_sec"), stall);
     }
 
     #[test]

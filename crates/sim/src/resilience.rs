@@ -20,6 +20,7 @@
 //! seed and the policy arithmetic is plain `f64`, so same-seed replays
 //! serialize byte-identically.
 
+use ee360_obs::{Event, Level, NoopRecorder, Record};
 use ee360_trace::fault::{FaultPlan, FaultyLink};
 use ee360_trace::network::NetworkTrace;
 use ee360_video::segment::SEGMENT_DURATION_SEC;
@@ -350,6 +351,21 @@ impl ResilientSession {
     /// [`SimError::InvalidRequest`] for non-positive bits;
     /// [`SimError::DeadlineExhausted`] if every attempt timed out.
     pub fn fetch_metadata(&mut self, bits: f64) -> Result<f64, SimError> {
+        self.fetch_metadata_traced(bits, &mut NoopRecorder)
+    }
+
+    /// [`Self::fetch_metadata`] with observability: every counter bump
+    /// is mirrored into the recorder's registry and retries emit
+    /// detail-level events (under segment index 0, the startup phase).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::fetch_metadata`].
+    pub fn fetch_metadata_traced(
+        &mut self,
+        bits: f64,
+        rec: &mut dyn Record,
+    ) -> Result<f64, SimError> {
         if !(bits.is_finite() && bits > 0.0) {
             return Err(SimError::InvalidRequest("metadata bits must be positive"));
         }
@@ -365,11 +381,23 @@ impl ResilientSession {
                 None => {
                     self.counters.attempts += 1;
                     self.counters.timeouts += 1;
+                    rec.count("resilience.attempts", 1);
+                    rec.count("resilience.timeouts", 1);
                     self.clock_sec += budget;
                     if attempt < self.policy.max_retries {
                         self.counters.retries += 1;
+                        rec.count("resilience.retries", 1);
                         let pause = self.policy.backoff_sec(attempt);
                         self.counters.backoff_sec += pause;
+                        rec.observe("resilience.backoff_sec", pause);
+                        if rec.level() >= Level::Detail {
+                            rec.record(Event::Retry {
+                                segment: 0,
+                                attempt,
+                                t_sec: self.clock_sec,
+                                backoff_sec: pause,
+                            });
+                        }
                         self.clock_sec += pause;
                     }
                 }
@@ -411,6 +439,30 @@ impl ResilientSession {
         segment: usize,
         request: &mut dyn FnMut(usize) -> f64,
     ) -> DownloadOutcome {
+        self.download_segment_traced(segment, request, &mut NoopRecorder)
+    }
+
+    /// [`Self::download_segment`] with observability.
+    ///
+    /// Instrumentation contract: every [`ResilienceCounters`] bump is
+    /// mirrored — at the same statement, with the same value — into
+    /// the recorder's registry (`resilience.*` counters and
+    /// histograms), so at end of session the registry reconciles
+    /// *exactly* with the counters. Per-attempt outcomes, backoff
+    /// pauses, abandons, buffer occupancy and skips additionally emit
+    /// typed events. The recorder is write-only: nothing it does can
+    /// feed back into control flow, so a `NoopRecorder` run and a
+    /// recording run produce bit-identical outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::download_segment`].
+    pub fn download_segment_traced(
+        &mut self,
+        segment: usize,
+        request: &mut dyn FnMut(usize) -> f64,
+        rec: &mut dyn Record,
+    ) -> DownloadOutcome {
         // Eq. 6 wait: don't request while the buffer is above β.
         let wait_sec = (self.buffer.level_sec() - self.buffer.threshold_sec()).max(0.0);
         self.clock_sec += wait_sec;
@@ -434,6 +486,7 @@ impl ResilientSession {
             let attempt = attempts;
             attempts += 1;
             self.counters.attempts += 1;
+            rec.count("resilience.attempts", 1);
             let budget = finite_budget(
                 self.policy
                     .attempt_timeout_sec
@@ -446,6 +499,20 @@ impl ResilientSession {
                 self.clock_sec += budget;
                 self.counters.losses += 1;
                 self.counters.timeouts += 1;
+                rec.count("resilience.losses", 1);
+                rec.count("resilience.timeouts", 1);
+                if rec.level() >= Level::Detail {
+                    rec.record(Event::DownloadAttempt {
+                        segment,
+                        attempt,
+                        t_sec: self.clock_sec,
+                        rung,
+                        outcome: "lost",
+                        bits,
+                        elapsed_sec: budget,
+                        deadline_margin_sec: deadline_end - self.clock_sec,
+                    });
+                }
                 last_error = SimError::SegmentLost { segment, attempt };
             } else {
                 match link.try_download(bits, self.clock_sec, budget) {
@@ -455,6 +522,19 @@ impl ResilientSession {
                             self.clock_sec += dur;
                             wasted_bits += bits;
                             self.counters.corruptions += 1;
+                            rec.count("resilience.corruptions", 1);
+                            if rec.level() >= Level::Detail {
+                                rec.record(Event::DownloadAttempt {
+                                    segment,
+                                    attempt,
+                                    t_sec: self.clock_sec,
+                                    rung,
+                                    outcome: "corrupt",
+                                    bits,
+                                    elapsed_sec: dur,
+                                    deadline_margin_sec: deadline_end - self.clock_sec,
+                                });
+                            }
                             last_error = SimError::SegmentCorrupt { segment, attempt };
                         } else {
                             // Success — maybe after a decoder wedge.
@@ -462,6 +542,7 @@ impl ResilientSession {
                             if self.plan.decoder_fails(segment) {
                                 self.clock_sec += self.decoder.recovery_time_sec(1);
                                 self.counters.decoder_failures += 1;
+                                rec.count("resilience.decoder_failures", 1);
                             }
                             let elapsed = self.clock_sec - request_time_sec;
                             let step = self.buffer.advance(elapsed, SEGMENT_DURATION_SEC);
@@ -470,12 +551,33 @@ impl ResilientSession {
                             if rung > 0 {
                                 self.counters.degraded_segments += 1;
                                 self.counters.degraded_rungs += rung;
+                                rec.count("resilience.degraded_segments", 1);
+                                rec.count("resilience.degraded_rungs", rung as u64);
                             }
                             // `elapsed` already includes the reinit time,
                             // failed attempts and backoffs; only the
                             // payload's own transfer is not "recovery".
                             self.counters.recovery_sec += elapsed - dur;
                             self.counters.wasted_bits += wasted_bits;
+                            rec.observe("resilience.recovery_sec", elapsed - dur);
+                            rec.observe("resilience.wasted_bits", wasted_bits);
+                            if rec.level() >= Level::Detail {
+                                rec.record(Event::DownloadAttempt {
+                                    segment,
+                                    attempt,
+                                    t_sec: self.clock_sec,
+                                    rung,
+                                    outcome: "delivered",
+                                    bits,
+                                    elapsed_sec: dur,
+                                    deadline_margin_sec: deadline_end - self.clock_sec,
+                                });
+                                rec.record(Event::BufferSample {
+                                    segment,
+                                    t_sec: self.clock_sec,
+                                    level_sec: step.buffer_after_sec,
+                                });
+                            }
                             let spike = self.plan.extra_latency_sec(request_time_sec);
                             let payload_sec = (dur - spike).max(1e-9);
                             return DownloadOutcome::Delivered {
@@ -498,9 +600,20 @@ impl ResilientSession {
                     None => {
                         // Mid-download abandon: count what had arrived,
                         // then degrade the next request one rung.
-                        wasted_bits += link.bits_delivered(self.clock_sec, budget).min(bits);
+                        let partial = link.bits_delivered(self.clock_sec, budget).min(bits);
+                        wasted_bits += partial;
                         self.clock_sec += budget;
                         self.counters.abandons += 1;
+                        rec.count("resilience.abandons", 1);
+                        if rec.level() >= Level::Summary {
+                            rec.record(Event::Abandon {
+                                segment,
+                                attempt,
+                                t_sec: self.clock_sec,
+                                rung,
+                                wasted_bits: partial,
+                            });
+                        }
                         last_error = SimError::Timeout {
                             segment,
                             attempt,
@@ -515,11 +628,21 @@ impl ResilientSession {
             // the segment deadline).
             if attempts <= self.policy.max_retries && self.clock_sec < deadline_end - 1e-9 {
                 self.counters.retries += 1;
+                rec.count("resilience.retries", 1);
                 let pause = self
                     .policy
                     .backoff_sec(attempt)
                     .min(deadline_end - self.clock_sec);
                 self.counters.backoff_sec += pause;
+                rec.observe("resilience.backoff_sec", pause);
+                if rec.level() >= Level::Detail {
+                    rec.record(Event::Retry {
+                        segment,
+                        attempt,
+                        t_sec: self.clock_sec,
+                        backoff_sec: pause,
+                    });
+                }
                 self.clock_sec += pause;
             }
         }
@@ -533,6 +656,18 @@ impl ResilientSession {
         self.counters.blackout_sec += blackout_sec;
         self.counters.recovery_sec += elapsed;
         self.counters.wasted_bits += wasted_bits;
+        rec.count("resilience.skipped_segments", 1);
+        rec.observe("resilience.blackout_sec", blackout_sec);
+        rec.observe("resilience.recovery_sec", elapsed);
+        rec.observe("resilience.wasted_bits", wasted_bits);
+        if rec.level() >= Level::Summary {
+            rec.record(Event::Skip {
+                segment,
+                t_sec: self.clock_sec,
+                blackout_sec,
+                attempts,
+            });
+        }
         DownloadOutcome::Skipped {
             request_time_sec,
             wait_sec,

@@ -143,11 +143,13 @@ impl Bench {
 
     /// Prints the results as an aligned table to stdout.
     pub fn print_table(&self) {
+        // lint:allow(no-println-in-lib, "the bench table is CLI output by contract; support cannot depend on obs (dependency cycle)")
         println!(
             "{:<32} {:>12} {:>12} {:>12} {:>6}",
             "benchmark", "median", "p95", "min", "iters"
         );
         for r in &self.results {
+            // lint:allow(no-println-in-lib, "the bench table is CLI output by contract; support cannot depend on obs (dependency cycle)")
             println!("{}", r.row());
         }
     }

@@ -1,7 +1,7 @@
 //! Seeded chaos scenario: a mid-stream radio blackout plus a fault storm.
 //!
 //! ```sh
-//! cargo run --release --example chaos_run [Nexus5X|Pixel3|GalaxyS20] [--storm]
+//! cargo run --release --example chaos_run [Nexus5X|Pixel3|GalaxyS20] [--storm] [--obs]
 //! ```
 //!
 //! Streams the paper's `Ours` scheme over LTE trace 2 with a 10 s
@@ -17,10 +17,19 @@
 //!
 //! Exits non-zero if any of those fail — `scripts/ci.sh` runs this once
 //! per phone profile as its fault-injection smoke stage.
+//!
+//! With `--obs` the same scenario additionally runs with a live
+//! [`ee360::obs::Recorder`] at `Detail` level and verifies the
+//! observability contract: the recorder is write-only (traced metrics are
+//! byte-identical to untraced), the registry reconciles *exactly* with
+//! the end-of-run resilience counters and session aggregates, two
+//! same-seed traces serialize byte-identically, and the exported
+//! `results/obs_report.json` re-parses with every required key present.
+//! `scripts/ci.sh` runs this as its observability smoke stage.
 
 use ee360::abr::controller::Scheme;
 use ee360::cluster::ptile::PtileConfig;
-use ee360::core::client::{run_session_resilient, SessionSetup};
+use ee360::core::client::{run_session_resilient_traced, SessionSetup};
 use ee360::core::server::VideoServer;
 use ee360::geom::grid::TileGrid;
 use ee360::power::model::Phone;
@@ -46,6 +55,14 @@ fn parse_phone(arg: &str) -> Option<Phone> {
 }
 
 fn chaos_metrics(phone: Phone, faults: &FaultPlan) -> SessionMetrics {
+    chaos_metrics_traced(phone, faults, &mut ee360::obs::NoopRecorder)
+}
+
+fn chaos_metrics_traced(
+    phone: Phone,
+    faults: &FaultPlan,
+    rec: &mut dyn ee360::obs::Record,
+) -> SessionMetrics {
     let catalog = VideoCatalog::paper_default();
     let spec = catalog.video(2).expect("catalog has video 2");
     let traces = VideoTraces::generate(spec, 10, SEED, GazeConfig::default());
@@ -65,7 +82,136 @@ fn chaos_metrics(phone: Phone, faults: &FaultPlan) -> SessionMetrics {
         phone,
         max_segments: Some(SEGMENTS),
     };
-    run_session_resilient(Scheme::Ours, &setup, faults, &RetryPolicy::default_mobile())
+    run_session_resilient_traced(
+        Scheme::Ours,
+        &setup,
+        faults,
+        &RetryPolicy::default_mobile(),
+        rec,
+    )
+}
+
+/// Runs the observability smoke: live recording, exact reconciliation
+/// against the session aggregates, byte-identical same-seed traces, and
+/// an exported report that re-parses with all required keys. Appends any
+/// violations to `failures`.
+fn obs_smoke(phone: Phone, faults: &FaultPlan, untraced_json: &str, failures: &mut Vec<String>) {
+    use ee360::obs::{export, profile, Level, Recorder};
+
+    // Wall-clock stage timers are opt-in (`EE360_OBS_PROFILE=1`); they
+    // feed `profile.*` histograms in the report but never the event
+    // trace, so the byte-identical replay check below survives them.
+    let profiling = profile::profiling_from_env();
+    let mut rec = Recorder::new(Level::Detail).with_profiling(profiling);
+    let metrics = chaos_metrics_traced(phone, faults, &mut rec);
+    let traced_json = to_string(&metrics).expect("metrics serialize");
+    if traced_json != untraced_json {
+        failures.push("recorder is not write-only: traced metrics diverged from untraced".into());
+    }
+
+    // Exact reconciliation: every obs counter/histogram mirrors a
+    // ResilienceCounters bump at the same statement with the same value,
+    // and sums accumulate in the same order — so `==`, not "approx".
+    let r = *metrics.resilience();
+    let reg = rec.registry();
+    let counter_pairs: [(&str, u64); 10] = [
+        ("resilience.attempts", r.attempts as u64),
+        ("resilience.retries", r.retries as u64),
+        ("resilience.timeouts", r.timeouts as u64),
+        ("resilience.losses", r.losses as u64),
+        ("resilience.corruptions", r.corruptions as u64),
+        ("resilience.abandons", r.abandons as u64),
+        ("resilience.decoder_failures", r.decoder_failures as u64),
+        ("resilience.skipped_segments", r.skipped_segments as u64),
+        ("resilience.degraded_segments", r.degraded_segments as u64),
+        ("resilience.degraded_rungs", r.degraded_rungs as u64),
+    ];
+    for (name, expected) in counter_pairs {
+        let got = reg.counter(name);
+        if got != expected {
+            failures.push(format!("obs counter {name}={got} != counters {expected}"));
+        }
+    }
+    let hist_pairs: [(&str, f64); 6] = [
+        ("resilience.backoff_sec", r.backoff_sec),
+        ("resilience.blackout_sec", r.blackout_sec),
+        ("resilience.recovery_sec", r.recovery_sec),
+        ("resilience.wasted_bits", r.wasted_bits),
+        ("session.stall_sec", metrics.total_stall_sec()),
+        (
+            "energy.transmission_mj",
+            metrics.energy_breakdown_mj().transmission_mj,
+        ),
+    ];
+    for (name, expected) in hist_pairs {
+        let got = reg.hist_sum(name);
+        if got.to_bits() != expected.to_bits() {
+            failures.push(format!(
+                "obs histogram {name} sum {got} != aggregate {expected} (bit-exact)"
+            ));
+        }
+    }
+    let energy_obs = reg.hist_sum("energy.transmission_mj")
+        + reg.hist_sum("energy.decode_mj")
+        + reg.hist_sum("energy.render_mj");
+    if (energy_obs - metrics.total_energy_mj()).abs() > 1e-9 {
+        failures.push(format!(
+            "obs energy total {energy_obs} != session {}",
+            metrics.total_energy_mj()
+        ));
+    }
+
+    // Same-seed trace replay: byte-identical JSONL (profiling off).
+    let mut rec2 = Recorder::new(Level::Detail).with_profiling(profiling);
+    let _ = chaos_metrics_traced(phone, faults, &mut rec2);
+    let trace_a = rec.trace_jsonl().expect("trace serializes");
+    let trace_b = rec2.trace_jsonl().expect("trace serializes");
+    if trace_a != trace_b {
+        failures.push("same-seed obs traces are not byte-identical".into());
+    }
+
+    // Export, then re-parse the artifacts the way a dashboard would.
+    export::write_report("results/obs_report.json", &rec).expect("write obs report");
+    export::write_trace("results/obs_trace.jsonl", &rec).expect("write obs trace");
+    let report_text = std::fs::read_to_string("results/obs_report.json").expect("report readable");
+    match ee360_support::json::parse(&report_text) {
+        Ok(report) => {
+            for key in [
+                "schema",
+                "level",
+                "events_recorded",
+                "events_dropped",
+                "spans",
+                "metrics",
+            ] {
+                if report.get(key).is_none() {
+                    failures.push(format!("obs report is missing required key {key:?}"));
+                }
+            }
+            if report
+                .get("schema")
+                .and_then(ee360_support::json::Json::as_str)
+                != Some(export::REPORT_SCHEMA)
+            {
+                failures.push("obs report schema tag mismatch".into());
+            }
+        }
+        Err(e) => failures.push(format!("obs report does not re-parse: {e}")),
+    }
+
+    println!("\nobservability:");
+    println!(
+        "  profiling          {}",
+        if profiling { "on" } else { "off" }
+    );
+    println!("  events recorded    {}", rec.events_len());
+    println!("  events dropped     {}", rec.dropped());
+    println!(
+        "  trace bytes        {} (byte-identical replay)",
+        trace_a.len()
+    );
+    println!("  report             results/obs_report.json");
+    println!("  trace              results/obs_trace.jsonl");
 }
 
 fn main() {
@@ -75,6 +221,7 @@ fn main() {
         .find_map(|a| parse_phone(a))
         .unwrap_or(Phone::Pixel3);
     let storm = args.iter().any(|a| a == "--storm");
+    let obs = args.iter().any(|a| a == "--obs");
 
     // The headline scenario: a 10 s dead radio starting at t = 30.
     let mut faults = FaultPlan::single_outage(30.0, 10.0);
@@ -85,7 +232,7 @@ fn main() {
             FaultPlan::generate(FaultConfig::chaos_default(), 400.0, SEED).and_outage(30.0, 10.0);
     }
 
-    println!("chaos run: phone={phone:?} storm={storm} segments={SEGMENTS} seed={SEED}",);
+    println!("chaos run: phone={phone:?} storm={storm} obs={obs} segments={SEGMENTS} seed={SEED}",);
     println!(
         "fault plan: {} scheduled event(s), {:.1} s total outage",
         faults.events().len(),
@@ -118,6 +265,10 @@ fn main() {
     let json_b = to_string(&replay).expect("metrics serialize");
     if json_a != json_b {
         failures.push("same-seed replays diverged: metrics JSON not byte-identical".into());
+    }
+
+    if obs {
+        obs_smoke(phone, &faults, &json_a, &mut failures);
     }
 
     println!("\nresilience counters:");

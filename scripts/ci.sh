@@ -28,14 +28,28 @@ for phone in Nexus5X Pixel3 GalaxyS20; do
   cargo run --release --offline --example chaos_run -- "${phone}"
 done
 
+echo "==> observability smoke (instrumented chaos run, offline + deterministic)"
+# The same seeded scenario with a live Detail-level recorder. The example
+# exits non-zero unless the registry reconciles *exactly* with the
+# end-of-run resilience counters and session aggregates, two same-seed
+# traces are byte-identical, and results/obs_report.json re-parses with
+# every required key (schema/level/events/spans/metrics) present.
+cargo run --release --offline --example chaos_run -- Pixel3 --obs
+for key in schema level events_recorded events_dropped spans metrics; do
+  grep -q "\"${key}\"" results/obs_report.json \
+    || { echo "obs report missing key: ${key}" >&2; exit 1; }
+done
+
 echo "==> perf smoke (non-blocking: tracked baseline, quick mode)"
-# Emits BENCH_perf.json (repo root) and results/bench_perf.json with the
-# solver plans/sec, session and quick-sweep wall times, and their
+# Emits BENCH_perf.json (repo root) — the single canonical output — with
+# the solver plans/sec, session and quick-sweep wall times, and their
 # canary-normalised speedups vs the pinned seed figures. Perf drift is a
 # tracked signal, not a gate: a loaded CI box must not fail the build,
-# so a non-zero exit here only warns.
+# so a non-zero exit here only warns. The results/ copy below exists
+# purely for artifact collection; the root file is the source of truth.
 if EE360_BENCH_QUICK=1 cargo run --release --offline -p ee360-bench --bin perf_baseline; then
-  echo "perf smoke: wrote BENCH_perf.json and results/bench_perf.json"
+  cp BENCH_perf.json results/bench_perf.json
+  echo "perf smoke: wrote BENCH_perf.json (copied to results/bench_perf.json)"
 else
   echo "WARNING: perf smoke failed (non-blocking)" >&2
 fi

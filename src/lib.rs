@@ -16,6 +16,8 @@
 //! * [`geom`] — spherical/equirectangular geometry,
 //! * [`numeric`] — small dense linear algebra, ridge regression,
 //!   Levenberg–Marquardt, statistics,
+//! * [`obs`] — deterministic structured tracing, metrics registry, and
+//!   opt-in per-stage profiling,
 //! * [`trace`] — synthetic head-movement and LTE network traces,
 //! * [`video`] — segments, encoding ladder, SI/TI content model, tile and
 //!   Ptile size model,
@@ -34,6 +36,7 @@ pub use ee360_cluster as cluster;
 pub use ee360_core as core;
 pub use ee360_geom as geom;
 pub use ee360_numeric as numeric;
+pub use ee360_obs as obs;
 pub use ee360_power as power;
 pub use ee360_predict as predict;
 pub use ee360_qoe as qoe;

@@ -8,16 +8,19 @@
 
 use ee360::abr::controller::Scheme;
 use ee360::cluster::ptile::PtileConfig;
-use ee360::core::client::{run_session, SessionSetup};
+use ee360::core::client::{run_session, run_session_resilient_traced, SessionSetup};
 use ee360::core::experiment::{Evaluation, ExperimentConfig};
 use ee360::core::server::VideoServer;
 use ee360::geom::grid::TileGrid;
+use ee360::obs::{export, Level, Recorder};
 use ee360::power::model::Phone;
+use ee360::sim::resilience::RetryPolicy;
 use ee360::trace::dataset::{Dataset, VideoTraces};
+use ee360::trace::fault::{FaultConfig, FaultPlan};
 use ee360::trace::head::{GazeConfig, HeadTraceGenerator};
 use ee360::trace::network::NetworkTrace;
 use ee360::video::catalog::VideoCatalog;
-use ee360_support::json::to_string;
+use ee360_support::json::{to_string, to_string_pretty};
 
 /// Two head-trace generations from the same seed serialize to the same
 /// bytes — not just `==`, byte-identical JSON.
@@ -99,4 +102,73 @@ fn end_to_end_evaluation_json_is_byte_identical() {
         to_string(&outcomes).expect("outcomes serialize")
     };
     assert_eq!(run(), run());
+}
+
+/// Runs one instrumented chaos session and returns its recorder plus the
+/// serialized session metrics. Profiling stays off: wall-clock timers are
+/// the one sanctioned nondeterminism and must never leak into replays.
+fn traced_chaos_run(level: Level) -> (Recorder, String) {
+    let catalog = VideoCatalog::paper_default();
+    let spec = catalog.video(2).unwrap();
+    let traces = VideoTraces::generate(spec, 10, 5, GazeConfig::default());
+    let refs: Vec<_> = traces.traces().iter().collect();
+    let server = VideoServer::prepare(
+        spec,
+        &refs[..8],
+        TileGrid::paper_default(),
+        PtileConfig::paper_default(),
+    );
+    let network = NetworkTrace::paper_trace2(400, 5);
+    let user = traces.traces().last().unwrap();
+    let setup = SessionSetup {
+        server: &server,
+        user,
+        network: &network,
+        phone: Phone::Pixel3,
+        max_segments: Some(40),
+    };
+    let faults = FaultPlan::generate(FaultConfig::chaos_default(), 400.0, 77).and_outage(30.0, 8.0);
+    let mut rec = Recorder::new(level);
+    let metrics = run_session_resilient_traced(
+        Scheme::Ours,
+        &setup,
+        &faults,
+        &RetryPolicy::default_mobile(),
+        &mut rec,
+    );
+    let json = to_string(&metrics).expect("metrics serialize");
+    (rec, json)
+}
+
+/// Observability extends the replay policy: with profiling off, the same
+/// seed produces a byte-identical serialized event trace *and* a
+/// byte-identical aggregate report (registry, span tree, accounting).
+#[test]
+fn obs_trace_and_report_are_byte_identical_across_replays() {
+    let (rec_a, _) = traced_chaos_run(Level::Detail);
+    let (rec_b, _) = traced_chaos_run(Level::Detail);
+    assert!(rec_a.events_len() > 0, "chaos must record events");
+    let trace_a = rec_a.trace_jsonl().expect("trace serializes");
+    let trace_b = rec_b.trace_jsonl().expect("trace serializes");
+    assert_eq!(trace_a, trace_b, "same seed must yield one trace");
+    let report_a = to_string_pretty(&export::report_json(&rec_a)).expect("report serializes");
+    let report_b = to_string_pretty(&export::report_json(&rec_b)).expect("report serializes");
+    assert_eq!(report_a, report_b);
+}
+
+/// Recording is observation, not participation: the simulation output is
+/// byte-identical whether the session runs silent (`Level::Off` recorder,
+/// which keeps nothing) or fully instrumented at `Detail`.
+#[test]
+fn recording_level_never_changes_the_simulation() {
+    let (rec_off, json_off) = traced_chaos_run(Level::Off);
+    let (rec_detail, json_detail) = traced_chaos_run(Level::Detail);
+    assert_eq!(json_off, json_detail, "recorder must be write-only");
+    assert_eq!(rec_off.events_len(), 0, "Off keeps nothing");
+    assert!(rec_detail.events_len() > 0);
+    // Summary is a strict subset of Detail — filtering drops events, it
+    // never alters the run.
+    let (rec_summary, json_summary) = traced_chaos_run(Level::Summary);
+    assert_eq!(json_summary, json_detail);
+    assert!(rec_summary.events_len() < rec_detail.events_len());
 }
