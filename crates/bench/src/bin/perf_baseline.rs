@@ -32,7 +32,10 @@ use ee360_abr::reference::solve_reference;
 use ee360_core::client::{run_session, SessionSetup};
 use ee360_core::experiment::{Evaluation, ExperimentConfig};
 use ee360_core::parallel::{default_threads, run_matrix};
+use ee360_sim::fleet::{run_scale_fleet, FleetConfig};
 use ee360_support::json::{to_string_pretty, Json};
+use ee360_trace::fault::{FaultConfig, FaultPlan};
+use ee360_trace::network::NetworkTrace;
 use ee360_video::catalog::VideoCatalog;
 use ee360_video::content::SiTi;
 
@@ -174,6 +177,32 @@ fn main() {
     println!("quick sweep @1:      {sweep_1:.2} ms (seed {SEED_SWEEP_MS:.2} ms)");
     println!("quick sweep @{threads}:      {sweep_n:.2} ms");
 
+    // --- fleet scaling: the event-driven scale fleet (sim::fleet) -------
+    // Quick mode runs 20k sessions; full mode the ROADMAP's 1M-session
+    // target, streamed through bounded shard waves (no per-session metric
+    // vectors), so peak memory stays flat regardless of fleet size.
+    let fleet_sessions: usize = if quick { 20_000 } else { 1_000_000 };
+    let fleet_segments: usize = 10;
+    let fleet_network = NetworkTrace::paper_trace2(300, 11);
+    let fleet_faults =
+        FaultPlan::generate(FaultConfig::chaos_default(), 300.0, 42).and_outage(40.0, 6.0);
+    let fleet_config = FleetConfig::new(fleet_sessions, fleet_segments, 2022).with_threads(threads);
+    let t = Instant::now();
+    let (fleet_report, _fleet_stats) = run_scale_fleet(
+        &fleet_config,
+        &fleet_network,
+        &fleet_faults,
+        &mut ee360_obs::NoopRecorder,
+    );
+    let fleet_sec = t.elapsed().as_secs_f64();
+    let fleet_sessions_per_sec = fleet_sessions as f64 / fleet_sec;
+    let fleet_segments_per_sec = fleet_report.segments as f64 / fleet_sec;
+    std::hint::black_box(&fleet_report);
+    println!(
+        "fleet:               {fleet_sessions} sessions x {fleet_segments} segs in {fleet_sec:.2} s \
+         ({fleet_sessions_per_sec:.0} sessions/s, {fleet_segments_per_sec:.0} segments/s)"
+    );
+
     // The reference solver is the seed algorithm, live-measured: its
     // throughput relative to the pinned figure tells us how fast this
     // machine is right now versus when the seed was pinned.
@@ -251,6 +280,20 @@ fn main() {
                     "speedup_vs_seed_n_threads_raw",
                     Json::Num(sweep_speedup_n_raw),
                 ),
+            ]),
+        ),
+        (
+            "fleet",
+            obj(vec![
+                ("sessions", Json::Int(fleet_sessions as i64)),
+                ("segments_per_session", Json::Int(fleet_segments as i64)),
+                ("segments_total", Json::Int(fleet_report.segments as i64)),
+                ("threads", Json::Int(threads as i64)),
+                ("wall_sec", Json::Num(fleet_sec)),
+                ("sessions_per_sec", Json::Num(fleet_sessions_per_sec)),
+                ("segments_per_sec", Json::Num(fleet_segments_per_sec)),
+                ("mean_qoe", Json::Num(fleet_report.mean_qoe)),
+                ("skipped", Json::Int(fleet_report.skipped as i64)),
             ]),
         ),
     ]);

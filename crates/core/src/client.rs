@@ -12,11 +12,18 @@
 //!    models) and QoE (Eq. 2, from what the user *actually* looked at —
 //!    a missed prediction shows the low-quality background, not the
 //!    high-quality Ptile).
+//!
+//! The session is factored as a [`SessionRunner`] state machine
+//! (plan → step → book) so the event-driven fleet engine
+//! ([`crate::fleet`]) can interleave many sessions on one event queue
+//! while executing the very same statements as the classic loop —
+//! [`run_session_traced`] is the runner driven in a tight loop.
 
 use ee360_abr::baselines::RateBasedController;
 use ee360_abr::controller::{Controller, Scheme};
 use ee360_abr::mpc::{MpcConfig, MpcController};
 use ee360_abr::plan::{SegmentContext, SegmentPlan};
+use ee360_geom::grid::TileGrid;
 use ee360_geom::region::TileRegion;
 use ee360_geom::switching::SwitchingSample;
 use ee360_geom::viewport::{ViewCenter, Viewport};
@@ -30,7 +37,7 @@ use ee360_qoe::framerate::{alpha, framerate_factor};
 use ee360_qoe::impairment::{QoeWeights, SegmentQoe};
 use ee360_qoe::quality::QoModel;
 use ee360_sim::metrics::{SegmentRecord, SessionMetrics};
-use ee360_sim::resilience::{DownloadOutcome, ResilientSession, RetryPolicy};
+use ee360_sim::resilience::{DownloadOutcome, DownloadState, ResilientSession, RetryPolicy};
 use ee360_sim::session::SegmentTiming;
 use ee360_trace::fault::FaultPlan;
 use ee360_trace::head::HeadTrace;
@@ -193,60 +200,175 @@ pub fn run_session_traced(
     policy: &RetryPolicy,
     rec: &mut dyn Record,
 ) -> SessionMetrics {
-    assert_eq!(
-        setup.user.video_id(),
-        setup.server.video_id(),
-        "user trace and server must describe the same video"
-    );
-    let scheme = controller.scheme();
-    let power = PowerModel::for_phone(setup.phone);
-    let qo_model = QoModel::paper_default();
-    let weights = QoeWeights::paper_default();
-    let predictor = ViewportPredictor::paper_default();
-    let mut bw_estimator = HarmonicMeanEstimator::paper_default();
-    let mut session = ResilientSession::new(setup.network.clone(), faults.clone(), *policy, 3.0);
-    let mut metrics = SessionMetrics::new();
+    let mut runner = SessionRunner::new(controller.scheme(), setup, faults, policy);
+    runner.start(rec);
+    while runner.plan_segment(controller, rec) {
+        while runner.step_download(controller, rec).is_none() {}
+    }
+    runner.finish(rec)
+}
 
-    let grid = *setup.server.grid();
-    let samples = setup.user.switching_samples();
-    let timeline = setup.server.timeline();
-    let horizon = 5usize;
-    let n = setup
-        .max_segments
-        .map_or(setup.server.segment_count(), |m| {
-            m.min(setup.server.segment_count())
+/// The in-flight download a [`SessionRunner`] is waiting on: the plan,
+/// the lazily grown degradation ladder, and the planning-time context the
+/// booking phase needs once the outcome lands.
+struct PendingDownload {
+    ctx: SegmentContext,
+    plan: SegmentPlan,
+    rung_plans: Vec<SegmentPlan>,
+    st: DownloadState,
+    /// Buffer level read at the top of the segment iteration.
+    buffer: f64,
+    predicted: ViewCenter,
+    observed_s_fov: f64,
+    ptile_region: Option<TileRegion>,
+    ftile_selection: Option<(Vec<usize>, f64)>,
+    download_timer: StageTimer,
+}
+
+/// One session decomposed into resumable phases: `start` (startup
+/// metadata fetch), then per segment `plan_segment` (prediction, Ptile
+/// lookup, bandwidth estimate, controller decision, download open)
+/// followed by `step_download` until the outcome lands and is booked.
+///
+/// [`run_session_traced`] drives the runner in a tight loop; the
+/// event-driven fleet engine interleaves many runners on one queue. Both
+/// execute the same statements in the same per-session order, which is
+/// why their outputs are bit-identical.
+pub struct SessionRunner<'a> {
+    setup: SessionSetup<'a>,
+    scheme: Scheme,
+    power: PowerModel,
+    qo_model: QoModel,
+    weights: QoeWeights,
+    predictor: ViewportPredictor,
+    bw_estimator: HarmonicMeanEstimator,
+    session: ResilientSession,
+    metrics: SessionMetrics,
+    grid: TileGrid,
+    horizon: usize,
+    n: usize,
+    q1_bitrate: f64,
+    prev_qo: Option<f64>,
+    prev_decode: Option<ee360_power::model::DecoderScheme>,
+    k: usize,
+    pending: Option<PendingDownload>,
+}
+
+impl<'a> SessionRunner<'a> {
+    /// Builds the runner (controller state lives outside, passed to each
+    /// phase, so one driver can own both without self-references).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the user's trace belongs to a different video than the
+    /// server.
+    pub fn new(
+        scheme: Scheme,
+        setup: &SessionSetup<'a>,
+        faults: &FaultPlan,
+        policy: &RetryPolicy,
+    ) -> Self {
+        assert_eq!(
+            setup.user.video_id(),
+            setup.server.video_id(),
+            "user trace and server must describe the same video"
+        );
+        let session = ResilientSession::new(setup.network.clone(), faults.clone(), *policy, 3.0);
+        let horizon = 5usize;
+        let n = setup
+            .max_segments
+            .map_or(setup.server.segment_count(), |m| {
+                m.min(setup.server.segment_count())
+            });
+        let q1_bitrate =
+            ee360_abr::sizer::SchemeSizer::paper_default().effective_bitrate_mbps(QualityLevel::Q1);
+        Self {
+            setup: *setup,
+            scheme,
+            power: PowerModel::for_phone(setup.phone),
+            qo_model: QoModel::paper_default(),
+            weights: QoeWeights::paper_default(),
+            predictor: ViewportPredictor::paper_default(),
+            bw_estimator: HarmonicMeanEstimator::paper_default(),
+            session,
+            metrics: SessionMetrics::new(),
+            grid: *setup.server.grid(),
+            horizon,
+            n,
+            q1_bitrate,
+            prev_qo: None,
+            prev_decode: None,
+            k: 0,
+            pending: None,
+        }
+    }
+
+    /// Startup: fetch the manifests of the first H segments (Section IV-C
+    /// step (a)) before the first media request. ~16 kB per segment of
+    /// representation metadata. Under faults the fetch rides the same
+    /// timeout/backoff machinery; if even that fails the session proceeds
+    /// with the time (and radio energy) burned.
+    pub fn start(&mut self, rec: &mut dyn Record) {
+        let metadata_bits = 128_000.0 * self.horizon as f64;
+        rec.span_open("session", self.session.clock_sec());
+        rec.span_open("startup", self.session.clock_sec());
+        let clock_before_metadata = self.session.clock_sec();
+        let _ = self.session.fetch_metadata_traced(metadata_bits, rec);
+        let metadata_sec = self.session.clock_sec() - clock_before_metadata;
+        let startup_energy_mj = self.power.transmission_power_mw() * metadata_sec;
+        self.metrics.set_startup(ee360_sim::metrics::StartupRecord {
+            bits: metadata_bits,
+            duration_sec: metadata_sec,
+            energy_mj: startup_energy_mj,
         });
+        // The startup fetch counts as transmission energy and is added first
+        // in `SessionMetrics::energy_breakdown_mj`; observing it first keeps
+        // the histogram sum bit-identical to that aggregate.
+        rec.observe("energy.transmission_mj", startup_energy_mj);
+        rec.span_close(self.session.clock_sec());
+    }
 
-    let q1_bitrate =
-        ee360_abr::sizer::SchemeSizer::paper_default().effective_bitrate_mbps(QualityLevel::Q1);
+    /// Current wall-clock time of the underlying session, seconds.
+    pub fn clock_sec(&self) -> f64 {
+        self.session.clock_sec()
+    }
 
-    // Startup: fetch the manifests of the first H segments (Section IV-C
-    // step (a)) before the first media request. ~16 kB per segment of
-    // representation metadata. Under faults the fetch rides the same
-    // timeout/backoff machinery; if even that fails the session proceeds
-    // with the time (and radio energy) burned.
-    let metadata_bits = 128_000.0 * horizon as f64;
-    rec.span_open("session", session.clock_sec());
-    rec.span_open("startup", session.clock_sec());
-    let clock_before_metadata = session.clock_sec();
-    let _ = session.fetch_metadata_traced(metadata_bits, rec);
-    let metadata_sec = session.clock_sec() - clock_before_metadata;
-    let startup_energy_mj = power.transmission_power_mw() * metadata_sec;
-    metrics.set_startup(ee360_sim::metrics::StartupRecord {
-        bits: metadata_bits,
-        duration_sec: metadata_sec,
-        energy_mj: startup_energy_mj,
-    });
-    // The startup fetch counts as transmission energy and is added first
-    // in `SessionMetrics::energy_breakdown_mj`; observing it first keeps
-    // the histogram sum bit-identical to that aggregate.
-    rec.observe("energy.transmission_mj", startup_energy_mj);
-    rec.span_close(session.clock_sec());
+    /// Index of the segment currently planned or about to be planned.
+    pub fn segment_index(&self) -> usize {
+        self.k
+    }
 
-    let mut prev_qo: Option<f64> = None;
-    let mut prev_decode: Option<ee360_power::model::DecoderScheme> = None;
-    for k in 0..n {
-        let buffer = session.buffer_level_sec();
+    /// Number of segment slots this session will run.
+    pub fn segment_count(&self) -> usize {
+        self.n
+    }
+
+    /// `true` while a download opened by [`Self::plan_segment`] has not
+    /// yet produced its outcome.
+    pub fn in_flight(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Plans the next segment (phases 1–4: prediction, Ptile/Ftile
+    /// lookup, bandwidth estimate, controller decision) and opens its
+    /// download. Returns `false` when every segment slot has been
+    /// consumed — time to [`Self::finish`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a download is already in flight.
+    pub fn plan_segment(&mut self, controller: &mut dyn Controller, rec: &mut dyn Record) -> bool {
+        assert!(
+            self.pending.is_none(),
+            "plan_segment while a download is in flight"
+        );
+        if self.k >= self.n {
+            return false;
+        }
+        let k = self.k;
+        let buffer = self.session.buffer_level_sec();
+        let samples = self.setup.user.switching_samples();
+        let timeline = self.setup.server.timeline();
         // --- 1. viewport prediction from the playback-time history -----
         // Trace samples are strictly increasing in time, so the 2 s gaze
         // window is a contiguous run: two binary searches replace the
@@ -255,7 +377,8 @@ pub fn run_session_traced(
         let lo = samples.partition_point(|s| s.t_sec < playback_pos - 2.0);
         let hi = samples.partition_point(|s| s.t_sec <= playback_pos + 1e-9);
         let history: &[SwitchingSample] = &samples[lo..hi];
-        let predicted = predictor
+        let predicted = self
+            .predictor
             .predict(history, buffer.max(0.0))
             .unwrap_or_else(|| samples.first().map(|s| s.center).unwrap_or_default());
         // The controller plans frame-rate reduction around the *fast*
@@ -264,7 +387,7 @@ pub fn run_session_traced(
         let observed_s_fov = fast_switching_speed(history);
 
         // --- 2. Ptile lookup ------------------------------------------
-        let covering = setup.server.covering_ptile(k, predicted);
+        let covering = self.setup.server.covering_ptile(k, predicted);
         let (ptile_available, ptile_area, bg_blocks, ptile_region) = match covering {
             Some((p, area, bg)) => (true, area, bg, Some(p.region)),
             None => (false, 0.0, 0, None),
@@ -275,8 +398,8 @@ pub fn run_session_traced(
         // layout walk; their context carries the same `(0, 0.0)` the
         // selection-less path always produced.
         let predicted_vp = Viewport::new(predicted, 100.0, 100.0);
-        let ftile_selection = if scheme == Scheme::Ftile {
-            setup
+        let ftile_selection = if self.scheme == Scheme::Ftile {
+            self.setup
                 .server
                 .ftile_layout(k)
                 .map(|layout| layout.tiles_for_viewport(&predicted_vp))
@@ -293,12 +416,13 @@ pub fn run_session_traced(
         // startup phase (metadata fetch, Section IV-C) gives the client a
         // rough initial figure — we use a conservative 70% of the first
         // trace sample.
-        let bw_est = bw_estimator
+        let bw_est = self
+            .bw_estimator
             .estimate()
-            .unwrap_or_else(|| 0.7 * setup.network.bandwidth_at(0.0));
+            .unwrap_or_else(|| 0.7 * self.setup.network.bandwidth_at(0.0));
 
         // --- 4. controller decision ------------------------------------
-        let upcoming: Vec<_> = (k..k + horizon)
+        let upcoming: Vec<_> = (k..k + self.horizon)
             .map(|i| {
                 timeline
                     .segment(i.min(timeline.len() - 1))
@@ -307,7 +431,6 @@ pub fn run_session_traced(
                     .si_ti
             })
             .collect();
-        let content = upcoming[0];
         let ctx = SegmentContext {
             index: k,
             upcoming,
@@ -320,7 +443,7 @@ pub fn run_session_traced(
             ftile_fov_area,
             ftile_fov_tiles,
         };
-        rec.span_open("segment", session.clock_sec());
+        rec.span_open("segment", self.session.clock_sec());
         let stats_before = controller.solver_stats();
         let solver_timer = StageTimer::start(rec.profiling());
         let plan = controller.plan(&ctx);
@@ -347,7 +470,7 @@ pub fn run_session_traced(
             rec.count("mpc.states_expanded", delta.states_expanded);
             rec.record(Event::SolverPlan {
                 segment: k,
-                t_sec: session.clock_sec(),
+                t_sec: self.session.clock_sec(),
                 quality: plan.quality.index(),
                 fps: plan.fps,
                 bits: plan.bits,
@@ -361,22 +484,82 @@ pub fn run_session_traced(
         // --- 5. download (with retry/abandon/degrade/skip) --------------
         // Rung 0 is the controller's plan; deeper rungs are produced
         // lazily by its replan hook when the pipeline abandons a download.
-        let mut rung_plans: Vec<SegmentPlan> = vec![plan];
+        let rung_plans: Vec<SegmentPlan> = vec![plan];
         let download_timer = StageTimer::start(rec.profiling());
-        let outcome = {
+        let st = self.session.begin_download(k);
+        self.pending = Some(PendingDownload {
+            ctx,
+            plan,
+            rung_plans,
+            st,
+            buffer,
+            predicted,
+            observed_s_fov,
+            ptile_region,
+            ftile_selection,
+            download_timer,
+        });
+        true
+    }
+
+    /// Runs one attempt of the open download. `None` means it is still
+    /// in flight — call again (the event engine schedules the next event
+    /// here). `Some(outcome)` means the segment finished and its energy,
+    /// QoE and metrics record have been booked; the runner has advanced
+    /// to the next segment slot.
+    pub fn step_download(
+        &mut self,
+        controller: &mut dyn Controller,
+        rec: &mut dyn Record,
+    ) -> Option<DownloadOutcome> {
+        let Some(mut pending) = self.pending.take() else {
+            return None;
+        };
+        let stepped = {
+            let PendingDownload {
+                ctx,
+                plan,
+                rung_plans,
+                st,
+                ..
+            } = &mut pending;
             let mut request = |rung: usize| {
                 while rung_plans.len() <= rung {
-                    let next = controller.replan_degraded(&ctx, &plan, rung_plans.len());
+                    let next = controller.replan_degraded(ctx, plan, rung_plans.len());
                     rung_plans.push(next);
                 }
                 rung_plans[rung].bits
             };
-            session.download_segment_traced(k, &mut request, rec)
+            self.session.step_download(st, &mut request, rec)
         };
+        let Some(outcome) = stepped else {
+            // Still in flight: put the download back and wait for the
+            // next step.
+            self.pending = Some(pending);
+            return None;
+        };
+        let download_timer =
+            std::mem::replace(&mut pending.download_timer, StageTimer::start(false));
         if let Some(dt) = download_timer.stop() {
             rec.observe("profile.download_wall_sec", dt);
         }
+        self.book_outcome(pending, outcome, controller, rec);
+        self.k += 1;
+        Some(outcome)
+    }
 
+    /// Phase 6: books energy (Eq. 1) and QoE (Eq. 2) for a finished
+    /// download and pushes the segment record.
+    fn book_outcome(
+        &mut self,
+        pending: PendingDownload,
+        outcome: DownloadOutcome,
+        controller: &mut dyn Controller,
+        rec: &mut dyn Record,
+    ) {
+        let k = self.k;
+        let buffer = pending.buffer;
+        let plan = pending.plan;
         let (timing, used_plan, delivered_bits, wasted_bits) = match outcome {
             DownloadOutcome::Delivered {
                 timing,
@@ -385,9 +568,9 @@ pub fn run_session_traced(
                 degraded_rungs,
                 ..
             } => {
-                bw_estimator.observe(timing.throughput_bps);
+                self.bw_estimator.observe(timing.throughput_bps);
                 controller.observe_throughput(timing.throughput_bps);
-                let used = rung_plans[degraded_rungs.min(rung_plans.len() - 1)];
+                let used = pending.rung_plans[degraded_rungs.min(pending.rung_plans.len() - 1)];
                 (timing, used, bits, wasted_bits)
             }
             DownloadOutcome::Skipped {
@@ -408,21 +591,21 @@ pub fn run_session_traced(
                     throughput_bps: 0.0,
                     buffer_at_request_sec: (buffer - wait_sec).max(0.0),
                     stall_sec: (blackout_sec - SEGMENT_DURATION_SEC).max(0.0),
-                    buffer_after_sec: session.buffer_level_sec(),
+                    buffer_after_sec: self.session.buffer_level_sec(),
                 };
                 let energy = SegmentEnergy {
-                    transmission_mj: power.transmission_power_mw() * elapsed_sec,
+                    transmission_mj: self.power.transmission_power_mw() * elapsed_sec,
                     decode_mj: 0.0,
                     render_mj: 0.0,
                 };
                 let qoe = SegmentQoe::evaluate(
-                    weights,
+                    self.weights,
                     0.0,
-                    prev_qo,
+                    self.prev_qo,
                     blackout_sec + timing.buffer_at_request_sec,
                     timing.buffer_at_request_sec,
                 );
-                prev_qo = Some(0.0);
+                self.prev_qo = Some(0.0);
                 rec.observe("session.stall_sec", timing.stall_sec);
                 rec.observe("energy.transmission_mj", energy.transmission_mj);
                 rec.observe("energy.decode_mj", energy.decode_mj);
@@ -431,7 +614,7 @@ pub fn run_session_traced(
                     if timing.stall_sec > 0.0 {
                         rec.record(Event::Stall {
                             segment: k,
-                            t_sec: session.clock_sec(),
+                            t_sec: self.session.clock_sec(),
                             duration_sec: timing.stall_sec,
                         });
                     }
@@ -443,7 +626,7 @@ pub fn run_session_traced(
                         total_mj: energy.total_mj(),
                     });
                 }
-                metrics.push(SegmentRecord {
+                self.metrics.push(SegmentRecord {
                     index: k,
                     quality_level: 0,
                     fps: 0.0,
@@ -453,15 +636,15 @@ pub fn run_session_traced(
                     energy,
                     qoe,
                 });
-                rec.span_close(session.clock_sec());
-                continue;
+                rec.span_close(self.session.clock_sec());
+                return;
             }
         };
 
         // --- 6a. energy (Eq. 1): wasted attempts still cost radio -------
         let book_timer = StageTimer::start(rec.profiling());
         let energy = SegmentEnergy::compute(
-            &power,
+            &self.power,
             SegmentEnergyParams {
                 bits: delivered_bits + wasted_bits,
                 bandwidth_bps: timing.throughput_bps,
@@ -472,18 +655,21 @@ pub fn run_session_traced(
         );
 
         // --- 6b. QoE (Eq. 2) against the ACTUAL gaze --------------------
-        let actual = setup.user.segment_center(k).unwrap_or(predicted);
-        let actual_s_fov = setup
+        let content = pending.ctx.upcoming[0];
+        let predicted = pending.predicted;
+        let actual = self.setup.user.segment_center(k).unwrap_or(predicted);
+        let actual_s_fov = self
+            .setup
             .user
             .segment_fast_switching_speed(k)
-            .unwrap_or(observed_s_fov);
+            .unwrap_or(pending.observed_s_fov);
         let actual_vp = Viewport::new(actual, 100.0, 100.0);
-        let frac = match (scheme, &ptile_region) {
+        let frac = match (self.scheme, &pending.ptile_region) {
             (Scheme::Nontile, _) => 1.0,
             (Scheme::Ftile, _) => {
                 // The Ftile layout knows exactly which blocks the chosen
                 // variable-size tiles cover.
-                match (setup.server.ftile_layout(k), &ftile_selection) {
+                match (self.setup.server.ftile_layout(k), &pending.ftile_selection) {
                     (Some(layout), Some((chosen, _))) => {
                         layout.coverage_fraction(chosen, &actual_vp)
                     }
@@ -493,35 +679,35 @@ pub fn run_session_traced(
             (_, Some(region))
                 if used_plan.decode_scheme == ee360_power::model::DecoderScheme::Ptile =>
             {
-                overlap_fraction(region, &grid, &actual_vp)
+                overlap_fraction(region, &self.grid, &actual_vp)
             }
             _ => {
                 // Conventional tiles were fetched around the *predicted*
                 // center: the quality the user sees depends on how much of
                 // the actual FoV those tiles cover.
-                let predicted_block = grid.fov_block(&Viewport::new(predicted, 100.0, 100.0));
-                let predicted_region = TileRegion::from_tiles(&grid, predicted_block)
+                let predicted_block = self.grid.fov_block(&Viewport::new(predicted, 100.0, 100.0));
+                let predicted_region = TileRegion::from_tiles(&self.grid, predicted_block)
                     // lint:allow(no-panic-paths, "documented invariant: fov_block always yields >= 1 tile")
                     .expect("FoV block is non-empty");
-                overlap_fraction(&predicted_region, &grid, &actual_vp)
+                overlap_fraction(&predicted_region, &self.grid, &actual_vp)
             }
         };
         let a = alpha(actual_s_fov, content.ti());
         let ff = framerate_factor(used_plan.fps, 30.0, a);
-        let qo_hi = qo_model.q_o(content, used_plan.effective_bitrate_mbps) * ff;
-        let qo_lo = qo_model.q_o(content, q1_bitrate);
+        let qo_hi = self.qo_model.q_o(content, used_plan.effective_bitrate_mbps) * ff;
+        let qo_lo = self.qo_model.q_o(content, self.q1_bitrate);
         let qo_eff = frac * qo_hi + (1.0 - frac) * qo_lo;
         // Startup (k = 0) is not a rebuffering event: players display
         // nothing until the first segment arrives.
         let download_for_qoe = if k == 0 { 0.0 } else { timing.download_sec };
         let qoe = SegmentQoe::evaluate(
-            weights,
+            self.weights,
             qo_eff,
-            prev_qo,
+            self.prev_qo,
             download_for_qoe,
             timing.buffer_at_request_sec,
         );
-        prev_qo = Some(qo_eff);
+        self.prev_qo = Some(qo_eff);
         if let Some(dt) = book_timer.stop() {
             rec.observe("profile.booking_wall_sec", dt);
         }
@@ -534,15 +720,15 @@ pub fn run_session_traced(
             if timing.stall_sec > 0.0 {
                 rec.record(Event::Stall {
                     segment: k,
-                    t_sec: session.clock_sec(),
+                    t_sec: self.session.clock_sec(),
                     duration_sec: timing.stall_sec,
                 });
             }
-            if let Some(prev) = prev_decode {
+            if let Some(prev) = self.prev_decode {
                 if prev != used_plan.decode_scheme {
                     rec.record(Event::DecoderSwitch {
                         segment: k,
-                        t_sec: session.clock_sec(),
+                        t_sec: self.session.clock_sec(),
                         from: format!("{prev:?}"),
                         to: format!("{:?}", used_plan.decode_scheme),
                     });
@@ -556,9 +742,9 @@ pub fn run_session_traced(
                 total_mj: energy.total_mj(),
             });
         }
-        prev_decode = Some(used_plan.decode_scheme);
+        self.prev_decode = Some(used_plan.decode_scheme);
 
-        metrics.push(SegmentRecord {
+        self.metrics.push(SegmentRecord {
             index: k,
             quality_level: used_plan.quality.index(),
             fps: used_plan.fps,
@@ -568,12 +754,17 @@ pub fn run_session_traced(
             energy,
             qoe,
         });
-        rec.span_close(session.clock_sec());
+        rec.span_close(self.session.clock_sec());
     }
-    metrics.set_resilience(*session.counters());
-    rec.set_gauge("session.segments", metrics.len() as f64);
-    rec.span_close(session.clock_sec());
-    metrics
+
+    /// Seals the session: stamps the resilience counters, records the
+    /// final gauges, closes the session span and returns the metrics.
+    pub fn finish(mut self, rec: &mut dyn Record) -> SessionMetrics {
+        self.metrics.set_resilience(*self.session.counters());
+        rec.set_gauge("session.segments", self.metrics.len() as f64);
+        rec.span_close(self.session.clock_sec());
+        self.metrics
+    }
 }
 
 /// Convenience: the viewport the user actually saw at a segment.

@@ -147,7 +147,11 @@ ee360_support::impl_json_struct!(SchemeOutcome {
 });
 
 impl SchemeOutcome {
-    fn from_sessions(scheme: Scheme, video_id: usize, sessions: &[SessionMetrics]) -> Self {
+    pub(crate) fn from_sessions(
+        scheme: Scheme,
+        video_id: usize,
+        sessions: &[SessionMetrics],
+    ) -> Self {
         assert!(!sessions.is_empty(), "need at least one session");
         let n = sessions.len() as f64;
         let mean = |f: &dyn Fn(&SessionMetrics) -> f64| sessions.iter().map(f).sum::<f64>() / n;
@@ -395,6 +399,59 @@ impl Evaluation {
             sessions.push(metrics);
         }
         SchemeOutcome::from_sessions(scheme, video_id, &sessions)
+    }
+
+    /// Runs a single evaluation user of a (video, scheme) cell — the
+    /// session-granular work item [`crate::parallel::run_matrix`]
+    /// load-balances over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the video was not prepared or `user` is out of range.
+    pub fn run_user(&self, video_id: usize, scheme: Scheme, user: usize) -> SessionMetrics {
+        let server = self
+            .servers
+            .get(&video_id)
+            // lint:allow(no-panic-paths, "documented panic: run_user() requires a prepared video")
+            .unwrap_or_else(|| panic!("video {video_id} was not prepared"));
+        let users = self.eval_users(video_id);
+        run_session(
+            scheme,
+            &SessionSetup {
+                server,
+                user: &users[user],
+                network: &self.network,
+                phone: self.config.phone,
+                max_segments: self.config.max_segments,
+            },
+        )
+    }
+
+    /// [`Self::run_traced`] on the event-driven fleet engine of
+    /// [`crate::fleet`]: same sessions, same recorder merge order, same
+    /// bytes out — but driven from one logical-time queue sharded across
+    /// [`Self::session_threads`] workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the video was not prepared.
+    pub fn run_fleet_traced(
+        &self,
+        video_id: usize,
+        scheme: Scheme,
+        faults: &FaultPlan,
+        policy: &RetryPolicy,
+        rec: &mut Recorder,
+    ) -> SchemeOutcome {
+        crate::fleet::run_fleet_traced(
+            self,
+            video_id,
+            scheme,
+            faults,
+            policy,
+            self.session_threads,
+            rec,
+        )
     }
 
     /// Runs every scheme for one video.

@@ -32,12 +32,14 @@
 
 pub mod client;
 pub mod experiment;
+pub mod fleet;
 pub mod parallel;
 pub mod report;
 pub mod server;
 
 pub use client::{run_session, run_session_with, SessionSetup};
 pub use experiment::{run_video_scheme, ExperimentConfig, SchemeOutcome};
+pub use fleet::{fleet_sessions_traced, run_fleet_traced, FleetSessionDriver};
 pub use parallel::{default_threads, run_matrix};
 pub use report::{normalize_to, BarChart, TableWriter};
 pub use server::VideoServer;

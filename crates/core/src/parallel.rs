@@ -1,20 +1,27 @@
 //! Parallel sweeps over (video, scheme) cells.
 //!
 //! The full Figs. 9–11 matrix is 8 videos × 5 schemes × 2 traces × 8
-//! users; every cell is independent, so a work-stealing sweep over a
-//! scoped thread pool cuts wall-clock by ~the core count. Results are
-//! returned in deterministic (video, scheme) order regardless of the
-//! execution schedule.
+//! users; every *session* in it is independent, so the sweep is
+//! flattened to (cell, user) work items and load-balanced over a scoped
+//! thread pool at session granularity — a straggler cell (a long video
+//! or an expensive scheme) no longer serialises its whole column behind
+//! one worker, which is what kept the cell-granular sweep flat. Results
+//! are regrouped and returned in deterministic (video, scheme) order
+//! regardless of the execution schedule.
 
 use ee360_abr::controller::Scheme;
+use ee360_sim::metrics::SessionMetrics;
 use ee360_support::parallel::parallel_map_indexed;
 
 use crate::experiment::{Evaluation, SchemeOutcome};
 
-/// Runs every (video, scheme) cell of the matrix across `threads` workers.
+/// Runs every (video, scheme) cell of the matrix across `threads` workers,
+/// partitioning the work at (cell, user) granularity.
 ///
 /// Returns outcomes sorted by `(video, scheme-order)`, identical to what a
-/// sequential double loop would produce.
+/// sequential double loop would produce: sessions are collected in task
+/// order (cell-major, user-minor), so each cell's users aggregate in the
+/// same order as [`Evaluation::run`].
 ///
 /// # Panics
 ///
@@ -31,10 +38,28 @@ pub fn run_matrix(
         .iter()
         .flat_map(|v| schemes.iter().map(move |s| (*v, *s)))
         .collect();
-    parallel_map_indexed(threads, cells.len(), |idx| {
-        let (video, scheme) = cells[idx];
-        eval.run(video, scheme)
-    })
+    // Flatten to session-granular tasks: (video, scheme, user).
+    let tasks: Vec<(usize, Scheme, usize)> = cells
+        .iter()
+        .flat_map(|&(video, scheme)| {
+            (0..eval.eval_users(video).len()).map(move |user| (video, scheme, user))
+        })
+        .collect();
+    let sessions: Vec<SessionMetrics> = parallel_map_indexed(threads, tasks.len(), |idx| {
+        let (video, scheme, user) = tasks[idx];
+        eval.run_user(video, scheme, user)
+    });
+    // Regroup the flat session list back into cells: tasks were emitted
+    // cell-major, so each cell owns a contiguous run of `users` entries.
+    let mut outcomes = Vec::with_capacity(cells.len());
+    let mut cursor = 0usize;
+    for (video, scheme) in cells {
+        let users = eval.eval_users(video).len();
+        let slice = &sessions[cursor..cursor + users];
+        cursor += users;
+        outcomes.push(SchemeOutcome::from_sessions(scheme, video, slice));
+    }
+    outcomes
 }
 
 /// A reasonable worker count for the current machine (logical cores,

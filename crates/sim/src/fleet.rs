@@ -1,0 +1,869 @@
+//! Event-driven fleet engine: many sessions, one logical-time queue.
+//!
+//! The classic engines ([`crate::session`], [`crate::resilience`], the
+//! full client loop in `ee360-core`) run one session to completion in a
+//! tight loop. That is the right *reference* semantics, but it cannot
+//! serve the ROADMAP's million-session studies: it retains per-segment
+//! vectors and walks sessions one at a time. This module supplies the
+//! scale half:
+//!
+//! * a **discrete-event core** — [`drive_sessions`] pops
+//!   [`QueuedEvent`]s (replan, download-complete, fault-fire,
+//!   stall-start/stall-end) off one global binary heap ordered by
+//!   `(time, session, seq)` and dispatches them to [`SessionDriver`]s;
+//! * **deterministic sharding** — [`shard_ranges`] splits the fleet
+//!   into contiguous index ranges driven on the `ee360-support` worker
+//!   pool; sessions never interact, so per-shard queues are
+//!   observationally identical to one global queue, and summaries are
+//!   folded back in user-index order so results are independent of the
+//!   thread count;
+//! * a **compact scale driver** — [`ScaleDriver`] holds O(100 bytes) of
+//!   hot state per session (buffer/clock/counters core, one in-flight
+//!   [`DownloadState`], an RNG handle and scalar accumulators — no
+//!   per-segment vectors) and books energy/QoE through the same
+//!   `ee360-power`/`ee360-qoe` models as the full client.
+//!
+//! **Equivalence argument.** The event engine does not reimplement any
+//! streaming semantics: every event handler calls the *same*
+//! [`SessionCore::begin_download`]/[`SessionCore::step_download`] step
+//! functions the loop engine runs, in the same per-session order (a
+//! session only ever has one outstanding event, so its chain replays its
+//! loop exactly). Cross-session interleaving cannot change per-session
+//! state because sessions share only immutable inputs. Hence per-session
+//! outcomes are bit-identical to the loop engine — which
+//! `tests/fleet_equivalence.rs` pins across the paper matrix.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::ops::Range;
+
+use ee360_obs::Record;
+use ee360_power::energy::{SegmentEnergy, SegmentEnergyParams};
+use ee360_power::model::{DecoderScheme, Phone, PowerModel};
+use ee360_qoe::impairment::{QoeWeights, SegmentQoe};
+use ee360_qoe::quality::QoModel;
+use ee360_support::parallel::parallel_map_indexed;
+use ee360_support::rng::StdRng;
+use ee360_trace::fault::FaultPlan;
+use ee360_trace::network::NetworkTrace;
+use ee360_video::content::SiTi;
+use ee360_video::segment::SEGMENT_DURATION_SEC;
+
+use crate::decoder::DecoderPipeline;
+use crate::resilience::{
+    DownloadEnv, DownloadOutcome, DownloadState, ResilienceCounters, RetryPolicy, SessionCore,
+};
+
+/// What a queued event means to the session it belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventKind {
+    /// Plan the next segment and open its download.
+    Replan,
+    /// The in-flight segment finished (delivered or skipped) and was
+    /// booked; advance to the next slot.
+    DownloadComplete,
+    /// A fault/timeout resolution point: run the next recovery attempt.
+    FaultFire,
+    /// Playback stalled (informational; derived from the booked timing).
+    StallStart,
+    /// Playback resumed (informational).
+    StallEnd,
+}
+
+/// One entry in the global logical-time queue. Ordered by `(time,
+/// session, seq)`: `time_bits` is the IEEE-754 bit pattern of the event
+/// time, which sorts identically to the `f64` for the non-negative
+/// finite times [`Scheduler::schedule`] enforces, so the heap never
+/// compares floats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct QueuedEvent {
+    time_bits: u64,
+    session: u32,
+    seq: u64,
+    kind: EventKind,
+}
+
+/// The scheduling surface handed to a driver: events it pushes here are
+/// stamped with its session index and a global sequence number, then
+/// merged into the engine's queue.
+#[derive(Debug, Default)]
+pub struct Scheduler {
+    pending: Vec<(f64, EventKind)>,
+}
+
+impl Scheduler {
+    /// Schedules `kind` at logical time `t_sec` for the session whose
+    /// handler is currently running.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_sec` is negative or not finite (the bit-pattern
+    /// ordering of the queue requires non-negative finite times).
+    pub fn schedule(&mut self, t_sec: f64, kind: EventKind) {
+        assert!(
+            t_sec.is_finite() && t_sec >= 0.0,
+            "event time must be finite and non-negative, got {t_sec}"
+        );
+        self.pending.push((t_sec, kind));
+    }
+}
+
+/// A session the event engine can drive. Drivers own all their mutable
+/// state (including any recorder); the engine only routes events. A
+/// driver that schedules nothing from a handler is finished.
+pub trait SessionDriver {
+    /// Called once before any event; schedule the session's first event
+    /// here (typically a [`EventKind::Replan`] at the session's start
+    /// offset).
+    fn start(&mut self, sched: &mut Scheduler);
+
+    /// Handles one event previously scheduled by this driver.
+    fn on_event(&mut self, kind: EventKind, sched: &mut Scheduler);
+}
+
+/// Engine-side tallies of one [`drive_sessions`] run. The per-kind
+/// counts are intrinsic to the sessions (identical across thread counts
+/// and shardings); `peak_queue_len` depends on how many sessions share
+/// the queue and must never be folded into replay-compared reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Events dispatched in total.
+    pub events: u64,
+    /// [`EventKind::Replan`] events dispatched.
+    pub replans: u64,
+    /// [`EventKind::DownloadComplete`] events dispatched.
+    pub download_completes: u64,
+    /// [`EventKind::FaultFire`] events dispatched.
+    pub fault_fires: u64,
+    /// [`EventKind::StallStart`] events dispatched.
+    pub stall_starts: u64,
+    /// [`EventKind::StallEnd`] events dispatched.
+    pub stall_ends: u64,
+    /// High-water mark of the event queue (schedule-dependent).
+    pub peak_queue_len: usize,
+}
+
+impl EngineStats {
+    /// Component-wise accumulation; `peak_queue_len` takes the max (the
+    /// shards run disjoint queues, so their peaks don't add).
+    pub fn accumulate(&mut self, other: &EngineStats) {
+        self.events += other.events;
+        self.replans += other.replans;
+        self.download_completes += other.download_completes;
+        self.fault_fires += other.fault_fires;
+        self.stall_starts += other.stall_starts;
+        self.stall_ends += other.stall_ends;
+        self.peak_queue_len = self.peak_queue_len.max(other.peak_queue_len);
+    }
+}
+
+fn enqueue_pending(
+    heap: &mut BinaryHeap<Reverse<QueuedEvent>>,
+    sched: &mut Scheduler,
+    session: u32,
+    seq: &mut u64,
+) {
+    for (t_sec, kind) in sched.pending.drain(..) {
+        heap.push(Reverse(QueuedEvent {
+            time_bits: t_sec.to_bits(),
+            session,
+            seq: *seq,
+            kind,
+        }));
+        *seq += 1;
+    }
+}
+
+/// Runs every driver to completion on one shared logical-time queue.
+///
+/// Events pop in `(time, session index, schedule order)` order, so the
+/// dispatch sequence is a pure function of the drivers — independent of
+/// platform, allocator or wall clock. Because each driver only ever
+/// reacts to its own events, the per-session call sequence equals the
+/// sequence a dedicated single-session loop would make, which is the
+/// engine half of the bit-identical-equivalence argument.
+pub fn drive_sessions<D: SessionDriver>(drivers: &mut [D]) -> EngineStats {
+    let mut heap: BinaryHeap<Reverse<QueuedEvent>> = BinaryHeap::new();
+    let mut sched = Scheduler::default();
+    let mut seq = 0u64;
+    let mut stats = EngineStats::default();
+    for (index, driver) in drivers.iter_mut().enumerate() {
+        driver.start(&mut sched);
+        enqueue_pending(&mut heap, &mut sched, index as u32, &mut seq);
+    }
+    stats.peak_queue_len = heap.len();
+    while let Some(Reverse(event)) = heap.pop() {
+        stats.events += 1;
+        match event.kind {
+            EventKind::Replan => stats.replans += 1,
+            EventKind::DownloadComplete => stats.download_completes += 1,
+            EventKind::FaultFire => stats.fault_fires += 1,
+            EventKind::StallStart => stats.stall_starts += 1,
+            EventKind::StallEnd => stats.stall_ends += 1,
+        }
+        if let Some(driver) = drivers.get_mut(event.session as usize) {
+            driver.on_event(event.kind, &mut sched);
+        }
+        enqueue_pending(&mut heap, &mut sched, event.session, &mut seq);
+        stats.peak_queue_len = stats.peak_queue_len.max(heap.len());
+    }
+    stats
+}
+
+/// Splits `0..n` into at most `shards` contiguous, near-equal ranges —
+/// a pure function of `(n, shards)`, so the assignment of sessions to
+/// workers is deterministic.
+pub fn shard_ranges(n: usize, shards: usize) -> Vec<Range<usize>> {
+    let shards = shards.max(1).min(n.max(1));
+    let chunk = n.div_ceil(shards);
+    (0..shards)
+        .map(|i| (i * chunk).min(n)..((i + 1) * chunk).min(n))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Decorrelation stride between fleet sessions sharing one
+/// [`FaultPlan`]: session `i` keys its per-attempt faults at
+/// `i * FLEET_FAULT_STRIDE + segment` (the same stride the shared-link
+/// multiclient uses), so no realistic session length overlaps another
+/// session's fault stream.
+pub const FLEET_FAULT_STRIDE: usize = 100_000;
+
+/// Bits per one-second segment at each rung of the scale driver's
+/// ladder (top-to-bottom).
+const SCALE_LADDER_BITS: [f64; 5] = [16.0e6, 10.0e6, 6.0e6, 3.5e6, 1.5e6];
+
+/// Effective bitrate (Mbps) of each ladder rung, for the Q_o model.
+const SCALE_LADDER_MBPS: [f64; 5] = [16.0, 10.0, 6.0, 3.5, 1.5];
+
+fn ladder_bits(level: usize, rung: usize) -> f64 {
+    let wanted = level + rung;
+    let idx = wanted.min(SCALE_LADDER_BITS.len() - 1);
+    // Degradation past the ladder floor keeps halving so the recovery
+    // path always has somewhere cheaper to go.
+    let extra = (wanted - idx).min(8);
+    SCALE_LADDER_BITS[idx] / (1u64 << extra) as f64
+}
+
+/// Configuration of a scale-fleet run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetConfig {
+    /// Number of sessions in the fleet.
+    pub sessions: usize,
+    /// Segment slots each session streams.
+    pub segments: usize,
+    /// Master seed; session `i` derives its RNG stream from
+    /// `seed + i` (SplitMix64-decorrelated).
+    pub seed: u64,
+    /// Worker threads for the sharded run (results are identical at any
+    /// thread count).
+    pub threads: usize,
+    /// Sessions start uniformly spread over `[0, start_spread_sec)`.
+    pub start_spread_sec: f64,
+    /// Phone whose power models price the energy.
+    pub phone: Phone,
+    /// Retry/timeout policy every session runs under.
+    pub policy: RetryPolicy,
+}
+
+impl FleetConfig {
+    /// A fleet of `sessions` × `segments` with the mobile retry policy,
+    /// a 2 s start spread and the Pixel 3 power models.
+    pub fn new(sessions: usize, segments: usize, seed: u64) -> Self {
+        Self {
+            sessions,
+            segments,
+            seed,
+            threads: 1,
+            start_spread_sec: 2.0,
+            phone: Phone::Pixel3,
+            policy: RetryPolicy::default_mobile(),
+        }
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+}
+
+/// Per-session scalar outcome of a scale-fleet session — everything the
+/// fold retains (≈180 bytes, no vectors).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SessionSummary {
+    /// Segment slots consumed (delivered + skipped).
+    pub segments: usize,
+    /// Segments delivered.
+    pub delivered: usize,
+    /// Segments skipped after an exhausted deadline.
+    pub skipped: usize,
+    /// Sum of per-segment QoE totals (Eq. 2).
+    pub qoe_sum: f64,
+    /// Total energy booked, millijoules.
+    pub energy_mj: f64,
+    /// Total stall time, seconds.
+    pub stall_sec: f64,
+    /// Total bits moved (delivered + wasted).
+    pub bits: f64,
+    /// Session wall clock at completion, seconds.
+    pub clock_sec: f64,
+    /// The session's resilience tallies.
+    pub counters: ResilienceCounters,
+}
+
+ee360_support::impl_json_struct!(SessionSummary {
+    segments,
+    delivered,
+    skipped,
+    qoe_sum,
+    energy_mj,
+    stall_sec,
+    bits,
+    clock_sec,
+    counters
+});
+
+/// Fleet-level aggregate of a scale run. Contains only thread-count
+/// independent quantities (per-session sums folded in user order and
+/// intrinsic event counts) — safe to compare byte-for-byte across
+/// replays and worker counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FleetReport {
+    /// Sessions simulated.
+    pub sessions: usize,
+    /// Segment slots consumed across the fleet.
+    pub segments: usize,
+    /// Segments delivered across the fleet.
+    pub delivered: usize,
+    /// Segments skipped across the fleet.
+    pub skipped: usize,
+    /// Mean per-segment QoE across all consumed slots.
+    pub mean_qoe: f64,
+    /// Total energy, millijoules.
+    pub total_energy_mj: f64,
+    /// Total stall time, seconds.
+    pub total_stall_sec: f64,
+    /// Total bits moved.
+    pub total_bits: f64,
+    /// Replan events dispatched (intrinsic).
+    pub replans: u64,
+    /// Download-complete events dispatched (intrinsic).
+    pub download_completes: u64,
+    /// Fault-fire events dispatched (intrinsic).
+    pub fault_fires: u64,
+    /// Stall-start events dispatched (intrinsic).
+    pub stall_starts: u64,
+    /// Fleet-wide resilience tallies.
+    pub counters: ResilienceCounters,
+}
+
+ee360_support::impl_json_struct!(FleetReport {
+    sessions,
+    segments,
+    delivered,
+    skipped,
+    mean_qoe,
+    total_energy_mj,
+    total_stall_sec,
+    total_bits,
+    replans,
+    download_completes,
+    fault_fires,
+    stall_starts,
+    counters
+});
+
+/// Read-only inputs shared by every session of one shard: the traces by
+/// reference, the models by value (constructed deterministically).
+#[derive(Debug)]
+pub struct ScaleEnv<'a> {
+    config: FleetConfig,
+    network: &'a NetworkTrace,
+    faults: &'a FaultPlan,
+    power: PowerModel,
+    qo_model: QoModel,
+    weights: QoeWeights,
+    decoder: DecoderPipeline,
+    content: SiTi,
+}
+
+impl<'a> ScaleEnv<'a> {
+    /// Builds the shared environment for one fleet run.
+    pub fn new(config: &FleetConfig, network: &'a NetworkTrace, faults: &'a FaultPlan) -> Self {
+        Self {
+            config: *config,
+            network,
+            faults,
+            power: PowerModel::for_phone(config.phone),
+            qo_model: QoModel::paper_default(),
+            weights: QoeWeights::paper_default(),
+            decoder: DecoderPipeline::paper_default(),
+            // The reference content of Fig. 4a's cloud (SI 60, TI 25).
+            content: SiTi::new(60.0, 25.0),
+        }
+    }
+}
+
+/// One scale session as an event-queue driver. All hot state is scalar:
+/// the [`SessionCore`] (buffer, clock, counters), at most one in-flight
+/// [`DownloadState`], a 32-byte RNG, an EWMA bandwidth estimate and the
+/// running [`SessionSummary`]. No allocation after construction.
+#[derive(Debug)]
+pub struct ScaleDriver<'a> {
+    env: &'a ScaleEnv<'a>,
+    index: usize,
+    core: SessionCore,
+    rng: StdRng,
+    st: Option<DownloadState>,
+    next_segment: usize,
+    level: usize,
+    coverage: f64,
+    bw_est_bps: f64,
+    prev_qo: Option<f64>,
+    summary: SessionSummary,
+}
+
+impl<'a> ScaleDriver<'a> {
+    /// Builds session `index` of the fleet: its RNG stream is derived
+    /// from `config.seed + index` (SplitMix64 decorrelates neighbours)
+    /// and its fault keys live at `index * FLEET_FAULT_STRIDE`.
+    pub fn new(env: &'a ScaleEnv<'a>, index: usize) -> Self {
+        let rng = StdRng::seed_from_u64(env.config.seed.wrapping_add(index as u64));
+        Self {
+            env,
+            index,
+            core: SessionCore::new(3.0),
+            rng,
+            st: None,
+            next_segment: 0,
+            level: 0,
+            coverage: 1.0,
+            bw_est_bps: 0.7 * env.network.bandwidth_at(0.0),
+            prev_qo: None,
+            summary: SessionSummary::default(),
+        }
+    }
+
+    /// Seals the driver into its per-session summary (counters and final
+    /// clock stamped from the core).
+    pub fn into_summary(self) -> SessionSummary {
+        let mut summary = self.summary;
+        summary.counters = *self.core.counters();
+        summary.clock_sec = self.core.clock_sec();
+        summary
+    }
+
+    fn download_env(&self) -> DownloadEnv<'a> {
+        DownloadEnv {
+            network: self.env.network,
+            plan: self.env.faults,
+            policy: &self.env.config.policy,
+            decoder: &self.env.decoder,
+            fault_base: self.index * FLEET_FAULT_STRIDE,
+        }
+    }
+
+    fn replan(&mut self, sched: &mut Scheduler) {
+        if self.next_segment >= self.env.config.segments {
+            return; // session finished; schedule nothing
+        }
+        // Per-segment viewport-prediction miss, drawn from the session's
+        // own stream: 85–100% of the FoV lands on the fetched tiles.
+        self.coverage = 0.85 + 0.15 * self.rng.gen_f64();
+        // Rate-based rung-0 pick: the cheapest rung that fits 80% of the
+        // EWMA estimate, stepped down once more when the buffer is thin.
+        let budget_bits = 0.8 * self.bw_est_bps * SEGMENT_DURATION_SEC;
+        let mut level = SCALE_LADDER_BITS.len() - 1;
+        for (i, &bits) in SCALE_LADDER_BITS.iter().enumerate() {
+            if bits <= budget_bits {
+                level = i;
+                break;
+            }
+        }
+        if self.core.buffer_level_sec() < 1.0 && level + 1 < SCALE_LADDER_BITS.len() {
+            level += 1;
+        }
+        self.level = level;
+        let denv = self.download_env();
+        self.st = Some(self.core.begin_download(&denv, self.next_segment));
+        self.step(sched);
+    }
+
+    fn step(&mut self, sched: &mut Scheduler) {
+        let denv = self.download_env();
+        let level = self.level;
+        let Some(st) = self.st.as_mut() else {
+            return;
+        };
+        let mut request = |rung: usize| ladder_bits(level, rung);
+        let stepped =
+            self.core
+                .step_download(&denv, st, &mut request, &mut ee360_obs::NoopRecorder);
+        match stepped {
+            None => sched.schedule(self.core.clock_sec(), EventKind::FaultFire),
+            Some(outcome) => {
+                self.st = None;
+                self.book(outcome, sched);
+            }
+        }
+    }
+
+    fn book(&mut self, outcome: DownloadOutcome, sched: &mut Scheduler) {
+        let k = self.next_segment;
+        self.next_segment += 1;
+        self.summary.segments += 1;
+        let stall_sec = match outcome {
+            DownloadOutcome::Delivered {
+                timing,
+                bits,
+                wasted_bits,
+                degraded_rungs,
+                ..
+            } => {
+                self.summary.delivered += 1;
+                self.summary.bits += bits + wasted_bits;
+                self.summary.stall_sec += timing.stall_sec;
+                self.bw_est_bps = 0.8 * self.bw_est_bps + 0.2 * timing.throughput_bps;
+                let energy = SegmentEnergy::compute(
+                    &self.env.power,
+                    SegmentEnergyParams {
+                        bits: bits + wasted_bits,
+                        bandwidth_bps: timing.throughput_bps,
+                        fps: 30.0,
+                        duration_sec: SEGMENT_DURATION_SEC,
+                        scheme: DecoderScheme::Ctile,
+                    },
+                );
+                self.summary.energy_mj += energy.total_mj();
+                let floor = SCALE_LADDER_MBPS.len() - 1;
+                let served = (self.level + degraded_rungs).min(floor);
+                let qo_hi = self
+                    .env
+                    .qo_model
+                    .q_o(self.env.content, SCALE_LADDER_MBPS[served]);
+                let qo_lo = self
+                    .env
+                    .qo_model
+                    .q_o(self.env.content, SCALE_LADDER_MBPS[floor]);
+                let qo_eff = self.coverage * qo_hi + (1.0 - self.coverage) * qo_lo;
+                // Startup (k = 0) is not a rebuffering event.
+                let download_for_qoe = if k == 0 { 0.0 } else { timing.download_sec };
+                let qoe = SegmentQoe::evaluate(
+                    self.env.weights,
+                    qo_eff,
+                    self.prev_qo,
+                    download_for_qoe,
+                    timing.buffer_at_request_sec,
+                );
+                self.prev_qo = Some(qo_eff);
+                self.summary.qoe_sum += qoe.total;
+                timing.stall_sec
+            }
+            DownloadOutcome::Skipped {
+                blackout_sec,
+                wasted_bits,
+                elapsed_sec,
+                ..
+            } => {
+                self.summary.skipped += 1;
+                self.summary.bits += wasted_bits;
+                let stall = (blackout_sec - SEGMENT_DURATION_SEC).max(0.0);
+                self.summary.stall_sec += stall;
+                self.summary.energy_mj += self.env.power.transmission_power_mw() * elapsed_sec;
+                let qoe =
+                    SegmentQoe::evaluate(self.env.weights, 0.0, self.prev_qo, blackout_sec, 0.0);
+                self.prev_qo = Some(0.0);
+                self.summary.qoe_sum += qoe.total;
+                stall
+            }
+        };
+        if stall_sec > 0.0 {
+            let end = self.core.clock_sec();
+            sched.schedule((end - stall_sec).max(0.0), EventKind::StallStart);
+            sched.schedule(end, EventKind::StallEnd);
+        }
+        sched.schedule(self.core.clock_sec(), EventKind::DownloadComplete);
+    }
+}
+
+impl SessionDriver for ScaleDriver<'_> {
+    fn start(&mut self, sched: &mut Scheduler) {
+        let offset = self.rng.gen_f64() * self.env.config.start_spread_sec;
+        self.core.advance_clock(offset);
+        sched.schedule(self.core.clock_sec(), EventKind::Replan);
+    }
+
+    fn on_event(&mut self, kind: EventKind, sched: &mut Scheduler) {
+        match kind {
+            EventKind::Replan => self.replan(sched),
+            EventKind::FaultFire => self.step(sched),
+            EventKind::DownloadComplete => {
+                sched.schedule(self.core.clock_sec(), EventKind::Replan);
+            }
+            EventKind::StallStart | EventKind::StallEnd => {}
+        }
+    }
+}
+
+/// Sessions per shard: bounds the live driver memory of one worker (a
+/// shard of 16 Ki drivers is ~16 MB) so a million-session fleet streams
+/// through in waves instead of materialising at once.
+const MAX_SHARD_SESSIONS: usize = 16_384;
+
+fn run_scale_shards(
+    config: &FleetConfig,
+    network: &NetworkTrace,
+    faults: &FaultPlan,
+) -> Vec<(Vec<SessionSummary>, EngineStats)> {
+    let threads = config.threads.max(1);
+    let shard_count = threads.max(config.sessions.div_ceil(MAX_SHARD_SESSIONS));
+    let ranges = shard_ranges(config.sessions, shard_count);
+    parallel_map_indexed(threads, ranges.len(), |shard| {
+        let range = ranges.get(shard).cloned().unwrap_or(0..0);
+        let env = ScaleEnv::new(config, network, faults);
+        let mut drivers: Vec<ScaleDriver> =
+            range.map(|index| ScaleDriver::new(&env, index)).collect();
+        let stats = drive_sessions(&mut drivers);
+        let summaries = drivers.into_iter().map(ScaleDriver::into_summary).collect();
+        (summaries, stats)
+    })
+}
+
+/// Runs a scale fleet and folds it into a [`FleetReport`], streaming the
+/// per-session summaries into the recorder's registry (`fleet.*`
+/// counters and histograms) **in user-index order** — the shards are
+/// contiguous index ranges, so concatenating their summaries restores
+/// the sequential fold order and the report plus registry are
+/// byte-identical at every thread count.
+///
+/// Returns the report together with the engine stats (whose
+/// `peak_queue_len` is schedule-dependent and deliberately kept out of
+/// the report).
+pub fn run_scale_fleet(
+    config: &FleetConfig,
+    network: &NetworkTrace,
+    faults: &FaultPlan,
+    rec: &mut dyn Record,
+) -> (FleetReport, EngineStats) {
+    let shards = run_scale_shards(config, network, faults);
+    let mut report = FleetReport {
+        sessions: config.sessions,
+        ..FleetReport::default()
+    };
+    let mut stats = EngineStats::default();
+    let mut qoe_sum = 0.0f64;
+    for (summaries, shard_stats) in &shards {
+        stats.accumulate(shard_stats);
+        for s in summaries {
+            report.segments += s.segments;
+            report.delivered += s.delivered;
+            report.skipped += s.skipped;
+            qoe_sum += s.qoe_sum;
+            report.total_energy_mj += s.energy_mj;
+            report.total_stall_sec += s.stall_sec;
+            report.total_bits += s.bits;
+            report.counters.accumulate(&s.counters);
+            rec.count("fleet.sessions", 1);
+            rec.count("fleet.segments", s.segments as u64);
+            rec.count("fleet.delivered", s.delivered as u64);
+            rec.count("fleet.skipped", s.skipped as u64);
+            rec.observe("fleet.session_qoe", s.qoe_sum / s.segments.max(1) as f64);
+            rec.observe("fleet.session_energy_mj", s.energy_mj);
+            rec.observe("fleet.session_stall_sec", s.stall_sec);
+        }
+    }
+    report.replans = stats.replans;
+    report.download_completes = stats.download_completes;
+    report.fault_fires = stats.fault_fires;
+    report.stall_starts = stats.stall_starts;
+    rec.count("fleet.events.replan", stats.replans);
+    rec.count("fleet.events.download_complete", stats.download_completes);
+    rec.count("fleet.events.fault_fire", stats.fault_fires);
+    rec.count("fleet.events.stall_start", stats.stall_starts);
+    report.mean_qoe = if report.segments > 0 {
+        qoe_sum / report.segments as f64
+    } else {
+        0.0
+    };
+    (report, stats)
+}
+
+/// The interleaved engine's per-session summaries in user order (test
+/// and inspection entry; retains one summary per session, so size the
+/// fleet accordingly).
+pub fn run_scale_summaries(
+    config: &FleetConfig,
+    network: &NetworkTrace,
+    faults: &FaultPlan,
+) -> Vec<SessionSummary> {
+    run_scale_shards(config, network, faults)
+        .into_iter()
+        .flat_map(|(summaries, _)| summaries)
+        .collect()
+}
+
+/// Reference semantics: every session driven alone on its own queue (no
+/// interleaving at all). [`run_scale_summaries`] must match this
+/// exactly — sessions share nothing mutable, so the global queue is
+/// observationally a bundle of independent per-session queues.
+pub fn run_scale_sessions_isolated(
+    config: &FleetConfig,
+    network: &NetworkTrace,
+    faults: &FaultPlan,
+) -> Vec<SessionSummary> {
+    let env = ScaleEnv::new(config, network, faults);
+    (0..config.sessions)
+        .map(|index| {
+            let mut drivers = vec![ScaleDriver::new(&env, index)];
+            let _ = drive_sessions(&mut drivers);
+            drivers
+                .pop()
+                .map(ScaleDriver::into_summary)
+                .unwrap_or_default()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ee360_support::json::to_string;
+    use ee360_trace::fault::FaultConfig;
+
+    fn chaos_inputs() -> (NetworkTrace, FaultPlan) {
+        let network = NetworkTrace::paper_trace2(300, 11);
+        let faults =
+            FaultPlan::generate(FaultConfig::chaos_default(), 300.0, 42).and_outage(40.0, 6.0);
+        (network, faults)
+    }
+
+    #[test]
+    fn queue_orders_by_time_then_session_then_seq() {
+        let a = QueuedEvent {
+            time_bits: 1.0f64.to_bits(),
+            session: 3,
+            seq: 9,
+            kind: EventKind::Replan,
+        };
+        let b = QueuedEvent {
+            time_bits: 2.0f64.to_bits(),
+            session: 0,
+            seq: 0,
+            kind: EventKind::Replan,
+        };
+        let c = QueuedEvent {
+            time_bits: 1.0f64.to_bits(),
+            session: 4,
+            seq: 0,
+            kind: EventKind::Replan,
+        };
+        assert!(a < b, "earlier time wins regardless of session");
+        assert!(a < c, "same time: lower session index first");
+        let mut heap = BinaryHeap::new();
+        for e in [b, c, a] {
+            heap.push(Reverse(e));
+        }
+        assert_eq!(heap.pop().map(|Reverse(e)| e), Some(a));
+        assert_eq!(heap.pop().map(|Reverse(e)| e), Some(c));
+        assert_eq!(heap.pop().map(|Reverse(e)| e), Some(b));
+    }
+
+    #[test]
+    fn shard_ranges_cover_exactly_once() {
+        for n in [0usize, 1, 7, 48, 100, 1000] {
+            for shards in [1usize, 2, 3, 7, 16, 200] {
+                let ranges = shard_ranges(n, shards);
+                let mut covered = 0usize;
+                let mut expected_start = 0usize;
+                for r in &ranges {
+                    assert_eq!(r.start, expected_start, "n={n} shards={shards}");
+                    assert!(r.end > r.start);
+                    covered += r.len();
+                    expected_start = r.end;
+                }
+                assert_eq!(covered, n, "n={n} shards={shards}");
+                assert!(ranges.len() <= shards.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_fleet_matches_isolated_sessions() {
+        let (network, faults) = chaos_inputs();
+        let config = FleetConfig::new(16, 20, 99);
+        let interleaved = run_scale_summaries(&config, &network, &faults);
+        let isolated = run_scale_sessions_isolated(&config, &network, &faults);
+        assert_eq!(interleaved.len(), isolated.len());
+        for (i, (a, b)) in interleaved.iter().zip(&isolated).enumerate() {
+            assert_eq!(a, b, "session {i} diverged under interleaving");
+        }
+        // Byte-level too: the JSON carries every f64 exactly.
+        assert_eq!(
+            to_string(&interleaved).unwrap(),
+            to_string(&isolated).unwrap()
+        );
+    }
+
+    #[test]
+    fn report_is_thread_count_independent_and_replays() {
+        let (network, faults) = chaos_inputs();
+        let run = |threads: usize| {
+            let config = FleetConfig::new(64, 12, 7).with_threads(threads);
+            let (report, _) =
+                run_scale_fleet(&config, &network, &faults, &mut ee360_obs::NoopRecorder);
+            to_string(&report).unwrap()
+        };
+        let baseline = run(1);
+        assert_eq!(run(1), baseline, "same seed must replay byte-identically");
+        for threads in [2usize, 4, 16] {
+            assert_eq!(run(threads), baseline, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (network, faults) = chaos_inputs();
+        let run = |seed: u64| {
+            let config = FleetConfig::new(8, 10, seed);
+            let (report, _) =
+                run_scale_fleet(&config, &network, &faults, &mut ee360_obs::NoopRecorder);
+            to_string(&report).unwrap()
+        };
+        assert_ne!(run(1), run(2), "seeds must matter");
+    }
+
+    #[test]
+    fn chaos_fleet_records_faults_and_completes_every_slot() {
+        let (network, faults) = chaos_inputs();
+        let config = FleetConfig::new(32, 15, 5);
+        let (report, stats) =
+            run_scale_fleet(&config, &network, &faults, &mut ee360_obs::NoopRecorder);
+        assert_eq!(report.segments, 32 * 15, "every slot consumed");
+        assert_eq!(report.delivered + report.skipped, report.segments);
+        assert!(report.total_energy_mj > 0.0);
+        assert!(
+            !report.counters.is_clean(),
+            "chaos must leave a resilience trace"
+        );
+        assert_eq!(
+            stats.replans as usize,
+            32 * 15 + 32,
+            "one replan per slot plus one terminal replan per session"
+        );
+        assert_eq!(stats.download_completes as usize, report.segments);
+    }
+
+    #[test]
+    fn driver_hot_state_is_compact() {
+        // The fleet's memory story rests on the driver being a bundle of
+        // scalars; a per-segment vector would blow this immediately.
+        assert!(
+            std::mem::size_of::<ScaleDriver>() <= 1024,
+            "ScaleDriver grew to {} bytes",
+            std::mem::size_of::<ScaleDriver>()
+        );
+        assert!(std::mem::size_of::<SessionSummary>() <= 256);
+        assert!(std::mem::size_of::<DownloadState>() <= 128);
+    }
+}

@@ -19,7 +19,10 @@
 //!   [`ee360_trace::fault::FaultPlan`] with per-attempt timeouts,
 //!   exponential-backoff retries, mid-download abandon with ladder
 //!   degradation, and skip-with-blackout when a segment's deadline is
-//!   exhausted.
+//!   exhausted,
+//! * [`fleet`] — the discrete-event fleet engine: many sessions on one
+//!   logical-time queue with O(100 B) hot state each, deterministically
+//!   sharded and bit-identical to the loop engines at any thread count.
 //!
 //! # Example
 //!
@@ -37,6 +40,7 @@
 pub mod buffer;
 pub mod decoder;
 pub mod error;
+pub mod fleet;
 pub mod metrics;
 pub mod multiclient;
 pub mod resilience;
@@ -45,7 +49,14 @@ pub mod session;
 pub use buffer::{BufferStep, PlaybackBuffer};
 pub use decoder::DecoderPipeline;
 pub use error::SimError;
+pub use fleet::{
+    drive_sessions, run_scale_fleet, shard_ranges, EngineStats, EventKind, FleetConfig,
+    FleetReport, Scheduler, SessionDriver, SessionSummary,
+};
 pub use metrics::{SegmentRecord, SessionMetrics};
 pub use multiclient::{simulate_shared_link, ClientOutcome, MulticlientConfig};
-pub use resilience::{DownloadOutcome, ResilienceCounters, ResilientSession, RetryPolicy};
+pub use resilience::{
+    DownloadEnv, DownloadOutcome, DownloadState, ResilienceCounters, ResilientSession, RetryPolicy,
+    SessionCore,
+};
 pub use session::{SegmentTiming, StreamingSession};

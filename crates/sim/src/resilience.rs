@@ -16,6 +16,18 @@
 //! 4. when the segment's total deadline is blown the player **skips** it,
 //!    charging the blackout to the rebuffer/QoE account and moving on.
 //!
+//! The machinery is factored as a **step-wise machine** so both the
+//! classic loop engine and the event-driven fleet engine
+//! ([`crate::fleet`]) execute literally the same code: a
+//! [`SessionCore`] holds the mutable per-session state (buffer, clock,
+//! counters), a [`DownloadEnv`] borrows the shared read-only inputs
+//! (trace, fault plan, policy), and one download is
+//! [`SessionCore::begin_download`] followed by repeated
+//! [`SessionCore::step_download`] calls — each step is exactly one
+//! attempt (plus its backoff), and the skip path fires when the budget
+//! is exhausted. [`ResilientSession`] wraps the pieces back into the
+//! original one-shot API.
+//!
 //! Every path is deterministic: the fault plan is a pure function of its
 //! seed and the policy arithmetic is plain `f64`, so same-seed replays
 //! serialize byte-identically.
@@ -259,52 +271,74 @@ impl DownloadOutcome {
     }
 }
 
-/// A streaming session hardened against a [`FaultPlan`].
-///
-/// # Example
-///
-/// ```
-/// use ee360_sim::resilience::{ResilientSession, RetryPolicy};
-/// use ee360_trace::fault::FaultPlan;
-/// use ee360_trace::network::NetworkTrace;
-///
-/// let net = NetworkTrace::from_samples(vec![4.0e6; 120]);
-/// let plan = FaultPlan::single_outage(2.0, 10.0); // 10 s dead radio
-/// let mut s = ResilientSession::new(net, plan, RetryPolicy::default_mobile(), 3.0);
-/// // 2 Mb planned, halving per degradation rung.
-/// let out = s.download_segment(0, &mut |rung| 2.0e6 / (1 << rung) as f64);
-/// assert!(out.is_delivered() || s.counters().skipped_segments == 1);
-/// ```
+/// The shared, read-only inputs of a step-wise download: everything a
+/// [`SessionCore`] needs besides its own mutable state. Borrowing these
+/// (instead of owning clones per session) is what lets a fleet of 10⁶
+/// sessions share one trace and one fault plan.
+#[derive(Debug, Clone, Copy)]
+pub struct DownloadEnv<'a> {
+    /// Bandwidth trace the downloads run over.
+    pub network: &'a NetworkTrace,
+    /// Fault plan injected into every attempt.
+    pub plan: &'a FaultPlan,
+    /// Timeout / retry / backoff policy in force.
+    pub policy: &'a RetryPolicy,
+    /// Decoder pipeline model (wedge-recovery time).
+    pub decoder: &'a DecoderPipeline,
+    /// Offset added to the segment index when keying per-attempt faults
+    /// (`segment_lost` / `segment_corrupt` / `decoder_fails`), so fleet
+    /// sessions sharing one plan draw decorrelated fault streams.
+    /// Zero means the fault key is the segment index itself, which is
+    /// the single-session behaviour.
+    pub fault_base: usize,
+}
+
+/// In-flight state of one segment's resilient download — the "program
+/// counter" between [`SessionCore::step_download`] calls. `Copy` and a
+/// handful of scalars by design: this is the only per-download state the
+/// event-driven fleet engine retains, so its size bounds fleet memory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DownloadState {
+    /// Segment being fetched (also the fault key, offset by
+    /// [`DownloadEnv::fault_base`]).
+    pub segment: usize,
+    /// Current degradation rung (starts at 0, bumps on abandon).
+    pub rung: usize,
+    /// Attempts issued so far.
+    pub attempts: usize,
+    /// Bits burned on failed attempts so far.
+    pub wasted_bits: f64,
+    /// Eq. 6 wait charged before the first attempt, seconds.
+    pub wait_sec: f64,
+    /// Wall-clock time of the request (after the wait), seconds.
+    pub request_time_sec: f64,
+    /// Absolute deadline: request time plus the per-segment budget.
+    pub deadline_end_sec: f64,
+    /// The most recent failure (reported if the segment is skipped).
+    pub last_error: SimError,
+}
+
+/// The mutable heart of a resilient session: playback buffer, wall
+/// clock, delivery count and fault tallies — ~100 bytes, no vectors.
+/// Both engines (the [`ResilientSession`] loop and the [`crate::fleet`]
+/// event queue) drive downloads through this same struct, which is the
+/// mechanical half of the bit-identical-replay argument.
 #[derive(Debug, Clone)]
-pub struct ResilientSession {
-    network: NetworkTrace,
-    plan: FaultPlan,
-    policy: RetryPolicy,
-    decoder: DecoderPipeline,
+pub struct SessionCore {
     buffer: PlaybackBuffer,
     clock_sec: f64,
     segments_completed: usize,
     counters: ResilienceCounters,
 }
 
-impl ResilientSession {
-    /// Creates a session at time zero with an empty buffer.
+impl SessionCore {
+    /// Creates a core at time zero with an empty buffer.
     ///
     /// # Panics
     ///
-    /// Panics if the policy or buffer threshold is malformed.
-    pub fn new(
-        network: NetworkTrace,
-        plan: FaultPlan,
-        policy: RetryPolicy,
-        buffer_threshold_sec: f64,
-    ) -> Self {
-        policy.validate();
+    /// Panics if the buffer threshold is malformed.
+    pub fn new(buffer_threshold_sec: f64) -> Self {
         Self {
-            network,
-            plan,
-            policy,
-            decoder: DecoderPipeline::paper_default(),
             buffer: PlaybackBuffer::new(buffer_threshold_sec),
             clock_sec: 0.0,
             segments_completed: 0,
@@ -330,6 +364,406 @@ impl ResilientSession {
     /// The running resilience tallies.
     pub fn counters(&self) -> &ResilienceCounters {
         &self.counters
+    }
+
+    /// Advances the wall clock without touching the buffer — staggered
+    /// fleet session starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sec` is negative or not finite.
+    pub fn advance_clock(&mut self, sec: f64) {
+        assert!(sec.is_finite() && sec >= 0.0, "clock advance must be >= 0");
+        self.clock_sec += sec;
+    }
+
+    /// Resets to time zero with an empty buffer and zeroed counters.
+    pub fn reset(&mut self) {
+        self.buffer.reset();
+        self.clock_sec = 0.0;
+        self.segments_completed = 0;
+        self.counters = ResilienceCounters::default();
+    }
+
+    /// Fetches startup metadata, riding out outages with the same
+    /// timeout/backoff machinery (metadata is small but the radio can
+    /// still be dead). Counter bumps are mirrored into the recorder and
+    /// retries emit detail-level events under segment index 0.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidRequest`] for non-positive bits;
+    /// [`SimError::DeadlineExhausted`] if every attempt timed out.
+    pub fn fetch_metadata_traced(
+        &mut self,
+        env: &DownloadEnv<'_>,
+        bits: f64,
+        rec: &mut dyn Record,
+    ) -> Result<f64, SimError> {
+        if !(bits.is_finite() && bits > 0.0) {
+            return Err(SimError::InvalidRequest("metadata bits must be positive"));
+        }
+        let started = self.clock_sec;
+        let link = FaultyLink::new(env.network, env.plan);
+        for attempt in 0..=env.policy.max_retries {
+            let budget = finite_budget(env.policy.attempt_timeout_sec);
+            match link.try_download(bits, self.clock_sec, budget) {
+                Some(d) => {
+                    self.clock_sec += d;
+                    return Ok(self.clock_sec - started);
+                }
+                None => {
+                    self.counters.attempts += 1;
+                    self.counters.timeouts += 1;
+                    rec.count("resilience.attempts", 1);
+                    rec.count("resilience.timeouts", 1);
+                    self.clock_sec += budget;
+                    if attempt < env.policy.max_retries {
+                        self.counters.retries += 1;
+                        rec.count("resilience.retries", 1);
+                        let pause = env.policy.backoff_sec(attempt);
+                        self.counters.backoff_sec += pause;
+                        rec.observe("resilience.backoff_sec", pause);
+                        if rec.level() >= Level::Detail {
+                            rec.record(Event::Retry {
+                                segment: 0,
+                                attempt,
+                                t_sec: self.clock_sec,
+                                backoff_sec: pause,
+                            });
+                        }
+                        self.clock_sec += pause;
+                    }
+                }
+            }
+        }
+        Err(SimError::DeadlineExhausted {
+            segment: 0,
+            attempts: env.policy.max_retries + 1,
+        })
+    }
+
+    /// Opens a segment download: charges the Eq. 6 wait, stamps the
+    /// request time and arms the per-segment deadline. The returned
+    /// [`DownloadState`] is then fed to [`Self::step_download`] until it
+    /// yields an outcome.
+    pub fn begin_download(&mut self, env: &DownloadEnv<'_>, segment: usize) -> DownloadState {
+        // Eq. 6 wait: don't request while the buffer is above β.
+        let wait_sec = (self.buffer.level_sec() - self.buffer.threshold_sec()).max(0.0);
+        self.clock_sec += wait_sec;
+        let request_time_sec = self.clock_sec;
+        DownloadState {
+            segment,
+            rung: 0,
+            attempts: 0,
+            wasted_bits: 0.0,
+            wait_sec,
+            request_time_sec,
+            deadline_end_sec: request_time_sec + env.policy.segment_deadline_sec,
+            last_error: SimError::DeadlineExhausted {
+                segment,
+                attempts: 0,
+            },
+        }
+    }
+
+    /// Runs exactly one attempt of the recovery ladder (including its
+    /// trailing backoff): `None` means the download is still in flight —
+    /// call again; `Some` is the final outcome (delivered, or skipped
+    /// once attempts/deadline are exhausted). One call corresponds to
+    /// one iteration of the original retry loop, which is what makes the
+    /// loop and event engines bit-identical.
+    ///
+    /// `request(rung)` maps a degradation rung to the bits to fetch,
+    /// exactly as in [`ResilientSession::download_segment`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `request` returns non-positive or non-finite bits.
+    pub fn step_download(
+        &mut self,
+        env: &DownloadEnv<'_>,
+        st: &mut DownloadState,
+        request: &mut dyn FnMut(usize) -> f64,
+        rec: &mut dyn Record,
+    ) -> Option<DownloadOutcome> {
+        if !(st.attempts <= env.policy.max_retries && self.clock_sec < st.deadline_end_sec - 1e-9) {
+            // Deadline exhausted: skip the segment, charge the blackout.
+            return Some(self.finish_skip(st, rec));
+        }
+        let segment = st.segment;
+        let rung = st.rung;
+        let deadline_end = st.deadline_end_sec;
+        let bits = request(rung);
+        assert!(
+            bits.is_finite() && bits > 0.0,
+            "degradation ladder must return positive bits (segment {segment}, rung {rung})"
+        );
+        let attempt = st.attempts;
+        st.attempts += 1;
+        self.counters.attempts += 1;
+        rec.count("resilience.attempts", 1);
+        let budget = finite_budget(
+            env.policy
+                .attempt_timeout_sec
+                .min(deadline_end - self.clock_sec),
+        );
+        let link = FaultyLink::new(env.network, env.plan);
+
+        if env.plan.segment_lost(env.fault_base + segment, attempt) {
+            // The request vanished; only the timer tells the client.
+            self.clock_sec += budget;
+            self.counters.losses += 1;
+            self.counters.timeouts += 1;
+            rec.count("resilience.losses", 1);
+            rec.count("resilience.timeouts", 1);
+            if rec.level() >= Level::Detail {
+                rec.record(Event::DownloadAttempt {
+                    segment,
+                    attempt,
+                    t_sec: self.clock_sec,
+                    rung,
+                    outcome: "lost",
+                    bits,
+                    elapsed_sec: budget,
+                    deadline_margin_sec: deadline_end - self.clock_sec,
+                });
+            }
+            st.last_error = SimError::SegmentLost { segment, attempt };
+        } else {
+            match link.try_download(bits, self.clock_sec, budget) {
+                Some(dur) => {
+                    if env.plan.segment_corrupt(env.fault_base + segment, attempt) {
+                        // Full transfer burned, checksum failed.
+                        self.clock_sec += dur;
+                        st.wasted_bits += bits;
+                        self.counters.corruptions += 1;
+                        rec.count("resilience.corruptions", 1);
+                        if rec.level() >= Level::Detail {
+                            rec.record(Event::DownloadAttempt {
+                                segment,
+                                attempt,
+                                t_sec: self.clock_sec,
+                                rung,
+                                outcome: "corrupt",
+                                bits,
+                                elapsed_sec: dur,
+                                deadline_margin_sec: deadline_end - self.clock_sec,
+                            });
+                        }
+                        st.last_error = SimError::SegmentCorrupt { segment, attempt };
+                    } else {
+                        // Success — maybe after a decoder wedge.
+                        self.clock_sec += dur;
+                        if env.plan.decoder_fails(env.fault_base + segment) {
+                            self.clock_sec += env.decoder.recovery_time_sec(1);
+                            self.counters.decoder_failures += 1;
+                            rec.count("resilience.decoder_failures", 1);
+                        }
+                        let elapsed = self.clock_sec - st.request_time_sec;
+                        let step = self.buffer.advance(elapsed, SEGMENT_DURATION_SEC);
+                        debug_assert!((step.wait_sec - st.wait_sec).abs() < 1e-9);
+                        self.segments_completed += 1;
+                        if rung > 0 {
+                            self.counters.degraded_segments += 1;
+                            self.counters.degraded_rungs += rung;
+                            rec.count("resilience.degraded_segments", 1);
+                            rec.count("resilience.degraded_rungs", rung as u64);
+                        }
+                        // `elapsed` already includes the reinit time,
+                        // failed attempts and backoffs; only the
+                        // payload's own transfer is not "recovery".
+                        self.counters.recovery_sec += elapsed - dur;
+                        self.counters.wasted_bits += st.wasted_bits;
+                        rec.observe("resilience.recovery_sec", elapsed - dur);
+                        rec.observe("resilience.wasted_bits", st.wasted_bits);
+                        if rec.level() >= Level::Detail {
+                            rec.record(Event::DownloadAttempt {
+                                segment,
+                                attempt,
+                                t_sec: self.clock_sec,
+                                rung,
+                                outcome: "delivered",
+                                bits,
+                                elapsed_sec: dur,
+                                deadline_margin_sec: deadline_end - self.clock_sec,
+                            });
+                            rec.record(Event::BufferSample {
+                                segment,
+                                t_sec: self.clock_sec,
+                                level_sec: step.buffer_after_sec,
+                            });
+                        }
+                        let spike = env.plan.extra_latency_sec(st.request_time_sec);
+                        let payload_sec = (dur - spike).max(1e-9);
+                        return Some(DownloadOutcome::Delivered {
+                            timing: SegmentTiming {
+                                request_time_sec: st.request_time_sec,
+                                wait_sec: st.wait_sec,
+                                download_sec: elapsed,
+                                throughput_bps: bits / payload_sec,
+                                buffer_at_request_sec: step.buffer_at_request_sec,
+                                stall_sec: step.stall_sec,
+                                buffer_after_sec: step.buffer_after_sec,
+                            },
+                            bits,
+                            wasted_bits: st.wasted_bits,
+                            attempts: st.attempts,
+                            degraded_rungs: rung,
+                        });
+                    }
+                }
+                None => {
+                    // Mid-download abandon: count what had arrived,
+                    // then degrade the next request one rung.
+                    let partial = link.bits_delivered(self.clock_sec, budget).min(bits);
+                    st.wasted_bits += partial;
+                    self.clock_sec += budget;
+                    self.counters.abandons += 1;
+                    rec.count("resilience.abandons", 1);
+                    if rec.level() >= Level::Summary {
+                        rec.record(Event::Abandon {
+                            segment,
+                            attempt,
+                            t_sec: self.clock_sec,
+                            rung,
+                            wasted_bits: partial,
+                        });
+                    }
+                    st.last_error = SimError::Timeout {
+                        segment,
+                        attempt,
+                        elapsed_sec: budget,
+                    };
+                    st.rung += 1;
+                }
+            }
+        }
+
+        // Failed attempt: back off before the next one (bounded by
+        // the segment deadline).
+        if st.attempts <= env.policy.max_retries && self.clock_sec < deadline_end - 1e-9 {
+            self.counters.retries += 1;
+            rec.count("resilience.retries", 1);
+            let pause = env
+                .policy
+                .backoff_sec(attempt)
+                .min(deadline_end - self.clock_sec);
+            self.counters.backoff_sec += pause;
+            rec.observe("resilience.backoff_sec", pause);
+            if rec.level() >= Level::Detail {
+                rec.record(Event::Retry {
+                    segment,
+                    attempt,
+                    t_sec: self.clock_sec,
+                    backoff_sec: pause,
+                });
+            }
+            self.clock_sec += pause;
+        }
+        None
+    }
+
+    /// The skip path: drains the buffer over the burned time, charges
+    /// the blackout and reports the [`DownloadOutcome::Skipped`] record.
+    fn finish_skip(&mut self, st: &DownloadState, rec: &mut dyn Record) -> DownloadOutcome {
+        let elapsed = self.clock_sec - st.request_time_sec;
+        self.buffer.drain(st.wait_sec);
+        let stall_sec = self.buffer.drain(elapsed);
+        let blackout_sec = stall_sec + SEGMENT_DURATION_SEC;
+        self.counters.skipped_segments += 1;
+        self.counters.blackout_sec += blackout_sec;
+        self.counters.recovery_sec += elapsed;
+        self.counters.wasted_bits += st.wasted_bits;
+        rec.count("resilience.skipped_segments", 1);
+        rec.observe("resilience.blackout_sec", blackout_sec);
+        rec.observe("resilience.recovery_sec", elapsed);
+        rec.observe("resilience.wasted_bits", st.wasted_bits);
+        if rec.level() >= Level::Summary {
+            rec.record(Event::Skip {
+                segment: st.segment,
+                t_sec: self.clock_sec,
+                blackout_sec,
+                attempts: st.attempts,
+            });
+        }
+        DownloadOutcome::Skipped {
+            request_time_sec: st.request_time_sec,
+            wait_sec: st.wait_sec,
+            elapsed_sec: elapsed,
+            blackout_sec,
+            wasted_bits: st.wasted_bits,
+            attempts: st.attempts,
+            last_error: st.last_error,
+        }
+    }
+}
+
+/// A streaming session hardened against a [`FaultPlan`].
+///
+/// # Example
+///
+/// ```
+/// use ee360_sim::resilience::{ResilientSession, RetryPolicy};
+/// use ee360_trace::fault::FaultPlan;
+/// use ee360_trace::network::NetworkTrace;
+///
+/// let net = NetworkTrace::from_samples(vec![4.0e6; 120]);
+/// let plan = FaultPlan::single_outage(2.0, 10.0); // 10 s dead radio
+/// let mut s = ResilientSession::new(net, plan, RetryPolicy::default_mobile(), 3.0);
+/// // 2 Mb planned, halving per degradation rung.
+/// let out = s.download_segment(0, &mut |rung| 2.0e6 / (1 << rung) as f64);
+/// assert!(out.is_delivered() || s.counters().skipped_segments == 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResilientSession {
+    network: NetworkTrace,
+    plan: FaultPlan,
+    policy: RetryPolicy,
+    decoder: DecoderPipeline,
+    core: SessionCore,
+}
+
+impl ResilientSession {
+    /// Creates a session at time zero with an empty buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy or buffer threshold is malformed.
+    pub fn new(
+        network: NetworkTrace,
+        plan: FaultPlan,
+        policy: RetryPolicy,
+        buffer_threshold_sec: f64,
+    ) -> Self {
+        policy.validate();
+        Self {
+            network,
+            plan,
+            policy,
+            decoder: DecoderPipeline::paper_default(),
+            core: SessionCore::new(buffer_threshold_sec),
+        }
+    }
+
+    /// Current wall-clock time, seconds.
+    pub fn clock_sec(&self) -> f64 {
+        self.core.clock_sec()
+    }
+
+    /// Current buffer level, seconds of video.
+    pub fn buffer_level_sec(&self) -> f64 {
+        self.core.buffer_level_sec()
+    }
+
+    /// Segments delivered so far (skips excluded).
+    pub fn segments_completed(&self) -> usize {
+        self.core.segments_completed()
+    }
+
+    /// The running resilience tallies.
+    pub fn counters(&self) -> &ResilienceCounters {
+        self.core.counters()
     }
 
     /// The retry policy in force.
@@ -366,47 +800,51 @@ impl ResilientSession {
         bits: f64,
         rec: &mut dyn Record,
     ) -> Result<f64, SimError> {
-        if !(bits.is_finite() && bits > 0.0) {
-            return Err(SimError::InvalidRequest("metadata bits must be positive"));
-        }
-        let started = self.clock_sec;
-        let link = FaultyLink::new(&self.network, &self.plan);
-        for attempt in 0..=self.policy.max_retries {
-            let budget = finite_budget(self.policy.attempt_timeout_sec);
-            match link.try_download(bits, self.clock_sec, budget) {
-                Some(d) => {
-                    self.clock_sec += d;
-                    return Ok(self.clock_sec - started);
-                }
-                None => {
-                    self.counters.attempts += 1;
-                    self.counters.timeouts += 1;
-                    rec.count("resilience.attempts", 1);
-                    rec.count("resilience.timeouts", 1);
-                    self.clock_sec += budget;
-                    if attempt < self.policy.max_retries {
-                        self.counters.retries += 1;
-                        rec.count("resilience.retries", 1);
-                        let pause = self.policy.backoff_sec(attempt);
-                        self.counters.backoff_sec += pause;
-                        rec.observe("resilience.backoff_sec", pause);
-                        if rec.level() >= Level::Detail {
-                            rec.record(Event::Retry {
-                                segment: 0,
-                                attempt,
-                                t_sec: self.clock_sec,
-                                backoff_sec: pause,
-                            });
-                        }
-                        self.clock_sec += pause;
-                    }
-                }
-            }
-        }
-        Err(SimError::DeadlineExhausted {
-            segment: 0,
-            attempts: self.policy.max_retries + 1,
-        })
+        let env = DownloadEnv {
+            network: &self.network,
+            plan: &self.plan,
+            policy: &self.policy,
+            decoder: &self.decoder,
+            fault_base: 0,
+        };
+        self.core.fetch_metadata_traced(&env, bits, rec)
+    }
+
+    /// Opens segment `segment` step-wise: the returned [`DownloadState`]
+    /// is driven to completion by [`Self::step_download`]. This is the
+    /// event-engine entry; [`Self::download_segment`] is the same thing
+    /// run in a tight loop.
+    pub fn begin_download(&mut self, segment: usize) -> DownloadState {
+        let env = DownloadEnv {
+            network: &self.network,
+            plan: &self.plan,
+            policy: &self.policy,
+            decoder: &self.decoder,
+            fault_base: 0,
+        };
+        self.core.begin_download(&env, segment)
+    }
+
+    /// Runs one attempt (plus backoff) of an open download; `None` means
+    /// still in flight. See [`SessionCore::step_download`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `request` returns non-positive or non-finite bits.
+    pub fn step_download(
+        &mut self,
+        st: &mut DownloadState,
+        request: &mut dyn FnMut(usize) -> f64,
+        rec: &mut dyn Record,
+    ) -> Option<DownloadOutcome> {
+        let env = DownloadEnv {
+            network: &self.network,
+            plan: &self.plan,
+            policy: &self.policy,
+            decoder: &self.decoder,
+            fault_base: 0,
+        };
+        self.core.step_download(&env, st, request, rec)
     }
 
     /// Downloads segment `segment` with the full recovery ladder.
@@ -463,229 +901,18 @@ impl ResilientSession {
         request: &mut dyn FnMut(usize) -> f64,
         rec: &mut dyn Record,
     ) -> DownloadOutcome {
-        // Eq. 6 wait: don't request while the buffer is above β.
-        let wait_sec = (self.buffer.level_sec() - self.buffer.threshold_sec()).max(0.0);
-        self.clock_sec += wait_sec;
-        let request_time_sec = self.clock_sec;
-        let deadline_end = request_time_sec + self.policy.segment_deadline_sec;
-
-        let mut rung = 0usize;
-        let mut attempts = 0usize;
-        let mut wasted_bits = 0.0f64;
-        let mut last_error = SimError::DeadlineExhausted {
-            segment,
-            attempts: 0,
-        };
-
-        while attempts <= self.policy.max_retries && self.clock_sec < deadline_end - 1e-9 {
-            let bits = request(rung);
-            assert!(
-                bits.is_finite() && bits > 0.0,
-                "degradation ladder must return positive bits (segment {segment}, rung {rung})"
-            );
-            let attempt = attempts;
-            attempts += 1;
-            self.counters.attempts += 1;
-            rec.count("resilience.attempts", 1);
-            let budget = finite_budget(
-                self.policy
-                    .attempt_timeout_sec
-                    .min(deadline_end - self.clock_sec),
-            );
-            let link = FaultyLink::new(&self.network, &self.plan);
-
-            if self.plan.segment_lost(segment, attempt) {
-                // The request vanished; only the timer tells the client.
-                self.clock_sec += budget;
-                self.counters.losses += 1;
-                self.counters.timeouts += 1;
-                rec.count("resilience.losses", 1);
-                rec.count("resilience.timeouts", 1);
-                if rec.level() >= Level::Detail {
-                    rec.record(Event::DownloadAttempt {
-                        segment,
-                        attempt,
-                        t_sec: self.clock_sec,
-                        rung,
-                        outcome: "lost",
-                        bits,
-                        elapsed_sec: budget,
-                        deadline_margin_sec: deadline_end - self.clock_sec,
-                    });
-                }
-                last_error = SimError::SegmentLost { segment, attempt };
-            } else {
-                match link.try_download(bits, self.clock_sec, budget) {
-                    Some(dur) => {
-                        if self.plan.segment_corrupt(segment, attempt) {
-                            // Full transfer burned, checksum failed.
-                            self.clock_sec += dur;
-                            wasted_bits += bits;
-                            self.counters.corruptions += 1;
-                            rec.count("resilience.corruptions", 1);
-                            if rec.level() >= Level::Detail {
-                                rec.record(Event::DownloadAttempt {
-                                    segment,
-                                    attempt,
-                                    t_sec: self.clock_sec,
-                                    rung,
-                                    outcome: "corrupt",
-                                    bits,
-                                    elapsed_sec: dur,
-                                    deadline_margin_sec: deadline_end - self.clock_sec,
-                                });
-                            }
-                            last_error = SimError::SegmentCorrupt { segment, attempt };
-                        } else {
-                            // Success — maybe after a decoder wedge.
-                            self.clock_sec += dur;
-                            if self.plan.decoder_fails(segment) {
-                                self.clock_sec += self.decoder.recovery_time_sec(1);
-                                self.counters.decoder_failures += 1;
-                                rec.count("resilience.decoder_failures", 1);
-                            }
-                            let elapsed = self.clock_sec - request_time_sec;
-                            let step = self.buffer.advance(elapsed, SEGMENT_DURATION_SEC);
-                            debug_assert!((step.wait_sec - wait_sec).abs() < 1e-9);
-                            self.segments_completed += 1;
-                            if rung > 0 {
-                                self.counters.degraded_segments += 1;
-                                self.counters.degraded_rungs += rung;
-                                rec.count("resilience.degraded_segments", 1);
-                                rec.count("resilience.degraded_rungs", rung as u64);
-                            }
-                            // `elapsed` already includes the reinit time,
-                            // failed attempts and backoffs; only the
-                            // payload's own transfer is not "recovery".
-                            self.counters.recovery_sec += elapsed - dur;
-                            self.counters.wasted_bits += wasted_bits;
-                            rec.observe("resilience.recovery_sec", elapsed - dur);
-                            rec.observe("resilience.wasted_bits", wasted_bits);
-                            if rec.level() >= Level::Detail {
-                                rec.record(Event::DownloadAttempt {
-                                    segment,
-                                    attempt,
-                                    t_sec: self.clock_sec,
-                                    rung,
-                                    outcome: "delivered",
-                                    bits,
-                                    elapsed_sec: dur,
-                                    deadline_margin_sec: deadline_end - self.clock_sec,
-                                });
-                                rec.record(Event::BufferSample {
-                                    segment,
-                                    t_sec: self.clock_sec,
-                                    level_sec: step.buffer_after_sec,
-                                });
-                            }
-                            let spike = self.plan.extra_latency_sec(request_time_sec);
-                            let payload_sec = (dur - spike).max(1e-9);
-                            return DownloadOutcome::Delivered {
-                                timing: SegmentTiming {
-                                    request_time_sec,
-                                    wait_sec,
-                                    download_sec: elapsed,
-                                    throughput_bps: bits / payload_sec,
-                                    buffer_at_request_sec: step.buffer_at_request_sec,
-                                    stall_sec: step.stall_sec,
-                                    buffer_after_sec: step.buffer_after_sec,
-                                },
-                                bits,
-                                wasted_bits,
-                                attempts,
-                                degraded_rungs: rung,
-                            };
-                        }
-                    }
-                    None => {
-                        // Mid-download abandon: count what had arrived,
-                        // then degrade the next request one rung.
-                        let partial = link.bits_delivered(self.clock_sec, budget).min(bits);
-                        wasted_bits += partial;
-                        self.clock_sec += budget;
-                        self.counters.abandons += 1;
-                        rec.count("resilience.abandons", 1);
-                        if rec.level() >= Level::Summary {
-                            rec.record(Event::Abandon {
-                                segment,
-                                attempt,
-                                t_sec: self.clock_sec,
-                                rung,
-                                wasted_bits: partial,
-                            });
-                        }
-                        last_error = SimError::Timeout {
-                            segment,
-                            attempt,
-                            elapsed_sec: budget,
-                        };
-                        rung += 1;
-                    }
-                }
+        let mut st = self.begin_download(segment);
+        loop {
+            if let Some(outcome) = self.step_download(&mut st, request, rec) {
+                return outcome;
             }
-
-            // Failed attempt: back off before the next one (bounded by
-            // the segment deadline).
-            if attempts <= self.policy.max_retries && self.clock_sec < deadline_end - 1e-9 {
-                self.counters.retries += 1;
-                rec.count("resilience.retries", 1);
-                let pause = self
-                    .policy
-                    .backoff_sec(attempt)
-                    .min(deadline_end - self.clock_sec);
-                self.counters.backoff_sec += pause;
-                rec.observe("resilience.backoff_sec", pause);
-                if rec.level() >= Level::Detail {
-                    rec.record(Event::Retry {
-                        segment,
-                        attempt,
-                        t_sec: self.clock_sec,
-                        backoff_sec: pause,
-                    });
-                }
-                self.clock_sec += pause;
-            }
-        }
-
-        // Deadline exhausted: skip the segment, charge the blackout.
-        let elapsed = self.clock_sec - request_time_sec;
-        self.buffer.drain(wait_sec);
-        let stall_sec = self.buffer.drain(elapsed);
-        let blackout_sec = stall_sec + SEGMENT_DURATION_SEC;
-        self.counters.skipped_segments += 1;
-        self.counters.blackout_sec += blackout_sec;
-        self.counters.recovery_sec += elapsed;
-        self.counters.wasted_bits += wasted_bits;
-        rec.count("resilience.skipped_segments", 1);
-        rec.observe("resilience.blackout_sec", blackout_sec);
-        rec.observe("resilience.recovery_sec", elapsed);
-        rec.observe("resilience.wasted_bits", wasted_bits);
-        if rec.level() >= Level::Summary {
-            rec.record(Event::Skip {
-                segment,
-                t_sec: self.clock_sec,
-                blackout_sec,
-                attempts,
-            });
-        }
-        DownloadOutcome::Skipped {
-            request_time_sec,
-            wait_sec,
-            elapsed_sec: elapsed,
-            blackout_sec,
-            wasted_bits,
-            attempts,
-            last_error,
         }
     }
 
     /// Resets to time zero with an empty buffer and zeroed counters (same
     /// trace, plan and policy).
     pub fn reset(&mut self) {
-        self.buffer.reset();
-        self.clock_sec = 0.0;
-        self.segments_completed = 0;
-        self.counters = ResilienceCounters::default();
+        self.core.reset();
     }
 }
 
@@ -922,6 +1149,40 @@ mod tests {
         let (log_b, c_b) = run();
         assert_eq!(log_a, log_b);
         assert_eq!(c_a, c_b);
+    }
+
+    #[test]
+    fn step_machine_matches_one_shot_download() {
+        // Driving begin/step by hand must be bit-identical to the
+        // one-shot API — outcomes, counters, clock and buffer.
+        let make = || {
+            let net = NetworkTrace::paper_trace2(300, 9);
+            let plan = FaultPlan::generate(FaultConfig::chaos_default(), 300.0, 21);
+            ResilientSession::new(net, plan, RetryPolicy::default_mobile(), 3.0)
+        };
+        let mut one_shot = make();
+        let mut stepped = make();
+        for k in 0..60 {
+            let a = one_shot.download_segment(k, &mut fixed_request(3.0e6));
+            let mut st = stepped.begin_download(k);
+            let b = loop {
+                if let Some(out) =
+                    stepped.step_download(&mut st, &mut fixed_request(3.0e6), &mut NoopRecorder)
+                {
+                    break out;
+                }
+            };
+            assert_eq!(a, b, "segment {k} diverged between engines");
+        }
+        assert_eq!(one_shot.counters(), stepped.counters());
+        assert_eq!(
+            one_shot.clock_sec().to_bits(),
+            stepped.clock_sec().to_bits()
+        );
+        assert_eq!(
+            one_shot.buffer_level_sec().to_bits(),
+            stepped.buffer_level_sec().to_bits()
+        );
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! A counting global-allocator shim for memory-bound regression tests.
+//!
+//! [`CountingAlloc`] wraps [`std::alloc::System`] and keeps two atomic
+//! tallies: bytes currently live and the high-water mark. Install it in
+//! a test binary with `#[global_allocator]`, snapshot around the code
+//! under test, and assert the peak against a pinned budget — a
+//! reintroduced per-session vector then fails loudly instead of
+//! silently regressing the fleet's memory story.
+//!
+//! The counters use relaxed atomics: the peak is exact under
+//! single-threaded use and a close lower bound under concurrency (an
+//! allocation racing the peak update can be missed by at most the size
+//! of the in-flight allocations), which is plenty for budget asserts.
+//!
+//! # Example
+//!
+//! ```ignore
+//! use ee360_support::alloc::CountingAlloc;
+//!
+//! #[global_allocator]
+//! static ALLOC: CountingAlloc = CountingAlloc::new();
+//!
+//! let before = ALLOC.reset_peak();
+//! run_workload();
+//! let peak = ALLOC.peak_bytes().saturating_sub(before);
+//! assert!(peak < BUDGET);
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A [`GlobalAlloc`] that delegates to the system allocator while
+/// tracking live bytes and their high-water mark.
+#[derive(Debug)]
+pub struct CountingAlloc {
+    live: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl CountingAlloc {
+    /// A fresh counter (all tallies zero).
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            live: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+        }
+    }
+
+    /// Bytes currently allocated and not yet freed.
+    pub fn live_bytes(&self) -> usize {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of live bytes since construction or the last
+    /// [`Self::reset_peak`].
+    pub fn peak_bytes(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Resets the high-water mark to the current live count and returns
+    /// that baseline, so a caller can measure the peak *delta* of a
+    /// workload: `peak_bytes() - reset_peak()`.
+    pub fn reset_peak(&self) -> usize {
+        let live = self.live.load(Ordering::Relaxed);
+        self.peak.store(live, Ordering::Relaxed);
+        live
+    }
+
+    fn add(&self, bytes: usize) {
+        let live = self.live.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(live, Ordering::Relaxed);
+    }
+
+    fn sub(&self, bytes: usize) {
+        self.live.fetch_sub(bytes, Ordering::Relaxed);
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: every path delegates verbatim to `System`, which upholds the
+// `GlobalAlloc` contract; the bookkeeping only touches atomics and never
+// inspects or aliases the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = unsafe { System.alloc(layout) };
+        if !ptr.is_null() {
+            self.add(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        self.sub(layout.size());
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = unsafe { System.alloc_zeroed(layout) };
+        if !ptr.is_null() {
+            self.add(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = unsafe { System.realloc(ptr, layout, new_size) };
+        if !new_ptr.is_null() {
+            // Old block freed, new block live.
+            self.sub(layout.size());
+            self.add(new_size);
+        }
+        new_ptr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Not installed as the global allocator here — exercised directly so
+    // the unit test stays independent of the test binary's allocator.
+    #[test]
+    fn tracks_live_and_peak_through_a_lifecycle() {
+        let counter = CountingAlloc::new();
+        let layout = Layout::from_size_align(1024, 8).expect("layout");
+        let a = unsafe { counter.alloc(layout) };
+        assert!(!a.is_null());
+        assert_eq!(counter.live_bytes(), 1024);
+        let b = unsafe { counter.alloc(layout) };
+        assert!(!b.is_null());
+        assert_eq!(counter.live_bytes(), 2048);
+        assert_eq!(counter.peak_bytes(), 2048);
+        unsafe { counter.dealloc(a, layout) };
+        assert_eq!(counter.live_bytes(), 1024);
+        assert_eq!(counter.peak_bytes(), 2048, "peak is a high-water mark");
+        let baseline = counter.reset_peak();
+        assert_eq!(baseline, 1024);
+        assert_eq!(counter.peak_bytes(), 1024);
+        unsafe { counter.dealloc(b, layout) };
+        assert_eq!(counter.live_bytes(), 0);
+    }
+
+    #[test]
+    fn realloc_retracks_the_block() {
+        let counter = CountingAlloc::new();
+        let layout = Layout::from_size_align(256, 8).expect("layout");
+        let ptr = unsafe { counter.alloc(layout) };
+        assert!(!ptr.is_null());
+        let grown = unsafe { counter.realloc(ptr, layout, 4096) };
+        assert!(!grown.is_null());
+        assert_eq!(counter.live_bytes(), 4096);
+        assert_eq!(counter.peak_bytes(), 4096);
+        let grown_layout = Layout::from_size_align(4096, 8).expect("layout");
+        unsafe { counter.dealloc(grown, grown_layout) };
+        assert_eq!(counter.live_bytes(), 0);
+    }
+}

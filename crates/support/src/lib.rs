@@ -12,11 +12,14 @@
 //!   regression-seed replay (replaces `proptest`),
 //! * [`parallel`] — a std-only scoped worker pool (replaces
 //!   `crossbeam`/`parking_lot`),
-//! * [`bench`] — a micro-benchmark timer (replaces `criterion`).
+//! * [`bench`] — a micro-benchmark timer (replaces `criterion`),
+//! * [`alloc`] — a counting global-allocator shim for memory-bound
+//!   regression tests (replaces `dhat`-style heap profiling).
 //!
 //! The repo policy is hermetic builds: new external dependencies are
 //! not added unless vendored into the tree. Extend this crate instead.
 
+pub mod alloc;
 pub mod bench;
 pub mod json;
 pub mod parallel;

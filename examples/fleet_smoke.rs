@@ -1,0 +1,129 @@
+//! Fleet smoke: a 10k-session event-driven fleet, offline + deterministic.
+//!
+//! ```sh
+//! cargo run --release --example fleet_smoke
+//! ```
+//!
+//! Runs the `sim::fleet` scale engine over a seeded chaos plan and
+//! verifies the fleet contract `scripts/ci.sh` gates on:
+//!
+//! 1. the fleet completes every segment slot (delivered + skipped),
+//! 2. two same-seed runs serialize byte-identically (fleet report JSON
+//!    *and* the folded obs report),
+//! 3. the worker count does not change a single byte of either,
+//! 4. the folded registry carries the `fleet.*` keys with reconciling
+//!    values (sessions counter = config, segments counter = report).
+//!
+//! Writes `results/fleet_report.json` (fleet report + obs report) and
+//! exits non-zero if any check fails.
+
+use ee360::obs::{export, Level, Recorder};
+use ee360::sim::fleet::{run_scale_fleet, EngineStats, FleetConfig, FleetReport};
+use ee360::trace::fault::{FaultConfig, FaultPlan};
+use ee360::trace::network::NetworkTrace;
+use ee360_support::json::{to_string, to_string_pretty, Json, ToJson};
+
+const SESSIONS: usize = 10_000;
+const SEGMENTS: usize = 8;
+const SEED: u64 = 2022;
+
+fn run(threads: usize) -> (FleetReport, EngineStats, Recorder, String, String) {
+    let network = NetworkTrace::paper_trace2(300, 11);
+    let faults = FaultPlan::generate(FaultConfig::chaos_default(), 300.0, 42).and_outage(40.0, 6.0);
+    let config = FleetConfig::new(SESSIONS, SEGMENTS, SEED).with_threads(threads);
+    let mut rec = Recorder::new(Level::Summary);
+    let (report, stats) = run_scale_fleet(&config, &network, &faults, &mut rec);
+    let report_json = to_string(&report).expect("fleet report serializes");
+    let obs_json = to_string(&export::report_json(&rec)).expect("obs report serializes");
+    (report, stats, rec, report_json, obs_json)
+}
+
+fn main() {
+    println!("fleet smoke: {SESSIONS} sessions x {SEGMENTS} segments, seeded chaos");
+
+    // 1. Completion.
+    let (report, stats, rec, report_json, obs_json) = run(1);
+    assert_eq!(
+        report.segments,
+        SESSIONS * SEGMENTS,
+        "every slot must be consumed"
+    );
+    assert_eq!(
+        report.delivered + report.skipped,
+        report.segments,
+        "slots are delivered or skipped, nothing else"
+    );
+    assert!(
+        !report.counters.is_clean(),
+        "chaos plan must leave a resilience trace"
+    );
+    println!(
+        "  completed: {} delivered, {} skipped, mean QoE {:.2}, {} events",
+        report.delivered, report.skipped, report.mean_qoe, stats.events
+    );
+
+    // 2. Same-seed replay, byte for byte.
+    let (_, _, _, replay_report, replay_obs) = run(1);
+    assert_eq!(report_json, replay_report, "fleet report must replay");
+    assert_eq!(obs_json, replay_obs, "obs report must replay");
+    println!("  replay: byte-identical (report {} B)", report_json.len());
+
+    // 3. Thread-count independence.
+    for threads in [4usize, 16] {
+        let (_, _, _, threaded_report, threaded_obs) = run(threads);
+        assert_eq!(
+            report_json, threaded_report,
+            "{threads} threads changed the fleet report"
+        );
+        assert_eq!(
+            obs_json, threaded_obs,
+            "{threads} threads changed the obs report"
+        );
+    }
+    println!("  threads: 1/4/16 byte-identical");
+
+    // 4. Registry keys present and reconciling.
+    let reg = rec.registry();
+    assert_eq!(
+        reg.counter("fleet.sessions"),
+        SESSIONS as u64,
+        "fleet.sessions must equal the configured fleet size"
+    );
+    assert_eq!(
+        reg.counter("fleet.segments"),
+        report.segments as u64,
+        "fleet.segments must reconcile with the report"
+    );
+    assert_eq!(reg.counter("fleet.delivered"), report.delivered as u64);
+    assert_eq!(reg.counter("fleet.skipped"), report.skipped as u64);
+    assert_eq!(reg.counter("fleet.events.replan"), report.replans);
+    let qoe_hist = reg
+        .histogram("fleet.session_qoe")
+        .expect("fleet.session_qoe histogram present");
+    assert_eq!(qoe_hist.count(), SESSIONS as u64);
+    println!("  registry: fleet.* keys present and reconciling");
+
+    // Export: fleet report + obs report in one artifact.
+    let artifact = Json::Obj(vec![
+        (
+            "schema".to_string(),
+            Json::Str("ee360-fleet-smoke-v1".to_string()),
+        ),
+        ("sessions".to_string(), Json::Int(SESSIONS as i64)),
+        (
+            "segments_per_session".to_string(),
+            Json::Int(SEGMENTS as i64),
+        ),
+        ("seed".to_string(), Json::Int(SEED as i64)),
+        ("fleet_report".to_string(), report.to_json()),
+        ("obs_report".to_string(), export::report_json(&rec)),
+    ]);
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write(
+        "results/fleet_report.json",
+        to_string_pretty(&artifact).expect("artifact serializes"),
+    )
+    .expect("write results/fleet_report.json");
+    println!("  wrote results/fleet_report.json");
+    println!("fleet contract held: deterministic, thread-independent, reconciled");
+}

@@ -40,6 +40,26 @@ for key in schema level events_recorded events_dropped spans metrics; do
     || { echo "obs report missing key: ${key}" >&2; exit 1; }
 done
 
+echo "==> fleet equivalence (blocking: event engine vs loop engine, full paper matrix)"
+# The event-driven fleet engine must be bit-identical to the loop
+# engine. The quick tier already ran in the workspace test pass above;
+# this stage adds the #[ignore]d 48-user x 8-video paper matrix (benign
+# + chaos) in release, which is the PR's acceptance pin.
+cargo test --release -q --offline --test fleet_equivalence -- --include-ignored
+
+echo "==> fleet smoke (10k-session event-driven fleet, offline + deterministic)"
+# Runs the sim::fleet scale engine over a seeded chaos plan and exits
+# non-zero unless every slot completes, two same-seed runs and every
+# worker count serialize byte-identically, and the folded fleet.*
+# registry keys reconcile with the report. Writes
+# results/fleet_report.json; the key grep below guards the artifact
+# schema the same way the obs smoke does.
+cargo run --release --offline --example fleet_smoke
+for key in schema sessions fleet_report obs_report mean_qoe total_energy_mj; do
+  grep -q "\"${key}\"" results/fleet_report.json \
+    || { echo "fleet report missing key: ${key}" >&2; exit 1; }
+done
+
 echo "==> perf smoke (non-blocking: tracked baseline, quick mode)"
 # Emits BENCH_perf.json (repo root) — the single canonical output — with
 # the solver plans/sec, session and quick-sweep wall times, and their

@@ -156,6 +156,65 @@ fn obs_trace_and_report_are_byte_identical_across_replays() {
     assert_eq!(report_a, report_b);
 }
 
+/// The fleet engine extends the replay policy: one seed, one fleet.
+/// Both fleet flavours — the scale fleet (`sim::fleet`) and the
+/// event-driven paper sessions (`core::fleet`) — must reproduce their
+/// JSON report, merged obs report, and JSONL trace byte-for-byte, at
+/// any worker count.
+#[test]
+fn fleet_runs_are_byte_identical_across_replays() {
+    // Scale fleet: aggregate report + folded registry.
+    let scale_run = |threads: usize| {
+        let network = NetworkTrace::paper_trace2(300, 9);
+        let faults =
+            FaultPlan::generate(FaultConfig::chaos_default(), 300.0, 13).and_outage(40.0, 6.0);
+        let config = ee360::sim::fleet::FleetConfig::new(500, 10, 31).with_threads(threads);
+        let mut rec = Recorder::new(Level::Summary);
+        let (report, _stats) =
+            ee360::sim::fleet::run_scale_fleet(&config, &network, &faults, &mut rec);
+        (
+            to_string(&report).expect("fleet report serializes"),
+            to_string_pretty(&export::report_json(&rec)).expect("obs report serializes"),
+            rec.trace_jsonl().expect("trace serializes"),
+        )
+    };
+    let scale_baseline = scale_run(1);
+    assert_eq!(scale_run(1), scale_baseline, "scale fleet must replay");
+    assert_eq!(
+        scale_run(4),
+        scale_baseline,
+        "scale fleet must be thread-count independent"
+    );
+
+    // Event-driven paper sessions: outcome + merged obs report + trace.
+    let paper_run = || {
+        let mut config = ExperimentConfig::quick_test();
+        config.max_segments = Some(25);
+        let eval = Evaluation::prepare_videos(config, &VideoCatalog::paper_default(), Some(&[2]));
+        let faults =
+            FaultPlan::generate(FaultConfig::chaos_default(), 400.0, 77).and_outage(30.0, 8.0);
+        let mut rec = Recorder::new(Level::Detail);
+        let outcome = eval.run_fleet_traced(
+            2,
+            Scheme::Ours,
+            &faults,
+            &RetryPolicy::default_mobile(),
+            &mut rec,
+        );
+        (
+            to_string(&outcome).expect("outcome serializes"),
+            to_string_pretty(&export::report_json(&rec)).expect("obs report serializes"),
+            rec.trace_jsonl().expect("trace serializes"),
+        )
+    };
+    let paper_baseline = paper_run();
+    assert!(
+        !paper_baseline.2.is_empty(),
+        "Detail trace must have events"
+    );
+    assert_eq!(paper_run(), paper_baseline, "paper fleet must replay");
+}
+
 /// Recording is observation, not participation: the simulation output is
 /// byte-identical whether the session runs silent (`Level::Off` recorder,
 /// which keeps nothing) or fully instrumented at `Detail`.
