@@ -32,8 +32,8 @@ impl RateBasedController {
     /// Creates a baseline controller with the paper's size model.
     pub fn new(scheme: Scheme) -> Self {
         assert!(
-            scheme != Scheme::Ours,
-            "use MpcController for the Ours scheme"
+            scheme != Scheme::Ours && scheme != Scheme::RobustMpc,
+            "use MpcController/RobustMpcController for the MPC schemes"
         );
         Self {
             scheme,
@@ -83,8 +83,8 @@ impl RateBasedController {
                     (self.sizer.ctile_bits(q, content), DecoderScheme::Ctile)
                 }
             }
-            // lint:allow(no-panic-paths, "documented invariant: Scheme::Ours is rejected by new()")
-            Scheme::Ours => unreachable!("rejected in new()"),
+            // lint:allow(no-panic-paths, "documented invariant: the MPC schemes are rejected by new()")
+            Scheme::Ours | Scheme::RobustMpc => unreachable!("rejected in new()"),
         }
     }
 

@@ -6,7 +6,8 @@ use ee360_video::ladder::EncodingLadder;
 use crate::plan::{SegmentContext, SegmentPlan};
 use crate::sizer::SchemeSizer;
 
-/// The five evaluated schemes (Section V-A).
+/// The five evaluated schemes (Section V-A), plus the beyond-paper
+/// robust variant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scheme {
     /// Conventional fixed 4×8 tiling.
@@ -19,6 +20,10 @@ pub enum Scheme {
     Ptile,
     /// The paper's energy-efficient QoE-aware MPC algorithm.
     Ours,
+    /// Beyond-paper: chance-constrained MPC planning against FoV and
+    /// bandwidth uncertainty quantiles. Not in [`Scheme::ALL`] — the
+    /// paper's figures compare exactly the five published schemes.
+    RobustMpc,
 }
 
 ee360_support::impl_json_enum!(Scheme {
@@ -26,7 +31,8 @@ ee360_support::impl_json_enum!(Scheme {
     Ftile,
     Nontile,
     Ptile,
-    Ours
+    Ours,
+    RobustMpc
 });
 
 impl Scheme {
@@ -47,6 +53,7 @@ impl Scheme {
             Scheme::Nontile => "Nontile",
             Scheme::Ptile => "Ptile",
             Scheme::Ours => "Ours",
+            Scheme::RobustMpc => "RobustMpc",
         }
     }
 
@@ -58,7 +65,7 @@ impl Scheme {
             Scheme::Ctile => DecoderScheme::Ctile,
             Scheme::Ftile => DecoderScheme::Ftile,
             Scheme::Nontile => DecoderScheme::Nontile,
-            Scheme::Ptile | Scheme::Ours => DecoderScheme::Ptile,
+            Scheme::Ptile | Scheme::Ours | Scheme::RobustMpc => DecoderScheme::Ptile,
         }
     }
 }
@@ -97,6 +104,56 @@ impl SolverStats {
             memo_hits: self.memo_hits.saturating_sub(earlier.memo_hits),
             memo_misses: self.memo_misses.saturating_sub(earlier.memo_misses),
             states_expanded: self.states_expanded.saturating_sub(earlier.states_expanded),
+        }
+    }
+}
+
+/// Cumulative uncertainty-handling counters for the robust controller,
+/// exposed for observability.
+///
+/// Like [`SolverStats`], all integer fields are lifetime totals diffed
+/// around a `plan` call; the two `f64` fields carry the latest width and
+/// the controller's own running sum, which observability reconciles
+/// bit-exactly against the `robust.quantile_width_deg` histogram.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RobustStats {
+    /// Plans whose DP bandwidth was scaled down by the margin factor.
+    pub margin_applied: u64,
+    /// Plans whose coverage target was widened by a non-zero FoV
+    /// quantile.
+    pub widened_plans: u64,
+    /// Realised prediction errors that exceeded the point-plan slack but
+    /// fell inside the widened band — misses the widening paid for.
+    pub coverage_miss_saved: u64,
+    /// The FoV error quantile (degrees) applied by the most recent plan.
+    pub last_width_deg: f64,
+    /// Running sum of applied widths across all widened plans.
+    pub width_sum_deg: f64,
+}
+
+ee360_support::impl_json_struct!(RobustStats {
+    margin_applied,
+    widened_plans,
+    coverage_miss_saved,
+    last_width_deg,
+    width_sum_deg
+});
+
+impl RobustStats {
+    /// Component-wise `self - earlier` on the counters, for per-plan
+    /// attribution; the width fields carry `self`'s latest values (they
+    /// are gauges, not counters). Saturates rather than wrapping if
+    /// snapshots are swapped.
+    #[must_use]
+    pub fn since(&self, earlier: &RobustStats) -> RobustStats {
+        RobustStats {
+            margin_applied: self.margin_applied.saturating_sub(earlier.margin_applied),
+            widened_plans: self.widened_plans.saturating_sub(earlier.widened_plans),
+            coverage_miss_saved: self
+                .coverage_miss_saved
+                .saturating_sub(earlier.coverage_miss_saved),
+            last_width_deg: self.last_width_deg,
+            width_sum_deg: self.width_sum_deg,
         }
     }
 }
@@ -168,6 +225,18 @@ pub trait Controller {
     fn solver_stats(&self) -> Option<SolverStats> {
         None
     }
+
+    /// Cumulative uncertainty-handling counters, when the controller
+    /// plans against uncertainty. Default: `None` (point controllers
+    /// have no margin accounting).
+    fn robust_stats(&self) -> Option<RobustStats> {
+        None
+    }
+
+    /// Feeds back the realised viewport prediction error (degrees) once
+    /// a segment plays and the true viewing center is known. Default:
+    /// ignored — only the robust controller fits its residual sketch.
+    fn observe_prediction_error(&mut self, _error_deg: f64) {}
 }
 
 #[cfg(test)]

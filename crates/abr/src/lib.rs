@@ -18,8 +18,9 @@
 //!
 //! Modules: [`plan`] (contexts and decisions), [`sizer`] (per-scheme
 //! segment sizes), [`baselines`] (the four rate-based schemes), [`mpc`]
-//! (Ours), [`oracle`] (a brute-force optimum used to certify the DP in
-//! tests and ablations).
+//! (Ours), [`robust`] (the beyond-paper chance-constrained variant that
+//! plans against FoV/bandwidth uncertainty quantiles), [`oracle`] (a
+//! brute-force optimum used to certify the DP in tests and ablations).
 //!
 //! # Example
 //!
@@ -42,11 +43,13 @@ pub mod mpc;
 pub mod oracle;
 pub mod plan;
 pub mod reference;
+pub mod robust;
 pub mod sizer;
 
 pub use baselines::RateBasedController;
-pub use controller::{Controller, Scheme};
+pub use controller::{Controller, RobustStats, Scheme};
 pub use dual::EnergyBudgetController;
 pub use mpc::{MpcConfig, MpcController};
 pub use plan::{SegmentContext, SegmentPlan};
+pub use robust::RobustMpcController;
 pub use sizer::SchemeSizer;

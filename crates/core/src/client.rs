@@ -23,6 +23,7 @@ use ee360_abr::baselines::RateBasedController;
 use ee360_abr::controller::{Controller, Scheme};
 use ee360_abr::mpc::{MpcConfig, MpcController};
 use ee360_abr::plan::{SegmentContext, SegmentPlan};
+use ee360_abr::robust::RobustMpcController;
 use ee360_geom::grid::TileGrid;
 use ee360_geom::region::TileRegion;
 use ee360_geom::switching::SwitchingSample;
@@ -69,6 +70,11 @@ pub fn make_controller(scheme: Scheme, phone: Phone) -> Box<dyn Controller> {
             let mut cfg = MpcConfig::paper_default();
             cfg.phone = phone;
             Box::new(MpcController::new(cfg))
+        }
+        Scheme::RobustMpc => {
+            let mut cfg = MpcConfig::paper_default();
+            cfg.phone = phone;
+            Box::new(RobustMpcController::new(cfg))
         }
         other => Box::new(RateBasedController::new(other)),
     }
@@ -222,6 +228,9 @@ struct PendingDownload {
     observed_s_fov: f64,
     ptile_region: Option<TileRegion>,
     ftile_selection: Option<(Vec<usize>, f64)>,
+    /// FoV widening (degrees) the robust controller applied to this plan;
+    /// 0.0 for point plans, so the booking path is untouched for them.
+    robust_width_deg: f64,
     download_timer: StageTimer,
 }
 
@@ -445,10 +454,33 @@ impl<'a> SessionRunner<'a> {
         };
         rec.span_open("segment", self.session.clock_sec());
         let stats_before = controller.solver_stats();
+        let robust_before = controller.robust_stats();
         let solver_timer = StageTimer::start(rec.profiling());
         let plan = controller.plan(&ctx);
         if let Some(dt) = solver_timer.stop() {
             rec.observe("profile.solver_wall_sec", dt);
+        }
+        // Uncertainty accounting: diff the robust controller's own
+        // counters around the plan and mirror them into the registry,
+        // observing the exact width value the controller accumulated so
+        // the histogram sum reconciles bit-exactly with its books.
+        let robust_delta = match (robust_before, controller.robust_stats()) {
+            (Some(before), Some(after)) => Some(after.since(&before)),
+            _ => None,
+        };
+        let robust_width_deg = robust_delta
+            .as_ref()
+            .filter(|d| d.widened_plans > 0)
+            .map(|d| d.last_width_deg)
+            .unwrap_or(0.0);
+        if rec.level() >= Level::Summary {
+            if let Some(delta) = &robust_delta {
+                rec.count("robust.margin_applied", delta.margin_applied);
+                rec.count("robust.widened_plans", delta.widened_plans);
+                if delta.widened_plans > 0 {
+                    rec.observe("robust.quantile_width_deg", delta.last_width_deg);
+                }
+            }
         }
         if rec.level() >= Level::Summary {
             let delta = match (stats_before, controller.solver_stats()) {
@@ -497,6 +529,7 @@ impl<'a> SessionRunner<'a> {
             observed_s_fov,
             ptile_region,
             ftile_selection,
+            robust_width_deg,
             download_timer,
         });
         true
@@ -658,6 +691,19 @@ impl<'a> SessionRunner<'a> {
         let content = pending.ctx.upcoming[0];
         let predicted = pending.predicted;
         let actual = self.setup.user.segment_center(k).unwrap_or(predicted);
+        // The played segment reveals the true viewing center: feed the
+        // realised prediction error back so the robust controller's
+        // residual sketch tracks this user's actual miss distribution.
+        let robust_before = controller.robust_stats();
+        controller.observe_prediction_error(predicted.distance_deg(&actual));
+        if rec.level() >= Level::Summary {
+            if let (Some(before), Some(after)) = (robust_before, controller.robust_stats()) {
+                rec.count(
+                    "robust.coverage_miss_saved",
+                    after.since(&before).coverage_miss_saved,
+                );
+            }
+        }
         let actual_s_fov = self
             .setup
             .user
@@ -675,6 +721,26 @@ impl<'a> SessionRunner<'a> {
                     }
                     _ => 1.0,
                 }
+            }
+            (Scheme::RobustMpc, Some(region))
+                if used_plan.decode_scheme == ee360_power::model::DecoderScheme::Ptile
+                    && pending.robust_width_deg > 0.0 =>
+            {
+                // The widened plan paid for guard blocks around the
+                // predicted viewport: book coverage against the union of
+                // the Ptile and the widened-FoV block, matching the area
+                // the controller charged itself for.
+                let w = pending.robust_width_deg;
+                let widened = Viewport::new(
+                    predicted,
+                    (100.0 + 2.0 * w).min(360.0),
+                    (100.0 + 2.0 * w).min(180.0),
+                );
+                let guard = self.grid.fov_block(&widened);
+                let union = TileRegion::from_tiles(&self.grid, region.tiles().chain(guard))
+                    // lint:allow(no-panic-paths, "documented invariant: the Ptile region is non-empty")
+                    .expect("union of non-empty regions is non-empty");
+                overlap_fraction(&union, &self.grid, &actual_vp)
             }
             (_, Some(region))
                 if used_plan.decode_scheme == ee360_power::model::DecoderScheme::Ptile =>

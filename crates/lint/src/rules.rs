@@ -144,7 +144,11 @@ pub const CLOCK_ENV_EXEMPT: [&str; 5] = [
 /// Files forming the seeded-hash path, where float→int `as` casts are
 /// banned (they silently change hashed values if an expression drifts
 /// between float and int domains).
-pub const SEEDED_HASH_FILES: [&str; 2] = ["crates/trace/src/fault.rs", "crates/support/src/rng.rs"];
+pub const SEEDED_HASH_FILES: [&str; 3] = [
+    "crates/trace/src/fault.rs",
+    "crates/support/src/rng.rs",
+    "crates/support/src/quantile.rs",
+];
 
 const INT_TYPES: [&str; 12] = [
     "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
@@ -486,6 +490,20 @@ mod tests {
         // Pure integer casts in the seeded-hash file are fine.
         let int_src = "fn f(x: u64) -> u32 { x as u32 }";
         assert!(rules_fired("trace", "crates/trace/src/fault.rs", int_src).is_empty());
+    }
+
+    #[test]
+    fn quantile_sketch_is_on_the_seeded_hash_list() {
+        // The robust-control path fits quantiles online; a float→int
+        // cast there would silently skew every downstream margin.
+        let src = "fn f(q: f64, n: usize) -> usize { (q * n as f64) as usize }";
+        assert!(
+            rules_fired("support", "crates/support/src/quantile.rs", src)
+                .contains(&RuleId::Determinism)
+        );
+        // Other support files keep the ordinary (cast-permitting) rules.
+        assert!(!rules_fired("support", "crates/support/src/bench.rs", src)
+            .contains(&RuleId::Determinism));
     }
 
     #[test]

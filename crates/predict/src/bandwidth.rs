@@ -7,6 +7,7 @@
 use std::collections::VecDeque;
 
 use ee360_numeric::stats::harmonic_mean;
+use ee360_support::quantile::QuantileSketch;
 
 /// A windowed bandwidth estimator fed one throughput sample per downloaded
 /// segment.
@@ -166,6 +167,141 @@ impl BandwidthEstimator for LastSampleEstimator {
     }
 }
 
+/// Downside margin for a bandwidth estimate, fitted online from the
+/// estimator's own realised errors.
+///
+/// After each download the client knows both what it *planned against*
+/// (the harmonic-mean estimate) and what it *got* (the realised
+/// throughput). The ratio `actual / estimated` streams into a
+/// deterministic [`QuantileSketch`]; a downside quantile of that ratio
+/// (p25 by default) is the multiplicative safety factor the robust
+/// controller applies before the DP transition, so it plans against the
+/// p25 bandwidth instead of the mean. Until enough ratios are observed
+/// the factor is exactly 1.0 — the signal that keeps the robust
+/// controller bit-identical to the point controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandwidthMargin {
+    sketch: QuantileSketch,
+    /// Estimates seen alongside the ratios, so [`Self::factor_for`] can
+    /// tell a *fresh* optimistic estimate from one that has already
+    /// collapsed below its recent range.
+    estimates: QuantileSketch,
+    quantile: f64,
+    min_samples: usize,
+}
+
+impl BandwidthMargin {
+    /// Floor on the margin factor: even a pathological error history
+    /// never scales the planning bandwidth below a tenth of the estimate.
+    pub const MIN_FACTOR: f64 = 0.1;
+
+    /// Creates a margin tracking the given downside `quantile` of the
+    /// realised/estimated throughput ratio, inert until `min_samples`
+    /// ratios have been observed.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < quantile ≤ 1` and `min_samples ≥ 1`.
+    pub fn new(cap: usize, quantile: f64, min_samples: usize) -> Self {
+        assert!(
+            quantile > 0.0 && quantile <= 1.0,
+            "quantile must be in (0, 1], got {quantile}"
+        );
+        assert!(min_samples >= 1, "min_samples must be at least 1");
+        Self {
+            sketch: QuantileSketch::new(cap),
+            estimates: QuantileSketch::new(cap),
+            quantile,
+            min_samples,
+        }
+    }
+
+    /// The evaluation default: p25 downside ratio over a 128-sample
+    /// sketch, warming up after 8 downloads.
+    pub fn paper_default() -> Self {
+        Self::new(128, 0.25, 8)
+    }
+
+    /// Records one realised outcome: the estimate the plan used and the
+    /// throughput actually achieved.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive or non-finite inputs.
+    pub fn observe(&mut self, estimated_bps: f64, actual_bps: f64) {
+        validate(estimated_bps);
+        validate(actual_bps);
+        self.sketch.observe(actual_bps / estimated_bps);
+        self.estimates.observe(estimated_bps);
+    }
+
+    /// The multiplicative safety factor to apply to the next estimate:
+    /// exactly 1.0 while warming up, otherwise the downside ratio
+    /// quantile clamped to `[MIN_FACTOR, 1.0]` (over-delivery never
+    /// inflates the plan).
+    pub fn factor(&self) -> f64 {
+        if self.sketch.len() < self.min_samples {
+            return 1.0;
+        }
+        self.sketch
+            .quantile(self.quantile)
+            .unwrap_or(1.0)
+            .clamp(Self::MIN_FACTOR, 1.0)
+    }
+
+    /// [`Self::factor`] guarded against double-counting: the downside
+    /// ratios in the sketch were measured against estimates that had not
+    /// yet priced a collapse in, so once the estimator itself has caught
+    /// up — the current estimate sits in the bottom quartile of the
+    /// estimates seen recently — deflating it *again* would charge the
+    /// plan twice for the same outage. Returns 1.0 for such depressed
+    /// estimates, the ordinary downside factor otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive or non-finite `estimate_bps`.
+    pub fn factor_for(&self, estimate_bps: f64) -> f64 {
+        validate(estimate_bps);
+        if let Some(floor) = self.depressed_floor() {
+            if estimate_bps < floor {
+                return 1.0;
+            }
+        }
+        self.factor()
+    }
+
+    /// The depressed-estimate guard's threshold: the bottom quartile of
+    /// the raw estimates observed recently, present once the margin is
+    /// warm. Estimates below it already carry the collapse the ratio
+    /// sketch measured, so [`Self::factor_for`] leaves them alone. The
+    /// floor only moves when a sample arrives, so callers that plan more
+    /// often than they observe can cache it instead of paying the sketch
+    /// query per plan.
+    pub fn depressed_floor(&self) -> Option<f64> {
+        if self.sketch.len() >= self.min_samples {
+            self.estimates.quantile(0.25)
+        } else {
+            None
+        }
+    }
+
+    /// Ratios currently retained by the sketch.
+    pub fn len(&self) -> usize {
+        self.sketch.len()
+    }
+
+    /// `true` before the first observation.
+    pub fn is_empty(&self) -> bool {
+        self.sketch.is_empty()
+    }
+
+    /// Drops all history, as if freshly constructed.
+    pub fn reset(&mut self) {
+        self.sketch.reset();
+        self.estimates.reset();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,5 +386,72 @@ mod tests {
     #[should_panic(expected = "window")]
     fn zero_window_panics() {
         let _ = HarmonicMeanEstimator::new(0);
+    }
+
+    #[test]
+    fn margin_is_unity_until_warm() {
+        let mut m = BandwidthMargin::new(32, 0.25, 4);
+        for _ in 0..3 {
+            m.observe(10.0e6, 5.0e6); // persistent 2× over-estimate
+            assert_eq!(m.factor(), 1.0, "cold margin must be inert");
+        }
+        m.observe(10.0e6, 5.0e6); // 4th sample: warm
+        assert!((m.factor() - 0.5).abs() < 1e-12, "got {}", m.factor());
+    }
+
+    #[test]
+    fn depressed_estimate_skips_the_margin() {
+        let mut m = BandwidthMargin::new(64, 0.25, 4);
+        // Normal operation: persistent 20% over-estimates at ~10 Mbps.
+        for _ in 0..6 {
+            m.observe(10.0e6, 8.0e6);
+        }
+        assert!((m.factor() - 0.8).abs() < 1e-12);
+        // Once the estimator has priced a collapse in, the estimate sits
+        // far below its recent range — deflating it again would charge
+        // the plan twice for the same outage.
+        assert_eq!(m.factor_for(1.0e6), 1.0);
+        // An estimate inside the usual range still gets the margin.
+        assert!((m.factor_for(10.0e6) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn margin_tracks_downside_quantile_of_ratio() {
+        let mut m = BandwidthMargin::new(64, 0.25, 4);
+        // Ratios 0.6, 0.8, 1.0, 1.2: p25 by interpolation is 0.75.
+        for actual in [6.0e6, 8.0e6, 10.0e6, 12.0e6] {
+            m.observe(10.0e6, actual);
+        }
+        assert!((m.factor() - 0.75).abs() < 1e-12, "got {}", m.factor());
+    }
+
+    #[test]
+    fn margin_never_exceeds_unity_or_falls_below_floor() {
+        let mut hi = BandwidthMargin::new(16, 0.25, 2);
+        hi.observe(5.0e6, 10.0e6);
+        hi.observe(5.0e6, 20.0e6); // over-delivery: ratios > 1
+        assert_eq!(hi.factor(), 1.0);
+
+        let mut lo = BandwidthMargin::new(16, 0.25, 2);
+        lo.observe(100.0e6, 1.0); // catastrophic over-estimates
+        lo.observe(100.0e6, 1.0);
+        assert_eq!(lo.factor(), BandwidthMargin::MIN_FACTOR);
+    }
+
+    #[test]
+    fn margin_reset_restores_unity() {
+        let mut m = BandwidthMargin::new(16, 0.25, 1);
+        m.observe(10.0e6, 5.0e6);
+        assert!(m.factor() < 1.0);
+        m.reset();
+        assert!(m.is_empty());
+        assert_eq!(m.factor(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn margin_rejects_bad_samples() {
+        let mut m = BandwidthMargin::paper_default();
+        m.observe(0.0, 5.0e6);
     }
 }

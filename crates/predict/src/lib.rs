@@ -32,7 +32,10 @@ pub mod forecast;
 pub mod viewport;
 
 pub use bandwidth::{
-    ArithmeticMeanEstimator, BandwidthEstimator, HarmonicMeanEstimator, LastSampleEstimator,
+    ArithmeticMeanEstimator, BandwidthEstimator, BandwidthMargin, HarmonicMeanEstimator,
+    LastSampleEstimator,
 };
 pub use forecast::ArForecaster;
-pub use viewport::{PredictorKind, ViewportPredictor};
+pub use viewport::{
+    PredictError, PredictorKind, ResidualTracker, ViewportForecast, ViewportPredictor,
+};

@@ -6,9 +6,55 @@
 //! downloaded. The yaw series is unwrapped before regression so a pan
 //! through the antimeridian looks linear rather than discontinuous.
 
+use std::error::Error;
+use std::fmt;
+
 use ee360_geom::switching::SwitchingSample;
 use ee360_geom::viewport::ViewCenter;
 use ee360_numeric::ridge::RidgeRegression;
+use ee360_support::quantile::QuantileSketch;
+
+/// Why a predictor could not be built or a prediction could not be made.
+///
+/// Mirrors the `HeadTraceError`/`VideoError` pattern: a plain enum with a
+/// `Display` impl, so callers can match on the variant or surface the
+/// message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PredictError {
+    /// Ridge regularisation strength was negative.
+    NegativeLambda {
+        /// The offending λ.
+        lambda: f64,
+    },
+    /// The history window was zero or negative.
+    NonPositiveWindow {
+        /// The offending window length (seconds).
+        window_sec: f64,
+    },
+    /// The prediction horizon was negative or non-finite.
+    InvalidHorizon {
+        /// The offending horizon (seconds).
+        horizon_sec: f64,
+    },
+}
+
+impl fmt::Display for PredictError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            PredictError::NegativeLambda { lambda } => {
+                write!(f, "lambda must be non-negative, got {lambda}")
+            }
+            PredictError::NonPositiveWindow { window_sec } => {
+                write!(f, "window must be positive, got {window_sec}")
+            }
+            PredictError::InvalidHorizon { horizon_sec } => {
+                write!(f, "horizon must be non-negative, got {horizon_sec}")
+            }
+        }
+    }
+}
+
+impl Error for PredictError {}
 
 /// Which regression backs the predictor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,19 +127,37 @@ impl ViewportPredictor {
         }
     }
 
-    /// A custom predictor.
+    /// A custom predictor; infallible wrapper around [`Self::try_new`].
     ///
     /// # Panics
     ///
     /// Panics if `lambda` is negative or `window_sec` is not positive.
     pub fn new(kind: PredictorKind, lambda: f64, window_sec: f64) -> Self {
-        assert!(lambda >= 0.0, "lambda must be non-negative");
-        assert!(window_sec > 0.0, "window must be positive");
-        Self {
+        match Self::try_new(kind, lambda, window_sec) {
+            Ok(p) => p,
+            // lint:allow(no-panic-paths, "documented panic: infallible wrapper; try_new is the graceful API")
+            Err(e) => panic!("invalid predictor config: {e}"),
+        }
+    }
+
+    /// A custom predictor, rejecting bad configuration as a
+    /// [`PredictError`] instead of panicking.
+    pub fn try_new(
+        kind: PredictorKind,
+        lambda: f64,
+        window_sec: f64,
+    ) -> Result<Self, PredictError> {
+        if !(lambda >= 0.0) {
+            return Err(PredictError::NegativeLambda { lambda });
+        }
+        if !(window_sec > 0.0) {
+            return Err(PredictError::NonPositiveWindow { window_sec });
+        }
+        Ok(Self {
             kind,
             lambda,
             window_sec,
-        }
+        })
     }
 
     /// Which regression this predictor uses.
@@ -103,12 +167,35 @@ impl ViewportPredictor {
 
     /// Predicts the viewing center `horizon_sec` seconds after the last
     /// sample. Returns `None` when `history` is empty; a single sample
-    /// predicts itself.
+    /// predicts itself. Infallible wrapper around [`Self::try_predict`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon_sec` is negative or non-finite.
     pub fn predict(&self, history: &[SwitchingSample], horizon_sec: f64) -> Option<ViewCenter> {
-        assert!(
-            horizon_sec.is_finite() && horizon_sec >= 0.0,
-            "horizon must be non-negative"
-        );
+        match self.try_predict(history, horizon_sec) {
+            Ok(c) => c,
+            // lint:allow(no-panic-paths, "documented panic: infallible wrapper; try_predict is the graceful API")
+            Err(e) => panic!("invalid prediction request: {e}"),
+        }
+    }
+
+    /// Fallible prediction: a bad horizon comes back as a
+    /// [`PredictError`] instead of a panic. `Ok(None)` means an empty
+    /// history — no prediction is possible, but nothing was invalid.
+    pub fn try_predict(
+        &self,
+        history: &[SwitchingSample],
+        horizon_sec: f64,
+    ) -> Result<Option<ViewCenter>, PredictError> {
+        if !(horizon_sec.is_finite() && horizon_sec >= 0.0) {
+            return Err(PredictError::InvalidHorizon { horizon_sec });
+        }
+        Ok(self.predict_inner(history, horizon_sec))
+    }
+
+    /// The regression core, reached only with a validated horizon.
+    fn predict_inner(&self, history: &[SwitchingSample], horizon_sec: f64) -> Option<ViewCenter> {
         let last = history.last()?;
         if matches!(self.kind, PredictorKind::LastSample) || history.len() == 1 {
             return Some(last.center);
@@ -181,6 +268,127 @@ impl ViewportPredictor {
     ) -> Option<f64> {
         self.predict(history, horizon_sec)
             .map(|p| p.distance_deg(&truth))
+    }
+
+    /// Point prediction plus the residual error quantile fitted online by
+    /// `tracker` — the uncertainty-aware counterpart of [`Self::predict`].
+    /// While the tracker is cold the quantile is 0° and the forecast
+    /// degenerates to the point estimate.
+    pub fn forecast(
+        &self,
+        history: &[SwitchingSample],
+        horizon_sec: f64,
+        tracker: &ResidualTracker,
+    ) -> Option<ViewportForecast> {
+        let center = self.predict(history, horizon_sec)?;
+        Some(ViewportForecast {
+            center,
+            error_quantile_deg: tracker.width_deg(),
+        })
+    }
+}
+
+/// A viewport prediction with its uncertainty: the point estimate plus
+/// the residual error quantile realised so far at this horizon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ViewportForecast {
+    /// The point estimate (same value [`ViewportPredictor::predict`]
+    /// returns).
+    pub center: ViewCenter,
+    /// The tracked residual quantile in degrees; 0.0 until the tracker
+    /// has seen enough realised errors.
+    pub error_quantile_deg: f64,
+}
+
+/// Online tracker of *realised* viewport prediction errors.
+///
+/// Each played segment reveals the true viewing center; feeding the
+/// prediction error (degrees) into this tracker fits the residual
+/// distribution with a deterministic [`QuantileSketch`], so the robust
+/// controller can plan against "the error exceeded X° only 10% of the
+/// time" instead of trusting the point estimate. Pure function of the
+/// observation sequence — no clock, no RNG — so same-seed replays stay
+/// bit-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidualTracker {
+    sketch: QuantileSketch,
+    quantile: f64,
+    min_samples: usize,
+}
+
+impl ResidualTracker {
+    /// Creates a tracker reporting the given error `quantile`, staying
+    /// silent (width 0°) until `min_samples` errors have been observed.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < quantile ≤ 1` and `min_samples ≥ 1`.
+    pub fn new(cap: usize, quantile: f64, min_samples: usize) -> Self {
+        assert!(
+            quantile > 0.0 && quantile <= 1.0,
+            "quantile must be in (0, 1], got {quantile}"
+        );
+        assert!(min_samples >= 1, "min_samples must be at least 1");
+        Self {
+            sketch: QuantileSketch::new(cap),
+            quantile,
+            min_samples,
+        }
+    }
+
+    /// The evaluation default: p90 residual width over a 128-sample
+    /// sketch, warming up after 8 realised errors.
+    pub fn paper_default() -> Self {
+        Self::new(128, 0.9, 8)
+    }
+
+    /// Feeds one realised prediction error.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite errors.
+    pub fn observe_error_deg(&mut self, error_deg: f64) {
+        assert!(
+            error_deg.is_finite() && error_deg >= 0.0,
+            "prediction errors must be non-negative, got {error_deg}"
+        );
+        self.sketch.observe(error_deg);
+    }
+
+    /// The tracked error quantile in degrees, or 0.0 while the tracker is
+    /// still warming up (fewer than `min_samples` errors seen). Zero
+    /// width is the signal that keeps the robust controller bit-identical
+    /// to the point controller.
+    pub fn width_deg(&self) -> f64 {
+        if self.sketch.len() < self.min_samples {
+            return 0.0;
+        }
+        self.sketch.quantile(self.quantile).unwrap_or(0.0)
+    }
+
+    /// Empirical probability that the realised error stays within
+    /// `slack_deg` — an estimate of the viewport hit probability given
+    /// that much angular slack. Optimistic 1.0 while warming up.
+    pub fn hit_probability(&self, slack_deg: f64) -> f64 {
+        if self.sketch.len() < self.min_samples {
+            return 1.0;
+        }
+        self.sketch.fraction_at_or_below(slack_deg).unwrap_or(1.0)
+    }
+
+    /// Realised errors currently retained by the sketch.
+    pub fn len(&self) -> usize {
+        self.sketch.len()
+    }
+
+    /// `true` before the first realised error.
+    pub fn is_empty(&self) -> bool {
+        self.sketch.is_empty()
+    }
+
+    /// Drops all realised errors, as if freshly constructed.
+    pub fn reset(&mut self) {
+        self.sketch.reset();
     }
 }
 
@@ -325,15 +533,80 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "horizon")]
-    fn negative_horizon_panics() {
+    fn negative_horizon_is_a_typed_error() {
         let p = ViewportPredictor::paper_default();
-        let _ = p.predict(&pan_history(1.0, 5, 0.1), -1.0);
+        assert_eq!(
+            p.try_predict(&pan_history(1.0, 5, 0.1), -1.0),
+            Err(PredictError::InvalidHorizon { horizon_sec: -1.0 })
+        );
+        assert!(matches!(
+            p.try_predict(&pan_history(1.0, 5, 0.1), f64::NAN),
+            Err(PredictError::InvalidHorizon { .. })
+        ));
+        // A valid horizon on an empty history is Ok(None), not an error.
+        assert_eq!(p.try_predict(&[], 1.0), Ok(None));
     }
 
     #[test]
-    #[should_panic(expected = "lambda")]
-    fn negative_lambda_panics() {
-        let _ = ViewportPredictor::new(PredictorKind::Ridge, -0.1, 1.0);
+    fn bad_config_is_a_typed_error() {
+        assert_eq!(
+            ViewportPredictor::try_new(PredictorKind::Ridge, -0.1, 1.0),
+            Err(PredictError::NegativeLambda { lambda: -0.1 })
+        );
+        assert_eq!(
+            ViewportPredictor::try_new(PredictorKind::Ridge, 0.1, 0.0),
+            Err(PredictError::NonPositiveWindow { window_sec: 0.0 })
+        );
+        assert!(ViewportPredictor::try_new(PredictorKind::Ridge, 0.0, 2.0).is_ok());
+    }
+
+    #[test]
+    fn predict_error_messages_name_the_field() {
+        let e = PredictError::NegativeLambda { lambda: -0.1 };
+        assert!(e.to_string().contains("lambda"));
+        let e = PredictError::InvalidHorizon { horizon_sec: -1.0 };
+        assert!(e.to_string().contains("horizon"));
+        let e = PredictError::NonPositiveWindow { window_sec: 0.0 };
+        assert!(e.to_string().contains("window"));
+    }
+
+    #[test]
+    fn tracker_is_silent_until_warm_then_reports_quantile() {
+        let mut tr = ResidualTracker::new(64, 0.9, 8);
+        for i in 0..7 {
+            tr.observe_error_deg(i as f64);
+            assert_eq!(tr.width_deg(), 0.0, "cold tracker must report zero");
+            assert_eq!(tr.hit_probability(0.0), 1.0);
+        }
+        tr.observe_error_deg(7.0); // 8th sample: warm
+        let w = tr.width_deg();
+        // p90 of {0..7} by linear interpolation: 6.3.
+        assert!((w - 6.3).abs() < 1e-9, "width was {w}");
+        assert!(tr.hit_probability(3.0) > 0.4 && tr.hit_probability(3.0) < 0.6);
+        tr.reset();
+        assert!(tr.is_empty());
+        assert_eq!(tr.width_deg(), 0.0);
+    }
+
+    #[test]
+    fn forecast_pairs_point_estimate_with_tracked_width() {
+        let p = ViewportPredictor::paper_default();
+        let h = pan_history(15.0, 21, 0.1);
+        let mut tr = ResidualTracker::new(32, 0.9, 2);
+        let cold = p.forecast(&h, 0.5, &tr).unwrap();
+        assert_eq!(cold.error_quantile_deg, 0.0);
+        assert_eq!(cold.center, p.predict(&h, 0.5).unwrap());
+        tr.observe_error_deg(4.0);
+        tr.observe_error_deg(8.0);
+        let warm = p.forecast(&h, 0.5, &tr).unwrap();
+        assert_eq!(warm.center, cold.center, "width must not move the point");
+        assert!(warm.error_quantile_deg > 0.0);
+    }
+
+    #[test]
+    fn forecast_empty_history_is_none() {
+        let p = ViewportPredictor::paper_default();
+        let tr = ResidualTracker::paper_default();
+        assert!(p.forecast(&[], 1.0, &tr).is_none());
     }
 }

@@ -43,6 +43,7 @@ use ee360_power::model::{DecoderScheme, Phone, PowerModel};
 use ee360_qoe::impairment::{QoeWeights, SegmentQoe};
 use ee360_qoe::quality::QoModel;
 use ee360_support::parallel::parallel_map_indexed;
+use ee360_support::quantile::QuantileSketch;
 use ee360_support::rng::StdRng;
 use ee360_trace::fault::FaultPlan;
 use ee360_trace::network::NetworkTrace;
@@ -264,6 +265,11 @@ pub struct FleetConfig {
     pub phone: Phone,
     /// Retry/timeout policy every session runs under.
     pub policy: RetryPolicy,
+    /// When set, each session plans against the p25 downside quantile of
+    /// its realised/estimated throughput ratios (the scale-fleet
+    /// counterpart of the robust controller's bandwidth margin). Off by
+    /// default — the point fleet stays bit-identical to the seed.
+    pub robust_margin: bool,
 }
 
 impl FleetConfig {
@@ -278,12 +284,19 @@ impl FleetConfig {
             start_spread_sec: 2.0,
             phone: Phone::Pixel3,
             policy: RetryPolicy::default_mobile(),
+            robust_margin: false,
         }
     }
 
     /// Sets the worker-thread count (clamped to at least 1).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Enables the per-session downside bandwidth margin.
+    pub fn with_robust_margin(mut self) -> Self {
+        self.robust_margin = true;
         self
     }
 }
@@ -422,6 +435,10 @@ pub struct ScaleDriver<'a> {
     bw_est_bps: f64,
     prev_qo: Option<f64>,
     summary: SessionSummary,
+    /// Downside-ratio sketch for the robust bandwidth margin; boxed and
+    /// `None` unless [`FleetConfig::robust_margin`] is set, so the
+    /// point-fleet hot state (and its heap budget) is untouched.
+    margin: Option<Box<QuantileSketch>>,
 }
 
 impl<'a> ScaleDriver<'a> {
@@ -442,6 +459,23 @@ impl<'a> ScaleDriver<'a> {
             bw_est_bps: 0.7 * env.network.bandwidth_at(0.0),
             prev_qo: None,
             summary: SessionSummary::default(),
+            margin: env
+                .config
+                .robust_margin
+                .then(|| Box::new(QuantileSketch::new(64))),
+        }
+    }
+
+    /// The margin factor the next replan applies: the p25 downside
+    /// quantile of realised/estimated throughput ratios, clamped to
+    /// `[0.1, 1.0]`; exactly 1.0 while the sketch is cold (< 8 ratios)
+    /// or the margin is disabled.
+    fn margin_factor(&self) -> f64 {
+        match &self.margin {
+            Some(sketch) if sketch.len() >= 8 => {
+                sketch.quantile(0.25).unwrap_or(1.0).clamp(0.1, 1.0)
+            }
+            _ => 1.0,
         }
     }
 
@@ -473,7 +507,7 @@ impl<'a> ScaleDriver<'a> {
         self.coverage = 0.85 + 0.15 * self.rng.gen_f64();
         // Rate-based rung-0 pick: the cheapest rung that fits 80% of the
         // EWMA estimate, stepped down once more when the buffer is thin.
-        let budget_bits = 0.8 * self.bw_est_bps * SEGMENT_DURATION_SEC;
+        let budget_bits = 0.8 * self.bw_est_bps * self.margin_factor() * SEGMENT_DURATION_SEC;
         let mut level = SCALE_LADDER_BITS.len() - 1;
         for (i, &bits) in SCALE_LADDER_BITS.iter().enumerate() {
             if bits <= budget_bits {
@@ -524,6 +558,13 @@ impl<'a> ScaleDriver<'a> {
                 self.summary.delivered += 1;
                 self.summary.bits += bits + wasted_bits;
                 self.summary.stall_sec += timing.stall_sec;
+                // Ratio against the estimate the plan actually used —
+                // observed before the EWMA folds in the new sample.
+                if let Some(sketch) = self.margin.as_mut() {
+                    if self.bw_est_bps > 0.0 && timing.throughput_bps > 0.0 {
+                        sketch.observe(timing.throughput_bps / self.bw_est_bps);
+                    }
+                }
                 self.bw_est_bps = 0.8 * self.bw_est_bps + 0.2 * timing.throughput_bps;
                 let energy = SegmentEnergy::compute(
                     &self.env.power,
@@ -852,6 +893,56 @@ mod tests {
             "one replan per slot plus one terminal replan per session"
         );
         assert_eq!(stats.download_completes as usize, report.segments);
+    }
+
+    #[test]
+    fn robust_margin_replays_and_changes_the_fleet() {
+        let (network, faults) = chaos_inputs();
+        // Sessions must live past the outage at t = 40 s: the margin only
+        // bites once the sketch has seen the downside ratios it causes.
+        let run = |robust: bool, threads: usize| {
+            let mut config = FleetConfig::new(24, 60, 11).with_threads(threads);
+            if robust {
+                config = config.with_robust_margin();
+            }
+            let (report, _) =
+                run_scale_fleet(&config, &network, &faults, &mut ee360_obs::NoopRecorder);
+            to_string(&report).unwrap()
+        };
+        // The margined fleet obeys the same replay policy at any thread
+        // count…
+        let robust_baseline = run(true, 1);
+        assert_eq!(run(true, 1), robust_baseline, "robust fleet must replay");
+        assert_eq!(
+            run(true, 4),
+            robust_baseline,
+            "robust fleet must be thread-count independent"
+        );
+        // …and actually plans differently once its sketches warm up.
+        assert_ne!(
+            robust_baseline,
+            run(false, 1),
+            "a warm margin must change rung choices under chaos"
+        );
+    }
+
+    #[test]
+    fn margin_factor_is_unity_when_disabled_or_cold() {
+        let (network, faults) = chaos_inputs();
+        let config = FleetConfig::new(1, 4, 3);
+        let env = ScaleEnv::new(&config, &network, &faults);
+        let off = ScaleDriver::new(&env, 0);
+        assert_eq!(off.margin_factor(), 1.0);
+
+        let robust_config = FleetConfig::new(1, 4, 3).with_robust_margin();
+        let renv = ScaleEnv::new(&robust_config, &network, &faults);
+        let mut cold = ScaleDriver::new(&renv, 0);
+        assert_eq!(cold.margin_factor(), 1.0, "cold sketch must be inert");
+        // Warm it with a persistent 2× over-estimate: factor tracks p25.
+        for _ in 0..8 {
+            cold.margin.as_mut().unwrap().observe(0.5);
+        }
+        assert!((cold.margin_factor() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //!   `crossbeam`/`parking_lot`),
 //! * [`bench`] — a micro-benchmark timer (replaces `criterion`),
 //! * [`alloc`] — a counting global-allocator shim for memory-bound
-//!   regression tests (replaces `dhat`-style heap profiling).
+//!   regression tests (replaces `dhat`-style heap profiling),
+//! * [`quantile`] — a deterministic streaming quantile sketch for the
+//!   robust-control path (replaces `tdigest`-style sketches).
 //!
 //! The repo policy is hermetic builds: new external dependencies are
 //! not added unless vendored into the tree. Extend this crate instead.
@@ -24,6 +26,7 @@ pub mod bench;
 pub mod json;
 pub mod parallel;
 pub mod prop;
+pub mod quantile;
 pub mod rng;
 
 /// The imports test modules want: the `proptest!` macro family plus the

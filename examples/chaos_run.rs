@@ -1,13 +1,15 @@
 //! Seeded chaos scenario: a mid-stream radio blackout plus a fault storm.
 //!
 //! ```sh
-//! cargo run --release --example chaos_run [Nexus5X|Pixel3|GalaxyS20] [--storm] [--obs]
+//! cargo run --release --example chaos_run [Nexus5X|Pixel3|GalaxyS20] \
+//!     [--storm] [--obs] [--scheme ours|robust-mpc]
 //! ```
 //!
-//! Streams the paper's `Ours` scheme over LTE trace 2 with a 10 s
-//! zero-bandwidth outage injected at t = 30 s (plus, with `--storm`, a
-//! seeded storm of outages, latency spikes, losses and corruptions), and
-//! verifies the resilience contract:
+//! Streams the paper's `Ours` scheme (or, with `--scheme robust-mpc`,
+//! the beyond-paper uncertainty-aware controller) over LTE trace 2 with
+//! a 10 s zero-bandwidth outage injected at t = 30 s (plus, with
+//! `--storm`, a seeded storm of outages, latency spikes, losses and
+//! corruptions), and verifies the resilience contract:
 //!
 //! 1. the session completes without panicking or hanging,
 //! 2. the outage leaves a trace in the resilience counters (an abandon,
@@ -26,6 +28,12 @@
 //! same-seed traces serialize byte-identically, and the exported
 //! `results/obs_report.json` re-parses with every required key present.
 //! `scripts/ci.sh` runs this as its observability smoke stage.
+//!
+//! `--scheme robust-mpc` switches to [`Scheme::RobustMpc`] and streams
+//! the wandering-gaze fixture (video 5) instead, so the robust widening
+//! actually engages; with `--obs` the exported report then carries the
+//! `robust.*` uncertainty counters — `scripts/ci.sh` greps those as its
+//! robust-control smoke stage.
 
 use ee360::abr::controller::Scheme;
 use ee360::cluster::ptile::PtileConfig;
@@ -44,6 +52,12 @@ use ee360_support::json::to_string;
 
 const SEGMENTS: usize = 60;
 const SEED: u64 = 5;
+/// Head-trace seed for the robust fixture — the wandering-gaze regime
+/// where the residual tracker's width clears [`MIN_GROW_DEG`] (same
+/// fixture as `tests/robustness.rs`).
+///
+/// [`MIN_GROW_DEG`]: ee360::abr::robust::MIN_GROW_DEG
+const ROBUST_TRACE_SEED: u64 = 41;
 
 fn parse_phone(arg: &str) -> Option<Phone> {
     match arg {
@@ -54,22 +68,43 @@ fn parse_phone(arg: &str) -> Option<Phone> {
     }
 }
 
-fn chaos_metrics(phone: Phone, faults: &FaultPlan) -> SessionMetrics {
-    chaos_metrics_traced(phone, faults, &mut ee360::obs::NoopRecorder)
+fn chaos_metrics(scheme: Scheme, phone: Phone, faults: &FaultPlan) -> SessionMetrics {
+    chaos_metrics_traced(scheme, phone, faults, &mut ee360::obs::NoopRecorder)
 }
 
 fn chaos_metrics_traced(
+    scheme: Scheme,
     phone: Phone,
     faults: &FaultPlan,
     rec: &mut dyn ee360::obs::Record,
 ) -> SessionMetrics {
     let catalog = VideoCatalog::paper_default();
-    let spec = catalog.video(2).expect("catalog has video 2");
-    let traces = VideoTraces::generate(spec, 10, SEED, GazeConfig::default());
+    // The robust scheme streams the wandering-gaze fixture: prediction
+    // misses escape the point slack often enough for the widening to
+    // engage, while Ptiles keep covering the predicted viewport.
+    // (Fixture matches tests/robustness.rs::exploratory_fixture.)
+    let (video, users, trace_seed, gaze) = if scheme == Scheme::RobustMpc {
+        (
+            5,
+            12,
+            ROBUST_TRACE_SEED,
+            GazeConfig {
+                roam_probability: 0.15,
+                exploratory_offset_deg: 14.0,
+                flick_rate_hz: 1.8,
+                ..GazeConfig::default()
+            },
+        )
+    } else {
+        (2, 10, SEED, GazeConfig::default())
+    };
+    let spec = catalog.video(video).expect("catalog has the video");
+    let traces = VideoTraces::generate(spec, users, trace_seed, gaze);
     let refs: Vec<&HeadTrace> = traces.traces().iter().collect();
+    let refs = &refs[..users - 2];
     let server = VideoServer::prepare(
         spec,
-        &refs[..8],
+        refs,
         TileGrid::paper_default(),
         PtileConfig::paper_default(),
     );
@@ -82,20 +117,20 @@ fn chaos_metrics_traced(
         phone,
         max_segments: Some(SEGMENTS),
     };
-    run_session_resilient_traced(
-        Scheme::Ours,
-        &setup,
-        faults,
-        &RetryPolicy::default_mobile(),
-        rec,
-    )
+    run_session_resilient_traced(scheme, &setup, faults, &RetryPolicy::default_mobile(), rec)
 }
 
 /// Runs the observability smoke: live recording, exact reconciliation
 /// against the session aggregates, byte-identical same-seed traces, and
 /// an exported report that re-parses with all required keys. Appends any
 /// violations to `failures`.
-fn obs_smoke(phone: Phone, faults: &FaultPlan, untraced_json: &str, failures: &mut Vec<String>) {
+fn obs_smoke(
+    scheme: Scheme,
+    phone: Phone,
+    faults: &FaultPlan,
+    untraced_json: &str,
+    failures: &mut Vec<String>,
+) {
     use ee360::obs::{export, profile, Level, Recorder};
 
     // Wall-clock stage timers are opt-in (`EE360_OBS_PROFILE=1`); they
@@ -103,7 +138,7 @@ fn obs_smoke(phone: Phone, faults: &FaultPlan, untraced_json: &str, failures: &m
     // trace, so the byte-identical replay check below survives them.
     let profiling = profile::profiling_from_env();
     let mut rec = Recorder::new(Level::Detail).with_profiling(profiling);
-    let metrics = chaos_metrics_traced(phone, faults, &mut rec);
+    let metrics = chaos_metrics_traced(scheme, phone, faults, &mut rec);
     let traced_json = to_string(&metrics).expect("metrics serialize");
     if traced_json != untraced_json {
         failures.push("recorder is not write-only: traced metrics diverged from untraced".into());
@@ -161,9 +196,35 @@ fn obs_smoke(phone: Phone, faults: &FaultPlan, untraced_json: &str, failures: &m
         ));
     }
 
+    // The robust scheme's uncertainty accounting must surface in the
+    // registry: the wandering-gaze fixture is tuned so the widening
+    // engages, and the exported report is what the CI robust smoke greps.
+    if scheme == Scheme::RobustMpc {
+        if reg.counter("robust.widened_plans") == 0 {
+            failures.push("robust run never widened a plan".into());
+        }
+        println!("\nrobust counters:");
+        println!(
+            "  margin applied     {}",
+            reg.counter("robust.margin_applied")
+        );
+        println!(
+            "  widened plans      {}",
+            reg.counter("robust.widened_plans")
+        );
+        println!(
+            "  coverage saved     {}",
+            reg.counter("robust.coverage_miss_saved")
+        );
+        println!(
+            "  width sum          {:.1} deg",
+            reg.hist_sum("robust.quantile_width_deg")
+        );
+    }
+
     // Same-seed trace replay: byte-identical JSONL (profiling off).
     let mut rec2 = Recorder::new(Level::Detail).with_profiling(profiling);
-    let _ = chaos_metrics_traced(phone, faults, &mut rec2);
+    let _ = chaos_metrics_traced(scheme, phone, faults, &mut rec2);
     let trace_a = rec.trace_jsonl().expect("trace serializes");
     let trace_b = rec2.trace_jsonl().expect("trace serializes");
     if trace_a != trace_b {
@@ -222,6 +283,19 @@ fn main() {
         .unwrap_or(Phone::Pixel3);
     let storm = args.iter().any(|a| a == "--storm");
     let obs = args.iter().any(|a| a == "--obs");
+    let scheme = match args
+        .iter()
+        .position(|a| a == "--scheme")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        Some("robust-mpc") => Scheme::RobustMpc,
+        Some("ours") | None => Scheme::Ours,
+        Some(other) => {
+            eprintln!("unknown --scheme {other:?}; expected ours or robust-mpc");
+            std::process::exit(2);
+        }
+    };
 
     // The headline scenario: a 10 s dead radio starting at t = 30.
     let mut faults = FaultPlan::single_outage(30.0, 10.0);
@@ -232,15 +306,19 @@ fn main() {
             FaultPlan::generate(FaultConfig::chaos_default(), 400.0, SEED).and_outage(30.0, 10.0);
     }
 
-    println!("chaos run: phone={phone:?} storm={storm} obs={obs} segments={SEGMENTS} seed={SEED}",);
+    println!(
+        "chaos run: scheme={} phone={phone:?} storm={storm} obs={obs} \
+         segments={SEGMENTS} seed={SEED}",
+        scheme.label()
+    );
     println!(
         "fault plan: {} scheduled event(s), {:.1} s total outage",
         faults.events().len(),
         faults.total_outage_sec()
     );
 
-    let metrics = chaos_metrics(phone, &faults);
-    let replay = chaos_metrics(phone, &faults);
+    let metrics = chaos_metrics(scheme, phone, &faults);
+    let replay = chaos_metrics(scheme, phone, &faults);
 
     let mut failures = Vec::new();
 
@@ -268,7 +346,7 @@ fn main() {
     }
 
     if obs {
-        obs_smoke(phone, &faults, &json_a, &mut failures);
+        obs_smoke(scheme, phone, &faults, &json_a, &mut failures);
     }
 
     println!("\nresilience counters:");

@@ -40,6 +40,17 @@ for key in schema level events_recorded events_dropped spans metrics; do
     || { echo "obs report missing key: ${key}" >&2; exit 1; }
 done
 
+echo "==> robust-control smoke (chance-constrained MPC, wandering gaze + storm)"
+# The uncertainty-aware controller over the wandering-gaze fixture with
+# the full fault storm. The example exits non-zero unless the robust
+# widening actually engages and the run replays byte-identically; the
+# greps pin the robust.* uncertainty counters in the exported report.
+cargo run --release --offline --example chaos_run -- Pixel3 --scheme robust-mpc --storm --obs
+for key in robust.margin_applied robust.widened_plans robust.coverage_miss_saved robust.quantile_width_deg; do
+  grep -q "\"${key}\"" results/obs_report.json \
+    || { echo "obs report missing robust key: ${key}" >&2; exit 1; }
+done
+
 echo "==> fleet equivalence (blocking: event engine vs loop engine, full paper matrix)"
 # The event-driven fleet engine must be bit-identical to the loop
 # engine. The quick tier already ran in the workspace test pass above;

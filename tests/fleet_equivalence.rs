@@ -170,6 +170,45 @@ fn fleet_matches_loop_across_sizes_plans_and_threads() {
     }
 }
 
+/// The robust controller is stateful across segments (residual and
+/// margin sketches warm as outcomes arrive), which makes it the
+/// sharpest probe of engine equivalence: any ordering difference in how
+/// the engines deliver outcomes would skew a sketch and fork the plans.
+#[test]
+fn robust_mpc_fleet_matches_loop() {
+    let policy = RetryPolicy::default_mobile();
+    let eval = eval_with_users(4, 15);
+    for (faults, plan_label) in [(benign_plan(), "benign"), (chaos_plan(), "chaos")] {
+        let (loop_sessions, loop_rec) = loop_reference(
+            &eval,
+            2,
+            Scheme::RobustMpc,
+            &faults,
+            &policy,
+            Level::Summary,
+        );
+        for threads in [1usize, 4] {
+            let mut fleet_rec = Recorder::new(Level::Summary);
+            let (fleet_sessions, _stats) = fleet_sessions_traced(
+                &eval,
+                2,
+                Scheme::RobustMpc,
+                &faults,
+                &policy,
+                threads,
+                &mut fleet_rec,
+            );
+            assert_bit_identical(
+                &format!("robust plan={plan_label} threads={threads}"),
+                &loop_sessions,
+                &loop_rec,
+                &fleet_sessions,
+                &fleet_rec,
+            );
+        }
+    }
+}
+
 #[test]
 fn fleet_outcome_aggregate_matches_run_traced() {
     let eval = eval_with_users(4, 15);

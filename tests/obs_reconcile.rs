@@ -201,6 +201,78 @@ fn mpc_solver_stats_surface_in_the_registry() {
     );
 }
 
+/// The robust controller's uncertainty accounting mirrors into the
+/// registry exactly: integer equality for the `robust.*` counters and a
+/// bit-exact f64 sum for the widening histogram, both against the
+/// controller's own end-of-run [`RobustStats`] — the obs layer observes
+/// the same deltas, in the same order, as the controller accumulates.
+#[test]
+fn robust_counters_reconcile_exactly_with_controller_accounting() {
+    use ee360::abr::controller::Controller;
+    use ee360::abr::mpc::MpcConfig;
+    use ee360::abr::robust::RobustMpcController;
+    use ee360::core::client::run_session_traced;
+
+    // The wandering-gaze regime from tests/robustness.rs: misses escape
+    // the point slack often enough for the widening to engage while the
+    // Ptile keeps covering the predicted viewport.
+    let catalog = VideoCatalog::paper_default();
+    let spec = catalog.video(5).expect("catalog has video 5");
+    let gaze = GazeConfig {
+        roam_probability: 0.15,
+        exploratory_offset_deg: 14.0,
+        flick_rate_hz: 1.8,
+        ..GazeConfig::default()
+    };
+    let traces = VideoTraces::generate(spec, 12, 41, gaze);
+    let refs: Vec<&HeadTrace> = traces.traces().iter().collect();
+    let server = VideoServer::prepare(
+        spec,
+        &refs[..10],
+        TileGrid::paper_default(),
+        PtileConfig::paper_default(),
+    );
+    let network = NetworkTrace::paper_trace2(400, 41);
+    let user = traces.traces().last().expect("generated users");
+    let setup = SessionSetup {
+        server: &server,
+        user,
+        network: &network,
+        phone: Phone::Pixel3,
+        max_segments: Some(80),
+    };
+    let faults = FaultPlan::generate(FaultConfig::chaos_default(), 400.0, 77).and_outage(30.0, 8.0);
+    let mut cfg = MpcConfig::paper_default();
+    cfg.phone = Phone::Pixel3;
+    let mut controller = RobustMpcController::new(cfg);
+    let mut rec = Recorder::new(Level::Summary);
+    let _metrics = run_session_traced(
+        &mut controller,
+        &setup,
+        &faults,
+        &RetryPolicy::default_mobile(),
+        &mut rec,
+    );
+    let stats = controller
+        .robust_stats()
+        .expect("robust controller reports stats");
+    assert!(
+        stats.widened_plans > 0,
+        "the wandering-gaze chaos run must widen plans: {stats:?}"
+    );
+    let reg = rec.registry();
+    assert_eq!(reg.counter("robust.margin_applied"), stats.margin_applied);
+    assert_eq!(reg.counter("robust.widened_plans"), stats.widened_plans);
+    assert_eq!(
+        reg.counter("robust.coverage_miss_saved"),
+        stats.coverage_miss_saved
+    );
+    assert_eq!(
+        reg.hist_sum("robust.quantile_width_deg").to_bits(),
+        stats.width_sum_deg.to_bits()
+    );
+}
+
 /// Experiment-level merge: the aggregated registry is identical for any
 /// session-thread count, because per-session recorders are merged in
 /// user index order after the fan-out joins.

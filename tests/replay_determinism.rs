@@ -104,6 +104,61 @@ fn end_to_end_evaluation_json_is_byte_identical() {
     assert_eq!(run(), run());
 }
 
+/// The robust controller extends the replay policy: its quantile
+/// sketches, widening decisions, and margin gating are all seeded-input
+/// functions, so a `RobustMpc` session — traced, under chaos faults,
+/// with wandering gaze so the widening actually engages — replays to a
+/// byte-identical serialized form, and so does its obs trace.
+#[test]
+fn robust_mpc_session_replay_is_byte_identical() {
+    let catalog = VideoCatalog::paper_default();
+    let spec = catalog.video(5).unwrap();
+    let run_once = || {
+        let gaze = GazeConfig {
+            roam_probability: 0.15,
+            exploratory_offset_deg: 14.0,
+            flick_rate_hz: 1.8,
+            ..GazeConfig::default()
+        };
+        let traces = VideoTraces::generate(spec, 12, 41, gaze);
+        let refs: Vec<_> = traces.traces().iter().collect();
+        let server = VideoServer::prepare(
+            spec,
+            &refs[..10],
+            TileGrid::paper_default(),
+            PtileConfig::paper_default(),
+        );
+        let network = NetworkTrace::paper_trace2(400, 41);
+        let user = traces.traces().last().unwrap();
+        let setup = SessionSetup {
+            server: &server,
+            user,
+            network: &network,
+            phone: Phone::Pixel3,
+            max_segments: Some(60),
+        };
+        let faults =
+            FaultPlan::generate(FaultConfig::chaos_default(), 400.0, 77).and_outage(30.0, 8.0);
+        let mut rec = Recorder::new(Level::Detail);
+        let metrics = run_session_resilient_traced(
+            Scheme::RobustMpc,
+            &setup,
+            &faults,
+            &RetryPolicy::default_mobile(),
+            &mut rec,
+        );
+        (
+            to_string(&metrics).expect("metrics serialize"),
+            rec.trace_jsonl().expect("trace serializes"),
+            rec.registry().counter("robust.widened_plans"),
+        )
+    };
+    let a = run_once();
+    let b = run_once();
+    assert!(a.2 > 0, "the wandering-gaze run must exercise the widening");
+    assert_eq!(a, b, "RobustMpc must replay byte-for-byte");
+}
+
 /// Runs one instrumented chaos session and returns its recorder plus the
 /// serialized session metrics. Profiling stays off: wall-clock timers are
 /// the one sanctioned nondeterminism and must never leak into replays.
