@@ -57,6 +57,33 @@ impl Scheme {
         }
     }
 
+    /// Kebab-case command-line token, as accepted by `--scheme` flags.
+    pub fn cli_token(&self) -> &'static str {
+        match self {
+            Scheme::Ctile => "ctile",
+            Scheme::Ftile => "ftile",
+            Scheme::Nontile => "nontile",
+            Scheme::Ptile => "ptile",
+            Scheme::Ours => "ours",
+            Scheme::RobustMpc => "robust-mpc",
+        }
+    }
+
+    /// Parses a `--scheme` token; the inverse of [`Scheme::cli_token`].
+    /// Accepts every variant, including [`Scheme::RobustMpc`], which is
+    /// deliberately absent from [`Scheme::ALL`].
+    pub fn from_cli_token(token: &str) -> Option<Scheme> {
+        match token {
+            "ctile" => Some(Scheme::Ctile),
+            "ftile" => Some(Scheme::Ftile),
+            "nontile" => Some(Scheme::Nontile),
+            "ptile" => Some(Scheme::Ptile),
+            "ours" => Some(Scheme::Ours),
+            "robust-mpc" => Some(Scheme::RobustMpc),
+            _ => None,
+        }
+    }
+
     /// The Table I decode-pipeline row this scheme runs when the viewport
     /// is Ptile-covered. (Ptile/Ours fall back to the Ctile pipeline when
     /// no Ptile covers the predicted viewport.)
@@ -263,6 +290,41 @@ mod tests {
         let json = ee360_support::json::to_string(&Scheme::Ours).unwrap();
         let back: Scheme = ee360_support::json::from_str(&json).unwrap();
         assert_eq!(back, Scheme::Ours);
+    }
+
+    #[test]
+    fn robust_mpc_round_trips_everywhere_despite_living_outside_all() {
+        // RobustMpc is intentionally excluded from the paper's plotting
+        // set — pin that first so a future edit can't silently change
+        // which schemes the figures compare.
+        assert!(!Scheme::ALL.contains(&Scheme::RobustMpc));
+
+        // Every surface must agree on its spelling: obs metric labels and
+        // figure legends use `label()`, JSON reports serialise through
+        // `impl_json_enum` (same string), and `chaos_run --scheme` parses
+        // the kebab-case CLI token.
+        assert_eq!(Scheme::RobustMpc.label(), "RobustMpc");
+        let json = ee360_support::json::to_string(&Scheme::RobustMpc).unwrap();
+        assert_eq!(json, "\"RobustMpc\"");
+        let back: Scheme = ee360_support::json::from_str(&json).unwrap();
+        assert_eq!(back, Scheme::RobustMpc);
+        assert_eq!(Scheme::RobustMpc.cli_token(), "robust-mpc");
+        assert_eq!(
+            Scheme::from_cli_token("robust-mpc"),
+            Some(Scheme::RobustMpc)
+        );
+    }
+
+    #[test]
+    fn cli_tokens_round_trip_for_every_scheme() {
+        for s in Scheme::ALL.into_iter().chain([Scheme::RobustMpc]) {
+            assert_eq!(Scheme::from_cli_token(s.cli_token()), Some(s), "{s:?}");
+            // The JSON string is always the label, for all six variants.
+            let json = ee360_support::json::to_string(&s).unwrap();
+            assert_eq!(json, format!("{:?}", s.label()));
+        }
+        assert_eq!(Scheme::from_cli_token("robustmpc"), None);
+        assert_eq!(Scheme::from_cli_token(""), None);
     }
 
     use ee360_video::content::SiTi;

@@ -86,8 +86,9 @@ impl TileRegion {
         if tiles.is_empty() {
             return None;
         }
-        let row_min = tiles.iter().map(|t| t.row).min().unwrap();
-        let row_max = tiles.iter().map(|t| t.row).max().unwrap();
+        let (row_min, row_max) = tiles.iter().fold((usize::MAX, 0), |(lo, hi), t| {
+            (lo.min(t.row), hi.max(t.row))
+        });
 
         // Find the shortest circular arc of columns covering all tile columns:
         // equivalently, remove the largest gap between consecutive occupied

@@ -5,15 +5,20 @@ use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use crate::callgraph::CallGraph;
+use crate::interproc::{self, PragmaIndex};
 use crate::lexer::{lex, Pragma};
 use crate::manifest::scan_manifest;
+use crate::parser::{parse_file, ParsedFile};
 use crate::report::{Report, RuleSummary, SuppressedViolation, Violation};
 use crate::rules::{scan_tokens, FileContext, RawViolation, RuleId, Severity};
 
-/// Severity configuration: per-rule levels, overridable from the CLI.
+/// Severity configuration: per-rule levels, overridable from the CLI,
+/// plus the interprocedural rules' entry-point sets.
 #[derive(Debug, Clone)]
 pub struct Config {
     severities: BTreeMap<&'static str, Severity>,
+    entries: BTreeMap<&'static str, Vec<String>>,
 }
 
 impl Default for Config {
@@ -21,14 +26,58 @@ impl Default for Config {
         let mut severities = BTreeMap::new();
         severities.insert(RuleId::NoPanicPaths.id(), Severity::Deny);
         // Indexing is pervasive in numeric code; it is reported but does
-        // not fail the gate until the burn-down completes.
+        // not fail the gate until the burn-down completes. The
+        // interprocedural panic rule inherits this level for its
+        // indexing arm.
         severities.insert(RuleId::VecIndex.id(), Severity::Warn);
         severities.insert(RuleId::Determinism.id(), Severity::Deny);
         severities.insert(RuleId::Hermeticity.id(), Severity::Deny);
         severities.insert(RuleId::FloatCompare.id(), Severity::Deny);
         severities.insert(RuleId::NoPrintlnInLib.id(), Severity::Deny);
+        severities.insert(RuleId::PanicReachability.id(), Severity::Deny);
+        severities.insert(RuleId::HotPathAlloc.id(), Severity::Deny);
+        severities.insert(RuleId::DeterminismTaint.id(), Severity::Deny);
         severities.insert(RuleId::BadPragma.id(), Severity::Deny);
-        Self { severities }
+
+        // Entry points are matched as qname suffixes at `::` boundaries.
+        let mut entries: BTreeMap<&'static str, Vec<String>> = BTreeMap::new();
+        let own = |names: &[&str]| names.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>();
+        entries.insert(
+            RuleId::PanicReachability.id(),
+            own(&[
+                "sim::fleet::run_scale_fleet",
+                "abr::mpc::MpcController::plan",
+                "abr::mpc::MpcController::solve_with_bandwidths",
+                "core::client::run_session",
+                "core::client::run_session_with",
+                "core::client::run_session_traced",
+                "core::client::run_session_resilient",
+                "core::client::run_session_resilient_traced",
+                "core::client::run_session_resilient_with",
+            ]),
+        );
+        entries.insert(
+            RuleId::HotPathAlloc.id(),
+            own(&[
+                "sim::fleet::ScaleDriver::on_event",
+                "sim::fleet::ScaleDriver::start",
+                "abr::mpc::MpcController::solve_with_bandwidths",
+            ]),
+        );
+        entries.insert(
+            RuleId::DeterminismTaint.id(),
+            own(&[
+                "sim::fleet::run_scale_fleet",
+                "abr::mpc::MpcController::plan",
+                "core::client::run_session",
+                "core::client::run_session_resilient",
+                "core::client::run_session_resilient_traced",
+            ]),
+        );
+        Self {
+            severities,
+            entries,
+        }
     }
 }
 
@@ -45,6 +94,16 @@ impl Config {
     pub fn set_severity(&mut self, rule: RuleId, severity: Severity) {
         self.severities.insert(rule.id(), severity);
     }
+
+    /// The entry-point patterns of an interprocedural rule.
+    pub fn entries(&self, rule: RuleId) -> &[String] {
+        self.entries.get(rule.id()).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Replaces one rule's entry-point set.
+    pub fn set_entries(&mut self, rule: RuleId, patterns: Vec<String>) {
+        self.entries.insert(rule.id(), patterns);
+    }
 }
 
 /// Directory names whose contents are exempt from scanning: test code,
@@ -54,51 +113,109 @@ const EXEMPT_DIRS: [&str; 5] = ["tests", "benches", "examples", "fixtures", "tar
 
 /// Scans a whole workspace rooted at `root`.
 pub fn scan_workspace(root: &Path, config: &Config) -> Report {
+    scan_workspace_full(root, config).0
+}
+
+/// Scans a whole workspace and also returns the call graph (for
+/// `--callgraph` export and entry-resolution tests).
+pub fn scan_workspace_full(root: &Path, config: &Config) -> (Report, CallGraph) {
     let mut rs_files = Vec::new();
     let mut toml_files = Vec::new();
     collect_files(root, root, &mut rs_files, &mut toml_files);
     rs_files.sort();
     toml_files.sort();
 
-    let mut report = Report::new();
-    for rel in &toml_files {
-        let Ok(text) = fs::read_to_string(root.join(rel)) else {
-            continue;
-        };
-        report.files_scanned += 1;
-        let raw = scan_manifest(&text);
-        absorb(&mut report, config, rel, &text, raw, &[]);
+    let mut tomls: Vec<(String, String)> = Vec::new();
+    for rel in toml_files {
+        if let Ok(text) = fs::read_to_string(root.join(&rel)) {
+            tomls.push((rel, text));
+        }
     }
-    for rel in &rs_files {
-        let Ok(text) = fs::read_to_string(root.join(rel)) else {
-            continue;
-        };
-        report.files_scanned += 1;
-        let (raw, pragmas) = scan_rust_source(rel, &text);
-        absorb(&mut report, config, rel, &text, raw, &pragmas);
+    let mut sources: Vec<(String, String)> = Vec::new();
+    for rel in rs_files {
+        if let Ok(text) = fs::read_to_string(root.join(&rel)) {
+            sources.push((rel, text));
+        }
     }
-    finish(&mut report, config);
-    report
+    scan_all(&tomls, &sources, config)
+}
+
+/// Scans a set of in-memory Rust sources as one workspace — the
+/// multi-file entry point the interprocedural fixture tests use.
+pub fn scan_sources(files: &[(&str, &str)], config: &Config) -> (Report, CallGraph) {
+    let owned: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, t)| ((*p).to_owned(), (*t).to_owned()))
+        .collect();
+    scan_all(&[], &owned, config)
 }
 
 /// Scans a single Rust source text as if it lived at `rel_path` — the
-/// entry point fixture tests use.
+/// entry point the single-file fixture tests use.
 pub fn scan_source(rel_path: &str, text: &str, config: &Config) -> Report {
-    let mut report = Report::new();
-    report.files_scanned = 1;
-    let (raw, pragmas) = scan_rust_source(rel_path, text);
-    absorb(&mut report, config, rel_path, text, raw, &pragmas);
-    finish(&mut report, config);
-    report
+    scan_sources(&[(rel_path, text)], config).0
 }
 
-fn scan_rust_source(rel_path: &str, text: &str) -> (Vec<RawViolation>, Vec<Pragma>) {
-    let ctx = FileContext {
-        crate_name: crate_of(rel_path),
-        rel_path: rel_path.to_owned(),
-    };
-    let lexed = lex(text);
-    (scan_tokens(&ctx, &lexed.tokens), lexed.pragmas)
+/// The shared pipeline: lexical pass per file, then the workspace call
+/// graph and the interprocedural pass over it.
+fn scan_all(
+    tomls: &[(String, String)],
+    sources: &[(String, String)],
+    config: &Config,
+) -> (Report, CallGraph) {
+    let mut report = Report::new();
+    for (rel, text) in tomls {
+        report.files_scanned += 1;
+        let raw = scan_manifest(text);
+        absorb(&mut report, config, rel, text, raw, &[]);
+    }
+
+    let mut parsed: Vec<ParsedFile> = Vec::new();
+    let mut pragma_index = PragmaIndex::default();
+    for (rel, text) in sources {
+        report.files_scanned += 1;
+        let ctx = FileContext {
+            crate_name: crate_of(rel),
+            rel_path: rel.clone(),
+        };
+        let lexed = lex(text);
+        let raw = scan_tokens(&ctx, &lexed.tokens);
+        absorb(&mut report, config, rel, text, raw, &lexed.pragmas);
+        pragma_index.add_file(rel, &lexed.pragmas);
+        parsed.push(parse_file(rel, &lexed.tokens));
+    }
+
+    let graph = CallGraph::build(&parsed);
+    let (findings, interproc_suppressed) = interproc::run(&graph, &pragma_index, config);
+    let texts: BTreeMap<&str, &str> = sources
+        .iter()
+        .map(|(rel, text)| (rel.as_str(), text.as_str()))
+        .collect();
+    for f in findings {
+        let snippet = texts
+            .get(f.file.as_str())
+            .and_then(|t| t.lines().nth(f.line.saturating_sub(1)))
+            .map(|l| l.trim().to_owned())
+            .unwrap_or_default();
+        report.violations.push(Violation {
+            rule: f.rule,
+            severity: f.severity,
+            file: f.file,
+            line: f.line,
+            message: f.message,
+            snippet,
+        });
+    }
+    for s in interproc_suppressed {
+        report.suppressed.push(SuppressedViolation {
+            rule: s.rule,
+            file: s.file,
+            line: s.line,
+            reason: s.reason,
+        });
+    }
+    finish(&mut report, config);
+    (report, graph)
 }
 
 /// The crate a workspace-relative path belongs to.
@@ -237,6 +354,7 @@ fn finish(report: &mut Report, config: &Config) {
             severity: config.severity(rule),
             violations: report.violations.iter().filter(|v| v.rule == rule).count(),
             suppressed: report.suppressed.iter().filter(|s| s.rule == rule).count(),
+            baselined: 0,
         })
         .collect();
 }

@@ -26,17 +26,40 @@
 //! - `bad-pragma` — a `lint:allow` that is malformed, names an unknown
 //!   rule, or omits its reason.
 //!
+//! On top of the lexical rules, a lightweight item/expression parser
+//! (`parser`) feeds a workspace-wide call graph (`callgraph`) that
+//! powers three interprocedural rules (`interproc`; `DESIGN.md` §13):
+//!
+//! - `panic-reachability` — panic sites (`panic!`-family, `unwrap`,
+//!   `expect`, indexing) transitively reachable from configured entry
+//!   points (fleet runner, MPC solver, session runners).
+//! - `hot-path-alloc` — allocations (`Vec::new`, `push`, `Box::new`,
+//!   `format!`, `to_string`, `clone`, ...) reachable from the fleet
+//!   event loop or the solver inner loop.
+//! - `determinism-taint` — non-determinism sources (wall clock,
+//!   `std::env`, `HashMap`/`HashSet`) reachable from replay-critical
+//!   entry points, in *any* crate.
+//!
 //! Suppressions are spelled `// lint:allow(rule, "reason")` (trailing:
 //! covers its own line; standalone: covers the next line) or
 //! `// lint:allow-file(rule, "reason")` for a whole file. The reason is
-//! mandatory.
+//! mandatory. For the interprocedural rules, a pragma on the hazard
+//! line (or the lexical twin's pragma already there) suppresses the
+//! finding for every entry that reaches it, a standalone pragma above
+//! the `fn` covers the whole function, and a pragma on a call line cuts
+//! that call edge. A `--baseline` file demotes known findings so only
+//! new ones block CI.
 
+pub mod callgraph;
 pub mod engine;
+pub mod interproc;
 pub mod lexer;
 pub mod manifest;
+pub mod parser;
 pub mod report;
 pub mod rules;
 
-pub use engine::{scan_source, scan_workspace, Config};
+pub use callgraph::CallGraph;
+pub use engine::{scan_source, scan_sources, scan_workspace, scan_workspace_full, Config};
 pub use report::Report;
 pub use rules::{RuleId, Severity};

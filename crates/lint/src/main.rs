@@ -3,6 +3,11 @@
 //! Flags:
 //!   --root <dir>              workspace root (default: current directory)
 //!   --json <path>             also write the JSON report to <path>
+//!   --callgraph <path>        write the workspace call graph to <path>
+//!   --baseline <path>         demote findings listed in the baseline
+//!                             file (JSON array of "rule|file|message"
+//!                             keys); only new findings block
+//!   --write-baseline <path>   write the current findings as a baseline
 //!   --severity <rule>=<level> override a rule's severity
 //!                             (level: allow | warn | deny)
 //!
@@ -11,13 +16,16 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use ee360_lint::{scan_workspace, Config, RuleId, Severity};
-use ee360_support::json;
+use ee360_lint::{scan_workspace_full, Config, RuleId, Severity};
+use ee360_support::json::{self, Json};
 
 fn main() -> ExitCode {
     // lint:allow-file(determinism, "CLI entry point: reads argv by design")
     let mut root = PathBuf::from(".");
     let mut json_path: Option<PathBuf> = None;
+    let mut callgraph_path: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline_path: Option<PathBuf> = None;
     let mut config = Config::default();
 
     let mut args = std::env::args().skip(1);
@@ -30,6 +38,18 @@ fn main() -> ExitCode {
             "--json" => match args.next() {
                 Some(path) => json_path = Some(PathBuf::from(path)),
                 None => return usage("--json needs a path"),
+            },
+            "--callgraph" => match args.next() {
+                Some(path) => callgraph_path = Some(PathBuf::from(path)),
+                None => return usage("--callgraph needs a path"),
+            },
+            "--baseline" => match args.next() {
+                Some(path) => baseline_path = Some(PathBuf::from(path)),
+                None => return usage("--baseline needs a path"),
+            },
+            "--write-baseline" => match args.next() {
+                Some(path) => write_baseline_path = Some(PathBuf::from(path)),
+                None => return usage("--write-baseline needs a path"),
             },
             "--severity" => {
                 let Some(spec) = args.next() else {
@@ -49,16 +69,46 @@ fn main() -> ExitCode {
         }
     }
 
-    let report = scan_workspace(&root, &config);
+    let (mut report, graph) = scan_workspace_full(&root, &config);
+
+    if let Some(path) = &baseline_path {
+        let keys = match read_baseline(path) {
+            Ok(keys) => keys,
+            Err(e) => {
+                eprintln!("ee360-lint: cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        report.apply_baseline(&keys);
+    }
+    if let Some(path) = &write_baseline_path {
+        let keys: Vec<Json> = report.baseline_keys().into_iter().map(Json::Str).collect();
+        if let Err(e) = write_text(path, &render_json(&Json::Arr(keys))) {
+            eprintln!("ee360-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
     print!("{}", report.render_human());
 
-    if let Some(path) = &json_path {
-        if let Some(dir) = path.parent() {
-            let _ = std::fs::create_dir_all(dir);
+    if let Some(path) = &callgraph_path {
+        match json::to_string_pretty(&graph) {
+            Ok(text) => {
+                if let Err(e) = write_text(path, &text) {
+                    eprintln!("ee360-lint: cannot write {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+            Err(e) => {
+                eprintln!("ee360-lint: cannot serialise call graph: {e:?}");
+                return ExitCode::from(2);
+            }
         }
+    }
+    if let Some(path) = &json_path {
         match json::to_string_pretty(&report) {
             Ok(text) => {
-                if let Err(e) = std::fs::write(path, text + "\n") {
+                if let Err(e) = write_text(path, &text) {
                     eprintln!("ee360-lint: cannot write {}: {e}", path.display());
                     return ExitCode::from(2);
                 }
@@ -81,13 +131,45 @@ fn main() -> ExitCode {
     }
 }
 
+/// Reads a baseline file: a JSON array of `rule|file|message` keys.
+fn read_baseline(path: &std::path::Path) -> Result<Vec<String>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let value = json::parse(&text).map_err(|e| format!("{e:?}"))?;
+    let Json::Arr(items) = value else {
+        return Err("baseline must be a JSON array of strings".to_owned());
+    };
+    let mut keys = Vec::with_capacity(items.len());
+    for item in items {
+        match item {
+            Json::Str(s) => keys.push(s),
+            other => return Err(format!("baseline entries must be strings, got {other:?}")),
+        }
+    }
+    Ok(keys)
+}
+
+fn render_json(value: &Json) -> String {
+    json::to_string_pretty(value).unwrap_or_else(|_| "[]".to_owned())
+}
+
+fn write_text(path: &std::path::Path, text: &str) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(path, format!("{text}\n"))
+}
+
 fn usage(error: &str) -> ExitCode {
     if !error.is_empty() {
         eprintln!("ee360-lint: {error}");
     }
     eprintln!(
-        "usage: ee360-lint [--root DIR] [--json PATH] [--severity RULE=LEVEL]...\n\
-         rules: no-panic-paths vec-index determinism hermeticity float-compare bad-pragma\n\
+        "usage: ee360-lint [--root DIR] [--json PATH] [--callgraph PATH]\n\
+         \x20                 [--baseline PATH] [--write-baseline PATH]\n\
+         \x20                 [--severity RULE=LEVEL]...\n\
+         rules: no-panic-paths vec-index determinism hermeticity float-compare\n\
+         \x20      no-println-in-lib panic-reachability hot-path-alloc\n\
+         \x20      determinism-taint bad-pragma\n\
          levels: allow warn deny"
     );
     if error.is_empty() {

@@ -73,6 +73,8 @@ pub struct RuleSummary {
     pub violations: usize,
     /// Pragma-suppressed violations.
     pub suppressed: usize,
+    /// Violations demoted by the `--baseline` file.
+    pub baselined: usize,
 }
 
 impl ToJson for RuleSummary {
@@ -85,6 +87,7 @@ impl ToJson for RuleSummary {
             ),
             ("violations".to_owned(), Json::Int(self.violations as i64)),
             ("suppressed".to_owned(), Json::Int(self.suppressed as i64)),
+            ("baselined".to_owned(), Json::Int(self.baselined as i64)),
         ])
     }
 }
@@ -100,12 +103,59 @@ pub struct Report {
     pub violations: Vec<Violation>,
     /// Pragma-suppressed violations, sorted by (file, line).
     pub suppressed: Vec<SuppressedViolation>,
+    /// Violations demoted by a `--baseline` file: still reported, never
+    /// counted against the gate.
+    pub baselined: Vec<Violation>,
 }
 
 impl Report {
     /// An empty report.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The line-number-free identity of a violation in a baseline file:
+    /// `rule|file|message`, with the ` (via ...)` call-path suffix
+    /// stripped so interprocedural keys survive refactors along the
+    /// path.
+    pub fn baseline_key(v: &Violation) -> String {
+        let msg = v
+            .message
+            .split_once(" (via ")
+            .map_or(v.message.as_str(), |(head, _)| head);
+        format!("{}|{}|{}", v.rule.id(), v.file, msg)
+    }
+
+    /// Every current violation's baseline key, sorted and deduplicated —
+    /// what `--write-baseline` persists.
+    pub fn baseline_keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self.violations.iter().map(Self::baseline_key).collect();
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+
+    /// Demotes every violation whose key appears in `keys` into the
+    /// `baselined` bucket, keeping the per-rule summaries consistent.
+    /// New findings (keys not in the baseline) stay blocking.
+    pub fn apply_baseline(&mut self, keys: &[String]) {
+        if keys.is_empty() {
+            return;
+        }
+        let set: std::collections::BTreeSet<&str> = keys.iter().map(String::as_str).collect();
+        let mut kept = Vec::with_capacity(self.violations.len());
+        for v in self.violations.drain(..) {
+            if set.contains(Self::baseline_key(&v).as_str()) {
+                if let Some(r) = self.rules.iter_mut().find(|r| r.rule == v.rule) {
+                    r.violations = r.violations.saturating_sub(1);
+                    r.baselined += 1;
+                }
+                self.baselined.push(v);
+            } else {
+                kept.push(v);
+            }
+        }
+        self.violations = kept;
     }
 
     /// Number of deny-severity violations (the gate's exit criterion).
@@ -143,19 +193,21 @@ impl Report {
         out.push_str("\nper-rule violation counts:\n");
         for r in &self.rules {
             out.push_str(&format!(
-                "  {:<16} {:>4} violations  {:>3} suppressed  (severity: {})\n",
+                "  {:<20} {:>4} violations  {:>3} suppressed  {:>3} baselined  (severity: {})\n",
                 r.rule.id(),
                 r.violations,
                 r.suppressed,
+                r.baselined,
                 r.severity.id()
             ));
         }
         out.push_str(&format!(
-            "\n{} file(s) scanned: {} deny, {} warn, {} suppressed by pragma\n",
+            "\n{} file(s) scanned: {} deny, {} warn, {} suppressed by pragma, {} baselined\n",
             self.files_scanned,
             self.deny_count(),
             self.warn_count(),
-            self.suppressed.len()
+            self.suppressed.len(),
+            self.baselined.len()
         ));
         out
     }
@@ -172,6 +224,7 @@ impl ToJson for Report {
             ("rules".to_owned(), self.rules.to_json()),
             ("violations".to_owned(), self.violations.to_json()),
             ("suppressed".to_owned(), self.suppressed.to_json()),
+            ("baselined".to_owned(), self.baselined.to_json()),
             (
                 "summary".to_owned(),
                 Json::Obj(vec![
@@ -180,6 +233,10 @@ impl ToJson for Report {
                     (
                         "suppressed".to_owned(),
                         Json::Int(self.suppressed.len() as i64),
+                    ),
+                    (
+                        "baselined".to_owned(),
+                        Json::Int(self.baselined.len() as i64),
                     ),
                 ]),
             ),
@@ -201,6 +258,7 @@ mod tests {
                 severity: Severity::Deny,
                 violations: 1,
                 suppressed: 0,
+                baselined: 0,
             }],
             violations: vec![Violation {
                 rule: RuleId::NoPanicPaths,
@@ -211,12 +269,59 @@ mod tests {
                 snippet: "v.unwrap();".to_owned(),
             }],
             suppressed: vec![],
+            baselined: vec![],
         };
         let a = json::to_string(&report).expect("report is finite");
         let b = json::to_string(&report).expect("report is finite");
         assert_eq!(a, b);
         assert!(a.contains("\"no-panic-paths\""));
         assert!(a.contains("\"deny\":1"));
+    }
+
+    #[test]
+    fn baseline_demotes_matching_violations_only() {
+        let v = |file: &str, msg: &str| Violation {
+            rule: RuleId::PanicReachability,
+            severity: Severity::Deny,
+            file: file.to_owned(),
+            line: 3,
+            message: msg.to_owned(),
+            snippet: String::new(),
+        };
+        let mut report = Report {
+            files_scanned: 2,
+            rules: vec![RuleSummary {
+                rule: RuleId::PanicReachability,
+                severity: Severity::Deny,
+                violations: 2,
+                suppressed: 0,
+                baselined: 0,
+            }],
+            violations: vec![
+                v(
+                    "a.rs",
+                    "`.unwrap()` panic path in `x` reachable from entry `e` (via e -> x)",
+                ),
+                v(
+                    "b.rs",
+                    "`.unwrap()` panic path in `y` reachable from entry `e` (via e -> y)",
+                ),
+            ],
+            suppressed: vec![],
+            baselined: vec![],
+        };
+        // The key strips the call-path suffix, so a drifted path still
+        // matches.
+        let keys = vec![
+            "panic-reachability|a.rs|`.unwrap()` panic path in `x` reachable from entry `e`"
+                .to_owned(),
+        ];
+        report.apply_baseline(&keys);
+        assert_eq!(report.deny_count(), 1);
+        assert_eq!(report.baselined.len(), 1);
+        assert_eq!(report.baselined[0].file, "a.rs");
+        assert_eq!(report.rules[0].violations, 1);
+        assert_eq!(report.rules[0].baselined, 1);
     }
 
     #[test]

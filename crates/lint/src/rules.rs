@@ -27,6 +27,20 @@ pub enum RuleId {
     /// `println!`/`eprintln!` in library code: diagnostics belong on the
     /// obs `Recorder`, stdout belongs to binaries, examples and tests.
     NoPrintlnInLib,
+    /// Interprocedural: a panic site (`panic!`/`unwrap`/`expect`/
+    /// indexing) transitively reachable from a configured entry point
+    /// (fleet runner, solver, session runners) through the workspace
+    /// call graph.
+    PanicReachability,
+    /// Interprocedural: an allocation (`Vec::new`/`push`/`Box::new`/
+    /// `format!`/`to_string`/`clone`/...) reachable from the fleet event
+    /// loop or the solver inner loop — the static twin of the counting
+    /// allocator's per-session heap budget.
+    HotPathAlloc,
+    /// Interprocedural: a non-determinism source (wall clock, `std::env`,
+    /// `HashMap`/`HashSet`) reachable from a replay-critical entry point,
+    /// wherever in the workspace it lives.
+    DeterminismTaint,
     /// A `lint:allow` pragma that is malformed, names an unknown rule, or
     /// carries no reason.
     BadPragma,
@@ -34,13 +48,16 @@ pub enum RuleId {
 
 impl RuleId {
     /// Every rule, in reporting order.
-    pub const ALL: [RuleId; 7] = [
+    pub const ALL: [RuleId; 10] = [
         RuleId::NoPanicPaths,
         RuleId::VecIndex,
         RuleId::Determinism,
         RuleId::Hermeticity,
         RuleId::FloatCompare,
         RuleId::NoPrintlnInLib,
+        RuleId::PanicReachability,
+        RuleId::HotPathAlloc,
+        RuleId::DeterminismTaint,
         RuleId::BadPragma,
     ];
 
@@ -54,6 +71,9 @@ impl RuleId {
             RuleId::Hermeticity => "hermeticity",
             RuleId::FloatCompare => "float-compare",
             RuleId::NoPrintlnInLib => "no-println-in-lib",
+            RuleId::PanicReachability => "panic-reachability",
+            RuleId::HotPathAlloc => "hot-path-alloc",
+            RuleId::DeterminismTaint => "determinism-taint",
             RuleId::BadPragma => "bad-pragma",
         }
     }

@@ -1,0 +1,31 @@
+//! Interprocedural fixture: hazards outside the lexically scoped
+//! crates, visible only through the call graph (scanned as
+//! `crates/support/src/util.rs`).
+
+use std::collections::HashMap;
+
+pub fn hazard_panic(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn hazard_alloc(n: u32) -> Vec<u32> {
+    let mut out = Vec::new();
+    for i in 0..n {
+        out.push(i);
+    }
+    out
+}
+
+pub fn hazard_map() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new();
+    m.len()
+}
+
+pub fn safe_pragmad(v: Option<u32>) -> u32 {
+    // lint:allow(panic-reachability, "fixture: caller validates the input")
+    v.unwrap()
+}
+
+pub fn edge_cut_target(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

@@ -7,7 +7,9 @@ use std::path::Path;
 use std::process::Command;
 
 use ee360_lint::rules::{scan_tokens, FileContext};
-use ee360_lint::{scan_source, scan_workspace, Config, RuleId, Severity};
+use ee360_lint::{
+    scan_source, scan_sources, scan_workspace, scan_workspace_full, Config, RuleId, Severity,
+};
 
 fn deny_config() -> Config {
     // Fixtures exercise indexing too: promote vec-index so it counts.
@@ -247,6 +249,245 @@ fn live_workspace_is_lint_clean() {
     );
     // Every suppression in the tree carries a non-empty reason.
     assert!(report.suppressed.iter().all(|s| !s.reason.is_empty()));
+}
+
+#[test]
+fn interproc_fixture_fires_each_rule_and_propagates_pragmas() {
+    let files = [
+        (
+            "crates/sim/src/fleet.rs",
+            include_str!("fixtures/interproc_entry.rs"),
+        ),
+        (
+            "crates/support/src/util.rs",
+            include_str!("fixtures/interproc_hazards.rs"),
+        ),
+    ];
+    let (report, graph) = scan_sources(&files, &Config::default());
+    assert!(graph.nodes.len() >= 6, "nodes: {}", graph.nodes.len());
+    assert!(!graph.edges.is_empty());
+
+    let with_rule = |rule: RuleId| -> Vec<&str> {
+        report
+            .violations
+            .iter()
+            .filter(|v| v.rule == rule)
+            .map(|v| v.message.as_str())
+            .collect()
+    };
+    // Each interprocedural rule fires across the crate boundary, naming
+    // the entry and the call path.
+    let panics = with_rule(RuleId::PanicReachability);
+    assert!(
+        panics.iter().any(|m| m.contains("hazard_panic")
+            && m.contains("run_scale_fleet")
+            && m.contains("via")),
+        "{panics:?}"
+    );
+    let allocs = with_rule(RuleId::HotPathAlloc);
+    assert!(
+        allocs
+            .iter()
+            .any(|m| m.contains("hazard_alloc") && m.contains("ScaleDriver::on_event")),
+        "{allocs:?}"
+    );
+    let taints = with_rule(RuleId::DeterminismTaint);
+    assert!(
+        taints
+            .iter()
+            .any(|m| m.contains("hazard_map") && m.contains("HashMap")),
+        "{taints:?}"
+    );
+
+    // A pragma on the hazard line suppresses the finding for the entry
+    // that reaches it — and the suppression is recorded with its reason.
+    assert!(
+        !report
+            .violations
+            .iter()
+            .any(|v| v.message.contains("safe_pragmad")),
+        "{:?}",
+        report.violations
+    );
+    assert!(
+        report
+            .suppressed
+            .iter()
+            .any(|s| s.rule == RuleId::PanicReachability
+                && s.file.ends_with("util.rs")
+                && s.reason.contains("caller validates")),
+        "{:?}",
+        report.suppressed
+    );
+
+    // A pragma on the call line cuts that edge: the hazard inside
+    // `edge_cut_target` never becomes reachable.
+    assert!(
+        !report
+            .violations
+            .iter()
+            .any(|v| v.message.contains("edge_cut_target")),
+        "{:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn live_workspace_entries_resolve_and_graph_is_populated() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let config = Config::default();
+    let (report, graph) = scan_workspace_full(&root, &config);
+    assert_eq!(report.deny_count(), 0);
+    // Every configured entry point must resolve to at least one node —
+    // otherwise a rename would silently disable an interprocedural rule.
+    for rule in [
+        RuleId::PanicReachability,
+        RuleId::HotPathAlloc,
+        RuleId::DeterminismTaint,
+    ] {
+        for pattern in config.entries(rule) {
+            assert!(
+                !graph.resolve_entry(pattern).is_empty(),
+                "entry `{pattern}` of {} resolves to no workspace function",
+                rule.id()
+            );
+        }
+    }
+    assert!(graph.nodes.len() > 500, "nodes: {}", graph.nodes.len());
+    assert!(graph.edges.len() > 1000, "edges: {}", graph.edges.len());
+}
+
+/// Builds a throwaway two-crate workspace under `CARGO_TARGET_TMPDIR`.
+fn seeded_workspace(name: &str, entry_src: &str, hazard_src: &str) -> std::path::PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let sim = dir.join("crates").join("sim").join("src");
+    let sup = dir.join("crates").join("support").join("src");
+    std::fs::create_dir_all(&sim).expect("create sim src");
+    std::fs::create_dir_all(&sup).expect("create support src");
+    std::fs::write(sim.join("fleet.rs"), entry_src).expect("write entry");
+    std::fs::write(sup.join("util.rs"), hazard_src).expect("write hazards");
+    dir
+}
+
+fn run_gate(dir: &Path, extra: &[&str]) -> (bool, String) {
+    let mut args = vec!["--root", dir.to_str().expect("utf-8 path")];
+    args.extend_from_slice(extra);
+    let output = Command::new(env!("CARGO_BIN_EXE_ee360-lint"))
+        .args(&args)
+        .output()
+        .expect("run ee360-lint binary");
+    (
+        output.status.success(),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+    )
+}
+
+/// Each interprocedural rule gates the binary in both directions: the
+/// seeded violation fails, and the same tree with a reasoned pragma
+/// passes.
+#[test]
+fn binary_gates_panic_reachability_both_directions() {
+    let entry = "use ee360_support::util::boom;\npub fn run_scale_fleet() { boom(None); }\n";
+    let dir = seeded_workspace(
+        "interproc-panic-fail",
+        entry,
+        "pub fn boom(v: Option<u32>) -> u32 { v.unwrap() }\n",
+    );
+    let (ok, stdout) = run_gate(&dir, &[]);
+    assert!(!ok, "seeded panic path must fail:\n{stdout}");
+    assert!(stdout.contains("panic-reachability"), "{stdout}");
+    assert!(stdout.contains("boom"), "{stdout}");
+
+    let dir = seeded_workspace(
+        "interproc-panic-pass",
+        entry,
+        "pub fn boom(v: Option<u32>) -> u32 { v.unwrap() } // lint:allow(panic-reachability, \"seeded: validated upstream\")\n",
+    );
+    let (ok, stdout) = run_gate(&dir, &[]);
+    assert!(ok, "pragma'd panic path must pass:\n{stdout}");
+    assert!(stdout.contains("1 suppressed"), "{stdout}");
+}
+
+#[test]
+fn binary_gates_hot_path_alloc_both_directions() {
+    let entry = "use ee360_support::util::fill;\npub struct ScaleDriver;\nimpl ScaleDriver { pub fn on_event(&mut self) { fill(); } }\n";
+    let dir = seeded_workspace(
+        "interproc-alloc-fail",
+        entry,
+        "pub fn fill() -> Vec<u32> { Vec::new() }\n",
+    );
+    let (ok, stdout) = run_gate(&dir, &[]);
+    assert!(!ok, "seeded hot-path allocation must fail:\n{stdout}");
+    assert!(stdout.contains("hot-path-alloc"), "{stdout}");
+
+    let dir = seeded_workspace(
+        "interproc-alloc-pass",
+        entry,
+        "pub fn fill() -> Vec<u32> { Vec::new() } // lint:allow(hot-path-alloc, \"seeded: amortised\")\n",
+    );
+    let (ok, stdout) = run_gate(&dir, &[]);
+    assert!(ok, "pragma'd allocation must pass:\n{stdout}");
+}
+
+#[test]
+fn binary_gates_determinism_taint_both_directions() {
+    let entry =
+        "use ee360_support::util::salted;\npub fn run_scale_fleet() -> usize { salted() }\n";
+    let dir = seeded_workspace(
+        "interproc-taint-fail",
+        entry,
+        "use std::collections::HashMap;\npub fn salted() -> usize { HashMap::<u32, u32>::new().len() }\n",
+    );
+    let (ok, stdout) = run_gate(&dir, &[]);
+    assert!(!ok, "seeded taint must fail:\n{stdout}");
+    assert!(stdout.contains("determinism-taint"), "{stdout}");
+
+    let dir = seeded_workspace(
+        "interproc-taint-pass",
+        entry,
+        "use std::collections::HashMap;\npub fn salted() -> usize { HashMap::<u32, u32>::new().len() } // lint:allow(determinism-taint, \"seeded: single-entry map, never iterated\")\n",
+    );
+    let (ok, stdout) = run_gate(&dir, &[]);
+    assert!(ok, "pragma'd taint must pass:\n{stdout}");
+}
+
+/// `--write-baseline` then `--baseline` demotes the known findings so
+/// the gate passes, and `--callgraph` exports the graph.
+#[test]
+fn binary_baseline_and_callgraph_flags_work() {
+    let dir = seeded_workspace(
+        "interproc-baseline",
+        "use ee360_support::util::boom;\npub fn run_scale_fleet() { boom(None); }\n",
+        "pub fn boom(v: Option<u32>) -> u32 { v.unwrap() }\n",
+    );
+    let baseline = dir.join("lint_baseline.json");
+    let graph_path = dir.join("callgraph.json");
+
+    let (ok, _) = run_gate(
+        &dir,
+        &[
+            "--write-baseline",
+            baseline.to_str().expect("utf-8 path"),
+            "--callgraph",
+            graph_path.to_str().expect("utf-8 path"),
+        ],
+    );
+    assert!(!ok, "writing a baseline does not bless the findings");
+    let keys = std::fs::read_to_string(&baseline).expect("baseline written");
+    assert!(keys.contains("panic-reachability|"), "{keys}");
+    let graph_json = std::fs::read_to_string(&graph_path).expect("callgraph written");
+    assert!(
+        graph_json.contains("\"schema\": \"ee360.callgraph.v1\""),
+        "{graph_json}"
+    );
+    assert!(graph_json.contains("run_scale_fleet"), "{graph_json}");
+
+    let (ok, stdout) = run_gate(
+        &dir,
+        &["--baseline", baseline.to_str().expect("utf-8 path")],
+    );
+    assert!(ok, "baselined findings must not block:\n{stdout}");
+    assert!(stdout.contains("1 baselined"), "{stdout}");
 }
 
 /// The CI gate end to end: the shipped binary exits non-zero on a

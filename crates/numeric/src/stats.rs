@@ -71,8 +71,9 @@ pub fn harmonic_mean(xs: &[f64]) -> f64 {
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     assert!(!xs.is_empty(), "percentile of an empty slice");
     assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    // lint:allow(hot-path-alloc, "sort scratch: percentile needs an owned copy, bounded by the caller's sample window")
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must be comparable"));
+    sorted.sort_by(f64::total_cmp);
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;

@@ -76,6 +76,7 @@ impl Default for Histogram {
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            // lint:allow(hot-path-alloc, "one-time: buckets are allocated when a histogram is first registered, then reused")
             buckets: vec![0; N_BUCKETS],
         }
     }
@@ -206,6 +207,7 @@ impl Registry {
         if let Some(c) = self.counters.get_mut(name) {
             *c += n;
         } else {
+            // lint:allow(hot-path-alloc, "first registration only: the get_mut fast path above avoids the key copy thereafter")
             self.counters.insert(name.to_owned(), n);
         }
     }
@@ -215,6 +217,7 @@ impl Registry {
         if let Some(g) = self.gauges.get_mut(name) {
             *g = v;
         } else {
+            // lint:allow(hot-path-alloc, "first registration only: the get_mut fast path above avoids the key copy thereafter")
             self.gauges.insert(name.to_owned(), v);
         }
     }
@@ -226,6 +229,7 @@ impl Registry {
         } else {
             let mut h = Histogram::default();
             h.observe(v);
+            // lint:allow(hot-path-alloc, "first registration only: the get_mut fast path above avoids the key copy thereafter")
             self.histograms.insert(name.to_owned(), h);
         }
     }

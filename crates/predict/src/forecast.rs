@@ -87,7 +87,7 @@ impl ArForecaster {
         let lo = v.iter().cloned().fold(f64::INFINITY, f64::min) * 0.5;
         let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max) * 1.5;
         let mut out = Vec::with_capacity(steps);
-        let mut x = *v.last().expect("non-empty");
+        let mut x = *v.last()?;
         for _ in 0..steps {
             x = model.predict(&[x]).clamp(lo, hi);
             out.push(x);

@@ -224,8 +224,9 @@ impl ViewportPredictor {
 
         let lambda = match self.kind {
             PredictorKind::Ridge | PredictorKind::RidgeQuadratic => self.lambda,
-            PredictorKind::OrdinaryLeastSquares => 0.0,
-            PredictorKind::LastSample => unreachable!("handled above"),
+            // LastSample returned above; the OLS arm keeps the match
+            // total without a panic path.
+            PredictorKind::OrdinaryLeastSquares | PredictorKind::LastSample => 0.0,
         };
         // Regress against time relative to the window start (conditioning).
         let t0 = window[0].t_sec;

@@ -105,6 +105,7 @@ impl Scheduler {
             t_sec.is_finite() && t_sec >= 0.0,
             "event time must be finite and non-negative, got {t_sec}"
         );
+        // lint:allow(hot-path-alloc, "amortised: a handler schedules at most a few events and the Vec retains its capacity across the drain cycle")
         self.pending.push((t_sec, kind));
     }
 }

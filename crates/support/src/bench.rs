@@ -5,6 +5,8 @@
 //! than a mean. Results print as a fixed-width table and can be dumped
 //! as JSON for tracking over time.
 
+// lint:allow-file(hot-path-alloc, "bench-report formatting, never on a simulation hot path; reachable only through a method-name collision on `row`")
+
 use std::time::{Duration, Instant};
 
 use crate::json::{Json, ToJson};

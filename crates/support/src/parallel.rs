@@ -40,7 +40,11 @@ where
                     return;
                 }
                 let value = f(idx);
-                *slots[idx].lock().expect("slot lock poisoned") = Some(value);
+                // A poisoned slot lock cannot leave the Option torn: the
+                // only write is this whole-value store, so recover it.
+                *slots[idx]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(value);
             });
         }
     });
@@ -49,7 +53,8 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("slot lock poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                // lint:allow(panic-reachability, "join invariant: the scope above blocks until every worker stored its slot")
                 .expect("every index was executed")
         })
         .collect()

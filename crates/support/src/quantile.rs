@@ -225,6 +225,63 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_answers_every_quantile() {
+        let mut sk = QuantileSketch::new(8);
+        sk.observe(42.0);
+        assert!(!sk.is_empty());
+        assert_eq!(sk.len(), 1);
+        assert_eq!(sk.count(), 1);
+        // With one sample both bracketing ranks collapse onto it, so the
+        // interpolation must return it exactly at every q.
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(sk.quantile(q), Some(42.0), "q = {q}");
+        }
+        assert_eq!(sk.fraction_at_or_below(41.0), Some(0.0));
+        assert_eq!(sk.fraction_at_or_below(42.0), Some(1.0));
+    }
+
+    #[test]
+    fn overflow_is_deterministic_across_seeds() {
+        // Reservoir overflow: feed well past capacity from a seeded RNG
+        // and require the decimated sketch to be a pure function of the
+        // observation sequence — same seed ⇒ bit-identical sketch, a
+        // different seed ⇒ still bounded with sane order statistics.
+        let fill = |seed: u64| {
+            let mut rng = crate::rng::StdRng::seed_from_u64(seed);
+            let mut sk = QuantileSketch::new(32);
+            for _ in 0..4_000 {
+                sk.observe(rng.gen_f64());
+            }
+            sk
+        };
+        for seed in [1u64, 7, 0xDEAD_BEEF] {
+            let a = fill(seed);
+            let b = fill(seed);
+            assert_eq!(a, b, "seed {seed} must replay to an identical sketch");
+            assert!(a.len() <= 32);
+            assert_eq!(a.count(), 4_000);
+            for q in [0.1, 0.5, 0.9] {
+                assert_eq!(
+                    a.quantile(q).unwrap().to_bits(),
+                    b.quantile(q).unwrap().to_bits(),
+                    "seed {seed} quantile {q} must be bit-identical"
+                );
+            }
+            // Uniform [0,1) stream: the decimated median stays central.
+            let p50 = a.quantile(0.5).unwrap();
+            assert!(
+                (0.2..0.8).contains(&p50),
+                "seed {seed} p50 drifted to {p50}"
+            );
+        }
+        assert_ne!(
+            fill(1).quantile(0.5),
+            fill(2).quantile(0.5),
+            "distinct seeds should produce distinct retained samples"
+        );
+    }
+
+    #[test]
     fn fraction_at_or_below_is_an_empirical_cdf() {
         let mut sk = QuantileSketch::new(16);
         for x in [1.0, 2.0, 3.0, 4.0] {

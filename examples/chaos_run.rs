@@ -289,12 +289,14 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
     {
-        Some("robust-mpc") => Scheme::RobustMpc,
-        Some("ours") | None => Scheme::Ours,
-        Some(other) => {
-            eprintln!("unknown --scheme {other:?}; expected ours or robust-mpc");
-            std::process::exit(2);
-        }
+        None => Scheme::Ours,
+        Some(token) => match Scheme::from_cli_token(token) {
+            Some(s @ (Scheme::Ours | Scheme::RobustMpc)) => s,
+            _ => {
+                eprintln!("unknown --scheme {token:?}; expected ours or robust-mpc");
+                std::process::exit(2);
+            }
+        },
     };
 
     // The headline scenario: a 10 s dead radio starting at t = 30.

@@ -8,12 +8,28 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release --offline (workspace, all targets)"
 cargo build --release --offline --workspace --all-targets
 
-echo "==> ee360-lint (determinism / hermeticity / panic-path gate)"
-# Blocking: exits non-zero on any deny-severity violation. The JSON
-# report (per-rule counts, every violation and suppression) lands next
-# to the experiment outputs for inspection.
+echo "==> ee360-lint (analyzer gate: lexical rules + call-graph reachability)"
+# Blocking: exits non-zero on any deny-severity violation, including the
+# interprocedural rules (panic-reachability, hot-path-alloc,
+# determinism-taint) that walk the workspace call graph from the fleet /
+# solver / session entry points. The JSON report (per-rule counts, every
+# violation and suppression) and the call graph land next to the
+# experiment outputs; the baseline file pins the accepted-findings set —
+# currently empty, i.e. the workspace is violation-free — so any new
+# finding fails CI rather than blending into an existing pile.
 mkdir -p results
-cargo run --release --offline -p ee360-lint -- --root . --json results/lint_report.json
+cargo run --release --offline -p ee360-lint -- --root . \
+  --json results/lint_report.json \
+  --callgraph results/callgraph.json \
+  --baseline results/lint_baseline.json
+for rule in panic-reachability hot-path-alloc determinism-taint; do
+  grep -q "\"${rule}\"" results/lint_report.json \
+    || { echo "lint report missing rule: ${rule}" >&2; exit 1; }
+done
+for key in schema fns calls unresolved_calls; do
+  grep -q "\"${key}\"" results/callgraph.json \
+    || { echo "callgraph missing key: ${key}" >&2; exit 1; }
+done
 
 echo "==> cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
