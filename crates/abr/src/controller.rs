@@ -3,7 +3,7 @@
 use ee360_power::model::DecoderScheme;
 use ee360_video::ladder::EncodingLadder;
 
-use crate::plan::{SegmentContext, SegmentPlan};
+use crate::plan::{PlanBuffers, SegmentContext, SegmentPlan};
 use crate::sizer::SchemeSizer;
 
 /// The five evaluated schemes (Section V-A), plus the beyond-paper
@@ -110,7 +110,11 @@ pub struct SolverStats {
     pub memo_hits: u64,
     /// Candidate-set memo misses (sets built from scratch).
     pub memo_misses: u64,
-    /// `(state, candidate)` transitions relaxed by the DP inner loop.
+    /// `(state, candidate)` transitions evaluated by the DP: full
+    /// candidate scans when a step row is built or the first decision
+    /// is chosen, collapsed-entry relaxations on the warm path — so a
+    /// row-cache-warm solve meters strictly fewer expansions than the
+    /// cold solve that seeded it.
     pub states_expanded: u64,
 }
 
@@ -189,6 +193,22 @@ impl RobustStats {
 pub trait Controller {
     /// Decides quality/frame-rate/bits for the next segment.
     fn plan(&mut self, ctx: &SegmentContext) -> SegmentPlan;
+
+    /// [`Controller::plan`] reusing caller-owned scratch buffers.
+    ///
+    /// Bit-identical to `plan` by contract — the buffers only recycle
+    /// allocations (the MPC's horizon-bandwidth vector, the robust
+    /// controller's hedged context clones), never carry decision state.
+    /// Long-lived callers (the session runner behind both fleet
+    /// engines) hold one [`PlanBuffers`] per session so the steady-state
+    /// planning path performs no heap allocation. The default ignores
+    /// the buffers and delegates, which is exact for the allocation-free
+    /// baseline controllers.
+    fn plan_into(&mut self, ctx: &SegmentContext, buffers: &mut PlanBuffers) -> SegmentPlan {
+        let _ = buffers;
+        // lint:allow(hot-path-alloc, "trait default bridges controllers outside the alloc-free contract; buffered hot paths override plan_into")
+        self.plan(ctx)
+    }
 
     /// The scheme this controller implements.
     fn scheme(&self) -> Scheme;

@@ -93,6 +93,80 @@ impl SegmentContext {
             // lint:allow(no-panic-paths, "documented invariant: every context holds >= 1 segment")
             .expect("context must describe at least the current segment")
     }
+
+    /// Overwrites `self` with `src`, reusing the existing `upcoming`
+    /// allocation (the only heap field) instead of cloning afresh. The
+    /// full destructure makes adding a `SegmentContext` field a compile
+    /// error here rather than a silently stale buffer.
+    pub(crate) fn assign_from(&mut self, src: &Self) {
+        let Self {
+            index,
+            upcoming,
+            predicted_bandwidth_bps,
+            buffer_sec,
+            switching_speed_deg_s,
+            ptile_available,
+            ptile_area_frac,
+            background_blocks,
+            ftile_fov_area,
+            ftile_fov_tiles,
+        } = src;
+        self.index = *index;
+        self.upcoming.clear();
+        self.upcoming.extend_from_slice(upcoming);
+        self.predicted_bandwidth_bps = *predicted_bandwidth_bps;
+        self.buffer_sec = *buffer_sec;
+        self.switching_speed_deg_s = *switching_speed_deg_s;
+        self.ptile_available = *ptile_available;
+        self.ptile_area_frac = *ptile_area_frac;
+        self.background_blocks = *background_blocks;
+        self.ftile_fov_area = *ftile_fov_area;
+        self.ftile_fov_tiles = *ftile_fov_tiles;
+    }
+}
+
+/// Caller-owned scratch for
+/// [`Controller::plan_into`](crate::controller::Controller::plan_into):
+/// the horizon-bandwidth buffer the MPC fills in place, plus recycled
+/// context clones for the robust controller's hedged solves. One
+/// long-lived instance per session keeps the per-plan hot path free of
+/// heap allocation once the capacities warm up; the buffers carry no
+/// state between plans (every field is fully overwritten before use),
+/// so sharing or recreating them can never change a plan.
+#[derive(Debug, Clone, Default)]
+pub struct PlanBuffers {
+    /// Per-step horizon bandwidths (the MPC resizes it to its horizon).
+    pub(crate) bandwidths: Vec<f64>,
+    /// Recycled margined-context clone (bandwidth-uncertainty hedge).
+    pub(crate) margined: Option<SegmentContext>,
+    /// Recycled widened-context clone (FoV-uncertainty hedge).
+    pub(crate) widened: Option<SegmentContext>,
+}
+
+impl PlanBuffers {
+    /// Empty buffers; capacities grow on first use and stick.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Takes the recycled context out of `slot` refilled from `src`
+/// (reusing its `upcoming` capacity), or clones `src` on first use.
+/// Taking (rather than borrowing) lets the caller hand the containing
+/// [`PlanBuffers`] onward to an inner `plan_into` while the hedged
+/// context is alive; the caller returns it via the slot afterwards.
+// lint:allow(hot-path-alloc, "first plan per session only: every later call recycles the slot's allocation")
+pub(crate) fn recycle_context(
+    slot: &mut Option<SegmentContext>,
+    src: &SegmentContext,
+) -> SegmentContext {
+    match slot.take() {
+        Some(mut b) => {
+            b.assign_from(src);
+            b
+        }
+        None => src.clone(),
+    }
 }
 
 /// A controller's decision for one segment.

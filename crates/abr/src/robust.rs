@@ -37,7 +37,7 @@ use ee360_predict::viewport::ResidualTracker;
 
 use crate::controller::{Controller, RobustStats, Scheme, SolverStats};
 use crate::mpc::{MpcConfig, MpcController};
-use crate::plan::{SegmentContext, SegmentPlan};
+use crate::plan::{recycle_context, PlanBuffers, SegmentContext, SegmentPlan};
 
 /// Angular slack (degrees) the *point* plan already tolerates: a Ptile is
 /// built over the predicted block plus its popularity-weighted margin, so
@@ -154,6 +154,13 @@ impl RobustMpcController {
 
 impl Controller for RobustMpcController {
     fn plan(&mut self, ctx: &SegmentContext) -> SegmentPlan {
+        // One throwaway buffer set: `plan_into` is the real path, this
+        // convenience entry merely feeds it fresh (empty) buffers.
+        let mut buffers = PlanBuffers::new();
+        self.plan_into(ctx, &mut buffers)
+    }
+
+    fn plan_into(&mut self, ctx: &SegmentContext, buffers: &mut PlanBuffers) -> SegmentPlan {
         self.last_estimate_bps = Some(ctx.predicted_bandwidth_bps);
         let grow_deg = self.cached_grow_deg;
         // The cached pair reproduces `BandwidthMargin::factor_for`: an
@@ -174,27 +181,32 @@ impl Controller for RobustMpcController {
             // the same memoised solver — the reduction-to-point-MPC
             // guarantee.
             self.stats.last_width_deg = 0.0;
-            return self.inner.plan(ctx);
+            return self.inner.plan_into(ctx, buffers);
         }
-        let margined;
-        let base: &SegmentContext = if factor < 1.0 {
-            let mut b = ctx.clone();
+        // The hedged contexts are *taken* out of the buffers (not
+        // borrowed) so the same `PlanBuffers` can ride into the inner
+        // solves, and returned to their slots before every exit.
+        let margined = if factor < 1.0 {
+            let mut b = recycle_context(&mut buffers.margined, ctx);
             b.predicted_bandwidth_bps = ctx.predicted_bandwidth_bps * factor;
             self.stats.margin_applied += 1;
-            margined = b;
-            &margined
+            Some(b)
         } else {
-            ctx
+            None
         };
-        let base_plan = self.inner.plan(base);
+        let base: &SegmentContext = margined.as_ref().unwrap_or(ctx);
+        let base_plan = self.inner.plan_into(base, buffers);
+        let mut chosen = base_plan;
+        self.stats.last_width_deg = 0.0;
         if widen {
             // Chance-constrained coverage: buy the probability mass the
             // point plan misses by growing the planned viewport grow_deg
             // on each side, expressed as an area ratio of the 100° FoV.
             let side = (FOV_DEG + 2.0 * grow_deg) / FOV_DEG;
-            let mut wctx = base.clone();
+            let mut wctx = recycle_context(&mut buffers.widened, base);
             wctx.ptile_area_frac = (base.ptile_area_frac * side * side).min(1.0);
-            let wide_plan = self.inner.plan(&wctx);
+            let wide_plan = self.inner.plan_into(&wctx, buffers);
+            buffers.widened = Some(wctx);
             // Acceptance rule: coverage is bought only while the quality
             // constraint stays slack — the widened solve must hold the
             // base plan's rung and frame rate, otherwise hedging against
@@ -205,11 +217,13 @@ impl Controller for RobustMpcController {
                 self.stats.widened_plans += 1;
                 self.stats.last_width_deg = grow_deg;
                 self.stats.width_sum_deg += grow_deg;
-                return wide_plan;
+                chosen = wide_plan;
             }
         }
-        self.stats.last_width_deg = 0.0;
-        base_plan
+        if let Some(b) = margined {
+            buffers.margined = Some(b);
+        }
+        chosen
     }
 
     fn scheme(&self) -> Scheme {

@@ -1,12 +1,13 @@
 //! Bit-exactness gate for the optimised MPC-DP solver.
 //!
-//! The optimised `MpcController::solve_horizon` (memoised candidate sets,
-//! hoisted per-step floors/downloads/energies, flat scratch buffers) must
-//! return decisions **bit-identical** to the retained straightforward
-//! formulation in `ee360_abr::reference` — same `QualityLevel`, and `fps`
-//! and `bits` equal down to the last ulp. Randomised contexts come from
-//! the seeded in-repo property harness; repeat calls exercise the
-//! memo-warm path as well as the cold one.
+//! The optimised solver (flat-array memoised candidate sets, cached
+//! per-(set, bandwidth) step rows with collapsed transitions reused
+//! across adjacent horizons, flat scratch buffers) must return decisions
+//! **bit-identical** to the retained straightforward formulation in
+//! `ee360_abr::reference` — same `QualityLevel`, and `fps` and `bits`
+//! equal down to the last ulp. Randomised contexts come from the seeded
+//! in-repo property harness; repeat calls exercise the memo- and
+//! row-warm paths as well as the cold ones.
 
 use ee360_abr::mpc::{MpcConfig, MpcController};
 use ee360_abr::plan::SegmentContext;

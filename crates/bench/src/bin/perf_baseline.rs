@@ -43,7 +43,8 @@ use ee360_geom::grid::TileGrid;
 use ee360_power::model::Phone;
 use ee360_sim::fleet::{run_scale_fleet, FleetConfig};
 use ee360_sim::resilience::RetryPolicy;
-use ee360_support::json::{to_string_pretty, Json};
+use ee360_support::json::{parse, to_string_pretty, Json};
+use ee360_support::parallel::hardware_threads;
 use ee360_trace::dataset::VideoTraces;
 use ee360_trace::fault::{FaultConfig, FaultPlan};
 use ee360_trace::head::GazeConfig;
@@ -300,15 +301,46 @@ fn main() {
         t.elapsed().as_secs_f64() * 1e3
     };
     let threads = default_threads();
+    let hw = hardware_threads();
+    // How many workers the pool can actually occupy at each requested
+    // count: the matrix fans out at (cell, user) granularity, so the
+    // session-task total is the cap (`parallel_map_indexed` never spawns
+    // more workers than items).
+    let matrix_tasks: usize = {
+        let eval = Evaluation::prepare_videos(config, &catalog, Some(&videos));
+        videos
+            .iter()
+            .map(|v| eval.eval_users(*v).len())
+            .sum::<usize>()
+            * Scheme::ALL.len()
+    };
+    // Scaling sweep: 1, 2 and the machine's worker count. On a 1-core
+    // box the rows beyond `threads = 1` still run (the pool spawns the
+    // requested workers); they document that extra workers buy nothing
+    // there, which is exactly the caveat the data should carry.
+    let mut thread_counts = vec![1usize, 2, threads];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
     let _ = sweep(1, 1); // warm
-    let mut sweep_1 = f64::INFINITY;
-    let mut sweep_n = f64::INFINITY;
-    for _ in 0..sweep_reps {
-        sweep_1 = sweep_1.min(sweep(1, 1));
-    }
-    for _ in 0..sweep_reps {
-        sweep_n = sweep_n.min(sweep(threads, threads));
-    }
+    let scaling: Vec<(usize, usize, f64)> = thread_counts
+        .iter()
+        .map(|&tc| {
+            let mut best = f64::INFINITY;
+            for _ in 0..sweep_reps {
+                best = best.min(sweep(tc, tc));
+            }
+            (tc, tc.min(matrix_tasks), best)
+        })
+        .collect();
+    let row = |tc: usize| {
+        scaling
+            .iter()
+            .find(|(req, _, _)| *req == tc)
+            .expect("sweep ran every requested thread count")
+            .2
+    };
+    let sweep_1 = row(1);
+    let sweep_n = row(threads);
 
     // Re-measure the canary right after the sweeps: on shared boxes the
     // clock speed drifts within a single run, so the scale that applies
@@ -326,6 +358,10 @@ fn main() {
     let ref_plans_per_sec_post = n_ref2 as f64 / t.elapsed().as_secs_f64();
     println!("quick sweep @1:      {sweep_1:.2} ms (seed {SEED_SWEEP_MS:.2} ms)");
     println!("quick sweep @{threads}:      {sweep_n:.2} ms");
+    println!("hardware threads:    {hw} (pool default {threads})");
+    for (req, used, ms) in &scaling {
+        println!("scaling @{req} (used {used}): {ms:.2} ms");
+    }
 
     // --- fleet scaling: the event-driven scale fleet (sim::fleet) -------
     // Quick mode runs 20k sessions; full mode the ROADMAP's 1M-session
@@ -395,6 +431,8 @@ fn main() {
                 ),
                 ("seed_canary_plans_per_sec", Json::Num(SEED_PLANS_PER_SEC)),
                 ("canary_scale", Json::Num(canary_scale)),
+                ("available_parallelism", Json::Int(hw as i64)),
+                ("default_pool_threads", Json::Int(threads as i64)),
             ]),
         ),
         (
@@ -419,7 +457,27 @@ fn main() {
             obj(vec![
                 ("ms_1_thread", Json::Num(sweep_1)),
                 ("ms_n_threads", Json::Num(sweep_n)),
-                ("threads", Json::Int(threads as i64)),
+                ("threads", Json::Int(threads.min(matrix_tasks) as i64)),
+                (
+                    "scaling",
+                    Json::Arr(
+                        scaling
+                            .iter()
+                            .map(|&(req, used, ms)| {
+                                obj(vec![
+                                    ("threads_requested", Json::Int(req as i64)),
+                                    ("threads_used", Json::Int(used as i64)),
+                                    ("ms", Json::Num(ms)),
+                                    (
+                                        "speedup_vs_seed",
+                                        Json::Num(SEED_SWEEP_MS / ms / canary_scale),
+                                    ),
+                                    ("speedup_vs_seed_raw", Json::Num(SEED_SWEEP_MS / ms)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
                 ("speedup_vs_seed_1_thread", Json::Num(sweep_speedup_1)),
                 ("speedup_vs_seed_n_threads", Json::Num(sweep_speedup_n)),
                 (
@@ -467,7 +525,48 @@ fn main() {
             ]),
         ),
     ]);
+    // --- regression gate (EE360_BENCH_GATE=1) ---------------------------
+    // Compares this run's solver throughput against the checked-in
+    // baseline, both canary-normalised so machine weather cancels out.
+    // The prior file is read before the overwrite and the fresh report
+    // is written regardless, so a failing run still leaves the evidence
+    // on disk; exit code 2 is reserved for a genuine >20% regression
+    // (`scripts/ci.sh` hard-fails on it and stays non-blocking on
+    // everything else).
+    let gate = std::env::var_os("EE360_BENCH_GATE").is_some_and(|v| v == "1");
+    let prior = std::fs::read_to_string("BENCH_perf.json")
+        .ok()
+        .and_then(|prior_text| parse(&prior_text).ok());
+
     let text = to_string_pretty(&report).expect("report serialises");
     std::fs::write("BENCH_perf.json", &text).expect("write BENCH_perf.json");
     println!("wrote BENCH_perf.json");
+
+    if gate {
+        let baseline = prior.as_ref().and_then(|p| {
+            let plans = p.get("solver")?.get("plans_per_sec")?.as_f64()?;
+            let scale = p.get("machine")?.get("canary_scale")?.as_f64()?;
+            Some(plans / scale)
+        });
+        match baseline {
+            Some(old_norm) => {
+                let new_norm = plans_per_sec / canary_scale;
+                let ratio = new_norm / old_norm;
+                println!(
+                    "perf gate:           solver {new_norm:.0}/s vs baseline {old_norm:.0}/s canary-normalised ({:+.1}%)",
+                    (ratio - 1.0) * 100.0
+                );
+                if ratio < 0.8 {
+                    eprintln!(
+                        "PERF GATE FAILURE: solver.plans_per_sec regressed {:.1}% canary-normalised (budget 20%)",
+                        (1.0 - ratio) * 100.0
+                    );
+                    std::process::exit(2);
+                }
+            }
+            None => println!(
+                "perf gate:           no comparable checked-in BENCH_perf.json; gate skipped"
+            ),
+        }
+    }
 }

@@ -22,7 +22,7 @@
 use ee360_abr::baselines::RateBasedController;
 use ee360_abr::controller::{Controller, Scheme};
 use ee360_abr::mpc::{MpcConfig, MpcController};
-use ee360_abr::plan::{SegmentContext, SegmentPlan};
+use ee360_abr::plan::{PlanBuffers, SegmentContext, SegmentPlan};
 use ee360_abr::robust::RobustMpcController;
 use ee360_geom::grid::TileGrid;
 use ee360_geom::region::TileRegion;
@@ -261,6 +261,14 @@ pub struct SessionRunner<'a> {
     prev_decode: Option<ee360_power::model::DecoderScheme>,
     k: usize,
     pending: Option<PendingDownload>,
+    /// Recycled controller scratch (horizon bandwidths, hedged context
+    /// clones): pure allocation reuse, carries no state between plans.
+    plan_buffers: PlanBuffers,
+    /// Recycled `SegmentContext::upcoming` allocation: handed to the
+    /// next `plan_segment` when a booked download returns its context.
+    spare_upcoming: Vec<ee360_video::content::SiTi>,
+    /// Recycled degradation-ladder vector, same lifecycle.
+    spare_rungs: Vec<SegmentPlan>,
 }
 
 impl<'a> SessionRunner<'a> {
@@ -309,6 +317,9 @@ impl<'a> SessionRunner<'a> {
             prev_decode: None,
             k: 0,
             pending: None,
+            plan_buffers: PlanBuffers::new(),
+            spare_upcoming: Vec::new(),
+            spare_rungs: Vec::new(),
         }
     }
 
@@ -431,15 +442,17 @@ impl<'a> SessionRunner<'a> {
             .unwrap_or_else(|| 0.7 * self.setup.network.bandwidth_at(0.0));
 
         // --- 4. controller decision ------------------------------------
-        let upcoming: Vec<_> = (k..k + self.horizon)
-            .map(|i| {
-                timeline
-                    .segment(i.min(timeline.len() - 1))
-                    // lint:allow(no-panic-paths, "documented invariant: index is clamped to len-1")
-                    .expect("clamped index is valid")
-                    .si_ti
-            })
-            .collect();
+        // The horizon-content vector recycles the allocation the last
+        // booked segment returned (same capacity, fully overwritten).
+        let mut upcoming = std::mem::take(&mut self.spare_upcoming);
+        upcoming.clear();
+        upcoming.extend((k..k + self.horizon).map(|i| {
+            timeline
+                .segment(i.min(timeline.len() - 1))
+                // lint:allow(no-panic-paths, "documented invariant: index is clamped to len-1")
+                .expect("clamped index is valid")
+                .si_ti
+        }));
         let ctx = SegmentContext {
             index: k,
             upcoming,
@@ -456,7 +469,7 @@ impl<'a> SessionRunner<'a> {
         let stats_before = controller.solver_stats();
         let robust_before = controller.robust_stats();
         let solver_timer = StageTimer::start(rec.profiling());
-        let plan = controller.plan(&ctx);
+        let plan = controller.plan_into(&ctx, &mut self.plan_buffers);
         if let Some(dt) = solver_timer.stop() {
             rec.observe("profile.solver_wall_sec", dt);
         }
@@ -516,7 +529,9 @@ impl<'a> SessionRunner<'a> {
         // --- 5. download (with retry/abandon/degrade/skip) --------------
         // Rung 0 is the controller's plan; deeper rungs are produced
         // lazily by its replan hook when the pipeline abandons a download.
-        let rung_plans: Vec<SegmentPlan> = vec![plan];
+        let mut rung_plans = std::mem::take(&mut self.spare_rungs);
+        rung_plans.clear();
+        rung_plans.push(plan);
         let download_timer = StageTimer::start(rec.profiling());
         let st = self.session.begin_download(k);
         self.pending = Some(PendingDownload {
@@ -579,6 +594,16 @@ impl<'a> SessionRunner<'a> {
         self.book_outcome(pending, outcome, controller, rec);
         self.k += 1;
         Some(outcome)
+    }
+
+    /// Recovers a booked download's heap allocations — the context's
+    /// horizon vector and the degradation ladder — so the next
+    /// `plan_segment` reuses them instead of allocating afresh.
+    fn reclaim_pending(&mut self, pending: PendingDownload) {
+        self.spare_upcoming = pending.ctx.upcoming;
+        self.spare_upcoming.clear();
+        self.spare_rungs = pending.rung_plans;
+        self.spare_rungs.clear();
     }
 
     /// Phase 6: books energy (Eq. 1) and QoE (Eq. 2) for a finished
@@ -670,6 +695,7 @@ impl<'a> SessionRunner<'a> {
                     qoe,
                 });
                 rec.span_close(self.session.clock_sec());
+                self.reclaim_pending(pending);
                 return;
             }
         };
@@ -821,6 +847,7 @@ impl<'a> SessionRunner<'a> {
             qoe,
         });
         rec.span_close(self.session.clock_sec());
+        self.reclaim_pending(pending);
     }
 
     /// Seals the session: stamps the resilience counters, records the

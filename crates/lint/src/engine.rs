@@ -62,6 +62,9 @@ impl Default for Config {
                 "sim::fleet::ScaleDriver::on_event",
                 "sim::fleet::ScaleDriver::start",
                 "abr::mpc::MpcController::solve_with_bandwidths",
+                "abr::mpc::MpcController::plan_into",
+                "abr::robust::RobustMpcController::plan_into",
+                "support::parallel::parallel_map_indexed",
             ]),
         );
         entries.insert(

@@ -1,24 +1,99 @@
-//! Std-only scoped worker pool.
+//! Std-only scoped worker pool with chunked work stealing.
 //!
 //! Replaces the `crossbeam`/`parking_lot` pair with `std::thread::scope`
-//! and `std::sync::Mutex`: a fixed set of workers pull indices from a
-//! shared counter (work stealing via self-scheduling), and results land
-//! in their slot so output order never depends on the schedule.
+//! and `std::sync::Mutex`. The index range `0..n` is pre-split into one
+//! contiguous chunk per worker; each worker drains its own chunk from
+//! the front in small blocks and, when empty, steals the back half of
+//! the fullest-by-scan-order victim queue. Results land in their
+//! index-addressed slot, so output order never depends on the schedule
+//! — the byte-identical replay guarantee survives stealing.
+//!
+//! Why a deque of *ranges* instead of a deque of tasks: the workload is
+//! always `f(i)` over a dense index space, so a `Range<usize>` under a
+//! `Mutex` is a complete deque — pop-front is `start += k`, steal-back
+//! is `end -= k` — with no allocation and no ABA hazards. Lock traffic
+//! is bounded by `n / block` claims plus one scan per steal, not by `n`.
 
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
+
+/// Largest block a worker claims from its own queue per lock
+/// acquisition. Small enough that late thieves still find work behind a
+/// long-running block, large enough to amortise the lock.
+const MAX_BLOCK: usize = 32;
+
+/// One worker's queue: the contiguous index range it still owns.
+/// The owner pops blocks from the front; thieves steal from the back.
+struct WorkQueue {
+    range: Mutex<Range<usize>>,
+}
+
+impl WorkQueue {
+    fn new(range: Range<usize>) -> Self {
+        Self {
+            range: Mutex::new(range),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Range<usize>> {
+        // A poisoned queue lock cannot leave the range torn: both
+        // mutations are single-field stores, so recover and continue.
+        self.range.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Owner side: claims up to [`MAX_BLOCK`] indices off the front,
+    /// but never more than half the remainder, so a concurrent thief
+    /// always finds something behind a long-running block.
+    fn pop_front_block(&self) -> Option<Range<usize>> {
+        let mut r = self.lock();
+        let len = r.end - r.start;
+        if len == 0 {
+            return None;
+        }
+        let take = len.div_ceil(2).min(MAX_BLOCK);
+        let block = r.start..r.start + take;
+        r.start += take;
+        Some(block)
+    }
+
+    /// Thief side: steals the back half (rounded up) in one move.
+    fn steal_back_half(&self) -> Option<Range<usize>> {
+        let mut r = self.lock();
+        let len = r.end - r.start;
+        if len == 0 {
+            return None;
+        }
+        let take = len.div_ceil(2);
+        let block = r.end - take..r.end;
+        r.end -= take;
+        Some(block)
+    }
+
+    /// Thief side, installing into its own emptied queue.
+    fn install(&self, block: Range<usize>) {
+        *self.lock() = block;
+    }
+}
 
 /// Computes `f(0), f(1), …, f(n - 1)` on `threads` workers and returns
 /// the results in index order.
 ///
-/// Work is self-scheduled: each worker repeatedly claims the next undone
-/// index, so uneven per-item cost still balances. With `threads == 1`
-/// this degrades to a plain sequential loop (no thread spawn).
+/// Work is balanced by chunked stealing: worker `w` starts with the
+/// `w`-th contiguous share of `0..n`, drains it in blocks, then scans
+/// the other queues in a fixed order (`w + 1, w + 2, …`, wrapping) and
+/// steals the back half of the first non-empty one. A worker exits only
+/// after a full scan finds every queue empty — sound because claimed
+/// indices never re-enter a queue and `f` spawns no new work, so an
+/// all-empty scan means every index is claimed by someone. With
+/// `threads == 1` this degrades to a plain sequential loop (no thread
+/// spawn, no locks).
 ///
 /// # Panics
 ///
 /// Panics if `threads` is zero or any invocation of `f` panics (the
 /// panic is propagated once all workers have stopped).
+// lint:allow(hot-path-alloc, "per-wave setup: the queue and slot vectors are one allocation each per call, amortised over the n-item map they carry")
 pub fn parallel_map_indexed<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -29,22 +104,65 @@ where
         return (0..n).map(f).collect();
     }
 
-    let next = AtomicUsize::new(0);
+    let workers = threads.min(n);
+    // Deterministic initial split: worker w owns one contiguous share,
+    // the first `n % workers` shares one index longer.
+    let queues: Vec<WorkQueue> = {
+        let base = n / workers;
+        let extra = n % workers;
+        let mut start = 0;
+        (0..workers)
+            .map(|w| {
+                let len = base + usize::from(w < extra);
+                let q = WorkQueue::new(start..start + len);
+                start += len;
+                q
+            })
+            .collect()
+    };
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // Liveness fast path: workers park-free spin on this count to skip
+    // scans once everything is claimed. Correctness never depends on it.
+    let remaining = AtomicUsize::new(n);
 
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(n) {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= n {
+        for w in 0..workers {
+            let queues = &queues;
+            let slots = &slots;
+            let remaining = &remaining;
+            let f = &f;
+            scope.spawn(move || loop {
+                // Drain the local queue in blocks.
+                while let Some(block) = queues[w].pop_front_block() {
+                    let len = block.end - block.start;
+                    for idx in block {
+                        let value = f(idx);
+                        // A poisoned slot lock cannot leave the Option
+                        // torn: the only write is this whole-value
+                        // store, so recover it.
+                        *slots[idx].lock().unwrap_or_else(PoisonError::into_inner) = Some(value);
+                    }
+                    remaining.fetch_sub(len, Ordering::Relaxed);
+                }
+                if remaining.load(Ordering::Relaxed) == 0 {
                     return;
                 }
-                let value = f(idx);
-                // A poisoned slot lock cannot leave the Option torn: the
-                // only write is this whole-value store, so recover it.
-                *slots[idx]
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(value);
+                // Steal: fixed-order scan so the schedule shape (not
+                // the results, which are slot-addressed) is the only
+                // thing that varies run to run.
+                let mut stolen = None;
+                for v in 1..workers {
+                    if let Some(block) = queues[(w + v) % workers].steal_back_half() {
+                        stolen = Some(block);
+                        break;
+                    }
+                }
+                match stolen {
+                    Some(block) => queues[w].install(block),
+                    // Full scan found every queue empty: all indices
+                    // are claimed, the claimants will fill their slots.
+                    None => return,
+                }
             });
         }
     });
@@ -53,7 +171,7 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .unwrap_or_else(PoisonError::into_inner)
                 // lint:allow(panic-reachability, "join invariant: the scope above blocks until every worker stored its slot")
                 .expect("every index was executed")
         })
@@ -63,10 +181,15 @@ where
 /// A reasonable worker count for this machine: the logical core count,
 /// clamped to `[1, 16]`.
 pub fn default_threads() -> usize {
+    hardware_threads().clamp(1, 16)
+}
+
+/// The unclamped logical core count (`available_parallelism`), for
+/// reporting actual hardware alongside the clamped pool size.
+pub fn hardware_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
-        .clamp(1, 16)
 }
 
 #[cfg(test)]
@@ -103,6 +226,72 @@ mod tests {
     }
 
     #[test]
+    fn stealing_balances_a_skewed_front_load() {
+        // All the heavy work sits in worker 0's initial share; the rest
+        // must steal it or the wall time degenerates to sequential.
+        // Correctness (the actual assertion): results stay in index
+        // order regardless of who computed what.
+        let out = parallel_map_indexed(4, 64, |i| {
+            if i < 16 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            i * 3
+        });
+        assert_eq!(out, (0..64).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stress_uneven_sizes_across_thread_counts() {
+        // The satellite stress shape: pathologically uneven task sizes
+        // (one task ~100x the median, long tail of trivial ones), run
+        // at 1/4/16 workers. Result order must be deterministic and
+        // identical across every thread count.
+        let work = |i: usize| {
+            let spin = match i % 37 {
+                0 => 20_000,
+                k if k % 5 == 0 => 1_000,
+                _ => 10,
+            };
+            let mut acc = i as u64;
+            for _ in 0..spin {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (i, acc)
+        };
+        let reference: Vec<(usize, u64)> = (0..512).map(work).collect();
+        for threads in [1, 4, 16] {
+            let out = parallel_map_indexed(threads, 512, work);
+            assert_eq!(out, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn pop_front_never_starves_thieves() {
+        // With more than MAX_BLOCK items the owner's first claim must
+        // leave work behind for a thief.
+        let q = WorkQueue::new(0..100);
+        let block = q.pop_front_block().expect("non-empty");
+        assert_eq!(block, 0..32);
+        let stolen = q.steal_back_half().expect("plenty left");
+        assert_eq!(stolen, 66..100);
+        assert_eq!(*q.lock(), 32..66);
+    }
+
+    #[test]
+    fn small_queues_split_rather_than_drain_whole() {
+        // Half-rounded-up on both sides: a 3-item queue yields 2 to the
+        // owner (leaving 1 to steal) and 2 to a thief (leaving 1).
+        let q = WorkQueue::new(10..13);
+        assert_eq!(q.pop_front_block(), Some(10..12));
+        assert_eq!(q.pop_front_block(), Some(12..13));
+        assert_eq!(q.pop_front_block(), None);
+        let q2 = WorkQueue::new(10..13);
+        assert_eq!(q2.steal_back_half(), Some(11..13));
+        assert_eq!(q2.steal_back_half(), Some(10..11));
+        assert_eq!(q2.steal_back_half(), None);
+    }
+
+    #[test]
     #[should_panic(expected = "worker thread")]
     fn zero_threads_panics() {
         let _ = parallel_map_indexed(0, 4, |i| i);
@@ -122,5 +311,6 @@ mod tests {
     #[test]
     fn default_threads_positive() {
         assert!((1..=16).contains(&default_threads()));
+        assert!(hardware_threads() >= 1);
     }
 }
