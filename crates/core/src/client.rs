@@ -344,7 +344,11 @@ impl<'a> SessionRunner<'a> {
         // The startup fetch counts as transmission energy and is added first
         // in `SessionMetrics::energy_breakdown_mj`; observing it first keeps
         // the histogram sum bit-identical to that aggregate.
-        rec.observe("energy.transmission_mj", startup_energy_mj);
+        rec.observe_at(
+            "energy.transmission_mj",
+            self.session.clock_sec(),
+            startup_energy_mj,
+        );
         rec.span_close(self.session.clock_sec());
     }
 
@@ -488,10 +492,11 @@ impl<'a> SessionRunner<'a> {
             .unwrap_or(0.0);
         if rec.level() >= Level::Summary {
             if let Some(delta) = &robust_delta {
-                rec.count("robust.margin_applied", delta.margin_applied);
-                rec.count("robust.widened_plans", delta.widened_plans);
+                let t_plan = self.session.clock_sec();
+                rec.count_at("robust.margin_applied", t_plan, delta.margin_applied);
+                rec.count_at("robust.widened_plans", t_plan, delta.widened_plans);
                 if delta.widened_plans > 0 {
-                    rec.observe("robust.quantile_width_deg", delta.last_width_deg);
+                    rec.observe_at("robust.quantile_width_deg", t_plan, delta.last_width_deg);
                 }
             }
         }
@@ -664,10 +669,11 @@ impl<'a> SessionRunner<'a> {
                     timing.buffer_at_request_sec,
                 );
                 self.prev_qo = Some(0.0);
-                rec.observe("session.stall_sec", timing.stall_sec);
-                rec.observe("energy.transmission_mj", energy.transmission_mj);
-                rec.observe("energy.decode_mj", energy.decode_mj);
-                rec.observe("energy.render_mj", energy.render_mj);
+                let t_book = self.session.clock_sec();
+                rec.observe_at("session.stall_sec", t_book, timing.stall_sec);
+                rec.observe_at("energy.transmission_mj", t_book, energy.transmission_mj);
+                rec.observe_at("energy.decode_mj", t_book, energy.decode_mj);
+                rec.observe_at("energy.render_mj", t_book, energy.render_mj);
                 if rec.level() >= Level::Summary {
                     if timing.stall_sec > 0.0 {
                         rec.record(Event::Stall {
@@ -724,8 +730,9 @@ impl<'a> SessionRunner<'a> {
         controller.observe_prediction_error(predicted.distance_deg(&actual));
         if rec.level() >= Level::Summary {
             if let (Some(before), Some(after)) = (robust_before, controller.robust_stats()) {
-                rec.count(
+                rec.count_at(
                     "robust.coverage_miss_saved",
+                    self.session.clock_sec(),
                     after.since(&before).coverage_miss_saved,
                 );
             }
@@ -804,10 +811,11 @@ impl<'a> SessionRunner<'a> {
             rec.observe("profile.booking_wall_sec", dt);
         }
 
-        rec.observe("session.stall_sec", timing.stall_sec);
-        rec.observe("energy.transmission_mj", energy.transmission_mj);
-        rec.observe("energy.decode_mj", energy.decode_mj);
-        rec.observe("energy.render_mj", energy.render_mj);
+        let t_book = self.session.clock_sec();
+        rec.observe_at("session.stall_sec", t_book, timing.stall_sec);
+        rec.observe_at("energy.transmission_mj", t_book, energy.transmission_mj);
+        rec.observe_at("energy.decode_mj", t_book, energy.decode_mj);
+        rec.observe_at("energy.render_mj", t_book, energy.render_mj);
         if rec.level() >= Level::Summary {
             if timing.stall_sec > 0.0 {
                 rec.record(Event::Stall {

@@ -371,9 +371,12 @@ impl Evaluation {
         let users = self.eval_users(video_id);
         let level = rec.level();
         let profiling = rec.profiling();
+        let window_sec = rec.windows().map_or(0.0, |w| w.window_sec());
         let results: Vec<(SessionMetrics, Recorder)> =
             parallel_map_indexed(self.session_threads, users.len(), |i| {
-                let mut session_rec = Recorder::new(level).with_profiling(profiling);
+                let mut session_rec = Recorder::new(level)
+                    .with_profiling(profiling)
+                    .with_windows(window_sec);
                 let metrics = run_session_resilient_traced(
                     scheme,
                     &SessionSetup {
@@ -393,6 +396,7 @@ impl Evaluation {
         for (metrics, session_rec) in results {
             rec.count("experiment.sessions", 1);
             rec.merge_registry(session_rec.registry());
+            rec.merge_windows(session_rec.windows());
             for event in session_rec.events() {
                 rec.record(event.clone());
             }

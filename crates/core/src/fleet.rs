@@ -57,10 +57,29 @@ impl<'a> FleetSessionDriver<'a> {
         level: ee360_obs::Level,
         profiling: bool,
     ) -> Self {
+        Self::with_windows(scheme, setup, faults, policy, level, profiling, 0.0)
+    }
+
+    /// [`FleetSessionDriver::new`] with logical-time windowing enabled
+    /// on the session's private recorder (`window_sec <= 0` leaves it
+    /// off). The per-session windows merge into the caller's recorder
+    /// in user-index order, mirroring the registry merge.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_windows(
+        scheme: Scheme,
+        setup: &SessionSetup<'a>,
+        faults: &FaultPlan,
+        policy: &RetryPolicy,
+        level: ee360_obs::Level,
+        profiling: bool,
+        window_sec: f64,
+    ) -> Self {
         Self {
             controller: make_controller(scheme, setup.phone),
             runner: Some(SessionRunner::new(scheme, setup, faults, policy)),
-            rec: Recorder::new(level).with_profiling(profiling),
+            rec: Recorder::new(level)
+                .with_profiling(profiling)
+                .with_windows(window_sec),
             metrics: None,
         }
     }
@@ -163,6 +182,7 @@ pub fn fleet_sessions_traced(
     let users = eval.eval_users(video_id);
     let level = rec.level();
     let profiling = rec.profiling();
+    let window_sec = rec.windows().map_or(0.0, |w| w.window_sec());
     let threads = threads.max(1);
     let ranges = shard_ranges(users.len(), threads);
     let shards = parallel_map_indexed(threads, ranges.len(), |shard| {
@@ -176,7 +196,9 @@ pub fn fleet_sessions_traced(
                     phone: eval.config().phone,
                     max_segments: eval.config().max_segments,
                 };
-                FleetSessionDriver::new(scheme, &setup, faults, policy, level, profiling)
+                FleetSessionDriver::with_windows(
+                    scheme, &setup, faults, policy, level, profiling, window_sec,
+                )
             })
             .collect();
         let stats = drive_sessions(&mut drivers);
@@ -193,6 +215,7 @@ pub fn fleet_sessions_traced(
         for (metrics, session_rec) in parts {
             rec.count("experiment.sessions", 1);
             rec.merge_registry(session_rec.registry());
+            rec.merge_windows(session_rec.windows());
             for event in session_rec.events() {
                 rec.record(event.clone());
             }

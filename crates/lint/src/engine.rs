@@ -65,16 +65,25 @@ impl Default for Config {
                 "abr::mpc::MpcController::plan_into",
                 "abr::robust::RobustMpcController::plan_into",
                 "support::parallel::parallel_map_indexed",
+                // Telemetry emission paths: windowed stamps, timestamped
+                // registry writes, and exemplar offers run once per
+                // booking or per session across the whole fleet.
+                "obs::record::Recorder::count_at",
+                "obs::record::Recorder::observe_at",
+                "obs::timeseries::SessionWindows::stamp",
+                "obs::sample::ExemplarSet::offer",
             ]),
         );
         entries.insert(
             RuleId::DeterminismTaint.id(),
             own(&[
                 "sim::fleet::run_scale_fleet",
+                "sim::fleet::run_scale_fleet_telemetry",
                 "abr::mpc::MpcController::plan",
                 "core::client::run_session",
                 "core::client::run_session_resilient",
                 "core::client::run_session_resilient_traced",
+                "obs::record::Recorder::observe_at",
             ]),
         );
         Self {

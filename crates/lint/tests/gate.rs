@@ -451,6 +451,59 @@ fn binary_gates_determinism_taint_both_directions() {
     assert!(ok, "pragma'd taint must pass:\n{stdout}");
 }
 
+/// The telemetry emission entries added with the fleet-telemetry work
+/// (`SessionWindows::stamp` for hot-path-alloc, `Recorder::observe_at`
+/// for determinism-taint) gate the binary in both directions too.
+#[test]
+fn binary_gates_telemetry_entries_both_directions() {
+    let seed = |name: &str, hazard_src: &str| -> std::path::PathBuf {
+        let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+        let obs = dir.join("crates").join("obs").join("src");
+        let sup = dir.join("crates").join("support").join("src");
+        std::fs::create_dir_all(&obs).expect("create obs src");
+        std::fs::create_dir_all(&sup).expect("create support src");
+        std::fs::write(
+            obs.join("timeseries.rs"),
+            "use ee360_support::util::spill;\n\
+             pub struct SessionWindows;\n\
+             impl SessionWindows { pub fn stamp(&mut self) { spill(); } }\n",
+        )
+        .expect("write stamp entry");
+        std::fs::write(
+            obs.join("record.rs"),
+            "use ee360_support::util::salted;\n\
+             pub struct Recorder;\n\
+             impl Recorder { pub fn observe_at(&mut self) -> usize { salted() } }\n",
+        )
+        .expect("write observe_at entry");
+        std::fs::write(sup.join("util.rs"), hazard_src).expect("write hazards");
+        dir
+    };
+
+    let dir = seed(
+        "interproc-telemetry-fail",
+        "use std::collections::HashMap;\n\
+         pub fn spill() -> Vec<u32> { Vec::new() }\n\
+         pub fn salted() -> usize { HashMap::<u32, u32>::new().len() }\n",
+    );
+    let (ok, stdout) = run_gate(&dir, &[]);
+    assert!(!ok, "seeded telemetry hazards must fail:\n{stdout}");
+    assert!(stdout.contains("hot-path-alloc"), "{stdout}");
+    assert!(stdout.contains("SessionWindows::stamp"), "{stdout}");
+    assert!(stdout.contains("determinism-taint"), "{stdout}");
+    assert!(stdout.contains("Recorder::observe_at"), "{stdout}");
+
+    let dir = seed(
+        "interproc-telemetry-pass",
+        "use std::collections::HashMap;\n\
+         pub fn spill() -> Vec<u32> { Vec::new() } // lint:allow(hot-path-alloc, \"seeded: rare spill\")\n\
+         pub fn salted() -> usize { HashMap::<u32, u32>::new().len() } // lint:allow(determinism-taint, \"seeded: never iterated\")\n",
+    );
+    let (ok, stdout) = run_gate(&dir, &[]);
+    assert!(ok, "pragma'd telemetry hazards must pass:\n{stdout}");
+    assert!(stdout.contains("2 suppressed"), "{stdout}");
+}
+
 /// `--write-baseline` then `--baseline` demotes the known findings so
 /// the gate passes, and `--callgraph` exports the graph.
 #[test]

@@ -16,10 +16,12 @@ use crate::record::Recorder;
 /// Schema tag stamped into every report.
 pub const REPORT_SCHEMA: &str = "ee360-obs-report-v1";
 
-/// Builds the aggregate report for a recorder.
+/// Builds the aggregate report for a recorder. Window-enabled
+/// recorders additionally carry a `timeseries` section with the
+/// per-window registries.
 #[must_use]
 pub fn report_json(rec: &Recorder) -> Json {
-    Json::Obj(vec![
+    let mut fields = vec![
         ("schema".to_owned(), Json::Str(REPORT_SCHEMA.to_owned())),
         (
             "level".to_owned(),
@@ -32,7 +34,11 @@ pub fn report_json(rec: &Recorder) -> Json {
         ("events_dropped".to_owned(), Json::Int(rec.dropped() as i64)),
         ("spans".to_owned(), rec.span_tree_json()),
         ("metrics".to_owned(), rec.registry().to_json()),
-    ])
+    ];
+    if let Some(windows) = rec.windows() {
+        fields.push(("timeseries".to_owned(), windows.to_json()));
+    }
+    Json::Obj(fields)
 }
 
 fn json_io_err(e: ee360_support::json::JsonError) -> io::Error {

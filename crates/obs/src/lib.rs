@@ -14,6 +14,15 @@
 //! * **Profiling** ([`profile`]) is the single sanctioned wall-clock
 //!   island. It is opt-in (`EE360_OBS_PROFILE=1`), gated behind
 //!   [`Record::profiling`], and never enabled on replay paths.
+//! * **Windowed series** ([`timeseries`]) bucket the same emissions by
+//!   logical simulation time into fixed-width windows, merged with the
+//!   same user-index-order discipline, so per-window counters partition
+//!   the whole-run registry exactly.
+//! * **Sampling and exemplars** ([`sample`]) pick trace-keeping
+//!   sessions by a pure `(seed, session)` hash and keep bounded worst-K
+//!   tail snapshots whose membership is offer-order independent.
+//! * **SLOs** ([`slo`]) evaluate declarative objectives per window with
+//!   burn-rate accounting over the deterministic series.
 //!
 //! Instrumented code writes to `&mut dyn Record`; benign paths pass
 //! [`NoopRecorder`], whose methods are all default no-ops, so the
@@ -29,7 +38,16 @@ pub mod export;
 pub mod metrics;
 pub mod profile;
 pub mod record;
+pub mod sample;
+pub mod slo;
+pub mod timeseries;
 
 pub use event::{Event, Level};
 pub use metrics::{Histogram, Registry};
 pub use record::{NoopRecorder, Record, Recorder};
+pub use sample::{sampled, splitmix64, ExemplarSet, ExemplarSummary, Exemplars};
+pub use slo::{default_slos, evaluate_all, Objective, SloResult, SloSpec};
+pub use timeseries::{
+    window_index, FleetSeries, SessionWindows, TelemetryConfig, TimeSeries, WindowCums,
+    TIMESERIES_SCHEMA,
+};

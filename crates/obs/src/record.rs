@@ -8,6 +8,7 @@ use ee360_support::json::{Json, ToJson};
 
 use crate::event::{Event, Level};
 use crate::metrics::Registry;
+use crate::timeseries::TimeSeries;
 
 /// Default bound on the in-memory event ring buffer.
 pub const DEFAULT_EVENT_CAPACITY: usize = 65_536;
@@ -46,6 +47,20 @@ pub trait Record {
 
     /// Records a histogram sample.
     fn observe(&mut self, _name: &str, _v: f64) {}
+
+    /// Adds `n` to a named counter at simulation time `t_sec`. Defaults
+    /// to plain [`Record::count`]; window-aware sinks additionally
+    /// bucket the same value into the window containing `t_sec`
+    /// (mirror-don't-model: one statement, one value, two indexes).
+    fn count_at(&mut self, name: &str, _t_sec: f64, n: u64) {
+        self.count(name, n);
+    }
+
+    /// Records a histogram sample at simulation time `t_sec`; see
+    /// [`Record::count_at`].
+    fn observe_at(&mut self, name: &str, _t_sec: f64, v: f64) {
+        self.observe(name, v);
+    }
 
     /// Sets a named gauge.
     fn set_gauge(&mut self, _name: &str, _v: f64) {}
@@ -111,6 +126,7 @@ pub struct Recorder {
     spans: Vec<SpanNode>,
     open: Vec<usize>,
     registry: Registry,
+    windows: Option<Box<TimeSeries>>,
     profiling: bool,
 }
 
@@ -127,6 +143,7 @@ impl Recorder {
             spans: Vec::new(),
             open: Vec::new(),
             registry: Registry::new(),
+            windows: None,
             profiling: false,
         }
     }
@@ -145,6 +162,34 @@ impl Recorder {
     pub fn with_profiling(mut self, on: bool) -> Self {
         self.profiling = on;
         self
+    }
+
+    /// Enables logical-time windowed metrics with `window_sec`-wide
+    /// windows: every `count_at`/`observe_at` is additionally bucketed
+    /// by its simulation time. `window_sec <= 0` leaves windowing off.
+    #[must_use]
+    pub fn with_windows(mut self, window_sec: f64) -> Self {
+        self.windows = if window_sec > 0.0 {
+            Some(Box::new(TimeSeries::new(window_sec)))
+        } else {
+            None
+        };
+        self
+    }
+
+    /// The windowed series, when enabled via [`Recorder::with_windows`].
+    #[must_use]
+    pub fn windows(&self) -> Option<&TimeSeries> {
+        self.windows.as_deref()
+    }
+
+    /// Folds a per-worker windowed series into this recorder's (no-op
+    /// when windowing is off here). Call in user-index order after
+    /// fan-outs, exactly like [`Recorder::merge_registry`].
+    pub fn merge_windows(&mut self, other: Option<&TimeSeries>) {
+        if let (Some(mine), Some(theirs)) = (self.windows.as_deref_mut(), other) {
+            mine.merge(theirs);
+        }
     }
 
     /// Events currently held by the ring buffer, oldest first.
@@ -276,6 +321,20 @@ impl Record for Recorder {
         self.registry.observe(name, v);
     }
 
+    fn count_at(&mut self, name: &str, t_sec: f64, n: u64) {
+        self.registry.inc(name, n);
+        if let Some(w) = self.windows.as_deref_mut() {
+            w.inc_at(t_sec, name, n);
+        }
+    }
+
+    fn observe_at(&mut self, name: &str, t_sec: f64, v: f64) {
+        self.registry.observe(name, v);
+        if let Some(w) = self.windows.as_deref_mut() {
+            w.observe_at(t_sec, name, v);
+        }
+    }
+
     fn set_gauge(&mut self, name: &str, v: f64) {
         self.registry.set_gauge(name, v);
     }
@@ -353,6 +412,44 @@ mod tests {
             .and_then(Json::as_f64)
             .expect("total");
         assert!((total - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windowed_emissions_partition_the_registry_exactly() {
+        let mut rec = Recorder::new(Level::Summary).with_windows(5.0);
+        rec.count_at("session.stalls", 1.0, 2);
+        rec.count_at("session.stalls", 7.0, 3);
+        rec.observe_at("session.stall_sec", 1.0, 0.5);
+        rec.observe_at("session.stall_sec", 7.0, 0.25);
+        assert_eq!(rec.registry().counter("session.stalls"), 5);
+        let windows = rec.windows().expect("windowing on");
+        assert_eq!(windows.counter_total("session.stalls"), 5);
+        assert_eq!(windows.hist_count_total("session.stall_sec"), 2);
+        assert_eq!(windows.len(), 2);
+        // Without windowing, count_at degrades to count — same registry.
+        let mut plain = Recorder::new(Level::Summary);
+        plain.count_at("session.stalls", 1.0, 5);
+        assert_eq!(plain.registry().counter("session.stalls"), 5);
+        assert!(plain.windows().is_none());
+    }
+
+    #[test]
+    fn merge_windows_folds_worker_series_in_order() {
+        let mut main = Recorder::new(Level::Summary).with_windows(5.0);
+        let mut w1 = Recorder::new(Level::Summary).with_windows(5.0);
+        w1.count_at("x", 1.0, 1);
+        let mut w2 = Recorder::new(Level::Summary).with_windows(5.0);
+        w2.count_at("x", 6.0, 2);
+        main.merge_windows(w1.windows());
+        main.merge_windows(w2.windows());
+        let ts = main.windows().expect("windowing on");
+        assert_eq!(ts.counter_total("x"), 3);
+        assert_eq!(ts.window(0).map(|r| r.counter("x")), Some(1));
+        assert_eq!(ts.window(1).map(|r| r.counter("x")), Some(2));
+        // Merging into a windows-off recorder is a no-op, not an error.
+        let mut off = Recorder::new(Level::Summary);
+        off.merge_windows(w1.windows());
+        assert!(off.windows().is_none());
     }
 
     #[test]

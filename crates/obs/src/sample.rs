@@ -1,0 +1,365 @@
+//! Deterministic sampled tracing and tail exemplars.
+//!
+//! **Sampling** is a pure function of `(seed, session)`: a splitmix64
+//! hash of the pair against an integer threshold derived from a
+//! parts-per-million rate. No RNG stream is consumed, no state is
+//! shared, so the sampled-session *set* is identical for every thread
+//! count and shard layout — the determinism contract the fleet's
+//! byte-identical replay tests pin.
+//!
+//! **Exemplars** answer "*which* sessions sat in the tail": always-on
+//! worst-K capture (top-K by stall seconds, bottom-K by QoE) over
+//! compact per-session snapshots. The K-best set under a strict total
+//! order (metric by `total_cmp`, ties broken by unique session index)
+//! is permutation-independent, so offering sessions in shard-completion
+//! order or user order yields the same set — but the fleet folds in
+//! user order anyway, like everything else. Exemplar state lives in the
+//! shard fold (one bounded [`ExemplarSet`] per tail), not in the
+//! per-session hot state, which is how it fits the O(100 B)/session
+//! budget.
+
+use ee360_support::json::{Json, ToJson};
+
+/// splitmix64 finaliser — the standard 64-bit avalanche mix (Steele et
+/// al.). Used as a stateless hash, not a stream: one evaluation per
+/// `(seed, session)` pair.
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// True when session `session` of a fleet seeded with `seed` keeps a
+/// full `Detail` trace at sampling rate `rate_ppm` parts per million.
+///
+/// The decision hashes `(seed, session)` through [`splitmix64`] and
+/// compares against `rate_ppm * (u64::MAX / 1e6)` — integer-only, so
+/// the kept set is exact, platform-independent, and stable under any
+/// shard layout. `rate_ppm >= 1_000_000` keeps everything.
+#[must_use]
+pub fn sampled(seed: u64, session: u64, rate_ppm: u32) -> bool {
+    if rate_ppm == 0 {
+        return false;
+    }
+    if rate_ppm >= 1_000_000 {
+        return true;
+    }
+    let threshold = (u64::MAX / 1_000_000).wrapping_mul(u64::from(rate_ppm));
+    splitmix64(
+        seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(session),
+    ) < threshold
+}
+
+/// Compact per-session snapshot captured for tail drill-down — the
+/// whole point is that this is all an operator needs to decide whether
+/// to re-run the session with full tracing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExemplarSummary {
+    /// User-order session index within the fleet.
+    pub session: u64,
+    /// Total stall seconds.
+    pub stall_sec: f64,
+    /// Mean QoE over the session's segment slots.
+    pub mean_qoe: f64,
+    /// Total energy, millijoules.
+    pub energy_mj: f64,
+    /// Segments delivered.
+    pub delivered: u32,
+    /// Segments skipped.
+    pub skipped: u32,
+    /// Startup latency in seconds (negative when the session never
+    /// delivered a segment).
+    pub startup_sec: f64,
+}
+
+impl ToJson for ExemplarSummary {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("session".to_owned(), Json::Int(self.session as i64)),
+            ("stall_sec".to_owned(), Json::Num(self.stall_sec)),
+            ("mean_qoe".to_owned(), Json::Num(self.mean_qoe)),
+            ("energy_mj".to_owned(), Json::Num(self.energy_mj)),
+            ("delivered".to_owned(), Json::Int(i64::from(self.delivered))),
+            ("skipped".to_owned(), Json::Int(i64::from(self.skipped))),
+            ("startup_sec".to_owned(), Json::Num(self.startup_sec)),
+        ])
+    }
+}
+
+/// Which tail an [`ExemplarSet`] keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tail {
+    /// Keep the K *largest* metric values (worst stall).
+    Top,
+    /// Keep the K *smallest* metric values (worst QoE).
+    Bottom,
+}
+
+/// A bounded worst-K set over `(metric, session)` keys with a strict
+/// total order: metric by `f64::total_cmp`, ties by session index
+/// (unique within a fleet), so membership is independent of offer
+/// order. Memory is O(K) regardless of fleet size; offers are O(K)
+/// worst-case but O(1) for the common below-threshold case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExemplarSet {
+    tail: Tail,
+    k: usize,
+    // Sorted worst-first (largest metric first for Top, smallest first
+    // for Bottom) so `entries[k-1]` is always the eviction candidate.
+    entries: Vec<(f64, ExemplarSummary)>,
+}
+
+impl ExemplarSet {
+    /// A set keeping the `k` largest metric values.
+    #[must_use]
+    pub fn top(k: usize) -> Self {
+        ExemplarSet {
+            tail: Tail::Top,
+            k,
+            entries: Vec::with_capacity(k),
+        }
+    }
+
+    /// A set keeping the `k` smallest metric values.
+    #[must_use]
+    pub fn bottom(k: usize) -> Self {
+        ExemplarSet {
+            tail: Tail::Bottom,
+            k,
+            entries: Vec::with_capacity(k),
+        }
+    }
+
+    /// Strictly-ordered "a is worse (more extreme) than b" for this
+    /// tail; never returns equal for distinct sessions.
+    fn worse(&self, a: &(f64, ExemplarSummary), b: &(f64, ExemplarSummary)) -> bool {
+        let ord = match self.tail {
+            Tail::Top => b.0.total_cmp(&a.0),
+            Tail::Bottom => a.0.total_cmp(&b.0),
+        };
+        match ord {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => a.1.session < b.1.session,
+        }
+    }
+
+    /// Offers one session; keeps it only if it is among the K most
+    /// extreme seen so far. Order of offers does not affect the final
+    /// set or its ordering.
+    pub fn offer(&mut self, metric: f64, summary: ExemplarSummary) {
+        if self.k == 0 {
+            return;
+        }
+        let cand = (metric, summary);
+        if self.entries.len() == self.k {
+            match self.entries.last() {
+                Some(last) if self.worse(&cand, last) => {
+                    self.entries.pop();
+                }
+                _ => return,
+            }
+        }
+        let pos = self
+            .entries
+            .iter()
+            .position(|e| self.worse(&cand, e))
+            .unwrap_or(self.entries.len());
+        // lint:allow(hot-path-alloc, "bounded: the set holds at most K entries (Vec::with_capacity(k) up front), inserts past capacity are impossible")
+        self.entries.insert(pos, cand);
+    }
+
+    /// The kept exemplars, worst-first.
+    #[must_use]
+    pub fn entries(&self) -> &[(f64, ExemplarSummary)] {
+        &self.entries
+    }
+
+    /// Number of kept exemplars.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been kept.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl ToJson for ExemplarSet {
+    fn to_json(&self) -> Json {
+        Json::Arr(
+            self.entries
+                .iter()
+                .map(|(metric, s)| {
+                    let mut obj = match s.to_json() {
+                        Json::Obj(fields) => fields,
+                        other => vec![("summary".to_owned(), other)],
+                    };
+                    obj.insert(0, ("metric".to_owned(), Json::Num(*metric)));
+                    Json::Obj(obj)
+                })
+                .collect(),
+        )
+    }
+}
+
+/// The fleet's exemplar capture: worst-K by stall time and bottom-K by
+/// mean QoE. Lives in the fold, fed once per session with its final
+/// summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exemplars {
+    /// Top-K sessions by total stall seconds.
+    pub worst_stall: ExemplarSet,
+    /// Bottom-K sessions by mean QoE.
+    pub worst_qoe: ExemplarSet,
+}
+
+impl Exemplars {
+    /// Capture with `k` exemplars per tail.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        Exemplars {
+            worst_stall: ExemplarSet::top(k),
+            worst_qoe: ExemplarSet::bottom(k),
+        }
+    }
+
+    /// Offers one finished session to both tails.
+    pub fn offer(&mut self, summary: ExemplarSummary) {
+        self.worst_stall.offer(summary.stall_sec, summary);
+        self.worst_qoe.offer(summary.mean_qoe, summary);
+    }
+}
+
+impl ToJson for Exemplars {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("worst_stall".to_owned(), self.worst_stall.to_json()),
+            ("worst_qoe".to_owned(), self.worst_qoe.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(session: u64, stall: f64, qoe: f64) -> ExemplarSummary {
+        ExemplarSummary {
+            session,
+            stall_sec: stall,
+            mean_qoe: qoe,
+            energy_mj: 100.0,
+            delivered: 10,
+            skipped: 0,
+            startup_sec: 0.5,
+        }
+    }
+
+    #[test]
+    fn splitmix64_matches_reference_vectors() {
+        // Reference outputs of the canonical splitmix64 finaliser.
+        assert_eq!(splitmix64(0), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(splitmix64(1), 0x910a_2dec_8902_5cc1);
+    }
+
+    #[test]
+    fn sampling_rate_is_approximately_honoured() {
+        let kept = (0..100_000u64)
+            .filter(|s| sampled(2022, *s, 10_000))
+            .count();
+        // 1% of 100k = 1000 expected; splitmix64 is a good mixer, so
+        // allow a generous band.
+        assert!((600..1400).contains(&kept), "kept {kept} of 100000 at 1%");
+        assert_eq!((0..1000u64).filter(|s| sampled(7, *s, 0)).count(), 0);
+        assert_eq!(
+            (0..1000u64).filter(|s| sampled(7, *s, 1_000_000)).count(),
+            1000
+        );
+    }
+
+    #[test]
+    fn sampling_is_a_pure_function_of_seed_and_session() {
+        for s in 0..512u64 {
+            assert_eq!(sampled(42, s, 50_000), sampled(42, s, 50_000));
+        }
+        // Different seeds select different sets (overwhelmingly likely).
+        let a: Vec<u64> = (0..4096).filter(|s| sampled(1, *s, 50_000)).collect();
+        let b: Vec<u64> = (0..4096).filter(|s| sampled(2, *s, 50_000)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn exemplar_top_k_keeps_the_largest() {
+        let mut set = ExemplarSet::top(3);
+        for (i, stall) in [0.1, 5.0, 2.0, 9.0, 0.0, 7.5].iter().enumerate() {
+            set.offer(*stall, summary(i as u64, *stall, 3.0));
+        }
+        let kept: Vec<f64> = set.entries().iter().map(|e| e.0).collect();
+        assert_eq!(kept, vec![9.0, 7.5, 5.0]);
+    }
+
+    #[test]
+    fn exemplar_bottom_k_keeps_the_smallest() {
+        let mut set = ExemplarSet::bottom(2);
+        for (i, qoe) in [3.0, -1.0, 2.0, 0.5].iter().enumerate() {
+            set.offer(*qoe, summary(i as u64, 1.0, *qoe));
+        }
+        let kept: Vec<f64> = set.entries().iter().map(|e| e.0).collect();
+        assert_eq!(kept, vec![-1.0, 0.5]);
+    }
+
+    #[test]
+    fn exemplar_set_is_permutation_independent() {
+        let items: Vec<(u64, f64)> = (0..64u64)
+            .map(|i| (i, f64::from((i * 37 % 16) as u32)))
+            .collect();
+        let build = |order: &[usize]| {
+            let mut set = ExemplarSet::top(5);
+            for &ix in order {
+                let (s, v) = items[ix];
+                set.offer(v, summary(s, v, 1.0));
+            }
+            set
+        };
+        let forward: Vec<usize> = (0..items.len()).collect();
+        let reverse: Vec<usize> = (0..items.len()).rev().collect();
+        // A deterministic shuffle via splitmix64 keys.
+        let mut shuffled = forward.clone();
+        shuffled.sort_by_key(|&i| splitmix64(i as u64));
+        let a = build(&forward);
+        let b = build(&reverse);
+        let c = build(&shuffled);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        // Ties (many duplicate metric values above) break by session index.
+        let sessions: Vec<u64> = a.entries().iter().map(|e| e.1.session).collect();
+        let mut sorted = sessions.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), sessions.len(), "sessions are unique");
+    }
+
+    #[test]
+    fn exemplar_json_carries_metric_and_session() {
+        let mut ex = Exemplars::new(2);
+        ex.offer(summary(3, 4.0, 1.5));
+        ex.offer(summary(9, 0.5, 3.5));
+        let text = ee360_support::json::to_string(&ex.to_json()).expect("serialises");
+        for key in [
+            "worst_stall",
+            "worst_qoe",
+            "metric",
+            "session",
+            "startup_sec",
+        ] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+    }
+}

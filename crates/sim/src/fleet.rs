@@ -37,7 +37,12 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::ops::Range;
 
-use ee360_obs::Record;
+use ee360_obs::profile::StageTimer;
+use ee360_obs::timeseries::window_index;
+use ee360_obs::{
+    evaluate_all, sampled, ExemplarSummary, Exemplars, FleetSeries, Level, Record, Recorder,
+    SessionWindows, SloSpec, TelemetryConfig, WindowCums, TIMESERIES_SCHEMA,
+};
 use ee360_power::energy::{SegmentEnergy, SegmentEnergyParams};
 use ee360_power::model::{DecoderScheme, Phone, PowerModel};
 use ee360_qoe::impairment::{QoeWeights, SegmentQoe};
@@ -185,12 +190,27 @@ fn enqueue_pending(
 /// sequence a dedicated single-session loop would make, which is the
 /// engine half of the bit-identical-equivalence argument.
 pub fn drive_sessions<D: SessionDriver>(drivers: &mut [D]) -> EngineStats {
+    drive_sessions_via(drivers, D::start, |driver, _, kind, sched| {
+        driver.on_event(kind, sched);
+    })
+}
+
+/// The one event loop both entry points share: [`drive_sessions`]
+/// dispatches through the trait, the fleet's windowed runner routes a
+/// per-session arena slot alongside each event. The loop body is what
+/// fixes the dispatch order, so both paths are event-for-event
+/// identical by construction.
+fn drive_sessions_via<D>(
+    drivers: &mut [D],
+    mut start: impl FnMut(&mut D, &mut Scheduler),
+    mut dispatch: impl FnMut(&mut D, usize, EventKind, &mut Scheduler),
+) -> EngineStats {
     let mut heap: BinaryHeap<Reverse<QueuedEvent>> = BinaryHeap::new();
     let mut sched = Scheduler::default();
     let mut seq = 0u64;
     let mut stats = EngineStats::default();
     for (index, driver) in drivers.iter_mut().enumerate() {
-        driver.start(&mut sched);
+        start(driver, &mut sched);
         enqueue_pending(&mut heap, &mut sched, index as u32, &mut seq);
     }
     stats.peak_queue_len = heap.len();
@@ -204,7 +224,7 @@ pub fn drive_sessions<D: SessionDriver>(drivers: &mut [D]) -> EngineStats {
             EventKind::StallEnd => stats.stall_ends += 1,
         }
         if let Some(driver) = drivers.get_mut(event.session as usize) {
-            driver.on_event(event.kind, &mut sched);
+            dispatch(driver, event.session as usize, event.kind, &mut sched);
         }
         enqueue_pending(&mut heap, &mut sched, event.session, &mut seq);
         stats.peak_queue_len = stats.peak_queue_len.max(heap.len());
@@ -271,6 +291,10 @@ pub struct FleetConfig {
     /// counterpart of the robust controller's bandwidth margin). Off by
     /// default — the point fleet stays bit-identical to the seed.
     pub robust_margin: bool,
+    /// Telemetry switches (windowed series, sampled tracing, exemplar
+    /// capture). All off by default, which keeps the fleet's outputs and
+    /// heap profile byte-identical to the pre-telemetry engine.
+    pub telemetry: TelemetryConfig,
 }
 
 impl FleetConfig {
@@ -286,6 +310,7 @@ impl FleetConfig {
             phone: Phone::Pixel3,
             policy: RetryPolicy::default_mobile(),
             robust_margin: false,
+            telemetry: TelemetryConfig::off(),
         }
     }
 
@@ -298,6 +323,13 @@ impl FleetConfig {
     /// Enables the per-session downside bandwidth margin.
     pub fn with_robust_margin(mut self) -> Self {
         self.robust_margin = true;
+        self
+    }
+
+    /// Sets the telemetry switches (windowed series, sampled tracing,
+    /// exemplars).
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
         self
     }
 }
@@ -322,6 +354,10 @@ pub struct SessionSummary {
     pub bits: f64,
     /// Session wall clock at completion, seconds.
     pub clock_sec: f64,
+    /// Startup latency: seconds from session start to the first
+    /// delivered segment's booking; negative while/if nothing was ever
+    /// delivered.
+    pub startup_sec: f64,
     /// The session's resilience tallies.
     pub counters: ResilienceCounters,
 }
@@ -335,6 +371,7 @@ ee360_support::impl_json_struct!(SessionSummary {
     stall_sec,
     bits,
     clock_sec,
+    startup_sec,
     counters
 });
 
@@ -440,7 +477,41 @@ pub struct ScaleDriver<'a> {
     /// `None` unless [`FleetConfig::robust_margin`] is set, so the
     /// point-fleet hot state (and its heap budget) is untouched.
     margin: Option<Box<QuantileSketch>>,
+    /// Session start offset (clock after the start spread), the zero
+    /// point for startup latency.
+    start_sec: f64,
+    /// Replans where the bandwidth margin engaged (factor < 1.0).
+    margin_engaged: u32,
+    /// The window the most recent booking landed in; [`WINDOW_NONE`]
+    /// until the first booking. The ~400 B cell log itself lives in a
+    /// shard-level arena (see [`run_scale_shards`]), *not* in the
+    /// driver: the event loop walks tens of thousands of interleaved
+    /// drivers, and keeping the log out keeps the hot working set
+    /// small — a session's slot is only touched on a window transition
+    /// (a handful of times per session). Cells are sealed lazily: the
+    /// booking hot path only tracks `cur_window`, and a snapshot is
+    /// stamped when a booking lands in a *later* window (plus a final
+    /// seal at teardown), so the per-booking cost is one float compare,
+    /// not a struct copy.
+    cur_window: u32,
+    /// End of `cur_window` in simulation seconds (0.0 until the first
+    /// booking), so the same-window fast path is a single compare with
+    /// no divide.
+    window_end_sec: f64,
+    /// Full `Detail` trace for sessions picked by the `(seed, session)`
+    /// sampling hash; `None` (no heap) for everyone else.
+    trace: Option<Box<Recorder>>,
 }
+
+/// Ring-buffer bound for one sampled session's `Detail` trace: deep
+/// enough for every per-attempt event of a smoke-scale session, small
+/// enough that a 1% sample of a 100k fleet stays tens of megabytes.
+const TRACE_EVENT_CAPACITY: usize = 512;
+
+/// Sentinel for [`ScaleDriver::cur_window`]: no booking yet. Real window
+/// indices are clamped to [`ee360_obs::timeseries::MAX_WINDOWS`], far
+/// below this.
+const WINDOW_NONE: u32 = u32::MAX;
 
 impl<'a> ScaleDriver<'a> {
     /// Builds session `index` of the fleet: its RNG stream is derived
@@ -448,6 +519,7 @@ impl<'a> ScaleDriver<'a> {
     /// and its fault keys live at `index * FLEET_FAULT_STRIDE`.
     pub fn new(env: &'a ScaleEnv<'a>, index: usize) -> Self {
         let rng = StdRng::seed_from_u64(env.config.seed.wrapping_add(index as u64));
+        let tel = env.config.telemetry;
         Self {
             env,
             index,
@@ -459,11 +531,21 @@ impl<'a> ScaleDriver<'a> {
             coverage: 1.0,
             bw_est_bps: 0.7 * env.network.bandwidth_at(0.0),
             prev_qo: None,
-            summary: SessionSummary::default(),
+            summary: SessionSummary {
+                startup_sec: -1.0,
+                ..SessionSummary::default()
+            },
             margin: env
                 .config
                 .robust_margin
                 .then(|| Box::new(QuantileSketch::new(64))),
+            start_sec: 0.0,
+            margin_engaged: 0,
+            cur_window: WINDOW_NONE,
+            window_end_sec: 0.0,
+            trace: (tel.sampling_enabled()
+                && sampled(env.config.seed, index as u64, tel.sample_ppm))
+            .then(|| Box::new(Recorder::new(Level::Detail).with_capacity(TRACE_EVENT_CAPACITY))),
         }
     }
 
@@ -483,10 +565,41 @@ impl<'a> ScaleDriver<'a> {
     /// Seals the driver into its per-session summary (counters and final
     /// clock stamped from the core).
     pub fn into_summary(self) -> SessionSummary {
+        self.into_telemetry_parts(None).0
+    }
+
+    /// Seals the driver into its summary plus the `Detail` trace it
+    /// carried (for sampled sessions), stamping the last booked window
+    /// into the session's arena slot when one is given. That final
+    /// snapshot is the session's final accumulators, which is what
+    /// makes the series' final row bit-exact against the fleet report.
+    pub fn into_telemetry_parts(
+        self,
+        windows: Option<&mut SessionWindows>,
+    ) -> (SessionSummary, Option<Box<Recorder>>) {
+        if self.cur_window != WINDOW_NONE {
+            if let Some(windows) = windows {
+                windows.stamp(self.cur_window, self.window_cums());
+            }
+        }
         let mut summary = self.summary;
         summary.counters = *self.core.counters();
         summary.clock_sec = self.core.clock_sec();
-        summary
+        (summary, self.trace)
+    }
+
+    /// Bit-copies of the running accumulators the fold will total.
+    fn window_cums(&self) -> WindowCums {
+        WindowCums {
+            stall_sec: self.summary.stall_sec,
+            qoe_sum: self.summary.qoe_sum,
+            energy_mj: self.summary.energy_mj,
+            bits: self.summary.bits,
+            segments: self.summary.segments as u32,
+            delivered: self.summary.delivered as u32,
+            skipped: self.summary.skipped as u32,
+            margin_engaged: self.margin_engaged,
+        }
     }
 
     fn download_env(&self) -> DownloadEnv<'a> {
@@ -499,7 +612,7 @@ impl<'a> ScaleDriver<'a> {
         }
     }
 
-    fn replan(&mut self, sched: &mut Scheduler) {
+    fn replan(&mut self, sched: &mut Scheduler, windows: Option<&mut SessionWindows>) {
         if self.next_segment >= self.env.config.segments {
             return; // session finished; schedule nothing
         }
@@ -508,7 +621,11 @@ impl<'a> ScaleDriver<'a> {
         self.coverage = 0.85 + 0.15 * self.rng.gen_f64();
         // Rate-based rung-0 pick: the cheapest rung that fits 80% of the
         // EWMA estimate, stepped down once more when the buffer is thin.
-        let budget_bits = 0.8 * self.bw_est_bps * self.margin_factor() * SEGMENT_DURATION_SEC;
+        let margin_factor = self.margin_factor();
+        if margin_factor < 1.0 {
+            self.margin_engaged += 1;
+        }
+        let budget_bits = 0.8 * self.bw_est_bps * margin_factor * SEGMENT_DURATION_SEC;
         let mut level = SCALE_LADDER_BITS.len() - 1;
         for (i, &bits) in SCALE_LADDER_BITS.iter().enumerate() {
             if bits <= budget_bits {
@@ -522,29 +639,58 @@ impl<'a> ScaleDriver<'a> {
         self.level = level;
         let denv = self.download_env();
         self.st = Some(self.core.begin_download(&denv, self.next_segment));
-        self.step(sched);
+        self.step(sched, windows);
     }
 
-    fn step(&mut self, sched: &mut Scheduler) {
+    fn step(&mut self, sched: &mut Scheduler, windows: Option<&mut SessionWindows>) {
         let denv = self.download_env();
         let level = self.level;
         let Some(st) = self.st.as_mut() else {
             return;
         };
         let mut request = |rung: usize| ladder_bits(level, rung);
-        let stepped =
-            self.core
-                .step_download(&denv, st, &mut request, &mut ee360_obs::NoopRecorder);
+        // Sampled sessions step through a live Detail recorder; recording
+        // never changes the simulation (pinned by the obs reconcile
+        // tests), so sampled and unsampled sessions stay bit-identical.
+        let mut noop = ee360_obs::NoopRecorder;
+        let rec: &mut dyn Record = match self.trace.as_deref_mut() {
+            Some(trace) => trace,
+            None => &mut noop,
+        };
+        let stepped = self.core.step_download(&denv, st, &mut request, rec);
         match stepped {
             None => sched.schedule(self.core.clock_sec(), EventKind::FaultFire),
             Some(outcome) => {
                 self.st = None;
-                self.book(outcome, sched);
+                self.book(outcome, sched, windows);
             }
         }
     }
 
-    fn book(&mut self, outcome: DownloadOutcome, sched: &mut Scheduler) {
+    fn book(
+        &mut self,
+        outcome: DownloadOutcome,
+        sched: &mut Scheduler,
+        windows: Option<&mut SessionWindows>,
+    ) {
+        let tel = &self.env.config.telemetry;
+        if tel.windows_enabled() && self.core.clock_sec() >= self.window_end_sec {
+            // Lazy seal: the summary still holds the previous booking's
+            // accumulators here, so a booking that lands in a later
+            // window first snapshots the window it is leaving. The
+            // cached window end makes the same-window fast path a single
+            // compare; the divide only runs on a window transition.
+            let w = window_index(self.core.clock_sec(), tel.window_sec);
+            if w != self.cur_window {
+                if self.cur_window != WINDOW_NONE {
+                    if let Some(windows) = windows {
+                        windows.stamp(self.cur_window, self.window_cums());
+                    }
+                }
+                self.cur_window = w;
+            }
+            self.window_end_sec = (f64::from(w) + 1.0) * tel.window_sec;
+        }
         let k = self.next_segment;
         self.next_segment += 1;
         self.summary.segments += 1;
@@ -557,6 +703,9 @@ impl<'a> ScaleDriver<'a> {
                 ..
             } => {
                 self.summary.delivered += 1;
+                if self.summary.delivered == 1 {
+                    self.summary.startup_sec = self.core.clock_sec() - self.start_sec;
+                }
                 self.summary.bits += bits + wasted_bits;
                 self.summary.stall_sec += timing.stall_sec;
                 // Ratio against the estimate the plan actually used —
@@ -629,17 +778,21 @@ impl<'a> ScaleDriver<'a> {
     }
 }
 
-impl SessionDriver for ScaleDriver<'_> {
-    fn start(&mut self, sched: &mut Scheduler) {
-        let offset = self.rng.gen_f64() * self.env.config.start_spread_sec;
-        self.core.advance_clock(offset);
-        sched.schedule(self.core.clock_sec(), EventKind::Replan);
-    }
-
-    fn on_event(&mut self, kind: EventKind, sched: &mut Scheduler) {
+impl ScaleDriver<'_> {
+    /// [`SessionDriver::on_event`] with the session's window-log arena
+    /// slot routed alongside — the windowed fleet runner's dispatch
+    /// path. `on_event` is this with no slot; both take the same
+    /// branches, so windowed and plain runs stay event-for-event
+    /// identical.
+    fn on_event_windowed(
+        &mut self,
+        kind: EventKind,
+        sched: &mut Scheduler,
+        windows: Option<&mut SessionWindows>,
+    ) {
         match kind {
-            EventKind::Replan => self.replan(sched),
-            EventKind::FaultFire => self.step(sched),
+            EventKind::Replan => self.replan(sched, windows),
+            EventKind::FaultFire => self.step(sched, windows),
             EventKind::DownloadComplete => {
                 sched.schedule(self.core.clock_sec(), EventKind::Replan);
             }
@@ -648,27 +801,103 @@ impl SessionDriver for ScaleDriver<'_> {
     }
 }
 
+impl SessionDriver for ScaleDriver<'_> {
+    fn start(&mut self, sched: &mut Scheduler) {
+        let offset = self.rng.gen_f64() * self.env.config.start_spread_sec;
+        self.core.advance_clock(offset);
+        self.start_sec = self.core.clock_sec();
+        sched.schedule(self.core.clock_sec(), EventKind::Replan);
+    }
+
+    fn on_event(&mut self, kind: EventKind, sched: &mut Scheduler) {
+        self.on_event_windowed(kind, sched, None);
+    }
+}
+
 /// Sessions per shard: bounds the live driver memory of one worker (a
 /// shard of 16 Ki drivers is ~16 MB) so a million-session fleet streams
 /// through in waves instead of materialising at once.
 const MAX_SHARD_SESSIONS: usize = 16_384;
 
+/// Everything one shard hands back to the fold: summaries (always),
+/// window logs and sampled traces (when telemetry asked for them), the
+/// engine stats, and — under `EE360_OBS_PROFILE=1` — the shard's own
+/// wall-clock phase timings.
+struct ShardOut {
+    summaries: Vec<SessionSummary>,
+    /// Per-session window logs, indexed like `summaries`; empty when
+    /// windowing is off. This is the shard's arena, handed back
+    /// wholesale — no per-session move or allocation anywhere.
+    windows: Vec<SessionWindows>,
+    /// Dense window count this shard needs (`max(last_window) + 1`),
+    /// computed in the worker while its cells are cache-hot so the fold
+    /// thread never re-scans the window logs just to size the series.
+    n_windows: usize,
+    traces: Vec<(u64, Box<Recorder>)>,
+    stats: EngineStats,
+    setup_wall_sec: Option<f64>,
+    loop_wall_sec: Option<f64>,
+}
+
 fn run_scale_shards(
     config: &FleetConfig,
     network: &NetworkTrace,
     faults: &FaultPlan,
-) -> Vec<(Vec<SessionSummary>, EngineStats)> {
+    profiling: bool,
+) -> Vec<ShardOut> {
     let threads = config.threads.max(1);
     let shard_count = threads.max(config.sessions.div_ceil(MAX_SHARD_SESSIONS));
     let ranges = shard_ranges(config.sessions, shard_count);
+    let keep_windows = config.telemetry.windows_enabled();
     parallel_map_indexed(threads, ranges.len(), |shard| {
         let range = ranges.get(shard).cloned().unwrap_or(0..0);
         let env = ScaleEnv::new(config, network, faults);
+        let setup_timer = StageTimer::start(profiling);
         let mut drivers: Vec<ScaleDriver> =
             range.map(|index| ScaleDriver::new(&env, index)).collect();
-        let stats = drive_sessions(&mut drivers);
-        let summaries = drivers.into_iter().map(ScaleDriver::into_summary).collect();
-        (summaries, stats)
+        // The shard's window-log arena: one allocation for the whole
+        // shard, one slot per session, kept out of the drivers so the
+        // event loop's hot working set stays compact.
+        let mut window_log: Vec<SessionWindows> = Vec::new();
+        if keep_windows {
+            window_log.resize_with(drivers.len(), SessionWindows::default);
+        }
+        let setup_wall_sec = setup_timer.stop();
+        let loop_timer = StageTimer::start(profiling);
+        let stats = if keep_windows {
+            drive_sessions_via(
+                &mut drivers,
+                ScaleDriver::start,
+                |driver, i, kind, sched| {
+                    driver.on_event_windowed(kind, sched, window_log.get_mut(i));
+                },
+            )
+        } else {
+            drive_sessions(&mut drivers)
+        };
+        let loop_wall_sec = loop_timer.stop();
+        let mut out = ShardOut {
+            summaries: Vec::with_capacity(drivers.len()),
+            windows: Vec::new(),
+            n_windows: 1,
+            traces: Vec::new(),
+            stats,
+            setup_wall_sec,
+            loop_wall_sec,
+        };
+        for (i, driver) in drivers.into_iter().enumerate() {
+            let index = driver.index as u64;
+            let (summary, trace) = driver.into_telemetry_parts(window_log.get_mut(i));
+            out.summaries.push(summary);
+            if let Some(last) = window_log.get(i).and_then(SessionWindows::last_window) {
+                out.n_windows = out.n_windows.max(last as usize + 1);
+            }
+            if let Some(trace) = trace {
+                out.traces.push((index, trace));
+            }
+        }
+        out.windows = window_log;
+        out
     })
 }
 
@@ -688,16 +917,90 @@ pub fn run_scale_fleet(
     faults: &FaultPlan,
     rec: &mut dyn Record,
 ) -> (FleetReport, EngineStats) {
-    let shards = run_scale_shards(config, network, faults);
+    let (report, stats, _telemetry) = run_scale_fleet_telemetry(config, network, faults, rec);
+    (report, stats)
+}
+
+/// The telemetry a scale-fleet run produced beyond its report: the
+/// windowed series, the tail exemplars, and the sampled sessions'
+/// `Detail` traces (user-index order).
+#[derive(Debug)]
+pub struct FleetTelemetry {
+    /// Telemetry switches the run used.
+    pub config: TelemetryConfig,
+    /// Cumulative windowed series; `None` when windowing was off.
+    pub series: Option<FleetSeries>,
+    /// Worst-K tail exemplars; `None` when exemplar capture was off.
+    pub exemplars: Option<Exemplars>,
+    /// `(session index, trace)` for every sampled session, in user
+    /// order.
+    pub traces: Vec<(u64, Box<Recorder>)>,
+}
+
+impl FleetTelemetry {
+    /// The sampled session indices, in user order.
+    #[must_use]
+    pub fn sampled_sessions(&self) -> Vec<u64> {
+        self.traces.iter().map(|(i, _)| *i).collect()
+    }
+
+    /// Total events held across every sampled trace.
+    #[must_use]
+    pub fn trace_events(&self) -> u64 {
+        self.traces.iter().map(|(_, t)| t.events_len() as u64).sum()
+    }
+}
+
+/// [`run_scale_fleet`] plus the telemetry pipeline: same report, same
+/// registry stream, and — when [`FleetConfig::telemetry`] asks for it —
+/// the windowed [`FleetSeries`] (folded per session in user-index
+/// order, so bit-identical at every thread count), the worst-K
+/// [`Exemplars`], and the sampled `Detail` traces. With telemetry off
+/// this *is* `run_scale_fleet`, byte for byte.
+pub fn run_scale_fleet_telemetry(
+    config: &FleetConfig,
+    network: &NetworkTrace,
+    faults: &FaultPlan,
+    rec: &mut dyn Record,
+) -> (FleetReport, EngineStats, Option<FleetTelemetry>) {
+    let profiling = rec.profiling();
+    let dispatch_timer = StageTimer::start(profiling);
+    let shards = run_scale_shards(config, network, faults, profiling);
+    if let Some(t) = dispatch_timer.stop() {
+        rec.observe("profile.fleet.dispatch_wall_sec", t);
+    }
+    let fold_timer = StageTimer::start(profiling);
+    let tel = config.telemetry;
     let mut report = FleetReport {
         sessions: config.sessions,
         ..FleetReport::default()
     };
     let mut stats = EngineStats::default();
     let mut qoe_sum = 0.0f64;
-    for (summaries, shard_stats) in &shards {
-        stats.accumulate(shard_stats);
-        for s in summaries {
+    let mut series = if tel.windows_enabled() {
+        // Dense windows sized by the shard-local maxima (computed while
+        // the cells were hot in the workers), so every session folds
+        // over the same window range.
+        let n_windows = shards.iter().map(|s| s.n_windows).max().unwrap_or(1);
+        // lint:allow(hot-path-alloc, "one allocation per fleet run: the dense window vector is sized once by the pre-pass, never grown")
+        Some(FleetSeries::new(tel.window_sec, n_windows))
+    } else {
+        None
+    };
+    let mut exemplars = tel
+        .exemplars_enabled()
+        .then(|| Exemplars::new(tel.exemplar_k as usize));
+    let mut traces: Vec<(u64, Box<Recorder>)> = Vec::new();
+    let mut session_index = 0u64;
+    for shard in shards {
+        stats.accumulate(&shard.stats);
+        if let Some(t) = shard.setup_wall_sec {
+            rec.observe("profile.fleet.shard_setup_wall_sec", t);
+        }
+        if let Some(t) = shard.loop_wall_sec {
+            rec.observe("profile.fleet.event_loop_wall_sec", t);
+        }
+        for (i, s) in shard.summaries.iter().enumerate() {
             report.segments += s.segments;
             report.delivered += s.delivered;
             report.skipped += s.skipped;
@@ -713,7 +1016,23 @@ pub fn run_scale_fleet(
             rec.observe("fleet.session_qoe", s.qoe_sum / s.segments.max(1) as f64);
             rec.observe("fleet.session_energy_mj", s.energy_mj);
             rec.observe("fleet.session_stall_sec", s.stall_sec);
+            if let (Some(series), Some(windows)) = (series.as_mut(), shard.windows.get(i)) {
+                series.fold_session(windows, (s.startup_sec >= 0.0).then_some(s.startup_sec));
+            }
+            if let Some(ex) = exemplars.as_mut() {
+                ex.offer(ExemplarSummary {
+                    session: session_index,
+                    stall_sec: s.stall_sec,
+                    mean_qoe: s.qoe_sum / s.segments.max(1) as f64,
+                    energy_mj: s.energy_mj,
+                    delivered: s.delivered as u32,
+                    skipped: s.skipped as u32,
+                    startup_sec: s.startup_sec,
+                });
+            }
+            session_index += 1;
         }
+        traces.extend(shard.traces);
     }
     report.replans = stats.replans;
     report.download_completes = stats.download_completes;
@@ -723,12 +1042,116 @@ pub fn run_scale_fleet(
     rec.count("fleet.events.download_complete", stats.download_completes);
     rec.count("fleet.events.fault_fire", stats.fault_fires);
     rec.count("fleet.events.stall_start", stats.stall_starts);
+    if tel.sampling_enabled() {
+        rec.count("fleet.sampled_sessions", traces.len() as u64);
+        rec.count(
+            "fleet.trace_events",
+            traces.iter().map(|(_, t)| t.events_len() as u64).sum(),
+        );
+    }
     report.mean_qoe = if report.segments > 0 {
         qoe_sum / report.segments as f64
     } else {
         0.0
     };
-    (report, stats)
+    if let Some(t) = fold_timer.stop() {
+        rec.observe("profile.fleet.fold_wall_sec", t);
+    }
+    let telemetry = tel.enabled().then(|| FleetTelemetry {
+        config: tel,
+        series,
+        exemplars,
+        traces,
+    });
+    (report, stats, telemetry)
+}
+
+/// Assembles the versioned `ee360.timeseries.v1` artifact for a
+/// telemetry-enabled fleet run: the windowed series, exemplars,
+/// sampling accounting, SLO verdicts, and the whole-run totals the
+/// reconciliation tests compare against.
+#[must_use]
+pub fn fleet_timeseries_json(
+    config: &FleetConfig,
+    report: &FleetReport,
+    telemetry: &FleetTelemetry,
+    slos: &[SloSpec],
+) -> ee360_support::json::Json {
+    use ee360_support::json::{Json, ToJson};
+    let slo_json = match telemetry.series.as_ref() {
+        Some(series) => Json::Arr(
+            evaluate_all(slos, series)
+                .iter()
+                .map(ToJson::to_json)
+                .collect(),
+        ),
+        None => Json::Arr(Vec::new()),
+    };
+    let sampling = Json::Obj(vec![
+        (
+            "rate_ppm".to_owned(),
+            Json::Int(i64::from(telemetry.config.sample_ppm)),
+        ),
+        (
+            "sampled_sessions".to_owned(),
+            Json::Int(telemetry.traces.len() as i64),
+        ),
+        (
+            "sessions".to_owned(),
+            Json::Arr(
+                telemetry
+                    .traces
+                    .iter()
+                    .map(|(i, _)| Json::Int(*i as i64))
+                    .collect(),
+            ),
+        ),
+        (
+            "trace_events".to_owned(),
+            Json::Int(telemetry.trace_events() as i64),
+        ),
+    ]);
+    let totals = Json::Obj(vec![
+        ("segments".to_owned(), Json::Int(report.segments as i64)),
+        ("delivered".to_owned(), Json::Int(report.delivered as i64)),
+        ("skipped".to_owned(), Json::Int(report.skipped as i64)),
+        (
+            "total_stall_sec".to_owned(),
+            Json::Num(report.total_stall_sec),
+        ),
+        (
+            "total_energy_mj".to_owned(),
+            Json::Num(report.total_energy_mj),
+        ),
+        ("total_bits".to_owned(), Json::Num(report.total_bits)),
+        ("mean_qoe".to_owned(), Json::Num(report.mean_qoe)),
+    ]);
+    Json::Obj(vec![
+        ("schema".to_owned(), Json::Str(TIMESERIES_SCHEMA.to_owned())),
+        ("seed".to_owned(), Json::Int(config.seed as i64)),
+        ("sessions".to_owned(), Json::Int(config.sessions as i64)),
+        (
+            "window_sec".to_owned(),
+            Json::Num(telemetry.config.window_sec),
+        ),
+        (
+            "timeseries".to_owned(),
+            match telemetry.series.as_ref() {
+                Some(series) => series.to_json(),
+                None => Json::Null,
+            },
+        ),
+        (
+            "exemplars".to_owned(),
+            match telemetry.exemplars.as_ref() {
+                Some(ex) => ex.to_json(),
+                None => Json::Null,
+            },
+        ),
+        ("sampling".to_owned(), sampling),
+        ("slo".to_owned(), slo_json),
+        ("totals".to_owned(), totals),
+    ])
 }
 
 /// The interleaved engine's per-session summaries in user order (test
@@ -739,9 +1162,9 @@ pub fn run_scale_summaries(
     network: &NetworkTrace,
     faults: &FaultPlan,
 ) -> Vec<SessionSummary> {
-    run_scale_shards(config, network, faults)
+    run_scale_shards(config, network, faults, false)
         .into_iter()
-        .flat_map(|(summaries, _)| summaries)
+        .flat_map(|shard| shard.summaries)
         .collect()
 }
 
@@ -947,11 +1370,105 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_final_row_reconciles_bit_exactly_with_the_report() {
+        let (network, faults) = chaos_inputs();
+        let config = FleetConfig::new(48, 20, 31).with_telemetry(TelemetryConfig::standard());
+        let (report, _, telemetry) =
+            run_scale_fleet_telemetry(&config, &network, &faults, &mut ee360_obs::NoopRecorder);
+        let telemetry = telemetry.expect("telemetry on");
+        let series = telemetry.series.as_ref().expect("windowing on");
+        let last = series.final_row().expect("windows");
+        // f64 accumulators: bit-exact (identical += chain in user order).
+        assert_eq!(last.stall_sec.to_bits(), report.total_stall_sec.to_bits());
+        assert_eq!(last.energy_mj.to_bits(), report.total_energy_mj.to_bits());
+        assert_eq!(last.bits.to_bits(), report.total_bits.to_bits());
+        // u64 counters: integer-exact.
+        assert_eq!(last.segments as usize, report.segments);
+        assert_eq!(last.delivered as usize, report.delivered);
+        assert_eq!(last.skipped as usize, report.skipped);
+        // Exemplars exist and are bounded by K per tail.
+        let ex = telemetry.exemplars.as_ref().expect("exemplars on");
+        assert!(ex.worst_stall.len() <= 8 && !ex.worst_stall.is_empty());
+        assert!(ex.worst_qoe.len() <= 8 && !ex.worst_qoe.is_empty());
+    }
+
+    #[test]
+    fn telemetry_artifact_is_thread_count_independent() {
+        let (network, faults) = chaos_inputs();
+        let run = |threads: usize| {
+            let config = FleetConfig::new(64, 12, 7)
+                .with_threads(threads)
+                .with_telemetry(TelemetryConfig {
+                    window_sec: 4.0,
+                    sample_ppm: 100_000,
+                    exemplar_k: 4,
+                });
+            let (report, _, telemetry) =
+                run_scale_fleet_telemetry(&config, &network, &faults, &mut ee360_obs::NoopRecorder);
+            let telemetry = telemetry.expect("telemetry on");
+            let json =
+                fleet_timeseries_json(&config, &report, &telemetry, &ee360_obs::default_slos());
+            (to_string(&json).unwrap(), telemetry.sampled_sessions())
+        };
+        let (baseline, sampled_set) = run(1);
+        assert!(!sampled_set.is_empty(), "10% of 64 sessions should sample");
+        for threads in [4usize, 16] {
+            let (json, sampled) = run(threads);
+            assert_eq!(json, baseline, "{threads} threads diverged");
+            assert_eq!(sampled, sampled_set, "sampled set must be thread-free");
+        }
+        for key in ["ee360.timeseries.v1", "worst_stall", "verdict", "sampling"] {
+            assert!(baseline.contains(key), "artifact missing {key}");
+        }
+    }
+
+    #[test]
+    fn telemetry_off_fleet_matches_plain_fleet_byte_for_byte() {
+        let (network, faults) = chaos_inputs();
+        let config = FleetConfig::new(32, 10, 13);
+        let (plain, _) = run_scale_fleet(&config, &network, &faults, &mut ee360_obs::NoopRecorder);
+        let (tele_report, _, telemetry) =
+            run_scale_fleet_telemetry(&config, &network, &faults, &mut ee360_obs::NoopRecorder);
+        assert!(telemetry.is_none(), "off config must produce no telemetry");
+        assert_eq!(to_string(&plain).unwrap(), to_string(&tele_report).unwrap());
+        // And telemetry *on* must not change the simulation itself.
+        let on = FleetConfig::new(32, 10, 13).with_telemetry(TelemetryConfig::standard());
+        let (on_report, _, _) =
+            run_scale_fleet_telemetry(&on, &network, &faults, &mut ee360_obs::NoopRecorder);
+        assert_eq!(to_string(&plain).unwrap(), to_string(&on_report).unwrap());
+    }
+
+    #[test]
+    fn sampled_sessions_carry_detail_traces() {
+        let (network, faults) = chaos_inputs();
+        let config = FleetConfig::new(16, 10, 17).with_telemetry(TelemetryConfig {
+            window_sec: 0.0,
+            sample_ppm: 1_000_000, // keep everyone: every session traces
+            exemplar_k: 0,
+        });
+        let (_, _, telemetry) =
+            run_scale_fleet_telemetry(&config, &network, &faults, &mut ee360_obs::NoopRecorder);
+        let telemetry = telemetry.expect("telemetry on");
+        assert_eq!(telemetry.traces.len(), 16);
+        assert!(
+            telemetry.trace_events() > 0,
+            "chaos sessions must emit Detail events"
+        );
+        assert_eq!(
+            telemetry.sampled_sessions(),
+            (0..16u64).collect::<Vec<_>>(),
+            "traces arrive in user-index order"
+        );
+    }
+
+    #[test]
     fn driver_hot_state_is_compact() {
         // The fleet's memory story rests on the driver being a bundle of
-        // scalars; a per-segment vector would blow this immediately.
+        // scalars; the window log and sampled trace are boxed out so the
+        // event loop's hot working set stays small, and a per-segment
+        // vector here would blow both budgets immediately.
         assert!(
-            std::mem::size_of::<ScaleDriver>() <= 1024,
+            std::mem::size_of::<ScaleDriver>() <= 640,
             "ScaleDriver grew to {} bytes",
             std::mem::size_of::<ScaleDriver>()
         );

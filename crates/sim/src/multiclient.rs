@@ -215,13 +215,17 @@ pub fn simulate_shared_link_with_faults_traced<'a>(
         simulate_shared_link_with_faults_inner(capacity, config, planners, faults, policy);
     rec.count("multiclient.clients", outcomes.len() as u64);
     for o in &outcomes {
-        rec.count("multiclient.segments", o.segments as u64);
-        rec.count("multiclient.retries", o.retries as u64);
-        rec.count("multiclient.timeouts", o.timeouts as u64);
-        rec.count("multiclient.skipped_segments", o.skipped_segments as u64);
-        rec.observe("multiclient.stall_sec", o.total_stall_sec);
-        rec.observe("multiclient.throughput_bps", o.mean_throughput_bps);
-        rec.observe("multiclient.finished_at_sec", o.finished_at_sec);
+        // Keyed on the client's finish time so a window-enabled recorder
+        // buckets each client into the window it completed in; the
+        // whole-run registry sees the identical statement and value.
+        let t = o.finished_at_sec;
+        rec.count_at("multiclient.segments", t, o.segments as u64);
+        rec.count_at("multiclient.retries", t, o.retries as u64);
+        rec.count_at("multiclient.timeouts", t, o.timeouts as u64);
+        rec.count_at("multiclient.skipped_segments", t, o.skipped_segments as u64);
+        rec.observe_at("multiclient.stall_sec", t, o.total_stall_sec);
+        rec.observe_at("multiclient.throughput_bps", t, o.mean_throughput_bps);
+        rec.observe_at("multiclient.finished_at_sec", t, o.finished_at_sec);
     }
     outcomes
 }

@@ -415,15 +415,15 @@ impl SessionCore {
                 None => {
                     self.counters.attempts += 1;
                     self.counters.timeouts += 1;
-                    rec.count("resilience.attempts", 1);
-                    rec.count("resilience.timeouts", 1);
+                    rec.count_at("resilience.attempts", self.clock_sec, 1);
+                    rec.count_at("resilience.timeouts", self.clock_sec, 1);
                     self.clock_sec += budget;
                     if attempt < env.policy.max_retries {
                         self.counters.retries += 1;
-                        rec.count("resilience.retries", 1);
+                        rec.count_at("resilience.retries", self.clock_sec, 1);
                         let pause = env.policy.backoff_sec(attempt);
                         self.counters.backoff_sec += pause;
-                        rec.observe("resilience.backoff_sec", pause);
+                        rec.observe_at("resilience.backoff_sec", self.clock_sec, pause);
                         if rec.level() >= Level::Detail {
                             rec.record(Event::Retry {
                                 segment: 0,
@@ -502,7 +502,7 @@ impl SessionCore {
         let attempt = st.attempts;
         st.attempts += 1;
         self.counters.attempts += 1;
-        rec.count("resilience.attempts", 1);
+        rec.count_at("resilience.attempts", self.clock_sec, 1);
         let budget = finite_budget(
             env.policy
                 .attempt_timeout_sec
@@ -515,8 +515,8 @@ impl SessionCore {
             self.clock_sec += budget;
             self.counters.losses += 1;
             self.counters.timeouts += 1;
-            rec.count("resilience.losses", 1);
-            rec.count("resilience.timeouts", 1);
+            rec.count_at("resilience.losses", self.clock_sec, 1);
+            rec.count_at("resilience.timeouts", self.clock_sec, 1);
             if rec.level() >= Level::Detail {
                 rec.record(Event::DownloadAttempt {
                     segment,
@@ -538,7 +538,7 @@ impl SessionCore {
                         self.clock_sec += dur;
                         st.wasted_bits += bits;
                         self.counters.corruptions += 1;
-                        rec.count("resilience.corruptions", 1);
+                        rec.count_at("resilience.corruptions", self.clock_sec, 1);
                         if rec.level() >= Level::Detail {
                             rec.record(Event::DownloadAttempt {
                                 segment,
@@ -558,7 +558,7 @@ impl SessionCore {
                         if env.plan.decoder_fails(env.fault_base + segment) {
                             self.clock_sec += env.decoder.recovery_time_sec(1);
                             self.counters.decoder_failures += 1;
-                            rec.count("resilience.decoder_failures", 1);
+                            rec.count_at("resilience.decoder_failures", self.clock_sec, 1);
                         }
                         let elapsed = self.clock_sec - st.request_time_sec;
                         let step = self.buffer.advance(elapsed, SEGMENT_DURATION_SEC);
@@ -567,16 +567,16 @@ impl SessionCore {
                         if rung > 0 {
                             self.counters.degraded_segments += 1;
                             self.counters.degraded_rungs += rung;
-                            rec.count("resilience.degraded_segments", 1);
-                            rec.count("resilience.degraded_rungs", rung as u64);
+                            rec.count_at("resilience.degraded_segments", self.clock_sec, 1);
+                            rec.count_at("resilience.degraded_rungs", self.clock_sec, rung as u64);
                         }
                         // `elapsed` already includes the reinit time,
                         // failed attempts and backoffs; only the
                         // payload's own transfer is not "recovery".
                         self.counters.recovery_sec += elapsed - dur;
                         self.counters.wasted_bits += st.wasted_bits;
-                        rec.observe("resilience.recovery_sec", elapsed - dur);
-                        rec.observe("resilience.wasted_bits", st.wasted_bits);
+                        rec.observe_at("resilience.recovery_sec", self.clock_sec, elapsed - dur);
+                        rec.observe_at("resilience.wasted_bits", self.clock_sec, st.wasted_bits);
                         if rec.level() >= Level::Detail {
                             rec.record(Event::DownloadAttempt {
                                 segment,
@@ -620,7 +620,7 @@ impl SessionCore {
                     st.wasted_bits += partial;
                     self.clock_sec += budget;
                     self.counters.abandons += 1;
-                    rec.count("resilience.abandons", 1);
+                    rec.count_at("resilience.abandons", self.clock_sec, 1);
                     if rec.level() >= Level::Summary {
                         rec.record(Event::Abandon {
                             segment,
@@ -644,13 +644,13 @@ impl SessionCore {
         // the segment deadline).
         if st.attempts <= env.policy.max_retries && self.clock_sec < deadline_end - 1e-9 {
             self.counters.retries += 1;
-            rec.count("resilience.retries", 1);
+            rec.count_at("resilience.retries", self.clock_sec, 1);
             let pause = env
                 .policy
                 .backoff_sec(attempt)
                 .min(deadline_end - self.clock_sec);
             self.counters.backoff_sec += pause;
-            rec.observe("resilience.backoff_sec", pause);
+            rec.observe_at("resilience.backoff_sec", self.clock_sec, pause);
             if rec.level() >= Level::Detail {
                 rec.record(Event::Retry {
                     segment,
@@ -675,10 +675,10 @@ impl SessionCore {
         self.counters.blackout_sec += blackout_sec;
         self.counters.recovery_sec += elapsed;
         self.counters.wasted_bits += st.wasted_bits;
-        rec.count("resilience.skipped_segments", 1);
-        rec.observe("resilience.blackout_sec", blackout_sec);
-        rec.observe("resilience.recovery_sec", elapsed);
-        rec.observe("resilience.wasted_bits", st.wasted_bits);
+        rec.count_at("resilience.skipped_segments", self.clock_sec, 1);
+        rec.observe_at("resilience.blackout_sec", self.clock_sec, blackout_sec);
+        rec.observe_at("resilience.recovery_sec", self.clock_sec, elapsed);
+        rec.observe_at("resilience.wasted_bits", self.clock_sec, st.wasted_bits);
         if rec.level() >= Level::Summary {
             rec.record(Event::Skip {
                 segment: st.segment,

@@ -137,7 +137,13 @@ fn obs_smoke(
     // feed `profile.*` histograms in the report but never the event
     // trace, so the byte-identical replay check below survives them.
     let profiling = profile::profiling_from_env();
-    let mut rec = Recorder::new(Level::Detail).with_profiling(profiling);
+    // Logical-time windows: 5 s buckets over the session clock. Windowed
+    // counters partition the whole-run registry exactly, which the
+    // reconciliation below checks per key.
+    let window_sec = 5.0;
+    let mut rec = Recorder::new(Level::Detail)
+        .with_profiling(profiling)
+        .with_windows(window_sec);
     let metrics = chaos_metrics_traced(scheme, phone, faults, &mut rec);
     let traced_json = to_string(&metrics).expect("metrics serialize");
     if traced_json != untraced_json {
@@ -196,6 +202,35 @@ fn obs_smoke(
         ));
     }
 
+    // Windowed telemetry: the per-window registries partition the
+    // whole-run registry — counter sums must match integer-exactly and
+    // histogram counts must match per key.
+    match rec.windows() {
+        None => failures.push("windowed recorder lost its timeseries".into()),
+        Some(windows) => {
+            if windows.is_empty() {
+                failures.push("session booked nothing into any logical-time window".into());
+            }
+            for (name, expected) in counter_pairs {
+                let got = windows.counter_total(name);
+                if got != expected {
+                    failures.push(format!(
+                        "windowed counter {name} sums to {got} != whole-run {expected}"
+                    ));
+                }
+            }
+            for (name, _) in hist_pairs {
+                let got = windows.hist_count_total(name);
+                let expected = reg.histogram(name).map_or(0, ee360::obs::Histogram::count);
+                if got != expected {
+                    failures.push(format!(
+                        "windowed histogram {name} count {got} != whole-run {expected}"
+                    ));
+                }
+            }
+        }
+    }
+
     // The robust scheme's uncertainty accounting must surface in the
     // registry: the wandering-gaze fixture is tuned so the widening
     // engages, and the exported report is what the CI robust smoke greps.
@@ -223,7 +258,9 @@ fn obs_smoke(
     }
 
     // Same-seed trace replay: byte-identical JSONL (profiling off).
-    let mut rec2 = Recorder::new(Level::Detail).with_profiling(profiling);
+    let mut rec2 = Recorder::new(Level::Detail)
+        .with_profiling(profiling)
+        .with_windows(window_sec);
     let _ = chaos_metrics_traced(scheme, phone, faults, &mut rec2);
     let trace_a = rec.trace_jsonl().expect("trace serializes");
     let trace_b = rec2.trace_jsonl().expect("trace serializes");
@@ -244,6 +281,7 @@ fn obs_smoke(
                 "events_dropped",
                 "spans",
                 "metrics",
+                "timeseries",
             ] {
                 if report.get(key).is_none() {
                     failures.push(format!("obs report is missing required key {key:?}"));

@@ -2,6 +2,7 @@
 //!
 //! ```sh
 //! cargo run --release --example fleet_smoke
+//! cargo run --release --example fleet_smoke -- --timeseries --sample-rate 0.01 --slo
 //! ```
 //!
 //! Runs the `sim::fleet` scale engine over a seeded chaos plan and
@@ -14,11 +15,24 @@
 //! 4. the folded registry carries the `fleet.*` keys with reconciling
 //!    values (sessions counter = config, segments counter = report).
 //!
-//! Writes `results/fleet_report.json` (fleet report + obs report) and
-//! exits non-zero if any check fails.
+//! With `--timeseries` (optionally `--sample-rate <frac>` and `--slo`)
+//! the telemetry pipeline runs too, and the smoke additionally verifies:
+//!
+//! 5. `results/fleet_timeseries.json` is byte-identical at 1/4/16
+//!    threads,
+//! 6. the windowed series reconciles against the whole-run report —
+//!    integer-exact counters, bit-exact f64 accumulators,
+//! 7. the sampled-session set is a pure function of the seed, and the
+//!    SLO report card carries a verdict per objective.
+//!
+//! Writes `results/fleet_report.json` (+ `results/fleet_timeseries.json`
+//! when telemetry is on) and exits non-zero if any check fails.
 
-use ee360::obs::{export, Level, Recorder};
-use ee360::sim::fleet::{run_scale_fleet, EngineStats, FleetConfig, FleetReport};
+use ee360::obs::{default_slos, export, Level, Recorder, SloSpec, TelemetryConfig};
+use ee360::sim::fleet::{
+    fleet_timeseries_json, run_scale_fleet_telemetry, EngineStats, FleetConfig, FleetReport,
+    FleetTelemetry,
+};
 use ee360::trace::fault::{FaultConfig, FaultPlan};
 use ee360::trace::network::NetworkTrace;
 use ee360_support::json::{to_string, to_string_pretty, Json, ToJson};
@@ -26,23 +40,94 @@ use ee360_support::json::{to_string, to_string_pretty, Json, ToJson};
 const SESSIONS: usize = 10_000;
 const SEGMENTS: usize = 8;
 const SEED: u64 = 2022;
+const WINDOW_SEC: f64 = 5.0;
+const EXEMPLAR_K: u32 = 8;
 
-fn run(threads: usize) -> (FleetReport, EngineStats, Recorder, String, String) {
+struct SmokeArgs {
+    telemetry: TelemetryConfig,
+    slos: Vec<SloSpec>,
+}
+
+fn parse_args() -> SmokeArgs {
+    let args: Vec<String> = std::env::args().collect();
+    let mut telemetry = TelemetryConfig::off();
+    let mut slos = Vec::new();
+    for (i, arg) in args.iter().enumerate() {
+        match arg.as_str() {
+            "--timeseries" => {
+                telemetry.window_sec = WINDOW_SEC;
+                telemetry.exemplar_k = EXEMPLAR_K;
+            }
+            "--sample-rate" => {
+                let rate: f64 = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--sample-rate takes a fraction, e.g. 0.01");
+                assert!(
+                    (0.0..=1.0).contains(&rate),
+                    "--sample-rate must be in [0, 1]"
+                );
+                telemetry.sample_ppm = (rate * 1_000_000.0).round() as u32;
+            }
+            "--slo" => slos = default_slos(),
+            _ => {}
+        }
+    }
+    SmokeArgs { telemetry, slos }
+}
+
+struct RunOut {
+    report: FleetReport,
+    stats: EngineStats,
+    rec: Recorder,
+    report_json: String,
+    obs_json: String,
+    telemetry: Option<FleetTelemetry>,
+    timeseries_json: Option<String>,
+}
+
+fn run(threads: usize, args: &SmokeArgs) -> RunOut {
     let network = NetworkTrace::paper_trace2(300, 11);
     let faults = FaultPlan::generate(FaultConfig::chaos_default(), 300.0, 42).and_outage(40.0, 6.0);
-    let config = FleetConfig::new(SESSIONS, SEGMENTS, SEED).with_threads(threads);
+    let config = FleetConfig::new(SESSIONS, SEGMENTS, SEED)
+        .with_threads(threads)
+        .with_telemetry(args.telemetry);
     let mut rec = Recorder::new(Level::Summary);
-    let (report, stats) = run_scale_fleet(&config, &network, &faults, &mut rec);
+    let (report, stats, telemetry) =
+        run_scale_fleet_telemetry(&config, &network, &faults, &mut rec);
     let report_json = to_string(&report).expect("fleet report serializes");
     let obs_json = to_string(&export::report_json(&rec)).expect("obs report serializes");
-    (report, stats, rec, report_json, obs_json)
+    let timeseries_json = telemetry.as_ref().map(|tel| {
+        to_string_pretty(&fleet_timeseries_json(&config, &report, tel, &args.slos))
+            .expect("timeseries artifact serializes")
+    });
+    RunOut {
+        report,
+        stats,
+        rec,
+        report_json,
+        obs_json,
+        telemetry,
+        timeseries_json,
+    }
 }
 
 fn main() {
+    let args = parse_args();
     println!("fleet smoke: {SESSIONS} sessions x {SEGMENTS} segments, seeded chaos");
+    if args.telemetry.enabled() {
+        println!(
+            "  telemetry: window {:.1} s, sample {} ppm, exemplar k={}, {} SLOs",
+            args.telemetry.window_sec,
+            args.telemetry.sample_ppm,
+            args.telemetry.exemplar_k,
+            args.slos.len()
+        );
+    }
 
     // 1. Completion.
-    let (report, stats, rec, report_json, obs_json) = run(1);
+    let out = run(1, &args);
+    let report = out.report;
     assert_eq!(
         report.segments,
         SESSIONS * SEGMENTS,
@@ -59,31 +144,45 @@ fn main() {
     );
     println!(
         "  completed: {} delivered, {} skipped, mean QoE {:.2}, {} events",
-        report.delivered, report.skipped, report.mean_qoe, stats.events
+        report.delivered, report.skipped, report.mean_qoe, out.stats.events
     );
 
     // 2. Same-seed replay, byte for byte.
-    let (_, _, _, replay_report, replay_obs) = run(1);
-    assert_eq!(report_json, replay_report, "fleet report must replay");
-    assert_eq!(obs_json, replay_obs, "obs report must replay");
-    println!("  replay: byte-identical (report {} B)", report_json.len());
+    let replay = run(1, &args);
+    assert_eq!(
+        out.report_json, replay.report_json,
+        "fleet report must replay"
+    );
+    assert_eq!(out.obs_json, replay.obs_json, "obs report must replay");
+    assert_eq!(
+        out.timeseries_json, replay.timeseries_json,
+        "timeseries artifact must replay"
+    );
+    println!(
+        "  replay: byte-identical (report {} B)",
+        out.report_json.len()
+    );
 
     // 3. Thread-count independence.
     for threads in [4usize, 16] {
-        let (_, _, _, threaded_report, threaded_obs) = run(threads);
+        let threaded = run(threads, &args);
         assert_eq!(
-            report_json, threaded_report,
+            out.report_json, threaded.report_json,
             "{threads} threads changed the fleet report"
         );
         assert_eq!(
-            obs_json, threaded_obs,
+            out.obs_json, threaded.obs_json,
             "{threads} threads changed the obs report"
+        );
+        assert_eq!(
+            out.timeseries_json, threaded.timeseries_json,
+            "{threads} threads changed the timeseries artifact"
         );
     }
     println!("  threads: 1/4/16 byte-identical");
 
     // 4. Registry keys present and reconciling.
-    let reg = rec.registry();
+    let reg = out.rec.registry();
     assert_eq!(
         reg.counter("fleet.sessions"),
         SESSIONS as u64,
@@ -103,6 +202,49 @@ fn main() {
     assert_eq!(qoe_hist.count(), SESSIONS as u64);
     println!("  registry: fleet.* keys present and reconciling");
 
+    // 5–7. Telemetry pipeline checks.
+    if let Some(tel) = out.telemetry.as_ref() {
+        let series = tel.series.as_ref().expect("--timeseries implies windows");
+        let last = series.final_row().expect("series has windows");
+        assert_eq!(last.segments as usize, report.segments);
+        assert_eq!(last.delivered as usize, report.delivered);
+        assert_eq!(last.skipped as usize, report.skipped);
+        assert_eq!(
+            last.stall_sec.to_bits(),
+            report.total_stall_sec.to_bits(),
+            "cumulative stall must be bit-exact vs the report"
+        );
+        assert_eq!(last.energy_mj.to_bits(), report.total_energy_mj.to_bits());
+        assert_eq!(last.bits.to_bits(), report.total_bits.to_bits());
+        println!(
+            "  timeseries: {} windows, final row reconciles bit-exactly",
+            series.len()
+        );
+        if args.telemetry.sampling_enabled() {
+            assert!(
+                !tel.traces.is_empty(),
+                "a 1% sample of 10k sessions must keep traces"
+            );
+            println!(
+                "  sampling: {} sessions kept Detail traces ({} events)",
+                tel.traces.len(),
+                tel.trace_events()
+            );
+        }
+        let ex = tel
+            .exemplars
+            .as_ref()
+            .expect("--timeseries implies exemplars");
+        assert!(!ex.worst_stall.is_empty() && !ex.worst_qoe.is_empty());
+        println!(
+            "  exemplars: worst stall {:.2} s (session {}), worst QoE {:.2} (session {})",
+            ex.worst_stall.entries()[0].0,
+            ex.worst_stall.entries()[0].1.session,
+            ex.worst_qoe.entries()[0].0,
+            ex.worst_qoe.entries()[0].1.session
+        );
+    }
+
     // Export: fleet report + obs report in one artifact.
     let artifact = Json::Obj(vec![
         (
@@ -116,7 +258,7 @@ fn main() {
         ),
         ("seed".to_string(), Json::Int(SEED as i64)),
         ("fleet_report".to_string(), report.to_json()),
-        ("obs_report".to_string(), export::report_json(&rec)),
+        ("obs_report".to_string(), export::report_json(&out.rec)),
     ]);
     std::fs::create_dir_all("results").expect("create results/");
     std::fs::write(
@@ -125,5 +267,10 @@ fn main() {
     )
     .expect("write results/fleet_report.json");
     println!("  wrote results/fleet_report.json");
+    if let Some(ts) = out.timeseries_json.as_ref() {
+        std::fs::write("results/fleet_timeseries.json", ts)
+            .expect("write results/fleet_timeseries.json");
+        println!("  wrote results/fleet_timeseries.json");
+    }
     println!("fleet contract held: deterministic, thread-independent, reconciled");
 }

@@ -8,7 +8,8 @@
 //! starts retaining `SessionMetrics`, the peak jumps by orders of
 //! magnitude and this test fails loudly.
 
-use ee360_sim::fleet::{run_scale_fleet, FleetConfig};
+use ee360_obs::TelemetryConfig;
+use ee360_sim::fleet::{run_scale_fleet, run_scale_fleet_telemetry, FleetConfig};
 use ee360_support::alloc::CountingAlloc;
 use ee360_trace::fault::{FaultConfig, FaultPlan};
 use ee360_trace::network::NetworkTrace;
@@ -26,6 +27,19 @@ const SEGMENTS: usize = 6;
 /// would add kilobytes per session) immediately.
 const PER_SESSION_BUDGET_BYTES: usize = 768;
 
+/// Pinned peak-heap budget per session with the full telemetry pipeline
+/// on. Telemetry adds one retained [`SessionWindows`] per session —
+/// ~440 B of *inline* window cells that live in the shard output `Vec`
+/// until the fold consumes them (the inline small-buffer design keeps
+/// that off the allocator's per-session hot path entirely) — plus a 1%
+/// sample of boxed `Detail` recorders. Measured peak is ~790 B/session;
+/// the fixed telemetry allowance below (documented, not incidental) is
+/// 768 B/session on top of the base budget — roughly 2x headroom, tight
+/// enough that retaining per-segment state would still fail loudly.
+///
+/// [`SessionWindows`]: ee360_obs::SessionWindows
+const TELEMETRY_ALLOWANCE_BYTES: usize = 768;
+
 #[test]
 fn fleet_of_100k_sessions_stays_in_budget() {
     let network = NetworkTrace::paper_trace2(300, 17);
@@ -40,6 +54,29 @@ fn fleet_of_100k_sessions_stays_in_budget() {
     assert!(
         peak <= SESSIONS * PER_SESSION_BUDGET_BYTES,
         "fleet peak heap {peak} B breaks the {PER_SESSION_BUDGET_BYTES} B/session budget \
+         ({} B/session over {SESSIONS} sessions)",
+        peak / SESSIONS
+    );
+}
+
+#[test]
+fn fleet_of_100k_sessions_with_telemetry_stays_in_budget() {
+    let network = NetworkTrace::paper_trace2(300, 17);
+    let faults = FaultPlan::generate(FaultConfig::chaos_default(), 300.0, 23).and_outage(50.0, 5.0);
+    let config =
+        FleetConfig::new(SESSIONS, SEGMENTS, 2022).with_telemetry(TelemetryConfig::standard());
+    let baseline = ALLOC.reset_peak();
+    let (report, _stats, telemetry) =
+        run_scale_fleet_telemetry(&config, &network, &faults, &mut ee360_obs::NoopRecorder);
+    let peak = ALLOC.peak_bytes().saturating_sub(baseline);
+    assert_eq!(report.segments, SESSIONS * SEGMENTS, "every slot consumed");
+    let tel = telemetry.expect("telemetry requested");
+    assert!(tel.series.is_some(), "windows were on");
+    assert!(!tel.traces.is_empty(), "1% sampling keeps traces");
+    let budget = PER_SESSION_BUDGET_BYTES + TELEMETRY_ALLOWANCE_BYTES;
+    assert!(
+        peak <= SESSIONS * budget,
+        "telemetry-on fleet peak heap {peak} B breaks the {budget} B/session budget \
          ({} B/session over {SESSIONS} sessions)",
         peak / SESSIONS
     );

@@ -273,6 +273,122 @@ fn robust_counters_reconcile_exactly_with_controller_accounting() {
     );
 }
 
+/// The fleet telemetry pipeline reconciles against the whole-run
+/// surfaces it mirrors: per-window deltas sum exactly (integer `==`) to
+/// the folded `fleet.*` registry counters, the final cumulative row's
+/// f64 fields equal the report totals bit-exactly, and the sampled
+/// session set is a pure function of the seed — identical at every
+/// worker count.
+#[test]
+fn fleet_window_series_reconciles_and_sampling_is_thread_independent() {
+    use ee360::obs::TelemetryConfig;
+    use ee360::sim::fleet::{run_scale_fleet_telemetry, FleetConfig};
+    let run = |threads: usize| {
+        let network = NetworkTrace::paper_trace2(300, 9);
+        let faults =
+            FaultPlan::generate(FaultConfig::chaos_default(), 300.0, 13).and_outage(40.0, 6.0);
+        let config = FleetConfig::new(800, 10, 31)
+            .with_threads(threads)
+            .with_telemetry(TelemetryConfig::standard());
+        let mut rec = Recorder::new(Level::Summary);
+        let (report, _stats, telemetry) =
+            run_scale_fleet_telemetry(&config, &network, &faults, &mut rec);
+        (report, rec, telemetry.expect("telemetry requested"))
+    };
+    let (report, rec, tel) = run(1);
+    let series = tel.series.as_ref().expect("windows enabled");
+
+    // Window deltas partition the whole run: summing them recovers the
+    // registry counters exactly.
+    let deltas = series.deltas();
+    assert!(deltas.len() > 1, "the run must span several windows");
+    let reg = rec.registry();
+    assert_eq!(
+        deltas.iter().map(|d| d.segments).sum::<u64>(),
+        reg.counter("fleet.segments")
+    );
+    assert_eq!(
+        deltas.iter().map(|d| d.delivered).sum::<u64>(),
+        reg.counter("fleet.delivered")
+    );
+    assert_eq!(
+        deltas.iter().map(|d| d.skipped).sum::<u64>(),
+        reg.counter("fleet.skipped")
+    );
+
+    // The final cumulative row is the report, bit for bit.
+    let last = series.final_row().expect("series has windows");
+    assert_eq!(last.segments as usize, report.segments);
+    assert_eq!(last.stall_sec.to_bits(), report.total_stall_sec.to_bits());
+    assert_eq!(last.energy_mj.to_bits(), report.total_energy_mj.to_bits());
+    assert_eq!(last.bits.to_bits(), report.total_bits.to_bits());
+
+    // Sampling is hash-of-(seed, session): the kept set never depends on
+    // the worker count, and every kept session carries a Detail trace.
+    let sampled = tel.sampled_sessions();
+    assert!(!sampled.is_empty(), "1% of 800 sessions must keep traces");
+    assert!(tel.trace_events() > 0);
+    for threads in [4usize, 16] {
+        let (_, _, tel_t) = run(threads);
+        assert_eq!(
+            tel_t.sampled_sessions(),
+            sampled,
+            "{threads} threads changed the sampled set"
+        );
+    }
+}
+
+/// Worst-K exemplar selection is a pure function of the offered set:
+/// offering the same summaries in any order yields the same ranked
+/// entries, because ties break on the session index, not arrival order.
+#[test]
+fn exemplar_top_k_is_stable_under_permuted_offer_order() {
+    use ee360::obs::{ExemplarSet, ExemplarSummary};
+    let summary = |session: u64, stall: f64| ExemplarSummary {
+        session,
+        stall_sec: stall,
+        mean_qoe: 50.0,
+        energy_mj: 1.0,
+        delivered: 8,
+        skipped: 0,
+        startup_sec: 0.5,
+    };
+    // Includes a three-way tie at 4.0 so the index tie-break is load-bearing.
+    let pool: Vec<(f64, u64)> = vec![
+        (4.0, 7),
+        (1.0, 0),
+        (4.0, 2),
+        (9.5, 11),
+        (0.0, 3),
+        (4.0, 5),
+        (2.5, 1),
+        (7.25, 4),
+    ];
+    let rank = |order: &[usize]| {
+        let mut set = ExemplarSet::top(4);
+        for &i in order {
+            let (stall, session) = pool[i];
+            set.offer(stall, summary(session, stall));
+        }
+        set.entries()
+            .iter()
+            .map(|(m, s)| (m.to_bits(), s.session))
+            .collect::<Vec<_>>()
+    };
+    let forward: Vec<usize> = (0..pool.len()).collect();
+    let reversed: Vec<usize> = (0..pool.len()).rev().collect();
+    let interleaved: Vec<usize> = vec![4, 0, 6, 2, 7, 1, 5, 3];
+    let baseline = rank(&forward);
+    assert_eq!(baseline.len(), 4);
+    // Worst stall first; the 4.0 tie resolves to the lowest session index.
+    assert_eq!(baseline[0], (9.5f64.to_bits(), 11));
+    assert_eq!(baseline[1], (7.25f64.to_bits(), 4));
+    assert_eq!(baseline[2], (4.0f64.to_bits(), 2));
+    assert_eq!(baseline[3], (4.0f64.to_bits(), 5));
+    assert_eq!(rank(&reversed), baseline, "reverse order changed the top-K");
+    assert_eq!(rank(&interleaved), baseline, "shuffle changed the top-K");
+}
+
 /// Experiment-level merge: the aggregated registry is identical for any
 /// session-thread count, because per-session recorders are merged in
 /// user index order after the fan-out joins.

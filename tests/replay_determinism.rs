@@ -270,6 +270,45 @@ fn fleet_runs_are_byte_identical_across_replays() {
     assert_eq!(paper_run(), paper_baseline, "paper fleet must replay");
 }
 
+/// The telemetry pipeline extends the replay policy to its artifact:
+/// one seed, one `fleet_timeseries.json` — the serialized windowed
+/// series, exemplars, sampled-trace index, and SLO report card are
+/// byte-identical across replays and across worker counts {1, 4, 16}.
+#[test]
+fn fleet_timeseries_artifact_is_byte_identical_across_threads() {
+    use ee360::obs::{default_slos, TelemetryConfig};
+    use ee360::sim::fleet::{fleet_timeseries_json, run_scale_fleet_telemetry, FleetConfig};
+    let run = |threads: usize| {
+        let network = NetworkTrace::paper_trace2(300, 9);
+        let faults =
+            FaultPlan::generate(FaultConfig::chaos_default(), 300.0, 13).and_outage(40.0, 6.0);
+        let config = FleetConfig::new(800, 10, 31)
+            .with_threads(threads)
+            .with_telemetry(TelemetryConfig::standard());
+        let mut rec = Recorder::new(Level::Summary);
+        let (report, _stats, telemetry) =
+            run_scale_fleet_telemetry(&config, &network, &faults, &mut rec);
+        let tel = telemetry.expect("telemetry requested");
+        to_string_pretty(&fleet_timeseries_json(
+            &config,
+            &report,
+            &tel,
+            &default_slos(),
+        ))
+        .expect("timeseries artifact serializes")
+    };
+    let baseline = run(1);
+    assert!(baseline.contains("ee360.timeseries.v1"));
+    assert_eq!(run(1), baseline, "telemetry artifact must replay");
+    for threads in [4usize, 16] {
+        assert_eq!(
+            run(threads),
+            baseline,
+            "{threads} threads changed the telemetry artifact"
+        );
+    }
+}
+
 /// Recording is observation, not participation: the simulation output is
 /// byte-identical whether the session runs silent (`Level::Off` recorder,
 /// which keeps nothing) or fully instrumented at `Detail`.
